@@ -1,0 +1,89 @@
+// Engine micro-benchmarks (DESIGN.md experiment A2): operator
+// throughput of the in-memory engine that stands in for MySQL. These
+// numbers sanity-check the cost model's server term and document the
+// substrate's raw speed.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace {
+
+using eqsql::catalog::DataType;
+using eqsql::catalog::Schema;
+using eqsql::catalog::Value;
+
+/// Builds a `data(id, grp, v, name)` table with `n` rows.
+std::unique_ptr<eqsql::storage::Database> MakeDb(int64_t n) {
+  auto db = std::make_unique<eqsql::storage::Database>();
+  auto table = *db->CreateTable(
+      "data", Schema({{"id", DataType::kInt64},
+                      {"grp", DataType::kInt64},
+                      {"v", DataType::kInt64},
+                      {"name", DataType::kString}}));
+  for (int64_t i = 0; i < n; ++i) {
+    (void)table->Insert({Value::Int(i), Value::Int(i % 64),
+                         Value::Int((i * 2654435761) % 10000),
+                         Value::String("row" + std::to_string(i))});
+  }
+  (void)table->DeclareUniqueKey("id");
+  return db;
+}
+
+void RunSql(benchmark::State& state, const char* sql) {
+  auto db = MakeDb(state.range(0));
+  auto plan = *eqsql::sql::ParseSql(sql);
+  eqsql::exec::Executor ex(db.get());
+  for (auto _ : state) {
+    auto rs = ex.Execute(plan);
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Scan(benchmark::State& state) {
+  RunSql(state, "SELECT * FROM data AS d");
+}
+BENCHMARK(BM_Scan)->Arg(1000)->Arg(100000);
+
+void BM_Filter(benchmark::State& state) {
+  RunSql(state, "SELECT d.id AS id FROM data AS d WHERE d.v < 2000");
+}
+BENCHMARK(BM_Filter)->Arg(1000)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  RunSql(state,
+         "SELECT a.id AS id FROM data AS a JOIN data AS b ON a.id = b.id");
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(100000);
+
+void BM_GroupBy(benchmark::State& state) {
+  RunSql(state,
+         "SELECT d.grp, MAX(d.v) AS mx, COUNT(*) AS c FROM data AS d "
+         "GROUP BY d.grp");
+}
+BENCHMARK(BM_GroupBy)->Arg(1000)->Arg(100000);
+
+void BM_SortLimit(benchmark::State& state) {
+  RunSql(state,
+         "SELECT d.id AS id FROM data AS d ORDER BY d.v DESC LIMIT 10");
+}
+BENCHMARK(BM_SortLimit)->Arg(1000)->Arg(100000);
+
+void BM_ParseSql(benchmark::State& state) {
+  const char* sql =
+      "SELECT a.id, MAX(b.v) AS mx FROM data AS a LEFT OUTER JOIN data AS "
+      "b ON a.id = b.grp WHERE a.v > 10 GROUP BY a.id ORDER BY a.id "
+      "LIMIT 100";
+  for (auto _ : state) {
+    auto plan = eqsql::sql::ParseSql(sql);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParseSql);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Reproduces the paper's Experiment 2: applicability of batching [11],
+// prefetching [19], and EqSQL across the 33 Wilos samples.
+//
+// Expected shape: batching 7/33, EqSQL 24/33, prefetching 33/33.
+
+#include <cstdio>
+
+#include "baselines/batching.h"
+#include "bench/bench_util.h"
+#include "core/optimizer.h"
+#include "frontend/parser.h"
+#include "workloads/wilos_samples.h"
+
+int main() {
+  eqsql::bench::PrintHeader(
+      "Experiment 2: applicability of batching / prefetching / EqSQL on "
+      "the 33 Wilos samples");
+
+  eqsql::core::OptimizeOptions options;
+  options.transform.table_keys = eqsql::workloads::WilosTableKeys();
+  eqsql::core::EqSqlOptimizer optimizer(options);
+
+  int batching = 0, prefetching = 0, eqsql_count = 0, both = 0;
+  std::printf("%-4s %-45s %9s %9s %9s\n", "Sl.", "File (Line No.)", "Batch",
+              "Prefetch", "EqSQL");
+  for (const eqsql::workloads::WilosSample& s :
+       eqsql::workloads::WilosSamples()) {
+    auto program = eqsql::bench::ValueOrDie(
+        eqsql::frontend::ParseProgram(s.source), "parse sample");
+    const eqsql::frontend::Function* fn = program.Find(s.function);
+    bool batch = eqsql::baselines::CheckBatchingApplicable(*fn).applicable;
+    bool prefetch =
+        eqsql::baselines::CheckPrefetchApplicable(*fn).applicable;
+    auto result = optimizer.Optimize(program, s.function);
+    bool extracted = result.ok() && result->any_extracted();
+    batching += batch;
+    prefetching += prefetch;
+    eqsql_count += extracted;
+    both += (batch && extracted);
+    std::printf("%-4d %-45s %9s %9s %9s\n", s.index, s.location.c_str(),
+                batch ? "yes" : "-", prefetch ? "yes" : "-",
+                extracted ? "yes" : "-");
+  }
+  std::printf("\nTotals: batching %d/33 (paper: 7/33), prefetching %d/33 "
+              "(paper: all), EqSQL %d/33 (paper: 24/33); both batching and "
+              "EqSQL: %d (paper: 4)\n",
+              batching, prefetching, eqsql_count, both);
+  return 0;
+}

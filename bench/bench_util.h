@@ -1,0 +1,37 @@
+#ifndef EQSQL_BENCH_BENCH_UTIL_H_
+#define EQSQL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace eqsql::bench {
+
+/// Aborts the benchmark with a message when a setup step fails —
+/// benchmarks have no meaningful fallback.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace eqsql::bench
+
+#endif  // EQSQL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Star-schema reporting scenario (paper Figure 12 / Appendix B):
+// per-row scalar lookups into dimension tables, one of them
+// conditional, are lifted into a single OUTER APPLY query (rule T7,
+// paper Figure 13). Demonstrates the SQL dialects, too.
+//
+//   ./build/examples/job_portal
+
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+#include "workloads/benchmark_apps.h"
+#include "workloads/wilos_samples.h"
+
+int main() {
+  eqsql::storage::Database db;
+  if (!eqsql::workloads::SetupJobPortalDatabase(&db, 8).ok()) return 1;
+
+  auto program =
+      eqsql::frontend::ParseProgram(eqsql::workloads::JobPortalProgram());
+  if (!program.ok()) return 1;
+  std::printf("--- original (Figure 12) ---\n%s\n",
+              program->ToString().c_str());
+
+  // Report the extracted query in PostgreSQL dialect (LATERAL joins) to
+  // show dialect handling; the rewritten program itself embeds the
+  // engine's round-trippable dialect.
+  eqsql::core::OptimizeOptions options;
+  options.transform.table_keys = eqsql::workloads::WilosTableKeys();
+  options.dialect = eqsql::sql::Dialect::kPostgres;
+  eqsql::core::EqSqlOptimizer optimizer(options);
+  auto result = optimizer.Optimize(*program, "jobReport");
+  if (!result.ok() || !result->any_extracted()) {
+    std::printf("extraction failed\n");
+    return 1;
+  }
+  std::printf("--- rewritten (Figure 13) ---\n%s\n",
+              result->program.ToString().c_str());
+  std::printf("--- the same query, PostgreSQL dialect ---\n%s\n\n",
+              result->outcomes[0].sql[0].c_str());
+
+  // Show that both print the same report.
+  eqsql::net::Connection c1(&db), c2(&db);
+  eqsql::interp::Interpreter i1(&*program, &c1);
+  eqsql::interp::Interpreter i2(&result->program, &c2);
+  if (!i1.Run("jobReport").ok() || !i2.Run("jobReport").ok()) return 1;
+  std::printf("--- report (original | rewritten) ---\n");
+  for (size_t i = 0; i < i1.printed().size(); ++i) {
+    std::printf("%s | %s%s\n", i1.printed()[i].c_str(),
+                i2.printed()[i].c_str(),
+                i1.printed()[i] == i2.printed()[i] ? "" : "   <-- MISMATCH");
+  }
+  std::printf("\nqueries executed: original %lld, rewritten %lld\n",
+              static_cast<long long>(c1.stats().queries_executed),
+              static_cast<long long>(c2.stats().queries_executed));
+  return 0;
+}

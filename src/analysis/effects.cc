@@ -1,0 +1,92 @@
+#include "analysis/effects.h"
+
+namespace eqsql::analysis {
+
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ExprPtr;
+using frontend::Stmt;
+using frontend::StmtKind;
+
+bool IsPureBuiltin(const std::string& name) {
+  return name == "max" || name == "min" || name == "abs" ||
+         name == "coalesce" || name == "scalar" || name == "list" ||
+         name == "set" || name == "concat" || name == "pair" ||
+         name == "tuple" || name == "toSet";
+}
+
+bool IsCollectionMutation(const std::string& method) {
+  return method == "append" || method == "insert" || method == "add" ||
+         method == "put";
+}
+
+void CollectExprEffects(const ExprPtr& expr, StmtEffects* effects) {
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case ExprKind::kVarRef:
+      effects->reads.insert(expr->name());
+      return;
+    case ExprKind::kFieldAccess:
+      CollectExprEffects(expr->object(), effects);
+      return;
+    case ExprKind::kCall: {
+      if (expr->name() == "executeQuery") {
+        effects->reads_db = true;
+      } else if (expr->name() == "executeUpdate") {
+        effects->writes_db = true;
+      } else if (!IsPureBuiltin(expr->name())) {
+        effects->has_unknown_call = true;
+      }
+      for (const ExprPtr& a : expr->args()) CollectExprEffects(a, effects);
+      return;
+    }
+    case ExprKind::kMethodCall: {
+      CollectExprEffects(expr->object(), effects);
+      if (IsCollectionMutation(expr->name()) &&
+          expr->object()->kind() == ExprKind::kVarRef) {
+        effects->writes.insert(expr->object()->name());
+      }
+      for (const ExprPtr& a : expr->args()) CollectExprEffects(a, effects);
+      return;
+    }
+    default:
+      for (const ExprPtr& a : expr->args()) CollectExprEffects(a, effects);
+      return;
+  }
+}
+
+StmtEffects ComputeStmtEffects(const Stmt& stmt) {
+  StmtEffects effects;
+  switch (stmt.kind()) {
+    case StmtKind::kAssign:
+      CollectExprEffects(stmt.expr(), &effects);
+      effects.writes.insert(stmt.target());
+      break;
+    case StmtKind::kExprStmt:
+      CollectExprEffects(stmt.expr(), &effects);
+      break;
+    case StmtKind::kPrint:
+      // Prints are preprocessed into appends to the ordered collection
+      // __out (paper App. B), so they behave like collection mutations
+      // of __out rather than external writes.
+      CollectExprEffects(stmt.expr(), &effects);
+      effects.reads.insert(kOutputVar);
+      effects.writes.insert(kOutputVar);
+      break;
+    case StmtKind::kReturn:
+      CollectExprEffects(stmt.expr(), &effects);
+      break;
+    case StmtKind::kBreak:
+      break;
+    case StmtKind::kIf:
+    case StmtKind::kForEach:
+    case StmtKind::kWhile:
+      // Condition / iterable only; bodies are walked structurally by
+      // the loop analysis.
+      CollectExprEffects(stmt.expr(), &effects);
+      break;
+  }
+  return effects;
+}
+
+}  // namespace eqsql::analysis

@@ -1,0 +1,51 @@
+#ifndef EQSQL_ANALYSIS_EFFECTS_H_
+#define EQSQL_ANALYSIS_EFFECTS_H_
+
+#include <set>
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace eqsql::analysis {
+
+/// Read/write/effect summary of a single simple statement (or of the
+/// condition expression of a compound statement).
+///
+/// Following the paper's dependence model (Sec. 4.2): the entire
+/// database is one external location, reading/writing any element of a
+/// collection accesses the whole collection, and print writes to an
+/// external output location.
+struct StmtEffects {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  bool reads_db = false;       // executeQuery(...)
+  bool writes_db = false;      // executeUpdate(...)
+  bool writes_output = false;  // print(...)
+  /// A call to a function with unknown semantics (not a builtin). The
+  /// D-IR builder inlines user functions before analysis; anything left
+  /// blocks extraction for dependent variables.
+  bool has_unknown_call = false;
+};
+
+/// The pseudo-variable that print statements append to after the
+/// paper's App. B preprocessing (an ordered global collection).
+inline constexpr char kOutputVar[] = "__out";
+
+/// True if `name` is an ImpLang builtin with known pure semantics.
+bool IsPureBuiltin(const std::string& name);
+
+/// Collects variables read by `expr` into `reads`, setting effect flags
+/// for embedded executeQuery/executeUpdate/unknown calls.
+void CollectExprEffects(const frontend::ExprPtr& expr, StmtEffects* effects);
+
+/// Effects of one simple statement (kAssign, kExprStmt, kPrint,
+/// kReturn, kBreak). Compound statements (if/loops) summarize only their
+/// condition/iterable here; bodies are analyzed structurally.
+StmtEffects ComputeStmtEffects(const frontend::Stmt& stmt);
+
+/// Collection-mutating method names (append/insert/add/put).
+bool IsCollectionMutation(const std::string& method);
+
+}  // namespace eqsql::analysis
+
+#endif  // EQSQL_ANALYSIS_EFFECTS_H_

@@ -1,0 +1,225 @@
+#include "analysis/loop_analysis.h"
+
+#include <algorithm>
+
+namespace eqsql::analysis {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+/// Recursive walker computing flattened statements, effects, control
+/// dependences, written/upward-exposed sets.
+class BodyWalker {
+ public:
+  BodyWalker(LoopBodyInfo* info, std::set<std::string> cursors)
+      : info_(info), cursors_(std::move(cursors)) {}
+
+  /// Walks `stmts` with the current must-assigned set; updates `assigned`
+  /// in place to the state after the statement list.
+  void Walk(const std::vector<StmtPtr>& stmts,
+            std::vector<const Stmt*>* ctrl_stack,
+            std::set<std::string>* assigned, int loop_depth) {
+    for (const StmtPtr& stmt : stmts) {
+      const Stmt* s = stmt.get();
+      StmtEffects eff = ComputeStmtEffects(*s);
+      info_->stmts.push_back(s);
+      info_->effects[s] = eff;
+      info_->control_deps[s] = *ctrl_stack;
+      Absorb(eff, *assigned);
+
+      switch (s->kind()) {
+        case StmtKind::kAssign:
+          assigned->insert(s->target());
+          break;
+        case StmtKind::kBreak:
+          if (loop_depth == 0) info_->has_break = true;
+          break;
+        case StmtKind::kReturn:
+          info_->has_return = true;
+          break;
+        case StmtKind::kIf: {
+          ctrl_stack->push_back(s);
+          std::set<std::string> then_assigned = *assigned;
+          std::set<std::string> else_assigned = *assigned;
+          Walk(s->body(), ctrl_stack, &then_assigned, loop_depth);
+          Walk(s->else_body(), ctrl_stack, &else_assigned, loop_depth);
+          ctrl_stack->pop_back();
+          // Must-assigned after the if: intersection of the branches.
+          std::set<std::string> merged;
+          std::set_intersection(then_assigned.begin(), then_assigned.end(),
+                                else_assigned.begin(), else_assigned.end(),
+                                std::inserter(merged, merged.begin()));
+          *assigned = std::move(merged);
+          break;
+        }
+        case StmtKind::kForEach: {
+          cursors_.insert(s->target());
+          ctrl_stack->push_back(s);
+          // The body may run zero times: walk with a copy and discard
+          // its must-assigned additions.
+          std::set<std::string> body_assigned = *assigned;
+          body_assigned.insert(s->target());
+          Walk(s->body(), ctrl_stack, &body_assigned, loop_depth + 1);
+          ctrl_stack->pop_back();
+          cursors_.erase(s->target());
+          break;
+        }
+        case StmtKind::kWhile: {
+          info_->has_nested_while = true;
+          ctrl_stack->push_back(s);
+          std::set<std::string> body_assigned = *assigned;
+          Walk(s->body(), ctrl_stack, &body_assigned, loop_depth + 1);
+          ctrl_stack->pop_back();
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  void Absorb(const StmtEffects& eff, const std::set<std::string>& assigned) {
+    for (const std::string& r : eff.reads) {
+      if (assigned.count(r) == 0 && cursors_.count(r) == 0) {
+        info_->upward_exposed.insert(r);
+      }
+    }
+    for (const std::string& w : eff.writes) {
+      if (cursors_.count(w) == 0) info_->written.insert(w);
+    }
+    info_->writes_db |= eff.writes_db;
+    info_->writes_output |= eff.writes_output;
+    info_->has_unknown_call |= eff.has_unknown_call;
+  }
+
+  LoopBodyInfo* info_;
+  std::set<std::string> cursors_;
+};
+
+}  // namespace
+
+LoopBodyInfo AnalyzeLoopBody(const std::vector<StmtPtr>& body,
+                             const std::string& cursor) {
+  LoopBodyInfo info;
+  BodyWalker walker(&info, {cursor});
+  std::vector<const Stmt*> ctrl_stack;
+  std::set<std::string> assigned;
+  walker.Walk(body, &ctrl_stack, &assigned, /*loop_depth=*/0);
+  // A variable written in the body but not must-assigned on every path
+  // keeps its previous-iteration value on some path — an implicit read
+  // (paper App. B: "if (pred(t)) then v=true" is treated as
+  // v = v ∨ pred(t)).
+  for (const std::string& w : info.written) {
+    if (assigned.count(w) == 0) info.upward_exposed.insert(w);
+  }
+  std::set_intersection(
+      info.written.begin(), info.written.end(), info.upward_exposed.begin(),
+      info.upward_exposed.end(),
+      std::inserter(info.loop_carried, info.loop_carried.begin()));
+  return info;
+}
+
+Slice ComputeSlice(const LoopBodyInfo& info, const std::string& var) {
+  Slice slice;
+  slice.vars.insert(var);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Reverse program order converges quickly for backward slices.
+    for (auto it = info.stmts.rbegin(); it != info.stmts.rend(); ++it) {
+      const Stmt* s = *it;
+      if (slice.stmts.count(s) > 0) continue;
+      const StmtEffects& eff = info.effects.at(s);
+      bool writes_relevant = false;
+      for (const std::string& w : eff.writes) {
+        if (slice.vars.count(w) > 0) {
+          writes_relevant = true;
+          break;
+        }
+      }
+      if (!writes_relevant) continue;
+      slice.stmts.insert(s);
+      changed = true;
+      for (const std::string& r : eff.reads) slice.vars.insert(r);
+      // Control predicates governing the statement join the slice.
+      auto ctrl_it = info.control_deps.find(s);
+      if (ctrl_it != info.control_deps.end()) {
+        for (const Stmt* ctrl : ctrl_it->second) {
+          if (slice.stmts.insert(ctrl).second) {
+            for (const std::string& r : info.effects.at(ctrl).reads) {
+              slice.vars.insert(r);
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const Stmt* s : slice.stmts) {
+    const StmtEffects& eff = info.effects.at(s);
+    slice.writes_db |= eff.writes_db;
+    slice.writes_output |= eff.writes_output;
+    slice.has_unknown_call |= eff.has_unknown_call;
+    for (const std::string& w : eff.writes) slice.vars.insert(w);
+  }
+  return slice;
+}
+
+PreconditionResult CheckFoldPreconditions(const LoopBodyInfo& info,
+                                          const std::string& var) {
+  PreconditionResult result;
+  if (info.has_break) {
+    result.failure = "loop contains break (unconditional exit)";
+    return result;
+  }
+  if (info.has_return) {
+    result.failure = "loop contains return (unconditional exit)";
+    return result;
+  }
+  // P1: var's updates must form a dependence cycle with one lcfd edge —
+  // i.e. var's value must flow across iterations.
+  if (info.loop_carried.count(var) == 0) {
+    result.failure = "P1: no loop-carried accumulation cycle for '" + var +
+                     "'";
+    return result;
+  }
+  Slice slice = ComputeSlice(info, var);
+  // Nested while loops inside the slice cannot be expressed as folds
+  // over a query.
+  for (const Stmt* s : slice.stmts) {
+    if (s->kind() == StmtKind::kWhile) {
+      result.failure = "slice contains a while loop";
+      return result;
+    }
+  }
+  // P2: no other loop-carried flow dependence inside the slice.
+  for (const Stmt* s : slice.stmts) {
+    for (const std::string& w : info.effects.at(s).writes) {
+      if (w != var && info.loop_carried.count(w) > 0) {
+        result.failure = "P2: additional loop-carried dependence via '" + w +
+                         "'";
+        return result;
+      }
+    }
+  }
+  // P3: no external dependencies.
+  if (slice.writes_db) {
+    result.failure = "P3: slice writes to the database";
+    return result;
+  }
+  if (slice.writes_output) {
+    result.failure = "P3: slice writes to program output";
+    return result;
+  }
+  if (slice.has_unknown_call) {
+    result.failure = "slice calls a function with unknown semantics";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace eqsql::analysis

@@ -1,0 +1,81 @@
+#ifndef EQSQL_ANALYSIS_LOOP_ANALYSIS_H_
+#define EQSQL_ANALYSIS_LOOP_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/effects.h"
+#include "frontend/ast.h"
+
+namespace eqsql::analysis {
+
+/// Summary of one cursor-loop body, the input to the F-IR translation
+/// preconditions P1-P3 (paper Fig. 6).
+struct LoopBodyInfo {
+  /// All statements in the body, flattened in program order (compound
+  /// statements included; their nested statements also appear).
+  std::vector<const frontend::Stmt*> stmts;
+  /// Per-statement effects (conditions only for compound statements).
+  std::map<const frontend::Stmt*, StmtEffects> effects;
+  /// Enclosing if-statements (innermost last) for each statement —
+  /// control dependences used by slicing.
+  std::map<const frontend::Stmt*, std::vector<const frontend::Stmt*>>
+      control_deps;
+
+  /// Variables written anywhere in the body (excluding the cursor).
+  std::set<std::string> written;
+  /// Variables with an upward-exposed read: read on some path before any
+  /// sure write in the same iteration.
+  std::set<std::string> upward_exposed;
+  /// written ∩ upward_exposed — variables whose value flows across
+  /// iterations (each one induces a loop-carried flow dependence).
+  std::set<std::string> loop_carried;
+
+  bool has_break = false;
+  bool has_return = false;
+  bool has_nested_while = false;
+  bool writes_db = false;
+  bool writes_output = false;
+  bool has_unknown_call = false;
+};
+
+/// Analyzes a cursor-loop body. `cursor` is the loop variable; nested
+/// cursor loops' own cursors are likewise excluded from carried sets.
+LoopBodyInfo AnalyzeLoopBody(const std::vector<frontend::StmtPtr>& body,
+                             const std::string& cursor);
+
+/// A backward program slice over a loop body (paper Sec. 4.2):
+/// statements and control predicates that directly or indirectly affect
+/// `var` at the end of the loop.
+struct Slice {
+  std::set<const frontend::Stmt*> stmts;
+  /// Variables read or written by the slice.
+  std::set<std::string> vars;
+  bool writes_db = false;
+  bool writes_output = false;
+  bool has_unknown_call = false;
+};
+
+Slice ComputeSlice(const LoopBodyInfo& info, const std::string& var);
+
+/// Result of checking preconditions P1-P3 for converting variable `var`'s
+/// loop updates into a fold (paper Fig. 6).
+struct PreconditionResult {
+  bool ok = false;
+  std::string failure;  // which precondition failed and why
+};
+
+/// P1: a dependence cycle through var's updates with one loop-carried
+///     flow dependence (var itself must be loop-carried).
+/// P2: no other loop-carried dependence inside var's slice (apart from
+///     the cursor update).
+/// P3: no external dependencies in the slice (DB writes, output writes,
+///     unknown calls). Loop-level break/return/while also reject.
+PreconditionResult CheckFoldPreconditions(const LoopBodyInfo& info,
+                                          const std::string& var);
+
+}  // namespace eqsql::analysis
+
+#endif  // EQSQL_ANALYSIS_LOOP_ANALYSIS_H_

@@ -1,0 +1,195 @@
+#include "baselines/batching.h"
+
+namespace eqsql::baselines {
+
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ExprPtr;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+/// True if the expression contains executeQuery(...) with >= 1 bound
+/// parameter.
+bool HasParameterizedQuery(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == ExprKind::kCall && expr->name() == "executeQuery" &&
+      expr->args().size() > 1) {
+    return true;
+  }
+  if (expr->kind() == ExprKind::kCall ||
+      expr->kind() == ExprKind::kMethodCall) {
+    for (const ExprPtr& a : expr->args()) {
+      if (HasParameterizedQuery(a)) return true;
+    }
+    if (expr->kind() == ExprKind::kMethodCall &&
+        HasParameterizedQuery(expr->object())) {
+      return true;
+    }
+    return false;
+  }
+  for (const ExprPtr& a : expr->args()) {
+    if (HasParameterizedQuery(a)) return true;
+  }
+  return false;
+}
+
+bool HasAnyQuery(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == ExprKind::kCall && expr->name() == "executeQuery") {
+    return true;
+  }
+  for (const ExprPtr& a : expr->args()) {
+    if (HasAnyQuery(a)) return true;
+  }
+  if (expr->kind() == ExprKind::kMethodCall && HasAnyQuery(expr->object())) {
+    return true;
+  }
+  return false;
+}
+
+/// True if `stmts` contain a scalar accumulation "v = v op ..." —
+/// client-side aggregation that batching cannot push into the batch.
+bool HasScalarAccumulation(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& s : stmts) {
+    if (s->kind() == StmtKind::kAssign && s->expr() != nullptr &&
+        s->expr()->kind() == ExprKind::kBinary) {
+      // v = v op e / v = e op v
+      for (const ExprPtr& side : s->expr()->args()) {
+        if (side->kind() == ExprKind::kVarRef &&
+            side->name() == s->target()) {
+          return true;
+        }
+      }
+    }
+    if (s->kind() == StmtKind::kIf) {
+      if (HasScalarAccumulation(s->body()) ||
+          HasScalarAccumulation(s->else_body())) {
+        return true;
+      }
+    }
+    if (s->kind() == StmtKind::kForEach || s->kind() == StmtKind::kWhile) {
+      if (HasScalarAccumulation(s->body())) return true;
+    }
+  }
+  return false;
+}
+
+/// Scans a loop body: does it issue a parameterized query whose result
+/// is consumed without client-side aggregation?
+bool BodyBatchable(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& s : stmts) {
+    bool issues = false;
+    switch (s->kind()) {
+      case StmtKind::kAssign:
+      case StmtKind::kExprStmt:
+      case StmtKind::kPrint:
+        issues = HasParameterizedQuery(s->expr());
+        break;
+      case StmtKind::kIf:
+        if (BodyBatchable(s->body()) || BodyBatchable(s->else_body())) {
+          return true;
+        }
+        break;
+      case StmtKind::kForEach:
+      case StmtKind::kWhile:
+        if (HasParameterizedQuery(s->expr())) issues = true;
+        if (BodyBatchable(s->body())) return true;
+        break;
+      default:
+        break;
+    }
+    if (issues) {
+      // Found a parameterized query site: batching fails only when the
+      // consuming (nested) cursor loops aggregate the inner result
+      // client-side; same-level counters (paging) are fine.
+      bool nested_aggregates = false;
+      for (const StmtPtr& inner : stmts) {
+        if ((inner->kind() == StmtKind::kForEach ||
+             inner->kind() == StmtKind::kWhile) &&
+            HasScalarAccumulation(inner->body())) {
+          nested_aggregates = true;
+        }
+      }
+      return !nested_aggregates;
+    }
+  }
+  return false;
+}
+
+bool WalkLoops(const std::vector<StmtPtr>& stmts) {
+  for (const StmtPtr& s : stmts) {
+    switch (s->kind()) {
+      case StmtKind::kForEach:
+      case StmtKind::kWhile:
+        if (BodyBatchable(s->body())) return true;
+        if (WalkLoops(s->body())) return true;
+        break;
+      case StmtKind::kIf:
+        if (WalkLoops(s->body()) || WalkLoops(s->else_body())) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+bool AnyQueryInLoops(const std::vector<StmtPtr>& stmts, bool inside_loop) {
+  for (const StmtPtr& s : stmts) {
+    switch (s->kind()) {
+      case StmtKind::kForEach:
+      case StmtKind::kWhile:
+        if (AnyQueryInLoops(s->body(), true)) return true;
+        break;
+      case StmtKind::kIf:
+        if (AnyQueryInLoops(s->body(), inside_loop) ||
+            AnyQueryInLoops(s->else_body(), inside_loop)) {
+          return true;
+        }
+        break;
+      default:
+        if (inside_loop && HasAnyQuery(s->expr())) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Applicability CheckBatchingApplicable(const frontend::Function& fn) {
+  Applicability out;
+  if (WalkLoops(fn.body)) {
+    out.applicable = true;
+    out.reason = "parameterized iterative query invocation from a loop";
+  } else {
+    out.reason =
+        "no batchable parameterized query (absent, or inner result is "
+        "aggregated client-side)";
+  }
+  return out;
+}
+
+Applicability CheckPrefetchApplicable(const frontend::Function& fn) {
+  Applicability out;
+  if (AnyQueryInLoops(fn.body, false)) {
+    out.applicable = true;
+    out.reason = "queries issued inside a loop can be submitted early";
+    return out;
+  }
+  // A single up-front query can also be prefetched at function entry.
+  for (const StmtPtr& s : fn.body) {
+    if (s->kind() == StmtKind::kAssign && HasAnyQuery(s->expr())) {
+      out.applicable = true;
+      out.reason = "query parameters available at function entry";
+      return out;
+    }
+  }
+  out.reason = "no query to prefetch";
+  return out;
+}
+
+}  // namespace eqsql::baselines

@@ -1,0 +1,33 @@
+#ifndef EQSQL_BASELINES_BATCHING_H_
+#define EQSQL_BASELINES_BATCHING_H_
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace eqsql::baselines {
+
+/// Applicability verdict for a baseline transformation.
+struct Applicability {
+  bool applicable = false;
+  std::string reason;
+};
+
+/// Batching (Guravannavar & Sudarshan [11]): rewrites iterative
+/// invocation of a *parameterized* query into one set-oriented query
+/// against a parameter table. It applies when a loop (cursor loop or,
+/// via loop splitting, a while loop) issues a parameterized query whose
+/// rows are consumed directly (collected/printed); it cannot push
+/// client-side aggregation of the inner result into the batch (paper
+/// Experiment 2: 7/33 Wilos samples).
+Applicability CheckBatchingApplicable(const frontend::Function& fn);
+
+/// Prefetching (Ramachandra & Sudarshan [19]): overlaps query latency
+/// with computation; applicable whenever a query executes inside a loop
+/// or after computable parameters ("prefetching is possible in all
+/// cases we examined", paper Experiment 2).
+Applicability CheckPrefetchApplicable(const frontend::Function& fn);
+
+}  // namespace eqsql::baselines
+
+#endif  // EQSQL_BASELINES_BATCHING_H_

@@ -1,0 +1,106 @@
+#include "catalog/schema.h"
+
+#include "common/strings.h"
+
+namespace eqsql::catalog {
+
+namespace {
+
+/// True if stored column name `stored` matches lookup name `query`.
+/// Exact match always wins; otherwise an unqualified query matches the
+/// part of a qualified stored name after the last '.'.
+bool NameMatches(const std::string& stored, const std::string& query,
+                 bool query_qualified) {
+  if (stored == query) return true;
+  if (query_qualified) return false;
+  size_t dot = stored.rfind('.');
+  if (dot == std::string::npos) return false;
+  return stored.compare(dot + 1, std::string::npos, query) == 0;
+}
+
+}  // namespace
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  bool qualified = name.find('.') != std::string::npos;
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;  // exact match is unambiguous
+  }
+  if (qualified) return std::nullopt;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (NameMatches(columns_[i].name, name, /*query_qualified=*/false)) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<size_t> Schema::ResolveColumn(const std::string& name) const {
+  bool qualified = name.find('.') != std::string::npos;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  if (!qualified) {
+    std::optional<size_t> found;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (NameMatches(columns_[i].name, name, false)) {
+        if (found.has_value()) {
+          return Status::InvalidArgument("ambiguous column: " + name);
+        }
+        found = i;
+      }
+    }
+    if (found.has_value()) return *found;
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+size_t Schema::AddColumn(Column column) {
+  columns_.push_back(std::move(column));
+  return columns_.size() - 1;
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.name + " " + std::string(DataTypeToString(c.type)));
+  }
+  return StrJoin(parts, ", ");
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t RowWireSize(const Row& row) {
+  size_t total = 0;
+  for (const Value& v : row) total += v.WireSize();
+  return total;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace eqsql::catalog

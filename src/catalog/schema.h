@@ -1,0 +1,72 @@
+#ifndef EQSQL_CATALOG_SCHEMA_H_
+#define EQSQL_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace eqsql::catalog {
+
+/// A column definition: name + type. Column names are case-sensitive
+/// within EqSQL (our workloads use consistent lowercase names).
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// An ordered list of columns; rows conform positionally.
+///
+/// Schemas are value types (copyable). Lookup is linear — schemas in the
+/// paper's workloads have at most tens of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of `name`, or nullopt. If `name` is qualified ("t.x") the
+  /// qualifier must match the stored column name exactly; unqualified
+  /// lookups also match a stored qualified name's suffix when unambiguous.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Errors with kNotFound / kInvalidArgument (ambiguous) instead of
+  /// returning nullopt.
+  Result<size_t> ResolveColumn(const std::string& name) const;
+
+  /// Appends a column; returns the new column's index.
+  size_t AddColumn(Column column);
+
+  /// Concatenation (for joins / outer apply): columns of `this` followed
+  /// by columns of `right`.
+  Schema Concat(const Schema& right) const;
+
+  /// "name TYPE, name TYPE, ..." — for debugging and DESIGN docs.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+bool operator==(const Schema& a, const Schema& b);
+
+/// A tuple of values conforming positionally to some Schema.
+using Row = std::vector<Value>;
+
+/// Sum of wire sizes of the row's values (net/ cost model).
+size_t RowWireSize(const Row& row);
+
+/// Renders "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace eqsql::catalog
+
+#endif  // EQSQL_CATALOG_SCHEMA_H_

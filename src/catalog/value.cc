@@ -1,0 +1,122 @@
+#include "catalog/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace eqsql::catalog {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  if (is_null()) return DataType::kNull;
+  if (is_bool()) return DataType::kBool;
+  if (is_int()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  return DataType::kString;
+}
+
+double Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  EQSQL_CHECK_MSG(is_double(), "AsNumeric on non-numeric Value");
+  return AsDouble();
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_bool()) return AsBool() ? "TRUE" : "FALSE";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    // Trim trailing zeros for stable, readable output.
+    std::string s = std::to_string(AsDouble());
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.push_back('0');
+    return s;
+  }
+  return "'" + SqlEscape(AsString()) + "'";
+}
+
+size_t Value::WireSize() const {
+  if (is_null()) return 1;
+  if (is_bool()) return 1;
+  if (is_int()) return 8;
+  if (is_double()) return 8;
+  return AsString().size() + 4;  // length prefix
+}
+
+namespace {
+
+/// Rank in the cross-type total order.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+bool operator==(const Value& a, const Value& b) {
+  int ra = TypeRank(a), rb = TypeRank(b);
+  if (ra != rb) return false;
+  switch (ra) {
+    case 0:
+      return true;
+    case 1:
+      return a.AsBool() == b.AsBool();
+    case 2:
+      if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
+      return a.AsNumeric() == b.AsNumeric();
+    default:
+      return a.AsString() == b.AsString();
+  }
+}
+
+bool operator<(const Value& a, const Value& b) {
+  int ra = TypeRank(a), rb = TypeRank(b);
+  if (ra != rb) return ra < rb;
+  switch (ra) {
+    case 0:
+      return false;
+    case 1:
+      return a.AsBool() < b.AsBool();
+    case 2:
+      if (a.is_int() && b.is_int()) return a.AsInt() < b.AsInt();
+      return a.AsNumeric() < b.AsNumeric();
+    default:
+      return a.AsString() < b.AsString();
+  }
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  size_t seed = static_cast<size_t>(TypeRank(v));
+  if (v.is_null()) return seed;
+  if (v.is_bool()) {
+    HashCombine(seed, v.AsBool());
+  } else if (v.is_numeric()) {
+    // ints and equal-valued doubles must hash identically.
+    HashCombine(seed, v.AsNumeric());
+  } else {
+    HashCombine(seed, v.AsString());
+  }
+  return seed;
+}
+
+}  // namespace eqsql::catalog

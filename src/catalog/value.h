@@ -1,0 +1,89 @@
+#ifndef EQSQL_CATALOG_VALUE_H_
+#define EQSQL_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace eqsql::catalog {
+
+/// SQL data types supported by the engine. `kNull` is the type of the
+/// untyped NULL literal; columns always have one of the concrete types.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string_view DataTypeToString(DataType type);
+
+/// A single SQL value with three-valued NULL semantics.
+///
+/// Values are small, copyable, and totally ordered (NULL sorts first, as
+/// in most engines' default ORDER BY). Arithmetic and comparisons with
+/// SQL semantics live in exec/scalar_ops.h; this class only stores data.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  /// True for int64 or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  DataType type() const;
+
+  /// Accessors abort if the value holds a different type; check first.
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (int64 or double); aborts otherwise.
+  double AsNumeric() const;
+
+  /// SQL-literal rendering: NULL, TRUE, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Approximate wire size in bytes, used by the net/ cost model.
+  size_t WireSize() const;
+
+  /// Total order: NULL < bool < numeric < string; numerics compare by
+  /// value across int64/double. Used for sorting and grouping.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr data) : data_(std::move(data)) {}
+
+  Repr data_;
+};
+
+bool operator==(const Value& a, const Value& b);
+bool operator<(const Value& a, const Value& b);
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+/// Hash consistent with operator== (numeric values hash by double value).
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+}  // namespace eqsql::catalog
+
+#endif  // EQSQL_CATALOG_VALUE_H_

@@ -1,0 +1,202 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eqsql::cfg {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+/// Incremental CFG builder: lowers structured statements to blocks and
+/// edges. `break_targets_` tracks the innermost loop exit for kBreak.
+class CfgBuilder {
+ public:
+  Cfg Build(const frontend::Function& fn) {
+    cfg_.blocks.push_back(BasicBlock{0, true, false, {}, nullptr, {}});
+    cfg_.blocks.push_back(BasicBlock{1, false, true, {}, nullptr, {}});
+    int entry = NewBlock();
+    Link(0, entry);
+    int exit = LowerBlock(fn.body, entry);
+    if (exit >= 0) Link(exit, 1);
+    return std::move(cfg_);
+  }
+
+ private:
+  int NewBlock() {
+    int id = static_cast<int>(cfg_.blocks.size());
+    cfg_.blocks.push_back(BasicBlock{id, false, false, {}, nullptr, {}});
+    return id;
+  }
+  void Link(int from, int to) { cfg_.blocks[from].successors.push_back(to); }
+
+  /// Lowers `stmts` starting in block `cur`; returns the open block at
+  /// the end, or -1 if control never falls through (return/break).
+  int LowerBlock(const std::vector<StmtPtr>& stmts, int cur) {
+    for (const StmtPtr& stmt : stmts) {
+      if (cur < 0) return -1;  // unreachable code after return/break
+      switch (stmt->kind()) {
+        case StmtKind::kAssign:
+        case StmtKind::kExprStmt:
+        case StmtKind::kPrint:
+          cfg_.blocks[cur].stmts.push_back(stmt);
+          break;
+        case StmtKind::kReturn:
+          cfg_.blocks[cur].stmts.push_back(stmt);
+          Link(cur, cfg_.end_id());
+          cur = -1;
+          break;
+        case StmtKind::kBreak:
+          cfg_.blocks[cur].stmts.push_back(stmt);
+          EQSQL_CHECK_MSG(!break_targets_.empty(), "break outside loop");
+          Link(cur, break_targets_.back());
+          cur = -1;
+          break;
+        case StmtKind::kIf: {
+          // Close the current block with the condition.
+          cfg_.blocks[cur].branch_expr = stmt->expr();
+          int then_b = NewBlock();
+          int join = NewBlock();
+          Link(cur, then_b);
+          int then_end = LowerBlock(stmt->body(), then_b);
+          if (then_end >= 0) Link(then_end, join);
+          if (stmt->else_body().empty()) {
+            Link(cur, join);
+          } else {
+            int else_b = NewBlock();
+            Link(cur, else_b);
+            int else_end = LowerBlock(stmt->else_body(), else_b);
+            if (else_end >= 0) Link(else_end, join);
+          }
+          cur = join;
+          break;
+        }
+        case StmtKind::kForEach:
+        case StmtKind::kWhile: {
+          int header = NewBlock();
+          int body = NewBlock();
+          int after = NewBlock();
+          Link(cur, header);
+          cfg_.blocks[header].branch_expr = stmt->expr();
+          Link(header, body);   // loop taken
+          Link(header, after);  // loop exhausted
+          break_targets_.push_back(after);
+          int body_end = LowerBlock(stmt->body(), body);
+          break_targets_.pop_back();
+          if (body_end >= 0) Link(body_end, header);  // back edge
+          cur = after;
+          break;
+        }
+      }
+    }
+    return cur;
+  }
+
+  Cfg cfg_;
+  std::vector<int> break_targets_;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> Cfg::Predecessors() const {
+  std::vector<std::vector<int>> preds(blocks.size());
+  for (const BasicBlock& b : blocks) {
+    for (int s : b.successors) preds[s].push_back(b.id);
+  }
+  return preds;
+}
+
+std::vector<int> Cfg::ImmediateDominators() const {
+  const int n = static_cast<int>(blocks.size());
+  std::vector<std::vector<int>> preds = Predecessors();
+
+  // Reverse postorder from Start.
+  std::vector<int> rpo;
+  std::vector<bool> visited(n, false);
+  std::vector<int> order_of(n, -1);
+  {
+    std::vector<std::pair<int, size_t>> stack = {{start_id(), 0}};
+    visited[start_id()] = true;
+    std::vector<int> postorder;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < blocks[node].successors.size()) {
+        int next = blocks[node].successors[idx++];
+        if (!visited[next]) {
+          visited[next] = true;
+          stack.push_back({next, 0});
+        }
+      } else {
+        postorder.push_back(node);
+        stack.pop_back();
+      }
+    }
+    rpo.assign(postorder.rbegin(), postorder.rend());
+    for (size_t i = 0; i < rpo.size(); ++i) order_of[rpo[i]] = static_cast<int>(i);
+  }
+
+  std::vector<int> idom(n, -1);
+  idom[start_id()] = start_id();
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (order_of[a] > order_of[b]) a = idom[a];
+      while (order_of[b] > order_of[a]) b = idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : rpo) {
+      if (node == start_id()) continue;
+      int new_idom = -1;
+      for (int p : preds[node]) {
+        if (idom[p] == -1) continue;
+        new_idom = new_idom == -1 ? p : intersect(new_idom, p);
+      }
+      if (new_idom != -1 && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool Cfg::Dominates(const std::vector<int>& idom, int a, int b) {
+  if (idom[b] == -1) return false;  // unreachable
+  int cur = b;
+  while (true) {
+    if (cur == a) return true;
+    if (idom[cur] == cur) return false;  // reached start
+    cur = idom[cur];
+  }
+}
+
+std::string Cfg::ToString() const {
+  std::string out;
+  for (const BasicBlock& b : blocks) {
+    out += "B" + std::to_string(b.id);
+    if (b.is_start) out += " (start)";
+    if (b.is_end) out += " (end)";
+    out += " ->";
+    for (int s : b.successors) out += " B" + std::to_string(s);
+    out += "\n";
+    for (const StmtPtr& s : b.stmts) out += "  " + s->ToString();
+    if (b.branch_expr != nullptr) {
+      out += "  branch: " + b.branch_expr->ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+Cfg BuildCfg(const frontend::Function& fn) {
+  CfgBuilder builder;
+  return builder.Build(fn);
+}
+
+}  // namespace eqsql::cfg

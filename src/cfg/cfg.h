@@ -1,0 +1,53 @@
+#ifndef EQSQL_CFG_CFG_H_
+#define EQSQL_CFG_CFG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "frontend/ast.h"
+
+namespace eqsql::cfg {
+
+/// One CFG node: a basic block (maximal run of simple statements) or one
+/// of the two designated Start/End nodes (paper Sec. 3.1).
+struct BasicBlock {
+  int id = 0;
+  bool is_start = false;
+  bool is_end = false;
+  /// Simple statements executed in order (assign/expr/print/return/break).
+  std::vector<frontend::StmtPtr> stmts;
+  /// Condition expression if the block ends in a branch (if/while test),
+  /// or the iterable if it heads a cursor loop.
+  frontend::ExprPtr branch_expr;
+  /// Successor block ids. For branch blocks: [true-successor,
+  /// false-successor]; otherwise a single fall-through edge.
+  std::vector<int> successors;
+};
+
+/// A control flow graph for one function.
+struct Cfg {
+  std::vector<BasicBlock> blocks;  // blocks[0] is Start, blocks[1] is End
+  int start_id() const { return 0; }
+  int end_id() const { return 1; }
+
+  /// Predecessor lists derived from `successors`.
+  std::vector<std::vector<int>> Predecessors() const;
+
+  /// Immediate dominators (Cooper-Harvey-Kennedy iterative algorithm).
+  /// idom[start] == start; unreachable blocks get -1.
+  std::vector<int> ImmediateDominators() const;
+
+  /// True if `a` dominates `b`.
+  static bool Dominates(const std::vector<int>& idom, int a, int b);
+
+  std::string ToString() const;
+};
+
+/// Builds the CFG for a function body.
+Cfg BuildCfg(const frontend::Function& fn);
+
+}  // namespace eqsql::cfg
+
+#endif  // EQSQL_CFG_CFG_H_

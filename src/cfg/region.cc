@@ -1,0 +1,151 @@
+#include "cfg/region.h"
+
+namespace eqsql::cfg {
+
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+RegionPtr Region::BasicBlock(std::vector<StmtPtr> stmts) {
+  auto r = std::shared_ptr<Region>(new Region());
+  r->kind_ = RegionKind::kBasicBlock;
+  r->stmts_ = std::move(stmts);
+  return r;
+}
+
+RegionPtr Region::Sequential(RegionPtr first, RegionPtr second) {
+  auto r = std::shared_ptr<Region>(new Region());
+  r->kind_ = RegionKind::kSequential;
+  r->first_ = std::move(first);
+  r->second_ = std::move(second);
+  return r;
+}
+
+RegionPtr Region::Conditional(frontend::ExprPtr cond, RegionPtr true_r,
+                              RegionPtr false_r,
+                              const frontend::Stmt* origin) {
+  auto r = std::shared_ptr<Region>(new Region());
+  r->kind_ = RegionKind::kConditional;
+  r->cond_ = std::move(cond);
+  r->first_ = std::move(true_r);
+  r->second_ = std::move(false_r);
+  r->origin_ = origin;
+  return r;
+}
+
+RegionPtr Region::Loop(std::string loop_var, frontend::ExprPtr loop_expr,
+                       RegionPtr body, bool is_cursor,
+                       const frontend::Stmt* origin) {
+  auto r = std::shared_ptr<Region>(new Region());
+  r->kind_ = RegionKind::kLoop;
+  r->loop_var_ = std::move(loop_var);
+  r->cond_ = std::move(loop_expr);
+  r->first_ = std::move(body);
+  r->is_cursor_loop_ = is_cursor;
+  r->origin_ = origin;
+  return r;
+}
+
+void Region::CollectStmts(std::vector<StmtPtr>* out) const {
+  switch (kind_) {
+    case RegionKind::kBasicBlock:
+      out->insert(out->end(), stmts_.begin(), stmts_.end());
+      return;
+    case RegionKind::kSequential:
+      first_->CollectStmts(out);
+      second_->CollectStmts(out);
+      return;
+    case RegionKind::kConditional:
+      if (first_ != nullptr) first_->CollectStmts(out);
+      if (second_ != nullptr) second_->CollectStmts(out);
+      return;
+    case RegionKind::kLoop:
+      if (first_ != nullptr) first_->CollectStmts(out);
+      return;
+  }
+}
+
+std::string Region::ToString(int indent) const {
+  std::string pad(indent, ' ');
+  switch (kind_) {
+    case RegionKind::kBasicBlock: {
+      std::string out = pad + "BasicBlock {\n";
+      for (const StmtPtr& s : stmts_) out += s->ToString(indent + 2);
+      return out + pad + "}\n";
+    }
+    case RegionKind::kSequential:
+      return pad + "Sequential {\n" + first_->ToString(indent + 2) +
+             second_->ToString(indent + 2) + pad + "}\n";
+    case RegionKind::kConditional: {
+      std::string out =
+          pad + "Conditional (" + cond_->ToString() + ") {\n";
+      if (first_ != nullptr) out += first_->ToString(indent + 2);
+      if (second_ != nullptr) {
+        out += pad + "} else {\n" + second_->ToString(indent + 2);
+      }
+      return out + pad + "}\n";
+    }
+    case RegionKind::kLoop:
+      return pad + "Loop (" + loop_var_ + " : " + cond_->ToString() +
+             ") {\n" + (first_ ? first_->ToString(indent + 2) : "") + pad +
+             "}\n";
+  }
+  return pad + "?\n";
+}
+
+RegionPtr BuildRegionTree(const std::vector<StmtPtr>& stmts) {
+  std::vector<RegionPtr> regions;
+  std::vector<StmtPtr> pending;  // simple statements awaiting a block
+
+  auto flush = [&] {
+    if (!pending.empty()) {
+      regions.push_back(Region::BasicBlock(std::move(pending)));
+      pending.clear();
+    }
+  };
+
+  for (const StmtPtr& stmt : stmts) {
+    switch (stmt->kind()) {
+      case StmtKind::kAssign:
+      case StmtKind::kExprStmt:
+      case StmtKind::kPrint:
+      case StmtKind::kReturn:
+      case StmtKind::kBreak:
+        pending.push_back(stmt);
+        break;
+      case StmtKind::kIf: {
+        flush();
+        RegionPtr true_r = BuildRegionTree(stmt->body());
+        RegionPtr false_r = BuildRegionTree(stmt->else_body());
+        regions.push_back(Region::Conditional(stmt->expr(), std::move(true_r),
+                                              std::move(false_r),
+                                              stmt.get()));
+        break;
+      }
+      case StmtKind::kForEach: {
+        flush();
+        RegionPtr body = BuildRegionTree(stmt->body());
+        regions.push_back(Region::Loop(stmt->target(), stmt->expr(),
+                                       std::move(body), /*is_cursor=*/true,
+                                       stmt.get()));
+        break;
+      }
+      case StmtKind::kWhile: {
+        flush();
+        RegionPtr body = BuildRegionTree(stmt->body());
+        regions.push_back(Region::Loop("", stmt->expr(), std::move(body),
+                                       /*is_cursor=*/false, stmt.get()));
+        break;
+      }
+    }
+  }
+  flush();
+
+  if (regions.empty()) return nullptr;
+  RegionPtr acc = regions[0];
+  for (size_t i = 1; i < regions.size(); ++i) {
+    acc = Region::Sequential(std::move(acc), regions[i]);
+  }
+  return acc;
+}
+
+}  // namespace eqsql::cfg

@@ -1,0 +1,83 @@
+#ifndef EQSQL_CFG_REGION_H_
+#define EQSQL_CFG_REGION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace eqsql::cfg {
+
+/// The four region kinds of paper Fig. 4. Regions compose: the whole
+/// program (function body) is itself a region.
+enum class RegionKind {
+  kBasicBlock,   // maximal run of simple statements
+  kSequential,   // R1 ; R2
+  kConditional,  // cond ? R_true : R_false
+  kLoop,         // cursor loop (for-each) or while loop
+};
+
+class Region;
+using RegionPtr = std::shared_ptr<const Region>;
+
+/// A node of the region hierarchy. Built from the structured AST, which
+/// the paper explicitly allows ("Alternatively, it is possible to use an
+/// abstract syntax tree to identify program regions", Sec. 3.1).
+class Region {
+ public:
+  RegionKind kind() const { return kind_; }
+
+  /// kBasicBlock: the simple statements.
+  const std::vector<frontend::StmtPtr>& stmts() const { return stmts_; }
+  /// kSequential: exactly two constituent regions (paper Fig. 4b).
+  const RegionPtr& first() const { return first_; }
+  const RegionPtr& second() const { return second_; }
+  /// kConditional: condition + true/false regions (either may be null).
+  const frontend::ExprPtr& cond() const { return cond_; }
+  const RegionPtr& true_region() const { return first_; }
+  const RegionPtr& false_region() const { return second_; }
+  /// kLoop: cursor variable (empty for while), iterable/condition, body.
+  const std::string& loop_var() const { return loop_var_; }
+  const frontend::ExprPtr& loop_expr() const { return cond_; }
+  const RegionPtr& body() const { return first_; }
+  bool is_cursor_loop() const { return is_cursor_loop_; }
+
+  /// The originating AST statement for conditional/loop regions.
+  const frontend::Stmt* origin() const { return origin_; }
+
+  /// All AST statements contained in this region, in program order.
+  void CollectStmts(std::vector<frontend::StmtPtr>* out) const;
+
+  std::string ToString(int indent = 0) const;
+
+  // --- factories ---------------------------------------------------------
+  static RegionPtr BasicBlock(std::vector<frontend::StmtPtr> stmts);
+  static RegionPtr Sequential(RegionPtr first, RegionPtr second);
+  static RegionPtr Conditional(frontend::ExprPtr cond, RegionPtr true_r,
+                               RegionPtr false_r, const frontend::Stmt* origin);
+  static RegionPtr Loop(std::string loop_var, frontend::ExprPtr loop_expr,
+                        RegionPtr body, bool is_cursor,
+                        const frontend::Stmt* origin);
+
+ private:
+  Region() = default;
+
+  RegionKind kind_ = RegionKind::kBasicBlock;
+  std::vector<frontend::StmtPtr> stmts_;
+  RegionPtr first_;
+  RegionPtr second_;
+  frontend::ExprPtr cond_;
+  std::string loop_var_;
+  bool is_cursor_loop_ = false;
+  const frontend::Stmt* origin_ = nullptr;
+};
+
+/// Builds the region hierarchy for a statement list. Consecutive simple
+/// statements become basic blocks; a sequence of k regions folds into
+/// left-nested binary sequential regions. Returns null for an empty list.
+RegionPtr BuildRegionTree(const std::vector<frontend::StmtPtr>& stmts);
+
+}  // namespace eqsql::cfg
+
+#endif  // EQSQL_CFG_REGION_H_

@@ -1,0 +1,33 @@
+#ifndef EQSQL_COMMON_HASH_H_
+#define EQSQL_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace eqsql {
+
+/// Combines `seed` with the hash of `v` (boost::hash_combine recipe).
+/// Used for composite ids of ee-DAG nodes (paper Sec. 3.3: "a composite
+/// id - comprising of id's of its operator and operands - is assigned to
+/// each node, and a hash table is used for searching").
+template <typename T>
+inline void HashCombine(size_t& seed, const T& v) {
+  seed ^= std::hash<T>()(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+          (seed >> 2);
+}
+
+/// FNV-1a over a byte string; stable across runs.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace eqsql
+
+#endif  // EQSQL_COMMON_HASH_H_

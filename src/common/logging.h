@@ -1,0 +1,29 @@
+#ifndef EQSQL_COMMON_LOGGING_H_
+#define EQSQL_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when an internal invariant does not hold.
+/// Unlike assert(), EQSQL_CHECK is active in all build types: the
+/// analyses in dir/ and fir/ rely on these invariants for correctness of
+/// the generated SQL, and silent corruption would produce wrong rewrites.
+#define EQSQL_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "EQSQL_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define EQSQL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "EQSQL_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // EQSQL_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef EQSQL_COMMON_RESULT_H_
+#define EQSQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eqsql {
+
+/// A value-or-error type, the EqSQL analogue of `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either an OK `Status` plus a `T`, or a non-OK
+/// `Status`. Accessing the value of an errored Result is a programming
+/// error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure). Constructing
+  /// from an OK status without a value is a programming error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK Status with no value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace eqsql
+
+/// Assigns the value of a `Result` expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+/// `EQSQL_ASSIGN_OR_RETURN(auto x, ComputeX());`
+#define EQSQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define EQSQL_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define EQSQL_ASSIGN_OR_RETURN_NAME(x, y) EQSQL_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define EQSQL_ASSIGN_OR_RETURN(lhs, expr) \
+  EQSQL_ASSIGN_OR_RETURN_IMPL(            \
+      EQSQL_ASSIGN_OR_RETURN_NAME(_eqsql_result_, __LINE__), lhs, expr)
+
+#endif  // EQSQL_COMMON_RESULT_H_

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace eqsql {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kPreconditionFailed:
+      return "PreconditionFailed";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace eqsql

@@ -1,0 +1,93 @@
+#ifndef EQSQL_COMMON_STATUS_H_
+#define EQSQL_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eqsql {
+
+/// Error categories used across the EqSQL library.
+///
+/// Following the style of database engines built without exceptions
+/// (Arrow, RocksDB), every fallible operation returns a `Status` or a
+/// `Result<T>` (see result.h). `kOk` carries no message and is cheap to
+/// copy.
+enum class StatusCode {
+  kOk = 0,
+  /// The input violates a documented precondition of the API.
+  kInvalidArgument,
+  /// A referenced entity (table, column, variable, function) is missing.
+  kNotFound,
+  /// A parse error in ImpLang or SQL source text.
+  kParseError,
+  /// The construct is valid but outside the subset EqSQL handles
+  /// (paper Sec. 5.4: custom comparators, type-based selection, ...).
+  kUnsupported,
+  /// A transformation precondition failed (P1-P3, rule patterns).
+  kPreconditionFailed,
+  /// An internal invariant was violated; indicates a bug in EqSQL.
+  kInternal,
+  /// A runtime evaluation error (type mismatch, division by zero, ...).
+  kRuntimeError,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Statuses are cheap to move and to copy in the
+/// OK case. Use the factory functions (`Status::ParseError(...)` etc.) to
+/// construct errors with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status PreconditionFailed(std::string msg) {
+    return Status(StatusCode::kPreconditionFailed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace eqsql
+
+/// Propagates a non-OK Status from the current function.
+#define EQSQL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::eqsql::Status _eqsql_status = (expr);        \
+    if (!_eqsql_status.ok()) return _eqsql_status; \
+  } while (0)
+
+#endif  // EQSQL_COMMON_STATUS_H_

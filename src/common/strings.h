@@ -1,0 +1,37 @@
+#ifndef EQSQL_COMMON_STRINGS_H_
+#define EQSQL_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eqsql {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `input` on the single character `sep`; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Returns `input` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view input);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string AsciiToLower(std::string_view input);
+/// ASCII upper-casing.
+std::string AsciiToUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Escapes a string for inclusion in a single-quoted SQL literal
+/// (doubles embedded single quotes).
+std::string SqlEscape(std::string_view raw);
+
+}  // namespace eqsql
+
+#endif  // EQSQL_COMMON_STRINGS_H_

@@ -1,0 +1,175 @@
+#include "core/cost_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace eqsql::core {
+
+using ra::RaNode;
+using ra::RaNodePtr;
+using ra::RaOp;
+using ra::ScalarOp;
+
+namespace {
+
+constexpr double kDefaultRowBytes = 48.0;
+constexpr double kDefaultTableRows = 1000.0;
+/// Textbook default selectivity for an unknown predicate.
+constexpr double kSelectSelectivity = 1.0 / 3.0;
+
+/// True if the selection predicate pins a column to equality with a
+/// non-column operand (point predicate — estimate one matching row
+/// when the column is likely a key).
+bool HasEqualityConjunct(const ra::ScalarExprPtr& pred) {
+  if (pred == nullptr) return false;
+  if (pred->op() == ScalarOp::kAnd) {
+    return HasEqualityConjunct(pred->child(0)) ||
+           HasEqualityConjunct(pred->child(1));
+  }
+  if (pred->op() != ScalarOp::kEq) return false;
+  bool left_col = pred->child(0)->op() == ScalarOp::kColumnRef;
+  bool right_col = pred->child(1)->op() == ScalarOp::kColumnRef;
+  return left_col != right_col;  // column against literal/parameter
+}
+
+}  // namespace
+
+double CostEstimate::Milliseconds(const net::CostModel& model) const {
+  return static_cast<double>(round_trips) * model.round_trip_latency_ms +
+         static_cast<double>(round_trips) * model.query_overhead_ms +
+         model.TransferMs(static_cast<size_t>(bytes)) +
+         model.ServerMs(static_cast<size_t>(rows_processed));
+}
+
+CostEstimator::NodeEstimate CostEstimator::Walk(const RaNode& node) const {
+  switch (node.op()) {
+    case RaOp::kScan: {
+      NodeEstimate out;
+      auto rows_it = stats_.table_rows.find(AsciiToLower(node.table_name()));
+      out.rows = rows_it != stats_.table_rows.end()
+                     ? static_cast<double>(rows_it->second)
+                     : kDefaultTableRows;
+      auto bytes_it = stats_.row_bytes.find(AsciiToLower(node.table_name()));
+      out.row_bytes = bytes_it != stats_.row_bytes.end()
+                          ? static_cast<double>(bytes_it->second)
+                          : kDefaultRowBytes;
+      out.processed = out.rows;
+      return out;
+    }
+    case RaOp::kSelect: {
+      NodeEstimate in = Walk(*node.child(0));
+      NodeEstimate out = in;
+      // A key-equality point predicate over a base scan becomes an
+      // index probe (Executor::TryIndexLookup).
+      if (node.child(0)->op() == RaOp::kScan &&
+          HasEqualityConjunct(node.predicate())) {
+        out.rows = 1;
+        out.processed = 1;
+        return out;
+      }
+      out.rows = in.rows * kSelectSelectivity;
+      out.processed = in.processed + out.rows;
+      return out;
+    }
+    case RaOp::kProject: {
+      NodeEstimate in = Walk(*node.child(0));
+      NodeEstimate out = in;
+      // Width scales with the projected column count vs an assumed
+      // 6-column base row.
+      out.row_bytes =
+          std::max(8.0, in.row_bytes *
+                            static_cast<double>(node.project_items().size()) /
+                            6.0);
+      out.processed = in.processed + in.rows;
+      return out;
+    }
+    case RaOp::kJoin:
+    case RaOp::kLeftOuterJoin: {
+      NodeEstimate left = Walk(*node.child(0));
+      NodeEstimate right = Walk(*node.child(1));
+      NodeEstimate out;
+      // Equi-join containment: one match per row of the larger side.
+      out.rows = std::max(left.rows, right.rows);
+      if (node.op() == RaOp::kLeftOuterJoin) {
+        out.rows = std::max(out.rows, left.rows);
+      }
+      out.row_bytes = left.row_bytes + right.row_bytes;
+      out.processed = left.processed + right.processed + out.rows;
+      return out;
+    }
+    case RaOp::kOuterApply: {
+      NodeEstimate left = Walk(*node.child(0));
+      NodeEstimate right = Walk(*node.child(1));
+      NodeEstimate out;
+      out.rows = left.rows;  // scalar apply: one row per outer row
+      out.row_bytes = left.row_bytes + right.row_bytes;
+      // The apply re-evaluates the (index-assisted) inner per outer row.
+      out.processed = left.processed + left.rows * std::max(1.0, right.processed /
+                                                                     std::max(right.rows, 1.0));
+      return out;
+    }
+    case RaOp::kGroupBy: {
+      NodeEstimate in = Walk(*node.child(0));
+      NodeEstimate out = in;
+      out.rows = node.group_keys().empty() ? 1.0 : std::sqrt(in.rows);
+      out.row_bytes = 8.0 * static_cast<double>(node.group_keys().size() +
+                                                node.aggregates().size());
+      out.processed = in.processed + in.rows;
+      return out;
+    }
+    case RaOp::kSort: {
+      NodeEstimate in = Walk(*node.child(0));
+      in.processed += in.rows;
+      return in;
+    }
+    case RaOp::kDedup: {
+      NodeEstimate in = Walk(*node.child(0));
+      in.rows *= 0.5;
+      in.processed += in.rows;
+      return in;
+    }
+    case RaOp::kLimit: {
+      NodeEstimate in = Walk(*node.child(0));
+      in.rows = std::min(in.rows, static_cast<double>(node.limit()));
+      return in;
+    }
+  }
+  return NodeEstimate{};
+}
+
+CostEstimate CostEstimator::EstimateQuery(const RaNodePtr& plan) const {
+  NodeEstimate est = Walk(*plan);
+  CostEstimate out;
+  out.cardinality = est.rows;
+  out.rows_processed = est.processed;
+  out.round_trips = 1;
+  out.bytes = est.rows * est.row_bytes;
+  return out;
+}
+
+CostEstimate CostEstimator::EstimateLoop(const RaNodePtr& outer,
+                                         int queries_per_row) const {
+  NodeEstimate est = Walk(*outer);
+  CostEstimate out;
+  out.cardinality = est.rows * (1.0 + queries_per_row);
+  out.rows_processed = est.processed + est.rows * queries_per_row;
+  out.round_trips = 1 + static_cast<int64_t>(est.rows) * queries_per_row;
+  // The outer rows plus one (typically narrow) row per inner query.
+  out.bytes = est.rows * est.row_bytes +
+              est.rows * queries_per_row * kDefaultRowBytes;
+  return out;
+}
+
+bool CostEstimator::RewriteWins(const RaNodePtr& plan, const RaNodePtr& outer,
+                                int queries_per_row) const {
+  double rewritten = EstimateQuery(plan).Milliseconds(model_);
+  CostEstimate loop = EstimateLoop(outer, queries_per_row);
+  // The imperative loop also pays client work per iterated row.
+  double original = loop.Milliseconds(model_) +
+                    model_.client_cost_per_op_ms * loop.cardinality * 4.0;
+  return rewritten < original;
+}
+
+}  // namespace eqsql::core

@@ -1,0 +1,76 @@
+#ifndef EQSQL_CORE_COST_ESTIMATOR_H_
+#define EQSQL_CORE_COST_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+
+#include "net/cost_model.h"
+#include "ra/ra_node.h"
+
+namespace eqsql::core {
+
+/// Table statistics for cost-based decisions (paper Appendix C: "the
+/// decision to replace should be taken in a cost based manner").
+struct TableStats {
+  /// Lowercase table name → row count.
+  std::map<std::string, int64_t> table_rows;
+  /// Average bytes per row shipped for a table (default assumed when
+  /// absent).
+  std::map<std::string, int64_t> row_bytes;
+};
+
+/// Estimated execution profile of one strategy.
+struct CostEstimate {
+  double cardinality = 0;     // rows the client receives
+  double rows_processed = 0;  // server-side work
+  int64_t round_trips = 0;
+  double bytes = 0;
+
+  /// Simulated milliseconds under `model` (same formula as
+  /// net::Connection charges at run time).
+  double Milliseconds(const net::CostModel& model) const;
+};
+
+/// A Volcano-flavoured cost estimator over relational-algebra plans:
+/// cardinalities propagate bottom-up with textbook selectivity guesses
+/// (selection 1/3, equi-join via containment on the larger side,
+/// group-by sqrt, point lookup 1), and the resulting profile is priced
+/// with the same deterministic cost model the simulated connection
+/// charges. The estimator powers the cost-based variant of the Sec. 5.3
+/// replace-or-not decision (paper App. C).
+class CostEstimator {
+ public:
+  CostEstimator(TableStats stats, net::CostModel model)
+      : stats_(std::move(stats)), model_(model) {}
+
+  /// Profile of executing `plan` once as a single query.
+  CostEstimate EstimateQuery(const ra::RaNodePtr& plan) const;
+
+  /// Profile of the original imperative strategy: fetch `outer` whole,
+  /// then run `queries_per_row` further queries per fetched row (0 for a
+  /// self-contained loop). Client work is charged per row iterated.
+  CostEstimate EstimateLoop(const ra::RaNodePtr& outer,
+                            int queries_per_row) const;
+
+  /// Convenience: true when running `plan` once is estimated cheaper
+  /// than the imperative strategy it replaces.
+  bool RewriteWins(const ra::RaNodePtr& plan, const ra::RaNodePtr& outer,
+                   int queries_per_row) const;
+
+  const net::CostModel& model() const { return model_; }
+
+ private:
+  struct NodeEstimate {
+    double rows = 0;        // output cardinality
+    double row_bytes = 0;   // output row width
+    double processed = 0;   // cumulative rows processed in the subtree
+  };
+  NodeEstimate Walk(const ra::RaNode& node) const;
+
+  TableStats stats_;
+  net::CostModel model_;
+};
+
+}  // namespace eqsql::core
+
+#endif  // EQSQL_CORE_COST_ESTIMATOR_H_

@@ -1,0 +1,491 @@
+#include "core/optimizer.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "analysis/loop_analysis.h"
+#include "dir/builder.h"
+#include "rewrite/dce.h"
+#include "rewrite/emit.h"
+#include "rewrite/rewriter.h"
+#include "rules/convert.h"
+
+namespace eqsql::core {
+
+using dir::DNodePtr;
+using dir::DOp;
+using frontend::Expr;
+using frontend::ExprPtr;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+constexpr char kOutputVar[] = "__out";
+
+/// True if the ee-DAG still contains non-relational residue. Appends of
+/// fully resolved scalars (e.g. printing one aggregate after a loop) are
+/// not residue; per-row values that failed to lift always sit under a
+/// fold/loop/opaque node or reference a cursor tuple.
+bool HasResidue(const DNodePtr& node) {
+  return dir::DagContext::Contains(node, [](const dir::DNode& n) {
+    return n.op() == DOp::kFold || n.op() == DOp::kLoop ||
+           n.op() == DOp::kOpaque || n.op() == DOp::kAccParam ||
+           n.op() == DOp::kTupleAttr || n.op() == DOp::kTupleRef;
+  });
+}
+
+/// True if `var` is read by any statement after `loop` in `body`
+/// (including return/print expressions). Failed extractions of dead
+/// variables are not reported: their code is removed anyway.
+bool VarReadAfterLoop(const std::vector<StmtPtr>& body, const Stmt* loop,
+                      const std::string& var) {
+  bool after = false;
+  for (const StmtPtr& stmt : body) {
+    if (stmt.get() == loop) {
+      after = true;
+      continue;
+    }
+    if (!after) continue;
+    analysis::StmtEffects eff = analysis::ComputeStmtEffects(*stmt);
+    if (eff.reads.count(var) > 0) return true;
+    // Compound statements: walk their bodies too.
+    std::vector<StmtPtr> nested = stmt->body();
+    nested.insert(nested.end(), stmt->else_body().begin(),
+                  stmt->else_body().end());
+    if (!nested.empty() && VarReadAfterLoop(nested, nullptr, var)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Collects the SQL of every kQuery node (report form).
+void CollectSql(const DNodePtr& node, sql::Dialect dialect,
+                std::vector<std::string>* out) {
+  if (node->op() == DOp::kQuery) {
+    auto sql = sql::GenerateSql(node->query(), dialect);
+    if (sql.ok()) out->push_back(*sql);
+  }
+  for (const DNodePtr& c : node->children()) CollectSql(c, dialect, out);
+}
+
+/// The replacement statements for an extracted print stream: run the
+/// query once, then print each row (single-column results print the
+/// bare value so output matches the original byte for byte).
+std::vector<StmtPtr> EmitPrintLoop(const DNodePtr& query_node,
+                                   const std::string& temp_var,
+                                   const frontend::StmtPtr& emitted_assign) {
+  std::vector<StmtPtr> stmts;
+  // emitted_assign is "temp_var = executeQuery(...)".
+  stmts.push_back(emitted_assign);
+  ExprPtr row = Expr::VarRef("__row");
+  ExprPtr printee = row;
+  if (query_node->query()->op() == ra::RaOp::kProject &&
+      query_node->query()->project_items().size() == 1) {
+    std::string name = query_node->query()->project_items()[0].name;
+    size_t dot = name.rfind('.');
+    if (dot != std::string::npos) name = name.substr(dot + 1);
+    printee = Expr::FieldAccess(row, name);
+  }
+  std::vector<StmtPtr> body;
+  body.push_back(Stmt::Print(printee));
+  stmts.push_back(
+      Stmt::ForEach("__row", Expr::VarRef(temp_var), std::move(body)));
+  return stmts;
+}
+
+/// Rewrites an __out value that is a chain of appends of resolved
+/// scalar expressions (e.g. one aggregate printed after the loop) into
+/// direct print statements.
+Result<std::vector<StmtPtr>> EmitScalarPrints(const DNodePtr& out,
+                                              sql::Dialect dialect) {
+  std::vector<DNodePtr> elems;
+  const dir::DNode* cur = out.get();
+  std::vector<const dir::DNode*> chain;
+  while (cur->op() == DOp::kAppend) {
+    chain.push_back(cur);
+    cur = cur->child(0).get();
+  }
+  if (cur->op() != DOp::kEmptyList) {
+    return Status::Unsupported("print stream is not an append chain");
+  }
+  std::vector<StmtPtr> stmts;
+  std::vector<std::string> sql;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    EQSQL_ASSIGN_OR_RETURN(
+        ExprPtr expr,
+        rewrite::EmitExpression((*it)->child(1), dialect, &sql));
+    stmts.push_back(Stmt::Print(std::move(expr)));
+  }
+  return stmts;
+}
+
+/// App. B dependent aggregation (argmax / argmin): `w` failed P2
+/// because its update is guarded by the comparison that drives `v`'s
+/// max/min. When the pattern is
+///     if (e > v) { v = e; w = g; }        (strict comparison)
+/// the value of w after the loop is g evaluated on the row that wins
+/// the max — expressible as ORDER BY e DESC LIMIT 1 (paper App. B:
+/// "a combination of ORDER BY and LIMIT"). Returns the replacement
+/// statements and the SQL, or an error when the pattern does not hold.
+struct ArgmaxRewrite {
+  std::vector<StmtPtr> stmts;
+  std::vector<std::string> sql;
+};
+
+Result<ArgmaxRewrite> TryArgmaxExtraction(dir::DagContext* ctx,
+                                          const dir::LoopReport& w,
+                                          const dir::LoopReport& v,
+                                          const std::string& temp_var,
+                                          sql::Dialect dialect) {
+  if (w.query_node == nullptr || v.query_node == nullptr ||
+      w.query_node.get() != v.query_node.get()) {
+    return Status::PreconditionFailed("different looped queries");
+  }
+  // v's per-iteration value must be a normalized max/min over (e, v0).
+  const dir::DNodePtr& vb = v.body_expr;
+  if (vb->op() != DOp::kMax && vb->op() != DOp::kMin) {
+    return Status::PreconditionFailed("driver is not a max/min update");
+  }
+  bool is_max = vb->op() == DOp::kMax;
+  dir::DNodePtr v0 = ctx->RegionInput(v.var);
+  dir::DNodePtr e;
+  if (vb->child(0).get() == v0.get()) {
+    e = vb->child(1);
+  } else if (vb->child(1).get() == v0.get()) {
+    e = vb->child(0);
+  } else {
+    return Status::PreconditionFailed("max/min does not involve the driver");
+  }
+  // w's per-iteration value must be ?[cmp(e, v0), g, w0] with a STRICT
+  // comparison (non-strict ties would pick a different row than the
+  // stable ORDER BY ... LIMIT 1).
+  const dir::DNodePtr& wb = w.body_expr;
+  dir::DNodePtr w0 = ctx->RegionInput(w.var);
+  if (wb->op() != DOp::kCond || wb->child(2).get() != w0.get()) {
+    return Status::PreconditionFailed("not a guarded single assignment");
+  }
+  const dir::DNodePtr& cmp = wb->child(0);
+  bool matches = false;
+  if (cmp->children().size() == 2) {
+    bool fwd = cmp->child(0).get() == e.get() &&
+               cmp->child(1).get() == v0.get();
+    bool rev = cmp->child(0).get() == v0.get() &&
+               cmp->child(1).get() == e.get();
+    if (is_max) {
+      matches = (fwd && cmp->op() == DOp::kGt) ||
+                (rev && cmp->op() == DOp::kLt);
+    } else {
+      matches = (fwd && cmp->op() == DOp::kLt) ||
+                (rev && cmp->op() == DOp::kGt);
+    }
+  }
+  if (!matches) {
+    return Status::PreconditionFailed(
+        "guard is not the driver's strict comparison");
+  }
+  const dir::DNodePtr& g = wb->child(1);
+
+  // Convert to relational form over the looped query.
+  std::vector<dir::DNodePtr> params = w.query_node->children();
+  rules::ConvertContext cc;
+  cc.tuple_var = w.tuple_var;
+  cc.tuple_query = w.query_node->query();
+  cc.params = &params;
+  EQSQL_ASSIGN_OR_RETURN(ra::ScalarExprPtr e_ra, rules::DnodeToRaExpr(e, &cc));
+  EQSQL_ASSIGN_OR_RETURN(ra::ScalarExprPtr g_ra, rules::DnodeToRaExpr(g, &cc));
+  EQSQL_ASSIGN_OR_RETURN(ra::ScalarExprPtr init_ra,
+                         rules::DnodeToRaExpr(v.init, &cc));
+
+  // Rows only win when they beat v's initial value; NULL never wins.
+  ra::ScalarExprPtr pred = ra::ScalarExpr::Binary(
+      ra::ScalarOp::kAnd,
+      ra::ScalarExpr::Unary(ra::ScalarOp::kNot,
+                            ra::ScalarExpr::Unary(ra::ScalarOp::kIsNull,
+                                                  e_ra)),
+      ra::ScalarExpr::Binary(is_max ? ra::ScalarOp::kGt : ra::ScalarOp::kLt,
+                             e_ra, init_ra));
+  ra::RaNodePtr plan = ra::RaNode::Limit(
+      ra::RaNode::Project(
+          ra::RaNode::Sort(
+              ra::RaNode::Select(w.query_node->query(), pred),
+              {{e_ra, /*ascending=*/!is_max}}),
+          {{g_ra, "pick"}}),
+      1);
+  dir::DNodePtr qnode = ctx->Query(plan, std::move(params));
+
+  ArgmaxRewrite out;
+  EQSQL_ASSIGN_OR_RETURN(rewrite::EmittedCode emitted,
+                         rewrite::EmitAssignment(qnode, temp_var, dialect));
+  out.sql = emitted.sql_queries;
+  out.stmts.push_back(emitted.stmt);
+  // w = (temp.size() == 0) ? <init> : scalar(temp);
+  std::vector<std::string> init_sql;
+  EQSQL_ASSIGN_OR_RETURN(ExprPtr init_expr,
+                         rewrite::EmitExpression(w.init, dialect, &init_sql));
+  ExprPtr empty = Expr::Binary(
+      frontend::BinOp::kEq,
+      Expr::MethodCall(Expr::VarRef(temp_var), "size", {}),
+      Expr::IntLit(0));
+  ExprPtr pick = Expr::Call("scalar", {Expr::VarRef(temp_var)});
+  out.stmts.push_back(Stmt::Assign(
+      w.var, Expr::Ternary(std::move(empty), std::move(init_expr),
+                           std::move(pick))));
+  return out;
+}
+
+}  // namespace
+
+Result<OptimizeResult> EqSqlOptimizer::Optimize(
+    const frontend::Program& program, const std::string& function) {
+  auto start = std::chrono::steady_clock::now();
+
+  const frontend::Function* fn = program.Find(function);
+  if (fn == nullptr) {
+    return Status::NotFound("function not found: " + function);
+  }
+
+  OptimizeResult result;
+  result.program = program;
+
+  dir::DagContext ctx;
+  dir::DirBuilder builder(&ctx, &program);
+  EQSQL_ASSIGN_OR_RETURN(dir::FunctionDir fdir, builder.BuildFunction(*fn));
+
+  // Group conversion reports by their (top-level) defining loop.
+  std::map<const Stmt*, std::vector<const dir::LoopReport*>> by_loop;
+  for (const dir::LoopReport& report : fdir.loop_reports) {
+    by_loop[report.loop].push_back(&report);
+  }
+
+  rules::Transformer transformer(&ctx, options_.transform);
+  std::vector<StmtPtr> body = fn->body;
+  int temp_counter = 0;
+
+  for (const StmtPtr& stmt : fn->body) {
+    if (stmt->kind() != StmtKind::kForEach) continue;
+    auto it = by_loop.find(stmt.get());
+    if (it == by_loop.end()) continue;
+
+    analysis::LoopBodyInfo info =
+        analysis::AnalyzeLoopBody(stmt->body(), stmt->target());
+
+    std::vector<StmtPtr> replacements;
+    std::set<std::string> extracted_vars;
+    std::set<std::string> kept_vars;
+
+    struct PendingExtraction {
+      std::string var;
+      std::vector<StmtPtr> replacement;
+      VarOutcome outcome;
+    };
+    std::vector<PendingExtraction> pending;
+    std::vector<std::pair<const dir::LoopReport*, VarOutcome>> failed;
+
+    for (const dir::LoopReport* report : it->second) {
+      VarOutcome outcome;
+      outcome.var = report->var;
+      if (!report->converted) {
+        kept_vars.insert(report->var);
+        // Report the failure only when the variable is observable after
+        // the loop; dead helpers (inner-loop accumulators, temporary
+        // query handles) vanish with dead-code elimination.
+        if (report->var == kOutputVar ||
+            VarReadAfterLoop(fn->body, stmt.get(), report->var) ||
+            report->var == "__ret") {
+          outcome.reason = report->reason;
+          failed.emplace_back(report, std::move(outcome));
+        }
+        continue;
+      }
+      // Variables that are dead after the loop are not worth a query of
+      // their own; dead-code elimination drops their updates instead.
+      if (report->var != kOutputVar && report->var != "__ret" &&
+          !VarReadAfterLoop(fn->body, stmt.get(), report->var)) {
+        continue;
+      }
+      auto ve_it = fdir.ve_map.find(report->var);
+      if (ve_it == fdir.ve_map.end()) {
+        kept_vars.insert(report->var);
+        continue;
+      }
+      DNodePtr transformed = transformer.Transform(ve_it->second);
+      if (HasResidue(transformed)) {
+        outcome.reason = "no transformation rule produced pure SQL";
+        result.outcomes.push_back(std::move(outcome));
+        kept_vars.insert(report->var);
+        continue;
+      }
+      bool is_output = report->var == kOutputVar;
+      std::string target =
+          is_output ? "__results" + std::to_string(temp_counter++)
+                    : report->var;
+      Result<rewrite::EmittedCode> emitted =
+          rewrite::EmitAssignment(transformed, target, options_.dialect);
+      if (!emitted.ok()) {
+        outcome.reason = emitted.status().message();
+        result.outcomes.push_back(std::move(outcome));
+        kept_vars.insert(report->var);
+        continue;
+      }
+      bool is_set_result =
+          transformed->op() == DOp::kQuery &&
+          transformed->query()->op() == ra::RaOp::kDedup;
+      PendingExtraction px;
+      px.var = report->var;
+      if (is_output) {
+        if (transformed->op() == DOp::kQuery) {
+          px.replacement = EmitPrintLoop(transformed, target, emitted->stmt);
+        } else if (Result<std::vector<StmtPtr>> prints =
+                       EmitScalarPrints(transformed, options_.dialect);
+                   prints.ok()) {
+          px.replacement = std::move(*prints);
+        } else {
+          outcome.reason = "print stream did not reduce to a single query";
+          result.outcomes.push_back(std::move(outcome));
+          kept_vars.insert(report->var);
+          continue;
+        }
+      } else if (is_set_result) {
+        // The original collection was a set: materialize the distinct
+        // result back into one so display/iteration semantics match.
+        px.replacement.push_back(Stmt::Assign(
+            target, Expr::Call("toSet", {emitted->stmt->expr()})));
+      } else {
+        px.replacement.push_back(emitted->stmt);
+      }
+      outcome.extracted = true;
+      outcome.sql = emitted->sql_queries;
+      px.outcome = std::move(outcome);
+      pending.push_back(std::move(px));
+    }
+
+    // Second chance for P2 failures: the App. B argmax extension.
+    for (auto& [report, outcome] : failed) {
+      bool rescued = false;
+      size_t quote = report->reason.find('\'');
+      if (report->reason.rfind("P2", 0) == 0 && quote != std::string::npos) {
+        std::string driver = report->reason.substr(
+            quote + 1, report->reason.rfind('\'') - quote - 1);
+        for (const dir::LoopReport* other : it->second) {
+          if (other->var != driver || !other->converted) continue;
+          std::string temp = "__arg" + std::to_string(temp_counter);
+          Result<ArgmaxRewrite> rewrite = TryArgmaxExtraction(
+              &ctx, *report, *other, temp, options_.dialect);
+          if (!rewrite.ok()) break;
+          ++temp_counter;
+          PendingExtraction px;
+          px.var = report->var;
+          px.replacement = std::move(rewrite->stmts);
+          px.outcome.var = report->var;
+          px.outcome.extracted = true;
+          px.outcome.sql = std::move(rewrite->sql);
+          pending.push_back(std::move(px));
+          kept_vars.erase(report->var);
+          rescued = true;
+          break;
+        }
+      }
+      if (!rescued) result.outcomes.push_back(std::move(outcome));
+    }
+
+    if (pending.empty()) continue;
+
+    // Statements each extracted slice owns exclusively become dead.
+    // The paper's Sec. 5.3 heuristic: if nothing of a variable's slice
+    // can be removed (the loop must stay and keep computing the same
+    // data for other variables), the extra query only adds cost — skip
+    // that extraction.
+    auto exclusive_removals =
+        [&](const std::string& var) -> std::set<const Stmt*> {
+      std::set<const Stmt*> removable;
+      analysis::Slice slice = analysis::ComputeSlice(info, var);
+      for (const Stmt* s : slice.stmts) {
+        // Only simple statements are removed directly; conditionals and
+        // nested loops disappear when their bodies empty out.
+        if (s->kind() == StmtKind::kAssign ||
+            s->kind() == StmtKind::kExprStmt ||
+            s->kind() == StmtKind::kPrint) {
+          removable.insert(s);
+        }
+      }
+      for (const std::string& kept : kept_vars) {
+        analysis::Slice kept_slice = analysis::ComputeSlice(info, kept);
+        for (const Stmt* s : kept_slice.stmts) removable.erase(s);
+      }
+      for (const Stmt* s : info.stmts) {
+        const analysis::StmtEffects& eff = info.effects.at(s);
+        if (eff.writes_db || eff.has_unknown_call) removable.erase(s);
+      }
+      return removable;
+    };
+
+    std::set<const Stmt*> removable;
+    for (PendingExtraction& px : pending) {
+      std::set<const Stmt*> own = exclusive_removals(px.var);
+      if (own.empty()) {
+        px.outcome.extracted = false;
+        px.outcome.sql.clear();
+        px.outcome.reason =
+            "not beneficial: the loop must remain and recompute the same "
+            "data (Sec. 5.3 cost heuristic)";
+        result.outcomes.push_back(std::move(px.outcome));
+        kept_vars.insert(px.var);
+        px.replacement.clear();
+        continue;
+      }
+      removable.insert(own.begin(), own.end());
+      for (StmtPtr& s : px.replacement) replacements.push_back(std::move(s));
+      result.outcomes.push_back(std::move(px.outcome));
+      extracted_vars.insert(px.var);
+    }
+    if (extracted_vars.empty()) continue;
+
+    body = rewrite::ReplaceLoopComputation(body, stmt.get(), removable,
+                                           std::move(replacements));
+    result.changed = true;
+  }
+
+  if (result.changed) {
+    body = rewrite::RemoveDeadCode(body);
+    for (frontend::Function& f : result.program.functions) {
+      if (f.name == function) f.body = std::move(body);
+    }
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  result.extraction_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+Result<KeywordSearchResult> EqSqlOptimizer::ExtractQueriesForKeywordSearch(
+    const frontend::Program& program, const std::string& function) {
+  const frontend::Function* fn = program.Find(function);
+  if (fn == nullptr) {
+    return Status::NotFound("function not found: " + function);
+  }
+  dir::DagContext ctx;
+  dir::DirBuilder builder(&ctx, &program);
+  EQSQL_ASSIGN_OR_RETURN(dir::FunctionDir fdir, builder.BuildFunction(*fn));
+
+  rules::TransformOptions opts = options_.transform;
+  opts.ignore_ordering = true;  // ordering is not relevant (Sec. 7.1)
+  rules::Transformer transformer(&ctx, opts);
+
+  KeywordSearchResult out;
+  DNodePtr output = fdir.output_value();
+  if (output == nullptr) {
+    out.complete = true;
+    return out;
+  }
+  DNodePtr transformed = transformer.Transform(output);
+  out.complete = !HasResidue(transformed);
+  CollectSql(transformed, options_.dialect, &out.queries);
+  return out;
+}
+
+}  // namespace eqsql::core

@@ -1,0 +1,81 @@
+#ifndef EQSQL_CORE_OPTIMIZER_H_
+#define EQSQL_CORE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "frontend/ast.h"
+#include "rules/transform.h"
+#include "sql/generator.h"
+
+namespace eqsql::core {
+
+/// Options for a full optimization run.
+struct OptimizeOptions {
+  rules::TransformOptions transform;
+  /// Dialect used for the *reported* SQL (the rewritten program always
+  /// embeds the round-trippable kDefault dialect).
+  sql::Dialect dialect = sql::Dialect::kDefault;
+};
+
+/// Outcome for one (loop, variable) extraction attempt.
+struct VarOutcome {
+  std::string var;
+  bool extracted = false;
+  std::vector<std::string> sql;  // queries embedded in the replacement
+  std::string reason;            // failure reason when !extracted
+};
+
+/// Result of optimizing one function.
+struct OptimizeResult {
+  frontend::Program program;  // rewritten program (all functions)
+  bool changed = false;
+  std::vector<VarOutcome> outcomes;
+  /// Wall-clock time spent on analysis + transformation + rewriting.
+  double extraction_ms = 0.0;
+
+  /// True if at least one variable was extracted.
+  bool any_extracted() const {
+    for (const VarOutcome& o : outcomes) {
+      if (o.extracted) return true;
+    }
+    return false;
+  }
+};
+
+/// Result of keyword-search query extraction (paper Experiment 3).
+struct KeywordSearchResult {
+  /// True when every piece of printed data is covered by extracted
+  /// queries (no fold/loop/opaque residue).
+  bool complete = false;
+  std::vector<std::string> queries;
+};
+
+/// The EqSQL optimizer (the paper's primary contribution, Fig. 1):
+/// source program -> D-IR -> F-IR -> rule-based transformation ->
+/// equivalent SQL -> rewritten program with dead code removed.
+class EqSqlOptimizer {
+ public:
+  explicit EqSqlOptimizer(OptimizeOptions options)
+      : options_(std::move(options)) {}
+
+  /// Optimizes `function` inside `program`. Extraction is per variable:
+  /// variables whose loops cannot be converted keep their original
+  /// imperative code (partial optimization, paper Sec. 7.1).
+  Result<OptimizeResult> Optimize(const frontend::Program& program,
+                                  const std::string& function);
+
+  /// Extracts the set of queries that retrieve exactly the data printed
+  /// by `function` (keyword-search mode: ordering-insensitive, paper
+  /// Experiment 3).
+  Result<KeywordSearchResult> ExtractQueriesForKeywordSearch(
+      const frontend::Program& program, const std::string& function);
+
+ private:
+  OptimizeOptions options_;
+};
+
+}  // namespace eqsql::core
+
+#endif  // EQSQL_CORE_OPTIMIZER_H_

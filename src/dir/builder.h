@@ -1,0 +1,99 @@
+#ifndef EQSQL_DIR_BUILDER_H_
+#define EQSQL_DIR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "cfg/region.h"
+#include "common/result.h"
+#include "dir/dnode.h"
+#include "frontend/ast.h"
+
+namespace eqsql::dir {
+
+/// Diagnostic for one (loop, variable) fold-conversion attempt. The raw
+/// loop-body material (body expression, initial value, looped query,
+/// cursor) is carried along so downstream extensions — notably the
+/// App. B dependent-aggregation/argmax rewrite — can pattern-match
+/// failed conversions without re-running construction.
+struct LoopReport {
+  const frontend::Stmt* loop = nullptr;
+  std::string var;
+  bool converted = false;
+  std::string reason;  // precondition failure when !converted
+  DNodePtr body_expr;  // the variable's per-iteration ee-DAG expression
+  DNodePtr init;       // its value at loop entry
+  DNodePtr query_node; // the looped kQuery (null when not query-backed)
+  std::string tuple_var;
+};
+
+/// The D-IR of one function: a ve-Map giving each variable's value at
+/// the end of the function as an ee-DAG expression over the function's
+/// parameters (kRegionInput leaves), plus conversion diagnostics.
+struct FunctionDir {
+  VeMap ve_map;
+  std::vector<LoopReport> loop_reports;
+
+  /// The expression for the function's return value, or null.
+  DNodePtr return_value() const {
+    auto it = ve_map.find("__ret");
+    return it == ve_map.end() ? nullptr : it->second;
+  }
+  /// The expression for the ordered print-output collection, or null.
+  DNodePtr output_value() const {
+    auto it = ve_map.find("__out");
+    return it == ve_map.end() ? nullptr : it->second;
+  }
+};
+
+/// Builds D-IR (ee-DAG + ve-Map) for ImpLang functions following the
+/// paper's bottom-up region algorithm (Sec. 3.3, App. D):
+///
+///  * basic blocks fold statement effects left to right;
+///  * sequential regions substitute the following region's inputs with
+///    the preceding region's expressions;
+///  * conditional regions merge per-variable with "?" nodes (with
+///    min/max and boolean-flag normalization);
+///  * cursor-loop regions convert updated variables to fold via
+///    loopToFold (paper Fig. 6) when preconditions P1-P3 pass, and to
+///    opaque values otherwise;
+///  * user-defined function calls are inlined (actual-to-formal
+///    mapping, App. D.6).
+class DirBuilder {
+ public:
+  /// `program` provides user functions for inlining (may be null).
+  DirBuilder(DagContext* ctx, const frontend::Program* program)
+      : ctx_(ctx), program_(program) {}
+
+  /// Builds D-IR for `fn`. Parameters appear as kRegionInput leaves.
+  Result<FunctionDir> BuildFunction(const frontend::Function& fn);
+
+ private:
+  struct Scope {
+    VeMap* map;                         // current variable values
+    std::vector<std::string>* cursors;  // active cursor variables
+  };
+
+  Status BuildRegion(const cfg::RegionPtr& region, Scope scope);
+  Status ApplyStmt(const frontend::StmtPtr& stmt, Scope scope);
+  Status BuildLoop(const cfg::Region& region, Scope scope);
+  Result<DNodePtr> BuildExpr(const frontend::ExprPtr& expr, Scope scope);
+  Result<DNodePtr> InlineCall(const frontend::Expr& call, Scope scope);
+
+  DNodePtr LookupVar(const std::string& name, Scope scope);
+
+  /// Collects enclosing-scope values for loop-invariant region inputs
+  /// referenced by a fold function (everything but the accumulator).
+  void CollectInvariantInputs(const DNodePtr& node,
+                              const std::string& acc_var, Scope scope,
+                              std::map<std::string, DNodePtr>* out);
+
+  DagContext* ctx_;
+  const frontend::Program* program_;
+  std::vector<LoopReport> loop_reports_;
+  int inline_depth_ = 0;
+};
+
+}  // namespace eqsql::dir
+
+#endif  // EQSQL_DIR_BUILDER_H_

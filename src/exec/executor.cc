@@ -1,0 +1,753 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "exec/scalar_ops.h"
+
+namespace eqsql::exec {
+
+using catalog::Row;
+using catalog::Schema;
+using catalog::Value;
+using ra::RaNode;
+using ra::RaNodePtr;
+using ra::RaOp;
+using ra::ScalarExpr;
+using ra::ScalarExprPtr;
+using ra::ScalarOp;
+
+size_t ResultSet::WireSize() const {
+  size_t total = 0;
+  for (const Row& row : rows) total += catalog::RowWireSize(row);
+  return total;
+}
+
+Result<Value> EvalContext::LookupColumn(const std::string& name) const {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    std::optional<size_t> idx = it->schema->IndexOf(name);
+    if (idx.has_value()) return (*it->row)[*idx];
+  }
+  return Status::NotFound("unresolved column: " + name);
+}
+
+Result<Value> EvalContext::LookupParameter(int index) const {
+  if (params_ == nullptr || index < 0 ||
+      static_cast<size_t>(index) >= params_->size()) {
+    return Status::InvalidArgument("parameter index out of range: " +
+                                   std::to_string(index));
+  }
+  return (*params_)[index];
+}
+
+namespace {
+
+/// Splits an AND tree into its conjuncts.
+void SplitConjuncts(const ScalarExprPtr& pred,
+                    std::vector<ScalarExprPtr>* out) {
+  if (pred == nullptr) return;
+  if (pred->op() == ScalarOp::kAnd) {
+    SplitConjuncts(pred->child(0), out);
+    SplitConjuncts(pred->child(1), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+/// True if every column referenced in `expr` resolves in `schema`.
+bool AllRefsResolve(const ScalarExprPtr& expr, const Schema& schema) {
+  std::vector<std::string> refs;
+  ra::CollectColumnRefs(expr, &refs);
+  for (const std::string& r : refs) {
+    if (!schema.IndexOf(r).has_value()) return false;
+  }
+  return true;
+}
+
+/// True if `expr` references at least one column.
+bool HasColumnRef(const ScalarExprPtr& expr) {
+  std::vector<std::string> refs;
+  ra::CollectColumnRefs(expr, &refs);
+  return !refs.empty();
+}
+
+struct RowVecHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t seed = key.size();
+    catalog::ValueHash h;
+    for (const Value& v : key) HashCombine(seed, h(v));
+    return seed;
+  }
+};
+
+struct RowVecEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Output column name for a group key expression.
+std::string GroupKeyName(const ScalarExprPtr& key, size_t i) {
+  if (key->op() == ScalarOp::kColumnRef) return key->column_name();
+  return "key" + std::to_string(i);
+}
+
+/// Accumulator for one aggregate over one group.
+struct AggState {
+  int64_t count = 0;      // non-null inputs seen (rows for COUNT(*))
+  bool any = false;
+  bool is_double = false;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value minv;
+  Value maxv;
+
+  void Update(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (!any) {
+      any = true;
+      minv = v;
+      maxv = v;
+    } else {
+      if (v < minv) minv = v;
+      if (maxv < v) maxv = v;
+    }
+    if (v.is_numeric()) {
+      if (v.is_double()) is_double = true;
+      if (is_double) {
+        dsum = (dsum + (isum != 0 ? static_cast<double>(isum) : 0.0));
+        isum = 0;
+        dsum += v.AsNumeric();
+      } else {
+        isum += v.AsInt();
+      }
+    }
+  }
+
+  Value Finalize(ra::AggFunc func) const {
+    switch (func) {
+      case ra::AggFunc::kCountStar:
+      case ra::AggFunc::kCount:
+        return Value::Int(count);
+      case ra::AggFunc::kSum:
+        if (!any) return Value::Null();
+        return is_double ? Value::Double(dsum) : Value::Int(isum);
+      case ra::AggFunc::kMin:
+        return any ? minv : Value::Null();
+      case ra::AggFunc::kMax:
+        return any ? maxv : Value::Null();
+      case ra::AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(
+            (is_double ? dsum : static_cast<double>(isum)) /
+            static_cast<double>(count));
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<Schema> Executor::OutputSchema(const RaNode& node) const {
+  switch (node.op()) {
+    case RaOp::kScan: {
+      EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
+                             db_->GetTable(node.table_name()));
+      std::vector<catalog::Column> cols;
+      for (const catalog::Column& c : table->schema().columns()) {
+        cols.push_back({node.alias() + "." + c.name, c.type});
+      }
+      return Schema(std::move(cols));
+    }
+    case RaOp::kSelect:
+    case RaOp::kSort:
+    case RaOp::kDedup:
+    case RaOp::kLimit:
+      return OutputSchema(*node.child(0));
+    case RaOp::kProject: {
+      EQSQL_ASSIGN_OR_RETURN(Schema child, OutputSchema(*node.child(0)));
+      std::vector<catalog::Column> cols;
+      for (const ra::ProjectItem& item : node.project_items()) {
+        catalog::DataType type = catalog::DataType::kNull;
+        if (item.expr->op() == ScalarOp::kColumnRef) {
+          auto idx = child.IndexOf(item.expr->column_name());
+          if (idx.has_value()) type = child.column(*idx).type;
+        } else if (item.expr->op() == ScalarOp::kLiteral) {
+          type = item.expr->literal().type();
+        }
+        cols.push_back({item.name, type});
+      }
+      return Schema(std::move(cols));
+    }
+    case RaOp::kJoin:
+    case RaOp::kLeftOuterJoin:
+    case RaOp::kOuterApply: {
+      EQSQL_ASSIGN_OR_RETURN(Schema left, OutputSchema(*node.child(0)));
+      EQSQL_ASSIGN_OR_RETURN(Schema right, OutputSchema(*node.child(1)));
+      return left.Concat(right);
+    }
+    case RaOp::kGroupBy: {
+      EQSQL_ASSIGN_OR_RETURN(Schema child, OutputSchema(*node.child(0)));
+      std::vector<catalog::Column> cols;
+      const auto& keys = node.group_keys();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        catalog::DataType type = catalog::DataType::kNull;
+        if (keys[i]->op() == ScalarOp::kColumnRef) {
+          auto idx = child.IndexOf(keys[i]->column_name());
+          if (idx.has_value()) type = child.column(*idx).type;
+        }
+        cols.push_back({GroupKeyName(keys[i], i), type});
+      }
+      for (const ra::AggregateSpec& agg : node.aggregates()) {
+        catalog::DataType type = catalog::DataType::kInt64;
+        if (agg.func == ra::AggFunc::kAvg) type = catalog::DataType::kDouble;
+        if ((agg.func == ra::AggFunc::kMin || agg.func == ra::AggFunc::kMax ||
+             agg.func == ra::AggFunc::kSum) &&
+            agg.arg != nullptr && agg.arg->op() == ScalarOp::kColumnRef) {
+          auto idx = child.IndexOf(agg.arg->column_name());
+          if (idx.has_value()) type = child.column(*idx).type;
+        }
+        cols.push_back({agg.name, type});
+      }
+      return Schema(std::move(cols));
+    }
+  }
+  return Status::Internal("OutputSchema: unknown operator");
+}
+
+Result<ResultSet> Executor::Execute(const RaNodePtr& node,
+                                    const std::vector<Value>& params) {
+  rows_processed_ = 0;
+  EvalContext ctx(&params);
+  return Exec(*node, &ctx);
+}
+
+Result<Value> Executor::EvalScalar(const ScalarExprPtr& expr,
+                                   EvalContext* ctx) {
+  switch (expr->op()) {
+    case ScalarOp::kColumnRef:
+      return ctx->LookupColumn(expr->column_name());
+    case ScalarOp::kLiteral:
+      return expr->literal();
+    case ScalarOp::kParameter:
+      return ctx->LookupParameter(expr->parameter_index());
+    case ScalarOp::kAdd:
+    case ScalarOp::kSub:
+    case ScalarOp::kMul:
+    case ScalarOp::kDiv:
+    case ScalarOp::kMod: {
+      EQSQL_ASSIGN_OR_RETURN(Value lhs, EvalScalar(expr->child(0), ctx));
+      EQSQL_ASSIGN_OR_RETURN(Value rhs, EvalScalar(expr->child(1), ctx));
+      return EvalArithmetic(expr->op(), lhs, rhs);
+    }
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe: {
+      EQSQL_ASSIGN_OR_RETURN(Value lhs, EvalScalar(expr->child(0), ctx));
+      EQSQL_ASSIGN_OR_RETURN(Value rhs, EvalScalar(expr->child(1), ctx));
+      return EvalComparison(expr->op(), lhs, rhs);
+    }
+    case ScalarOp::kAnd: {
+      EQSQL_ASSIGN_OR_RETURN(Value lhs, EvalScalar(expr->child(0), ctx));
+      if (lhs.is_bool() && !lhs.AsBool()) return Value::Bool(false);
+      EQSQL_ASSIGN_OR_RETURN(Value rhs, EvalScalar(expr->child(1), ctx));
+      return EvalAnd(lhs, rhs);
+    }
+    case ScalarOp::kOr: {
+      EQSQL_ASSIGN_OR_RETURN(Value lhs, EvalScalar(expr->child(0), ctx));
+      if (lhs.is_bool() && lhs.AsBool()) return Value::Bool(true);
+      EQSQL_ASSIGN_OR_RETURN(Value rhs, EvalScalar(expr->child(1), ctx));
+      return EvalOr(lhs, rhs);
+    }
+    case ScalarOp::kNot: {
+      EQSQL_ASSIGN_OR_RETURN(Value v, EvalScalar(expr->child(0), ctx));
+      return EvalNot(v);
+    }
+    case ScalarOp::kNeg: {
+      EQSQL_ASSIGN_OR_RETURN(Value v, EvalScalar(expr->child(0), ctx));
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      if (v.is_double()) return Value::Double(-v.AsDouble());
+      return Status::RuntimeError("negation of non-numeric value");
+    }
+    case ScalarOp::kConcat: {
+      EQSQL_ASSIGN_OR_RETURN(Value lhs, EvalScalar(expr->child(0), ctx));
+      EQSQL_ASSIGN_OR_RETURN(Value rhs, EvalScalar(expr->child(1), ctx));
+      return EvalConcat(lhs, rhs);
+    }
+    case ScalarOp::kGreatest:
+    case ScalarOp::kLeast: {
+      std::vector<Value> args;
+      args.reserve(expr->children().size());
+      for (const auto& c : expr->children()) {
+        EQSQL_ASSIGN_OR_RETURN(Value v, EvalScalar(c, ctx));
+        args.push_back(std::move(v));
+      }
+      return EvalGreatestLeast(expr->op() == ScalarOp::kGreatest, args);
+    }
+    case ScalarOp::kCase: {
+      EQSQL_ASSIGN_OR_RETURN(Value cond, EvalScalar(expr->child(0), ctx));
+      if (IsTruthy(cond)) return EvalScalar(expr->child(1), ctx);
+      return EvalScalar(expr->child(2), ctx);
+    }
+    case ScalarOp::kIsNull: {
+      EQSQL_ASSIGN_OR_RETURN(Value v, EvalScalar(expr->child(0), ctx));
+      return Value::Bool(v.is_null());
+    }
+    case ScalarOp::kExists:
+    case ScalarOp::kNotExists: {
+      EQSQL_ASSIGN_OR_RETURN(ResultSet sub, Exec(*expr->subquery(), ctx));
+      bool exists = !sub.rows.empty();
+      return Value::Bool(expr->op() == ScalarOp::kExists ? exists : !exists);
+    }
+  }
+  return Status::Internal("EvalScalar: unknown operator");
+}
+
+Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
+  switch (node.op()) {
+    case RaOp::kScan: {
+      EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
+                             db_->GetTable(node.table_name()));
+      ResultSet out;
+      EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+      out.rows = table->rows();
+      rows_processed_ += out.rows.size();
+      return out;
+    }
+    case RaOp::kSelect: {
+      // Index fast path: a selection over a base scan whose predicate
+      // pins the table's unique key to a computable value becomes a
+      // point lookup (this is what MySQL's primary-key index does for
+      // the paper's per-row scalar queries).
+      if (node.child(0)->op() == RaOp::kScan) {
+        Result<ResultSet> fast = TryIndexLookup(node, ctx);
+        if (fast.ok()) return fast;
+      }
+      EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      ResultSet out;
+      out.schema = in.schema;
+      for (Row& row : in.rows) {
+        ctx->PushFrame(&in.schema, &row);
+        Result<Value> pred = EvalScalar(node.predicate(), ctx);
+        ctx->PopFrame();
+        if (!pred.ok()) return pred.status();
+        if (IsTruthy(*pred)) out.rows.push_back(std::move(row));
+      }
+      rows_processed_ += out.rows.size();
+      return out;
+    }
+    case RaOp::kProject: {
+      EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      ResultSet out;
+      EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+      out.rows.reserve(in.rows.size());
+      for (const Row& row : in.rows) {
+        ctx->PushFrame(&in.schema, &row);
+        Row projected;
+        projected.reserve(node.project_items().size());
+        Status status = Status::OK();
+        for (const ra::ProjectItem& item : node.project_items()) {
+          Result<Value> v = EvalScalar(item.expr, ctx);
+          if (!v.ok()) {
+            status = v.status();
+            break;
+          }
+          projected.push_back(std::move(*v));
+        }
+        ctx->PopFrame();
+        EQSQL_RETURN_IF_ERROR(status);
+        out.rows.push_back(std::move(projected));
+      }
+      rows_processed_ += out.rows.size();
+      return out;
+    }
+    case RaOp::kJoin:
+      return ExecJoin(node, /*left_outer=*/false, ctx);
+    case RaOp::kLeftOuterJoin:
+      return ExecJoin(node, /*left_outer=*/true, ctx);
+    case RaOp::kOuterApply:
+      return ExecOuterApply(node, ctx);
+    case RaOp::kGroupBy:
+      return ExecGroupBy(node, ctx);
+    case RaOp::kSort: {
+      EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      // Precompute key tuples, then stable-sort indices.
+      std::vector<std::vector<Value>> keys(in.rows.size());
+      for (size_t i = 0; i < in.rows.size(); ++i) {
+        ctx->PushFrame(&in.schema, &in.rows[i]);
+        Status status = Status::OK();
+        for (const ra::SortKey& k : node.sort_keys()) {
+          Result<Value> v = EvalScalar(k.expr, ctx);
+          if (!v.ok()) {
+            status = v.status();
+            break;
+          }
+          keys[i].push_back(std::move(*v));
+        }
+        ctx->PopFrame();
+        EQSQL_RETURN_IF_ERROR(status);
+      }
+      std::vector<size_t> order(in.rows.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      const auto& sort_keys = node.sort_keys();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) {
+                         for (size_t k = 0; k < sort_keys.size(); ++k) {
+                           const Value& va = keys[a][k];
+                           const Value& vb = keys[b][k];
+                           if (va == vb) continue;
+                           bool lt = va < vb;
+                           return sort_keys[k].ascending ? lt : !lt;
+                         }
+                         return false;
+                       });
+      ResultSet out;
+      out.schema = in.schema;
+      out.rows.reserve(in.rows.size());
+      for (size_t i : order) out.rows.push_back(std::move(in.rows[i]));
+      rows_processed_ += out.rows.size();
+      return out;
+    }
+    case RaOp::kDedup: {
+      EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      ResultSet out;
+      out.schema = in.schema;
+      std::unordered_set<std::vector<Value>, RowVecHash, RowVecEq> seen;
+      for (Row& row : in.rows) {
+        if (seen.insert(row).second) out.rows.push_back(std::move(row));
+      }
+      rows_processed_ += out.rows.size();
+      return out;
+    }
+    case RaOp::kLimit: {
+      EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      if (node.limit() >= 0 &&
+          in.rows.size() > static_cast<size_t>(node.limit())) {
+        in.rows.resize(static_cast<size_t>(node.limit()));
+      }
+      rows_processed_ += in.rows.size();
+      return in;
+    }
+  }
+  return Status::Internal("Exec: unknown operator");
+}
+
+Result<ResultSet> Executor::TryIndexLookup(const RaNode& node,
+                                           EvalContext* ctx) {
+  const RaNode& scan = *node.child(0);
+  EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
+                         db_->GetTable(scan.table_name()));
+  if (!table->unique_key().has_value()) {
+    return Status::NotFound("no key");
+  }
+  std::string key_col = scan.alias() + "." + *table->unique_key();
+
+  std::vector<ScalarExprPtr> conjuncts;
+  SplitConjuncts(node.predicate(), &conjuncts);
+  ScalarExprPtr key_expr;
+  std::vector<ScalarExprPtr> residual;
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (key_expr == nullptr && c->op() == ScalarOp::kEq) {
+      const ScalarExprPtr& a = c->child(0);
+      const ScalarExprPtr& b = c->child(1);
+      auto is_key = [&](const ScalarExprPtr& e) {
+        if (e->op() != ScalarOp::kColumnRef) return false;
+        const std::string& n = e->column_name();
+        if (n == key_col) return true;
+        size_t dot = key_col.rfind('.');
+        return n == key_col.substr(dot + 1);
+      };
+      // The other side must not reference this scan's columns.
+      EQSQL_ASSIGN_OR_RETURN(Schema scan_schema, OutputSchema(scan));
+      if (is_key(a) && !AllRefsResolve(b, scan_schema) ) {
+        key_expr = b;
+        continue;
+      }
+      if (is_key(b) && !AllRefsResolve(a, scan_schema)) {
+        key_expr = a;
+        continue;
+      }
+      // Literal/parameter sides have no refs at all.
+      if (is_key(a) && !HasColumnRef(b)) {
+        key_expr = b;
+        continue;
+      }
+      if (is_key(b) && !HasColumnRef(a)) {
+        key_expr = a;
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+  if (key_expr == nullptr) return Status::NotFound("no key equality");
+
+  EQSQL_ASSIGN_OR_RETURN(Value key, EvalScalar(key_expr, ctx));
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(scan));
+  std::optional<size_t> row_idx = table->LookupByKey(key);
+  if (row_idx.has_value()) {
+    const Row& row = table->rows()[*row_idx];
+    bool pass = true;
+    if (!residual.empty()) {
+      ctx->PushFrame(&out.schema, &row);
+      Result<Value> v = EvalScalar(ScalarExpr::MakeAnd(residual), ctx);
+      ctx->PopFrame();
+      if (!v.ok()) return v.status();
+      pass = IsTruthy(*v);
+    }
+    if (pass) out.rows.push_back(row);
+  }
+  rows_processed_ += 1;  // index probe, not a scan
+  return out;
+}
+
+Result<ResultSet> Executor::ExecJoin(const RaNode& node, bool left_outer,
+                                     EvalContext* ctx) {
+  EQSQL_ASSIGN_OR_RETURN(ResultSet left, Exec(*node.child(0), ctx));
+  EQSQL_ASSIGN_OR_RETURN(ResultSet right, Exec(*node.child(1), ctx));
+  ResultSet out;
+  out.schema = left.schema.Concat(right.schema);
+
+  // Split the predicate into hashable equi-conjuncts and a residual.
+  std::vector<ScalarExprPtr> conjuncts;
+  SplitConjuncts(node.predicate(), &conjuncts);
+  std::vector<ScalarExprPtr> left_keys, right_keys, residual;
+  for (const ScalarExprPtr& c : conjuncts) {
+    bool classified = false;
+    if (c->op() == ScalarOp::kEq) {
+      const ScalarExprPtr& a = c->child(0);
+      const ScalarExprPtr& b = c->child(1);
+      if (HasColumnRef(a) && HasColumnRef(b)) {
+        if (AllRefsResolve(a, left.schema) && AllRefsResolve(b, right.schema)) {
+          left_keys.push_back(a);
+          right_keys.push_back(b);
+          classified = true;
+        } else if (AllRefsResolve(b, left.schema) &&
+                   AllRefsResolve(a, right.schema)) {
+          left_keys.push_back(b);
+          right_keys.push_back(a);
+          classified = true;
+        }
+      }
+    }
+    if (!classified) residual.push_back(c);
+  }
+
+  ScalarExprPtr residual_pred;
+  if (!residual.empty()) residual_pred = ScalarExpr::MakeAnd(residual);
+
+  auto eval_combined = [&](const Row& lrow, const Row& rrow,
+                           const ScalarExprPtr& pred) -> Result<bool> {
+    Row combined = lrow;
+    combined.insert(combined.end(), rrow.begin(), rrow.end());
+    ctx->PushFrame(&out.schema, &combined);
+    Result<Value> v = EvalScalar(pred, ctx);
+    ctx->PopFrame();
+    if (!v.ok()) return v.status();
+    return IsTruthy(*v);
+  };
+
+  Row null_right(right.schema.size(), Value::Null());
+
+  if (!left_keys.empty()) {
+    // Hash join: build on right.
+    std::unordered_map<std::vector<Value>, std::vector<size_t>, RowVecHash,
+                       RowVecEq>
+        build;
+    for (size_t i = 0; i < right.rows.size(); ++i) {
+      std::vector<Value> key;
+      key.reserve(right_keys.size());
+      bool null_key = false;
+      ctx->PushFrame(&right.schema, &right.rows[i]);
+      Status status = Status::OK();
+      for (const ScalarExprPtr& k : right_keys) {
+        Result<Value> v = EvalScalar(k, ctx);
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        if (v->is_null()) null_key = true;
+        key.push_back(std::move(*v));
+      }
+      ctx->PopFrame();
+      EQSQL_RETURN_IF_ERROR(status);
+      if (!null_key) build[std::move(key)].push_back(i);
+    }
+    for (const Row& lrow : left.rows) {
+      std::vector<Value> key;
+      key.reserve(left_keys.size());
+      bool null_key = false;
+      ctx->PushFrame(&left.schema, &lrow);
+      Status status = Status::OK();
+      for (const ScalarExprPtr& k : left_keys) {
+        Result<Value> v = EvalScalar(k, ctx);
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        if (v->is_null()) null_key = true;
+        key.push_back(std::move(*v));
+      }
+      ctx->PopFrame();
+      EQSQL_RETURN_IF_ERROR(status);
+      bool matched = false;
+      if (!null_key) {
+        auto it = build.find(key);
+        if (it != build.end()) {
+          for (size_t ridx : it->second) {
+            const Row& rrow = right.rows[ridx];
+            if (residual_pred != nullptr) {
+              EQSQL_ASSIGN_OR_RETURN(bool pass,
+                                     eval_combined(lrow, rrow, residual_pred));
+              if (!pass) continue;
+            }
+            Row combined = lrow;
+            combined.insert(combined.end(), rrow.begin(), rrow.end());
+            out.rows.push_back(std::move(combined));
+            matched = true;
+          }
+        }
+      }
+      if (left_outer && !matched) {
+        Row combined = lrow;
+        combined.insert(combined.end(), null_right.begin(), null_right.end());
+        out.rows.push_back(std::move(combined));
+      }
+    }
+  } else {
+    // Nested loop join.
+    ScalarExprPtr pred = node.predicate();
+    for (const Row& lrow : left.rows) {
+      bool matched = false;
+      for (const Row& rrow : right.rows) {
+        bool pass = true;
+        if (pred != nullptr) {
+          EQSQL_ASSIGN_OR_RETURN(pass, eval_combined(lrow, rrow, pred));
+        }
+        if (pass) {
+          Row combined = lrow;
+          combined.insert(combined.end(), rrow.begin(), rrow.end());
+          out.rows.push_back(std::move(combined));
+          matched = true;
+        }
+      }
+      if (left_outer && !matched) {
+        Row combined = lrow;
+        combined.insert(combined.end(), null_right.begin(), null_right.end());
+        out.rows.push_back(std::move(combined));
+      }
+    }
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecOuterApply(const RaNode& node,
+                                           EvalContext* ctx) {
+  EQSQL_ASSIGN_OR_RETURN(ResultSet left, Exec(*node.child(0), ctx));
+  EQSQL_ASSIGN_OR_RETURN(Schema right_schema, OutputSchema(*node.child(1)));
+  ResultSet out;
+  out.schema = left.schema.Concat(right_schema);
+  Row null_right(right_schema.size(), Value::Null());
+  for (const Row& lrow : left.rows) {
+    ctx->PushFrame(&left.schema, &lrow);
+    Result<ResultSet> inner = Exec(*node.child(1), ctx);
+    ctx->PopFrame();
+    if (!inner.ok()) return inner.status();
+    if (inner->rows.empty()) {
+      Row combined = lrow;
+      combined.insert(combined.end(), null_right.begin(), null_right.end());
+      out.rows.push_back(std::move(combined));
+    } else {
+      for (Row& rrow : inner->rows) {
+        Row combined = lrow;
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        out.rows.push_back(std::move(combined));
+      }
+    }
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecGroupBy(const RaNode& node, EvalContext* ctx) {
+  EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+
+  const auto& keys = node.group_keys();
+  const auto& aggs = node.aggregates();
+
+  // Group index: key tuple -> position in `groups` (first-seen order).
+  std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<AggState>> group_states;
+
+  for (const Row& row : in.rows) {
+    ctx->PushFrame(&in.schema, &row);
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    Status status = Status::OK();
+    for (const ScalarExprPtr& k : keys) {
+      Result<Value> v = EvalScalar(k, ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      key.push_back(std::move(*v));
+    }
+    if (status.ok()) {
+      auto [it, inserted] = index.emplace(key, group_keys.size());
+      if (inserted) {
+        group_keys.push_back(key);
+        group_states.emplace_back(aggs.size());
+      }
+      std::vector<AggState>& states = group_states[it->second];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        if (aggs[a].func == ra::AggFunc::kCountStar) {
+          ++states[a].count;
+          continue;
+        }
+        Result<Value> v = EvalScalar(aggs[a].arg, ctx);
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        states[a].Update(*v);
+      }
+    }
+    ctx->PopFrame();
+    EQSQL_RETURN_IF_ERROR(status);
+  }
+
+  // Scalar aggregation (no keys) over empty input produces one row.
+  if (keys.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    group_states.emplace_back(aggs.size());
+  }
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = group_keys[g];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(group_states[g][a].Finalize(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+}  // namespace eqsql::exec

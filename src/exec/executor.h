@@ -1,0 +1,93 @@
+#ifndef EQSQL_EXEC_EXECUTOR_H_
+#define EQSQL_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "ra/ra_node.h"
+#include "storage/database.h"
+
+namespace eqsql::exec {
+
+/// A fully materialized query result: output schema + rows in result
+/// order (Project preserves input order; Sort imposes one).
+struct ResultSet {
+  catalog::Schema schema;
+  std::vector<catalog::Row> rows;
+
+  /// Total wire size of all rows (used by net/ to charge transfer cost).
+  size_t WireSize() const;
+};
+
+/// Evaluation context threaded through scalar evaluation: positional
+/// parameters plus a stack of (schema,row) frames for correlated column
+/// resolution (innermost frame is searched first). OuterApply and EXISTS
+/// push outer rows onto the stack.
+class EvalContext {
+ public:
+  explicit EvalContext(const std::vector<catalog::Value>* params)
+      : params_(params) {}
+
+  struct Frame {
+    const catalog::Schema* schema;
+    const catalog::Row* row;
+  };
+
+  void PushFrame(const catalog::Schema* schema, const catalog::Row* row) {
+    frames_.push_back(Frame{schema, row});
+  }
+  void PopFrame() { frames_.pop_back(); }
+  size_t depth() const { return frames_.size(); }
+
+  /// Resolves `name` innermost-first across the frame stack.
+  Result<catalog::Value> LookupColumn(const std::string& name) const;
+
+  Result<catalog::Value> LookupParameter(int index) const;
+
+ private:
+  const std::vector<catalog::Value>* params_;
+  std::vector<Frame> frames_;
+};
+
+/// Materializing evaluator for relational-algebra trees against an
+/// in-memory Database. This is the "server side" of the simulated DBMS:
+/// the net/ layer calls it and charges costs for the rows it returns.
+///
+/// Joins with extractable equi-conjuncts use hash join; everything else
+/// is a (predicated) nested loop.
+class Executor {
+ public:
+  explicit Executor(const storage::Database* db) : db_(db) {}
+
+  /// Executes `node` with positional `params` bound to '?' placeholders.
+  Result<ResultSet> Execute(const ra::RaNodePtr& node,
+                            const std::vector<catalog::Value>& params = {});
+
+  /// Output schema of `node` without executing it (used for NULL padding
+  /// in outer joins / outer apply and by the SQL generator).
+  Result<catalog::Schema> OutputSchema(const ra::RaNode& node) const;
+
+  /// Number of rows produced by all operators during the last Execute
+  /// (a crude work counter used by the net/ cost model's server term).
+  size_t last_rows_processed() const { return rows_processed_; }
+
+ private:
+  Result<ResultSet> Exec(const ra::RaNode& node, EvalContext* ctx);
+  /// Unique-key point lookup for Select(Scan); errors with kNotFound
+  /// when the fast path does not apply.
+  Result<ResultSet> TryIndexLookup(const ra::RaNode& node, EvalContext* ctx);
+  Result<catalog::Value> EvalScalar(const ra::ScalarExprPtr& expr,
+                                    EvalContext* ctx);
+  Result<ResultSet> ExecJoin(const ra::RaNode& node, bool left_outer,
+                             EvalContext* ctx);
+  Result<ResultSet> ExecOuterApply(const ra::RaNode& node, EvalContext* ctx);
+  Result<ResultSet> ExecGroupBy(const ra::RaNode& node, EvalContext* ctx);
+
+  const storage::Database* db_;
+  size_t rows_processed_ = 0;
+};
+
+}  // namespace eqsql::exec
+
+#endif  // EQSQL_EXEC_EXECUTOR_H_

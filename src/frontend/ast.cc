@@ -1,0 +1,325 @@
+#include "frontend/ast.h"
+
+#include "common/strings.h"
+
+namespace eqsql::frontend {
+
+std::string_view BinOpToString(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+// --- Expr factories ---------------------------------------------------------
+
+ExprPtr Expr::IntLit(int64_t v, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIntLit;
+  e->int_value_ = v;
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::DoubleLit(double v, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kDoubleLit;
+  e->double_value_ = v;
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::StringLit(std::string v, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kStringLit;
+  e->string_value_ = std::move(v);
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::BoolLit(bool v, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBoolLit;
+  e->bool_value_ = v;
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::NullLit(SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNullLit;
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::VarRef(std::string name, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kVarRef;
+  e->name_ = std::move(name);
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::FieldAccess(ExprPtr object, std::string field, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kFieldAccess;
+  e->object_ = std::move(object);
+  e->name_ = std::move(field);
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::Unary(UnOp op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->un_op_ = op;
+  e->args_.push_back(std::move(operand));
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->bin_op_ = op;
+  e->args_ = {std::move(lhs), std::move(rhs)};
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::Ternary(ExprPtr cond, ExprPtr then_e, ExprPtr else_e,
+                      SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kTernary;
+  e->args_ = {std::move(cond), std::move(then_e), std::move(else_e)};
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args,
+                   SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCall;
+  e->name_ = std::move(name);
+  e->args_ = std::move(args);
+  e->loc_ = loc;
+  return e;
+}
+
+ExprPtr Expr::MethodCall(ExprPtr object, std::string method,
+                         std::vector<ExprPtr> args, SourceLoc loc) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kMethodCall;
+  e->object_ = std::move(object);
+  e->name_ = std::move(method);
+  e->args_ = std::move(args);
+  e->loc_ = loc;
+  return e;
+}
+
+namespace {
+
+std::string EscapeImpString(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kIntLit:
+      return std::to_string(int_value_);
+    case ExprKind::kDoubleLit: {
+      std::string s = std::to_string(double_value_);
+      while (s.size() > 1 && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.push_back('0');
+      return s;
+    }
+    case ExprKind::kStringLit:
+      return "\"" + EscapeImpString(string_value_) + "\"";
+    case ExprKind::kBoolLit:
+      return bool_value_ ? "true" : "false";
+    case ExprKind::kNullLit:
+      return "null";
+    case ExprKind::kVarRef:
+      return name_;
+    case ExprKind::kFieldAccess:
+      return object_->ToString() + "." + name_;
+    case ExprKind::kUnary:
+      return (un_op_ == UnOp::kNot ? "!" : "-") + args_[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + args_[0]->ToString() + " " +
+             std::string(BinOpToString(bin_op_)) + " " +
+             args_[1]->ToString() + ")";
+    case ExprKind::kTernary:
+      return "(" + args_[0]->ToString() + " ? " + args_[1]->ToString() +
+             " : " + args_[2]->ToString() + ")";
+    case ExprKind::kCall:
+    case ExprKind::kMethodCall: {
+      std::vector<std::string> parts;
+      for (const ExprPtr& a : args_) parts.push_back(a->ToString());
+      std::string prefix =
+          kind_ == ExprKind::kMethodCall ? object_->ToString() + "." : "";
+      return prefix + name_ + "(" + StrJoin(parts, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+// --- Stmt factories ----------------------------------------------------------
+
+StmtPtr Stmt::Assign(std::string target, ExprPtr value, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kAssign;
+  s->target_ = std::move(target);
+  s->expr_ = std::move(value);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::ExprStmt(ExprPtr expr, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kExprStmt;
+  s->expr_ = std::move(expr);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::If(ExprPtr cond, std::vector<StmtPtr> then_body,
+                 std::vector<StmtPtr> else_body, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kIf;
+  s->expr_ = std::move(cond);
+  s->body_ = std::move(then_body);
+  s->else_body_ = std::move(else_body);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::ForEach(std::string var, ExprPtr iterable,
+                      std::vector<StmtPtr> body, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kForEach;
+  s->target_ = std::move(var);
+  s->expr_ = std::move(iterable);
+  s->body_ = std::move(body);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::While(ExprPtr cond, std::vector<StmtPtr> body, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kWhile;
+  s->expr_ = std::move(cond);
+  s->body_ = std::move(body);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::Return(ExprPtr expr, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kReturn;
+  s->expr_ = std::move(expr);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::Print(ExprPtr expr, SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kPrint;
+  s->expr_ = std::move(expr);
+  s->loc_ = loc;
+  return s;
+}
+
+StmtPtr Stmt::Break(SourceLoc loc) {
+  auto s = std::shared_ptr<Stmt>(new Stmt());
+  s->kind_ = StmtKind::kBreak;
+  s->loc_ = loc;
+  return s;
+}
+
+namespace {
+
+std::string Indent(int n) { return std::string(n, ' '); }
+
+std::string BlockToString(const std::vector<StmtPtr>& stmts, int indent) {
+  std::string out;
+  for (const StmtPtr& s : stmts) out += s->ToString(indent);
+  return out;
+}
+
+}  // namespace
+
+std::string Stmt::ToString(int indent) const {
+  std::string pad = Indent(indent);
+  switch (kind_) {
+    case StmtKind::kAssign:
+      return pad + target_ + " = " + expr_->ToString() + ";\n";
+    case StmtKind::kExprStmt:
+      return pad + expr_->ToString() + ";\n";
+    case StmtKind::kIf: {
+      std::string out = pad + "if (" + expr_->ToString() + ") {\n" +
+                        BlockToString(body_, indent + 2) + pad + "}";
+      if (!else_body_.empty()) {
+        out += " else {\n" + BlockToString(else_body_, indent + 2) + pad + "}";
+      }
+      return out + "\n";
+    }
+    case StmtKind::kForEach:
+      return pad + "for (" + target_ + " : " + expr_->ToString() + ") {\n" +
+             BlockToString(body_, indent + 2) + pad + "}\n";
+    case StmtKind::kWhile:
+      return pad + "while (" + expr_->ToString() + ") {\n" +
+             BlockToString(body_, indent + 2) + pad + "}\n";
+    case StmtKind::kReturn:
+      return pad + (expr_ ? "return " + expr_->ToString() : "return") + ";\n";
+    case StmtKind::kPrint:
+      return pad + "print(" + expr_->ToString() + ");\n";
+    case StmtKind::kBreak:
+      return pad + "break;\n";
+  }
+  return pad + "?;\n";
+}
+
+std::string Function::ToString() const {
+  std::string out = "func " + name + "(" + StrJoin(params, ", ") + ") {\n";
+  out += BlockToString(body, 2);
+  out += "}\n";
+  return out;
+}
+
+const Function* Program::Find(const std::string& name) const {
+  for (const Function& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (i != 0) out += "\n";
+    out += functions[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace eqsql::frontend

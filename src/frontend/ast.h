@@ -1,0 +1,201 @@
+#ifndef EQSQL_FRONTEND_AST_H_
+#define EQSQL_FRONTEND_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eqsql::frontend {
+
+/// Source position for diagnostics (1-based line/column).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  kBoolLit,
+  kNullLit,
+  kVarRef,       // x
+  kFieldAccess,  // t.p1  (also produced for getter calls t.getP1())
+  kUnary,        // !x, -x
+  kBinary,       // x + y, x > y, a && b, ...
+  kTernary,      // c ? a : b
+  kCall,         // f(args) — builtins (max, executeQuery, ...) or user funcs
+  kMethodCall,   // obj.m(args) — collection ops (append, insert, contains)
+};
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNot, kNeg };
+
+std::string_view BinOpToString(BinOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable ImpLang expression node. Use the factory functions;
+/// nodes are shared freely between original and rewritten ASTs.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  const SourceLoc& loc() const { return loc_; }
+
+  int64_t int_value() const { return int_value_; }
+  double double_value() const { return double_value_; }
+  const std::string& string_value() const { return string_value_; }
+  bool bool_value() const { return bool_value_; }
+
+  /// kVarRef: variable name; kFieldAccess: field name;
+  /// kCall: function name; kMethodCall: method name.
+  const std::string& name() const { return name_; }
+  /// kFieldAccess / kMethodCall receiver.
+  const ExprPtr& object() const { return object_; }
+  BinOp bin_op() const { return bin_op_; }
+  UnOp un_op() const { return un_op_; }
+  /// kCall / kMethodCall arguments; kBinary: {lhs, rhs}; kUnary:
+  /// {operand}; kTernary: {cond, then, else}.
+  const std::vector<ExprPtr>& args() const { return args_; }
+  const ExprPtr& arg(size_t i) const { return args_[i]; }
+
+  /// Renders the expression as ImpLang source text.
+  std::string ToString() const;
+
+  // --- factories ---------------------------------------------------------
+  static ExprPtr IntLit(int64_t v, SourceLoc loc = {});
+  static ExprPtr DoubleLit(double v, SourceLoc loc = {});
+  static ExprPtr StringLit(std::string v, SourceLoc loc = {});
+  static ExprPtr BoolLit(bool v, SourceLoc loc = {});
+  static ExprPtr NullLit(SourceLoc loc = {});
+  static ExprPtr VarRef(std::string name, SourceLoc loc = {});
+  static ExprPtr FieldAccess(ExprPtr object, std::string field,
+                             SourceLoc loc = {});
+  static ExprPtr Unary(UnOp op, ExprPtr operand, SourceLoc loc = {});
+  static ExprPtr Binary(BinOp op, ExprPtr lhs, ExprPtr rhs,
+                        SourceLoc loc = {});
+  static ExprPtr Ternary(ExprPtr cond, ExprPtr then_e, ExprPtr else_e,
+                         SourceLoc loc = {});
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args,
+                      SourceLoc loc = {});
+  static ExprPtr MethodCall(ExprPtr object, std::string method,
+                            std::vector<ExprPtr> args, SourceLoc loc = {});
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kNullLit;
+  SourceLoc loc_;
+  int64_t int_value_ = 0;
+  double double_value_ = 0;
+  std::string string_value_;
+  bool bool_value_ = false;
+  std::string name_;
+  ExprPtr object_;
+  BinOp bin_op_ = BinOp::kAdd;
+  UnOp un_op_ = UnOp::kNot;
+  std::vector<ExprPtr> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kAssign,    // x = expr;
+  kExprStmt,  // expr;  (method calls with side effects, user calls)
+  kIf,        // if (cond) {..} [else {..}]
+  kForEach,   // for (v : iterable) {..}   — the paper's cursor loop
+  kWhile,     // while (cond) {..}         — parsed; not extractable
+  kReturn,    // return [expr];
+  kPrint,     // print(expr);
+  kBreak,     // break;                    — parsed; blocks extraction
+};
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// An immutable ImpLang statement. Analyses key their maps on the node
+/// address (`const Stmt*`), which is stable because nodes are immutable
+/// and shared.
+class Stmt {
+ public:
+  StmtKind kind() const { return kind_; }
+  const SourceLoc& loc() const { return loc_; }
+
+  /// kAssign: assigned variable; kForEach: loop cursor variable.
+  const std::string& target() const { return target_; }
+  /// kAssign: rhs; kIf/kWhile: condition; kForEach: iterable;
+  /// kReturn/kPrint/kExprStmt: the expression (may be null for bare
+  /// return).
+  const ExprPtr& expr() const { return expr_; }
+  /// kIf: then-branch; kForEach/kWhile: loop body.
+  const std::vector<StmtPtr>& body() const { return body_; }
+  /// kIf: else-branch (possibly empty).
+  const std::vector<StmtPtr>& else_body() const { return else_body_; }
+
+  /// Renders as ImpLang source, indented by `indent` spaces.
+  std::string ToString(int indent = 0) const;
+
+  // --- factories ---------------------------------------------------------
+  static StmtPtr Assign(std::string target, ExprPtr value,
+                        SourceLoc loc = {});
+  static StmtPtr ExprStmt(ExprPtr expr, SourceLoc loc = {});
+  static StmtPtr If(ExprPtr cond, std::vector<StmtPtr> then_body,
+                    std::vector<StmtPtr> else_body, SourceLoc loc = {});
+  static StmtPtr ForEach(std::string var, ExprPtr iterable,
+                         std::vector<StmtPtr> body, SourceLoc loc = {});
+  static StmtPtr While(ExprPtr cond, std::vector<StmtPtr> body,
+                       SourceLoc loc = {});
+  static StmtPtr Return(ExprPtr expr, SourceLoc loc = {});
+  static StmtPtr Print(ExprPtr expr, SourceLoc loc = {});
+  static StmtPtr Break(SourceLoc loc = {});
+
+ private:
+  Stmt() = default;
+
+  StmtKind kind_ = StmtKind::kExprStmt;
+  SourceLoc loc_;
+  std::string target_;
+  ExprPtr expr_;
+  std::vector<StmtPtr> body_;
+  std::vector<StmtPtr> else_body_;
+};
+
+// ---------------------------------------------------------------------------
+// Functions and programs
+// ---------------------------------------------------------------------------
+
+/// One ImpLang function.
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+
+  std::string ToString() const;
+};
+
+/// A parsed ImpLang program (one or more functions).
+struct Program {
+  std::vector<Function> functions;
+
+  const Function* Find(const std::string& name) const;
+  std::string ToString() const;
+};
+
+}  // namespace eqsql::frontend
+
+#endif  // EQSQL_FRONTEND_AST_H_

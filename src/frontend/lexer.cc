@@ -1,0 +1,217 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace eqsql::frontend {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>({
+      "func", "if", "else", "for", "while", "return", "print", "break",
+      "true", "false", "null",
+  });
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Tok>> TokenizeImp(std::string_view input) {
+  std::vector<Tok> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  int line = 1, col = 1;
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (input[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokKind kind, std::string text, SourceLoc loc) {
+    tokens.push_back(Tok{kind, std::move(text), 0, loc});
+  };
+
+  while (i < n) {
+    char c = input[i];
+    SourceLoc loc{line, col};
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) {
+        advance(1);
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at line " +
+                                  std::to_string(loc.line));
+      }
+      advance(2);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) advance(1);
+      std::string word(input.substr(start, i - start));
+      TokKind kind = Keywords().count(word) > 0 ? TokKind::kKeyword
+                                                : TokKind::kIdent;
+      push(kind, std::move(word), loc);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (!is_double && input[i] == '.' && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(
+                            input[i + 1]))))) {
+        if (input[i] == '.') is_double = true;
+        advance(1);
+      }
+      Tok t;
+      t.kind = is_double ? TokKind::kDoubleLit : TokKind::kIntLit;
+      t.text = std::string(input.substr(start, i - start));
+      t.number = std::stod(t.text);
+      t.loc = loc;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          char esc = input[i + 1];
+          advance(2);
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '"': text += '"'; break;
+            case '\\': text += '\\'; break;
+            default:
+              return Status::ParseError("bad escape at line " +
+                                        std::to_string(loc.line));
+          }
+          continue;
+        }
+        if (input[i] == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        text += input[i];
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(loc.line));
+      }
+      Tok t;
+      t.kind = TokKind::kStringLit;
+      t.text = std::move(text);
+      t.loc = loc;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < n && input[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokKind::kLParen, "(", loc); advance(1); break;
+      case ')': push(TokKind::kRParen, ")", loc); advance(1); break;
+      case '{': push(TokKind::kLBrace, "{", loc); advance(1); break;
+      case '}': push(TokKind::kRBrace, "}", loc); advance(1); break;
+      case ',': push(TokKind::kComma, ",", loc); advance(1); break;
+      case ';': push(TokKind::kSemi, ";", loc); advance(1); break;
+      case ':': push(TokKind::kColon, ":", loc); advance(1); break;
+      case '.': push(TokKind::kDot, ".", loc); advance(1); break;
+      case '?': push(TokKind::kQuestion, "?", loc); advance(1); break;
+      case '+': push(TokKind::kPlus, "+", loc); advance(1); break;
+      case '-': push(TokKind::kMinus, "-", loc); advance(1); break;
+      case '*': push(TokKind::kStar, "*", loc); advance(1); break;
+      case '/': push(TokKind::kSlash, "/", loc); advance(1); break;
+      case '%': push(TokKind::kPercent, "%", loc); advance(1); break;
+      case '=':
+        if (two('=')) {
+          push(TokKind::kEq, "==", loc);
+          advance(2);
+        } else {
+          push(TokKind::kAssign, "=", loc);
+          advance(1);
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokKind::kNe, "!=", loc);
+          advance(2);
+        } else {
+          push(TokKind::kBang, "!", loc);
+          advance(1);
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokKind::kLe, "<=", loc);
+          advance(2);
+        } else {
+          push(TokKind::kLt, "<", loc);
+          advance(1);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokKind::kGe, ">=", loc);
+          advance(2);
+        } else {
+          push(TokKind::kGt, ">", loc);
+          advance(1);
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(TokKind::kAndAnd, "&&", loc);
+          advance(2);
+        } else {
+          return Status::ParseError("unexpected '&' at line " +
+                                    std::to_string(loc.line));
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push(TokKind::kOrOr, "||", loc);
+          advance(2);
+        } else {
+          return Status::ParseError("unexpected '|' at line " +
+                                    std::to_string(loc.line));
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(loc.line));
+    }
+  }
+  tokens.push_back(Tok{TokKind::kEnd, "", 0, SourceLoc{line, col}});
+  return tokens;
+}
+
+}  // namespace eqsql::frontend

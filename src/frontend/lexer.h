@@ -1,0 +1,44 @@
+#ifndef EQSQL_FRONTEND_LEXER_H_
+#define EQSQL_FRONTEND_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "frontend/ast.h"
+
+namespace eqsql::frontend {
+
+/// ImpLang token kinds.
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kKeyword,   // func if else for while return print break true false null
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace,
+  kComma, kSemi, kColon, kDot,
+  kAssign,   // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr, kBang,
+  kQuestion,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0;
+  SourceLoc loc;
+};
+
+/// Tokenizes ImpLang source. Supports // line comments and /* block */
+/// comments; string literals use double quotes with backslash escapes.
+Result<std::vector<Tok>> TokenizeImp(std::string_view input);
+
+}  // namespace eqsql::frontend
+
+#endif  // EQSQL_FRONTEND_LEXER_H_

@@ -1,0 +1,416 @@
+#include "interp/interpreter.h"
+
+#include "analysis/effects.h"
+#include "exec/scalar_ops.h"
+
+namespace eqsql::interp {
+
+using catalog::Value;
+using frontend::BinOp;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ExprPtr;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+constexpr int kMaxCallDepth = 64;
+
+Result<Value> AsScalar(const RtValue& v, const std::string& what) {
+  if (!v.is_scalar()) {
+    return Status::RuntimeError(what + " must be a scalar, got " +
+                                v.DisplayString());
+  }
+  return v.scalar();
+}
+
+/// NULL-ignoring max/min (see class comment).
+Value MaxMinIgnoringNull(bool is_max, const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  bool take_b = is_max ? (a < b) : (b < a);
+  return take_b ? b : a;
+}
+
+ra::ScalarOp BinToScalarOp(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return ra::ScalarOp::kAdd;
+    case BinOp::kSub: return ra::ScalarOp::kSub;
+    case BinOp::kMul: return ra::ScalarOp::kMul;
+    case BinOp::kDiv: return ra::ScalarOp::kDiv;
+    case BinOp::kMod: return ra::ScalarOp::kMod;
+    case BinOp::kEq: return ra::ScalarOp::kEq;
+    case BinOp::kNe: return ra::ScalarOp::kNe;
+    case BinOp::kLt: return ra::ScalarOp::kLt;
+    case BinOp::kLe: return ra::ScalarOp::kLe;
+    case BinOp::kGt: return ra::ScalarOp::kGt;
+    case BinOp::kGe: return ra::ScalarOp::kGe;
+    default: return ra::ScalarOp::kAnd;  // unreachable for arithmetic path
+  }
+}
+
+}  // namespace
+
+Result<RtValue> Interpreter::Run(const std::string& function,
+                                 std::vector<RtValue> args) {
+  const frontend::Function* fn = program_->Find(function);
+  if (fn == nullptr) {
+    return Status::NotFound("function not found: " + function);
+  }
+  if (fn->params.size() != args.size()) {
+    return Status::InvalidArgument("arity mismatch calling " + function);
+  }
+  if (call_depth_ >= kMaxCallDepth) {
+    return Status::RuntimeError("call depth exceeded in " + function);
+  }
+  ++call_depth_;
+  Env env;
+  for (size_t i = 0; i < args.size(); ++i) {
+    env[fn->params[i]] = std::move(args[i]);
+  }
+  RtValue ret;
+  Result<Signal> signal = ExecBlock(fn->body, &env, &ret);
+  --call_depth_;
+  EQSQL_RETURN_IF_ERROR(signal.status());
+  return ret;
+}
+
+Result<Interpreter::Signal> Interpreter::ExecBlock(
+    const std::vector<StmtPtr>& stmts, Env* env, RtValue* ret) {
+  for (const StmtPtr& stmt : stmts) {
+    EQSQL_ASSIGN_OR_RETURN(Signal signal, ExecStmt(stmt, env, ret));
+    if (signal != Signal::kNone) return signal;
+  }
+  return Signal::kNone;
+}
+
+Result<Interpreter::Signal> Interpreter::ExecStmt(const StmtPtr& stmt,
+                                                  Env* env, RtValue* ret) {
+  conn_->ChargeClientOps(1);
+  switch (stmt->kind()) {
+    case StmtKind::kAssign: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue value, Eval(stmt->expr(), env));
+      (*env)[stmt->target()] = std::move(value);
+      return Signal::kNone;
+    }
+    case StmtKind::kExprStmt:
+      EQSQL_RETURN_IF_ERROR(Eval(stmt->expr(), env).status());
+      return Signal::kNone;
+    case StmtKind::kPrint: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue value, Eval(stmt->expr(), env));
+      printed_.push_back(value.DisplayString());
+      return Signal::kNone;
+    }
+    case StmtKind::kReturn: {
+      if (stmt->expr() != nullptr) {
+        EQSQL_ASSIGN_OR_RETURN(*ret, Eval(stmt->expr(), env));
+      }
+      return Signal::kReturn;
+    }
+    case StmtKind::kBreak:
+      return Signal::kBreak;
+    case StmtKind::kIf: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue cond, Eval(stmt->expr(), env));
+      EQSQL_ASSIGN_OR_RETURN(Value flag, AsScalar(cond, "if condition"));
+      bool truthy = exec::IsTruthy(flag);
+      return ExecBlock(truthy ? stmt->body() : stmt->else_body(), env, ret);
+    }
+    case StmtKind::kForEach: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue iterable, Eval(stmt->expr(), env));
+      std::vector<RtValue> elements;
+      if (iterable.is_result_set()) {
+        const auto& rs = iterable.result_set();
+        for (const catalog::Row& row : rs->rows) {
+          auto obj = std::make_shared<RowObject>();
+          obj->schema = rs->schema;
+          obj->row = row;
+          elements.emplace_back(std::move(obj));
+        }
+      } else if (iterable.is_list()) {
+        elements = iterable.list()->items;
+      } else if (iterable.is_set()) {
+        elements = iterable.set()->items;
+      } else {
+        return Status::RuntimeError("cannot iterate over " +
+                                    iterable.DisplayString());
+      }
+      for (RtValue& element : elements) {
+        (*env)[stmt->target()] = std::move(element);
+        EQSQL_ASSIGN_OR_RETURN(Signal signal,
+                               ExecBlock(stmt->body(), env, ret));
+        if (signal == Signal::kBreak) break;
+        if (signal == Signal::kReturn) return Signal::kReturn;
+      }
+      return Signal::kNone;
+    }
+    case StmtKind::kWhile: {
+      for (int guard = 0; guard < 10'000'000; ++guard) {
+        EQSQL_ASSIGN_OR_RETURN(RtValue cond, Eval(stmt->expr(), env));
+        EQSQL_ASSIGN_OR_RETURN(Value flag, AsScalar(cond, "while condition"));
+        if (!exec::IsTruthy(flag)) return Signal::kNone;
+        EQSQL_ASSIGN_OR_RETURN(Signal signal,
+                               ExecBlock(stmt->body(), env, ret));
+        if (signal == Signal::kBreak) return Signal::kNone;
+        if (signal == Signal::kReturn) return Signal::kReturn;
+      }
+      return Status::RuntimeError("while loop exceeded iteration guard");
+    }
+  }
+  return Status::Internal("ExecStmt: unknown statement kind");
+}
+
+Result<catalog::Value> Interpreter::EvalScalarArg(const ExprPtr& expr,
+                                                  Env* env) {
+  EQSQL_ASSIGN_OR_RETURN(RtValue v, Eval(expr, env));
+  return AsScalar(v, "query parameter");
+}
+
+Result<RtValue> Interpreter::Eval(const ExprPtr& expr, Env* env) {
+  switch (expr->kind()) {
+    case ExprKind::kIntLit:
+      return RtValue(Value::Int(expr->int_value()));
+    case ExprKind::kDoubleLit:
+      return RtValue(Value::Double(expr->double_value()));
+    case ExprKind::kStringLit:
+      return RtValue(Value::String(expr->string_value()));
+    case ExprKind::kBoolLit:
+      return RtValue(Value::Bool(expr->bool_value()));
+    case ExprKind::kNullLit:
+      return RtValue(Value::Null());
+    case ExprKind::kVarRef: {
+      auto it = env->find(expr->name());
+      if (it == env->end()) {
+        return Status::RuntimeError("undefined variable: " + expr->name());
+      }
+      return it->second;
+    }
+    case ExprKind::kFieldAccess: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue obj, Eval(expr->object(), env));
+      if (!obj.is_row()) {
+        return Status::RuntimeError("field access on non-row value: " +
+                                    expr->ToString());
+      }
+      const auto& row = obj.row();
+      auto idx = row->schema->IndexOf(expr->name());
+      if (!idx.has_value()) {
+        return Status::RuntimeError("row has no attribute '" + expr->name() +
+                                    "' (schema: " + row->schema->ToString() +
+                                    ")");
+      }
+      return RtValue(row->row[*idx]);
+    }
+    case ExprKind::kUnary: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue operand, Eval(expr->arg(0), env));
+      EQSQL_ASSIGN_OR_RETURN(Value v, AsScalar(operand, "unary operand"));
+      if (expr->un_op() == frontend::UnOp::kNot) {
+        return RtValue(exec::EvalNot(v));
+      }
+      if (v.is_null()) return RtValue(Value::Null());
+      if (v.is_int()) return RtValue(Value::Int(-v.AsInt()));
+      if (v.is_double()) return RtValue(Value::Double(-v.AsDouble()));
+      return Status::RuntimeError("negation of non-numeric value");
+    }
+    case ExprKind::kBinary: {
+      BinOp op = expr->bin_op();
+      if (op == BinOp::kAnd || op == BinOp::kOr) {
+        EQSQL_ASSIGN_OR_RETURN(RtValue lhs, Eval(expr->arg(0), env));
+        EQSQL_ASSIGN_OR_RETURN(Value lv, AsScalar(lhs, "boolean operand"));
+        // Short circuit.
+        if (op == BinOp::kAnd && lv.is_bool() && !lv.AsBool()) {
+          return RtValue(Value::Bool(false));
+        }
+        if (op == BinOp::kOr && lv.is_bool() && lv.AsBool()) {
+          return RtValue(Value::Bool(true));
+        }
+        EQSQL_ASSIGN_OR_RETURN(RtValue rhs, Eval(expr->arg(1), env));
+        EQSQL_ASSIGN_OR_RETURN(Value rv, AsScalar(rhs, "boolean operand"));
+        return RtValue(op == BinOp::kAnd ? exec::EvalAnd(lv, rv)
+                                         : exec::EvalOr(lv, rv));
+      }
+      EQSQL_ASSIGN_OR_RETURN(RtValue lhs, Eval(expr->arg(0), env));
+      EQSQL_ASSIGN_OR_RETURN(RtValue rhs, Eval(expr->arg(1), env));
+      EQSQL_ASSIGN_OR_RETURN(Value lv, AsScalar(lhs, "operand"));
+      EQSQL_ASSIGN_OR_RETURN(Value rv, AsScalar(rhs, "operand"));
+      ra::ScalarOp sop = BinToScalarOp(op);
+      if (ra::IsComparisonOp(sop)) {
+        EQSQL_ASSIGN_OR_RETURN(Value out, exec::EvalComparison(sop, lv, rv));
+        return RtValue(std::move(out));
+      }
+      EQSQL_ASSIGN_OR_RETURN(Value out, exec::EvalArithmetic(sop, lv, rv));
+      return RtValue(std::move(out));
+    }
+    case ExprKind::kTernary: {
+      EQSQL_ASSIGN_OR_RETURN(RtValue cond, Eval(expr->arg(0), env));
+      EQSQL_ASSIGN_OR_RETURN(Value flag, AsScalar(cond, "ternary condition"));
+      return Eval(exec::IsTruthy(flag) ? expr->arg(1) : expr->arg(2), env);
+    }
+    case ExprKind::kCall:
+      return EvalCall(*expr, env);
+    case ExprKind::kMethodCall:
+      return EvalMethod(*expr, env);
+  }
+  return Status::Internal("Eval: unknown expression kind");
+}
+
+Result<RtValue> Interpreter::EvalCall(const Expr& call, Env* env) {
+  const std::string& name = call.name();
+  if (name == "executeQuery") {
+    if (call.args().empty() ||
+        call.args()[0]->kind() != ExprKind::kStringLit) {
+      return Status::RuntimeError("executeQuery needs a literal query");
+    }
+    std::vector<Value> params;
+    for (size_t i = 1; i < call.args().size(); ++i) {
+      EQSQL_ASSIGN_OR_RETURN(Value p, EvalScalarArg(call.args()[i], env));
+      params.push_back(std::move(p));
+    }
+    EQSQL_ASSIGN_OR_RETURN(
+        exec::ResultSet rs,
+        conn_->ExecuteSql(call.args()[0]->string_value(), params));
+    auto obj = std::make_shared<ResultSetObject>();
+    obj->schema = std::make_shared<catalog::Schema>(std::move(rs.schema));
+    obj->rows = std::move(rs.rows);
+    return RtValue(std::move(obj));
+  }
+  if (name == "executeUpdate") {
+    if (call.args().empty() ||
+        call.args()[0]->kind() != ExprKind::kStringLit) {
+      return Status::RuntimeError("executeUpdate needs a literal statement");
+    }
+    for (size_t i = 1; i < call.args().size(); ++i) {
+      EQSQL_RETURN_IF_ERROR(EvalScalarArg(call.args()[i], env).status());
+    }
+    conn_->SimulateUpdate(call.args()[0]->string_value());
+    return RtValue(Value::Int(0));
+  }
+  if (name == "max" || name == "min") {
+    if (call.args().size() < 2) {
+      return Status::RuntimeError("max/min needs at least two arguments");
+    }
+    bool is_max = name == "max";
+    EQSQL_ASSIGN_OR_RETURN(Value acc, EvalScalarArg(call.args()[0], env));
+    for (size_t i = 1; i < call.args().size(); ++i) {
+      EQSQL_ASSIGN_OR_RETURN(Value next, EvalScalarArg(call.args()[i], env));
+      acc = MaxMinIgnoringNull(is_max, acc, next);
+    }
+    return RtValue(std::move(acc));
+  }
+  if (name == "abs" && call.args().size() == 1) {
+    EQSQL_ASSIGN_OR_RETURN(Value v, EvalScalarArg(call.args()[0], env));
+    if (v.is_null()) return RtValue(Value::Null());
+    if (v.is_int()) return RtValue(Value::Int(std::abs(v.AsInt())));
+    return RtValue(Value::Double(std::abs(v.AsNumeric())));
+  }
+  if (name == "coalesce" && call.args().size() == 2) {
+    EQSQL_ASSIGN_OR_RETURN(Value a, EvalScalarArg(call.args()[0], env));
+    if (!a.is_null()) return RtValue(std::move(a));
+    EQSQL_ASSIGN_OR_RETURN(Value b, EvalScalarArg(call.args()[1], env));
+    return RtValue(std::move(b));
+  }
+  if (name == "scalar" && call.args().size() == 1) {
+    EQSQL_ASSIGN_OR_RETURN(RtValue rs, Eval(call.args()[0], env));
+    if (!rs.is_result_set()) {
+      return Status::RuntimeError("scalar() expects a query result");
+    }
+    if (rs.result_set()->rows.empty() ||
+        rs.result_set()->rows[0].empty()) {
+      return RtValue(Value::Null());
+    }
+    return RtValue(rs.result_set()->rows[0][0]);
+  }
+  if (name == "toSet" && call.args().size() == 1) {
+    EQSQL_ASSIGN_OR_RETURN(RtValue rs, Eval(call.args()[0], env));
+    if (!rs.is_result_set()) {
+      return Status::RuntimeError("toSet() expects a query result");
+    }
+    auto out = std::make_shared<SetObject>();
+    for (const catalog::Row& row : rs.result_set()->rows) {
+      if (row.size() == 1) {
+        out->Insert(RtValue(row[0]));
+      } else {
+        auto tuple = std::make_shared<TupleObject>();
+        for (const catalog::Value& v : row) tuple->items.push_back(RtValue(v));
+        out->Insert(RtValue(std::move(tuple)));
+      }
+    }
+    return RtValue(std::move(out));
+  }
+  if (name == "list") return RtValue(std::make_shared<ListObject>());
+  if (name == "set") return RtValue(std::make_shared<SetObject>());
+  if (name == "pair" || name == "tuple") {
+    auto tuple = std::make_shared<TupleObject>();
+    for (const ExprPtr& arg : call.args()) {
+      EQSQL_ASSIGN_OR_RETURN(RtValue v, Eval(arg, env));
+      tuple->items.push_back(std::move(v));
+    }
+    return RtValue(std::move(tuple));
+  }
+  if (name == "concat") {
+    std::string out;
+    for (const ExprPtr& arg : call.args()) {
+      EQSQL_ASSIGN_OR_RETURN(RtValue v, Eval(arg, env));
+      out += v.DisplayString();
+    }
+    return RtValue(Value::String(std::move(out)));
+  }
+  // User-defined function.
+  std::vector<RtValue> args;
+  for (const ExprPtr& arg : call.args()) {
+    EQSQL_ASSIGN_OR_RETURN(RtValue v, Eval(arg, env));
+    args.push_back(std::move(v));
+  }
+  return Run(name, std::move(args));
+}
+
+Result<RtValue> Interpreter::EvalMethod(const Expr& call, Env* env) {
+  EQSQL_ASSIGN_OR_RETURN(RtValue obj, Eval(call.object(), env));
+  const std::string& method = call.name();
+  if (method == "append" || method == "add" || method == "insert" ||
+      method == "put") {
+    if (call.args().size() != 1) {
+      return Status::RuntimeError(method + " expects one argument");
+    }
+    EQSQL_ASSIGN_OR_RETURN(RtValue elem, Eval(call.args()[0], env));
+    if (obj.is_list()) {
+      obj.list()->items.push_back(std::move(elem));
+      return obj;
+    }
+    if (obj.is_set()) {
+      obj.set()->Insert(std::move(elem));
+      return obj;
+    }
+    return Status::RuntimeError(method + " on non-collection value");
+  }
+  if (method == "size") {
+    if (obj.is_list()) {
+      return RtValue(Value::Int(static_cast<int64_t>(obj.list()->items.size())));
+    }
+    if (obj.is_set()) {
+      return RtValue(Value::Int(static_cast<int64_t>(obj.set()->items.size())));
+    }
+    if (obj.is_result_set()) {
+      return RtValue(
+          Value::Int(static_cast<int64_t>(obj.result_set()->rows.size())));
+    }
+    return Status::RuntimeError("size() on non-collection value");
+  }
+  if (method == "contains" && call.args().size() == 1) {
+    EQSQL_ASSIGN_OR_RETURN(RtValue elem, Eval(call.args()[0], env));
+    std::string key = elem.DisplayString();
+    const std::vector<RtValue>* items = nullptr;
+    if (obj.is_list()) items = &obj.list()->items;
+    if (obj.is_set()) items = &obj.set()->items;
+    if (items == nullptr) {
+      return Status::RuntimeError("contains() on non-collection value");
+    }
+    for (const RtValue& item : *items) {
+      if (item.DisplayString() == key) return RtValue(Value::Bool(true));
+    }
+    return RtValue(Value::Bool(false));
+  }
+  return Status::RuntimeError("unsupported method: " + method);
+}
+
+}  // namespace eqsql::interp

@@ -1,0 +1,64 @@
+#ifndef EQSQL_INTERP_INTERPRETER_H_
+#define EQSQL_INTERP_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "frontend/ast.h"
+#include "interp/value.h"
+#include "net/connection.h"
+
+namespace eqsql::interp {
+
+/// A tree-walking interpreter for ImpLang programs.
+///
+/// Queries execute through a net::Connection, so running a program also
+/// accumulates the simulated cost-model statistics (round trips, bytes,
+/// simulated time) that the benchmark harness reports. Prints are
+/// captured into `printed()` in order — the equivalence tests compare
+/// printed output and return values between the original and rewritten
+/// programs.
+///
+/// Builtins: executeQuery, executeUpdate, scalar, max, min, abs,
+/// coalesce, list, set, pair/tuple, concat. max/min ignore NULL
+/// arguments (Java's Math.max never sees SQL NULLs; this also makes the
+/// T6 rewrite max(init, MAX-query) exact on empty inputs).
+class Interpreter {
+ public:
+  Interpreter(const frontend::Program* program, net::Connection* conn)
+      : program_(program), conn_(conn) {}
+
+  /// Runs `function` with scalar arguments; returns its return value
+  /// (NULL scalar if the function does not return).
+  Result<RtValue> Run(const std::string& function,
+                      std::vector<RtValue> args = {});
+
+  const std::vector<std::string>& printed() const { return printed_; }
+  void ClearOutput() { printed_.clear(); }
+
+ private:
+  using Env = std::map<std::string, RtValue>;
+
+  enum class Signal { kNone, kBreak, kReturn };
+
+  Result<Signal> ExecBlock(const std::vector<frontend::StmtPtr>& stmts,
+                           Env* env, RtValue* ret);
+  Result<Signal> ExecStmt(const frontend::StmtPtr& stmt, Env* env,
+                          RtValue* ret);
+  Result<RtValue> Eval(const frontend::ExprPtr& expr, Env* env);
+  Result<RtValue> EvalCall(const frontend::Expr& call, Env* env);
+  Result<RtValue> EvalMethod(const frontend::Expr& call, Env* env);
+  Result<catalog::Value> EvalScalarArg(const frontend::ExprPtr& expr,
+                                       Env* env);
+
+  const frontend::Program* program_;
+  net::Connection* conn_;
+  std::vector<std::string> printed_;
+  int call_depth_ = 0;
+};
+
+}  // namespace eqsql::interp
+
+#endif  // EQSQL_INTERP_INTERPRETER_H_

@@ -1,0 +1,61 @@
+#include "interp/value.h"
+
+#include "common/strings.h"
+
+namespace eqsql::interp {
+
+bool SetObject::Insert(RtValue value) {
+  std::string key = value.DisplayString();
+  for (const std::string& existing : keys) {
+    if (existing == key) return false;
+  }
+  keys.push_back(std::move(key));
+  items.push_back(std::move(value));
+  return true;
+}
+
+namespace {
+
+std::string ScalarDisplay(const catalog::Value& v) {
+  if (v.is_string()) return v.AsString();  // no quotes in display form
+  return v.ToString();
+}
+
+std::string JoinDisplay(const std::vector<RtValue>& items,
+                        const char* open, const char* close) {
+  std::vector<std::string> parts;
+  parts.reserve(items.size());
+  for (const RtValue& item : items) parts.push_back(item.DisplayString());
+  return std::string(open) + StrJoin(parts, ", ") + close;
+}
+
+}  // namespace
+
+std::string RtValue::DisplayString() const {
+  if (is_scalar()) return ScalarDisplay(scalar());
+  if (is_row()) {
+    std::vector<std::string> parts;
+    for (const catalog::Value& v : row()->row) {
+      parts.push_back(ScalarDisplay(v));
+    }
+    return "(" + StrJoin(parts, ", ") + ")";
+  }
+  if (is_list()) return JoinDisplay(list()->items, "[", "]");
+  if (is_set()) return JoinDisplay(set()->items, "{", "}");
+  if (is_tuple()) return JoinDisplay(tuple()->items, "(", ")");
+  // Result set. Single-column results display like lists of scalars so
+  // they compare equal to the imperative lists they replace.
+  std::vector<std::string> parts;
+  for (const catalog::Row& r : result_set()->rows) {
+    if (r.size() == 1) {
+      parts.push_back(ScalarDisplay(r[0]));
+      continue;
+    }
+    std::vector<std::string> cols;
+    for (const catalog::Value& v : r) cols.push_back(ScalarDisplay(v));
+    parts.push_back("(" + StrJoin(cols, ", ") + ")");
+  }
+  return "[" + StrJoin(parts, ", ") + "]";
+}
+
+}  // namespace eqsql::interp

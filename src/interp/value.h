@@ -1,0 +1,115 @@
+#ifndef EQSQL_INTERP_VALUE_H_
+#define EQSQL_INTERP_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "exec/executor.h"
+
+namespace eqsql::interp {
+
+class RtValue;
+
+/// A database row bound to its result-set schema (cursor tuples).
+struct RowObject {
+  std::shared_ptr<const catalog::Schema> schema;
+  catalog::Row row;
+};
+
+/// A mutable ordered collection with Java-like reference semantics.
+struct ListObject {
+  std::vector<RtValue> items;
+};
+
+/// A mutable set preserving insertion order, deduplicating by display
+/// string (sufficient for scalar and tuple elements).
+struct SetObject {
+  std::vector<RtValue> items;
+  std::vector<std::string> keys;  // parallel display-string keys
+
+  bool Insert(RtValue value);
+};
+
+/// An immutable tuple (pair(...) / tuple(...) builtins).
+struct TupleObject {
+  std::vector<RtValue> items;
+};
+
+/// A materialized query result.
+struct ResultSetObject {
+  std::shared_ptr<const catalog::Schema> schema;
+  std::vector<catalog::Row> rows;
+};
+
+/// An ImpLang runtime value: a SQL scalar or a reference to a heap
+/// object (row, list, set, tuple, result set). References share the
+/// underlying object, matching Java collection semantics.
+class RtValue {
+ public:
+  RtValue() : data_(catalog::Value()) {}
+  /*implicit*/ RtValue(catalog::Value v) : data_(std::move(v)) {}
+  /*implicit*/ RtValue(std::shared_ptr<RowObject> v) : data_(std::move(v)) {}
+  /*implicit*/ RtValue(std::shared_ptr<ListObject> v) : data_(std::move(v)) {}
+  /*implicit*/ RtValue(std::shared_ptr<SetObject> v) : data_(std::move(v)) {}
+  /*implicit*/ RtValue(std::shared_ptr<TupleObject> v)
+      : data_(std::move(v)) {}
+  /*implicit*/ RtValue(std::shared_ptr<ResultSetObject> v)
+      : data_(std::move(v)) {}
+
+  bool is_scalar() const {
+    return std::holds_alternative<catalog::Value>(data_);
+  }
+  bool is_row() const {
+    return std::holds_alternative<std::shared_ptr<RowObject>>(data_);
+  }
+  bool is_list() const {
+    return std::holds_alternative<std::shared_ptr<ListObject>>(data_);
+  }
+  bool is_set() const {
+    return std::holds_alternative<std::shared_ptr<SetObject>>(data_);
+  }
+  bool is_tuple() const {
+    return std::holds_alternative<std::shared_ptr<TupleObject>>(data_);
+  }
+  bool is_result_set() const {
+    return std::holds_alternative<std::shared_ptr<ResultSetObject>>(data_);
+  }
+
+  const catalog::Value& scalar() const {
+    return std::get<catalog::Value>(data_);
+  }
+  const std::shared_ptr<RowObject>& row() const {
+    return std::get<std::shared_ptr<RowObject>>(data_);
+  }
+  const std::shared_ptr<ListObject>& list() const {
+    return std::get<std::shared_ptr<ListObject>>(data_);
+  }
+  const std::shared_ptr<SetObject>& set() const {
+    return std::get<std::shared_ptr<SetObject>>(data_);
+  }
+  const std::shared_ptr<TupleObject>& tuple() const {
+    return std::get<std::shared_ptr<TupleObject>>(data_);
+  }
+  const std::shared_ptr<ResultSetObject>& result_set() const {
+    return std::get<std::shared_ptr<ResultSetObject>>(data_);
+  }
+
+  /// Human-readable rendering: scalars without quotes, collections as
+  /// "[a, b]" / "{a, b}", tuples as "(a, b)", rows as "(v1, v2, ...)".
+  /// Used for print capture and equivalence checks.
+  std::string DisplayString() const;
+
+ private:
+  std::variant<catalog::Value, std::shared_ptr<RowObject>,
+               std::shared_ptr<ListObject>, std::shared_ptr<SetObject>,
+               std::shared_ptr<TupleObject>,
+               std::shared_ptr<ResultSetObject>>
+      data_;
+};
+
+}  // namespace eqsql::interp
+
+#endif  // EQSQL_INTERP_VALUE_H_

@@ -1,0 +1,74 @@
+#include "net/connection.h"
+
+#include "sql/parser.h"
+
+namespace eqsql::net {
+
+Result<exec::ResultSet> Connection::ExecuteQuery(
+    const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
+  EQSQL_ASSIGN_OR_RETURN(exec::ResultSet rs, executor_.Execute(plan, params));
+
+  // Request bytes: plan text stands in for the SQL string, plus bound
+  // parameter payload.
+  size_t request_bytes = plan->ToString().size();
+  for (const catalog::Value& p : params) request_bytes += p.WireSize();
+  size_t result_bytes = rs.WireSize();
+
+  ++stats_.queries_executed;
+  stats_.rows_transferred += static_cast<int64_t>(rs.rows.size());
+  stats_.bytes_transferred +=
+      static_cast<int64_t>(request_bytes + result_bytes);
+
+  double elapsed = model_.query_overhead_ms +
+                   model_.TransferMs(request_bytes + result_bytes) +
+                   model_.ServerMs(executor_.last_rows_processed());
+  bool pay_latency = true;
+  if (prefetch_mode_ && prefetch_primed_) pay_latency = false;
+  if (pay_latency) {
+    elapsed += model_.round_trip_latency_ms;
+    ++stats_.round_trips;
+  }
+  prefetch_primed_ = prefetch_mode_;
+  stats_.simulated_ms += elapsed;
+  return rs;
+}
+
+Result<exec::ResultSet> Connection::ExecuteSql(
+    std::string_view sql, const std::vector<catalog::Value>& params) {
+  EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan, sql::ParseSql(sql));
+  return ExecuteQuery(plan, params);
+}
+
+void Connection::SimulateUpdate(std::string_view sql) {
+  ++stats_.queries_executed;
+  ++stats_.round_trips;
+  stats_.bytes_transferred += static_cast<int64_t>(sql.size());
+  stats_.simulated_ms += model_.round_trip_latency_ms +
+                         model_.query_overhead_ms +
+                         model_.TransferMs(sql.size());
+}
+
+Status Connection::CreateTempTable(const std::string& name,
+                                   catalog::Schema schema,
+                                   std::vector<catalog::Row> rows) {
+  if (db_->HasTable(name)) db_->DropTable(name);
+  EQSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                         db_->CreateTable(name, std::move(schema)));
+  size_t upload_bytes = 0;
+  for (catalog::Row& row : rows) {
+    upload_bytes += catalog::RowWireSize(row);
+    EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  ++stats_.round_trips;
+  stats_.bytes_transferred += static_cast<int64_t>(upload_bytes);
+  stats_.simulated_ms += model_.param_table_overhead_ms +
+                         model_.round_trip_latency_ms +
+                         model_.TransferMs(upload_bytes);
+  return Status::OK();
+}
+
+void Connection::DropTempTable(const std::string& name) {
+  db_->DropTable(name);
+}
+
+}  // namespace eqsql::net

@@ -1,0 +1,85 @@
+#ifndef EQSQL_NET_CONNECTION_H_
+#define EQSQL_NET_CONNECTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "net/cost_model.h"
+#include "ra/ra_node.h"
+#include "storage/database.h"
+
+namespace eqsql::net {
+
+/// A simulated database connection: the client side of the DBMS.
+///
+/// Every query executes synchronously against the in-process engine, but
+/// the connection charges the CostModel onto a simulated clock and
+/// counts round trips / bytes, which is what the benchmark harness
+/// reports for Figures 8-11.
+class Connection {
+ public:
+  explicit Connection(storage::Database* db, CostModel model = CostModel())
+      : db_(db), model_(model), executor_(db) {}
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Executes a relational-algebra plan with bound parameters.
+  Result<exec::ResultSet> ExecuteQuery(
+      const ra::RaNodePtr& plan,
+      const std::vector<catalog::Value>& params = {});
+
+  /// Parses `sql` (our SQL/HQL subset) then executes it.
+  Result<exec::ResultSet> ExecuteSql(
+      std::string_view sql, const std::vector<catalog::Value>& params = {});
+
+  /// When true, models asynchronous prefetching [19]: round-trip latency
+  /// is overlapped with client computation, so only the first query
+  /// after enabling pays it.
+  void set_prefetch_mode(bool on) {
+    prefetch_mode_ = on;
+    prefetch_primed_ = false;
+  }
+
+  /// Charges client-side computation (interpreted statements executed
+  /// by the application) onto the simulated clock.
+  void ChargeClientOps(int64_t ops) {
+    stats_.simulated_ms +=
+        model_.client_cost_per_op_ms * static_cast<double>(ops);
+  }
+
+  /// Simulates a DML statement (INSERT/UPDATE/DELETE): charges one round
+  /// trip plus query overhead without touching data. The optimizer never
+  /// removes updates, so only the cost matters for the benchmarks.
+  void SimulateUpdate(std::string_view sql);
+
+  /// Creates a server-side temporary table and loads `rows` into it,
+  /// charging batching's parameter-table overhead plus upload transfer.
+  /// Used by the batching baseline [11].
+  Status CreateTempTable(const std::string& name, catalog::Schema schema,
+                         std::vector<catalog::Row> rows);
+
+  /// Drops a temporary table (no charge; piggybacks on the next query).
+  void DropTempTable(const std::string& name);
+
+  const ConnectionStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ConnectionStats(); }
+
+  storage::Database* db() { return db_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  storage::Database* db_;
+  CostModel model_;
+  exec::Executor executor_;
+  ConnectionStats stats_;
+  bool prefetch_mode_ = false;
+  bool prefetch_primed_ = false;
+};
+
+}  // namespace eqsql::net
+
+#endif  // EQSQL_NET_CONNECTION_H_

@@ -1,0 +1,243 @@
+#include "ra/scalar_expr.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "ra/ra_node.h"
+
+namespace eqsql::ra {
+
+std::string_view ScalarOpToString(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kColumnRef: return "col";
+    case ScalarOp::kLiteral: return "lit";
+    case ScalarOp::kParameter: return "param";
+    case ScalarOp::kAdd: return "+";
+    case ScalarOp::kSub: return "-";
+    case ScalarOp::kMul: return "*";
+    case ScalarOp::kDiv: return "/";
+    case ScalarOp::kMod: return "%";
+    case ScalarOp::kEq: return "=";
+    case ScalarOp::kNe: return "<>";
+    case ScalarOp::kLt: return "<";
+    case ScalarOp::kLe: return "<=";
+    case ScalarOp::kGt: return ">";
+    case ScalarOp::kGe: return ">=";
+    case ScalarOp::kAnd: return "and";
+    case ScalarOp::kOr: return "or";
+    case ScalarOp::kNot: return "not";
+    case ScalarOp::kNeg: return "neg";
+    case ScalarOp::kConcat: return "||";
+    case ScalarOp::kGreatest: return "greatest";
+    case ScalarOp::kLeast: return "least";
+    case ScalarOp::kCase: return "case";
+    case ScalarOp::kIsNull: return "isnull";
+    case ScalarOp::kExists: return "exists";
+    case ScalarOp::kNotExists: return "notexists";
+  }
+  return "?";
+}
+
+ScalarExprPtr ScalarExpr::Column(std::string name) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = ScalarOp::kColumnRef;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Literal(catalog::Value v) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = ScalarOp::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Parameter(int index) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = ScalarOp::kParameter;
+  e->parameter_index_ = index;
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Unary(ScalarOp op, ScalarExprPtr operand) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = op;
+  e->children_.push_back(std::move(operand));
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Binary(ScalarOp op, ScalarExprPtr lhs,
+                                 ScalarExprPtr rhs) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = op;
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Nary(ScalarOp op,
+                               std::vector<ScalarExprPtr> children) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = op;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Case(ScalarExprPtr cond, ScalarExprPtr then_v,
+                               ScalarExprPtr else_v) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = ScalarOp::kCase;
+  e->children_ = {std::move(cond), std::move(then_v), std::move(else_v)};
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::Exists(RaNodePtr subquery, bool negated) {
+  auto e = std::shared_ptr<ScalarExpr>(new ScalarExpr());
+  e->op_ = negated ? ScalarOp::kNotExists : ScalarOp::kExists;
+  e->subquery_ = std::move(subquery);
+  return e;
+}
+
+ScalarExprPtr ScalarExpr::MakeAnd(std::vector<ScalarExprPtr> terms) {
+  if (terms.empty()) return Literal(catalog::Value::Bool(true));
+  ScalarExprPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    acc = Binary(ScalarOp::kAnd, acc, terms[i]);
+  }
+  return acc;
+}
+
+bool ScalarExpr::Equals(const ScalarExpr& other) const {
+  if (op_ != other.op_) return false;
+  switch (op_) {
+    case ScalarOp::kColumnRef:
+      return column_name_ == other.column_name_;
+    case ScalarOp::kLiteral:
+      return literal_ == other.literal_ &&
+             literal_.type() == other.literal_.type();
+    case ScalarOp::kParameter:
+      return parameter_index_ == other.parameter_index_;
+    case ScalarOp::kExists:
+    case ScalarOp::kNotExists:
+      return subquery_->Equals(*other.subquery_);
+    default:
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+size_t ScalarExpr::Hash() const {
+  size_t seed = static_cast<size_t>(op_);
+  switch (op_) {
+    case ScalarOp::kColumnRef:
+      HashCombine(seed, column_name_);
+      return seed;
+    case ScalarOp::kLiteral:
+      HashCombine(seed, catalog::ValueHash()(literal_));
+      return seed;
+    case ScalarOp::kParameter:
+      HashCombine(seed, parameter_index_);
+      return seed;
+    case ScalarOp::kExists:
+    case ScalarOp::kNotExists:
+      HashCombine(seed, subquery_->Hash());
+      return seed;
+    default:
+      break;
+  }
+  for (const auto& c : children_) HashCombine(seed, c->Hash());
+  return seed;
+}
+
+std::string ScalarExpr::ToString() const {
+  switch (op_) {
+    case ScalarOp::kColumnRef:
+      return "(col " + column_name_ + ")";
+    case ScalarOp::kLiteral:
+      return "(lit " + literal_.ToString() + ")";
+    case ScalarOp::kParameter:
+      return "(param " + std::to_string(parameter_index_) + ")";
+    case ScalarOp::kExists:
+      return "(exists " + subquery_->ToString() + ")";
+    case ScalarOp::kNotExists:
+      return "(notexists " + subquery_->ToString() + ")";
+    default:
+      break;
+  }
+  std::string out = "(";
+  out += ScalarOpToString(op_);
+  for (const auto& c : children_) {
+    out += " ";
+    out += c->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool IsComparisonOp(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kEq:
+    case ScalarOp::kNe:
+    case ScalarOp::kLt:
+    case ScalarOp::kLe:
+    case ScalarOp::kGt:
+    case ScalarOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ScalarOp MirrorComparison(ScalarOp op) {
+  switch (op) {
+    case ScalarOp::kLt: return ScalarOp::kGt;
+    case ScalarOp::kLe: return ScalarOp::kGe;
+    case ScalarOp::kGt: return ScalarOp::kLt;
+    case ScalarOp::kGe: return ScalarOp::kLe;
+    case ScalarOp::kEq: return ScalarOp::kEq;
+    case ScalarOp::kNe: return ScalarOp::kNe;
+    default:
+      EQSQL_CHECK_MSG(false, "MirrorComparison on non-comparison");
+      return op;
+  }
+}
+
+void CollectColumnRefs(const ScalarExprPtr& expr,
+                       std::vector<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->op() == ScalarOp::kColumnRef) {
+    out->push_back(expr->column_name());
+    return;
+  }
+  for (const auto& c : expr->children()) CollectColumnRefs(c, out);
+}
+
+ScalarExprPtr RenameColumns(
+    const ScalarExprPtr& expr,
+    const std::function<std::string(const std::string&)>& fn) {
+  if (expr == nullptr) return nullptr;
+  if (expr->op() == ScalarOp::kColumnRef) {
+    std::string renamed = fn(expr->column_name());
+    if (renamed == expr->column_name()) return expr;
+    return ScalarExpr::Column(std::move(renamed));
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ScalarExprPtr> kids;
+  kids.reserve(expr->children().size());
+  bool changed = false;
+  for (const auto& c : expr->children()) {
+    ScalarExprPtr nc = RenameColumns(c, fn);
+    changed |= (nc != c);
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  if (expr->op() == ScalarOp::kCase) {
+    return ScalarExpr::Case(kids[0], kids[1], kids[2]);
+  }
+  return ScalarExpr::Nary(expr->op(), std::move(kids));
+}
+
+}  // namespace eqsql::ra

@@ -1,0 +1,122 @@
+#ifndef EQSQL_RA_SCALAR_EXPR_H_
+#define EQSQL_RA_SCALAR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace eqsql::ra {
+
+class RaNode;  // defined in ra_node.h
+using RaNodePtr = std::shared_ptr<const RaNode>;
+
+class ScalarExpr;
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+/// Scalar expression operators. Binary arithmetic/comparison/boolean
+/// operators use SQL three-valued-NULL semantics (see exec/scalar_ops).
+enum class ScalarOp {
+  kColumnRef,   // leaf: named column (possibly qualified "t.x")
+  kLiteral,     // leaf: constant Value
+  kParameter,   // leaf: positional query parameter '?'
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kNeg,         // unary minus
+  kConcat,      // string concatenation (SQL ||)
+  kGreatest,    // n-ary GREATEST (PostgreSQL; CASE WHEN elsewhere)
+  kLeast,       // n-ary LEAST
+  kCase,        // 3 children: condition, then, else
+  kIsNull,      // unary
+  kExists,      // correlated EXISTS(subquery); no scalar children
+  kNotExists,   // correlated NOT EXISTS(subquery)
+};
+
+std::string_view ScalarOpToString(ScalarOp op);
+
+/// An immutable scalar-expression tree node. Construct via the factory
+/// functions below; share freely (all fields const after construction).
+class ScalarExpr {
+ public:
+  ScalarOp op() const { return op_; }
+  const std::vector<ScalarExprPtr>& children() const { return children_; }
+  const ScalarExprPtr& child(size_t i) const { return children_[i]; }
+
+  /// kColumnRef: the (possibly qualified) column name.
+  const std::string& column_name() const { return column_name_; }
+  /// kLiteral: the constant.
+  const catalog::Value& literal() const { return literal_; }
+  /// kParameter: 0-based parameter position.
+  int parameter_index() const { return parameter_index_; }
+  /// kExists / kNotExists: the correlated subquery.
+  const RaNodePtr& subquery() const { return subquery_; }
+
+  /// Structural equality (column names compared exactly).
+  bool Equals(const ScalarExpr& other) const;
+  /// Structural hash consistent with Equals.
+  size_t Hash() const;
+
+  /// Lisp-ish debug rendering, e.g. "(> (col score) (lit 10))".
+  std::string ToString() const;
+
+  // --- factories ---------------------------------------------------------
+  static ScalarExprPtr Column(std::string name);
+  static ScalarExprPtr Literal(catalog::Value v);
+  static ScalarExprPtr Parameter(int index);
+  static ScalarExprPtr Unary(ScalarOp op, ScalarExprPtr operand);
+  static ScalarExprPtr Binary(ScalarOp op, ScalarExprPtr lhs,
+                              ScalarExprPtr rhs);
+  static ScalarExprPtr Nary(ScalarOp op, std::vector<ScalarExprPtr> children);
+  /// CASE WHEN cond THEN then_v ELSE else_v END
+  static ScalarExprPtr Case(ScalarExprPtr cond, ScalarExprPtr then_v,
+                            ScalarExprPtr else_v);
+  static ScalarExprPtr Exists(RaNodePtr subquery, bool negated);
+
+  /// Conjunction of `terms` (returns TRUE literal when empty).
+  static ScalarExprPtr MakeAnd(std::vector<ScalarExprPtr> terms);
+
+ private:
+  ScalarExpr() = default;
+
+  ScalarOp op_ = ScalarOp::kLiteral;
+  std::vector<ScalarExprPtr> children_;
+  std::string column_name_;
+  catalog::Value literal_;
+  int parameter_index_ = -1;
+  RaNodePtr subquery_;
+};
+
+/// True if `op` is a comparison producing BOOL (=, <>, <, <=, >, >=).
+bool IsComparisonOp(ScalarOp op);
+/// Flips a comparison across its operands: < becomes >, <= becomes >=, etc.
+ScalarOp MirrorComparison(ScalarOp op);
+
+/// Collects the names of all columns referenced anywhere in `expr`
+/// (not descending into EXISTS subqueries' own scans).
+void CollectColumnRefs(const ScalarExprPtr& expr,
+                       std::vector<std::string>* out);
+
+/// Returns a copy of `expr` with every column ref renamed through `fn`;
+/// `fn` returns the new name (possibly identical).
+ScalarExprPtr RenameColumns(
+    const ScalarExprPtr& expr,
+    const std::function<std::string(const std::string&)>& fn);
+
+}  // namespace eqsql::ra
+
+#endif  // EQSQL_RA_SCALAR_EXPR_H_

@@ -1,0 +1,123 @@
+#include "rewrite/dce.h"
+
+#include <algorithm>
+
+#include "analysis/effects.h"
+
+namespace eqsql::rewrite {
+
+using analysis::StmtEffects;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+/// True when the statement must be preserved regardless of liveness.
+bool HasUnremovableEffect(const StmtEffects& eff) {
+  return eff.writes_db || eff.has_unknown_call;
+}
+
+/// Processes `body` backwards with live set `live`; returns the kept
+/// statements in program order.
+std::vector<StmtPtr> Process(const std::vector<StmtPtr>& body,
+                             std::set<std::string>* live);
+
+/// One backward step for a single statement; pushes kept statements to
+/// `kept` (in reverse order).
+void ProcessStmt(const StmtPtr& stmt, std::set<std::string>* live,
+                 std::vector<StmtPtr>* kept) {
+  StmtEffects eff = analysis::ComputeStmtEffects(*stmt);
+  switch (stmt->kind()) {
+    case StmtKind::kReturn:
+    case StmtKind::kPrint:
+    case StmtKind::kBreak: {
+      kept->push_back(stmt);
+      live->insert(eff.reads.begin(), eff.reads.end());
+      return;
+    }
+    case StmtKind::kAssign: {
+      bool needed = live->count(stmt->target()) > 0 ||
+                    HasUnremovableEffect(eff);
+      if (!needed) return;
+      kept->push_back(stmt);
+      live->erase(stmt->target());
+      live->insert(eff.reads.begin(), eff.reads.end());
+      return;
+    }
+    case StmtKind::kExprStmt: {
+      // Collection mutations matter when the collection is live; other
+      // expression statements only when they have unremovable effects.
+      bool mutates_live = false;
+      for (const std::string& w : eff.writes) {
+        if (live->count(w) > 0) mutates_live = true;
+      }
+      if (!mutates_live && !HasUnremovableEffect(eff)) return;
+      kept->push_back(stmt);
+      live->insert(eff.reads.begin(), eff.reads.end());
+      return;
+    }
+    case StmtKind::kIf: {
+      std::set<std::string> then_live = *live;
+      std::set<std::string> else_live = *live;
+      std::vector<StmtPtr> then_body = Process(stmt->body(), &then_live);
+      std::vector<StmtPtr> else_body = Process(stmt->else_body(), &else_live);
+      if (then_body.empty() && else_body.empty()) return;
+      live->insert(then_live.begin(), then_live.end());
+      live->insert(else_live.begin(), else_live.end());
+      StmtEffects cond_eff;
+      analysis::CollectExprEffects(stmt->expr(), &cond_eff);
+      live->insert(cond_eff.reads.begin(), cond_eff.reads.end());
+      kept->push_back(Stmt::If(stmt->expr(), std::move(then_body),
+                               std::move(else_body), stmt->loc()));
+      return;
+    }
+    case StmtKind::kForEach:
+    case StmtKind::kWhile: {
+      // Iterate to a fixpoint: variables read by kept body statements
+      // become live around the back edge.
+      std::set<std::string> body_live = *live;
+      std::vector<StmtPtr> body;
+      for (int iter = 0; iter < 4; ++iter) {
+        std::set<std::string> trial = body_live;
+        body = Process(stmt->body(), &trial);
+        if (trial == body_live) break;
+        body_live.insert(trial.begin(), trial.end());
+      }
+      if (body.empty()) return;  // empty loop: iterable read is removable
+      *live = body_live;
+      if (stmt->kind() == StmtKind::kForEach) live->erase(stmt->target());
+      StmtEffects iter_eff;
+      analysis::CollectExprEffects(stmt->expr(), &iter_eff);
+      live->insert(iter_eff.reads.begin(), iter_eff.reads.end());
+      if (stmt->kind() == StmtKind::kForEach) {
+        kept->push_back(Stmt::ForEach(stmt->target(), stmt->expr(),
+                                      std::move(body), stmt->loc()));
+      } else {
+        kept->push_back(Stmt::While(stmt->expr(), std::move(body),
+                                    stmt->loc()));
+      }
+      return;
+    }
+  }
+}
+
+std::vector<StmtPtr> Process(const std::vector<StmtPtr>& body,
+                             std::set<std::string>* live) {
+  std::vector<StmtPtr> kept_reversed;
+  for (auto it = body.rbegin(); it != body.rend(); ++it) {
+    ProcessStmt(*it, live, &kept_reversed);
+  }
+  std::reverse(kept_reversed.begin(), kept_reversed.end());
+  return kept_reversed;
+}
+
+}  // namespace
+
+std::vector<StmtPtr> RemoveDeadCode(const std::vector<StmtPtr>& body,
+                                    const std::set<std::string>& live_out) {
+  std::set<std::string> live = live_out;
+  return Process(body, &live);
+}
+
+}  // namespace eqsql::rewrite

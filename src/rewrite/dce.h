@@ -1,0 +1,32 @@
+#ifndef EQSQL_REWRITE_DCE_H_
+#define EQSQL_REWRITE_DCE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace eqsql::rewrite {
+
+/// Liveness-based dead-code elimination over a structured function body
+/// (paper Sec. 5.2: "Parts of region R which are now rendered dead due
+/// to s_sql are removed by dead code elimination").
+///
+/// A statement is kept when it (a) writes a variable that is live
+/// afterwards, (b) has an unremovable side effect (executeUpdate, a call
+/// to an unknown function, print, return, break), or (c) is a compound
+/// statement with a surviving body. Pure database *reads*
+/// (executeQuery) are removable — eliminating the now-unused original
+/// query is exactly the optimization.
+///
+/// `live_out` seeds the variables considered live at function exit
+/// (normally empty: return/print statements keep their reads alive
+/// themselves).
+std::vector<frontend::StmtPtr> RemoveDeadCode(
+    const std::vector<frontend::StmtPtr>& body,
+    const std::set<std::string>& live_out = {});
+
+}  // namespace eqsql::rewrite
+
+#endif  // EQSQL_REWRITE_DCE_H_

@@ -1,0 +1,153 @@
+#include "rewrite/emit.h"
+
+namespace eqsql::rewrite {
+
+using dir::DNodePtr;
+using dir::DOp;
+using frontend::BinOp;
+using frontend::Expr;
+using frontend::ExprPtr;
+
+namespace {
+
+Result<BinOp> MapBinOp(DOp op) {
+  switch (op) {
+    case DOp::kAdd: return BinOp::kAdd;
+    case DOp::kSub: return BinOp::kSub;
+    case DOp::kMul: return BinOp::kMul;
+    case DOp::kDiv: return BinOp::kDiv;
+    case DOp::kMod: return BinOp::kMod;
+    case DOp::kEq: return BinOp::kEq;
+    case DOp::kNe: return BinOp::kNe;
+    case DOp::kLt: return BinOp::kLt;
+    case DOp::kLe: return BinOp::kLe;
+    case DOp::kGt: return BinOp::kGt;
+    case DOp::kGe: return BinOp::kGe;
+    case DOp::kAnd: return BinOp::kAnd;
+    case DOp::kOr: return BinOp::kOr;
+    default:
+      return Status::Unsupported("operator not emittable: " +
+                                 std::string(dir::DOpToString(op)));
+  }
+}
+
+ExprPtr LiteralExpr(const catalog::Value& v) {
+  if (v.is_null()) return Expr::NullLit();
+  if (v.is_bool()) return Expr::BoolLit(v.AsBool());
+  if (v.is_int()) return Expr::IntLit(v.AsInt());
+  if (v.is_double()) return Expr::DoubleLit(v.AsDouble());
+  return Expr::StringLit(v.AsString());
+}
+
+class Emitter {
+ public:
+  explicit Emitter(sql::Dialect dialect) : dialect_(dialect) {}
+
+  Result<ExprPtr> Emit(const DNodePtr& node) {
+    switch (node->op()) {
+      case DOp::kConst:
+        return LiteralExpr(node->value());
+      case DOp::kRegionInput:
+        return Expr::VarRef(node->name());
+      case DOp::kQuery: {
+        EQSQL_ASSIGN_OR_RETURN(std::string sql,
+                               sql::GenerateSql(node->query(), dialect_));
+        // Round-trippable form for execution: the paper's abstract
+        // executeQuery syntax (kDefault dialect) is what the rewritten
+        // program actually runs.
+        EQSQL_ASSIGN_OR_RETURN(
+            std::string exec_sql,
+            sql::GenerateSql(node->query(), sql::Dialect::kDefault));
+        sql_queries_.push_back(sql);
+        std::vector<ExprPtr> args;
+        args.push_back(Expr::StringLit(std::move(exec_sql)));
+        for (const DNodePtr& p : node->children()) {
+          EQSQL_ASSIGN_OR_RETURN(ExprPtr arg, Emit(p));
+          args.push_back(std::move(arg));
+        }
+        return Expr::Call("executeQuery", std::move(args));
+      }
+      case DOp::kScalar: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr inner, Emit(node->child(0)));
+        return Expr::Call("scalar", {std::move(inner)});
+      }
+      case DOp::kMax:
+      case DOp::kMin: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr a, Emit(node->child(0)));
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr b, Emit(node->child(1)));
+        return Expr::Call(node->op() == DOp::kMax ? "max" : "min",
+                          {std::move(a), std::move(b)});
+      }
+      case DOp::kCoalesce: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr a, Emit(node->child(0)));
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr b, Emit(node->child(1)));
+        return Expr::Call("coalesce", {std::move(a), std::move(b)});
+      }
+      case DOp::kCond: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr c, Emit(node->child(0)));
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr t, Emit(node->child(1)));
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr e, Emit(node->child(2)));
+        return Expr::Ternary(std::move(c), std::move(t), std::move(e));
+      }
+      case DOp::kNot: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr c, Emit(node->child(0)));
+        return Expr::Unary(frontend::UnOp::kNot, std::move(c));
+      }
+      case DOp::kNeg: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr c, Emit(node->child(0)));
+        return Expr::Unary(frontend::UnOp::kNeg, std::move(c));
+      }
+      case DOp::kConcat: {
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr a, Emit(node->child(0)));
+        EQSQL_ASSIGN_OR_RETURN(ExprPtr b, Emit(node->child(1)));
+        return Expr::Binary(BinOp::kAdd, std::move(a), std::move(b));
+      }
+      default: {
+        if (node->children().size() == 2) {
+          EQSQL_ASSIGN_OR_RETURN(BinOp op, MapBinOp(node->op()));
+          EQSQL_ASSIGN_OR_RETURN(ExprPtr a, Emit(node->child(0)));
+          EQSQL_ASSIGN_OR_RETURN(ExprPtr b, Emit(node->child(1)));
+          return Expr::Binary(op, std::move(a), std::move(b));
+        }
+        return Status::Unsupported("expression not emittable: " +
+                                   node->ToString());
+      }
+    }
+  }
+
+  std::vector<std::string> TakeSql() { return std::move(sql_queries_); }
+
+ private:
+  sql::Dialect dialect_;
+  std::vector<std::string> sql_queries_;
+};
+
+}  // namespace
+
+Result<frontend::ExprPtr> EmitExpression(const DNodePtr& node,
+                                          sql::Dialect dialect,
+                                          std::vector<std::string>* sql_queries) {
+  Emitter emitter(dialect);
+  EQSQL_ASSIGN_OR_RETURN(ExprPtr expr, emitter.Emit(node));
+  std::vector<std::string> sql = emitter.TakeSql();
+  sql_queries->insert(sql_queries->end(), sql.begin(), sql.end());
+  return expr;
+}
+
+Result<EmittedCode> EmitAssignment(const DNodePtr& node,
+                                   const std::string& var,
+                                   sql::Dialect dialect) {
+  bool has_query = dir::DagContext::Contains(
+      node, [](const dir::DNode& n) { return n.op() == DOp::kQuery; });
+  if (!has_query) {
+    return Status::Unsupported("no query in transformed expression");
+  }
+  Emitter emitter(dialect);
+  EQSQL_ASSIGN_OR_RETURN(ExprPtr expr, emitter.Emit(node));
+  EmittedCode out;
+  out.stmt = frontend::Stmt::Assign(var, std::move(expr));
+  out.sql_queries = emitter.TakeSql();
+  return out;
+}
+
+}  // namespace eqsql::rewrite

@@ -1,0 +1,41 @@
+#ifndef EQSQL_REWRITE_EMIT_H_
+#define EQSQL_REWRITE_EMIT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dir/dnode.h"
+#include "frontend/ast.h"
+#include "sql/generator.h"
+
+namespace eqsql::rewrite {
+
+/// The replacement statement for one extracted variable plus the SQL
+/// text of every query it embeds.
+struct EmittedCode {
+  frontend::StmtPtr stmt;                 // v = <expr over executeQuery(...)>
+  std::vector<std::string> sql_queries;   // display SQL, one per kQuery
+};
+
+/// Converts a fully transformed ee-DAG expression into the ImpLang
+/// statement "var = <expr>", where kQuery nodes become
+/// executeQuery("SQL", params...) calls and kScalar becomes the scalar()
+/// builtin (paper Sec. 5.2: replace the s_fold stub with s_sql).
+///
+/// Errors with kUnsupported if the expression still contains folds,
+/// loops, opaque values, or has no embedded query at all.
+Result<EmittedCode> EmitAssignment(const dir::DNodePtr& node,
+                                   const std::string& var,
+                                   sql::Dialect dialect);
+
+/// Expression-level emission: converts a transformed ee-DAG expression
+/// to an ImpLang expression, appending the SQL of embedded queries to
+/// `sql_queries`. Used for print statements of post-loop scalars.
+Result<frontend::ExprPtr> EmitExpression(const dir::DNodePtr& node,
+                                         sql::Dialect dialect,
+                                         std::vector<std::string>* sql_queries);
+
+}  // namespace eqsql::rewrite
+
+#endif  // EQSQL_REWRITE_EMIT_H_

@@ -1,0 +1,72 @@
+#include "rewrite/rewriter.h"
+
+namespace eqsql::rewrite {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+namespace {
+
+/// Removes `removable` statements from a statement list, recursively
+/// pruning conditionals that end up with no branches.
+std::vector<StmtPtr> Prune(const std::vector<StmtPtr>& stmts,
+                           const std::set<const Stmt*>& removable) {
+  std::vector<StmtPtr> kept;
+  for (const StmtPtr& stmt : stmts) {
+    if (removable.count(stmt.get()) > 0) continue;
+    if (stmt->kind() == StmtKind::kIf) {
+      std::vector<StmtPtr> then_body = Prune(stmt->body(), removable);
+      std::vector<StmtPtr> else_body = Prune(stmt->else_body(), removable);
+      if (then_body.empty() && else_body.empty()) continue;
+      kept.push_back(Stmt::If(stmt->expr(), std::move(then_body),
+                              std::move(else_body), stmt->loc()));
+      continue;
+    }
+    if (stmt->kind() == StmtKind::kForEach ||
+        stmt->kind() == StmtKind::kWhile) {
+      std::vector<StmtPtr> body = Prune(stmt->body(), removable);
+      if (body.empty()) continue;
+      if (stmt->kind() == StmtKind::kForEach) {
+        kept.push_back(Stmt::ForEach(stmt->target(), stmt->expr(),
+                                     std::move(body), stmt->loc()));
+      } else {
+        kept.push_back(Stmt::While(stmt->expr(), std::move(body),
+                                   stmt->loc()));
+      }
+      continue;
+    }
+    kept.push_back(stmt);
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<StmtPtr> ReplaceLoopComputation(
+    const std::vector<StmtPtr>& body, const Stmt* loop,
+    const std::set<const Stmt*>& removable,
+    std::vector<StmtPtr> replacements) {
+  std::vector<StmtPtr> out;
+  for (const StmtPtr& stmt : body) {
+    if (stmt.get() != loop) {
+      // The target loop is a top-level statement; other statements pass
+      // through unchanged (nested regions are handled when their own
+      // enclosing loop is rewritten).
+      out.push_back(stmt);
+      continue;
+    }
+    std::vector<StmtPtr> pruned_body = Prune(stmt->body(), removable);
+    if (!pruned_body.empty()) {
+      out.push_back(Stmt::ForEach(stmt->target(), stmt->expr(),
+                                  std::move(pruned_body), stmt->loc()));
+    }
+    for (StmtPtr& replacement : replacements) {
+      out.push_back(std::move(replacement));
+    }
+    replacements.clear();
+  }
+  return out;
+}
+
+}  // namespace eqsql::rewrite

@@ -1,0 +1,25 @@
+#ifndef EQSQL_REWRITE_REWRITER_H_
+#define EQSQL_REWRITE_REWRITER_H_
+
+#include <set>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace eqsql::rewrite {
+
+/// Rewrites a function body after SQL extraction (paper Sec. 5.2):
+/// inside the loop statement `loop`, removes the statements in
+/// `removable` (the extracted variables' slices minus everything other
+/// surviving computation needs); then inserts `replacements` (the
+/// "v = executeQuery(Q)" statements) right after the loop — or in its
+/// place if its body became empty. Conditionals whose branches become
+/// empty are dropped with them.
+std::vector<frontend::StmtPtr> ReplaceLoopComputation(
+    const std::vector<frontend::StmtPtr>& body, const frontend::Stmt* loop,
+    const std::set<const frontend::Stmt*>& removable,
+    std::vector<frontend::StmtPtr> replacements);
+
+}  // namespace eqsql::rewrite
+
+#endif  // EQSQL_REWRITE_REWRITER_H_

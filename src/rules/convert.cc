@@ -1,0 +1,151 @@
+#include "rules/convert.h"
+
+#include "rules/ra_utils.h"
+
+namespace eqsql::rules {
+
+using dir::DNode;
+using dir::DNodePtr;
+using dir::DOp;
+using ra::ScalarExpr;
+using ra::ScalarExprPtr;
+using ra::ScalarOp;
+
+namespace {
+
+Result<ScalarOp> MapScalarOp(DOp op) {
+  switch (op) {
+    case DOp::kAdd: return ScalarOp::kAdd;
+    case DOp::kSub: return ScalarOp::kSub;
+    case DOp::kMul: return ScalarOp::kMul;
+    case DOp::kDiv: return ScalarOp::kDiv;
+    case DOp::kMod: return ScalarOp::kMod;
+    case DOp::kEq: return ScalarOp::kEq;
+    case DOp::kNe: return ScalarOp::kNe;
+    case DOp::kLt: return ScalarOp::kLt;
+    case DOp::kLe: return ScalarOp::kLe;
+    case DOp::kGt: return ScalarOp::kGt;
+    case DOp::kGe: return ScalarOp::kGe;
+    case DOp::kAnd: return ScalarOp::kAnd;
+    case DOp::kOr: return ScalarOp::kOr;
+    case DOp::kConcat: return ScalarOp::kConcat;
+    default:
+      return Status::Unsupported("no relational operator for " +
+                                 std::string(dir::DOpToString(op)));
+  }
+}
+
+}  // namespace
+
+Result<ScalarExprPtr> DnodeToRaExpr(const DNodePtr& node, ConvertContext* cc) {
+  if (cc->column_overrides != nullptr) {
+    auto it = cc->column_overrides->find(node.get());
+    if (it != cc->column_overrides->end()) {
+      return ScalarExpr::Column(it->second);
+    }
+  }
+  switch (node->op()) {
+    case DOp::kConst:
+      return ScalarExpr::Literal(node->value());
+    case DOp::kTupleAttr: {
+      if (node->name() == cc->tuple_var) {
+        EQSQL_ASSIGN_OR_RETURN(std::string qualified,
+                               QualifyAttr(cc->tuple_query, node->attr()));
+        return ScalarExpr::Column(qualified);
+      }
+      if (cc->outer_vars.count(node->name()) > 0) {
+        // Correlated reference; the consuming rule renames it.
+        return ScalarExpr::Column(node->name() + "." + node->attr());
+      }
+      return Status::Unsupported("attribute of unknown tuple variable " +
+                                 node->name());
+    }
+    case DOp::kRegionInput: {
+      if (cc->params == nullptr) {
+        return Status::Unsupported("program input in non-parameterizable "
+                                   "context: " + node->name());
+      }
+      // Reuse an existing binding for the same input.
+      for (size_t i = 0; i < cc->params->size(); ++i) {
+        if ((*cc->params)[i].get() == node.get()) {
+          return ScalarExpr::Parameter(static_cast<int>(i));
+        }
+      }
+      cc->params->push_back(node);
+      return ScalarExpr::Parameter(static_cast<int>(cc->params->size() - 1));
+    }
+    case DOp::kNot: {
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr c, DnodeToRaExpr(node->child(0), cc));
+      return ScalarExpr::Unary(ScalarOp::kNot, std::move(c));
+    }
+    case DOp::kNeg: {
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr c, DnodeToRaExpr(node->child(0), cc));
+      return ScalarExpr::Unary(ScalarOp::kNeg, std::move(c));
+    }
+    case DOp::kMax:
+    case DOp::kMin: {
+      std::vector<ScalarExprPtr> args;
+      for (const DNodePtr& c : node->children()) {
+        EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr e, DnodeToRaExpr(c, cc));
+        args.push_back(std::move(e));
+      }
+      return ScalarExpr::Nary(
+          node->op() == DOp::kMax ? ScalarOp::kGreatest : ScalarOp::kLeast,
+          std::move(args));
+    }
+    case DOp::kCond: {
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr c0, DnodeToRaExpr(node->child(0), cc));
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr c1, DnodeToRaExpr(node->child(1), cc));
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr c2, DnodeToRaExpr(node->child(2), cc));
+      return ScalarExpr::Case(std::move(c0), std::move(c1), std::move(c2));
+    }
+    case DOp::kCoalesce: {
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr a, DnodeToRaExpr(node->child(0), cc));
+      EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr b, DnodeToRaExpr(node->child(1), cc));
+      return ScalarExpr::Case(ScalarExpr::Unary(ScalarOp::kIsNull, a), b, a);
+    }
+    default: {
+      if (node->children().size() == 2) {
+        EQSQL_ASSIGN_OR_RETURN(ScalarOp op, MapScalarOp(node->op()));
+        EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr lhs,
+                               DnodeToRaExpr(node->child(0), cc));
+        EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr rhs,
+                               DnodeToRaExpr(node->child(1), cc));
+        return ScalarExpr::Binary(op, std::move(lhs), std::move(rhs));
+      }
+      return Status::Unsupported(
+          "not a relational scalar expression: " +
+          std::string(dir::DOpToString(node->op())));
+    }
+  }
+}
+
+bool IsCorrelatedQuery(const DNodePtr& query_node,
+                       const std::set<std::string>& outer_vars) {
+  if (query_node->op() != DOp::kQuery) return false;
+  // Correlation via parameters.
+  for (const DNodePtr& p : query_node->children()) {
+    bool correlated = dir::DagContext::Contains(
+        p, [&](const DNode& n) {
+          return (n.op() == DOp::kTupleAttr || n.op() == DOp::kTupleRef) &&
+                 outer_vars.count(n.name()) > 0;
+        });
+    if (correlated) return true;
+  }
+  // Correlation via column refs inside the RA tree.
+  bool found = false;
+  RewriteExprs(query_node->query(),
+               [&](const ra::ScalarExprPtr& e) -> ra::ScalarExprPtr {
+                 if (e->op() == ScalarOp::kColumnRef) {
+                   size_t dot = e->column_name().find('.');
+                   if (dot != std::string::npos &&
+                       outer_vars.count(e->column_name().substr(0, dot)) > 0) {
+                     found = true;
+                   }
+                 }
+                 return nullptr;
+               });
+  return found;
+}
+
+}  // namespace eqsql::rules

@@ -1,0 +1,50 @@
+#ifndef EQSQL_RULES_CONVERT_H_
+#define EQSQL_RULES_CONVERT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dir/dnode.h"
+#include "ra/ra_node.h"
+
+namespace eqsql::rules {
+
+/// Context for converting scalar ee-DAG expressions into relational
+/// scalar expressions during rule application.
+struct ConvertContext {
+  /// The cursor variable of the fold being transformed; its attribute
+  /// reads resolve against `tuple_query`'s output columns.
+  std::string tuple_var;
+  ra::RaNodePtr tuple_query;
+  /// Enclosing cursor variables: their attribute reads become correlated
+  /// column refs "var.attr" that the consuming rule renames into the
+  /// outer query's columns.
+  std::set<std::string> outer_vars;
+  /// Parameter bindings accumulated so far: converted kRegionInput
+  /// leaves become Parameter(i) with params[i] recording the program
+  /// expression to bind at run time.
+  std::vector<dir::DNodePtr>* params = nullptr;
+  /// Direct column replacements for specific subexpressions (rule T7
+  /// maps correlated scalar-query subtrees to outer-apply output
+  /// columns). Checked before any other conversion.
+  const std::map<const dir::DNode*, std::string>* column_overrides = nullptr;
+};
+
+/// Converts a scalar ee-DAG expression (no folds, loops, queries,
+/// collections) into a relational scalar expression. Errors with
+/// kUnsupported when the expression is outside the relational subset.
+Result<ra::ScalarExprPtr> DnodeToRaExpr(const dir::DNodePtr& node,
+                                        ConvertContext* cc);
+
+/// True if the query node's RA or parameters reference any of
+/// `outer_vars` (a correlated query; paper Sec. 5.1's pred(t) over an
+/// enclosing cursor).
+bool IsCorrelatedQuery(const dir::DNodePtr& query_node,
+                       const std::set<std::string>& outer_vars);
+
+}  // namespace eqsql::rules
+
+#endif  // EQSQL_RULES_CONVERT_H_

@@ -1,0 +1,298 @@
+#include "rules/ra_utils.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace eqsql::rules {
+
+using ra::ProjectItem;
+using ra::RaNode;
+using ra::RaNodePtr;
+using ra::RaOp;
+using ra::ScalarExpr;
+using ra::ScalarExprPtr;
+using ra::ScalarOp;
+
+Result<std::string> QualifyAttr(const RaNodePtr& query,
+                                const std::string& attr) {
+  switch (query->op()) {
+    case RaOp::kScan:
+      return query->alias() + "." + attr;
+    case RaOp::kProject: {
+      for (const ProjectItem& item : query->project_items()) {
+        if (item.name == attr) return item.name;
+        size_t dot = item.name.rfind('.');
+        if (dot != std::string::npos &&
+            item.name.compare(dot + 1, std::string::npos, attr) == 0) {
+          return item.name;
+        }
+      }
+      return Status::NotFound("attribute '" + attr +
+                              "' not found in projection");
+    }
+    case RaOp::kGroupBy: {
+      for (const ra::ScalarExprPtr& key : query->group_keys()) {
+        if (key->op() == ScalarOp::kColumnRef) {
+          const std::string& name = key->column_name();
+          if (name == attr) return name;
+          size_t dot = name.rfind('.');
+          if (dot != std::string::npos &&
+              name.compare(dot + 1, std::string::npos, attr) == 0) {
+            return name;
+          }
+        }
+      }
+      for (const ra::AggregateSpec& agg : query->aggregates()) {
+        if (agg.name == attr) return agg.name;
+      }
+      return Status::NotFound("attribute '" + attr +
+                              "' not found in group-by output");
+    }
+    case RaOp::kSelect:
+    case RaOp::kSort:
+    case RaOp::kDedup:
+    case RaOp::kLimit:
+      return QualifyAttr(query->child(0), attr);
+    case RaOp::kJoin:
+    case RaOp::kLeftOuterJoin:
+    case RaOp::kOuterApply: {
+      Result<std::string> left = QualifyAttr(query->left(), attr);
+      Result<std::string> right = QualifyAttr(query->right(), attr);
+      if (left.ok() && right.ok()) {
+        return Status::InvalidArgument("attribute '" + attr +
+                                       "' is ambiguous across a join");
+      }
+      if (left.ok()) return left;
+      if (right.ok()) return right;
+      return Status::NotFound("attribute '" + attr + "' not found");
+    }
+  }
+  return Status::Internal("QualifyAttr: unknown operator");
+}
+
+namespace {
+
+ScalarExprPtr RewriteScalar(
+    const ScalarExprPtr& expr,
+    const std::function<ScalarExprPtr(const ScalarExprPtr&)>& fn);
+
+RaNodePtr RewriteExprsImpl(
+    const RaNodePtr& node,
+    const std::function<ScalarExprPtr(const ScalarExprPtr&)>& fn) {
+  std::vector<RaNodePtr> kids;
+  bool changed = false;
+  for (const RaNodePtr& c : node->children()) {
+    RaNodePtr nc = RewriteExprsImpl(c, fn);
+    changed |= (nc != c);
+    kids.push_back(std::move(nc));
+  }
+  ScalarExprPtr pred = node->predicate() != nullptr
+                           ? RewriteScalar(node->predicate(), fn)
+                           : nullptr;
+  changed |= (pred != node->predicate());
+
+  switch (node->op()) {
+    case RaOp::kScan:
+      return node;
+    case RaOp::kSelect:
+      if (!changed) return node;
+      return RaNode::Select(kids[0], pred);
+    case RaOp::kProject: {
+      std::vector<ProjectItem> items;
+      for (const ProjectItem& item : node->project_items()) {
+        ScalarExprPtr e = RewriteScalar(item.expr, fn);
+        changed |= (e != item.expr);
+        items.push_back({std::move(e), item.name});
+      }
+      if (!changed) return node;
+      return RaNode::Project(kids[0], std::move(items));
+    }
+    case RaOp::kJoin:
+      if (!changed) return node;
+      return RaNode::Join(kids[0], kids[1], pred);
+    case RaOp::kLeftOuterJoin:
+      if (!changed) return node;
+      return RaNode::LeftOuterJoin(kids[0], kids[1], pred);
+    case RaOp::kOuterApply:
+      if (!changed) return node;
+      return RaNode::OuterApply(kids[0], kids[1]);
+    case RaOp::kGroupBy: {
+      std::vector<ScalarExprPtr> keys;
+      for (const ScalarExprPtr& key : node->group_keys()) {
+        ScalarExprPtr e = RewriteScalar(key, fn);
+        changed |= (e != key);
+        keys.push_back(std::move(e));
+      }
+      std::vector<ra::AggregateSpec> aggs;
+      for (const ra::AggregateSpec& agg : node->aggregates()) {
+        ScalarExprPtr arg =
+            agg.arg != nullptr ? RewriteScalar(agg.arg, fn) : nullptr;
+        changed |= (arg != agg.arg);
+        aggs.push_back({agg.func, std::move(arg), agg.name});
+      }
+      if (!changed) return node;
+      return RaNode::GroupBy(kids[0], std::move(keys), std::move(aggs));
+    }
+    case RaOp::kSort: {
+      std::vector<ra::SortKey> keys;
+      for (const ra::SortKey& key : node->sort_keys()) {
+        ScalarExprPtr e = RewriteScalar(key.expr, fn);
+        changed |= (e != key.expr);
+        keys.push_back({std::move(e), key.ascending});
+      }
+      if (!changed) return node;
+      return RaNode::Sort(kids[0], std::move(keys));
+    }
+    case RaOp::kDedup:
+      if (!changed) return node;
+      return RaNode::Dedup(kids[0]);
+    case RaOp::kLimit:
+      if (!changed) return node;
+      return RaNode::Limit(kids[0], node->limit());
+  }
+  return node;
+}
+
+ScalarExprPtr RewriteScalar(
+    const ScalarExprPtr& expr,
+    const std::function<ScalarExprPtr(const ScalarExprPtr&)>& fn) {
+  if (expr == nullptr) return nullptr;
+  ScalarExprPtr direct = fn(expr);
+  if (direct != nullptr) return direct;
+  if (expr->op() == ScalarOp::kExists || expr->op() == ScalarOp::kNotExists) {
+    RaNodePtr sub = RewriteExprsImpl(expr->subquery(), fn);
+    if (sub == expr->subquery()) return expr;
+    return ScalarExpr::Exists(sub, expr->op() == ScalarOp::kNotExists);
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ScalarExprPtr> kids;
+  bool changed = false;
+  for (const ScalarExprPtr& c : expr->children()) {
+    ScalarExprPtr nc = RewriteScalar(c, fn);
+    changed |= (nc != c);
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  return ScalarExpr::Nary(expr->op(), std::move(kids));
+}
+
+}  // namespace
+
+RaNodePtr RewriteExprs(
+    const RaNodePtr& node,
+    const std::function<ScalarExprPtr(const ScalarExprPtr&)>& fn) {
+  return RewriteExprsImpl(node, fn);
+}
+
+RaNodePtr BindParameters(const RaNodePtr& node,
+                         const std::vector<ScalarExprPtr>& bindings) {
+  return RewriteExprs(node, [&](const ScalarExprPtr& e) -> ScalarExprPtr {
+    if (e->op() == ScalarOp::kParameter) {
+      int i = e->parameter_index();
+      if (i >= 0 && static_cast<size_t>(i) < bindings.size() &&
+          bindings[i] != nullptr) {
+        return bindings[i];
+      }
+    }
+    return nullptr;
+  });
+}
+
+RaNodePtr ShiftParameters(const RaNodePtr& node, int offset) {
+  if (offset == 0) return node;
+  return RewriteExprs(node, [&](const ScalarExprPtr& e) -> ScalarExprPtr {
+    if (e->op() == ScalarOp::kParameter) {
+      return ScalarExpr::Parameter(e->parameter_index() + offset);
+    }
+    return nullptr;
+  });
+}
+
+bool ReferencesVars(const ScalarExprPtr& expr,
+                    const std::set<std::string>& vars) {
+  std::vector<std::string> refs;
+  ra::CollectColumnRefs(expr, &refs);
+  for (const std::string& r : refs) {
+    size_t dot = r.find('.');
+    if (dot != std::string::npos && vars.count(r.substr(0, dot)) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void SplitConjunctsImpl(const ScalarExprPtr& pred,
+                        std::vector<ScalarExprPtr>* out) {
+  if (pred == nullptr) return;
+  if (pred->op() == ScalarOp::kAnd) {
+    SplitConjunctsImpl(pred->child(0), out);
+    SplitConjunctsImpl(pred->child(1), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+}  // namespace
+
+bool ResolvesIn(const RaNodePtr& query, const std::string& name) {
+  size_t dot = name.rfind('.');
+  std::string bare = dot == std::string::npos ? name : name.substr(dot + 1);
+  Result<std::string> qualified = QualifyAttr(query, bare);
+  if (!qualified.ok()) return false;
+  // A qualified spelling must match the query's own qualification;
+  // an unqualified one resolves if the bare attribute is found.
+  return dot == std::string::npos || *qualified == name;
+}
+
+RaNodePtr ExtractCorrelatedConjuncts(const RaNodePtr& query,
+                                     std::vector<ScalarExprPtr>* extracted) {
+  if (query->op() == RaOp::kSelect) {
+    RaNodePtr child = ExtractCorrelatedConjuncts(query->child(0), extracted);
+    std::vector<ScalarExprPtr> conjuncts;
+    SplitConjunctsImpl(query->predicate(), &conjuncts);
+    std::vector<ScalarExprPtr> kept;
+    for (const ScalarExprPtr& c : conjuncts) {
+      std::vector<std::string> refs;
+      ra::CollectColumnRefs(c, &refs);
+      bool correlated = false;
+      for (const std::string& r : refs) {
+        if (!ResolvesIn(child, r)) correlated = true;
+      }
+      if (correlated) {
+        extracted->push_back(c);
+      } else {
+        kept.push_back(c);
+      }
+    }
+    if (kept.empty()) return child;
+    return RaNode::Select(child, ScalarExpr::MakeAnd(std::move(kept)));
+  }
+  if (query->op() == RaOp::kProject) {
+    RaNodePtr child = ExtractCorrelatedConjuncts(query->child(0), extracted);
+    if (child == query->child(0)) return query;
+    return RaNode::Project(child, query->project_items());
+  }
+  return query;
+}
+
+Result<std::string> PrimaryScanKey(
+    const RaNodePtr& query, const std::map<std::string, std::string>& keys) {
+  const RaNode* cur = query.get();
+  while (cur->op() != RaOp::kScan) {
+    if (cur->children().empty()) {
+      return Status::NotFound("no base scan under query");
+    }
+    cur = cur->child(0).get();
+  }
+  auto it = keys.find(AsciiToLower(cur->table_name()));
+  if (it == keys.end()) {
+    return Status::NotFound("no unique key declared for table " +
+                            cur->table_name());
+  }
+  return cur->alias() + "." + it->second;
+}
+
+}  // namespace eqsql::rules

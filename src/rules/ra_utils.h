@@ -1,0 +1,63 @@
+#ifndef EQSQL_RULES_RA_UTILS_H_
+#define EQSQL_RULES_RA_UTILS_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ra/ra_node.h"
+
+namespace eqsql::rules {
+
+/// Resolves an imperative attribute name against a query's output: for a
+/// Scan it is "alias.attr"; for a Project/GroupBy it is the matching
+/// output item's name. Errors when the attribute cannot be located or is
+/// ambiguous across a join.
+Result<std::string> QualifyAttr(const ra::RaNodePtr& query,
+                                const std::string& attr);
+
+/// Rebuilds `node` with every scalar expression rewritten by `fn`
+/// (predicates, project items, group keys, aggregate args, sort keys).
+ra::RaNodePtr RewriteExprs(
+    const ra::RaNodePtr& node,
+    const std::function<ra::ScalarExprPtr(const ra::ScalarExprPtr&)>& fn);
+
+/// Replaces Parameter(i) leaves with bindings[i] (when non-null).
+ra::RaNodePtr BindParameters(const ra::RaNodePtr& node,
+                             const std::vector<ra::ScalarExprPtr>& bindings);
+
+/// Renumbers every Parameter(i) to Parameter(i + offset).
+ra::RaNodePtr ShiftParameters(const ra::RaNodePtr& node, int offset);
+
+/// True if the (possibly qualified) column name resolves against the
+/// query's own output (QualifyAttr agrees with the spelled name).
+bool ResolvesIn(const ra::RaNodePtr& query, const std::string& name);
+
+/// Splits the top-of-tree Select predicates of `query` into conjuncts
+/// that reference at least one column that does NOT resolve within the
+/// query itself (correlated — typically join conditions, whether
+/// qualified by a cursor variable or by the outer query's alias) and
+/// the rest. Returns the query with correlated conjuncts removed;
+/// appends them to `extracted`.
+ra::RaNodePtr ExtractCorrelatedConjuncts(
+    const ra::RaNodePtr& query,
+    std::vector<ra::ScalarExprPtr>* extracted);
+
+/// True if any column ref in the expression is qualified by a name in
+/// `vars` ("t.attr" with t in vars).
+bool ReferencesVars(const ra::ScalarExprPtr& expr,
+                    const std::set<std::string>& vars);
+
+/// The base-table unique key of `query`'s primary (left-most) scan, via
+/// the `keys` table→column map; errors when unknown. Used by rules T4.1
+/// and T5.2 which require the outer query to have a key.
+Result<std::string> PrimaryScanKey(
+    const ra::RaNodePtr& query,
+    const std::map<std::string, std::string>& keys);
+
+}  // namespace eqsql::rules
+
+#endif  // EQSQL_RULES_RA_UTILS_H_

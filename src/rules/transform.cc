@@ -1,0 +1,750 @@
+#include "rules/transform.h"
+
+#include <algorithm>
+
+#include "rules/convert.h"
+#include "rules/ra_utils.h"
+
+namespace eqsql::rules {
+
+using dir::DNode;
+using dir::DNodePtr;
+using dir::DOp;
+using ra::ProjectItem;
+using ra::RaNode;
+using ra::RaNodePtr;
+using ra::RaOp;
+using ra::ScalarExpr;
+using ra::ScalarExprPtr;
+using ra::ScalarOp;
+
+namespace {
+
+bool IsAcc(const DNodePtr& n) { return n->op() == DOp::kAccParam; }
+
+/// Finds the accumulator variable named by kAccParam leaves, if any.
+std::optional<std::string> FindAccVar(const DNodePtr& n) {
+  if (n->op() == DOp::kAccParam) return n->name();
+  for (const DNodePtr& c : n->children()) {
+    auto found = FindAccVar(c);
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+/// Pushes a selection predicate below order-preserving operators
+/// (Project, Sort) per rule T2's equation, substituting projected
+/// expressions into the predicate when crossing a Project. Stops above
+/// Limit / Dedup / GroupBy, where pushing would change semantics.
+RaNodePtr PushSelect(const RaNodePtr& query, const ScalarExprPtr& pred) {
+  switch (query->op()) {
+    case RaOp::kProject: {
+      // Substitute item names for item expressions in the predicate.
+      ScalarExprPtr inner_pred =
+          ra::RenameColumns(pred, [&](const std::string& name) {
+            return name;  // names handled below via full rewrite
+          });
+      // Build name -> expr map (exact and bare-suffix).
+      auto rewritten = RewriteExprs(
+          RaNode::Select(query->child(0), pred),
+          [&](const ScalarExprPtr& e) -> ScalarExprPtr {
+            if (e->op() != ScalarOp::kColumnRef) return nullptr;
+            for (const ProjectItem& item : query->project_items()) {
+              if (item.name == e->column_name()) return item.expr;
+              size_t dot = item.name.rfind('.');
+              if (dot != std::string::npos &&
+                  item.name.compare(dot + 1, std::string::npos,
+                                    e->column_name()) == 0) {
+                return item.expr;
+              }
+            }
+            return nullptr;
+          });
+      // rewritten = Select(child, pred'); recurse below.
+      RaNodePtr pushed =
+          PushSelect(query->child(0), rewritten->predicate());
+      return RaNode::Project(pushed, query->project_items());
+    }
+    case RaOp::kSort:
+      return RaNode::Sort(PushSelect(query->child(0), pred),
+                          query->sort_keys());
+    default:
+      return RaNode::Select(query, pred);
+  }
+}
+
+/// The single output column name of a query with an explicit select
+/// list, or an error.
+Result<std::string> SingleOutputName(const RaNodePtr& query) {
+  switch (query->op()) {
+    case RaOp::kProject:
+      if (query->project_items().size() != 1) {
+        return Status::Unsupported("scalar subquery with multiple columns");
+      }
+      return query->project_items()[0].name;
+    case RaOp::kGroupBy:
+      if (!query->group_keys().empty() || query->aggregates().size() != 1) {
+        return Status::Unsupported("scalar subquery with multiple columns");
+      }
+      return query->aggregates()[0].name;
+    case RaOp::kSelect:
+    case RaOp::kSort:
+    case RaOp::kDedup:
+    case RaOp::kLimit:
+      return SingleOutputName(query->child(0));
+    default:
+      return Status::Unsupported("scalar subquery without a select list");
+  }
+}
+
+/// Renames correlated refs "var.attr" (var in `vars`) into columns of
+/// `outer_query` via QualifyAttr. Leaves other refs untouched. Errors
+/// are mapped to keeping the original name (caller validates execution).
+ScalarExprPtr RenameCorrelated(const ScalarExprPtr& expr,
+                               const std::set<std::string>& vars,
+                               const RaNodePtr& outer_query) {
+  return ra::RenameColumns(expr, [&](const std::string& name) {
+    size_t dot = name.find('.');
+    if (dot == std::string::npos) return name;
+    std::string var = name.substr(0, dot);
+    if (vars.count(var) == 0) return name;
+    Result<std::string> qualified =
+        QualifyAttr(outer_query, name.substr(dot + 1));
+    return qualified.ok() ? *qualified : name;
+  });
+}
+
+RaNodePtr RenameCorrelatedInQuery(const RaNodePtr& query,
+                                  const std::set<std::string>& vars,
+                                  const RaNodePtr& outer_query) {
+  return RewriteExprs(query, [&](const ScalarExprPtr& e) -> ScalarExprPtr {
+    if (e->op() != ScalarOp::kColumnRef) return nullptr;
+    ScalarExprPtr renamed = RenameCorrelated(e, vars, outer_query);
+    return renamed == e ? nullptr : renamed;
+  });
+}
+
+/// Flattens nested kTuple constructions into a flat element list
+/// (pair(a, pair(b, c)) projects three columns).
+void FlattenElems(const DNodePtr& elem, std::vector<DNodePtr>* out) {
+  if (elem->op() == DOp::kTuple) {
+    for (const DNodePtr& c : elem->children()) FlattenElems(c, out);
+    return;
+  }
+  out->push_back(elem);
+}
+
+/// Output item name for a projected ee-DAG element.
+std::string ItemName(const DNodePtr& elem, size_t index) {
+  if (elem->op() == DOp::kTupleAttr) return elem->attr();
+  return "c" + std::to_string(index);
+}
+
+}  // namespace
+
+DNodePtr Transformer::Transform(const DNodePtr& node) {
+  applied_.clear();
+  var_stack_.clear();
+  return Rewrite(node);
+}
+
+DNodePtr Transformer::Rewrite(const DNodePtr& node) {
+  switch (node->op()) {
+    case DOp::kFold: {
+      var_stack_.push_back(node->tuple_var());
+      DNodePtr fn = Rewrite(node->fold_fn());
+      var_stack_.pop_back();
+      DNodePtr init = Rewrite(node->fold_init());
+      DNodePtr query = Rewrite(node->fold_query());
+      DNodePtr fold = ctx_->Fold(fn, init, query, node->tuple_var());
+      return TransformFold(fold);
+    }
+    default: {
+      if (node->children().empty()) return node;
+      std::vector<DNodePtr> kids;
+      bool changed = false;
+      for (const DNodePtr& c : node->children()) {
+        DNodePtr nc = Rewrite(c);
+        changed |= (nc.get() != c.get());
+        kids.push_back(std::move(nc));
+      }
+      if (!changed) return node;
+      switch (node->op()) {
+        case DOp::kQuery:
+          return ctx_->Query(node->query(), std::move(kids));
+        case DOp::kLoop:
+          return ctx_->Loop(kids[0], kids[1], node->tuple_var());
+        case DOp::kCond:
+          return ctx_->Cond(kids[0], kids[1], kids[2]);
+        default:
+          return ctx_->Nary(node->op(), std::move(kids));
+      }
+    }
+  }
+}
+
+DNodePtr Transformer::TransformFold(DNodePtr fold) {
+  // Apply rules until none fires. The rule set pushes computation into
+  // the query only, so this terminates (paper Sec. 5.3).
+  for (int guard = 0; guard < 64; ++guard) {
+    if (fold->op() != DOp::kFold) return fold;
+    if (fold->fold_query()->op() != DOp::kQuery) return fold;
+    DNodePtr next;
+    if (Enabled("T2") && (next = TryPredicatePush(fold)) != nullptr) {
+      applied_.push_back("T2");
+      fold = next;
+      continue;
+    }
+    // Correlated folds and folds whose init is the enclosing accumulator
+    // are consumed by the enclosing fold's rule (T4 / T5.2).
+    bool correlated = IsCorrelatedQuery(fold->fold_query(), OuterVars());
+    bool acc_init = fold->fold_init()->op() == DOp::kAccParam;
+    if (correlated || acc_init) return fold;
+
+    if (Enabled("EXISTS") && (next = TryExistsPattern(fold)) != nullptr) {
+      applied_.push_back("EXISTS");
+      return next;
+    }
+    if (Enabled("T5.1") && (next = TryScalarAggregate(fold)) != nullptr) {
+      applied_.push_back("T5.1");
+      return next;
+    }
+    if (Enabled("T4") && (next = TryJoinIdentification(fold)) != nullptr) {
+      applied_.push_back("T4");
+      return next;
+    }
+    if (Enabled("T5.2") && (next = TryGroupBy(fold)) != nullptr) {
+      applied_.push_back("T5.2");
+      return next;
+    }
+    if (Enabled("T7") && (next = TryOuterApply(fold)) != nullptr) {
+      applied_.push_back("T7");
+      return next;
+    }
+    if (Enabled("T1") && (next = TrySimpleCollect(fold)) != nullptr) {
+      applied_.push_back("T1");
+      return next;
+    }
+    return fold;
+  }
+  return fold;
+}
+
+// --- T2: predicate push ------------------------------------------------------
+
+DNodePtr Transformer::TryPredicatePush(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  if (fn->op() != DOp::kCond) return nullptr;
+  const DNodePtr& cond = fn->child(0);
+  const DNodePtr& then_v = fn->child(1);
+  const DNodePtr& else_v = fn->child(2);
+  bool keep_else = IsAcc(else_v);   // ?[pred, g, acc]
+  bool keep_then = IsAcc(then_v);   // ?[pred, acc, g]
+  if (!keep_else && !keep_then) return nullptr;
+
+  const DNodePtr& query_node = fold->fold_query();
+  std::vector<DNodePtr> params = query_node->children();
+  ConvertContext cc;
+  cc.tuple_var = fold->tuple_var();
+  cc.tuple_query = query_node->query();
+  cc.outer_vars = OuterVars();
+  cc.params = &params;
+  Result<ScalarExprPtr> pred = DnodeToRaExpr(cond, &cc);
+  if (!pred.ok()) return nullptr;
+  ScalarExprPtr pred_ra = *pred;
+  if (keep_then) pred_ra = ScalarExpr::Unary(ScalarOp::kNot, pred_ra);
+
+  RaNodePtr pushed = PushSelect(query_node->query(), pred_ra);
+  DNodePtr new_query = ctx_->Query(pushed, std::move(params));
+  DNodePtr g = keep_else ? then_v : else_v;
+  return ctx_->Fold(g, fold->fold_init(), new_query, fold->tuple_var());
+}
+
+// --- T5.1 + T6: scalar aggregation ------------------------------------------
+
+DNodePtr Transformer::TryScalarAggregate(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  if (fn->children().size() != 2) return nullptr;
+  DOp op = fn->op();
+  if (op != DOp::kMax && op != DOp::kMin && op != DOp::kAdd) return nullptr;
+
+  DNodePtr arg;
+  if (IsAcc(fn->child(0)) && !IsAcc(fn->child(1))) {
+    arg = fn->child(1);
+  } else if (IsAcc(fn->child(1)) && !IsAcc(fn->child(0))) {
+    arg = fn->child(0);
+  } else {
+    return nullptr;
+  }
+
+  const DNodePtr& query_node = fold->fold_query();
+  std::vector<DNodePtr> params = query_node->children();
+  ConvertContext cc;
+  cc.tuple_var = fold->tuple_var();
+  cc.tuple_query = query_node->query();
+  cc.outer_vars = OuterVars();
+  cc.params = &params;
+
+  bool is_count = op == DOp::kAdd && arg->op() == DOp::kConst &&
+                  arg->value() == catalog::Value::Int(1);
+  ra::AggFunc func;
+  ScalarExprPtr arg_ra;
+  if (is_count) {
+    func = ra::AggFunc::kCountStar;
+  } else {
+    Result<ScalarExprPtr> converted = DnodeToRaExpr(arg, &cc);
+    if (!converted.ok()) return nullptr;
+    arg_ra = *converted;
+    func = op == DOp::kMax ? ra::AggFunc::kMax
+           : op == DOp::kMin ? ra::AggFunc::kMin
+                             : ra::AggFunc::kSum;
+  }
+
+  RaNodePtr agg = RaNode::GroupBy(
+      query_node->query(), {},
+      {{func, arg_ra, "agg"}});
+  DNodePtr scalar =
+      ctx_->Unary(DOp::kScalar, ctx_->Query(agg, std::move(params)));
+
+  // T6: combine with the initial value. max/min treat the empty-input
+  // NULL as absent; SUM/COUNT use coalesce + addition.
+  const DNodePtr& init = fold->fold_init();
+  switch (op) {
+    case DOp::kMax:
+      return ctx_->Binary(DOp::kMax, init, scalar);
+    case DOp::kMin:
+      return ctx_->Binary(DOp::kMin, init, scalar);
+    default:
+      return ctx_->Binary(
+          DOp::kAdd, init,
+          ctx_->Binary(DOp::kCoalesce, scalar, ctx_->ConstInt(0)));
+  }
+}
+
+// --- EXISTS / NOT EXISTS (App. B) --------------------------------------------
+
+DNodePtr Transformer::TryExistsPattern(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  DNodePtr pred;
+  bool universal = false;  // kAnd pattern: all rows satisfy ¬pred
+  if (fn->op() == DOp::kOr && fn->children().size() == 2 &&
+      IsAcc(fn->child(0))) {
+    pred = fn->child(1);
+  } else if (fn->op() == DOp::kOr && fn->children().size() == 2 &&
+             IsAcc(fn->child(1))) {
+    pred = fn->child(0);
+  } else if (fn->op() == DOp::kAnd && fn->children().size() == 2 &&
+             IsAcc(fn->child(0))) {
+    pred = ctx_->Unary(DOp::kNot, fn->child(1));
+    universal = true;
+  } else {
+    return nullptr;
+  }
+
+  const DNodePtr& query_node = fold->fold_query();
+  std::vector<DNodePtr> params = query_node->children();
+  ConvertContext cc;
+  cc.tuple_var = fold->tuple_var();
+  cc.tuple_query = query_node->query();
+  cc.outer_vars = OuterVars();
+  cc.params = &params;
+  Result<ScalarExprPtr> pred_ra = DnodeToRaExpr(pred, &cc);
+  if (!pred_ra.ok()) return nullptr;
+
+  RaNodePtr counted = RaNode::GroupBy(
+      PushSelect(query_node->query(), *pred_ra), {},
+      {{ra::AggFunc::kCountStar, nullptr, "cnt"}});
+  DNodePtr count =
+      ctx_->Unary(DOp::kScalar, ctx_->Query(counted, std::move(params)));
+  if (universal) {
+    // acc AND all-rows-hold: count of violations is zero.
+    return ctx_->Binary(DOp::kAnd, fold->fold_init(),
+                        ctx_->Binary(DOp::kEq, count, ctx_->ConstInt(0)));
+  }
+  return ctx_->Binary(DOp::kOr, fold->fold_init(),
+                      ctx_->Binary(DOp::kGt, count, ctx_->ConstInt(0)));
+}
+
+// --- T1 (+T3): simple collection --------------------------------------------
+
+DNodePtr Transformer::TrySimpleCollect(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  bool is_append = fn->op() == DOp::kAppend;
+  bool is_insert = fn->op() == DOp::kInsert;
+  if (!is_append && !is_insert) return nullptr;
+  if (!IsAcc(fn->child(0))) return nullptr;
+  const DNodePtr& init = fold->fold_init();
+  if (is_append && init->op() != DOp::kEmptyList) return nullptr;
+  if (is_insert && init->op() != DOp::kEmptySet) return nullptr;
+
+  const DNodePtr& elem = fn->child(1);
+  const DNodePtr& query_node = fold->fold_query();
+
+  // T1.1 pure form: appending the whole tuple yields the query itself.
+  if (elem->op() == DOp::kTupleRef && elem->name() == fold->tuple_var()) {
+    RaNodePtr plan = query_node->query();
+    if (is_insert) plan = RaNode::Dedup(plan);
+    return ctx_->Query(plan, query_node->children());
+  }
+
+  std::vector<DNodePtr> params = query_node->children();
+  ConvertContext cc;
+  cc.tuple_var = fold->tuple_var();
+  cc.tuple_query = query_node->query();
+  cc.outer_vars = OuterVars();
+  cc.params = &params;
+
+  std::vector<DNodePtr> elems;
+  FlattenElems(elem, &elems);
+  std::vector<ProjectItem> items;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    Result<ScalarExprPtr> e = DnodeToRaExpr(elems[i], &cc);
+    if (!e.ok()) return nullptr;
+    items.push_back({*e, ItemName(elems[i], i)});
+  }
+
+  RaNodePtr plan = RaNode::Project(query_node->query(), std::move(items));
+  if (is_insert) plan = RaNode::Dedup(plan);
+  return ctx_->Query(plan, std::move(params));
+}
+
+// --- T4: join identification --------------------------------------------------
+
+DNodePtr Transformer::TryJoinIdentification(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  if (fn->op() != DOp::kFold) return nullptr;
+  if (fn->fold_init()->op() != DOp::kAccParam) return nullptr;
+  const DNodePtr& inner_fn = fn->fold_fn();
+  bool is_append =
+      inner_fn->op() == DOp::kAppend && IsAcc(inner_fn->child(0));
+  bool is_insert =
+      inner_fn->op() == DOp::kInsert && IsAcc(inner_fn->child(0));
+  if (!is_append && !is_insert) return nullptr;
+  const DNodePtr& init = fold->fold_init();
+  if (is_append && init->op() != DOp::kEmptyList) return nullptr;
+  if (is_insert && init->op() != DOp::kEmptySet) return nullptr;
+  if (fn->fold_query()->op() != DOp::kQuery) return nullptr;
+
+  const std::string& t1 = fold->tuple_var();
+  const std::string& t2 = fn->tuple_var();
+  const DNodePtr& q1_node = fold->fold_query();
+  const DNodePtr& q2_node = fn->fold_query();
+  RaNodePtr ra1 = q1_node->query();
+
+  std::vector<DNodePtr> params = q1_node->children();
+
+  // Bind the inner query's parameters: correlated parameters become
+  // outer-column refs; program inputs merge into the combined list.
+  ConvertContext outer_cc;
+  outer_cc.tuple_var = t1;
+  outer_cc.tuple_query = ra1;
+  outer_cc.outer_vars = OuterVars();
+  outer_cc.params = &params;
+  std::vector<ScalarExprPtr> bindings;
+  for (const DNodePtr& p : q2_node->children()) {
+    Result<ScalarExprPtr> bound = DnodeToRaExpr(p, &outer_cc);
+    if (!bound.ok()) return nullptr;
+    bindings.push_back(*bound);
+  }
+  RaNodePtr ra2 = BindParameters(q2_node->query(), bindings);
+
+  // Hoist correlated selection conjuncts into the join condition.
+  std::vector<ScalarExprPtr> correlated;
+  ra2 = ExtractCorrelatedConjuncts(ra2, &correlated);
+  ScalarExprPtr join_pred =
+      correlated.empty()
+          ? ScalarExpr::Literal(catalog::Value::Bool(true))
+          : RenameCorrelated(ScalarExpr::MakeAnd(correlated), {t1}, ra1);
+
+  // Convert the inner element over (t2 : ra2), renaming t1 refs.
+  ConvertContext inner_cc;
+  inner_cc.tuple_var = t2;
+  inner_cc.tuple_query = ra2;
+  std::set<std::string> outer_plus = OuterVars();
+  outer_plus.insert(t1);
+  inner_cc.outer_vars = outer_plus;
+  inner_cc.params = &params;
+  const DNodePtr& elem = inner_fn->child(1);
+  std::vector<ProjectItem> items;
+  auto convert_item = [&](const DNodePtr& e, size_t i) -> bool {
+    Result<ScalarExprPtr> converted = DnodeToRaExpr(e, &inner_cc);
+    if (!converted.ok()) return false;
+    items.push_back({RenameCorrelated(*converted, {t1}, ra1),
+                     ItemName(e, i)});
+    return true;
+  };
+  std::vector<DNodePtr> elems;
+  FlattenElems(elem, &elems);
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (!convert_item(elems[i], i)) return nullptr;
+  }
+
+  RaNodePtr join = RaNode::Join(ra1, ra2, join_pred);
+  RaNodePtr plan;
+  if (is_insert) {
+    // T4.2: δ(πL(Q1 ⋈ Q2)).
+    plan = RaNode::Dedup(RaNode::Project(join, std::move(items)));
+  } else if (opts_.ignore_ordering) {
+    // T4.3: multiset semantics — πL(Q1 ⋈ Q2).
+    plan = RaNode::Project(join, std::move(items));
+  } else {
+    // T4.1: result sorted on (Z1, Q1.K, Z2); our Zs are empty, so sort
+    // on the outer key, which must exist.
+    Result<std::string> key = PrimaryScanKey(ra1, opts_.table_keys);
+    if (!key.ok()) return nullptr;
+    plan = RaNode::Project(
+        RaNode::Sort(join, {{ScalarExpr::Column(*key), true}}),
+        std::move(items));
+  }
+  return ctx_->Query(plan, std::move(params));
+}
+
+// --- T5.2: group-by identification -------------------------------------------
+
+DNodePtr Transformer::TryGroupBy(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  bool is_append = fn->op() == DOp::kAppend && IsAcc(fn->child(0));
+  bool is_insert = fn->op() == DOp::kInsert && IsAcc(fn->child(0));
+  if (!is_append && !is_insert) return nullptr;
+  const DNodePtr& init = fold->fold_init();
+  if (is_append && init->op() != DOp::kEmptyList) return nullptr;
+  if (is_insert && init->op() != DOp::kEmptySet) return nullptr;
+
+  // Locate the single inner aggregation fold inside the element.
+  const DNodePtr& elem = fn->child(1);
+  std::vector<DNodePtr> elems;
+  FlattenElems(elem, &elems);
+  int agg_index = -1;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (elems[i]->op() == DOp::kFold) {
+      if (agg_index != -1) return nullptr;  // more than one aggregation
+      agg_index = static_cast<int>(i);
+    } else if (elems[i]->op() != DOp::kTupleAttr) {
+      return nullptr;  // non-key, non-aggregate element
+    }
+  }
+  if (agg_index == -1) return nullptr;
+  const DNodePtr& inner = elems[agg_index];
+  if (inner->fold_query()->op() != DOp::kQuery) return nullptr;
+  const DNodePtr& inner_fn = inner->fold_fn();
+  if (inner_fn->children().size() != 2) return nullptr;
+
+  DOp agg_op = inner_fn->op();
+  if (agg_op != DOp::kAdd && agg_op != DOp::kMax && agg_op != DOp::kMin) {
+    return nullptr;
+  }
+  DNodePtr arg;
+  if (IsAcc(inner_fn->child(0)) && !IsAcc(inner_fn->child(1))) {
+    arg = inner_fn->child(1);
+  } else if (IsAcc(inner_fn->child(1)) && !IsAcc(inner_fn->child(0))) {
+    arg = inner_fn->child(0);
+  } else {
+    return nullptr;
+  }
+  if (inner->fold_init()->op() != DOp::kConst) return nullptr;
+  catalog::Value inner_init = inner->fold_init()->value();
+
+  const std::string& t1 = fold->tuple_var();
+  const std::string& t2 = inner->tuple_var();
+  const DNodePtr& q1_node = fold->fold_query();
+  const DNodePtr& q2_node = inner->fold_query();
+  RaNodePtr ra1 = q1_node->query();
+  std::vector<DNodePtr> params = q1_node->children();
+
+  // T5.2 requires a key on Q1 (paper Sec. 5.1).
+  Result<std::string> key = PrimaryScanKey(ra1, opts_.table_keys);
+  if (!key.ok()) return nullptr;
+
+  // Bind inner parameters and hoist correlated predicates (as in T4).
+  ConvertContext outer_cc;
+  outer_cc.tuple_var = t1;
+  outer_cc.tuple_query = ra1;
+  outer_cc.outer_vars = OuterVars();
+  outer_cc.params = &params;
+  std::vector<ScalarExprPtr> bindings;
+  for (const DNodePtr& p : q2_node->children()) {
+    Result<ScalarExprPtr> bound = DnodeToRaExpr(p, &outer_cc);
+    if (!bound.ok()) return nullptr;
+    bindings.push_back(*bound);
+  }
+  RaNodePtr ra2 = BindParameters(q2_node->query(), bindings);
+  std::vector<ScalarExprPtr> correlated;
+  ra2 = ExtractCorrelatedConjuncts(ra2, &correlated);
+  ScalarExprPtr join_pred =
+      correlated.empty()
+          ? ScalarExpr::Literal(catalog::Value::Bool(true))
+          : RenameCorrelated(ScalarExpr::MakeAnd(correlated), {t1}, ra1);
+
+  // The loop emits a row for every outer tuple, including empty groups:
+  // left outer join (extension of the paper's T5.2 via [7]).
+  RaNodePtr join = RaNode::LeftOuterJoin(ra1, ra2, join_pred);
+
+  // Group keys: the outer key plus each projected outer attribute.
+  std::vector<ScalarExprPtr> group_keys;
+  group_keys.push_back(ScalarExpr::Column(*key));
+  std::vector<std::string> key_names;  // output names aligned with elems
+  key_names.resize(elems.size());
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (static_cast<int>(i) == agg_index) continue;
+    Result<std::string> qualified = QualifyAttr(ra1, elems[i]->attr());
+    if (!qualified.ok()) return nullptr;
+    key_names[i] = *qualified;
+    bool duplicate = false;
+    for (const ScalarExprPtr& k : group_keys) {
+      if (k->op() == ScalarOp::kColumnRef && k->column_name() == *qualified) {
+        duplicate = true;
+      }
+    }
+    if (!duplicate) group_keys.push_back(ScalarExpr::Column(*qualified));
+  }
+
+  // Aggregate argument over the inner side.
+  ra::AggFunc func;
+  ScalarExprPtr arg_ra;
+  bool is_count = agg_op == DOp::kAdd && arg->op() == DOp::kConst &&
+                  arg->value() == catalog::Value::Int(1);
+  ConvertContext inner_cc;
+  inner_cc.tuple_var = t2;
+  inner_cc.tuple_query = ra2;
+  std::set<std::string> outer_plus = OuterVars();
+  outer_plus.insert(t1);
+  inner_cc.outer_vars = outer_plus;
+  inner_cc.params = &params;
+  if (is_count) {
+    // COUNT must not count NULL-padded rows from the outer join: count
+    // an inner join column extracted from the join predicate.
+    ScalarExprPtr inner_col;
+    std::vector<std::string> refs;
+    ra::CollectColumnRefs(join_pred, &refs);
+    for (const std::string& r : refs) {
+      Result<std::string> q2col =
+          QualifyAttr(ra2, r.substr(r.rfind('.') + 1));
+      if (q2col.ok() && *q2col == r) {
+        inner_col = ScalarExpr::Column(r);
+        break;
+      }
+    }
+    if (inner_col == nullptr) return nullptr;
+    func = ra::AggFunc::kCount;
+    arg_ra = inner_col;
+  } else {
+    Result<ScalarExprPtr> converted = DnodeToRaExpr(arg, &inner_cc);
+    if (!converted.ok()) return nullptr;
+    arg_ra = RenameCorrelated(*converted, {t1}, ra1);
+    func = agg_op == DOp::kMax ? ra::AggFunc::kMax
+           : agg_op == DOp::kMin ? ra::AggFunc::kMin
+                                 : ra::AggFunc::kSum;
+  }
+
+  RaNodePtr grouped =
+      RaNode::GroupBy(join, group_keys, {{func, arg_ra, "agg"}});
+  RaNodePtr sorted = opts_.ignore_ordering
+                         ? grouped
+                         : RaNode::Sort(grouped,
+                                        {{ScalarExpr::Column(*key), true}});
+
+  // Projection restoring the tuple shape; empty groups fall back to the
+  // inner fold's initial value.
+  std::vector<ProjectItem> items;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    if (static_cast<int>(i) == agg_index) {
+      ScalarExprPtr agg_col = ScalarExpr::Column("agg");
+      ScalarExprPtr value =
+          func == ra::AggFunc::kCount
+              ? agg_col
+              : ScalarExpr::Case(
+                    ScalarExpr::Unary(ScalarOp::kIsNull, agg_col),
+                    ScalarExpr::Literal(inner_init), agg_col);
+      items.push_back({std::move(value), "agg"});
+    } else {
+      items.push_back({ScalarExpr::Column(key_names[i]),
+                       ItemName(elems[i], i)});
+    }
+  }
+  RaNodePtr plan = RaNode::Project(sorted, std::move(items));
+  if (is_insert) plan = RaNode::Dedup(plan);
+  return ctx_->Query(plan, std::move(params));
+}
+
+// --- T7: outer apply -----------------------------------------------------------
+
+DNodePtr Transformer::TryOuterApply(const DNodePtr& fold) {
+  const DNodePtr& fn = fold->fold_fn();
+  if (fn->op() != DOp::kAppend || !IsAcc(fn->child(0))) return nullptr;
+  if (fold->fold_init()->op() != DOp::kEmptyList) return nullptr;
+  const std::string& t1 = fold->tuple_var();
+  const DNodePtr& q1_node = fold->fold_query();
+  RaNodePtr ra1 = q1_node->query();
+  std::vector<DNodePtr> params = q1_node->children();
+
+  // Collect correlated scalar-query subtrees: scalar(Q(t)) or
+  // ?[cond(t), scalar(Q(t)), NULL].
+  struct ApplySource {
+    DNodePtr node;        // the subtree to replace
+    DNodePtr query_node;  // the kQuery inside
+    DNodePtr cond;        // optional condition (may be null)
+  };
+  std::vector<ApplySource> sources;
+  std::function<void(const DNodePtr&)> collect = [&](const DNodePtr& n) {
+    if (n->op() == DOp::kScalar && n->child(0)->op() == DOp::kQuery) {
+      sources.push_back({n, n->child(0), nullptr});
+      return;
+    }
+    if (n->op() == DOp::kCond && n->child(1)->op() == DOp::kScalar &&
+        n->child(1)->child(0)->op() == DOp::kQuery &&
+        n->child(2)->op() == DOp::kConst && n->child(2)->value().is_null()) {
+      sources.push_back({n, n->child(1)->child(0), n->child(0)});
+      return;
+    }
+    for (const DNodePtr& c : n->children()) collect(c);
+  };
+  collect(fn->child(1));
+  if (sources.empty()) return nullptr;
+
+  ConvertContext outer_cc;
+  outer_cc.tuple_var = t1;
+  outer_cc.tuple_query = ra1;
+  outer_cc.outer_vars = OuterVars();
+  outer_cc.params = &params;
+
+  RaNodePtr plan = ra1;
+  std::map<const DNode*, std::string> overrides;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const ApplySource& src = sources[i];
+    std::vector<ScalarExprPtr> bindings;
+    for (const DNodePtr& p : src.query_node->children()) {
+      Result<ScalarExprPtr> bound = DnodeToRaExpr(p, &outer_cc);
+      if (!bound.ok()) return nullptr;
+      bindings.push_back(*bound);
+    }
+    RaNodePtr sub = BindParameters(src.query_node->query(), bindings);
+    sub = RenameCorrelatedInQuery(sub, {t1}, ra1);
+    Result<std::string> col = SingleOutputName(sub);
+    if (!col.ok()) return nullptr;
+    if (src.cond != nullptr) {
+      Result<ScalarExprPtr> cond_ra = DnodeToRaExpr(src.cond, &outer_cc);
+      if (!cond_ra.ok()) return nullptr;
+      sub = RaNode::Select(sub, *cond_ra);
+    }
+    std::string out_name = "oa" + std::to_string(i);
+    sub = RaNode::Project(sub, {{ScalarExpr::Column(*col), out_name}});
+    plan = RaNode::OuterApply(plan, sub);
+    overrides[src.node.get()] = out_name;
+  }
+
+  // Convert the element with apply outputs substituted.
+  ConvertContext elem_cc = outer_cc;
+  elem_cc.column_overrides = &overrides;
+  std::vector<DNodePtr> elems;
+  FlattenElems(fn->child(1), &elems);
+  std::vector<ProjectItem> items;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    Result<ScalarExprPtr> converted = DnodeToRaExpr(elems[i], &elem_cc);
+    if (!converted.ok()) return nullptr;
+    items.push_back({*converted, ItemName(elems[i], i)});
+  }
+  return ctx_->Query(RaNode::Project(plan, std::move(items)),
+                     std::move(params));
+}
+
+}  // namespace eqsql::rules

@@ -1,0 +1,79 @@
+#ifndef EQSQL_RULES_TRANSFORM_H_
+#define EQSQL_RULES_TRANSFORM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dir/dnode.h"
+
+namespace eqsql::rules {
+
+/// Options steering rule application.
+struct TransformOptions {
+  /// Declared unique keys: lowercase table name → key column. Rules T4.1
+  /// and T5.2 require the outer query's base table to have a key
+  /// (paper Sec. 5.1).
+  std::map<std::string, std::string> table_keys;
+  /// Keyword-search mode (paper Experiment 3): result ordering is not
+  /// relevant, so list folds are treated as multiset folds (rule T4.3)
+  /// and no key/sort is required.
+  bool ignore_ordering = false;
+  /// Rule names ("T1", "T2", "T3", "T4", "T5.1", "T5.2", "T6", "T7",
+  /// "EXISTS") to disable — used by the ablation benchmark.
+  std::set<std::string> disabled_rules;
+};
+
+/// Applies the F-IR transformation rules (paper Sec. 5.1 and App. B) to
+/// fixpoint, bottom-up. The rule set is confluent and terminating
+/// (Sec. 5.3): every rule pushes computation from the folding function
+/// into the query.
+///
+/// Outcomes per fold:
+///  * collection folds become kQuery nodes (T1/T4/T5.2/T7),
+///  * scalar-aggregation folds become scalar expressions over
+///    kScalar(kQuery) combined with their initial value (T5.1 + T6),
+///  * folds over correlated queries are left intact for the enclosing
+///    fold's rule (T4/T5.2) to consume,
+///  * anything else stays a fold (extraction fails for that variable).
+class Transformer {
+ public:
+  Transformer(dir::DagContext* ctx, TransformOptions opts)
+      : ctx_(ctx), opts_(std::move(opts)) {}
+
+  /// Transforms `node`; returns the rewritten ee-DAG expression.
+  dir::DNodePtr Transform(const dir::DNodePtr& node);
+
+  /// Names of rules applied during the last Transform, in order.
+  const std::vector<std::string>& applied_rules() const { return applied_; }
+
+ private:
+  bool Enabled(const std::string& rule) const {
+    return opts_.disabled_rules.count(rule) == 0;
+  }
+  std::set<std::string> OuterVars() const {
+    return std::set<std::string>(var_stack_.begin(), var_stack_.end());
+  }
+
+  dir::DNodePtr Rewrite(const dir::DNodePtr& node);
+  dir::DNodePtr TransformFold(dir::DNodePtr fold);
+
+  // Individual rules; each returns null when it does not apply.
+  dir::DNodePtr TryPredicatePush(const dir::DNodePtr& fold);      // T2
+  dir::DNodePtr TryScalarAggregate(const dir::DNodePtr& fold);    // T5.1+T6
+  dir::DNodePtr TryExistsPattern(const dir::DNodePtr& fold);      // App. B
+  dir::DNodePtr TrySimpleCollect(const dir::DNodePtr& fold);      // T1+T3
+  dir::DNodePtr TryJoinIdentification(const dir::DNodePtr& fold); // T4
+  dir::DNodePtr TryGroupBy(const dir::DNodePtr& fold);            // T5.2
+  dir::DNodePtr TryOuterApply(const dir::DNodePtr& fold);         // T7
+
+  dir::DagContext* ctx_;
+  TransformOptions opts_;
+  std::vector<std::string> applied_;
+  std::vector<std::string> var_stack_;
+};
+
+}  // namespace eqsql::rules
+
+#endif  // EQSQL_RULES_TRANSFORM_H_

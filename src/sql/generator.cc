@@ -1,0 +1,441 @@
+#include "sql/generator.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace eqsql::sql {
+
+using ra::AggFunc;
+using ra::AggregateSpec;
+using ra::ProjectItem;
+using ra::RaNode;
+using ra::RaNodePtr;
+using ra::RaOp;
+using ra::ScalarExpr;
+using ra::ScalarExprPtr;
+using ra::ScalarOp;
+using ra::SortKey;
+
+namespace {
+
+/// Substitutes column refs that name an inlined Project's outputs with
+/// the corresponding expressions. Matches the full name or its bare
+/// suffix after the last '.'.
+ScalarExprPtr Substitute(
+    const ScalarExprPtr& expr,
+    const std::unordered_map<std::string, ScalarExprPtr>& map) {
+  if (expr == nullptr) return nullptr;
+  if (expr->op() == ScalarOp::kColumnRef) {
+    auto it = map.find(expr->column_name());
+    if (it != map.end()) return it->second;
+    size_t dot = expr->column_name().rfind('.');
+    if (dot != std::string::npos) {
+      it = map.find(expr->column_name().substr(dot + 1));
+      if (it != map.end()) return it->second;
+    }
+    return expr;
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ScalarExprPtr> kids;
+  bool changed = false;
+  for (const auto& c : expr->children()) {
+    ScalarExprPtr nc = Substitute(c, map);
+    changed |= (nc != c);
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  return ScalarExpr::Nary(expr->op(), std::move(kids));
+}
+
+class Generator {
+ public:
+  explicit Generator(Dialect dialect) : dialect_(dialect) {}
+
+  Result<std::string> Render(const RaNodePtr& node) {
+    return RenderQuery(node);
+  }
+
+ private:
+  /// A flattened SELECT block.
+  struct Block {
+    std::optional<int64_t> limit;
+    bool distinct = false;
+    std::optional<std::vector<ProjectItem>> projection;  // absent => derive
+    std::vector<SortKey> sort_keys;
+    bool has_group_by = false;
+    std::vector<ScalarExprPtr> group_keys;
+    std::vector<AggregateSpec> aggregates;
+    std::vector<ScalarExprPtr> where;   // conjuncts below any GroupBy
+    std::vector<ScalarExprPtr> having;  // conjuncts above GroupBy
+    RaNodePtr from;
+  };
+
+  /// Applies `map` to every expression captured in the block so far.
+  static void SubstituteBlock(Block* block,
+                              const std::unordered_map<std::string,
+                                                       ScalarExprPtr>& map) {
+    if (block->projection.has_value()) {
+      for (ProjectItem& item : *block->projection) {
+        item.expr = Substitute(item.expr, map);
+      }
+    }
+    for (SortKey& key : block->sort_keys) key.expr = Substitute(key.expr, map);
+    for (ScalarExprPtr& key : block->group_keys) key = Substitute(key, map);
+    for (AggregateSpec& agg : block->aggregates) {
+      agg.arg = Substitute(agg.arg, map);
+    }
+    for (ScalarExprPtr& pred : block->where) pred = Substitute(pred, map);
+    for (ScalarExprPtr& pred : block->having) pred = Substitute(pred, map);
+  }
+
+  Result<std::string> RenderQuery(const RaNodePtr& root) {
+    Block block;
+    RaNodePtr cur = root;
+    bool seen_sort = false;
+    bool seen_projection = false;
+    while (true) {
+      switch (cur->op()) {
+        case RaOp::kLimit:
+          if (block.limit.has_value() || block.distinct || seen_projection ||
+              seen_sort || block.has_group_by) {
+            return RenderDerivedFallback(&block, cur);
+          }
+          block.limit = cur->limit();
+          cur = cur->child(0);
+          continue;
+        case RaOp::kDedup:
+          if (block.distinct || seen_projection || block.has_group_by) {
+            return RenderDerivedFallback(&block, cur);
+          }
+          block.distinct = true;
+          cur = cur->child(0);
+          continue;
+        case RaOp::kProject: {
+          if (!seen_projection && !block.has_group_by) {
+            block.projection = cur->project_items();
+            seen_projection = true;
+          } else {
+            // An inner Project: inline its definitions into everything
+            // captured so far.
+            std::unordered_map<std::string, ScalarExprPtr> map;
+            for (const ProjectItem& item : cur->project_items()) {
+              map[item.name] = item.expr;
+            }
+            SubstituteBlock(&block, map);
+          }
+          cur = cur->child(0);
+          continue;
+        }
+        case RaOp::kSort:
+          if (seen_sort) return RenderDerivedFallback(&block, cur);
+          seen_sort = true;
+          block.sort_keys = cur->sort_keys();
+          cur = cur->child(0);
+          continue;
+        case RaOp::kGroupBy:
+          if (block.has_group_by) return RenderDerivedFallback(&block, cur);
+          block.has_group_by = true;
+          block.group_keys = cur->group_keys();
+          block.aggregates = cur->aggregates();
+          cur = cur->child(0);
+          continue;
+        case RaOp::kSelect:
+          if (block.has_group_by) {
+            block.where.push_back(cur->predicate());
+          } else if (seen_projection || seen_sort || block.distinct ||
+                     block.limit.has_value()) {
+            // Select above GROUP BY would be HAVING; above projection it
+            // still renders as WHERE over the same rows because our
+            // Projects never drop predicate columns in generated plans.
+            block.where.push_back(cur->predicate());
+          } else {
+            block.where.push_back(cur->predicate());
+          }
+          cur = cur->child(0);
+          continue;
+        case RaOp::kScan:
+        case RaOp::kJoin:
+        case RaOp::kLeftOuterJoin:
+        case RaOp::kOuterApply:
+          block.from = cur;
+          return RenderBlock(block);
+      }
+    }
+  }
+
+  /// Last resort: render `cur` as a derived table inside the block.
+  Result<std::string> RenderDerivedFallback(Block* block, RaNodePtr cur) {
+    block->from = std::move(cur);
+    return RenderBlock(*block);
+  }
+
+  Result<std::string> RenderBlock(const Block& block) {
+    std::string out = "SELECT ";
+    if (block.distinct) out += "DISTINCT ";
+
+    std::vector<std::string> select_parts;
+    if (block.projection.has_value()) {
+      for (const ProjectItem& item : *block.projection) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderExpr(item.expr));
+        std::string part = text;
+        if (item.name != text &&
+            !(item.expr->op() == ScalarOp::kColumnRef &&
+              item.expr->column_name() == item.name)) {
+          part += " AS " + BareName(item.name);
+        }
+        select_parts.push_back(std::move(part));
+      }
+    } else if (block.has_group_by) {
+      for (size_t i = 0; i < block.group_keys.size(); ++i) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text,
+                               RenderExpr(block.group_keys[i]));
+        select_parts.push_back(std::move(text));
+      }
+      for (const AggregateSpec& agg : block.aggregates) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderAggregate(agg));
+        select_parts.push_back(text + " AS " + BareName(agg.name));
+      }
+    } else {
+      select_parts.push_back("*");
+    }
+    if (block.projection.has_value() && block.has_group_by) {
+      // Projection over GroupBy: the projection's column refs name group
+      // keys / aggregate outputs. Render the underlying key exprs and
+      // aggregates directly so the query stays a single block.
+      select_parts.clear();
+      std::unordered_map<std::string, std::string> rendered;
+      for (size_t i = 0; i < block.group_keys.size(); ++i) {
+        std::string key_name =
+            block.group_keys[i]->op() == ScalarOp::kColumnRef
+                ? block.group_keys[i]->column_name()
+                : "key" + std::to_string(i);
+        EQSQL_ASSIGN_OR_RETURN(std::string text,
+                               RenderExpr(block.group_keys[i]));
+        rendered[key_name] = text;
+      }
+      for (const AggregateSpec& agg : block.aggregates) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderAggregate(agg));
+        rendered[agg.name] = std::move(text);
+      }
+      col_text_overrides_ = &rendered;
+      for (const ProjectItem& item : *block.projection) {
+        Result<std::string> text = RenderExpr(item.expr);
+        if (!text.ok()) {
+          col_text_overrides_ = nullptr;
+          return text.status();
+        }
+        select_parts.push_back(*text + " AS " + BareName(item.name));
+      }
+      col_text_overrides_ = nullptr;
+    }
+    out += StrJoin(select_parts, ", ");
+
+    EQSQL_ASSIGN_OR_RETURN(std::string from_text, RenderFrom(block.from));
+    out += " FROM " + from_text;
+
+    if (!block.where.empty()) {
+      std::vector<std::string> parts;
+      // `where` was captured top-down; render in source (bottom-up) order.
+      for (auto it = block.where.rbegin(); it != block.where.rend(); ++it) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderExpr(*it));
+        parts.push_back(std::move(text));
+      }
+      out += " WHERE " + StrJoin(parts, " AND ");
+    }
+
+    if (block.has_group_by && !block.group_keys.empty()) {
+      std::vector<std::string> parts;
+      for (const ScalarExprPtr& key : block.group_keys) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderExpr(key));
+        parts.push_back(std::move(text));
+      }
+      out += " GROUP BY " + StrJoin(parts, ", ");
+    }
+
+    if (!block.sort_keys.empty()) {
+      std::vector<std::string> parts;
+      for (const SortKey& key : block.sort_keys) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderExpr(key.expr));
+        parts.push_back(text + (key.ascending ? "" : " DESC"));
+      }
+      out += " ORDER BY " + StrJoin(parts, ", ");
+    }
+
+    if (block.limit.has_value()) {
+      out += " LIMIT " + std::to_string(*block.limit);
+    }
+    return out;
+  }
+
+  static std::string BareName(const std::string& name) {
+    size_t dot = name.rfind('.');
+    std::string bare = dot == std::string::npos ? name : name.substr(dot + 1);
+    // SQL aliases cannot contain spaces/operators; sanitize.
+    for (char& c : bare) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+    }
+    return bare;
+  }
+
+  Result<std::string> RenderFrom(const RaNodePtr& node) {
+    switch (node->op()) {
+      case RaOp::kScan: {
+        std::string out = node->table_name();
+        if (node->alias() != node->table_name()) {
+          out += " AS " + node->alias();
+        }
+        return out;
+      }
+      case RaOp::kJoin:
+      case RaOp::kLeftOuterJoin: {
+        EQSQL_ASSIGN_OR_RETURN(std::string left, RenderFrom(node->left()));
+        EQSQL_ASSIGN_OR_RETURN(std::string right,
+                               RenderFromRef(node->right()));
+        EQSQL_ASSIGN_OR_RETURN(std::string pred,
+                               RenderExpr(node->predicate()));
+        std::string kw =
+            node->op() == RaOp::kJoin ? " JOIN " : " LEFT OUTER JOIN ";
+        return left + kw + right + " ON " + pred;
+      }
+      case RaOp::kOuterApply: {
+        EQSQL_ASSIGN_OR_RETURN(std::string left, RenderFrom(node->left()));
+        EQSQL_ASSIGN_OR_RETURN(std::string inner, RenderQuery(node->right()));
+        if (dialect_ == Dialect::kPostgres) {
+          return left + " LEFT JOIN LATERAL (" + inner + ") AS oa" +
+                 std::to_string(next_alias_++) + " ON TRUE";
+        }
+        return left + " OUTER APPLY (" + inner + ")";
+      }
+      default:
+        // Derived table.
+        EQSQL_ASSIGN_OR_RETURN(std::string inner, RenderQuery(node));
+        return "(" + inner + ") AS dt" + std::to_string(next_alias_++);
+    }
+  }
+
+  /// FROM references on the right of a JOIN must be table refs; wrap
+  /// anything else as a derived table.
+  Result<std::string> RenderFromRef(const RaNodePtr& node) {
+    if (node->op() == RaOp::kScan) return RenderFrom(node);
+    EQSQL_ASSIGN_OR_RETURN(std::string inner, RenderQuery(node));
+    return "(" + inner + ") AS dt" + std::to_string(next_alias_++);
+  }
+
+  Result<std::string> RenderAggregate(const AggregateSpec& agg) {
+    if (agg.func == AggFunc::kCountStar) return std::string("COUNT(*)");
+    EQSQL_ASSIGN_OR_RETURN(std::string arg, RenderExpr(agg.arg));
+    return std::string(ra::AggFuncToString(agg.func)) + "(" + arg + ")";
+  }
+
+  Result<std::string> RenderExpr(const ScalarExprPtr& expr) {
+    switch (expr->op()) {
+      case ScalarOp::kColumnRef: {
+        if (col_text_overrides_ != nullptr) {
+          auto it = col_text_overrides_->find(expr->column_name());
+          if (it != col_text_overrides_->end()) return it->second;
+        }
+        return expr->column_name();
+      }
+      case ScalarOp::kLiteral:
+        return expr->literal().ToString();
+      case ScalarOp::kParameter:
+        return std::string("?");
+      case ScalarOp::kNot: {
+        EQSQL_ASSIGN_OR_RETURN(std::string c, RenderExpr(expr->child(0)));
+        return "(NOT " + c + ")";
+      }
+      case ScalarOp::kNeg: {
+        EQSQL_ASSIGN_OR_RETURN(std::string c, RenderExpr(expr->child(0)));
+        return "(-" + c + ")";
+      }
+      case ScalarOp::kIsNull: {
+        EQSQL_ASSIGN_OR_RETURN(std::string c, RenderExpr(expr->child(0)));
+        return "(" + c + " IS NULL)";
+      }
+      case ScalarOp::kGreatest:
+      case ScalarOp::kLeast:
+        return RenderGreatestLeast(expr);
+      case ScalarOp::kCase: {
+        EQSQL_ASSIGN_OR_RETURN(std::string c0, RenderExpr(expr->child(0)));
+        EQSQL_ASSIGN_OR_RETURN(std::string c1, RenderExpr(expr->child(1)));
+        EQSQL_ASSIGN_OR_RETURN(std::string c2, RenderExpr(expr->child(2)));
+        return "CASE WHEN " + c0 + " THEN " + c1 + " ELSE " + c2 + " END";
+      }
+      case ScalarOp::kExists:
+      case ScalarOp::kNotExists: {
+        EQSQL_ASSIGN_OR_RETURN(std::string sub, RenderQuery(expr->subquery()));
+        std::string kw =
+            expr->op() == ScalarOp::kExists ? "EXISTS (" : "NOT EXISTS (";
+        return kw + sub + ")";
+      }
+      default: {
+        // Binary operators.
+        const char* op_text = nullptr;
+        switch (expr->op()) {
+          case ScalarOp::kAdd: op_text = " + "; break;
+          case ScalarOp::kSub: op_text = " - "; break;
+          case ScalarOp::kMul: op_text = " * "; break;
+          case ScalarOp::kDiv: op_text = " / "; break;
+          case ScalarOp::kMod: op_text = " % "; break;
+          case ScalarOp::kEq: op_text = " = "; break;
+          case ScalarOp::kNe: op_text = " <> "; break;
+          case ScalarOp::kLt: op_text = " < "; break;
+          case ScalarOp::kLe: op_text = " <= "; break;
+          case ScalarOp::kGt: op_text = " > "; break;
+          case ScalarOp::kGe: op_text = " >= "; break;
+          case ScalarOp::kAnd: op_text = " AND "; break;
+          case ScalarOp::kOr: op_text = " OR "; break;
+          case ScalarOp::kConcat: op_text = " || "; break;
+          default:
+            return Status::Internal("RenderExpr: unhandled operator");
+        }
+        EQSQL_ASSIGN_OR_RETURN(std::string lhs, RenderExpr(expr->child(0)));
+        EQSQL_ASSIGN_OR_RETURN(std::string rhs, RenderExpr(expr->child(1)));
+        return "(" + lhs + op_text + rhs + ")";
+      }
+    }
+  }
+
+  Result<std::string> RenderGreatestLeast(const ScalarExprPtr& expr) {
+    bool greatest = expr->op() == ScalarOp::kGreatest;
+    if (dialect_ != Dialect::kCaseWhen) {
+      std::vector<std::string> args;
+      for (const auto& c : expr->children()) {
+        EQSQL_ASSIGN_OR_RETURN(std::string text, RenderExpr(c));
+        args.push_back(std::move(text));
+      }
+      return std::string(greatest ? "GREATEST(" : "LEAST(") +
+             StrJoin(args, ", ") + ")";
+    }
+    // CASE..WHEN expansion (paper footnote 2), folded left to right:
+    // GREATEST(a, b, c) => CASE WHEN (CASE WHEN a >= b THEN a ELSE b END)
+    // >= c THEN ... ELSE c END.
+    EQSQL_ASSIGN_OR_RETURN(std::string acc, RenderExpr(expr->child(0)));
+    for (size_t i = 1; i < expr->children().size(); ++i) {
+      EQSQL_ASSIGN_OR_RETURN(std::string next, RenderExpr(expr->child(i)));
+      std::string cmp = greatest ? " >= " : " <= ";
+      acc = "CASE WHEN " + acc + cmp + next + " THEN " + acc + " ELSE " +
+            next + " END";
+    }
+    return acc;
+  }
+
+  Dialect dialect_;
+  int next_alias_ = 0;
+  /// When rendering a projection over a GroupBy, maps key/aggregate
+  /// output names to their rendered SQL text (e.g. "agg" -> "MAX(x)").
+  const std::unordered_map<std::string, std::string>* col_text_overrides_ =
+      nullptr;
+};
+
+}  // namespace
+
+Result<std::string> GenerateSql(const RaNodePtr& node, Dialect dialect) {
+  Generator gen(dialect);
+  return gen.Render(node);
+}
+
+}  // namespace eqsql::sql

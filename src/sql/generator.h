@@ -1,0 +1,38 @@
+#ifndef EQSQL_SQL_GENERATOR_H_
+#define EQSQL_SQL_GENERATOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ra/ra_node.h"
+
+namespace eqsql::sql {
+
+/// Target SQL dialect for query generation (paper footnote 2: "We
+/// illustrate using the GREATEST function of PostgreSQL. Translation
+/// into other dialects is possible using similar functions, or using
+/// CASE..WHEN construct").
+enum class Dialect {
+  /// The paper's abstract syntax: GREATEST/LEAST + OUTER APPLY. Queries
+  /// generated in this dialect re-parse with sql::ParseSql (round-trip).
+  kDefault,
+  /// PostgreSQL: GREATEST/LEAST + LEFT JOIN LATERAL (...) ON TRUE.
+  kPostgres,
+  /// Lowest common denominator: CASE WHEN for GREATEST/LEAST,
+  /// OUTER APPLY for apply.
+  kCaseWhen,
+};
+
+/// Renders a relational-algebra tree as a SQL query string.
+///
+/// The generator flattens the canonical operator stacks produced by the
+/// F-IR transformation rules into single SELECT blocks, inlining
+/// intermediate Projects (e.g. γ_max(score)(π_score(σ(Q))) becomes
+/// "SELECT MAX(GREATEST(...)) FROM board WHERE ..."). Shapes that cannot
+/// be flattened are rendered as derived tables.
+Result<std::string> GenerateSql(const ra::RaNodePtr& node,
+                                Dialect dialect = Dialect::kDefault);
+
+}  // namespace eqsql::sql
+
+#endif  // EQSQL_SQL_GENERATOR_H_

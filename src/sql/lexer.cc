@@ -1,0 +1,172 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace eqsql::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>({
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "ORDER",  "ASC",
+      "DESC",   "LIMIT", "JOIN",   "INNER",  "LEFT",  "OUTER",  "APPLY",
+      "ON",     "AS",    "AND",    "OR",     "NOT",   "EXISTS", "NULL",
+      "TRUE",   "FALSE", "CASE",   "WHEN",   "THEN",  "ELSE",   "END",
+      "IS",     "DISTINCT", "GREATEST", "LEAST", "COUNT", "SUM", "MIN",
+      "MAX",    "AVG",   "LATERAL", "HAVING", "IN",
+  });
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> TokenizeSql(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    tokens.push_back(Token{kind, std::move(text), 0, offset});
+  };
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word(input.substr(i, j - i));
+      std::string upper = AsciiToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        push(TokenKind::kKeyword, std::move(upper), start);
+      } else {
+        push(TokenKind::kIdentifier, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          // Qualified-name dots never follow digits in our grammar, so a
+          // dot inside a number always means a decimal point.
+          if (is_double) break;
+          is_double = true;
+        }
+        ++j;
+      }
+      Token t;
+      t.kind = is_double ? TokenKind::kDoubleLiteral : TokenKind::kIntLiteral;
+      t.text = std::string(input.substr(i, j - i));
+      t.number = std::stod(t.text);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += input[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(text);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '?': push(TokenKind::kQuestion, "?", start); ++i; break;
+      case ',': push(TokenKind::kComma, ",", start); ++i; break;
+      case '.': push(TokenKind::kDot, ".", start); ++i; break;
+      case '(': push(TokenKind::kLParen, "(", start); ++i; break;
+      case ')': push(TokenKind::kRParen, ")", start); ++i; break;
+      case '*': push(TokenKind::kStar, "*", start); ++i; break;
+      case '+': push(TokenKind::kPlus, "+", start); ++i; break;
+      case '-': push(TokenKind::kMinus, "-", start); ++i; break;
+      case '/': push(TokenKind::kSlash, "/", start); ++i; break;
+      case '%': push(TokenKind::kPercent, "%", start); ++i; break;
+      case '=': push(TokenKind::kEq, "=", start); ++i; break;
+      case '|':
+        if (i + 1 < n && input[i + 1] == '|') {
+          push(TokenKind::kConcat, "||", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '|' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace eqsql::sql

@@ -1,0 +1,54 @@
+#ifndef EQSQL_SQL_LEXER_H_
+#define EQSQL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace eqsql::sql {
+
+/// SQL token kinds. Keywords are recognized case-insensitively and
+/// carried as kKeyword with upper-cased text.
+enum class TokenKind {
+  kEnd,
+  kKeyword,     // SELECT, FROM, WHERE, ...
+  kIdentifier,  // table / column names (possibly qualified via kDot)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kQuestion,    // positional parameter
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,          // =
+  kNe,          // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,      // ||
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // raw text (keywords upper-cased, strings unquoted)
+  double number = 0;  // numeric literals
+  size_t offset = 0;  // byte offset into the input, for diagnostics
+};
+
+/// Tokenizes SQL text. Recognized keywords include the full subset used
+/// by the parser and generator (SELECT, FROM, WHERE, GROUP, BY, ORDER,
+/// JOIN, LEFT, OUTER, APPLY, EXISTS, CASE, ...).
+Result<std::vector<Token>> TokenizeSql(std::string_view input);
+
+}  // namespace eqsql::sql
+
+#endif  // EQSQL_SQL_LEXER_H_

@@ -1,0 +1,46 @@
+#include "storage/database.h"
+
+#include "common/strings.h"
+
+namespace eqsql::storage {
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     catalog::Schema schema) {
+  std::string key = AsciiToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(AsciiToLower(name)) > 0;
+}
+
+void Database::DropTable(const std::string& name) {
+  tables_.erase(AsciiToLower(name));
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace eqsql::storage

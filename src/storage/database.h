@@ -1,0 +1,43 @@
+#ifndef EQSQL_STORAGE_DATABASE_H_
+#define EQSQL_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace eqsql::storage {
+
+/// The server-side table registry. Table names are case-insensitive, as
+/// in MySQL's default configuration (the paper's evaluation server).
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; errors if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, catalog::Schema schema);
+
+  /// Looks up a table; errors with kNotFound.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Drops a table if present (temporary parameter tables in batching).
+  void DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  /// Keyed by lowercase name; Table::name() preserves original spelling.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace eqsql::storage
+
+#endif  // EQSQL_STORAGE_DATABASE_H_

@@ -1,0 +1,51 @@
+#include "storage/table.h"
+
+namespace eqsql::storage {
+
+Status Table::Insert(catalog::Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString() + " of table " + name_);
+  }
+  if (unique_key_.has_value()) {
+    const catalog::Value& key = row[key_index_col_];
+    auto [it, inserted] = key_index_.emplace(key, rows_.size());
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate key " + key.ToString() +
+                                     " in table " + name_);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::DeclareUniqueKey(const std::string& column) {
+  EQSQL_ASSIGN_OR_RETURN(size_t idx, schema_.ResolveColumn(column));
+  std::unordered_map<catalog::Value, size_t, catalog::ValueHash> index;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    auto [it, inserted] = index.emplace(rows_[i][idx], i);
+    if (!inserted) {
+      return Status::InvalidArgument("existing data violates unique key on " +
+                                     column + " in table " + name_);
+    }
+  }
+  unique_key_ = column;
+  key_index_col_ = idx;
+  key_index_ = std::move(index);
+  return Status::OK();
+}
+
+std::optional<size_t> Table::LookupByKey(const catalog::Value& key) const {
+  if (!unique_key_.has_value()) return std::nullopt;
+  auto it = key_index_.find(key);
+  if (it == key_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  key_index_.clear();
+}
+
+}  // namespace eqsql::storage

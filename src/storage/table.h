@@ -1,0 +1,54 @@
+#ifndef EQSQL_STORAGE_TABLE_H_
+#define EQSQL_STORAGE_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace eqsql::storage {
+
+/// An in-memory heap table: a schema plus a row vector in insertion
+/// order. Row order is deterministic (insertion order), which matters
+/// because the paper's π operator is defined to preserve input order.
+class Table {
+ public:
+  Table(std::string name, catalog::Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const catalog::Schema& schema() const { return schema_; }
+  const std::vector<catalog::Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Appends a row; errors if arity does not match the schema.
+  Status Insert(catalog::Row row);
+
+  /// Declares column `column` as a unique key and builds an index over
+  /// it. Errors if existing data violates uniqueness. Rule T4.1/T5.2
+  /// require the outer query's relation to have a key (paper Sec. 5.1).
+  Status DeclareUniqueKey(const std::string& column);
+
+  /// Name of the declared unique key column, if any.
+  std::optional<std::string> unique_key() const { return unique_key_; }
+
+  /// Point lookup via the unique-key index; nullopt if absent or no key.
+  std::optional<size_t> LookupByKey(const catalog::Value& key) const;
+
+  void Clear();
+
+ private:
+  std::string name_;
+  catalog::Schema schema_;
+  std::vector<catalog::Row> rows_;
+  std::optional<std::string> unique_key_;
+  size_t key_index_col_ = 0;
+  std::unordered_map<catalog::Value, size_t, catalog::ValueHash> key_index_;
+};
+
+}  // namespace eqsql::storage
+
+#endif  // EQSQL_STORAGE_TABLE_H_

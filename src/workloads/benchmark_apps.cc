@@ -1,0 +1,225 @@
+#include "workloads/benchmark_apps.h"
+
+namespace eqsql::workloads {
+
+using catalog::DataType;
+using catalog::Schema;
+using catalog::Value;
+
+namespace {
+
+/// Deterministic generator, independent of wilos_samples' stream.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string MatosoProgram() {
+  return R"(
+func findMaxScore() {
+  boards = executeQuery("SELECT * FROM board AS b WHERE b.rnd_id = 1");
+  scoreMax = 0;
+  for (t : boards) {
+    p1 = t.getP1();
+    p2 = t.getP2();
+    p3 = t.getP3();
+    p4 = t.getP4();
+    score = max(p1, p2);
+    score = max(score, p3);
+    score = max(score, p4);
+    if (score > scoreMax) {
+      scoreMax = score;
+    }
+  }
+  return scoreMax;
+}
+)";
+}
+
+Status SetupMatosoDatabase(storage::Database* db, int boards, int rounds) {
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * board,
+      db->CreateTable("board", Schema({{"id", DataType::kInt64},
+                                       {"rnd_id", DataType::kInt64},
+                                       {"p1", DataType::kInt64},
+                                       {"p2", DataType::kInt64},
+                                       {"p3", DataType::kInt64},
+                                       {"p4", DataType::kInt64}})));
+  for (int64_t i = 0; i < boards; ++i) {
+    EQSQL_RETURN_IF_ERROR(board->Insert(
+        {Value::Int(i), Value::Int(1 + static_cast<int64_t>(Mix(i) % rounds)),
+         Value::Int(static_cast<int64_t>(Mix(i * 4 + 0) % 1000)),
+         Value::Int(static_cast<int64_t>(Mix(i * 4 + 1) % 1000)),
+         Value::Int(static_cast<int64_t>(Mix(i * 4 + 2) % 1000)),
+         Value::Int(static_cast<int64_t>(Mix(i * 4 + 3) % 1000))}));
+  }
+  return board->DeclareUniqueKey("id");
+}
+
+std::string JobPortalProgram() {
+  return R"(
+func jobReport() {
+  rs = executeQuery("SELECT * FROM applicants AS a");
+  for (t : rs) {
+    id = t.id;
+    phone = scalar(executeQuery(
+        "SELECT d.phone AS phone FROM details AS d WHERE d.aid = ?", id));
+    fb1 = scalar(executeQuery(
+        "SELECT f.verdict AS verdict FROM feedback1 AS f WHERE f.aid = ?",
+        id));
+    fb2 = scalar(executeQuery(
+        "SELECT f.verdict AS verdict FROM feedback2 AS f WHERE f.aid = ?",
+        id));
+    edu = null;
+    if (t.mode == "online") {
+      edu = scalar(executeQuery(
+          "SELECT e.degree AS degree FROM education AS e WHERE e.aid = ?",
+          id));
+    }
+    print(tuple(id, phone, fb1, fb2, edu));
+  }
+}
+)";
+}
+
+Status SetupJobPortalDatabase(storage::Database* db, int applicants) {
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * table,
+      db->CreateTable("applicants", Schema({{"id", DataType::kInt64},
+                                            {"name", DataType::kString},
+                                            {"mode", DataType::kString}})));
+  for (int64_t i = 0; i < applicants; ++i) {
+    EQSQL_RETURN_IF_ERROR(table->Insert(
+        {Value::Int(i), Value::String("applicant" + std::to_string(i)),
+         Value::String(Mix(i) % 2 == 0 ? "online" : "paper")}));
+  }
+  EQSQL_RETURN_IF_ERROR(table->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * details,
+      db->CreateTable("details", Schema({{"id", DataType::kInt64},
+                                         {"aid", DataType::kInt64},
+                                         {"phone", DataType::kString}})));
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * feedback1,
+      db->CreateTable("feedback1", Schema({{"id", DataType::kInt64},
+                                           {"aid", DataType::kInt64},
+                                           {"verdict", DataType::kString}})));
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * feedback2,
+      db->CreateTable("feedback2", Schema({{"id", DataType::kInt64},
+                                           {"aid", DataType::kInt64},
+                                           {"verdict", DataType::kString}})));
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * education,
+      db->CreateTable("education", Schema({{"id", DataType::kInt64},
+                                           {"aid", DataType::kInt64},
+                                           {"degree", DataType::kString}})));
+  for (int64_t i = 0; i < applicants; ++i) {
+    EQSQL_RETURN_IF_ERROR(details->Insert(
+        {Value::Int(i), Value::Int(i),
+         Value::String("+1-555-" + std::to_string(1000 + i % 9000))}));
+    EQSQL_RETURN_IF_ERROR(feedback1->Insert(
+        {Value::Int(i), Value::Int(i),
+         Value::String(Mix(i * 3) % 2 == 0 ? "accept" : "reject")}));
+    EQSQL_RETURN_IF_ERROR(feedback2->Insert(
+        {Value::Int(i), Value::Int(i),
+         Value::String(Mix(i * 5) % 2 == 0 ? "strong" : "weak")}));
+    if (Mix(i) % 2 == 0) {  // online applicants only
+      EQSQL_RETURN_IF_ERROR(education->Insert(
+          {Value::Int(i), Value::Int(i),
+           Value::String(Mix(i * 7) % 2 == 0 ? "MSc" : "BSc")}));
+    }
+  }
+  // The dimension tables hold one row per applicant: key them on `aid`,
+  // the column every per-applicant lookup probes (models the index the
+  // paper's MySQL schema would have).
+  EQSQL_RETURN_IF_ERROR(details->DeclareUniqueKey("aid"));
+  EQSQL_RETURN_IF_ERROR(feedback1->DeclareUniqueKey("aid"));
+  EQSQL_RETURN_IF_ERROR(feedback2->DeclareUniqueKey("aid"));
+  EQSQL_RETURN_IF_ERROR(education->DeclareUniqueKey("aid"));
+  return Status::OK();
+}
+
+std::string SelectionProgram() {
+  return R"(
+func unfinished() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    if (p.finished == 0) {
+      result.append(pair(p.id, p.name));
+    }
+  }
+  return result;
+}
+)";
+}
+
+Status SetupSelectionDatabase(storage::Database* db, int rows,
+                              int selectivity_pct) {
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * project,
+      db->CreateTable("project", Schema({{"id", DataType::kInt64},
+                                         {"name", DataType::kString},
+                                         {"finished", DataType::kInt64},
+                                         {"descr", DataType::kString}})));
+  for (int64_t i = 0; i < rows; ++i) {
+    bool selected = (Mix(i) % 100) < static_cast<uint64_t>(selectivity_pct);
+    EQSQL_RETURN_IF_ERROR(project->Insert(
+        {Value::Int(i), Value::String("project" + std::to_string(i)),
+         Value::Int(selected ? 0 : 1),
+         Value::String("long project description text #" +
+                       std::to_string(i))}));
+  }
+  return project->DeclareUniqueKey("id");
+}
+
+std::string JoinProgram() {
+  return R"(
+func userRoles() {
+  result = list();
+  users = executeQuery("SELECT * FROM wilosuser AS u");
+  roles = executeQuery("SELECT * FROM role AS r");
+  for (u : users) {
+    for (r : roles) {
+      if (u.role_id == r.id) {
+        result.append(pair(u.login, r.name));
+      }
+    }
+  }
+  return result;
+}
+)";
+}
+
+Status SetupJoinDatabase(storage::Database* db, int users) {
+  int64_t roles = users >= 40 ? users / 40 : 1;  // paper: ratio 40:1
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * role,
+      db->CreateTable("role", Schema({{"id", DataType::kInt64},
+                                      {"name", DataType::kString}})));
+  for (int64_t i = 0; i < roles; ++i) {
+    EQSQL_RETURN_IF_ERROR(role->Insert(
+        {Value::Int(i), Value::String("role" + std::to_string(i))}));
+  }
+  EQSQL_RETURN_IF_ERROR(role->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * user,
+      db->CreateTable("wilosuser", Schema({{"id", DataType::kInt64},
+                                           {"login", DataType::kString},
+                                           {"role_id", DataType::kInt64}})));
+  for (int64_t i = 0; i < users; ++i) {
+    EQSQL_RETURN_IF_ERROR(user->Insert(
+        {Value::Int(i), Value::String("user" + std::to_string(i)),
+         Value::Int(static_cast<int64_t>(Mix(i) % roles))}));
+  }
+  return user->DeclareUniqueKey("id");
+}
+
+}  // namespace eqsql::workloads

@@ -1,0 +1,48 @@
+#ifndef EQSQL_WORKLOADS_BENCHMARK_APPS_H_
+#define EQSQL_WORKLOADS_BENCHMARK_APPS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace eqsql::workloads {
+
+/// The paper's Figure 2 program (Matoso ranking-page generator):
+/// highest score across all boards of round 1; four players per board.
+/// Entry function: "findMaxScore".
+std::string MatosoProgram();
+
+/// Populates `board(id, rnd_id, p1..p4)` with `boards` rows spread over
+/// `rounds` rounds; scores are deterministic pseudo-random in [0, 1000).
+Status SetupMatosoDatabase(storage::Database* db, int boards,
+                           int rounds = 4);
+
+/// The paper's Figure 12 program (JobPortal star schema): fetch all job
+/// applicants, then per applicant fetch-and-print scalar details from
+/// three dimension tables, one of them conditionally. Entry function:
+/// "jobReport".
+std::string JobPortalProgram();
+
+/// Star schema: applicants(id, name, mode) plus dimension tables
+/// details / feedback1 / education keyed by applicant id (education only
+/// for mode='online' applicants).
+Status SetupJobPortalDatabase(storage::Database* db, int applicants);
+
+/// Experiment 5 program: selection with ~`selectivity_pct`% matching
+/// rows pushed into the WHERE clause. Entry: "unfinished".
+std::string SelectionProgram();
+
+/// Populates project rows for SelectionProgram with the given
+/// selectivity.
+Status SetupSelectionDatabase(storage::Database* db, int rows,
+                              int selectivity_pct);
+
+/// Experiment 6 program: client-side nested-loop join of wilosuser and
+/// role (sizes 40:1). Entry: "userRoles".
+std::string JoinProgram();
+Status SetupJoinDatabase(storage::Database* db, int users);
+
+}  // namespace eqsql::workloads
+
+#endif  // EQSQL_WORKLOADS_BENCHMARK_APPS_H_

@@ -1,0 +1,265 @@
+#include "workloads/servlets.h"
+
+namespace eqsql::workloads {
+
+namespace {
+
+/// Table descriptor used by the servlet templates.
+struct TableSpec {
+  std::string table;
+  std::string alias;
+  std::string key;      // unique key column
+  std::string text_col;
+  std::string num_col;
+  std::string fk_col;   // foreign key into `fk_table`
+  std::string fk_table;
+  std::string fk_alias;
+  std::string fk_text;
+};
+
+std::string Q(const std::string& s) { return "\"" + s + "\""; }
+
+/// Pattern A: filtered projection printed row by row (T2 + T1).
+Servlet SelectPrint(const std::string& name, const TableSpec& t,
+                    int threshold) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = true;
+  s.source = "func " + name + "() {\n  rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+             "  for (r : rows) {\n    if (r." + t.num_col + " > " +
+             std::to_string(threshold) + ") {\n      print(r." + t.text_col +
+             ");\n    }\n  }\n}\n";
+  return s;
+}
+
+/// Pattern B: parameterized filter (query parameter from form input).
+Servlet ParamSelectPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = true;
+  s.source = "func " + name + "(needle) {\n  rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+             "  for (r : rows) {\n    if (r." + t.key +
+             " == needle) {\n      print(pair(r." + t.text_col + ", r." +
+             t.num_col + "));\n    }\n  }\n}\n";
+  return s;
+}
+
+/// Pattern C: nested-loop join printed (T4).
+Servlet JoinPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = true;
+  s.source =
+      "func " + name + "() {\n  outer = executeQuery(" +
+      Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n  inner = " +
+      "executeQuery(" +
+      Q("SELECT * FROM " + t.fk_table + " AS " + t.fk_alias) + ");\n" +
+      "  for (a : outer) {\n    for (b : inner) {\n      if (a." + t.fk_col +
+      " == b." + t.key + ") {\n        print(pair(a." + t.text_col +
+      ", b." + t.fk_text + "));\n      }\n    }\n  }\n}\n";
+  return s;
+}
+
+/// Pattern D: scalar aggregate printed once (T5.1).
+Servlet AggPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = true;
+  s.source = "func " + name + "() {\n  total = 0;\n  rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+             "  for (r : rows) {\n    total = total + r." + t.num_col +
+             ";\n  }\n  print(total);\n}\n";
+  return s;
+}
+
+/// Pattern E: per-group aggregation printed (T5.2).
+Servlet GroupPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = true;
+  s.source =
+      "func " + name + "() {\n  groups = executeQuery(" +
+      Q("SELECT * FROM " + t.fk_table + " AS " + t.fk_alias) + ");\n" +
+      "  for (g : groups) {\n    n = 0;\n    members = executeQuery(" +
+      Q("SELECT * FROM " + t.table + " AS " + t.alias + " WHERE " + t.alias +
+        "." + t.fk_col + " = ?") +
+      ", g." + t.key + ");\n    for (m : members) {\n      n = n + 1;\n" +
+      "    }\n    print(pair(g." + t.fk_text + ", n));\n  }\n}\n";
+  return s;
+}
+
+/// Pattern F: star-schema scalar lookups (T7).
+Servlet StarPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = true;
+  s.source =
+      "func " + name + "() {\n  rows = executeQuery(" +
+      Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+      "  for (r : rows) {\n    extra = scalar(executeQuery(" +
+      Q("SELECT " + t.fk_alias + "." + t.fk_text + " AS x FROM " +
+        t.fk_table + " AS " + t.fk_alias + " WHERE " + t.fk_alias + "." +
+        t.key + " = ?") +
+      ", r." + t.fk_col + "));\n    print(pair(r." + t.text_col +
+      ", extra));\n  }\n}\n";
+  return s;
+}
+
+// --- unsupported patterns (extraction must report incompleteness) ------
+
+Servlet RunningTotalPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = false;
+  s.source = "func " + name + "() {\n  run = 0;\n  rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+             "  for (r : rows) {\n    run = run + r." + t.num_col +
+             ";\n    print(run);\n  }\n}\n";
+  return s;
+}
+
+Servlet WhilePagedPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = false;
+  s.source = "func " + name + "(n) {\n  i = 0;\n  while (i < n) {\n" +
+             "    rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias + " WHERE " +
+               t.alias + "." + t.key + " = ?") +
+             ", i);\n    for (r : rows) {\n      print(r." + t.text_col +
+             ");\n    }\n    i = i + 1;\n  }\n}\n";
+  return s;
+}
+
+Servlet BreakPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = false;
+  s.source = "func " + name + "() {\n  rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+             "  for (r : rows) {\n    if (r." + t.num_col +
+             " > 100) {\n      break;\n    }\n    print(r." + t.text_col +
+             ");\n  }\n}\n";
+  return s;
+}
+
+Servlet CustomCallPrint(const std::string& name, const TableSpec& t) {
+  Servlet s;
+  s.name = name;
+  s.function = name;
+  s.expect_complete = false;
+  s.source = "func " + name + "() {\n  rows = executeQuery(" +
+             Q("SELECT * FROM " + t.table + " AS " + t.alias) + ");\n" +
+             "  for (r : rows) {\n    print(formatRichText(r." + t.text_col +
+             "));\n  }\n}\n";
+  return s;
+}
+
+// --- application table sets -------------------------------------------
+
+std::vector<TableSpec> RubisTables() {
+  return {
+      {"items", "i", "id", "title", "price", "seller_id", "rusers", "u",
+       "nickname"},
+      {"bids", "b", "id", "bidder", "amount", "item_id", "items", "i",
+       "title"},
+      {"rusers", "u", "id", "nickname", "rating", "region_id", "regions",
+       "g", "rname"},
+      {"categories", "c", "id", "cname", "item_count", "parent_id",
+       "categories", "pc", "cname"},
+  };
+}
+
+std::vector<TableSpec> RubbosTables() {
+  return {
+      {"stories", "s", "id", "title", "views", "author_id", "busers", "u",
+       "nickname"},
+      {"comments", "c", "id", "body", "rating", "story_id", "stories", "s",
+       "title"},
+      {"busers", "u", "id", "nickname", "karma", "story_id", "stories",
+       "s", "title"},
+  };
+}
+
+std::vector<TableSpec> AcadTables() {
+  return {
+      {"students", "st", "id", "sname", "cpi", "dept_id", "depts", "d",
+       "dname"},
+      {"courses", "co", "id", "title", "credits", "dept_id", "depts", "d",
+       "dname"},
+      {"grades", "gr", "id", "grade", "points", "student_id", "students",
+       "st", "sname"},
+      {"faculty", "fa", "id", "fname", "load", "dept_id", "depts", "d",
+       "dname"},
+      {"applications", "ap", "id", "status", "stage", "student_id",
+       "students", "st", "sname"},
+  };
+}
+
+using PatternFn = Servlet (*)(const std::string&, const TableSpec&);
+
+std::vector<Servlet> Generate(const std::string& prefix,
+                              const std::vector<TableSpec>& tables,
+                              int good_count, int bad_count) {
+  std::vector<Servlet> servlets;
+  // Good patterns rotated over the application's tables.
+  std::vector<PatternFn> good = {
+      [](const std::string& n, const TableSpec& t) {
+        return SelectPrint(n, t, 10);
+      },
+      ParamSelectPrint, JoinPrint, AggPrint, GroupPrint, StarPrint,
+  };
+  std::vector<PatternFn> bad = {RunningTotalPrint, WhilePagedPrint,
+                                BreakPrint, CustomCallPrint};
+  for (int i = 0; i < good_count; ++i) {
+    const TableSpec& t = tables[i % tables.size()];
+    std::string name = prefix + "_servlet" + std::to_string(i);
+    servlets.push_back(good[i % good.size()](name, t));
+  }
+  for (int i = 0; i < bad_count; ++i) {
+    const TableSpec& t = tables[i % tables.size()];
+    std::string name = prefix + "_hard" + std::to_string(i);
+    servlets.push_back(bad[i % bad.size()](name, t));
+  }
+  return servlets;
+}
+
+}  // namespace
+
+std::vector<Servlet> RubisServlets() {
+  return Generate("rubis", RubisTables(), 17, 0);
+}
+
+std::vector<Servlet> RubbosServlets() {
+  return Generate("rubbos", RubbosTables(), 16, 0);
+}
+
+std::vector<Servlet> AcadPortalServlets() {
+  return Generate("acad", AcadTables(), 58, 21);
+}
+
+std::map<std::string, std::string> ServletTableKeys() {
+  std::map<std::string, std::string> keys;
+  for (const auto& tables : {RubisTables(), RubbosTables(), AcadTables()}) {
+    for (const TableSpec& t : tables) {
+      keys[t.table] = t.key;
+      keys[t.fk_table] = t.key;  // all corpus tables key on "id"
+    }
+  }
+  // Fix tables whose key is not literally "id": none in this corpus.
+  for (auto& [table, key] : keys) key = "id";
+  return keys;
+}
+
+}  // namespace eqsql::workloads

@@ -1,0 +1,37 @@
+#ifndef EQSQL_WORKLOADS_SERVLETS_H_
+#define EQSQL_WORKLOADS_SERVLETS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eqsql::workloads {
+
+/// One servlet for the keyword-search experiment (paper Experiment 3):
+/// a form handler that runs queries and prints the fetched data.
+struct Servlet {
+  std::string name;
+  std::string function;
+  std::string source;
+  /// Ground truth: can all printed data be covered by extracted queries?
+  bool expect_complete;
+};
+
+/// RuBiS (Rice University bidding system, ebay.com-like): 17 servlets,
+/// all of which the paper's tool fully handles (17/17).
+std::vector<Servlet> RubisServlets();
+
+/// RuBBoS (bulletin board, slashdot.org-like): 16 servlets (16/16).
+std::vector<Servlet> RubbosServlets();
+
+/// AcadPortal (IIT Bombay academic portal): 79 servlets, 58 of which
+/// extract fully (58/79); the rest use unsupported operations.
+std::vector<Servlet> AcadPortalServlets();
+
+/// Unique-key metadata for every table referenced by the servlet
+/// corpora (rules T4/T5.2 need keys; extraction itself is static).
+std::map<std::string, std::string> ServletTableKeys();
+
+}  // namespace eqsql::workloads
+
+#endif  // EQSQL_WORKLOADS_SERVLETS_H_

@@ -1,0 +1,648 @@
+#include "workloads/wilos_samples.h"
+
+#include <map>
+
+namespace eqsql::workloads {
+
+namespace {
+
+/// Deterministic pseudo-random generator (splitmix-style) so every run
+/// of the benchmarks sees identical data.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  int64_t Range(int64_t lo, int64_t hi) {  // inclusive bounds
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
+                                                  hi - lo + 1));
+  }
+ private:
+  uint64_t state_;
+};
+
+std::vector<WilosSample> BuildSamples() {
+  std::vector<WilosSample> samples;
+  auto add = [&](int index, std::string location, std::string qbs,
+                 std::string paper, bool expect, bool batching,
+                 std::string function, std::string source) {
+    samples.push_back(WilosSample{index, std::move(location), std::move(qbs),
+                                  std::move(paper), expect, batching,
+                                  std::move(function), std::move(source)});
+  };
+
+  add(1, "ActivityService (401)", "-", "<1", true, false, "sample1", R"(
+func sample1(pid) {
+  result = list();
+  activities = executeQuery("SELECT * FROM activity AS a");
+  for (a : activities) {
+    if (a.project_id == pid) {
+      result.append(a);
+    }
+  }
+  return result;
+}
+)");
+
+  add(2, "ActivityService (328)", "-", "<1", true, false, "sample2", R"(
+func sample2() {
+  names = list();
+  activities = executeQuery("SELECT * FROM activity AS a");
+  for (a : activities) {
+    names.append(a.name);
+  }
+  return names;
+}
+)");
+
+  add(3, "Guidance Service (140)", "-", "<1", true, false, "sample3", R"(
+func sample3(aid) {
+  result = list();
+  guides = executeQuery("SELECT * FROM guidance AS g");
+  for (g : guides) {
+    if (g.activity_id == aid && g.gtype == 1) {
+      result.append(g);
+    }
+  }
+  return result;
+}
+)");
+
+  add(4, "Guidance Service (154)", "-", "<1", true, false, "sample4", R"(
+func sample4() {
+  texts = list();
+  guides = executeQuery("SELECT * FROM guidance AS g");
+  for (g : guides) {
+    if (g.gtype == 2) {
+      texts.append(g.text);
+    }
+  }
+  return texts;
+}
+)");
+
+  // Polymorphic type comparison: not handled (paper Sec. 7.1).
+  add(5, "ProjectService (266)", "-", "-", false, false, "sample5", R"(
+func sample5() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    if (instanceOf(p, "ConcreteProject")) {
+      result.append(p.name);
+    }
+  }
+  return result;
+}
+)");
+
+  add(6, "ProjectService (297)", "19", "<1", true, false, "sample6", R"(
+func sample6() {
+  unfinished = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    if (p.finished == 0) {
+      unfinished.append(p);
+    }
+  }
+  return unfinished;
+}
+)");
+
+  // Selection using a custom comparator: not handled.
+  add(7, "ProjectService (338)", "-", "-", false, false, "sample7", R"(
+func sample7() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    if (compareWithPolicy(p.name)) {
+      result.append(p);
+    }
+  }
+  return result;
+}
+)");
+
+  add(8, "ProjectService (394)", "21", "<2", true, true, "sample8", R"(
+func sample8() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    acts = executeQuery(
+        "SELECT * FROM activity AS a WHERE a.project_id = ?", p.id);
+    for (a : acts) {
+      result.append(pair(p.name, a.name));
+    }
+  }
+  return result;
+}
+)");
+
+  add(9, "ProjectService (410)", "39", "<1", true, false, "sample9", R"(
+func sample9() {
+  n = 0;
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    if (p.finished == 1) {
+      n = n + 1;
+    }
+  }
+  return n;
+}
+)");
+
+  add(10, "ProjectService (248)", "150", "<1", true, false, "sample10", R"(
+func sample10(pid) {
+  found = false;
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    if (p.id == pid && p.finished == 0) {
+      found = true;
+    }
+  }
+  return found;
+}
+)");
+
+  add(11, "AffectedtoDao (13)", "72", "<2", true, true, "sample11", R"(
+func sample11() {
+  result = list();
+  parts = executeQuery("SELECT * FROM participant AS pt");
+  for (pt : parts) {
+    users = executeQuery("SELECT * FROM wuser AS u WHERE u.id = ?",
+                         pt.user_id);
+    for (u : users) {
+      result.append(u.login);
+    }
+  }
+  return result;
+}
+)");
+
+  // Retrieving the i'th element of a list: not handled (Sec. 5.4).
+  add(12, "ConcreteActivityDao (139)", "-", "-", false, false, "sample12", R"(
+func sample12() {
+  result = list();
+  activities = executeQuery("SELECT * FROM activity AS a");
+  for (a : activities) {
+    result.append(result.get(0));
+  }
+  return result;
+}
+)");
+
+  add(13, "ConcreteActivityService (133)", "-", "X", true, false,
+      "sample13", R"(
+func sample13() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    total = 0;
+    acts = executeQuery(
+        "SELECT * FROM activity AS a WHERE a.project_id = ?", p.id);
+    for (a : acts) {
+      total = total + a.effort;
+    }
+    result.append(pair(p.name, total));
+  }
+  return result;
+}
+)");
+
+  add(14, "ConcreteRoleAffectationService (55)", "310", "X", true, false,
+      "sample14", R"(
+func sample14() {
+  result = list();
+  users = executeQuery("SELECT * FROM wuser AS u");
+  roles = executeQuery("SELECT * FROM role AS r");
+  for (u : users) {
+    for (r : roles) {
+      if (u.role_id == r.id) {
+        result.append(pair(u.login, r.name));
+      }
+    }
+  }
+  return result;
+}
+)");
+
+  // Paged fetching with a while loop: EqSQL targets cursor loops only;
+  // batching handles it via loop splitting (Experiment 2).
+  add(15, "ConcreteRoleDescriptorService (181)", "290", "-", false, true,
+      "sample15", R"(
+func sample15(npages) {
+  result = list();
+  page = 0;
+  while (page < npages) {
+    rows = executeQuery("SELECT * FROM role AS r WHERE r.id = ?", page);
+    for (r : rows) {
+      result.append(r.name);
+    }
+    page = page + 1;
+  }
+  return result;
+}
+)");
+
+  // Unconditional loop exit: not handled (Sec. 2).
+  add(16, "ConcreteWorkBreakdownElementService(55)", "-", "-", false, false,
+      "sample16", R"(
+func sample16() {
+  total = 0;
+  products = executeQuery("SELECT * FROM workproduct AS w");
+  for (w : products) {
+    if (w.state == 3) {
+      break;
+    }
+    total = total + w.size;
+  }
+  return total;
+}
+)");
+
+  add(17, "ConcreteWorkProductDescriptorService(236)", "284", "-", false,
+      true, "sample17", R"(
+func sample17(n) {
+  i = 0;
+  names = list();
+  while (i < n) {
+    rows = executeQuery("SELECT * FROM workproduct AS w WHERE w.id = ?", i);
+    for (w : rows) {
+      names.append(w.name);
+    }
+    i = i + 1;
+  }
+  return names;
+}
+)");
+
+  add(18, "IterationService (103)", "-", "<1", true, false, "sample18", R"(
+func sample18() {
+  longest = 0;
+  activities = executeQuery("SELECT * FROM activity AS a");
+  for (a : activities) {
+    if (a.effort > longest) {
+      longest = a.effort;
+    }
+  }
+  return longest;
+}
+)");
+
+  add(19, "LoginService (103)", "125", "<2", true, false, "sample19", R"(
+func sample19(who) {
+  result = list();
+  users = executeQuery("SELECT * FROM wuser AS u");
+  for (u : users) {
+    if (u.login == who) {
+      result.append(u);
+    }
+  }
+  return result;
+}
+)");
+
+  add(20, "LoginService (83)", "164", "<2", true, false, "sample20", R"(
+func sample20(who) {
+  valid = false;
+  users = executeQuery("SELECT * FROM wuser AS u");
+  for (u : users) {
+    if (u.login == who && u.score > 0) {
+      valid = true;
+    }
+  }
+  return valid;
+}
+)");
+
+  add(21, "ParticipantBean (1079)", "31", "<2", true, false, "sample21", R"(
+func sample21() {
+  mails = list();
+  users = executeQuery("SELECT * FROM wuser AS u");
+  for (u : users) {
+    mails.append(u.login + "@wilos.org");
+  }
+  return mails;
+}
+)");
+
+  // Cursor-position state across a while loop: not handled; batching's
+  // loop splitting applies.
+  add(22, "ParticipantBean (681)", "121", "-", false, true, "sample22", R"(
+func sample22(n) {
+  i = 0;
+  names = list();
+  while (i < n) {
+    rows = executeQuery("SELECT * FROM participant AS pt WHERE pt.id = ?", i);
+    for (pt : rows) {
+      names.append(pt.role_desc);
+    }
+    i = i + 2;
+  }
+  return names;
+}
+)");
+
+  add(23, "ParticipantService (146)", "281", "X", true, false, "sample23",
+      R"(
+func sample23() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    members = 0;
+    parts = executeQuery(
+        "SELECT * FROM participant AS pt WHERE pt.project_id = ?", p.id);
+    for (pt : parts) {
+      members = members + 1;
+    }
+    result.append(pair(p.id, members));
+  }
+  return result;
+}
+)");
+
+  add(24, "ParticipantService (119", "301", "<2", true, true, "sample24", R"(
+func sample24() {
+  result = list();
+  parts = executeQuery("SELECT * FROM participant AS pt");
+  for (pt : parts) {
+    projs = executeQuery("SELECT * FROM project AS p WHERE p.id = ?",
+                         pt.project_id);
+    for (p : projs) {
+      result.append(p.name);
+    }
+  }
+  return result;
+}
+)");
+
+  // Dependent aggregation (paper Fig. 7(c)): P2 fails.
+  add(25, "ParticipantService (266)", "260", "-", false, false, "sample25",
+      R"(
+func sample25() {
+  running = 0;
+  weighted = 0;
+  parts = executeQuery("SELECT * FROM participant AS pt");
+  for (pt : parts) {
+    running = running + pt.user_id;
+    weighted = weighted + running;
+  }
+  return weighted;
+}
+)");
+
+  add(26, "PhaseService (98)", "-", "<2", true, false, "sample26", R"(
+func sample26(pid) {
+  first = 999999;
+  phases = executeQuery("SELECT * FROM phase AS ph");
+  for (ph : phases) {
+    if (ph.project_id == pid) {
+      if (ph.ord < first) {
+        first = ph.ord;
+      }
+    }
+  }
+  return first;
+}
+)");
+
+  add(27, "ProcessBean (248)", "82", "<2", true, false, "sample27", R"(
+func sample27() {
+  states = set();
+  products = executeQuery("SELECT * FROM workproduct AS w");
+  for (w : products) {
+    states.insert(w.state);
+  }
+  return states;
+}
+)");
+
+  add(28, "ProcessManagerBean (243)", "50", "<2", true, false, "sample28",
+      R"(
+func sample28() {
+  pending = 0;
+  products = executeQuery("SELECT * FROM workproduct AS w");
+  for (w : products) {
+    if (w.state == 0) {
+      pending = pending + 1;
+    }
+  }
+  return pending;
+}
+)");
+
+  // Early return from the loop: unconditional exit, not handled.
+  add(29, "RoleDao (15)", "-", "-", false, false, "sample29", R"(
+func sample29(rid) {
+  roles = executeQuery("SELECT * FROM role AS r");
+  for (r : roles) {
+    if (r.id == rid) {
+      return r.name;
+    }
+  }
+  return "none";
+}
+)");
+
+  add(30, "RoleService (15)", "150", "X", true, true, "sample30", R"(
+func sample30() {
+  result = list();
+  users = executeQuery("SELECT * FROM wuser AS u");
+  for (u : users) {
+    roles = executeQuery("SELECT * FROM role AS r WHERE r.id = ?",
+                         u.role_id);
+    for (r : roles) {
+      result.append(pair(u.login, r.name));
+    }
+  }
+  return result;
+}
+)");
+
+  add(31, "WilosUserBean (717)", "23", "X", true, false, "sample31", R"(
+func sample31() {
+  active = list();
+  users = executeQuery("SELECT * FROM wuser AS u");
+  for (u : users) {
+    if (u.score > 10) {
+      active.append(pair(u.id, u.login));
+    }
+  }
+  return active;
+}
+)");
+
+  add(32, "WorkProductsExpTableBean (990)", "52", "X", true, false,
+      "sample32", R"(
+func sample32() {
+  products = executeQuery("SELECT * FROM workproduct AS w");
+  for (w : products) {
+    if (w.state == 1) {
+      print(w.name);
+    }
+  }
+}
+)");
+
+  add(33, "WorkProductsExpTableBean (974)", "50", "X", true, false,
+      "sample33", R"(
+func sample33() {
+  result = list();
+  projects = executeQuery("SELECT * FROM project AS p");
+  for (p : projects) {
+    n = 0;
+    products = executeQuery(
+        "SELECT * FROM workproduct AS w WHERE w.project_id = ?", p.id);
+    for (w : products) {
+      n = n + 1;
+    }
+    result.append(pair(p.name, n));
+  }
+  return result;
+}
+)");
+
+  return samples;
+}
+
+}  // namespace
+
+const std::vector<WilosSample>& WilosSamples() {
+  static const std::vector<WilosSample>* kSamples =
+      new std::vector<WilosSample>(BuildSamples());
+  return *kSamples;
+}
+
+std::map<std::string, std::string> WilosTableKeys() {
+  return {{"project", "id"},     {"activity", "id"}, {"wuser", "id"},
+          {"role", "id"},        {"participant", "id"}, {"phase", "id"},
+          {"workproduct", "id"}, {"guidance", "id"},    {"board", "id"},
+          {"applicants", "id"},  {"details", "id"},     {"feedback1", "id"},
+          {"feedback2", "id"},   {"education", "id"}};
+}
+
+Status SetupWilosDatabase(storage::Database* db, int scale) {
+  using catalog::DataType;
+  using catalog::Schema;
+  using catalog::Value;
+  Rng rng(42);
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * project,
+      db->CreateTable("project", Schema({{"id", DataType::kInt64},
+                                         {"name", DataType::kString},
+                                         {"finished", DataType::kInt64},
+                                         {"lead_id", DataType::kInt64}})));
+  for (int64_t i = 0; i < scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(project->Insert(
+        {Value::Int(i), Value::String("project" + std::to_string(i)),
+         Value::Int(rng.Range(0, 1)), Value::Int(rng.Range(0, scale - 1))}));
+  }
+  EQSQL_RETURN_IF_ERROR(project->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * activity,
+      db->CreateTable("activity", Schema({{"id", DataType::kInt64},
+                                          {"project_id", DataType::kInt64},
+                                          {"name", DataType::kString},
+                                          {"state", DataType::kInt64},
+                                          {"effort", DataType::kInt64}})));
+  for (int64_t i = 0; i < 2 * scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(activity->Insert(
+        {Value::Int(i), Value::Int(rng.Range(0, scale - 1)),
+         Value::String("activity" + std::to_string(i)),
+         Value::Int(rng.Range(0, 3)), Value::Int(rng.Range(1, 100))}));
+  }
+  EQSQL_RETURN_IF_ERROR(activity->DeclareUniqueKey("id"));
+
+  int64_t roles = scale >= 80 ? scale / 40 : 2;
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * role,
+      db->CreateTable("role", Schema({{"id", DataType::kInt64},
+                                      {"name", DataType::kString}})));
+  for (int64_t i = 0; i < roles; ++i) {
+    EQSQL_RETURN_IF_ERROR(role->Insert(
+        {Value::Int(i), Value::String("role" + std::to_string(i))}));
+  }
+  EQSQL_RETURN_IF_ERROR(role->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * wuser,
+      db->CreateTable("wuser", Schema({{"id", DataType::kInt64},
+                                       {"login", DataType::kString},
+                                       {"role_id", DataType::kInt64},
+                                       {"score", DataType::kInt64}})));
+  for (int64_t i = 0; i < scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(wuser->Insert(
+        {Value::Int(i), Value::String("user" + std::to_string(i)),
+         Value::Int(rng.Range(0, roles - 1)), Value::Int(rng.Range(0, 50))}));
+  }
+  EQSQL_RETURN_IF_ERROR(wuser->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * participant,
+      db->CreateTable("participant",
+                      Schema({{"id", DataType::kInt64},
+                              {"project_id", DataType::kInt64},
+                              {"user_id", DataType::kInt64},
+                              {"role_desc", DataType::kString}})));
+  for (int64_t i = 0; i < 2 * scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(participant->Insert(
+        {Value::Int(i), Value::Int(rng.Range(0, scale - 1)),
+         Value::Int(rng.Range(0, scale - 1)),
+         Value::String("desc" + std::to_string(i % 7))}));
+  }
+  EQSQL_RETURN_IF_ERROR(participant->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * phase,
+      db->CreateTable("phase", Schema({{"id", DataType::kInt64},
+                                       {"project_id", DataType::kInt64},
+                                       {"name", DataType::kString},
+                                       {"ord", DataType::kInt64}})));
+  for (int64_t i = 0; i < scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(phase->Insert(
+        {Value::Int(i), Value::Int(rng.Range(0, scale - 1)),
+         Value::String("phase" + std::to_string(i)),
+         Value::Int(rng.Range(1, 9))}));
+  }
+  EQSQL_RETURN_IF_ERROR(phase->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * workproduct,
+      db->CreateTable("workproduct",
+                      Schema({{"id", DataType::kInt64},
+                              {"project_id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"state", DataType::kInt64},
+                              {"size", DataType::kInt64}})));
+  for (int64_t i = 0; i < scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(workproduct->Insert(
+        {Value::Int(i), Value::Int(rng.Range(0, scale - 1)),
+         Value::String("wp" + std::to_string(i)),
+         Value::Int(rng.Range(0, 3)), Value::Int(rng.Range(1, 1000))}));
+  }
+  EQSQL_RETURN_IF_ERROR(workproduct->DeclareUniqueKey("id"));
+
+  EQSQL_ASSIGN_OR_RETURN(
+      storage::Table * guidance,
+      db->CreateTable("guidance", Schema({{"id", DataType::kInt64},
+                                          {"activity_id", DataType::kInt64},
+                                          {"gtype", DataType::kInt64},
+                                          {"text", DataType::kString}})));
+  for (int64_t i = 0; i < scale; ++i) {
+    EQSQL_RETURN_IF_ERROR(guidance->Insert(
+        {Value::Int(i), Value::Int(rng.Range(0, 2 * scale - 1)),
+         Value::Int(rng.Range(0, 2)),
+         Value::String("guidance text " + std::to_string(i))}));
+  }
+  EQSQL_RETURN_IF_ERROR(guidance->DeclareUniqueKey("id"));
+
+  return Status::OK();
+}
+
+}  // namespace eqsql::workloads

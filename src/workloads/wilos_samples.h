@@ -1,0 +1,40 @@
+#ifndef EQSQL_WORKLOADS_WILOS_SAMPLES_H_
+#define EQSQL_WORKLOADS_WILOS_SAMPLES_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace eqsql::workloads {
+
+/// One code sample from the paper's Table 1 (Wilos orchestration
+/// software). `source` is our ImpLang program reproducing the sample's
+/// code pattern; the paper columns are carried verbatim for the
+/// comparison table.
+struct WilosSample {
+  int index;                 // Sl. column
+  std::string location;      // File (Line No.)
+  std::string qbs_time;      // QBS column: seconds or "-"
+  std::string paper_eqsql;   // EqSQL column: "<1", "<2", "-", or "X" (✓)
+  bool expect_extracted;     // our tool should succeed (24 of 33)
+  bool batching_applicable;  // Experiment 2: batching [11] applies (7 of 33)
+  std::string function;      // entry function name
+  std::string source;        // ImpLang source
+};
+
+/// The 33 samples of Table 1, in paper order.
+const std::vector<WilosSample>& WilosSamples();
+
+/// Creates and populates the Wilos-flavoured schema used by the sample
+/// corpus: project, activity, wuser, role, participant, phase,
+/// workproduct, guidance — `scale` rows in the biggest tables. All
+/// tables declare `id` as unique key; rows are inserted in key order.
+Status SetupWilosDatabase(storage::Database* db, int scale);
+
+/// Key columns for rules::TransformOptions::table_keys.
+std::map<std::string, std::string> WilosTableKeys();
+
+}  // namespace eqsql::workloads
+
+#endif  // EQSQL_WORKLOADS_WILOS_SAMPLES_H_

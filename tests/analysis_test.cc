@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "analysis/loop_analysis.h"
+#include "frontend/parser.h"
+
+namespace eqsql::analysis {
+namespace {
+
+using frontend::ParseProgram;
+using frontend::StmtPtr;
+
+/// Parses a one-function program whose first for-each loop's body we
+/// analyze.
+struct LoopFixture {
+  frontend::Program program;
+  const frontend::Stmt* loop = nullptr;
+
+  static LoopFixture FromSource(const char* src) {
+    LoopFixture fx;
+    auto p = ParseProgram(src);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    fx.program = std::move(*p);
+    for (const StmtPtr& s : fx.program.functions[0].body) {
+      if (s->kind() == frontend::StmtKind::kForEach) fx.loop = s.get();
+    }
+    EXPECT_NE(fx.loop, nullptr);
+    return fx;
+  }
+
+  LoopBodyInfo Analyze() const {
+    return AnalyzeLoopBody(loop->body(), loop->target());
+  }
+};
+
+TEST(EffectsTest, AssignReadsAndWrites) {
+  auto p = ParseProgram("func f() { x = y + z.field; }");
+  ASSERT_TRUE(p.ok());
+  StmtEffects eff = ComputeStmtEffects(*p->functions[0].body[0]);
+  EXPECT_EQ(eff.writes, (std::set<std::string>{"x"}));
+  EXPECT_EQ(eff.reads, (std::set<std::string>{"y", "z"}));
+}
+
+TEST(EffectsTest, CollectionMutationWritesReceiver) {
+  auto p = ParseProgram("func f() { names.append(r.name); }");
+  ASSERT_TRUE(p.ok());
+  StmtEffects eff = ComputeStmtEffects(*p->functions[0].body[0]);
+  EXPECT_TRUE(eff.writes.count("names"));
+  EXPECT_TRUE(eff.reads.count("names"));
+  EXPECT_TRUE(eff.reads.count("r"));
+}
+
+TEST(EffectsTest, DbAndOutputEffects) {
+  auto p = ParseProgram(R"(func f() {
+    rows = executeQuery("SELECT * FROM t");
+    executeUpdate("DELETE FROM t");
+    print(x);
+  })");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(ComputeStmtEffects(*p->functions[0].body[0]).reads_db);
+  EXPECT_TRUE(ComputeStmtEffects(*p->functions[0].body[1]).writes_db);
+  // Prints are preprocessed into appends to __out (paper App. B).
+  StmtEffects print_eff = ComputeStmtEffects(*p->functions[0].body[2]);
+  EXPECT_FALSE(print_eff.writes_output);
+  EXPECT_TRUE(print_eff.writes.count(kOutputVar));
+  EXPECT_TRUE(print_eff.reads.count("x"));
+}
+
+TEST(EffectsTest, UnknownCallFlagged) {
+  auto p = ParseProgram("func f() { x = mystery(y); z = max(a, b); }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(ComputeStmtEffects(*p->functions[0].body[0]).has_unknown_call);
+  EXPECT_FALSE(ComputeStmtEffects(*p->functions[0].body[1]).has_unknown_call);
+}
+
+TEST(LoopAnalysisTest, AccumulatorIsLoopCarried) {
+  // Figure 7(a) of the paper: agg accumulates, temps do not carry.
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0;
+    for (t : rows) {
+      tmp = t.x * 2;
+      agg = agg + tmp;
+    }
+    return agg;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  EXPECT_TRUE(info.loop_carried.count("agg"));
+  EXPECT_FALSE(info.loop_carried.count("tmp"));  // assigned before read
+  EXPECT_FALSE(info.loop_carried.count("t"));    // cursor excluded
+}
+
+TEST(LoopAnalysisTest, ConditionalAssignStillCarries) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    m = 0;
+    for (t : rows) {
+      if (t.v > m) { m = t.v; }
+    }
+    return m;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  EXPECT_TRUE(info.loop_carried.count("m"));
+}
+
+TEST(LoopAnalysisTest, BranchMustAssignIntersection) {
+  // x assigned in only one branch: still upward exposed when read later.
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    x = 0; out = 0;
+    for (t : rows) {
+      if (t.v > 0) { x = t.v; }
+      out = out + x;
+    }
+    return out;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  EXPECT_TRUE(info.loop_carried.count("x"));
+  EXPECT_TRUE(info.loop_carried.count("out"));
+}
+
+TEST(LoopAnalysisTest, PreconditionsPassForCleanAggregate) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0;
+    for (t : rows) { agg = agg + t.x; }
+    return agg;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  auto pre = CheckFoldPreconditions(info, "agg");
+  EXPECT_TRUE(pre.ok) << pre.failure;
+}
+
+TEST(LoopAnalysisTest, P1FailsForNonAccumulator) {
+  // v = t.x does not read previous v: no cycle, P1 fails.
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    v = 0;
+    for (t : rows) { v = t.x; }
+    return v;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  auto pre = CheckFoldPreconditions(info, "v");
+  EXPECT_FALSE(pre.ok);
+  EXPECT_NE(pre.failure.find("P1"), std::string::npos);
+}
+
+TEST(LoopAnalysisTest, P2FailsForDependentAggregate) {
+  // Figure 7(c): dummyVal depends on agg, which itself carries.
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0; dummyVal = 0;
+    for (t : rows) {
+      agg = agg + t.x;
+      dummyVal = dummyVal + agg;
+    }
+    return dummyVal;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  // agg itself is fine.
+  EXPECT_TRUE(CheckFoldPreconditions(info, "agg").ok);
+  auto pre = CheckFoldPreconditions(info, "dummyVal");
+  EXPECT_FALSE(pre.ok);
+  EXPECT_NE(pre.failure.find("P2"), std::string::npos);
+}
+
+TEST(LoopAnalysisTest, P3FailsForDbWrite) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0;
+    for (t : rows) {
+      agg = agg + scalar(executeUpdate("UPDATE t SET x = 1"));
+    }
+    return agg;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  auto pre = CheckFoldPreconditions(info, "agg");
+  EXPECT_FALSE(pre.ok);
+  EXPECT_NE(pre.failure.find("P3"), std::string::npos);
+}
+
+TEST(LoopAnalysisTest, DbWriteOutsideSliceDoesNotBlock) {
+  // The paper: "our tool partially optimizes such code fragments by
+  // keeping update statements intact ... provided the update statements
+  // do not introduce a dependency".
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0;
+    for (t : rows) {
+      agg = agg + t.x;
+      executeUpdate("UPDATE log SET cnt = 1");
+    }
+    return agg;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  auto pre = CheckFoldPreconditions(info, "agg");
+  EXPECT_TRUE(pre.ok) << pre.failure;
+}
+
+TEST(LoopAnalysisTest, BreakBlocksConversion) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0;
+    for (t : rows) {
+      if (t.x > 10) { break; }
+      agg = agg + t.x;
+    }
+    return agg;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  EXPECT_TRUE(info.has_break);
+  EXPECT_FALSE(CheckFoldPreconditions(info, "agg").ok);
+}
+
+TEST(LoopAnalysisTest, NestedBreakDoesNotBlockOuter) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    agg = 0;
+    for (t : rows) {
+      for (u : inner) {
+        if (u.x > 0) { break; }
+      }
+      agg = agg + t.x;
+    }
+    return agg;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  EXPECT_FALSE(info.has_break);  // break exits the inner loop only
+  EXPECT_TRUE(CheckFoldPreconditions(info, "agg").ok);
+}
+
+TEST(LoopAnalysisTest, SliceContainsControlPredicates) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    m = 0; other = 0;
+    for (t : rows) {
+      if (t.v > m) { m = t.v; }
+      other = other + 1;
+    }
+    return m;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  Slice slice = ComputeSlice(info, "m");
+  // Slice of m: the if and its assignment, but not `other`.
+  bool contains_other = false;
+  for (const frontend::Stmt* s : slice.stmts) {
+    if (s->kind() == frontend::StmtKind::kAssign && s->target() == "other") {
+      contains_other = true;
+    }
+  }
+  EXPECT_FALSE(contains_other);
+  EXPECT_TRUE(slice.vars.count("m"));
+  EXPECT_TRUE(slice.vars.count("t"));
+}
+
+TEST(LoopAnalysisTest, CollectionAppendCarries) {
+  auto fx = LoopFixture::FromSource(R"(func f() {
+    names = list();
+    for (r : rows) { names.append(r.name); }
+    return names;
+  })");
+  LoopBodyInfo info = fx.Analyze();
+  EXPECT_TRUE(info.loop_carried.count("names"));
+  EXPECT_TRUE(CheckFoldPreconditions(info, "names").ok);
+}
+
+}  // namespace
+}  // namespace eqsql::analysis

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace eqsql::catalog {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(1).type(), DataType::kInt64);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+}
+
+TEST(ValueTest, NullComparesSmallest) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_FALSE(Value::String("b") < Value::String("a"));
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::String("a'b").ToString(), "'a''b'");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, WireSize) {
+  EXPECT_EQ(Value::Null().WireSize(), 1u);
+  EXPECT_EQ(Value::Int(1).WireSize(), 8u);
+  EXPECT_EQ(Value::String("abcd").WireSize(), 8u);  // 4 + length prefix 4
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value::Int(3)), h(Value::Double(3.0)));
+  EXPECT_EQ(h(Value::String("x")), h(Value::String("x")));
+}
+
+TEST(SchemaTest, IndexOfExact) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.IndexOf("a"), 0u);
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("c").has_value());
+}
+
+TEST(SchemaTest, QualifiedSuffixLookup) {
+  Schema s({{"t.a", DataType::kInt64}, {"t.b", DataType::kString}});
+  EXPECT_EQ(s.IndexOf("t.a"), 0u);
+  EXPECT_EQ(s.IndexOf("a"), 0u);     // unqualified matches suffix
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("u.a").has_value());  // wrong qualifier
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedLookupFails) {
+  Schema s({{"t.a", DataType::kInt64}, {"u.a", DataType::kInt64}});
+  EXPECT_FALSE(s.IndexOf("a").has_value());
+  EXPECT_EQ(s.IndexOf("t.a"), 0u);
+  Result<size_t> r = s.ResolveColumn("a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ResolveColumnNotFound) {
+  Schema s({{"x", DataType::kInt64}});
+  Result<size_t> r = s.ResolveColumn("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"y", DataType::kString}});
+  Schema c = a.Concat(b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.column(0).name, "x");
+  EXPECT_EQ(c.column(1).name, "y");
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"x", DataType::kInt64}});
+  Schema c({{"x", DataType::kString}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RowTest, WireSizeAndToString) {
+  Row row = {Value::Int(1), Value::String("ab"), Value::Null()};
+  EXPECT_EQ(RowWireSize(row), 8u + 6u + 1u);
+  EXPECT_EQ(RowToString(row), "(1, 'ab', NULL)");
+}
+
+}  // namespace
+}  // namespace eqsql::catalog

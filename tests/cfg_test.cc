@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.h"
+#include "cfg/region.h"
+#include "frontend/parser.h"
+
+namespace eqsql::cfg {
+namespace {
+
+using frontend::ParseProgram;
+using frontend::StmtKind;
+
+frontend::Function Fn(const char* src) {
+  auto p = ParseProgram(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p->functions[0];
+}
+
+TEST(CfgTest, StraightLine) {
+  auto fn = Fn("func f() { x = 1; y = 2; return x; }");
+  Cfg cfg = BuildCfg(fn);
+  // Start, End, one body block.
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  EXPECT_EQ(cfg.blocks[2].stmts.size(), 3u);
+  EXPECT_EQ(cfg.blocks[0].successors, (std::vector<int>{2}));
+  EXPECT_EQ(cfg.blocks[2].successors, (std::vector<int>{1}));
+}
+
+TEST(CfgTest, IfElseDiamond) {
+  auto fn = Fn("func f(x) { if (x > 0) { y = 1; } else { y = 2; } return y; }");
+  Cfg cfg = BuildCfg(fn);
+  // Start, End, cond block, then, join, else.
+  auto idom = cfg.ImmediateDominators();
+  // The condition block (first real block) dominates everything after.
+  int cond_block = 2;
+  for (const BasicBlock& b : cfg.blocks) {
+    if (b.id <= 1) continue;
+    EXPECT_TRUE(Cfg::Dominates(idom, cond_block, b.id));
+  }
+  // Neither branch dominates the join.
+  int join = -1;
+  for (const BasicBlock& b : cfg.blocks) {
+    if (!b.stmts.empty() && b.stmts[0]->kind() == StmtKind::kReturn) {
+      join = b.id;
+    }
+  }
+  ASSERT_NE(join, -1);
+  EXPECT_EQ(idom[join], cond_block);
+}
+
+TEST(CfgTest, LoopBackEdge) {
+  auto fn = Fn(R"(func f() {
+    s = 0;
+    for (t : rows) { s = s + t.v; }
+    return s;
+  })");
+  Cfg cfg = BuildCfg(fn);
+  // Find the header: block with branch_expr and two successors.
+  int header = -1;
+  for (const BasicBlock& b : cfg.blocks) {
+    if (b.branch_expr != nullptr && b.successors.size() == 2) header = b.id;
+  }
+  ASSERT_NE(header, -1);
+  // Body loops back to the header.
+  int body = cfg.blocks[header].successors[0];
+  EXPECT_EQ(cfg.blocks[body].successors, (std::vector<int>{header}));
+  // Header dominates body and exit.
+  auto idom = cfg.ImmediateDominators();
+  EXPECT_TRUE(Cfg::Dominates(idom, header, body));
+  EXPECT_TRUE(Cfg::Dominates(idom, header, cfg.blocks[header].successors[1]));
+}
+
+TEST(CfgTest, BreakExitsLoop) {
+  auto fn = Fn(R"(func f() {
+    for (t : rows) { if (t.v > 3) { break; } s = s + 1; }
+    return s;
+  })");
+  Cfg cfg = BuildCfg(fn);
+  std::string text = cfg.ToString();
+  EXPECT_NE(text.find("break"), std::string::npos);
+  // No crash, all blocks connected: every non-end block has a successor.
+  for (const BasicBlock& b : cfg.blocks) {
+    if (!b.is_end) {
+      EXPECT_FALSE(b.successors.empty()) << "block " << b.id;
+    }
+  }
+}
+
+TEST(CfgTest, ReturnTerminatesPath) {
+  auto fn = Fn("func f(x) { if (x > 0) { return 1; } return 2; }");
+  Cfg cfg = BuildCfg(fn);
+  auto preds = cfg.Predecessors();
+  // End has two predecessors (both returns).
+  EXPECT_EQ(preds[cfg.end_id()].size(), 2u);
+}
+
+TEST(RegionTest, MahjongRegionShape) {
+  auto fn = Fn(R"(func findMaxScore() {
+    boards = executeQuery("from Board as b where b.rnd_id = 1");
+    scoreMax = 0;
+    for (t : boards) {
+      score = max(t.p1, t.p2);
+      if (score > scoreMax) { scoreMax = score; }
+    }
+    return scoreMax;
+  })");
+  RegionPtr root = BuildRegionTree(fn.body);
+  ASSERT_NE(root, nullptr);
+  // Sequence of [bb, loop, bb] folds into Seq(Seq(bb, loop), bb).
+  ASSERT_EQ(root->kind(), RegionKind::kSequential);
+  EXPECT_EQ(root->second()->kind(), RegionKind::kBasicBlock);
+  const RegionPtr& inner = root->first();
+  ASSERT_EQ(inner->kind(), RegionKind::kSequential);
+  EXPECT_EQ(inner->first()->kind(), RegionKind::kBasicBlock);
+  const RegionPtr& loop = inner->second();
+  ASSERT_EQ(loop->kind(), RegionKind::kLoop);
+  EXPECT_TRUE(loop->is_cursor_loop());
+  EXPECT_EQ(loop->loop_var(), "t");
+  // Loop body: Seq(bb, conditional).
+  const RegionPtr& body = loop->body();
+  ASSERT_EQ(body->kind(), RegionKind::kSequential);
+  EXPECT_EQ(body->second()->kind(), RegionKind::kConditional);
+  EXPECT_EQ(body->second()->false_region(), nullptr);
+}
+
+TEST(RegionTest, EmptyBodyIsNull) {
+  EXPECT_EQ(BuildRegionTree({}), nullptr);
+}
+
+TEST(RegionTest, CollectStmtsInOrder) {
+  auto fn = Fn(R"(func f() {
+    a = 1;
+    if (a > 0) { b = 2; } else { c = 3; }
+    for (t : rows) { d = 4; }
+    return a;
+  })");
+  RegionPtr root = BuildRegionTree(fn.body);
+  std::vector<frontend::StmtPtr> stmts;
+  root->CollectStmts(&stmts);
+  ASSERT_EQ(stmts.size(), 5u);
+  EXPECT_EQ(stmts[0]->target(), "a");
+  EXPECT_EQ(stmts[1]->target(), "b");
+  EXPECT_EQ(stmts[2]->target(), "c");
+  EXPECT_EQ(stmts[3]->target(), "d");
+  EXPECT_EQ(stmts[4]->kind(), StmtKind::kReturn);
+}
+
+TEST(RegionTest, WhileLoopRegion) {
+  auto fn = Fn("func f() { while (x < 10) { x = x + 1; } return x; }");
+  RegionPtr root = BuildRegionTree(fn.body);
+  ASSERT_EQ(root->kind(), RegionKind::kSequential);
+  EXPECT_EQ(root->first()->kind(), RegionKind::kLoop);
+  EXPECT_FALSE(root->first()->is_cursor_loop());
+}
+
+}  // namespace
+}  // namespace eqsql::cfg

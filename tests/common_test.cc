@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace eqsql {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "unexpected token");
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kPreconditionFailed),
+            "PreconditionFailed");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kRuntimeError), "RuntimeError");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  EQSQL_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(-4).ok());
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(ParsePositive(5).value_or(-1), 5);
+  EXPECT_EQ(ParsePositive(0).value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"a"}, ", "), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, StrSplit) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper("from"), "FROM");
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("WHERE", "were"));
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("select *", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+}
+
+TEST(StringsTest, SqlEscape) {
+  EXPECT_EQ(SqlEscape("o'brien"), "o''brien");
+  EXPECT_EQ(SqlEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace eqsql

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+
+namespace eqsql::interp {
+namespace {
+
+using catalog::DataType;
+using catalog::Schema;
+using catalog::Value;
+
+class InterpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = *db_.CreateTable("nums", Schema({{"id", DataType::kInt64},
+                                              {"v", DataType::kInt64}}));
+    for (int64_t i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(t->Insert({Value::Int(i), Value::Int(i * i)}).ok());
+    }
+  }
+
+  Result<RtValue> Run(const char* src, const std::string& fn,
+                      std::vector<RtValue> args = {}) {
+    auto program = frontend::ParseProgram(src);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    programs_.push_back(std::move(*program));
+    conns_.push_back(std::make_unique<net::Connection>(&db_));
+    interps_.push_back(std::make_unique<Interpreter>(&programs_.back(),
+                                                     conns_.back().get()));
+    return interps_.back()->Run(fn, std::move(args));
+  }
+
+  Interpreter& last_interp() { return *interps_.back(); }
+  net::Connection& last_conn() { return *conns_.back(); }
+
+  storage::Database db_;
+  std::vector<frontend::Program> programs_;
+  std::vector<std::unique_ptr<net::Connection>> conns_;
+  std::vector<std::unique_ptr<Interpreter>> interps_;
+};
+
+TEST_F(InterpTest, ArithmeticAndControlFlow) {
+  auto r = Run(R"(
+    func f(n) {
+      total = 0;
+      i = 1;
+      while (i <= n) {
+        if (i % 2 == 0) { total = total + i; }
+        i = i + 1;
+      }
+      return total;
+    }
+  )", "f", {RtValue(Value::Int(10))});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->scalar().AsInt(), 30);  // 2+4+6+8+10
+}
+
+TEST_F(InterpTest, QueryIterationAndFields) {
+  auto r = Run(R"(
+    func f() {
+      s = 0;
+      rows = executeQuery("SELECT * FROM nums AS n");
+      for (n : rows) { s = s + n.v; }
+      return s;
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->scalar().AsInt(), 55);  // 1+4+9+16+25
+}
+
+TEST_F(InterpTest, CollectionsShareReferences) {
+  // Java-style reference semantics: aliasing a list aliases its state.
+  auto r = Run(R"(
+    func f() {
+      a = list();
+      b = a;
+      a.append(1);
+      b.append(2);
+      return a;
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->DisplayString(), "[1, 2]");
+}
+
+TEST_F(InterpTest, SetDedupsAndKeepsOrder) {
+  auto r = Run(R"(
+    func f() {
+      s = set();
+      s.insert(3); s.insert(1); s.insert(3); s.insert(2);
+      return s;
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->DisplayString(), "{3, 1, 2}");
+}
+
+TEST_F(InterpTest, BuiltinsMaxMinIgnoreNull) {
+  auto r = Run("func f() { return max(3, null, 7, min(2, null)); }", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->scalar().AsInt(), 7);
+}
+
+TEST_F(InterpTest, CoalesceScalarToSet) {
+  auto r = Run(R"(
+    func f() {
+      empty = executeQuery("SELECT n.v AS v FROM nums AS n WHERE n.v > 999");
+      x = coalesce(scalar(empty), -1);
+      s = toSet(executeQuery("SELECT n.id AS id FROM nums AS n WHERE n.id < 3"));
+      return pair(x, s);
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->DisplayString(), "(-1, {1, 2})");
+}
+
+TEST_F(InterpTest, BreakAndReturnInLoops) {
+  auto r = Run(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM nums AS n");
+      for (n : rows) {
+        if (n.v > 5) { return n.id; }
+      }
+      return -1;
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->scalar().AsInt(), 3);  // first v>5 is 9 at id 3
+
+  auto r2 = Run(R"(
+    func g() {
+      c = 0;
+      rows = executeQuery("SELECT * FROM nums AS n");
+      for (n : rows) {
+        if (n.id == 3) { break; }
+        c = c + 1;
+      }
+      return c;
+    }
+  )", "g");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->scalar().AsInt(), 2);
+}
+
+TEST_F(InterpTest, PrintCapture) {
+  auto r = Run(R"(
+    func f() {
+      print("hello");
+      print(1 + 2);
+      print(pair("a", 1));
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(last_interp().printed(),
+            (std::vector<std::string>{"hello", "3", "(a, 1)"}));
+}
+
+TEST_F(InterpTest, UserFunctionsAndRecursionGuard) {
+  auto r = Run(R"(
+    func fact(n) {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    func main() { return fact(6); }
+  )", "main");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->scalar().AsInt(), 720);
+
+  auto loop = Run(R"(
+    func spin(n) { return spin(n); }
+    func main() { return spin(1); }
+  )", "main");
+  ASSERT_FALSE(loop.ok());
+  EXPECT_EQ(loop.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(InterpTest, RuntimeErrors) {
+  EXPECT_FALSE(Run("func f() { return undefined_var; }", "f").ok());
+  EXPECT_FALSE(Run("func f() { return missing_fn(1); }", "f").ok());
+  EXPECT_FALSE(Run("func f() { x = 1; return x.field; }", "f").ok());
+  EXPECT_FALSE(
+      Run("func f() { for (x : 42) { return x; } return 0; }", "f").ok());
+  EXPECT_FALSE(Run("func f(a, b) { return a; }", "f").ok());  // arity
+  EXPECT_FALSE(
+      Run(R"(func f() { rows = executeQuery("NOT SQL"); return 0; })", "f")
+          .ok());
+}
+
+TEST_F(InterpTest, ExecuteUpdateChargesButDoesNotFail) {
+  auto r = Run(R"(
+    func f() {
+      executeUpdate("UPDATE nums SET v = 0");
+      return 1;
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(last_conn().stats().round_trips, 1);
+  // Data untouched (simulated update).
+  EXPECT_EQ((*db_.GetTable("nums"))->rows()[0][1].AsInt(), 1);
+}
+
+TEST_F(InterpTest, StringConcatAndComparison) {
+  auto r = Run(R"(
+    func f() {
+      s = "a" + 1 + "b";
+      eq = s == "a1b";
+      return pair(s, eq);
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->DisplayString(), "(a1b, TRUE)");
+}
+
+TEST_F(InterpTest, SizeAndContains) {
+  auto r = Run(R"(
+    func f() {
+      l = list();
+      l.append(5);
+      l.append(6);
+      rows = executeQuery("SELECT * FROM nums AS n");
+      return pair(pair(l.size(), l.contains(6)), rows.size());
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->DisplayString(), "((2, TRUE), 5)");
+}
+
+TEST_F(InterpTest, TernaryEvaluation) {
+  auto r = Run("func f(x) { return x > 0 ? \"pos\" : \"neg\"; }", "f",
+               {RtValue(Value::Int(-2))});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->DisplayString(), "neg");
+}
+
+TEST_F(InterpTest, SingleColumnResultDisplaysAsScalarList) {
+  auto r = Run(R"(
+    func f() {
+      return executeQuery("SELECT n.id AS id FROM nums AS n WHERE n.id < 3");
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->DisplayString(), "[1, 2]");
+}
+
+TEST_F(InterpTest, ShortCircuitBooleans) {
+  // The right operand must not evaluate when short-circuited.
+  auto r = Run(R"(
+    func boom() { return missing(); }
+    func f() {
+      a = false && scalar(executeQuery("SELECT * FROM nope"));
+      b = true || scalar(executeQuery("SELECT * FROM nope"));
+      return pair(a, b);
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->DisplayString(), "(FALSE, TRUE)");
+}
+
+}  // namespace
+}  // namespace eqsql::interp

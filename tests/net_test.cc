@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "net/connection.h"
+
+namespace eqsql::net {
+namespace {
+
+using catalog::DataType;
+using catalog::Schema;
+using catalog::Value;
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = *db_.CreateTable("items", Schema({{"id", DataType::kInt64},
+                                               {"v", DataType::kInt64}}));
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(t->Insert({Value::Int(i), Value::Int(i * 10)}).ok());
+    }
+  }
+  storage::Database db_;
+};
+
+TEST_F(ConnectionTest, ExecuteSqlCountsRoundTripsAndBytes) {
+  Connection conn(&db_);
+  auto rs = conn.ExecuteSql("SELECT i.v AS v FROM items AS i WHERE i.id < 3");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(conn.stats().queries_executed, 1);
+  EXPECT_EQ(conn.stats().round_trips, 1);
+  EXPECT_EQ(conn.stats().rows_transferred, 3);
+  EXPECT_GT(conn.stats().bytes_transferred, 0);
+  EXPECT_GT(conn.stats().simulated_ms, 0.0);
+}
+
+TEST_F(ConnectionTest, SimulatedTimeIsDeterministic) {
+  double first = 0, second = 0;
+  for (double* slot : {&first, &second}) {
+    Connection conn(&db_);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(conn.ExecuteSql("SELECT i.v AS v FROM items AS i").ok());
+    }
+    *slot = conn.stats().simulated_ms;
+  }
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST_F(ConnectionTest, EachQueryPaysLatency) {
+  Connection conn(&db_);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(conn
+                    .ExecuteSql("SELECT i.v AS v FROM items AS i WHERE "
+                                "i.id = ?",
+                                {Value::Int(i)})
+                    .ok());
+  }
+  EXPECT_EQ(conn.stats().round_trips, 4);
+  EXPECT_GE(conn.stats().simulated_ms,
+            4 * conn.cost_model().round_trip_latency_ms);
+}
+
+TEST_F(ConnectionTest, PrefetchModeOverlapsLatency) {
+  Connection plain(&db_);
+  Connection prefetch(&db_);
+  prefetch.set_prefetch_mode(true);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(plain.ExecuteSql("SELECT i.v AS v FROM items AS i").ok());
+    ASSERT_TRUE(prefetch.ExecuteSql("SELECT i.v AS v FROM items AS i").ok());
+  }
+  // Prefetch pays latency only on the first query.
+  EXPECT_EQ(prefetch.stats().round_trips, 1);
+  EXPECT_LT(prefetch.stats().simulated_ms, plain.stats().simulated_ms);
+  // Data volume is unchanged: prefetching does not reduce transfer.
+  EXPECT_EQ(prefetch.stats().bytes_transferred,
+            plain.stats().bytes_transferred);
+}
+
+TEST_F(ConnectionTest, TempTableForBatching) {
+  Connection conn(&db_);
+  Schema schema({{"pid", DataType::kInt64}});
+  std::vector<catalog::Row> rows = {{Value::Int(1)}, {Value::Int(2)}};
+  ASSERT_TRUE(conn.CreateTempTable("tmp_params", schema, rows).ok());
+  EXPECT_TRUE(db_.HasTable("tmp_params"));
+  EXPECT_GE(conn.stats().simulated_ms,
+            conn.cost_model().param_table_overhead_ms);
+  auto rs = conn.ExecuteSql(
+      "SELECT i.v AS v FROM items AS i JOIN tmp_params AS p ON i.id = p.pid");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 2u);
+  conn.DropTempTable("tmp_params");
+  EXPECT_FALSE(db_.HasTable("tmp_params"));
+}
+
+TEST_F(ConnectionTest, TempTableReplacesExisting) {
+  Connection conn(&db_);
+  Schema schema({{"pid", DataType::kInt64}});
+  ASSERT_TRUE(conn.CreateTempTable("tmp", schema, {{Value::Int(1)}}).ok());
+  ASSERT_TRUE(conn.CreateTempTable("tmp", schema, {{Value::Int(2)}}).ok());
+  auto t = db_.GetTable("tmp");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ((*t)->row_count(), 1u);
+  EXPECT_EQ((*t)->rows()[0][0].AsInt(), 2);
+}
+
+TEST_F(ConnectionTest, ParseErrorPropagates) {
+  Connection conn(&db_);
+  auto rs = conn.ExecuteSql("SELEC nonsense");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(conn.stats().queries_executed, 0);
+}
+
+TEST_F(ConnectionTest, AggregationReducesBytesVsFullScan) {
+  Connection full(&db_), agg(&db_);
+  ASSERT_TRUE(full.ExecuteSql("SELECT i.v AS v FROM items AS i").ok());
+  ASSERT_TRUE(agg.ExecuteSql("SELECT MAX(i.v) AS m FROM items AS i").ok());
+  EXPECT_LT(agg.stats().rows_transferred, full.stats().rows_transferred);
+}
+
+}  // namespace
+}  // namespace eqsql::net

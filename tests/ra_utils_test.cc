@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "rules/ra_utils.h"
+#include "sql/parser.h"
+
+namespace eqsql::rules {
+namespace {
+
+using catalog::Value;
+using ra::RaNode;
+using ra::RaNodePtr;
+using ra::ScalarExpr;
+using ra::ScalarExprPtr;
+using ra::ScalarOp;
+
+ScalarExprPtr Col(const std::string& n) { return ScalarExpr::Column(n); }
+
+TEST(QualifyAttrTest, ScanQualifiesWithAlias) {
+  auto scan = RaNode::Scan("board", "b");
+  EXPECT_EQ(*QualifyAttr(scan, "rnd_id"), "b.rnd_id");
+}
+
+TEST(QualifyAttrTest, ProjectUsesItemNames) {
+  auto q = *sql::ParseSql("SELECT b.p1 AS score FROM board AS b");
+  EXPECT_EQ(*QualifyAttr(q, "score"), "score");
+  EXPECT_FALSE(QualifyAttr(q, "p2").ok());
+}
+
+TEST(QualifyAttrTest, GroupByExposesKeysAndAggs) {
+  auto q = *sql::ParseSql(
+      "SELECT t.g, MAX(t.v) AS mx FROM t GROUP BY t.g");
+  // Root is Project over GroupBy; both resolve.
+  EXPECT_EQ(*QualifyAttr(q, "g"), "t.g");
+  EXPECT_EQ(*QualifyAttr(q, "mx"), "mx");
+}
+
+TEST(QualifyAttrTest, JoinAmbiguityDetected) {
+  auto q = *sql::ParseSql(
+      "SELECT * FROM a AS x JOIN b AS y ON x.id = y.id");
+  auto r = QualifyAttr(q, "id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResolvesInTest, QualifiedAndBareNames) {
+  auto scan = RaNode::Scan("details", "d");
+  EXPECT_TRUE(ResolvesIn(scan, "d.aid"));
+  EXPECT_TRUE(ResolvesIn(scan, "aid"));   // bare resolves too
+  EXPECT_FALSE(ResolvesIn(scan, "u.aid"));  // wrong qualifier
+}
+
+TEST(BindParametersTest, ReplacesAndShifts) {
+  auto q = *sql::ParseSql("SELECT * FROM t WHERE t.a = ? AND t.b = ?");
+  auto bound = BindParameters(
+      q, {ScalarExpr::Literal(Value::Int(5)), nullptr});
+  std::string s = bound->ToString();
+  EXPECT_NE(s.find("(lit 5)"), std::string::npos);
+  EXPECT_NE(s.find("(param 1)"), std::string::npos);  // unbound kept
+
+  auto shifted = ShiftParameters(q, 10);
+  std::string s2 = shifted->ToString();
+  EXPECT_NE(s2.find("(param 10)"), std::string::npos);
+  EXPECT_NE(s2.find("(param 11)"), std::string::npos);
+  EXPECT_EQ(ShiftParameters(q, 0).get(), q.get());  // no-op shares tree
+}
+
+TEST(ExtractCorrelatedTest, SplitsOnlyUnresolvableConjuncts) {
+  // Inner query over details; u.id does not resolve inside it.
+  auto q = *sql::ParseSql(
+      "SELECT * FROM details AS d WHERE d.aid = u.id AND d.kind = 1");
+  std::vector<ScalarExprPtr> extracted;
+  RaNodePtr rest = ExtractCorrelatedConjuncts(q, &extracted);
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_NE(extracted[0]->ToString().find("u.id"), std::string::npos);
+  // Local conjunct stays.
+  EXPECT_NE(rest->ToString().find("d.kind"), std::string::npos);
+  EXPECT_EQ(rest->ToString().find("u.id"), std::string::npos);
+}
+
+TEST(ExtractCorrelatedTest, NoCorrelationIsNoOp) {
+  auto q = *sql::ParseSql("SELECT * FROM details AS d WHERE d.kind = 1");
+  std::vector<ScalarExprPtr> extracted;
+  RaNodePtr rest = ExtractCorrelatedConjuncts(q, &extracted);
+  EXPECT_TRUE(extracted.empty());
+  EXPECT_NE(rest->ToString().find("d.kind"), std::string::npos);
+}
+
+TEST(PrimaryScanKeyTest, FindsKeyThroughOperators) {
+  auto q = *sql::ParseSql(
+      "SELECT d.x AS x FROM details AS d WHERE d.kind = 1");
+  std::map<std::string, std::string> keys = {{"details", "id"}};
+  EXPECT_EQ(*PrimaryScanKey(q, keys), "d.id");
+  EXPECT_FALSE(PrimaryScanKey(q, {}).ok());
+}
+
+TEST(ReferencesVarsTest, QualifierMatch) {
+  auto e = ScalarExpr::Binary(ScalarOp::kEq, Col("t.a"), Col("u.b"));
+  EXPECT_TRUE(ReferencesVars(e, {"t"}));
+  EXPECT_TRUE(ReferencesVars(e, {"u"}));
+  EXPECT_FALSE(ReferencesVars(e, {"v"}));
+}
+
+TEST(RewriteExprsTest, RewritesEverywhereIncludingSubqueries) {
+  auto q = *sql::ParseSql(
+      "SELECT t.a AS a FROM t WHERE EXISTS "
+      "(SELECT s.b AS b FROM s WHERE s.k = t.k) ORDER BY t.a");
+  int renamed = 0;
+  auto out = RewriteExprs(q, [&](const ScalarExprPtr& e) -> ScalarExprPtr {
+    if (e->op() == ScalarOp::kColumnRef && e->column_name() == "t.k") {
+      ++renamed;
+      return Col("t.key2");
+    }
+    return nullptr;
+  });
+  EXPECT_EQ(renamed, 1);
+  EXPECT_NE(out->ToString().find("t.key2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eqsql::rules

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "dir/builder.h"
+#include "frontend/parser.h"
+#include "rewrite/dce.h"
+#include "rewrite/emit.h"
+#include "rewrite/rewriter.h"
+#include "rules/transform.h"
+
+namespace eqsql::rewrite {
+namespace {
+
+using frontend::ParseProgram;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+std::vector<StmtPtr> Body(const char* src) {
+  auto p = ParseProgram(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  static std::vector<frontend::Program> keep;
+  keep.push_back(std::move(*p));
+  return keep.back().functions[0].body;
+}
+
+std::string Render(const std::vector<StmtPtr>& stmts) {
+  std::string out;
+  for (const StmtPtr& s : stmts) out += s->ToString();
+  return out;
+}
+
+// --- dead-code elimination ---------------------------------------------
+
+TEST(DceTest, RemovesUnusedAssignment) {
+  auto body = Body(R"(
+    func f() {
+      unused = 42;
+      x = 1;
+      return x;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  std::string text = Render(kept);
+  EXPECT_EQ(text.find("unused"), std::string::npos);
+  EXPECT_NE(text.find("return x"), std::string::npos);
+}
+
+TEST(DceTest, RemovesUnusedQueryRead) {
+  // Pure DB reads are removable — that is the optimization.
+  auto body = Body(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM t");
+      return 1;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  EXPECT_EQ(Render(kept).find("executeQuery"), std::string::npos);
+}
+
+TEST(DceTest, KeepsDbWritesAndUnknownCalls) {
+  auto body = Body(R"(
+    func f() {
+      x = executeUpdate("DELETE FROM t");
+      sideEffect();
+      return 1;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  std::string text = Render(kept);
+  EXPECT_NE(text.find("executeUpdate"), std::string::npos);
+  EXPECT_NE(text.find("sideEffect"), std::string::npos);
+}
+
+TEST(DceTest, RemovesEmptyLoopAndItsQuery) {
+  auto body = Body(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM t");
+      x = 0;
+      for (r : rows) {
+        x = x + r.v;
+      }
+      return 1;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  std::string text = Render(kept);
+  EXPECT_EQ(text.find("for ("), std::string::npos);
+  EXPECT_EQ(text.find("executeQuery"), std::string::npos);
+}
+
+TEST(DceTest, KeepsLoopWithLiveAccumulator) {
+  auto body = Body(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM t");
+      x = 0;
+      for (r : rows) { x = x + r.v; }
+      return x;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  std::string text = Render(kept);
+  EXPECT_NE(text.find("for ("), std::string::npos);
+  EXPECT_NE(text.find("executeQuery"), std::string::npos);
+}
+
+TEST(DceTest, PrunesEmptyConditionalBranches) {
+  auto body = Body(R"(
+    func f(c) {
+      if (c > 0) { dead = 1; } else { dead2 = 2; }
+      return c;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  EXPECT_EQ(Render(kept).find("if ("), std::string::npos);
+}
+
+TEST(DceTest, LiveOutSeedKeepsAssignments) {
+  auto body = Body("func f() { x = 1; }");
+  EXPECT_TRUE(RemoveDeadCode(body).empty());
+  auto kept = RemoveDeadCode(body, {"x"});
+  EXPECT_NE(Render(kept).find("x = 1"), std::string::npos);
+}
+
+TEST(DceTest, CollectionMutationKeptWhenCollectionLive) {
+  auto body = Body(R"(
+    func f() {
+      l = list();
+      l.append(1);
+      dead = list();
+      dead.append(2);
+      return l;
+    }
+  )");
+  auto kept = RemoveDeadCode(body);
+  std::string text = Render(kept);
+  EXPECT_NE(text.find("l.append(1)"), std::string::npos);
+  EXPECT_EQ(text.find("dead.append"), std::string::npos);
+}
+
+// --- loop replacement ----------------------------------------------------
+
+TEST(RewriterTest, ReplacesFullyExtractedLoop) {
+  auto body = Body(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM t");
+      s = 0;
+      for (r : rows) { s = s + r.v; }
+      return s;
+    }
+  )");
+  const Stmt* loop = nullptr;
+  std::set<const Stmt*> removable;
+  for (const StmtPtr& s : body) {
+    if (s->kind() == StmtKind::kForEach) {
+      loop = s.get();
+      for (const StmtPtr& inner : s->body()) removable.insert(inner.get());
+    }
+  }
+  ASSERT_NE(loop, nullptr);
+  std::vector<StmtPtr> replacement = {
+      Stmt::Assign("s", frontend::Expr::IntLit(99))};
+  auto rewritten =
+      ReplaceLoopComputation(body, loop, removable, replacement);
+  std::string text = Render(rewritten);
+  EXPECT_EQ(text.find("for ("), std::string::npos);
+  EXPECT_NE(text.find("s = 99"), std::string::npos);
+}
+
+TEST(RewriterTest, KeepsLoopWhenSomeStatementsSurvive) {
+  auto body = Body(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM t");
+      s = 0;
+      for (r : rows) {
+        s = s + r.v;
+        executeUpdate("INSERT INTO log VALUES r");
+      }
+      return s;
+    }
+  )");
+  const Stmt* loop = nullptr;
+  std::set<const Stmt*> removable;
+  for (const StmtPtr& s : body) {
+    if (s->kind() == StmtKind::kForEach) {
+      loop = s.get();
+      removable.insert(s->body()[0].get());  // only the accumulation
+    }
+  }
+  auto rewritten = ReplaceLoopComputation(
+      body, loop, removable,
+      {Stmt::Assign("s", frontend::Expr::IntLit(7))});
+  std::string text = Render(rewritten);
+  EXPECT_NE(text.find("for ("), std::string::npos);
+  EXPECT_NE(text.find("executeUpdate"), std::string::npos);
+  EXPECT_NE(text.find("s = 7"), std::string::npos);
+  EXPECT_EQ(text.find("s = (s + r.v)"), std::string::npos);
+}
+
+TEST(RewriterTest, DropsConditionalWhoseBodyEmpties) {
+  auto body = Body(R"(
+    func f() {
+      rows = executeQuery("SELECT * FROM t");
+      s = 0;
+      for (r : rows) {
+        if (r.v > 0) { s = s + r.v; }
+      }
+      return s;
+    }
+  )");
+  const Stmt* loop = nullptr;
+  std::set<const Stmt*> removable;
+  for (const StmtPtr& s : body) {
+    if (s->kind() == StmtKind::kForEach) {
+      loop = s.get();
+      removable.insert(s->body()[0]->body()[0].get());  // the assignment
+    }
+  }
+  auto rewritten = ReplaceLoopComputation(body, loop, removable, {});
+  std::string text = Render(rewritten);
+  // Both the if and the now-empty loop disappear.
+  EXPECT_EQ(text.find("if ("), std::string::npos);
+  EXPECT_EQ(text.find("for ("), std::string::npos);
+}
+
+// --- emission --------------------------------------------------------------
+
+class EmitTest : public ::testing::Test {
+ protected:
+  /// Builds + transforms a variable's expression ready for emission.
+  dir::DNodePtr Transformed(const char* src, const std::string& var) {
+    auto p = ParseProgram(src);
+    EXPECT_TRUE(p.ok());
+    programs_.push_back(std::move(*p));
+    dir::DirBuilder builder(&ctx_, &programs_.back());
+    auto fdir = builder.BuildFunction(programs_.back().functions[0]);
+    EXPECT_TRUE(fdir.ok());
+    rules::TransformOptions opts;
+    opts.table_keys = {{"t", "id"}};
+    rules::Transformer transformer(&ctx_, opts);
+    return transformer.Transform(fdir->ve_map.at(var));
+  }
+
+  dir::DagContext ctx_;
+  std::vector<frontend::Program> programs_;
+};
+
+TEST_F(EmitTest, EmitsExecuteQueryAssignment) {
+  auto node = Transformed(R"(
+    func f() {
+      out = list();
+      rows = executeQuery("SELECT * FROM t AS t");
+      for (r : rows) { out.append(r.name); }
+      return out;
+    }
+  )", "out");
+  auto emitted = EmitAssignment(node, "out", sql::Dialect::kDefault);
+  ASSERT_TRUE(emitted.ok()) << emitted.status().ToString();
+  EXPECT_EQ(emitted->stmt->ToString(),
+            "out = executeQuery(\"SELECT t.name AS name FROM t\");\n");
+  ASSERT_EQ(emitted->sql_queries.size(), 1u);
+}
+
+TEST_F(EmitTest, EmitsScalarWithInitComposition) {
+  auto node = Transformed(R"(
+    func f() {
+      m = 10;
+      rows = executeQuery("SELECT * FROM t AS t");
+      for (r : rows) {
+        if (r.v > m) { m = r.v; }
+      }
+      return m;
+    }
+  )", "m");
+  auto emitted = EmitAssignment(node, "m", sql::Dialect::kDefault);
+  ASSERT_TRUE(emitted.ok()) << emitted.status().ToString();
+  EXPECT_EQ(emitted->stmt->ToString(),
+            "m = max(10, scalar(executeQuery(\"SELECT MAX(t.v) AS agg FROM "
+            "t\")));\n");
+}
+
+TEST_F(EmitTest, ParameterBindingsBecomeVarRefs) {
+  auto node = Transformed(R"(
+    func f(threshold) {
+      n = 0;
+      rows = executeQuery("SELECT * FROM t AS t");
+      for (r : rows) {
+        if (r.v > threshold) { n = n + 1; }
+      }
+      return n;
+    }
+  )", "n");
+  auto emitted = EmitAssignment(node, "n", sql::Dialect::kDefault);
+  ASSERT_TRUE(emitted.ok()) << emitted.status().ToString();
+  // The query is parameterized on the function input.
+  EXPECT_NE(emitted->stmt->ToString().find("\", threshold)"),
+            std::string::npos)
+      << emitted->stmt->ToString();
+}
+
+TEST_F(EmitTest, CountEmitsCoalescedComposition) {
+  auto node = Transformed(R"(
+    func f() {
+      n = 0;
+      rows = executeQuery("SELECT * FROM t AS t");
+      for (r : rows) {
+        if (r.v > 5) { n = n + 1; }
+      }
+      return n;
+    }
+  )", "n");
+  auto emitted = EmitAssignment(node, "n", sql::Dialect::kDefault);
+  ASSERT_TRUE(emitted.ok()) << emitted.status().ToString();
+  EXPECT_EQ(emitted->stmt->ToString(),
+            "n = (0 + coalesce(scalar(executeQuery(\"SELECT COUNT(*) AS agg "
+            "FROM t WHERE (t.v > 5)\")), 0));\n");
+}
+
+TEST_F(EmitTest, RefusesResidualFolds) {
+  auto node = Transformed(R"(
+    func f(items) {
+      s = 0;
+      for (t : items) { s = s + t.v; }
+      return s;
+    }
+  )", "s");
+  auto emitted = EmitAssignment(node, "s", sql::Dialect::kDefault);
+  EXPECT_FALSE(emitted.ok());
+}
+
+TEST_F(EmitTest, EmitExpressionCollectsSql) {
+  auto node = Transformed(R"(
+    func f() {
+      n = 0;
+      rows = executeQuery("SELECT * FROM t AS t");
+      for (r : rows) { n = n + 1; }
+      return n;
+    }
+  )", "n");
+  std::vector<std::string> sql;
+  auto expr = EmitExpression(node, sql::Dialect::kDefault, &sql);
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(sql.size(), 1u);
+  EXPECT_EQ(sql[0], "SELECT COUNT(*) AS agg FROM t");
+}
+
+}  // namespace
+}  // namespace eqsql::rewrite

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "dir/builder.h"
+#include "frontend/parser.h"
+#include "rules/transform.h"
+#include "sql/generator.h"
+
+namespace eqsql::rules {
+namespace {
+
+using dir::DNodePtr;
+using dir::DOp;
+
+/// Pipeline fixture: parse -> D-IR -> transform the returned variable.
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest() {
+    opts_.table_keys = {{"board", "id"},   {"wuser", "id"},
+                        {"role", "id"},    {"project", "id"},
+                        {"applicants", "id"}};
+  }
+
+  /// Returns the transformed ee-DAG for the program's __ret (or __out).
+  DNodePtr TransformVar(const char* src, const std::string& var = "__ret") {
+    auto program = frontend::ParseProgram(src);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    programs_.push_back(std::move(*program));
+    dir::DirBuilder builder(&ctx_, &programs_.back());
+    auto fdir = builder.BuildFunction(programs_.back().functions.back());
+    EXPECT_TRUE(fdir.ok()) << fdir.status().ToString();
+    auto it = fdir->ve_map.find(var);
+    if (it == fdir->ve_map.end()) return nullptr;
+    Transformer transformer(&ctx_, opts_);
+    last_applied_.clear();
+    DNodePtr out = transformer.Transform(it->second);
+    last_applied_ = transformer.applied_rules();
+    return out;
+  }
+
+  /// SQL text for a kQuery node (kDefault dialect).
+  std::string Sql(const DNodePtr& node) {
+    EXPECT_EQ(node->op(), DOp::kQuery) << node->ToString();
+    if (node->op() != DOp::kQuery) return "";
+    auto sql = sql::GenerateSql(node->query());
+    EXPECT_TRUE(sql.ok()) << sql.status().ToString();
+    return sql.value_or("");
+  }
+
+  bool Applied(const std::string& rule) {
+    return std::find(last_applied_.begin(), last_applied_.end(), rule) !=
+           last_applied_.end();
+  }
+
+  dir::DagContext ctx_;
+  TransformOptions opts_;
+  std::vector<frontend::Program> programs_;
+  std::vector<std::string> last_applied_;
+};
+
+TEST_F(RulesTest, T2PlusT51MahjongAggregation) {
+  // Paper Figure 3 walk-through: the running example becomes
+  // SELECT MAX(GREATEST(p1,p2,p3,p4)) FROM board WHERE rnd_id = 1.
+  DNodePtr out = TransformVar(R"(
+    func findMaxScore() {
+      boards = executeQuery("SELECT * FROM board AS b WHERE b.rnd_id = 1");
+      scoreMax = 0;
+      for (t : boards) {
+        score = max(max(max(t.p1, t.p2), t.p3), t.p4);
+        if (score > scoreMax) { scoreMax = score; }
+      }
+      return scoreMax;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  // T6 composition: max[0, scalar(Q)].
+  ASSERT_EQ(out->op(), DOp::kMax) << out->ToString();
+  EXPECT_EQ(out->child(0)->ToString(), "0");
+  ASSERT_EQ(out->child(1)->op(), DOp::kScalar);
+  EXPECT_TRUE(Applied("T5.1"));
+  auto sql = sql::GenerateSql(out->child(1)->child(0)->query());
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_EQ(*sql,
+            "SELECT MAX(GREATEST(GREATEST(GREATEST(b.p1, b.p2), b.p3), "
+            "b.p4)) AS agg FROM board AS b WHERE (b.rnd_id = 1)");
+}
+
+TEST_F(RulesTest, T2SelectionPush) {
+  // Wilos sample #6 pattern: filter in imperative code becomes WHERE.
+  DNodePtr out = TransformVar(R"(
+    func unfinishedProjects() {
+      result = list();
+      projects = executeQuery("SELECT * FROM project AS p");
+      for (p : projects) {
+        if (p.finished == 0) {
+          result.append(p.name);
+        }
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("T2"));
+  EXPECT_TRUE(Applied("T1"));
+  EXPECT_EQ(Sql(out),
+            "SELECT p.name AS name FROM project AS p WHERE (p.finished = 0)");
+}
+
+TEST_F(RulesTest, T1WholeTupleAppendIsQueryItself) {
+  DNodePtr out = TransformVar(R"(
+    func all() {
+      result = list();
+      rows = executeQuery("SELECT * FROM role AS r");
+      for (t : rows) { result.append(t); }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(Sql(out), "SELECT * FROM role AS r");
+}
+
+TEST_F(RulesTest, T1SetInsertionDedups) {
+  DNodePtr out = TransformVar(R"(
+    func roleIds() {
+      ids = set();
+      rows = executeQuery("SELECT * FROM wuser AS u");
+      for (t : rows) { ids.insert(t.role_id); }
+      return ids;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(Sql(out),
+            "SELECT DISTINCT u.role_id AS role_id FROM wuser AS u");
+}
+
+TEST_F(RulesTest, T4JoinIdentification) {
+  // Wilos sample #30 pattern: nested loops over two tables with an
+  // equality condition become a join (paper Experiment 6).
+  DNodePtr out = TransformVar(R"(
+    func userRoles() {
+      result = list();
+      users = executeQuery("SELECT * FROM wuser AS u");
+      roles = executeQuery("SELECT * FROM role AS r");
+      for (u : users) {
+        for (r : roles) {
+          if (u.role_id == r.id) {
+            result.append(pair(u.login, r.name));
+          }
+        }
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("T4"));
+  EXPECT_EQ(Sql(out),
+            "SELECT u.login AS login, r.name AS name FROM wuser AS u JOIN "
+            "role AS r ON (u.role_id = r.id) ORDER BY u.id");
+}
+
+TEST_F(RulesTest, T4WithParameterizedInnerQuery) {
+  // The inner query is parameterized on the outer cursor: batching's
+  // classic case, which EqSQL turns into a join.
+  DNodePtr out = TransformVar(R"(
+    func userRoles() {
+      result = list();
+      users = executeQuery("SELECT * FROM wuser AS u");
+      for (u : users) {
+        matches = executeQuery("SELECT * FROM role AS r WHERE r.id = ?",
+                               u.role_id);
+        for (r : matches) {
+          result.append(r.name);
+        }
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("T4"));
+  EXPECT_EQ(Sql(out),
+            "SELECT r.name AS name FROM wuser AS u JOIN role AS r ON "
+            "(r.id = u.role_id) ORDER BY u.id");
+}
+
+TEST_F(RulesTest, T4RequiresKeyForOrderedResults) {
+  opts_.table_keys.clear();
+  DNodePtr out = TransformVar(R"(
+    func f() {
+      result = list();
+      users = executeQuery("SELECT * FROM wuser AS u");
+      roles = executeQuery("SELECT * FROM role AS r");
+      for (u : users) {
+        for (r : roles) {
+          if (u.role_id == r.id) { result.append(r.name); }
+        }
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->op(), DOp::kFold);  // rule refused without a key
+}
+
+TEST_F(RulesTest, T4IgnoreOrderingSkipsSort) {
+  opts_.table_keys.clear();
+  opts_.ignore_ordering = true;  // keyword-search mode (T4.3)
+  DNodePtr out = TransformVar(R"(
+    func f() {
+      result = list();
+      users = executeQuery("SELECT * FROM wuser AS u");
+      roles = executeQuery("SELECT * FROM role AS r");
+      for (u : users) {
+        for (r : roles) {
+          if (u.role_id == r.id) { result.append(r.name); }
+        }
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(Sql(out),
+            "SELECT r.name AS name FROM wuser AS u JOIN role AS r ON "
+            "(u.role_id = r.id)");
+}
+
+TEST_F(RulesTest, T52GroupByIdentification) {
+  // "Our techniques can translate many instances of nested loops where
+  // the inner loop computes aggregation for each value of the outer
+  // loop, into a GROUP BY query" (paper contribution 3).
+  DNodePtr out = TransformVar(R"(
+    func roleMaxScores() {
+      result = list();
+      roles = executeQuery("SELECT * FROM role AS r");
+      boards = "unused";
+      for (r : roles) {
+        best = 0;
+        rows = executeQuery("SELECT * FROM wuser AS u WHERE u.role_id = ?",
+                            r.id);
+        for (u : rows) {
+          if (u.score > best) { best = u.score; }
+        }
+        result.append(pair(r.name, best));
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("T5.2")) << out->ToString();
+  EXPECT_EQ(Sql(out),
+            "SELECT r.name AS name, CASE WHEN (MAX(u.score) IS NULL) THEN 0 "
+            "ELSE MAX(u.score) END AS agg FROM role AS r LEFT OUTER JOIN "
+            "wuser AS u ON (u.role_id = r.id) GROUP BY r.id, r.name "
+            "ORDER BY r.id");
+}
+
+TEST_F(RulesTest, T52SumAndCount) {
+  DNodePtr sum_out = TransformVar(R"(
+    func roleSums() {
+      result = list();
+      roles = executeQuery("SELECT * FROM role AS r");
+      for (r : roles) {
+        total = 0;
+        rows = executeQuery("SELECT * FROM wuser AS u WHERE u.role_id = ?",
+                            r.id);
+        for (u : rows) { total = total + u.score; }
+        result.append(pair(r.id, total));
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(sum_out, nullptr);
+  std::string sql = Sql(sum_out);
+  EXPECT_NE(sql.find("SUM(u.score)"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("LEFT OUTER JOIN"), std::string::npos) << sql;
+
+  DNodePtr count_out = TransformVar(R"(
+    func roleCounts() {
+      result = list();
+      roles = executeQuery("SELECT * FROM role AS r");
+      for (r : roles) {
+        n = 0;
+        rows = executeQuery("SELECT * FROM wuser AS u WHERE u.role_id = ?",
+                            r.id);
+        for (u : rows) { n = n + 1; }
+        result.append(pair(r.id, n));
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(count_out, nullptr);
+  std::string csql = Sql(count_out);
+  EXPECT_NE(csql.find("COUNT(u.role_id)"), std::string::npos) << csql;
+}
+
+TEST_F(RulesTest, ExistsPattern) {
+  DNodePtr out = TransformVar(R"(
+    func hasAdmin() {
+      found = false;
+      rows = executeQuery("SELECT * FROM wuser AS u");
+      for (u : rows) {
+        if (u.role_id == 1) { found = true; }
+      }
+      return found;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("EXISTS")) << out->ToString();
+  // or[false, count(σ) > 0]
+  ASSERT_EQ(out->op(), DOp::kOr) << out->ToString();
+  ASSERT_EQ(out->child(1)->op(), DOp::kGt);
+  auto sql = sql::GenerateSql(out->child(1)->child(0)->child(0)->query());
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql,
+            "SELECT COUNT(*) AS cnt FROM wuser AS u WHERE (u.role_id = 1)");
+}
+
+TEST_F(RulesTest, CountAndSumScalars) {
+  DNodePtr out = TransformVar(R"(
+    func stats() {
+      n = 0;
+      rows = executeQuery("SELECT * FROM wuser AS u");
+      for (u : rows) { n = n + 1; }
+      return n;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  // 0 + coalesce(count, 0)
+  ASSERT_EQ(out->op(), DOp::kAdd) << out->ToString();
+  auto sql = sql::GenerateSql(
+      out->child(1)->child(0)->child(0)->query());
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql, "SELECT COUNT(*) AS agg FROM wuser AS u");
+}
+
+TEST_F(RulesTest, T7OuterApplyStarSchema) {
+  // Paper Figure 12/13: per-row scalar lookups with a conditional fetch
+  // become a chain of OUTER APPLYs.
+  DNodePtr out = TransformVar(R"(
+    func jobReport() {
+      rows = executeQuery("SELECT * FROM applicants AS a");
+      for (t : rows) {
+        id = t.id;
+        phone = scalar(executeQuery(
+            "SELECT d.phone AS phone FROM details AS d WHERE d.aid = ?", id));
+        edu = null;
+        if (t.mode == "online") {
+          edu = scalar(executeQuery(
+              "SELECT e.degree AS degree FROM education AS e WHERE e.aid = ?",
+              id));
+        }
+        print(pair(id, pair(phone, edu)));
+      }
+    }
+  )", "__out");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("T7")) << out->ToString();
+  std::string sql = Sql(out);
+  EXPECT_NE(sql.find("OUTER APPLY"), std::string::npos) << sql;
+  // The conditional fetch's condition is pushed into its apply branch
+  // (paper Figure 13: "and Q1.applnMode = 'online'").
+  EXPECT_NE(sql.find("(a.mode = 'online')"), std::string::npos) << sql;
+}
+
+TEST_F(RulesTest, DisabledRuleBlocksTransformation) {
+  opts_.disabled_rules = {"T2"};
+  DNodePtr out = TransformVar(R"(
+    func f() {
+      result = list();
+      projects = executeQuery("SELECT * FROM project AS p");
+      for (p : projects) {
+        if (p.finished == 0) { result.append(p.name); }
+      }
+      return result;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->op(), DOp::kFold);  // cannot fire T1 without T2
+}
+
+TEST_F(RulesTest, OpaqueValuesAreLeftAlone) {
+  DNodePtr out = TransformVar(R"(
+    func f() {
+      agg = 0; dep = 0;
+      rows = executeQuery("SELECT * FROM t");
+      for (u : rows) {
+        agg = agg + u.x;
+        dep = dep + agg;
+      }
+      return dep;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->op(), DOp::kOpaque);
+}
+
+TEST_F(RulesTest, SumWithConditionCombinesT2AndT51) {
+  DNodePtr out = TransformVar(R"(
+    func total() {
+      sum = 100;
+      rows = executeQuery("SELECT * FROM wuser AS u");
+      for (u : rows) {
+        if (u.score > 50) { sum = sum + u.score; }
+      }
+      return sum;
+    }
+  )");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(Applied("T2"));
+  EXPECT_TRUE(Applied("T5.1"));
+  // 100 + coalesce(scalar(SELECT SUM..WHERE score>50), 0)
+  ASSERT_EQ(out->op(), DOp::kAdd) << out->ToString();
+  auto sql = sql::GenerateSql(out->child(1)->child(0)->child(0)->query());
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql,
+            "SELECT SUM(u.score) AS agg FROM wuser AS u WHERE "
+            "(u.score > 50)");
+}
+
+}  // namespace
+}  // namespace eqsql::rules

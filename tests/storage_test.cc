@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace eqsql::storage {
+namespace {
+
+using catalog::DataType;
+using catalog::Row;
+using catalog::Schema;
+using catalog::Value;
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+}
+
+TEST(TableTest, InsertAndScan) {
+  Table t("users", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("ann")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("bob")}).ok());
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.rows()[1][1].AsString(), "bob");
+}
+
+TEST(TableTest, InsertArityMismatchFails) {
+  Table t("users", TwoColSchema());
+  Status s = t.Insert({Value::Int(1)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, UniqueKeyEnforced) {
+  Table t("users", TwoColSchema());
+  ASSERT_TRUE(t.DeclareUniqueKey("id").ok());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_FALSE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, UniqueKeyLookup) {
+  Table t("users", TwoColSchema());
+  ASSERT_TRUE(t.DeclareUniqueKey("id").ok());
+  ASSERT_TRUE(t.Insert({Value::Int(5), Value::String("e")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(9), Value::String("i")}).ok());
+  EXPECT_EQ(t.LookupByKey(Value::Int(9)), 1u);
+  EXPECT_FALSE(t.LookupByKey(Value::Int(4)).has_value());
+}
+
+TEST(TableTest, DeclareKeyOnExistingDataValidates) {
+  Table t("users", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+  EXPECT_FALSE(t.DeclareUniqueKey("id").ok());
+}
+
+TEST(TableTest, DeclareKeyUnknownColumnFails) {
+  Table t("users", TwoColSchema());
+  EXPECT_FALSE(t.DeclareUniqueKey("missing").ok());
+}
+
+TEST(DatabaseTest, CreateAndGet) {
+  Database db;
+  auto r = db.CreateTable("Board", TwoColSchema());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(db.HasTable("board"));          // case-insensitive
+  ASSERT_TRUE(db.GetTable("BOARD").ok());
+  EXPECT_EQ((*db.GetTable("board"))->name(), "Board");
+}
+
+TEST(DatabaseTest, DuplicateCreateFails) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_FALSE(db.CreateTable("T", TwoColSchema()).ok());
+}
+
+TEST(DatabaseTest, GetMissingFails) {
+  Database db;
+  Result<Table*> r = db.GetTable("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DropTable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("tmp_params", TwoColSchema()).ok());
+  db.DropTable("TMP_PARAMS");
+  EXPECT_FALSE(db.HasTable("tmp_params"));
+}
+
+TEST(DatabaseTest, TableNames) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("b", TwoColSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("a", TwoColSchema()).ok());
+  auto names = db.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // sorted by key
+}
+
+}  // namespace
+}  // namespace eqsql::storage

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "baselines/batching.h"
+#include "core/optimizer.h"
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+#include "workloads/benchmark_apps.h"
+#include "workloads/servlets.h"
+#include "workloads/wilos_samples.h"
+
+namespace eqsql::workloads {
+namespace {
+
+core::OptimizeOptions WilosOptions() {
+  core::OptimizeOptions options;
+  options.transform.table_keys = WilosTableKeys();
+  return options;
+}
+
+TEST(WilosCorpusTest, ThirtyThreeSamples) {
+  EXPECT_EQ(WilosSamples().size(), 33u);
+  std::set<int> indices;
+  for (const WilosSample& s : WilosSamples()) indices.insert(s.index);
+  EXPECT_EQ(indices.size(), 33u);
+}
+
+TEST(WilosCorpusTest, AllSamplesParse) {
+  for (const WilosSample& s : WilosSamples()) {
+    auto program = frontend::ParseProgram(s.source);
+    EXPECT_TRUE(program.ok())
+        << "sample " << s.index << ": " << program.status().ToString();
+    EXPECT_NE(program->Find(s.function), nullptr) << "sample " << s.index;
+  }
+}
+
+TEST(WilosCorpusTest, Table1ApplicabilityMatchesPaper) {
+  // Paper Table 1 + Experiment 2: EqSQL succeeds on 24/33 samples
+  // (17 handled by the implementation + 7 handled by the techniques).
+  core::EqSqlOptimizer optimizer(WilosOptions());
+  int extracted = 0;
+  for (const WilosSample& s : WilosSamples()) {
+    auto program = frontend::ParseProgram(s.source);
+    ASSERT_TRUE(program.ok()) << "sample " << s.index;
+    auto result = optimizer.Optimize(*program, s.function);
+    ASSERT_TRUE(result.ok())
+        << "sample " << s.index << ": " << result.status().ToString();
+    EXPECT_EQ(result->any_extracted(), s.expect_extracted)
+        << "sample " << s.index << " (" << s.location << ")\n"
+        << result->program.ToString();
+    extracted += result->any_extracted() ? 1 : 0;
+  }
+  EXPECT_EQ(extracted, 24);
+}
+
+TEST(WilosCorpusTest, BatchingApplicability7of33) {
+  // Paper Experiment 2: batching applies in 7/33 samples.
+  int applicable = 0;
+  for (const WilosSample& s : WilosSamples()) {
+    auto program = frontend::ParseProgram(s.source);
+    ASSERT_TRUE(program.ok());
+    baselines::Applicability verdict =
+        baselines::CheckBatchingApplicable(*program->Find(s.function));
+    EXPECT_EQ(verdict.applicable, s.batching_applicable)
+        << "sample " << s.index << ": " << verdict.reason;
+    applicable += verdict.applicable ? 1 : 0;
+  }
+  EXPECT_EQ(applicable, 7);
+}
+
+TEST(WilosCorpusTest, PrefetchingApplicableEverywhere) {
+  // Paper Experiment 2: "Prefetching is possible in all cases".
+  for (const WilosSample& s : WilosSamples()) {
+    auto program = frontend::ParseProgram(s.source);
+    ASSERT_TRUE(program.ok());
+    baselines::Applicability verdict =
+        baselines::CheckPrefetchApplicable(*program->Find(s.function));
+    EXPECT_TRUE(verdict.applicable) << "sample " << s.index;
+  }
+}
+
+TEST(WilosCorpusTest, ExtractedSamplesStayEquivalent) {
+  // Equivalence of original vs rewritten on real data, for every sample
+  // that extracts and takes no parameters.
+  storage::Database db;
+  ASSERT_TRUE(SetupWilosDatabase(&db, 50).ok());
+  core::EqSqlOptimizer optimizer(WilosOptions());
+  int verified = 0;
+  for (const WilosSample& s : WilosSamples()) {
+    if (!s.expect_extracted) continue;
+    auto program = frontend::ParseProgram(s.source);
+    ASSERT_TRUE(program.ok());
+    if (!program->Find(s.function)->params.empty()) continue;
+    auto result = optimizer.Optimize(*program, s.function);
+    ASSERT_TRUE(result.ok()) << "sample " << s.index;
+
+    net::Connection c1(&db), c2(&db);
+    interp::Interpreter i1(&*program, &c1);
+    interp::Interpreter i2(&result->program, &c2);
+    auto r1 = i1.Run(s.function);
+    auto r2 = i2.Run(s.function);
+    ASSERT_TRUE(r1.ok()) << "sample " << s.index << ": "
+                         << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << "sample " << s.index << ": "
+                         << r2.status().ToString() << "\n"
+                         << result->program.ToString();
+    EXPECT_EQ(r1->DisplayString(), r2->DisplayString())
+        << "sample " << s.index << "\n" << result->program.ToString();
+    EXPECT_EQ(i1.printed(), i2.printed()) << "sample " << s.index;
+    ++verified;
+  }
+  EXPECT_GE(verified, 15);
+}
+
+TEST(ServletCorpusTest, CountsMatchPaper) {
+  EXPECT_EQ(RubisServlets().size(), 17u);
+  EXPECT_EQ(RubbosServlets().size(), 16u);
+  EXPECT_EQ(AcadPortalServlets().size(), 79u);
+}
+
+TEST(ServletCorpusTest, KeywordSearchFractionsMatchExperiment3) {
+  core::OptimizeOptions options;
+  options.transform.table_keys = ServletTableKeys();
+  core::EqSqlOptimizer optimizer(options);
+
+  struct Case {
+    const char* app;
+    std::vector<Servlet> servlets;
+    int expect_complete;
+  };
+  std::vector<Case> cases = {
+      {"RuBiS", RubisServlets(), 17},
+      {"RuBBoS", RubbosServlets(), 16},
+      {"AcadPortal", AcadPortalServlets(), 58},
+  };
+  for (const Case& c : cases) {
+    int complete = 0;
+    for (const Servlet& servlet : c.servlets) {
+      auto program = frontend::ParseProgram(servlet.source);
+      ASSERT_TRUE(program.ok())
+          << servlet.name << ": " << program.status().ToString() << "\n"
+          << servlet.source;
+      auto ks = optimizer.ExtractQueriesForKeywordSearch(*program,
+                                                         servlet.function);
+      ASSERT_TRUE(ks.ok()) << servlet.name;
+      EXPECT_EQ(ks->complete, servlet.expect_complete)
+          << servlet.name << "\n" << servlet.source;
+      complete += ks->complete ? 1 : 0;
+    }
+    EXPECT_EQ(complete, c.expect_complete) << c.app;
+  }
+}
+
+TEST(BenchmarkAppsTest, MatosoSetupAndRun) {
+  storage::Database db;
+  ASSERT_TRUE(SetupMatosoDatabase(&db, 100).ok());
+  auto program = frontend::ParseProgram(MatosoProgram());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  net::Connection conn(&db);
+  interp::Interpreter interp(&*program, &conn);
+  auto r = interp.Run("findMaxScore");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->is_scalar());
+  EXPECT_GT(r->scalar().AsInt(), 0);
+}
+
+TEST(BenchmarkAppsTest, JobPortalOptimizesToOuterApply) {
+  storage::Database db;
+  ASSERT_TRUE(SetupJobPortalDatabase(&db, 20).ok());
+  auto program = frontend::ParseProgram(JobPortalProgram());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  core::OptimizeOptions options;
+  options.transform.table_keys = WilosTableKeys();
+  core::EqSqlOptimizer optimizer(options);
+  auto result = optimizer.Optimize(*program, "jobReport");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->any_extracted()) << result->program.ToString();
+
+  net::Connection c1(&db), c2(&db);
+  interp::Interpreter i1(&*program, &c1);
+  interp::Interpreter i2(&result->program, &c2);
+  ASSERT_TRUE(i1.Run("jobReport").ok());
+  auto r2 = i2.Run("jobReport");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString() << "\n"
+                       << result->program.ToString();
+  EXPECT_EQ(i1.printed(), i2.printed()) << result->program.ToString();
+  // 1 + ~3.5 queries per applicant collapse to a single one.
+  EXPECT_EQ(c2.stats().queries_executed, 1);
+  EXPECT_GT(c1.stats().queries_executed, 20);
+}
+
+TEST(BenchmarkAppsTest, SelectionAndJoinSetups) {
+  storage::Database db;
+  ASSERT_TRUE(SetupSelectionDatabase(&db, 200, 20).ok());
+  ASSERT_TRUE(SetupJoinDatabase(&db, 200).ok());
+  EXPECT_EQ((*db.GetTable("project"))->row_count(), 200u);
+  EXPECT_EQ((*db.GetTable("wilosuser"))->row_count(), 200u);
+  EXPECT_EQ((*db.GetTable("role"))->row_count(), 5u);  // 40:1
+}
+
+}  // namespace
+}  // namespace eqsql::workloads
