@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_applicability.dir/bench_exp2_applicability.cc.o"
+  "CMakeFiles/bench_exp2_applicability.dir/bench_exp2_applicability.cc.o.d"
+  "bench_exp2_applicability"
+  "bench_exp2_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

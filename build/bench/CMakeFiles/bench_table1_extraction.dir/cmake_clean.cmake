@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_extraction.dir/bench_table1_extraction.cc.o"
+  "CMakeFiles/bench_table1_extraction.dir/bench_table1_extraction.cc.o.d"
+  "bench_table1_extraction"
+  "bench_table1_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_portal.dir/job_portal.cpp.o"
+  "CMakeFiles/job_portal.dir/job_portal.cpp.o.d"
+  "job_portal"
+  "job_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_optimization.dir/partial_optimization.cpp.o"
+  "CMakeFiles/partial_optimization.dir/partial_optimization.cpp.o.d"
+  "partial_optimization"
+  "partial_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

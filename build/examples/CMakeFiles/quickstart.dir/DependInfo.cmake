@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eqsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/eqsql_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/eqsql_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/eqsql_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/eqsql_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/eqsql_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/eqsql_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eqsql_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/eqsql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/eqsql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/eqsql_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/eqsql_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/eqsql_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eqsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eqsql_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eqsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("catalog")
+subdirs("storage")
+subdirs("ra")
+subdirs("sql")
+subdirs("exec")
+subdirs("net")
+subdirs("frontend")
+subdirs("cfg")
+subdirs("analysis")
+subdirs("dir")
+subdirs("rules")
+subdirs("rewrite")
+subdirs("interp")
+subdirs("baselines")
+subdirs("core")
+subdirs("workloads")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/effects.cc" "src/analysis/CMakeFiles/eqsql_analysis.dir/effects.cc.o" "gcc" "src/analysis/CMakeFiles/eqsql_analysis.dir/effects.cc.o.d"
+  "/root/repo/src/analysis/loop_analysis.cc" "src/analysis/CMakeFiles/eqsql_analysis.dir/loop_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/eqsql_analysis.dir/loop_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/eqsql_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eqsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

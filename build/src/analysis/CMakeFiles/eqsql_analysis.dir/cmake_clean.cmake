@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_analysis.dir/effects.cc.o"
+  "CMakeFiles/eqsql_analysis.dir/effects.cc.o.d"
+  "CMakeFiles/eqsql_analysis.dir/loop_analysis.cc.o"
+  "CMakeFiles/eqsql_analysis.dir/loop_analysis.cc.o.d"
+  "libeqsql_analysis.a"
+  "libeqsql_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_baselines.dir/batching.cc.o"
+  "CMakeFiles/eqsql_baselines.dir/batching.cc.o.d"
+  "libeqsql_baselines.a"
+  "libeqsql_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

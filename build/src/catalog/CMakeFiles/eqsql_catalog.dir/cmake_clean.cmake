@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_catalog.dir/schema.cc.o"
+  "CMakeFiles/eqsql_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/eqsql_catalog.dir/value.cc.o"
+  "CMakeFiles/eqsql_catalog.dir/value.cc.o.d"
+  "libeqsql_catalog.a"
+  "libeqsql_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

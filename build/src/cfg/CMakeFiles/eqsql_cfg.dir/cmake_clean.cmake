@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_cfg.dir/cfg.cc.o"
+  "CMakeFiles/eqsql_cfg.dir/cfg.cc.o.d"
+  "CMakeFiles/eqsql_cfg.dir/region.cc.o"
+  "CMakeFiles/eqsql_cfg.dir/region.cc.o.d"
+  "libeqsql_cfg.a"
+  "libeqsql_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_common.dir/status.cc.o"
+  "CMakeFiles/eqsql_common.dir/status.cc.o.d"
+  "CMakeFiles/eqsql_common.dir/strings.cc.o"
+  "CMakeFiles/eqsql_common.dir/strings.cc.o.d"
+  "libeqsql_common.a"
+  "libeqsql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

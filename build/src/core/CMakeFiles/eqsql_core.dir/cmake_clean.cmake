@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_core.dir/cost_estimator.cc.o"
+  "CMakeFiles/eqsql_core.dir/cost_estimator.cc.o.d"
+  "CMakeFiles/eqsql_core.dir/optimizer.cc.o"
+  "CMakeFiles/eqsql_core.dir/optimizer.cc.o.d"
+  "libeqsql_core.a"
+  "libeqsql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_dir.dir/builder.cc.o"
+  "CMakeFiles/eqsql_dir.dir/builder.cc.o.d"
+  "CMakeFiles/eqsql_dir.dir/dnode.cc.o"
+  "CMakeFiles/eqsql_dir.dir/dnode.cc.o.d"
+  "libeqsql_dir.a"
+  "libeqsql_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_exec.dir/executor.cc.o"
+  "CMakeFiles/eqsql_exec.dir/executor.cc.o.d"
+  "CMakeFiles/eqsql_exec.dir/scalar_ops.cc.o"
+  "CMakeFiles/eqsql_exec.dir/scalar_ops.cc.o.d"
+  "libeqsql_exec.a"
+  "libeqsql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_frontend.dir/ast.cc.o"
+  "CMakeFiles/eqsql_frontend.dir/ast.cc.o.d"
+  "CMakeFiles/eqsql_frontend.dir/lexer.cc.o"
+  "CMakeFiles/eqsql_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/eqsql_frontend.dir/parser.cc.o"
+  "CMakeFiles/eqsql_frontend.dir/parser.cc.o.d"
+  "libeqsql_frontend.a"
+  "libeqsql_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

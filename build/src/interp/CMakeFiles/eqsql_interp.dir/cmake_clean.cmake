@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_interp.dir/interpreter.cc.o"
+  "CMakeFiles/eqsql_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/eqsql_interp.dir/value.cc.o"
+  "CMakeFiles/eqsql_interp.dir/value.cc.o.d"
+  "libeqsql_interp.a"
+  "libeqsql_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

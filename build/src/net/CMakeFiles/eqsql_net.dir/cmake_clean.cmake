@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_net.dir/connection.cc.o"
+  "CMakeFiles/eqsql_net.dir/connection.cc.o.d"
+  "libeqsql_net.a"
+  "libeqsql_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

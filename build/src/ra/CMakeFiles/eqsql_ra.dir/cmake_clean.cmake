@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_ra.dir/ra_node.cc.o"
+  "CMakeFiles/eqsql_ra.dir/ra_node.cc.o.d"
+  "CMakeFiles/eqsql_ra.dir/scalar_expr.cc.o"
+  "CMakeFiles/eqsql_ra.dir/scalar_expr.cc.o.d"
+  "libeqsql_ra.a"
+  "libeqsql_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_rewrite.dir/dce.cc.o"
+  "CMakeFiles/eqsql_rewrite.dir/dce.cc.o.d"
+  "CMakeFiles/eqsql_rewrite.dir/emit.cc.o"
+  "CMakeFiles/eqsql_rewrite.dir/emit.cc.o.d"
+  "CMakeFiles/eqsql_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/eqsql_rewrite.dir/rewriter.cc.o.d"
+  "libeqsql_rewrite.a"
+  "libeqsql_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_rules.dir/convert.cc.o"
+  "CMakeFiles/eqsql_rules.dir/convert.cc.o.d"
+  "CMakeFiles/eqsql_rules.dir/ra_utils.cc.o"
+  "CMakeFiles/eqsql_rules.dir/ra_utils.cc.o.d"
+  "CMakeFiles/eqsql_rules.dir/transform.cc.o"
+  "CMakeFiles/eqsql_rules.dir/transform.cc.o.d"
+  "libeqsql_rules.a"
+  "libeqsql_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeqsql_rules.a"
+)

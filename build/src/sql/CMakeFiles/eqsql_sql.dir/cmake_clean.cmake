@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_sql.dir/generator.cc.o"
+  "CMakeFiles/eqsql_sql.dir/generator.cc.o.d"
+  "CMakeFiles/eqsql_sql.dir/lexer.cc.o"
+  "CMakeFiles/eqsql_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/eqsql_sql.dir/parser.cc.o"
+  "CMakeFiles/eqsql_sql.dir/parser.cc.o.d"
+  "libeqsql_sql.a"
+  "libeqsql_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

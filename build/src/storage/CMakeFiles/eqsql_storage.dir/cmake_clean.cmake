@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_storage.dir/database.cc.o"
+  "CMakeFiles/eqsql_storage.dir/database.cc.o.d"
+  "CMakeFiles/eqsql_storage.dir/table.cc.o"
+  "CMakeFiles/eqsql_storage.dir/table.cc.o.d"
+  "libeqsql_storage.a"
+  "libeqsql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmark_apps.cc" "src/workloads/CMakeFiles/eqsql_workloads.dir/benchmark_apps.cc.o" "gcc" "src/workloads/CMakeFiles/eqsql_workloads.dir/benchmark_apps.cc.o.d"
+  "/root/repo/src/workloads/servlets.cc" "src/workloads/CMakeFiles/eqsql_workloads.dir/servlets.cc.o" "gcc" "src/workloads/CMakeFiles/eqsql_workloads.dir/servlets.cc.o.d"
+  "/root/repo/src/workloads/wilos_samples.cc" "src/workloads/CMakeFiles/eqsql_workloads.dir/wilos_samples.cc.o" "gcc" "src/workloads/CMakeFiles/eqsql_workloads.dir/wilos_samples.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/eqsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eqsql_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eqsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

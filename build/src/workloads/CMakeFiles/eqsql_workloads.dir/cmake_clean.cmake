@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqsql_workloads.dir/benchmark_apps.cc.o"
+  "CMakeFiles/eqsql_workloads.dir/benchmark_apps.cc.o.d"
+  "CMakeFiles/eqsql_workloads.dir/servlets.cc.o"
+  "CMakeFiles/eqsql_workloads.dir/servlets.cc.o.d"
+  "CMakeFiles/eqsql_workloads.dir/wilos_samples.cc.o"
+  "CMakeFiles/eqsql_workloads.dir/wilos_samples.cc.o.d"
+  "libeqsql_workloads.a"
+  "libeqsql_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqsql_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_utils_test.dir/ra_utils_test.cc.o"
+  "CMakeFiles/ra_utils_test.dir/ra_utils_test.cc.o.d"
+  "ra_utils_test"
+  "ra_utils_test.pdb"
+  "ra_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
