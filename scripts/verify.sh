@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: clean build + full test suite, then the bounded
+# differential-fuzz sweep again under ASan+UBSan. Usage: scripts/verify.sh
+# (run from anywhere; builds land in build/ and build-asan/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== tier 1: deterministic fuzz sweep (500 scenarios) =="
+./build/src/fuzz/fuzz_eqsql --seed 1 --iters 500 --corpus tests/fuzz_corpus
+
+echo "== sanitizers: ASan+UBSan bounded fuzz tests =="
+cmake --preset asan >/dev/null
+cmake --build build-asan -j"$(nproc)" --target fuzz_test fuzz_eqsql \
+  sql_roundtrip_test null_semantics_test
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+  -R 'Fuzz|SqlRoundTrip|NullSemantics'
+./build-asan/src/fuzz/fuzz_eqsql --seed 99 --iters 100 \
+  --corpus tests/fuzz_corpus
+
+echo "verify.sh: all green"

@@ -18,6 +18,19 @@ inline void HashCombine(size_t& seed, const T& v) {
           (seed >> 2);
 }
 
+/// SplitMix64 finalizer: bijectively scrambles `x` into a
+/// high-quality 64-bit value. The single source of deterministic
+/// pseudo-randomness for tests, benchmarks, workload data generators,
+/// and the fuzz subsystem — seed-derived streams must be identical
+/// across runs and platforms, so nothing may use std::mt19937 or
+/// rand(). Call as SplitMix64(seed + i) for an indexed stream.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// FNV-1a over a byte string; stable across runs.
 inline uint64_t Fnv1a(std::string_view bytes) {
   uint64_t h = 1469598103934665603ULL;

@@ -313,6 +313,7 @@ Result<OptimizeResult> EqSqlOptimizer::Optimize(
         continue;
       }
       DNodePtr transformed = transformer.Transform(ve_it->second);
+      outcome.rules = transformer.applied_rules();
       if (HasResidue(transformed)) {
         outcome.reason = "no transformation rule produced pure SQL";
         result.outcomes.push_back(std::move(outcome));
@@ -383,6 +384,7 @@ Result<OptimizeResult> EqSqlOptimizer::Optimize(
           px.outcome.var = report->var;
           px.outcome.extracted = true;
           px.outcome.sql = std::move(rewrite->sql);
+          px.outcome.rules = {"ARGMAX"};
           pending.push_back(std::move(px));
           kept_vars.erase(report->var);
           rescued = true;

@@ -25,6 +25,11 @@ struct VarOutcome {
   bool extracted = false;
   std::vector<std::string> sql;  // queries embedded in the replacement
   std::string reason;            // failure reason when !extracted
+  /// Transformation rules applied while lifting this variable ("T1",
+  /// "T5.1", ..., "ARGMAX" for the App. B extension). Populated even
+  /// when the Sec. 5.3 cost heuristic later declines the extraction;
+  /// the fuzz harness uses this for rule-coverage accounting.
+  std::vector<std::string> rules;
 };
 
 /// Result of optimizing one function.

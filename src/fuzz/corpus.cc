@@ -1,0 +1,65 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace eqsql::fuzz {
+
+namespace fs = std::filesystem;
+
+std::string CaseFileName(const FuzzCase& c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "case_%016llx.eqf",
+                static_cast<unsigned long long>(Fnv1a(SerializeCase(c))));
+  return buf;
+}
+
+Result<std::string> SaveCaseFile(const FuzzCase& c, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create corpus dir " + dir + ": " +
+                            ec.message());
+  }
+  std::string path = (fs::path(dir) / CaseFileName(c)).string();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << SerializeCase(c);
+  out.close();
+  if (!out) return Status::Internal("write failed for " + path);
+  return path;
+}
+
+Result<FuzzCase> LoadCaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = ParseCase(buf.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().ToString());
+  }
+  return parsed;
+}
+
+Result<std::vector<std::string>> ListCorpusFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".eqf") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::Internal("cannot list " + dir + ": " + ec.message());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace eqsql::fuzz

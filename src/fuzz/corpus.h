@@ -1,0 +1,29 @@
+#ifndef EQSQL_FUZZ_CORPUS_H_
+#define EQSQL_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fuzz/scenario.h"
+
+namespace eqsql::fuzz {
+
+/// Deterministic corpus file name for a case: "case_<fnv1a>.eqf" over
+/// the serialized bytes, so the same reproducer never duplicates.
+std::string CaseFileName(const FuzzCase& c);
+
+/// Writes the case to `dir` (created if missing) under CaseFileName.
+/// Returns the full path written.
+Result<std::string> SaveCaseFile(const FuzzCase& c, const std::string& dir);
+
+/// Reads one corpus file.
+Result<FuzzCase> LoadCaseFile(const std::string& path);
+
+/// All *.eqf files in `dir`, sorted by name; empty when the directory
+/// does not exist.
+Result<std::vector<std::string>> ListCorpusFiles(const std::string& dir);
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_CORPUS_H_

@@ -1,0 +1,60 @@
+#include "fuzz/data_gen.h"
+
+namespace eqsql::fuzz {
+
+using catalog::Value;
+
+int PickRowCount(Rng* rng, const DataOptions& opts) {
+  // 12% empty, 12% singleton, 12% tiny (2-4), rest bulk.
+  int roll = static_cast<int>(rng->Range(0, 99));
+  if (roll < 12) return 0;
+  if (roll < 24) return 1;
+  if (roll < 36) return static_cast<int>(rng->Range(2, 4));
+  return static_cast<int>(rng->Range(2, opts.max_rows));
+}
+
+void GenerateRows(Rng* rng, const DataOptions& opts,
+                  const std::vector<ColumnGen>& cols, int row_count,
+                  TableSpec* spec) {
+  spec->columns.clear();
+  for (const ColumnGen& c : cols) spec->columns.push_back(c.column);
+
+  bool skewed = rng->Percent(opts.skew_percent);
+  // The hot value every skewed cell collapses onto (per column).
+  std::vector<int64_t> hot(cols.size());
+  for (size_t j = 0; j < cols.size(); ++j) {
+    hot[j] = rng->Range(cols[j].lo, cols[j].hi);
+  }
+
+  spec->rows.clear();
+  spec->rows.reserve(static_cast<size_t>(row_count));
+  for (int i = 0; i < row_count; ++i) {
+    catalog::Row row;
+    row.reserve(cols.size());
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const ColumnGen& c = cols[j];
+      if (c.kind == ColumnGen::Kind::kSequential) {
+        row.push_back(Value::Int(i));
+        continue;
+      }
+      if (c.nullable && rng->Percent(opts.null_percent)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      int64_t draw = (skewed && rng->Percent(80))
+                         ? hot[j]
+                         : rng->Range(c.lo, c.hi);
+      if (c.kind == ColumnGen::Kind::kString) {
+        int64_t k = (skewed && rng->Percent(80))
+                        ? hot[j] % c.distinct
+                        : rng->Range(0, c.distinct - 1);
+        row.push_back(Value::String(c.prefix + std::to_string(k)));
+      } else {
+        row.push_back(Value::Int(draw));
+      }
+    }
+    spec->rows.push_back(std::move(row));
+  }
+}
+
+}  // namespace eqsql::fuzz

@@ -1,0 +1,54 @@
+#ifndef EQSQL_FUZZ_DATA_GEN_H_
+#define EQSQL_FUZZ_DATA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/rng.h"
+#include "fuzz/scenario.h"
+
+namespace eqsql::fuzz {
+
+/// How one generated column's values are drawn.
+struct ColumnGen {
+  enum class Kind {
+    kSequential,  // 0, 1, 2, ... (unique-key columns)
+    kInt,         // uniform or skewed integers in [lo, hi]
+    kString,      // prefix + k with k in [0, distinct)
+  };
+  catalog::Column column;
+  Kind kind = Kind::kInt;
+  bool nullable = false;  // cells NULL with DataOptions::null_percent
+  int64_t lo = 0;
+  int64_t hi = 100;
+  std::string prefix = "s";
+  int64_t distinct = 8;
+};
+
+/// Knobs for the random data generator.
+struct DataOptions {
+  int max_rows = 40;
+  /// NULL probability (percent) for cells of nullable columns.
+  int null_percent = 20;
+  /// Probability (percent) that a table's value columns are skewed:
+  /// ~80% of cells collapse onto a single value (duplicate-heavy keys,
+  /// hot groups).
+  int skew_percent = 15;
+};
+
+/// Draws a row count biased toward the boundary cases the paper's
+/// equivalence argument must survive: empty tables, singletons, and a
+/// bulk tail up to max_rows.
+int PickRowCount(Rng* rng, const DataOptions& opts);
+
+/// Fills `spec->rows` with `row_count` rows drawn per `cols` (which
+/// also defines spec->columns). Sequential columns count 0..n-1 and are
+/// never NULL; other columns follow their domain, nullability, and the
+/// table-level skew coin flipped here.
+void GenerateRows(Rng* rng, const DataOptions& opts,
+                  const std::vector<ColumnGen>& cols, int row_count,
+                  TableSpec* spec);
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_DATA_GEN_H_

@@ -1,0 +1,221 @@
+// fuzz_eqsql — standalone differential fuzzing driver.
+//
+// Generates random ImpLang programs + data, checks the optimizer's
+// rewrite for observational equivalence and row-transfer regressions,
+// and on failure shrinks to a minimal reproducer and writes it to the
+// corpus directory. Fully deterministic: --seed N --iters M always
+// replays the same scenarios.
+//
+// Usage:
+//   fuzz_eqsql [--seed N] [--iters M] [--corpus DIR] [--replay FILE]
+//              [--case-seed S] [--inject-bug] [--max-rows K]
+//              [--no-shrink] [--verbose]
+//
+// Exit status: 0 when every scenario passes, 1 on any violation or
+// infra error, 2 on bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/hash.h"
+#include "fuzz/corpus.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program_gen.h"
+#include "fuzz/shrink.h"
+
+namespace eqsql::fuzz {
+namespace {
+
+struct Args {
+  uint64_t seed = 1;
+  int iters = 500;
+  std::string corpus_dir;
+  std::string replay_file;
+  uint64_t case_seed = 0;
+  bool has_case_seed = false;
+  bool inject_bug = false;
+  bool no_shrink = false;
+  bool verbose = false;
+  int max_rows = 40;
+};
+
+void PrintReport(const FuzzCase& c, const OracleReport& r) {
+  std::fprintf(stderr, "--- verdict: %s (%s)\n", VerdictName(r.verdict),
+               r.detail.c_str());
+  std::fprintf(stderr, "--- case (seed %llu):\n%s",
+               static_cast<unsigned long long>(c.seed),
+               SerializeCase(c).c_str());
+  std::fprintf(stderr, "--- rewritten program:\n%s",
+               r.rewritten_source.c_str());
+  for (const net::QueryTrace& t : r.rewritten_trace) {
+    std::fprintf(stderr, "--- rewritten query [%lld rows, %lld bytes]: %s\n",
+                 static_cast<long long>(t.rows),
+                 static_cast<long long>(t.bytes), t.sql.c_str());
+  }
+}
+
+/// Shrinks a failing case, reports it, and saves the reproducer.
+void HandleFailure(const Args& args, const FuzzCase& c,
+                   const OracleReport& report, const OracleOptions& oopts) {
+  std::fprintf(stderr, "FAIL seed=%llu family=%s\n",
+               static_cast<unsigned long long>(c.seed),
+               FamilyName(FamilyForSeed(c.seed)));
+  FuzzCase to_save = c;
+  OracleReport final_report = report;
+  if (!args.no_shrink && IsViolation(report.verdict)) {
+    ShrinkOutcome shrunk = Shrink(c, oopts);
+    std::fprintf(stderr, "shrunk after %d oracle runs\n",
+                 shrunk.oracle_runs);
+    to_save = std::move(shrunk.reduced);
+    final_report = std::move(shrunk.report);
+  }
+  PrintReport(to_save, final_report);
+  std::string dir = args.corpus_dir.empty() ? "." : args.corpus_dir;
+  auto path = SaveCaseFile(to_save, dir);
+  if (path.ok()) {
+    std::fprintf(stderr, "reproducer written to %s\n", path->c_str());
+  } else {
+    std::fprintf(stderr, "cannot write reproducer: %s\n",
+                 path.status().ToString().c_str());
+  }
+}
+
+int Run(const Args& args) {
+  OracleOptions oopts;
+  oopts.inject_sql_bug = args.inject_bug;
+  GenOptions gopts;
+  gopts.data.max_rows = args.max_rows;
+
+  // Replay a single corpus file.
+  if (!args.replay_file.empty()) {
+    auto c = LoadCaseFile(args.replay_file);
+    if (!c.ok()) {
+      std::fprintf(stderr, "%s\n", c.status().ToString().c_str());
+      return 2;
+    }
+    OracleReport report = RunOracle(*c, oopts);
+    PrintReport(*c, report);
+    return report.verdict == Verdict::kPass ? 0 : 1;
+  }
+
+  int failures = 0;
+
+  // Replay the whole corpus first: past failures are regression tests.
+  if (!args.corpus_dir.empty()) {
+    auto files = ListCorpusFiles(args.corpus_dir);
+    if (!files.ok()) {
+      std::fprintf(stderr, "%s\n", files.status().ToString().c_str());
+      return 2;
+    }
+    for (const std::string& file : *files) {
+      auto c = LoadCaseFile(file);
+      if (!c.ok()) {
+        std::fprintf(stderr, "%s\n", c.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      OracleReport report = RunOracle(*c, OracleOptions());
+      if (report.verdict != Verdict::kPass) {
+        std::fprintf(stderr, "corpus regression: %s\n", file.c_str());
+        PrintReport(*c, report);
+        ++failures;
+      } else if (args.verbose) {
+        std::printf("corpus ok: %s\n", file.c_str());
+      }
+    }
+    std::printf("corpus: %zu file(s) replayed\n", files->size());
+  }
+
+  std::map<std::string, int> rule_hits;
+  std::map<std::string, int> family_counts;
+  int extracted = 0;
+
+  auto run_one = [&](uint64_t case_seed) {
+    FuzzCase c = GenerateCase(case_seed, gopts);
+    family_counts[FamilyName(FamilyForSeed(case_seed, gopts))]++;
+    OracleReport report = RunOracle(c, oopts);
+    if (report.extracted) ++extracted;
+    for (const std::string& rule : report.rules) rule_hits[rule]++;
+    if (args.verbose) {
+      std::printf("seed %llu: %s%s\n",
+                  static_cast<unsigned long long>(case_seed),
+                  VerdictName(report.verdict),
+                  report.extracted ? " [extracted]" : "");
+    }
+    if (report.verdict != Verdict::kPass) {
+      HandleFailure(args, c, report, oopts);
+      ++failures;
+    }
+  };
+
+  if (args.has_case_seed) {
+    run_one(args.case_seed);
+  } else {
+    for (int i = 0; i < args.iters; ++i) {
+      run_one(SplitMix64(args.seed + static_cast<uint64_t>(i)));
+    }
+  }
+
+  std::printf("scenarios: %d  extracted: %d  failures: %d\n",
+              args.has_case_seed ? 1 : args.iters, extracted, failures);
+  std::printf("family mix:");
+  for (const auto& [family, n] : family_counts) {
+    std::printf(" %s=%d", family.c_str(), n);
+  }
+  std::printf("\nrule coverage:");
+  for (const auto& [rule, n] : rule_hits) {
+    std::printf(" %s=%d", rule.c_str(), n);
+  }
+  std::printf("\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace eqsql::fuzz
+
+int main(int argc, char** argv) {
+  eqsql::fuzz::Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--iters") {
+      args.iters = std::atoi(next());
+    } else if (a == "--corpus") {
+      args.corpus_dir = next();
+    } else if (a == "--replay") {
+      args.replay_file = next();
+    } else if (a == "--case-seed") {
+      args.case_seed = std::strtoull(next(), nullptr, 10);
+      args.has_case_seed = true;
+    } else if (a == "--inject-bug") {
+      args.inject_bug = true;
+    } else if (a == "--no-shrink") {
+      args.no_shrink = true;
+    } else if (a == "--verbose") {
+      args.verbose = true;
+    } else if (a == "--max-rows") {
+      args.max_rows = std::atoi(next());
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: fuzz_eqsql [--seed N] [--iters M] [--corpus DIR]\n"
+          "                  [--replay FILE] [--case-seed S] [--inject-bug]\n"
+          "                  [--max-rows K] [--no-shrink] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return 2;
+    }
+  }
+  return eqsql::fuzz::Run(args);
+}

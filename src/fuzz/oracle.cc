@@ -1,0 +1,289 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "core/optimizer.h"
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+
+namespace eqsql::fuzz {
+
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ExprPtr;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "pass";
+    case Verdict::kReturnMismatch: return "return-mismatch";
+    case Verdict::kPrintMismatch: return "print-mismatch";
+    case Verdict::kRowRegression: return "row-regression";
+    case Verdict::kInfraError: return "infra-error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Corrupts a SQL string the way a subtly unsound rule would: widen a
+/// strict comparison, bump a constant, flip an aggregate or sort
+/// direction. Returns the original string when nothing matched.
+std::string CorruptSql(const std::string& sql) {
+  size_t pos;
+  if ((pos = sql.find(" > ")) != std::string::npos) {
+    return sql.substr(0, pos) + " >= " + sql.substr(pos + 3);
+  }
+  if ((pos = sql.find(" < ")) != std::string::npos) {
+    return sql.substr(0, pos) + " <= " + sql.substr(pos + 3);
+  }
+  if ((pos = sql.find(" >= ")) != std::string::npos) {
+    return sql.substr(0, pos) + " > " + sql.substr(pos + 4);
+  }
+  if ((pos = sql.find(" <= ")) != std::string::npos) {
+    return sql.substr(0, pos) + " < " + sql.substr(pos + 4);
+  }
+  if ((pos = sql.find("MAX(")) != std::string::npos) {
+    return sql.substr(0, pos) + "MIN(" + sql.substr(pos + 4);
+  }
+  if ((pos = sql.find("MIN(")) != std::string::npos) {
+    return sql.substr(0, pos) + "MAX(" + sql.substr(pos + 4);
+  }
+  if ((pos = sql.find("COUNT(*)")) != std::string::npos) {
+    return sql.substr(0, pos) + "COUNT(*) + 1" + sql.substr(pos + 8);
+  }
+  if ((pos = sql.find(" DESC")) != std::string::npos) {
+    return sql.substr(0, pos) + sql.substr(pos + 5);
+  }
+  if ((pos = sql.find(" = ")) != std::string::npos) {
+    return sql.substr(0, pos) + " <> " + sql.substr(pos + 3);
+  }
+  // Last resort: increment the first free-standing digit run (e.g. a
+  // LIMIT or literal) — digits inside identifiers like "t0" stay put,
+  // since renaming a table produces a parse error, not a semantic bug.
+  for (size_t i = 0; i < sql.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(sql[i]))) {
+      if (i > 0) {
+        unsigned char prev = static_cast<unsigned char>(sql[i - 1]);
+        if (std::isalnum(prev) || prev == '_') continue;
+      }
+      size_t end = i;
+      while (end < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[end]))) {
+        ++end;
+      }
+      int64_t n = std::strtoll(sql.substr(i, end - i).c_str(), nullptr, 10);
+      return sql.substr(0, i) + std::to_string(n + 1) + sql.substr(end);
+    }
+  }
+  return sql;
+}
+
+ExprPtr InjectIntoExpr(const ExprPtr& e, bool* done);
+
+std::vector<ExprPtr> InjectIntoExprs(const std::vector<ExprPtr>& args,
+                                     bool* done) {
+  std::vector<ExprPtr> out;
+  out.reserve(args.size());
+  for (const ExprPtr& a : args) out.push_back(InjectIntoExpr(a, done));
+  return out;
+}
+
+/// Rebuilds `e` with the first executeQuery("...") string corrupted.
+ExprPtr InjectIntoExpr(const ExprPtr& e, bool* done) {
+  if (e == nullptr || *done) return e;
+  if (e->kind() == ExprKind::kCall && e->name() == "executeQuery" &&
+      !e->args().empty() && e->arg(0)->kind() == ExprKind::kStringLit) {
+    std::string corrupted = CorruptSql(e->arg(0)->string_value());
+    if (corrupted != e->arg(0)->string_value()) {
+      *done = true;
+      std::vector<ExprPtr> args = e->args();
+      args[0] = Expr::StringLit(std::move(corrupted));
+      return Expr::Call(e->name(), std::move(args));
+    }
+  }
+  switch (e->kind()) {
+    case ExprKind::kUnary:
+      return Expr::Unary(e->un_op(), InjectIntoExpr(e->arg(0), done));
+    case ExprKind::kBinary:
+      return Expr::Binary(e->bin_op(), InjectIntoExpr(e->arg(0), done),
+                          InjectIntoExpr(e->arg(1), done));
+    case ExprKind::kTernary:
+      return Expr::Ternary(InjectIntoExpr(e->arg(0), done),
+                           InjectIntoExpr(e->arg(1), done),
+                           InjectIntoExpr(e->arg(2), done));
+    case ExprKind::kCall:
+      return Expr::Call(e->name(), InjectIntoExprs(e->args(), done));
+    case ExprKind::kMethodCall:
+      return Expr::MethodCall(InjectIntoExpr(e->object(), done), e->name(),
+                              InjectIntoExprs(e->args(), done));
+    case ExprKind::kFieldAccess:
+      return Expr::FieldAccess(InjectIntoExpr(e->object(), done), e->name());
+    default:
+      return e;
+  }
+}
+
+std::vector<StmtPtr> InjectIntoBody(const std::vector<StmtPtr>& body,
+                                    bool* done) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const StmtPtr& s : body) {
+    if (*done) {
+      out.push_back(s);
+      continue;
+    }
+    switch (s->kind()) {
+      case StmtKind::kAssign:
+        out.push_back(Stmt::Assign(s->target(),
+                                   InjectIntoExpr(s->expr(), done)));
+        break;
+      case StmtKind::kExprStmt:
+        out.push_back(Stmt::ExprStmt(InjectIntoExpr(s->expr(), done)));
+        break;
+      case StmtKind::kIf:
+        out.push_back(Stmt::If(InjectIntoExpr(s->expr(), done),
+                               InjectIntoBody(s->body(), done),
+                               InjectIntoBody(s->else_body(), done)));
+        break;
+      case StmtKind::kForEach:
+        out.push_back(Stmt::ForEach(s->target(),
+                                    InjectIntoExpr(s->expr(), done),
+                                    InjectIntoBody(s->body(), done)));
+        break;
+      case StmtKind::kWhile:
+        out.push_back(Stmt::While(InjectIntoExpr(s->expr(), done),
+                                  InjectIntoBody(s->body(), done)));
+        break;
+      case StmtKind::kReturn:
+        out.push_back(Stmt::Return(InjectIntoExpr(s->expr(), done)));
+        break;
+      case StmtKind::kPrint:
+        out.push_back(Stmt::Print(InjectIntoExpr(s->expr(), done)));
+        break;
+      case StmtKind::kBreak:
+        out.push_back(s);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Corrupts the first embedded query of `program`; returns whether a
+/// corruption point was found.
+bool InjectSqlBug(frontend::Program* program, const std::string& function) {
+  bool done = false;
+  for (frontend::Function& f : program->functions) {
+    if (f.name != function) continue;
+    f.body = InjectIntoBody(f.body, &done);
+  }
+  return done;
+}
+
+std::string DescribePrintDiff(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  std::ostringstream out;
+  out << "printed " << a.size() << " vs " << b.size() << " lines";
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      out << "; first diff at line " << i << ": '" << a[i] << "' vs '"
+          << b[i] << "'";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
+  OracleReport report;
+
+  storage::Database db;
+  if (Status s = BuildDatabase(c, &db); !s.ok()) {
+    report.detail = "database setup: " + s.ToString();
+    return report;
+  }
+
+  auto program = frontend::ParseProgram(c.source);
+  if (!program.ok()) {
+    report.detail = "parse: " + program.status().ToString();
+    return report;
+  }
+
+  core::OptimizeOptions options;
+  options.transform.table_keys = TableKeys(c);
+  core::EqSqlOptimizer optimizer(options);
+  auto optimized = optimizer.Optimize(*program, c.function);
+  if (!optimized.ok()) {
+    report.detail = "optimize: " + optimized.status().ToString();
+    return report;
+  }
+  report.extracted = optimized->any_extracted();
+  std::set<std::string> rules;
+  for (const core::VarOutcome& o : optimized->outcomes) {
+    if (!o.extracted) continue;
+    rules.insert(o.rules.begin(), o.rules.end());
+  }
+  report.rules.assign(rules.begin(), rules.end());
+
+  if (opts.inject_sql_bug) {
+    report.injected = InjectSqlBug(&optimized->program, c.function);
+  }
+  report.rewritten_source = optimized->program.ToString();
+
+  net::Connection c1(&db), c2(&db);
+  c2.set_trace(true);
+  interp::Interpreter i1(&*program, &c1);
+  interp::Interpreter i2(&optimized->program, &c2);
+  auto r1 = i1.Run(c.function);
+  if (!r1.ok()) {
+    report.detail = "original run: " + r1.status().ToString();
+    return report;
+  }
+  auto r2 = i2.Run(c.function);
+  if (!r2.ok()) {
+    report.detail = "rewritten run: " + r2.status().ToString();
+    return report;
+  }
+
+  report.original_rows = c1.stats().rows_transferred;
+  report.rewritten_rows = c2.stats().rows_transferred;
+  report.original_queries = c1.stats().queries_executed;
+  report.rewritten_queries = c2.stats().queries_executed;
+  report.rewritten_trace = c2.trace();
+
+  if (r1->DisplayString() != r2->DisplayString()) {
+    report.verdict = Verdict::kReturnMismatch;
+    report.detail = "returned '" + r1->DisplayString() + "' vs '" +
+                    r2->DisplayString() + "'";
+    return report;
+  }
+  if (i1.printed() != i2.printed()) {
+    report.verdict = Verdict::kPrintMismatch;
+    report.detail = DescribePrintDiff(i1.printed(), i2.printed());
+    return report;
+  }
+  // The optimization invariant: never ship more rows than the original,
+  // modulo the one-row floor of each scalar-aggregate query.
+  int64_t allowed = std::max(report.original_rows, report.rewritten_queries);
+  if (report.rewritten_rows > allowed) {
+    report.verdict = Verdict::kRowRegression;
+    std::ostringstream out;
+    out << "rewrite shipped " << report.rewritten_rows << " rows vs "
+        << report.original_rows << " original (" << report.rewritten_queries
+        << " queries)";
+    report.detail = out.str();
+    return report;
+  }
+  report.verdict = Verdict::kPass;
+  return report;
+}
+
+}  // namespace eqsql::fuzz

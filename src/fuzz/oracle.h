@@ -1,0 +1,60 @@
+#ifndef EQSQL_FUZZ_ORACLE_H_
+#define EQSQL_FUZZ_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "net/connection.h"
+#include "fuzz/scenario.h"
+
+namespace eqsql::fuzz {
+
+/// Oracle verdicts. The first three are equivalence violations (paper
+/// Theorem 1 broken); kRowRegression means the rewrite shipped more
+/// rows than the original beyond the one-row-per-scalar-query floor;
+/// kInfraError means the harness itself failed (parse error, interp
+/// error) — always a bug somewhere, never ignorable.
+enum class Verdict {
+  kPass,
+  kReturnMismatch,
+  kPrintMismatch,
+  kRowRegression,
+  kInfraError,
+};
+
+const char* VerdictName(Verdict v);
+
+struct OracleOptions {
+  /// Sanity-check mode: after optimizing, corrupt the first embedded
+  /// SQL string of the rewritten program (flip a comparison, bump a
+  /// constant, swap MAX/MIN). Simulates an unsound rule so tests can
+  /// prove the oracle catches it and the shrinker minimizes it.
+  bool inject_sql_bug = false;
+};
+
+/// Everything one differential run learned.
+struct OracleReport {
+  Verdict verdict = Verdict::kInfraError;
+  std::string detail;       // human-readable mismatch description
+  bool extracted = false;   // did the optimizer rewrite anything?
+  bool injected = false;    // did inject_sql_bug find SQL to corrupt?
+  std::vector<std::string> rules;  // union of applied rule names
+  int64_t original_rows = 0;
+  int64_t rewritten_rows = 0;
+  int64_t original_queries = 0;
+  int64_t rewritten_queries = 0;
+  std::string rewritten_source;
+  std::vector<net::QueryTrace> rewritten_trace;
+};
+
+/// Runs the differential oracle on one case: interpret the program
+/// as-is, optimize it, interpret the rewrite against the same data,
+/// then compare return values, print streams, and row transfer
+/// (rewritten_rows <= max(original_rows, rewritten_queries) — every
+/// scalar aggregate unavoidably ships one row even when the original
+/// shipped none).
+OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts = {});
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_ORACLE_H_

@@ -1,0 +1,350 @@
+#include "fuzz/program_gen.h"
+
+#include <utility>
+
+namespace eqsql::fuzz {
+
+using catalog::DataType;
+
+const char* FamilyName(Family f) {
+  switch (f) {
+    case Family::kFilterCollect: return "filter_collect";
+    case Family::kScalarAgg: return "scalar_agg";
+    case Family::kMaxMin: return "maxmin";
+    case Family::kExists: return "exists";
+    case Family::kJoin: return "join";
+    case Family::kGroupBy: return "groupby";
+    case Family::kArgmax: return "argmax";
+    case Family::kApply: return "apply";
+    case Family::kPrint: return "print";
+    case Family::kBreak: return "break";
+    case Family::kPartial: return "partial";
+    case Family::kMultiAgg: return "multi_agg";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<int> Weights(const GenOptions& o) {
+  return {o.w_filter_collect, o.w_scalar_agg, o.w_maxmin, o.w_exists,
+          o.w_join,           o.w_groupby,    o.w_argmax, o.w_apply,
+          o.w_print,          o.w_break,      o.w_partial, o.w_multi};
+}
+
+constexpr Family kFamilies[] = {
+    Family::kFilterCollect, Family::kScalarAgg, Family::kMaxMin,
+    Family::kExists,        Family::kJoin,      Family::kGroupBy,
+    Family::kArgmax,        Family::kApply,     Family::kPrint,
+    Family::kBreak,         Family::kPartial,   Family::kMultiAgg,
+};
+
+bool NeedsDim(Family f) {
+  return f == Family::kJoin || f == Family::kGroupBy || f == Family::kApply;
+}
+
+/// The dimension table: t1(id key, u, tag).
+TableSpec MakeDim(Rng* rng, const DataOptions& data) {
+  TableSpec spec;
+  spec.name = "t1";
+  spec.unique_key = "id";
+  std::vector<ColumnGen> cols(3);
+  cols[0].column = {"id", DataType::kInt64};
+  cols[0].kind = ColumnGen::Kind::kSequential;
+  cols[1].column = {"u", DataType::kInt64};
+  cols[1].lo = 0;
+  cols[1].hi = 30;
+  cols[2].column = {"tag", DataType::kString};
+  cols[2].kind = ColumnGen::Kind::kString;
+  cols[2].prefix = "g";
+  cols[2].distinct = 4;
+  // Dimensions stay small so joins/group-bys see many-to-one fan-in.
+  DataOptions dim_data = data;
+  dim_data.max_rows = std::max(2, data.max_rows / 6);
+  GenerateRows(rng, dim_data, cols, PickRowCount(rng, dim_data), &spec);
+  return spec;
+}
+
+/// The fact table: t0(id key, fk, v, w, name). `v` (and sometimes
+/// `fk`) are nullable; `w` never is — imperative `s = s + r.v` poisons
+/// the sum with NULL while SQL's SUM skips NULLs, so arithmetic folds
+/// must accumulate a NOT NULL column to be equivalence-comparable
+/// (mirrors the paper's Java ints, which cannot be null).
+TableSpec MakeFact(Rng* rng, const DataOptions& data, int64_t dim_rows) {
+  TableSpec spec;
+  spec.name = "t0";
+  spec.unique_key = "id";
+  std::vector<ColumnGen> cols(5);
+  cols[0].column = {"id", DataType::kInt64};
+  cols[0].kind = ColumnGen::Kind::kSequential;
+  cols[1].column = {"fk", DataType::kInt64};
+  cols[1].lo = 0;
+  cols[1].hi = std::max<int64_t>(dim_rows + 1, 2);  // dangling refs too
+  cols[1].nullable = rng->Percent(25);
+  cols[2].column = {"v", DataType::kInt64};
+  cols[2].lo = -20;
+  cols[2].hi = 100;
+  cols[2].nullable = rng->Percent(60);
+  cols[3].column = {"w", DataType::kInt64};
+  cols[3].lo = 0;
+  cols[3].hi = 50;
+  cols[4].column = {"name", DataType::kString};
+  cols[4].kind = ColumnGen::Kind::kString;
+  cols[4].prefix = "n";
+  cols[4].distinct = 6;
+  GenerateRows(rng, data, cols, PickRowCount(rng, data), &spec);
+  return spec;
+}
+
+/// A random comparison over fact-table cursor `r`.
+std::string FactPredicate(Rng* rng, const std::string& r) {
+  static const std::vector<std::string> ops = {">", "<", ">=",
+                                               "<=", "==", "!="};
+  auto atom = [&]() -> std::string {
+    int roll = static_cast<int>(rng->Range(0, 9));
+    if (roll < 2) {
+      return r + ".name " + (rng->Percent(50) ? "==" : "!=") + " \"n" +
+             std::to_string(rng->Range(0, 5)) + "\"";
+    }
+    std::string col = roll < 6 ? "v" : "w";
+    return r + "." + col + " " + rng->Pick(ops) + " " +
+           std::to_string(rng->Range(-5, 105));
+  };
+  std::string pred = atom();
+  if (rng->Percent(25)) {
+    // Parenthesized so callers can conjoin with a join-key equality
+    // without `&&`/`||` precedence widening the predicate.
+    pred = "(" + pred + (rng->Percent(50) ? " && " : " || ") + atom() + ")";
+  }
+  return pred;
+}
+
+/// A random per-row projection over cursor `r`. Scalars only when
+/// `scalar_only` (set elements and print arguments).
+std::string FactProjection(Rng* rng, const std::string& r, bool scalar_only) {
+  int roll = static_cast<int>(rng->Range(0, scalar_only ? 4 : 5));
+  switch (roll) {
+    case 0: return r + ".name";
+    case 1: return r + ".v";
+    case 2: return r + ".w";
+    case 3: return r + ".v + " + r + ".w";
+    case 4: return r + ".w * 2";
+    default: return "pair(" + r + ".name, " + r + ".v)";
+  }
+}
+
+std::string Guarded(const std::string& pred, const std::string& stmt) {
+  return "    if (" + pred + ") { " + stmt + " }\n";
+}
+
+std::string Scan(const std::string& handle, const std::string& alias,
+                 const std::string& table) {
+  return "  " + handle + " = executeQuery(\"SELECT * FROM " + table +
+         " AS " + alias + "\");\n";
+}
+
+// --- family renderers ----------------------------------------------------
+// Each returns the body of `func f() { ... }` for its family.
+
+std::string GenFilterCollect(Rng* rng) {
+  bool use_set = rng->Percent(25);
+  bool guarded = rng->Percent(80);
+  std::string s = "  out = " + std::string(use_set ? "set()" : "list()") +
+                  ";\n" + Scan("rows", "r", "t0");
+  std::string append = std::string("out.") +
+                       (use_set ? "insert" : "append") + "(" +
+                       FactProjection(rng, "r", use_set) + ");";
+  s += "  for (r : rows) {\n";
+  s += guarded ? Guarded(FactPredicate(rng, "r"), append)
+               : "    " + append + "\n";
+  s += "  }\n  return out;\n";
+  return s;
+}
+
+std::string GenScalarAgg(Rng* rng) {
+  bool is_count = rng->Percent(40);
+  std::string init = std::to_string(rng->Range(-10, 10));
+  std::string update = is_count ? "s = s + 1;" : "s = s + r.w;";
+  std::string s = "  s = " + init + ";\n" + Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += rng->Percent(80) ? Guarded(FactPredicate(rng, "r"), update)
+                        : "    " + update + "\n";
+  s += "  }\n  return s;\n";
+  return s;
+}
+
+std::string GenMaxMin(Rng* rng) {
+  bool is_max = rng->Percent(50);
+  bool builtin = rng->Percent(40);
+  std::string col = rng->Percent(70) ? "v" : "w";
+  std::string init = std::to_string(rng->Range(-30, 60));
+  std::string s = "  m = " + init + ";\n" + Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  if (builtin) {
+    s += "    m = " + std::string(is_max ? "max" : "min") + "(m, r." + col +
+         ");\n";
+  } else {
+    s += Guarded("r." + col + (is_max ? " > m" : " < m"),
+                 "m = r." + col + ";");
+  }
+  s += "  }\n  return m;\n";
+  return s;
+}
+
+std::string GenExists(Rng* rng) {
+  bool negated = rng->Percent(30);  // NOT EXISTS shape
+  std::string s = "  found = " + std::string(negated ? "true" : "false") +
+                  ";\n" + Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += Guarded(FactPredicate(rng, "r"),
+               negated ? "found = false;" : "found = true;");
+  s += "  }\n  return found;\n";
+  return s;
+}
+
+std::string GenJoin(Rng* rng) {
+  std::string pred = "a.fk == b.id";
+  if (rng->Percent(40)) pred += " && " + FactPredicate(rng, "a");
+  std::string proj = rng->Percent(50) ? "pair(a.name, b.tag)"
+                                      : "pair(a.v, b.u)";
+  std::string s = "  out = list();\n" + Scan("as", "a", "t0") +
+                  Scan("bs", "b", "t1");
+  s += "  for (a : as) {\n    for (b : bs) {\n";
+  s += "      if (" + pred + ") { out.append(" + proj + "); }\n";
+  s += "    }\n  }\n  return out;\n";
+  return s;
+}
+
+std::string GenGroupBy(Rng* rng) {
+  int kind = static_cast<int>(rng->Range(0, 2));  // sum / count / max
+  std::string init = kind == 2 ? std::to_string(rng->Range(-10, 30))
+                               : std::to_string(rng->Range(-5, 5));
+  std::string update = kind == 0   ? "agg = agg + m.w;"
+                       : kind == 1 ? "agg = agg + 1;"
+                                   : "agg = m.v;";
+  std::string guard = kind == 2 ? "m.v > agg" : FactPredicate(rng, "m");
+  if (kind == 2) update = "agg = m.v;";
+  std::string s = "  out = list();\n" + Scan("ds", "d", "t1");
+  s += "  for (d : ds) {\n";
+  s += "    agg = " + init + ";\n";
+  s += "    ms = executeQuery(\"SELECT * FROM t0 AS m WHERE m.fk = ?\", "
+       "d.id);\n";
+  s += "    for (m : ms) {\n";
+  s += "      if (" + guard + ") { " + update + " }\n";
+  s += "    }\n";
+  s += "    out.append(pair(d.tag, agg));\n";
+  s += "  }\n  return out;\n";
+  return s;
+}
+
+std::string GenArgmax(Rng* rng) {
+  bool is_max = rng->Percent(60);
+  std::string col = rng->Percent(70) ? "v" : "w";
+  std::string init = std::to_string(rng->Range(-30, 40));
+  std::string s = "  best = " + init + ";\n  who = \"none\";\n" +
+                  Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += "    if (r." + col + (is_max ? " > best" : " < best") +
+       ") { best = r." + col + "; who = r.name; }\n";
+  s += "  }\n  return pair(who, best);\n";
+  return s;
+}
+
+std::string GenApply(Rng* rng) {
+  bool collect = rng->Percent(50);
+  std::string s = collect ? "  out = list();\n" : "";
+  s += Scan("rows", "a", "t0");
+  s += "  for (a : rows) {\n";
+  s += "    aux = scalar(executeQuery(\"SELECT b.u AS u FROM t1 AS b WHERE "
+       "b.id = ?\", a.fk));\n";
+  s += collect ? "    out.append(pair(a.name, aux));\n"
+               : "    print(pair(a.name, aux));\n";
+  s += "  }\n";
+  if (collect) s += "  return out;\n";
+  return s;
+}
+
+std::string GenPrint(Rng* rng) {
+  std::string s = Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += Guarded(FactPredicate(rng, "r"),
+               "print(" + FactProjection(rng, "r", true) + ");");
+  s += "  }\n";
+  return s;
+}
+
+std::string GenBreak(Rng* rng) {
+  std::string s = "  out = list();\n" + Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += Guarded(FactPredicate(rng, "r"), "break;");
+  s += "    out.append(r.name);\n";
+  s += "  }\n  return out;\n";
+  return s;
+}
+
+std::string GenPartial(Rng* rng) {
+  std::string s = "  s = 0;\n  d = " + std::to_string(rng->Range(0, 3)) +
+                  ";\n" + Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += "    s = s + r.w;\n    d = d + s;\n";
+  s += "  }\n  return pair(s, d);\n";
+  return s;
+}
+
+std::string GenMultiAgg(Rng* rng) {
+  std::string init = std::to_string(rng->Range(-10, 20));
+  std::string s = "  n = 0;\n  m = " + init + ";\n" +
+                  Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += Guarded(FactPredicate(rng, "r"), "n = n + 1;");
+  s += Guarded("r.v > m", "m = r.v;");
+  s += "  }\n  return pair(n, m);\n";
+  return s;
+}
+
+std::string Render(Family family, Rng* rng) {
+  std::string body;
+  switch (family) {
+    case Family::kFilterCollect: body = GenFilterCollect(rng); break;
+    case Family::kScalarAgg: body = GenScalarAgg(rng); break;
+    case Family::kMaxMin: body = GenMaxMin(rng); break;
+    case Family::kExists: body = GenExists(rng); break;
+    case Family::kJoin: body = GenJoin(rng); break;
+    case Family::kGroupBy: body = GenGroupBy(rng); break;
+    case Family::kArgmax: body = GenArgmax(rng); break;
+    case Family::kApply: body = GenApply(rng); break;
+    case Family::kPrint: body = GenPrint(rng); break;
+    case Family::kBreak: body = GenBreak(rng); break;
+    case Family::kPartial: body = GenPartial(rng); break;
+    case Family::kMultiAgg: body = GenMultiAgg(rng); break;
+  }
+  return "func f() {\n" + body + "}\n";
+}
+
+}  // namespace
+
+Family FamilyForSeed(uint64_t seed, const GenOptions& opts) {
+  Rng rng(seed);
+  return kFamilies[rng.PickWeighted(Weights(opts))];
+}
+
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
+  Rng rng(seed);
+  Family family = kFamilies[rng.PickWeighted(Weights(opts))];
+
+  FuzzCase c;
+  c.seed = seed;
+  c.function = "f";
+  int64_t dim_rows = 0;
+  if (NeedsDim(family)) {
+    c.tables.push_back(MakeDim(&rng, opts.data));
+    dim_rows = static_cast<int64_t>(c.tables.back().rows.size());
+  }
+  // t0 first in the file for readability; generation order stays
+  // dim-then-fact so fk's domain can depend on the dim's size.
+  c.tables.insert(c.tables.begin(), MakeFact(&rng, opts.data, dim_rows));
+  c.source = Render(family, &rng);
+  return c;
+}
+
+}  // namespace eqsql::fuzz

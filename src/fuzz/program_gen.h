@@ -1,0 +1,60 @@
+#ifndef EQSQL_FUZZ_PROGRAM_GEN_H_
+#define EQSQL_FUZZ_PROGRAM_GEN_H_
+
+#include <string>
+
+#include "fuzz/data_gen.h"
+#include "fuzz/scenario.h"
+
+namespace eqsql::fuzz {
+
+/// Program families the grammar generator draws from. Each family is
+/// biased toward a particular transformation rule; the oracle's
+/// rule-coverage tally (VarOutcome::rules) verifies the bias holds.
+enum class Family {
+  kFilterCollect,  // T1/T2/T3: guarded append into list/set
+  kScalarAgg,      // T5.1+T6: sum/count with non-identity init
+  kMaxMin,         // T5.1+T6: max/min via guard or builtin
+  kExists,         // EXISTS / NOT EXISTS boolean flag
+  kJoin,           // T4: nested loops over two result sets
+  kGroupBy,        // T5.2: per-row inner aggregate query
+  kArgmax,         // App. B: ORDER BY ... LIMIT 1 dependent aggregation
+  kApply,          // T7: per-row scalar lookup -> OUTER APPLY
+  kPrint,          // print stream extraction
+  kBreak,          // early break: extraction must refuse, program intact
+  kPartial,        // P2 violation: partial optimization path
+  kMultiAgg,       // two accumulators over one loop
+};
+
+const char* FamilyName(Family f);
+
+/// Knobs for the program generator. The weights are the "tunable
+/// fraction" of the grammar: relative odds of each family (zero
+/// disables one).
+struct GenOptions {
+  DataOptions data;
+  int w_filter_collect = 18;
+  int w_scalar_agg = 14;
+  int w_maxmin = 10;
+  int w_exists = 8;
+  int w_join = 11;
+  int w_groupby = 10;
+  int w_argmax = 8;
+  int w_apply = 6;
+  int w_print = 7;
+  int w_break = 4;
+  int w_partial = 4;
+  int w_multi = 6;
+};
+
+/// Generates one self-contained scenario from `seed`: random schemas
+/// and data plus a random ImpLang cursor-loop program over them.
+/// Bit-deterministic: equal seeds and options yield equal cases.
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts = {});
+
+/// The family `seed` maps to under `opts` (diagnostics / tests).
+Family FamilyForSeed(uint64_t seed, const GenOptions& opts = {});
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_PROGRAM_GEN_H_

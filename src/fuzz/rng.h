@@ -1,0 +1,70 @@
+#ifndef EQSQL_FUZZ_RNG_H_
+#define EQSQL_FUZZ_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace eqsql::fuzz {
+
+/// Deterministic splitmix64 stream for the fuzz subsystem. Every
+/// generated program, schema, and row derives from one of these, so a
+/// (seed, iteration) pair replays bit-identically across runs and
+/// platforms — the harness's replay and corpus features depend on it.
+/// Never mix in std::mt19937 / rand(): their streams are not pinned by
+/// the C++ standard.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = SplitMix64(state_);
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return z;
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform index in [0, n).
+  size_t Index(size_t n) { return static_cast<size_t>(Next() % n); }
+
+  /// True with probability percent/100.
+  bool Percent(int percent) {
+    return static_cast<int>(Next() % 100) < percent;
+  }
+
+  /// Picks an element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Index(v.size())];
+  }
+
+  /// Picks an index according to non-negative weights (at least one
+  /// weight must be positive).
+  size_t PickWeighted(const std::vector<int>& weights) {
+    int64_t total = 0;
+    for (int w : weights) total += w;
+    int64_t roll = Range(0, total - 1);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      roll -= weights[i];
+      if (roll < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent sub-stream (e.g. one per table) that does
+  /// not perturb this stream's position.
+  Rng Fork(uint64_t tag) const { return Rng(SplitMix64(state_ ^ tag)); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_RNG_H_

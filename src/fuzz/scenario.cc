@@ -1,0 +1,237 @@
+#include "fuzz/scenario.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace eqsql::fuzz {
+
+using catalog::DataType;
+using catalog::Value;
+
+Status BuildDatabase(const FuzzCase& c, storage::Database* db) {
+  for (const TableSpec& t : c.tables) {
+    EQSQL_ASSIGN_OR_RETURN(
+        storage::Table * table,
+        db->CreateTable(t.name, catalog::Schema(t.columns)));
+    for (const catalog::Row& row : t.rows) {
+      EQSQL_RETURN_IF_ERROR(table->Insert(row));
+    }
+    if (!t.unique_key.empty()) {
+      EQSQL_RETURN_IF_ERROR(table->DeclareUniqueKey(t.unique_key));
+    }
+  }
+  return Status::OK();
+}
+
+std::map<std::string, std::string> TableKeys(const FuzzCase& c) {
+  std::map<std::string, std::string> keys;
+  for (const TableSpec& t : c.tables) {
+    if (!t.unique_key.empty()) keys[t.name] = t.unique_key;
+  }
+  return keys;
+}
+
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  for (unsigned char ch : s) {
+    if (std::isalnum(ch) || ch == '_' || ch == ' ' || ch == '.' ||
+        ch == '-') {
+      out.push_back(static_cast<char>(ch));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", ch);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeString(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return Status::InvalidArgument("bad %-escape");
+    int hi = std::isdigit(s[i + 1]) ? s[i + 1] - '0' : s[i + 1] - 'A' + 10;
+    int lo = std::isdigit(s[i + 2]) ? s[i + 2] - '0' : s[i + 2] - 'A' + 10;
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string CellToString(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return v.AsBool() ? "bool:true" : "bool:false";
+    case DataType::kInt64:
+      return "int:" + std::to_string(v.AsInt());
+    case DataType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "double:%.17g", v.AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return "str:" + EscapeString(v.AsString());
+  }
+  return "null";
+}
+
+Result<Value> CellFromString(std::string_view cell) {
+  if (cell == "null") return Value::Null();
+  size_t colon = cell.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("bad cell: " + std::string(cell));
+  }
+  std::string_view tag = cell.substr(0, colon);
+  std::string_view body = cell.substr(colon + 1);
+  if (tag == "bool") return Value::Bool(body == "true");
+  if (tag == "int") {
+    return Value::Int(std::strtoll(std::string(body).c_str(), nullptr, 10));
+  }
+  if (tag == "double") {
+    return Value::Double(std::strtod(std::string(body).c_str(), nullptr));
+  }
+  if (tag == "str") {
+    EQSQL_ASSIGN_OR_RETURN(std::string s, UnescapeString(body));
+    return Value::String(std::move(s));
+  }
+  return Status::InvalidArgument("bad cell tag: " + std::string(tag));
+}
+
+std::string_view TypeTag(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kNull:
+      return "null";
+  }
+  return "null";
+}
+
+Result<DataType> TypeFromTag(std::string_view tag) {
+  if (tag == "bool") return DataType::kBool;
+  if (tag == "int") return DataType::kInt64;
+  if (tag == "double") return DataType::kDouble;
+  if (tag == "string") return DataType::kString;
+  return Status::InvalidArgument("bad column type: " + std::string(tag));
+}
+
+}  // namespace
+
+std::string SerializeCase(const FuzzCase& c) {
+  std::ostringstream out;
+  out << "# eqsql-fuzz case v1\n";
+  out << "seed " << c.seed << "\n";
+  out << "function " << c.function << "\n";
+  for (const TableSpec& t : c.tables) {
+    out << "table " << t.name;
+    if (!t.unique_key.empty()) out << " key=" << t.unique_key;
+    out << "\n";
+    for (const catalog::Column& col : t.columns) {
+      out << "col " << col.name << " " << TypeTag(col.type) << "\n";
+    }
+    for (const catalog::Row& row : t.rows) {
+      out << "row ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out << "|";
+        out << CellToString(row[i]);
+      }
+      out << "\n";
+    }
+    out << "end\n";
+  }
+  out << "program <<<\n" << c.source;
+  if (!c.source.empty() && c.source.back() != '\n') out << "\n";
+  out << ">>>\n";
+  return out.str();
+}
+
+Result<FuzzCase> ParseCase(std::string_view text) {
+  FuzzCase c;
+  c.function.clear();
+  std::istringstream in{std::string(text)};
+  std::string line;
+  TableSpec* table = nullptr;
+  bool in_program = false;
+  std::string program;
+  while (std::getline(in, line)) {
+    if (in_program) {
+      if (line == ">>>") {
+        in_program = false;
+        continue;
+      }
+      program += line;
+      program += "\n";
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string word;
+    ls >> word;
+    if (word == "seed") {
+      ls >> c.seed;
+    } else if (word == "function") {
+      ls >> c.function;
+    } else if (word == "table") {
+      c.tables.emplace_back();
+      table = &c.tables.back();
+      ls >> table->name;
+      std::string attr;
+      while (ls >> attr) {
+        if (attr.rfind("key=", 0) == 0) table->unique_key = attr.substr(4);
+      }
+    } else if (word == "col") {
+      if (table == nullptr) return Status::InvalidArgument("col before table");
+      std::string name, tag;
+      ls >> name >> tag;
+      EQSQL_ASSIGN_OR_RETURN(DataType type, TypeFromTag(tag));
+      table->columns.push_back({name, type});
+    } else if (word == "row") {
+      if (table == nullptr) return Status::InvalidArgument("row before table");
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      catalog::Row row;
+      if (!rest.empty()) {
+        for (const std::string& cell : StrSplit(rest, '|')) {
+          EQSQL_ASSIGN_OR_RETURN(Value v, CellFromString(cell));
+          row.push_back(std::move(v));
+        }
+      }
+      if (row.size() != table->columns.size()) {
+        return Status::InvalidArgument("row arity mismatch in " +
+                                       table->name);
+      }
+      table->rows.push_back(std::move(row));
+    } else if (word == "end") {
+      table = nullptr;
+    } else if (word == "program") {
+      in_program = true;
+    } else {
+      return Status::InvalidArgument("unknown directive: " + word);
+    }
+  }
+  if (in_program) return Status::InvalidArgument("unterminated program block");
+  c.source = std::move(program);
+  if (c.function.empty()) return Status::InvalidArgument("missing function");
+  if (c.source.empty()) return Status::InvalidArgument("missing program");
+  return c;
+}
+
+}  // namespace eqsql::fuzz

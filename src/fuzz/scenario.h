@@ -1,0 +1,67 @@
+#ifndef EQSQL_FUZZ_SCENARIO_H_
+#define EQSQL_FUZZ_SCENARIO_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace eqsql::fuzz {
+
+/// One randomly generated table: schema, optional unique key, and the
+/// concrete rows. Rows are part of the case (not regenerated from the
+/// seed) so the shrinker can delete individual rows and the corpus can
+/// persist minimized data verbatim.
+struct TableSpec {
+  std::string name;
+  std::vector<catalog::Column> columns;
+  std::string unique_key;  // empty when the table has no key
+  std::vector<catalog::Row> rows;
+};
+
+/// A self-contained differential-fuzzing scenario: the database state
+/// plus an ImpLang program and entry function. Everything the oracle
+/// needs; serializable to a single corpus file.
+struct FuzzCase {
+  uint64_t seed = 0;  // generator seed, 0 for hand-written cases
+  std::vector<TableSpec> tables;
+  std::string source;
+  std::string function = "f";
+};
+
+/// Materializes the case's tables into `db` and declares unique keys.
+Status BuildDatabase(const FuzzCase& c, storage::Database* db);
+
+/// table -> key column map for OptimizeOptions::transform.table_keys.
+std::map<std::string, std::string> TableKeys(const FuzzCase& c);
+
+/// Serializes a case to the line-based corpus format:
+///
+///   # eqsql-fuzz case v1
+///   seed 42
+///   function f
+///   table t0 key=id
+///   col id int
+///   col v int null
+///   row int:0|int:5
+///   row int:1|null
+///   end
+///   program <<<
+///   func f() { ... }
+///   >>>
+///
+/// Cell syntax: null, bool:true, int:N, double:D, str:S with S
+/// percent-escaped (%XX) outside [A-Za-z0-9_ .-]. The format
+/// round-trips: Parse(Serialize(c)) == c.
+std::string SerializeCase(const FuzzCase& c);
+
+/// Parses the corpus format back into a case.
+Result<FuzzCase> ParseCase(std::string_view text);
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_SCENARIO_H_

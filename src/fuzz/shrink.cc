@@ -1,0 +1,254 @@
+#include "fuzz/shrink.h"
+
+#include <optional>
+
+#include "frontend/ast.h"
+#include "frontend/parser.h"
+
+namespace eqsql::fuzz {
+
+using frontend::BinOp;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::StmtPtr;
+
+bool IsViolation(Verdict v) {
+  return v == Verdict::kReturnMismatch || v == Verdict::kPrintMismatch ||
+         v == Verdict::kRowRegression;
+}
+
+namespace {
+
+enum class EditKind {
+  kDelete,       // remove the statement
+  kPromoteThen,  // if (c) {A} else {B}  ->  A
+  kPromoteElse,  // if (c) {A} else {B}  ->  B
+  kCondLeft,     // if (a && b) / (a || b)  ->  if (a)
+  kCondRight,    //                          ->  if (b)
+};
+
+constexpr EditKind kAllEdits[] = {EditKind::kDelete, EditKind::kPromoteThen,
+                                  EditKind::kPromoteElse, EditKind::kCondLeft,
+                                  EditKind::kCondRight};
+
+struct EditState {
+  int target = 0;    // statement index (depth-first) the edit applies to
+  EditKind kind = EditKind::kDelete;
+  int next = 0;      // running statement counter
+  bool applied = false;
+};
+
+/// Rebuilds `body` with the edit in `st` applied to its target
+/// statement. When the edit does not fit the target's kind, st->applied
+/// stays false and the caller discards the candidate.
+std::vector<StmtPtr> RebuildBody(const std::vector<StmtPtr>& body,
+                                 EditState* st) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const StmtPtr& s : body) {
+    int idx = st->next++;
+    if (idx == st->target) {
+      switch (st->kind) {
+        case EditKind::kDelete:
+          st->applied = true;
+          continue;  // drop the statement
+        case EditKind::kPromoteThen:
+          if (s->kind() == StmtKind::kIf && !s->body().empty()) {
+            st->applied = true;
+            for (const StmtPtr& inner : s->body()) out.push_back(inner);
+            continue;
+          }
+          break;
+        case EditKind::kPromoteElse:
+          if (s->kind() == StmtKind::kIf && !s->else_body().empty()) {
+            st->applied = true;
+            for (const StmtPtr& inner : s->else_body()) out.push_back(inner);
+            continue;
+          }
+          break;
+        case EditKind::kCondLeft:
+        case EditKind::kCondRight: {
+          if (s->kind() == StmtKind::kIf &&
+              s->expr()->kind() == ExprKind::kBinary &&
+              (s->expr()->bin_op() == BinOp::kAnd ||
+               s->expr()->bin_op() == BinOp::kOr)) {
+            st->applied = true;
+            size_t side = st->kind == EditKind::kCondLeft ? 0 : 1;
+            out.push_back(Stmt::If(s->expr()->arg(side), s->body(),
+                                   s->else_body()));
+            continue;
+          }
+          break;
+        }
+      }
+      // Edit did not apply to this statement kind; keep it unchanged
+      // (st->applied stays false, the candidate is discarded).
+    }
+    // Recurse so nested statements are editable too.
+    switch (s->kind()) {
+      case StmtKind::kIf:
+        out.push_back(Stmt::If(s->expr(), RebuildBody(s->body(), st),
+                               RebuildBody(s->else_body(), st)));
+        break;
+      case StmtKind::kForEach:
+        out.push_back(
+            Stmt::ForEach(s->target(), s->expr(), RebuildBody(s->body(), st)));
+        break;
+      case StmtKind::kWhile:
+        out.push_back(Stmt::While(s->expr(), RebuildBody(s->body(), st)));
+        break;
+      default:
+        out.push_back(s);
+        break;
+    }
+  }
+  return out;
+}
+
+int CountStmts(const std::vector<StmtPtr>& body) {
+  int n = 0;
+  for (const StmtPtr& s : body) {
+    n += 1 + CountStmts(s->body()) + CountStmts(s->else_body());
+  }
+  return n;
+}
+
+/// The candidate program source with one edit applied, or nullopt when
+/// the edit is inapplicable.
+std::optional<std::string> ApplyEdit(const frontend::Program& program,
+                                     const std::string& function, int target,
+                                     EditKind kind) {
+  frontend::Program candidate = program;
+  EditState st;
+  st.target = target;
+  st.kind = kind;
+  for (frontend::Function& f : candidate.functions) {
+    if (f.name != function) continue;
+    f.body = RebuildBody(f.body, &st);
+  }
+  if (!st.applied) return std::nullopt;
+  return candidate.ToString();
+}
+
+class Shrinker {
+ public:
+  Shrinker(const OracleOptions& oopts, const ShrinkOptions& sopts)
+      : oopts_(oopts), sopts_(sopts) {}
+
+  ShrinkOutcome Run(const FuzzCase& failing) {
+    cur_ = failing;
+    best_report_ = RunOracle(cur_, oopts_);
+    ++runs_;
+    bool progress = true;
+    while (progress && Budget()) {
+      progress = false;
+      if (ShrinkTables()) progress = true;
+      if (ShrinkRows()) progress = true;
+      if (ShrinkProgram()) progress = true;
+    }
+    ShrinkOutcome out;
+    out.reduced = std::move(cur_);
+    out.report = std::move(best_report_);
+    out.oracle_runs = runs_;
+    return out;
+  }
+
+ private:
+  bool Budget() const { return runs_ < sopts_.max_oracle_runs; }
+
+  /// Accepts `candidate` if it still fails; updates the current best.
+  bool Try(FuzzCase candidate) {
+    if (!Budget()) return false;
+    OracleReport report = RunOracle(candidate, oopts_);
+    ++runs_;
+    if (!IsViolation(report.verdict)) return false;
+    cur_ = std::move(candidate);
+    best_report_ = std::move(report);
+    return true;
+  }
+
+  bool ShrinkTables() {
+    bool progress = false;
+    for (size_t t = 0; t < cur_.tables.size() && cur_.tables.size() > 1;) {
+      FuzzCase candidate = cur_;
+      candidate.tables.erase(candidate.tables.begin() +
+                             static_cast<long>(t));
+      if (Try(std::move(candidate))) {
+        progress = true;  // same index now names the next table
+      } else {
+        ++t;
+      }
+    }
+    return progress;
+  }
+
+  bool ShrinkRows() {
+    bool progress = false;
+    for (size_t t = 0; t < cur_.tables.size(); ++t) {
+      for (size_t chunk = std::max<size_t>(cur_.tables[t].rows.size() / 2, 1);
+           chunk >= 1; chunk /= 2) {
+        for (size_t off = 0; off + chunk <= cur_.tables[t].rows.size();) {
+          FuzzCase candidate = cur_;
+          auto& rows = candidate.tables[t].rows;
+          rows.erase(rows.begin() + static_cast<long>(off),
+                     rows.begin() + static_cast<long>(off + chunk));
+          if (Try(std::move(candidate))) {
+            progress = true;  // rows shifted down; retry same offset
+          } else {
+            ++off;
+          }
+        }
+        if (chunk == 1) break;
+      }
+    }
+    return progress;
+  }
+
+  bool ShrinkProgram() {
+    bool progress = false;
+    bool again = true;
+    while (again && Budget()) {
+      again = false;
+      auto program = frontend::ParseProgram(cur_.source);
+      if (!program.ok()) return progress;
+      const frontend::Function* fn = program->Find(cur_.function);
+      if (fn == nullptr) return progress;
+      int n = CountStmts(fn->body);
+      for (int target = 0; target < n && !again; ++target) {
+        for (EditKind kind : kAllEdits) {
+          std::optional<std::string> src =
+              ApplyEdit(*program, cur_.function, target, kind);
+          if (!src.has_value()) continue;
+          // Candidates that no longer parse or run fall out naturally:
+          // the oracle reports kInfraError, which is not a violation.
+          FuzzCase candidate = cur_;
+          candidate.source = std::move(*src);
+          if (Try(std::move(candidate))) {
+            progress = true;
+            again = true;  // statement indices changed; re-enumerate
+            break;
+          }
+          if (!Budget()) return progress;
+        }
+      }
+    }
+    return progress;
+  }
+
+  OracleOptions oopts_;
+  ShrinkOptions sopts_;
+  FuzzCase cur_;
+  OracleReport best_report_;
+  int runs_ = 0;
+};
+
+}  // namespace
+
+ShrinkOutcome Shrink(const FuzzCase& failing, const OracleOptions& oopts,
+                     const ShrinkOptions& sopts) {
+  return Shrinker(oopts, sopts).Run(failing);
+}
+
+}  // namespace eqsql::fuzz

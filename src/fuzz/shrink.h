@@ -1,0 +1,39 @@
+#ifndef EQSQL_FUZZ_SHRINK_H_
+#define EQSQL_FUZZ_SHRINK_H_
+
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+
+namespace eqsql::fuzz {
+
+/// True for verdicts the shrinker preserves (equivalence violations
+/// and row regressions; infra errors are not shrunk — they indicate a
+/// broken harness, not a broken rewrite).
+bool IsViolation(Verdict v);
+
+struct ShrinkOptions {
+  /// Upper bound on oracle invocations across all shrink passes; the
+  /// greedy loops stop when exhausted (the current best is returned).
+  int max_oracle_runs = 4000;
+};
+
+struct ShrinkOutcome {
+  FuzzCase reduced;
+  OracleReport report;  // the reduced case's (still failing) report
+  int oracle_runs = 0;
+};
+
+/// Greedily minimizes a failing case while it keeps failing:
+///  1. drop whole tables the program no longer needs,
+///  2. delete row chunks, then single rows, from every table (ddmin),
+///  3. delete statements / unwrap conditionals / split && and ||
+///     conditions in the program source.
+/// Repeats to fixpoint. `failing` must currently fail under `oopts`
+/// (IsViolation(RunOracle(...))); the result is the smallest failing
+/// case found, suitable for the corpus.
+ShrinkOutcome Shrink(const FuzzCase& failing, const OracleOptions& oopts,
+                     const ShrinkOptions& sopts = {});
+
+}  // namespace eqsql::fuzz
+
+#endif  // EQSQL_FUZZ_SHRINK_H_

@@ -19,6 +19,15 @@ Result<exec::ResultSet> Connection::ExecuteQuery(
   stats_.bytes_transferred +=
       static_cast<int64_t>(request_bytes + result_bytes);
 
+  if (trace_enabled_) {
+    QueryTrace t;
+    t.sql = pending_sql_.empty() ? plan->ToString() : pending_sql_;
+    t.rows = static_cast<int64_t>(rs.rows.size());
+    t.bytes = static_cast<int64_t>(request_bytes + result_bytes);
+    trace_.push_back(std::move(t));
+  }
+  pending_sql_.clear();
+
   double elapsed = model_.query_overhead_ms +
                    model_.TransferMs(request_bytes + result_bytes) +
                    model_.ServerMs(executor_.last_rows_processed());
@@ -36,6 +45,7 @@ Result<exec::ResultSet> Connection::ExecuteQuery(
 Result<exec::ResultSet> Connection::ExecuteSql(
     std::string_view sql, const std::vector<catalog::Value>& params) {
   EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan, sql::ParseSql(sql));
+  if (trace_enabled_) pending_sql_ = std::string(sql);
   return ExecuteQuery(plan, params);
 }
 

@@ -13,6 +13,15 @@
 
 namespace eqsql::net {
 
+/// One traced query execution (Connection::set_trace). The fuzz
+/// oracle uses the per-query breakdown to attribute row-transfer
+/// regressions to the specific rewritten query that shipped them.
+struct QueryTrace {
+  std::string sql;  // SQL text, or the plan rendering for raw plans
+  int64_t rows = 0;
+  int64_t bytes = 0;  // request + result bytes
+};
+
 /// A simulated database connection: the client side of the DBMS.
 ///
 /// Every query executes synchronously against the in-process engine, but
@@ -68,6 +77,12 @@ class Connection {
   const ConnectionStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ConnectionStats(); }
 
+  /// Enables per-query tracing (off by default; tracing stores the SQL
+  /// text of every query, so leave it off in benchmark loops).
+  void set_trace(bool on) { trace_enabled_ = on; }
+  const std::vector<QueryTrace>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
   storage::Database* db() { return db_; }
   const CostModel& cost_model() const { return model_; }
 
@@ -78,6 +93,9 @@ class Connection {
   ConnectionStats stats_;
   bool prefetch_mode_ = false;
   bool prefetch_primed_ = false;
+  bool trace_enabled_ = false;
+  std::string pending_sql_;  // set by ExecuteSql for the trace entry
+  std::vector<QueryTrace> trace_;
 };
 
 }  // namespace eqsql::net

@@ -648,13 +648,31 @@ DNodePtr Transformer::TryGroupBy(const DNodePtr& fold) {
   std::vector<ProjectItem> items;
   for (size_t i = 0; i < elems.size(); ++i) {
     if (static_cast<int>(i) == agg_index) {
+      // T6 composition: a non-identity init folds into every group's
+      // result, not just empty groups — init + SUM/COUNT for additive
+      // folds, max/min(init, agg) for extremal folds. Empty groups
+      // (aggregate NULL, or COUNT = 0) collapse to the init itself.
       ScalarExprPtr agg_col = ScalarExpr::Column("agg");
-      ScalarExprPtr value =
-          func == ra::AggFunc::kCount
-              ? agg_col
-              : ScalarExpr::Case(
-                    ScalarExpr::Unary(ScalarOp::kIsNull, agg_col),
-                    ScalarExpr::Literal(inner_init), agg_col);
+      ScalarExprPtr init_lit = ScalarExpr::Literal(inner_init);
+      bool zero_init = inner_init == catalog::Value::Int(0);
+      ScalarExprPtr value;
+      if (func == ra::AggFunc::kCount) {
+        value = zero_init ? agg_col
+                          : ScalarExpr::Binary(ScalarOp::kAdd, init_lit,
+                                               agg_col);
+      } else if (func == ra::AggFunc::kSum) {
+        ScalarExprPtr non_empty =
+            zero_init ? agg_col
+                      : ScalarExpr::Binary(ScalarOp::kAdd, init_lit, agg_col);
+        value = ScalarExpr::Case(ScalarExpr::Unary(ScalarOp::kIsNull, agg_col),
+                                 init_lit, std::move(non_empty));
+      } else {
+        ScalarOp combine = func == ra::AggFunc::kMax ? ScalarOp::kGreatest
+                                                     : ScalarOp::kLeast;
+        value = ScalarExpr::Case(
+            ScalarExpr::Unary(ScalarOp::kIsNull, agg_col), init_lit,
+            ScalarExpr::Nary(combine, {init_lit, agg_col}));
+      }
       items.push_back({std::move(value), "agg"});
     } else {
       items.push_back({ScalarExpr::Column(key_names[i]),

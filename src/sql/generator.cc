@@ -159,9 +159,14 @@ class Generator {
         case RaOp::kScan:
         case RaOp::kJoin:
         case RaOp::kLeftOuterJoin:
-        case RaOp::kOuterApply:
-          block.from = cur;
+        case RaOp::kOuterApply: {
+          std::vector<ScalarExprPtr> hoisted;
+          block.from = NormalizeJoinTree(cur, &hoisted);
+          for (ScalarExprPtr& pred : hoisted) {
+            block.where.push_back(std::move(pred));
+          }
           return RenderBlock(block);
+        }
       }
     }
   }
@@ -170,6 +175,59 @@ class Generator {
   Result<std::string> RenderDerivedFallback(Block* block, RaNodePtr cur) {
     block->from = std::move(cur);
     return RenderBlock(*block);
+  }
+
+  static RaNodePtr StripSelects(RaNodePtr node,
+                                std::vector<ScalarExprPtr>* preds) {
+    while (node->op() == RaOp::kSelect) {
+      preds->push_back(node->predicate());
+      node = node->child(0);
+    }
+    return node;
+  }
+
+  /// Rewrites Select chains around join inputs so the rendered FROM
+  /// never needs a `(SELECT * ...)` derived table — those lose the
+  /// input's alias and cannot be re-parsed. Left-side filters hoist to
+  /// WHERE (sound for LEFT OUTER JOIN / OUTER APPLY too: they only
+  /// reference left columns, which pass through unchanged); right-side
+  /// filters over a base Scan fold into the ON conjunction, the
+  /// standard outer-join simplification.
+  static RaNodePtr NormalizeJoinTree(RaNodePtr node,
+                                     std::vector<ScalarExprPtr>* hoisted) {
+    switch (node->op()) {
+      case RaOp::kJoin:
+      case RaOp::kLeftOuterJoin: {
+        RaNodePtr left =
+            NormalizeJoinTree(StripSelects(node->left(), hoisted), hoisted);
+        RaNodePtr right = node->right();
+        ScalarExprPtr pred = node->predicate();
+        std::vector<ScalarExprPtr> peeled;
+        RaNodePtr base = StripSelects(right, &peeled);
+        if (base->op() == RaOp::kScan && !peeled.empty()) {
+          right = std::move(base);
+          peeled.insert(peeled.begin(), pred);
+          pred = ra::ScalarExpr::MakeAnd(std::move(peeled));
+        }
+        if (left == node->left() && right == node->right() &&
+            pred == node->predicate()) {
+          return node;
+        }
+        return node->op() == RaOp::kJoin
+                   ? RaNode::Join(std::move(left), std::move(right),
+                                  std::move(pred))
+                   : RaNode::LeftOuterJoin(std::move(left), std::move(right),
+                                           std::move(pred));
+      }
+      case RaOp::kOuterApply: {
+        RaNodePtr left =
+            NormalizeJoinTree(StripSelects(node->left(), hoisted), hoisted);
+        if (left == node->left()) return node;
+        return RaNode::OuterApply(std::move(left), node->right());
+      }
+      default:
+        return node;
+    }
   }
 
   Result<std::string> RenderBlock(const Block& block) {

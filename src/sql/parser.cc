@@ -89,6 +89,17 @@ class Parser {
 
   // --- query --------------------------------------------------------------
   Result<RaNodePtr> ParseQuery() {
+    // pending_aggs_ must be scoped per SELECT: a derived-table or APPLY
+    // subquery parsed mid-FROM must not see the enclosing query's
+    // aggregates (or leak its own into the enclosing BuildGroupBy).
+    std::vector<AggregateSpec> enclosing = std::move(pending_aggs_);
+    pending_aggs_.clear();
+    Result<RaNodePtr> plan = ParseQueryScoped();
+    pending_aggs_ = std::move(enclosing);
+    return plan;
+  }
+
+  Result<RaNodePtr> ParseQueryScoped() {
     if (CheckKeyword("FROM")) return ParseHqlQuery();
     EQSQL_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     bool distinct = MatchKeyword("DISTINCT");

@@ -1,5 +1,7 @@
 #include "workloads/benchmark_apps.h"
 
+#include "common/hash.h"
+
 namespace eqsql::workloads {
 
 using catalog::DataType;
@@ -9,12 +11,7 @@ using catalog::Value;
 namespace {
 
 /// Deterministic generator, independent of wilos_samples' stream.
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+uint64_t Mix(uint64_t x) { return SplitMix64(x); }
 
 }  // namespace
 

@@ -2,21 +2,22 @@
 
 #include <map>
 
+#include "common/hash.h"
+
 namespace eqsql::workloads {
 
 namespace {
 
-/// Deterministic pseudo-random generator (splitmix-style) so every run
-/// of the benchmarks sees identical data.
+/// Deterministic pseudo-random generator (splitmix64) so every run of
+/// the benchmarks sees identical data. Next() advances the canonical
+/// splitmix64 stream: the i-th draw is SplitMix64(seed + i*golden).
 class Rng {
  public:
   explicit Rng(uint64_t seed) : state_(seed) {}
   uint64_t Next() {
+    uint64_t z = SplitMix64(state_);
     state_ += 0x9e3779b97f4a7c15ULL;
-    uint64_t z = state_;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return z;
   }
   int64_t Range(int64_t lo, int64_t hi) {  // inclusive bounds
     return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/hash.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 
@@ -20,13 +21,6 @@ using catalog::DataType;
 using catalog::Row;
 using catalog::Schema;
 using catalog::Value;
-
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 struct SweepCase {
   int shape;      // which query shape
@@ -43,8 +37,8 @@ class ExecSweep : public ::testing::TestWithParam<SweepCase> {
                                                {"g", DataType::kInt64},
                                                {"v", DataType::kInt64}}));
     for (int64_t i = 0; i < c.rows; ++i) {
-      int64_t g = static_cast<int64_t>(Mix(c.seed + i) % 5);
-      int64_t v = static_cast<int64_t>(Mix(c.seed * 31 + i) % 100);
+      int64_t g = static_cast<int64_t>(SplitMix64(c.seed + i) % 5);
+      int64_t v = static_cast<int64_t>(SplitMix64(c.seed * 31 + i) % 100);
       data->push_back({i, g, v});
       ASSERT_TRUE(
           table->Insert({Value::Int(i), Value::Int(g), Value::Int(v)}).ok());
@@ -120,7 +114,7 @@ TEST_P(ExecSweep, MatchesReferenceEvaluation) {
     }
     case 3: {  // point lookup by key equals full-scan filter
       int64_t probe =
-          c.rows == 0 ? 0 : static_cast<int64_t>(Mix(c.seed) % (c.rows + 3));
+          c.rows == 0 ? 0 : static_cast<int64_t>(SplitMix64(c.seed) % (c.rows + 3));
       auto q = *sql::ParseSql("SELECT t.v AS v FROM t WHERE t.id = " +
                               std::to_string(probe));
       auto rs = ex.Execute(q);

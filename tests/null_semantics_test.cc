@@ -1,0 +1,214 @@
+// NULL and empty-table edge cases, end to end: imperative program →
+// optimizer → both interpreters. SQL three-valued logic must agree
+// with the imperative side everywhere the rules fire — predicates over
+// NULL never match, extremal folds skip NULLs, empty inputs fall back
+// to the fold's init (T6), and non-identity inits compose into group
+// results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/optimizer.h"
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+
+namespace eqsql::core {
+namespace {
+
+using catalog::DataType;
+using catalog::Schema;
+using catalog::Value;
+
+class NullSemanticsTest : public ::testing::Test {
+ protected:
+  /// Runs `source` (function f) against the members' database twice —
+  /// original and optimized — and checks observational equivalence.
+  /// Returns the shared DisplayString of the result.
+  std::string CheckEquivalent(const std::string& source,
+                              bool expect_extracted = true) {
+    auto program = frontend::ParseProgram(source);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    if (!program.ok()) return "";
+
+    OptimizeOptions options;
+    options.transform.table_keys = {{"t", "id"}, {"d", "id"}};
+    EqSqlOptimizer optimizer(options);
+    auto result = optimizer.Optimize(*program, "f");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return "";
+    EXPECT_EQ(result->any_extracted(), expect_extracted)
+        << result->program.ToString();
+
+    net::Connection c1(&db_), c2(&db_);
+    interp::Interpreter i1(&*program, &c1);
+    interp::Interpreter i2(&result->program, &c2);
+    auto r1 = i1.Run("f");
+    auto r2 = i2.Run("f");
+    EXPECT_TRUE(r1.ok()) << r1.status().ToString();
+    EXPECT_TRUE(r2.ok()) << r2.status().ToString() << "\n"
+                         << result->program.ToString();
+    if (!r1.ok() || !r2.ok()) return "";
+    EXPECT_EQ(r1->DisplayString(), r2->DisplayString())
+        << result->program.ToString();
+    EXPECT_EQ(i1.printed(), i2.printed());
+    EXPECT_LE(c2.stats().rows_transferred,
+              std::max<int64_t>(c1.stats().rows_transferred, 1));
+    return r1->DisplayString();
+  }
+
+  /// Table t(id, v nullable, name); rows given as (id, v-or-null, name).
+  void MakeT(const std::vector<std::tuple<int64_t, const char*,
+                                          const char*>>& rows) {
+    auto table = *db_.CreateTable("t", Schema({{"id", DataType::kInt64},
+                                               {"v", DataType::kInt64},
+                                               {"name", DataType::kString}}));
+    for (const auto& [id, v, name] : rows) {
+      ASSERT_TRUE(table
+                      ->Insert({Value::Int(id),
+                                v == nullptr
+                                    ? Value::Null()
+                                    : Value::Int(std::atoll(v)),
+                                Value::String(name)})
+                      .ok());
+    }
+    ASSERT_TRUE(table->DeclareUniqueKey("id").ok());
+  }
+
+  storage::Database db_;
+};
+
+constexpr const char* kFilter =
+    "func f() {\n"
+    "  out = list();\n"
+    "  rows = executeQuery(\"SELECT * FROM t AS r\");\n"
+    "  for (r : rows) {\n"
+    "    if (r.v > 10) { out.append(r.name); }\n"
+    "  }\n"
+    "  return out;\n"
+    "}\n";
+
+TEST_F(NullSemanticsTest, NullNeverMatchesComparison) {
+  // NULL > 10 is unknown on both sides: the row is skipped, not kept.
+  MakeT({{0, "50", "keep"}, {1, nullptr, "nullrow"}, {2, "3", "small"}});
+  EXPECT_EQ(CheckEquivalent(kFilter), "[keep]");
+}
+
+TEST_F(NullSemanticsTest, NullNeverMatchesNegatedComparison) {
+  // `!=` does not match NULL either (3VL, not set complement).
+  MakeT({{0, "50", "a"}, {1, nullptr, "nullrow"}});
+  std::string src = kFilter;
+  src.replace(src.find("r.v > 10"), 8, "r.v != 50");
+  EXPECT_EQ(CheckEquivalent(src), "[]");
+}
+
+TEST_F(NullSemanticsTest, MaxGuardSkipsNulls) {
+  // The imperative guard `r.v > m` is unknown for NULL and never
+  // fires; SQL MAX skips NULLs. Both sides must agree.
+  MakeT({{0, nullptr, "a"}, {1, "7", "b"}, {2, nullptr, "c"}});
+  constexpr const char* kMax =
+      "func f() {\n"
+      "  m = 0;\n"
+      "  rows = executeQuery(\"SELECT * FROM t AS r\");\n"
+      "  for (r : rows) {\n"
+      "    if (r.v > m) { m = r.v; }\n"
+      "  }\n"
+      "  return m;\n"
+      "}\n";
+  EXPECT_EQ(CheckEquivalent(kMax), "7");
+}
+
+TEST_F(NullSemanticsTest, CountOverEmptyTableIsZero) {
+  MakeT({});
+  constexpr const char* kCount =
+      "func f() {\n"
+      "  n = 0;\n"
+      "  rows = executeQuery(\"SELECT * FROM t AS r\");\n"
+      "  for (r : rows) {\n"
+      "    n = n + 1;\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n";
+  EXPECT_EQ(CheckEquivalent(kCount), "0");
+}
+
+TEST_F(NullSemanticsTest, SumOverEmptyTableKeepsNonIdentityInit) {
+  // T6: SUM of zero rows is NULL in SQL; the rewrite must fall back to
+  // the imperative init 41, not NULL and not 0.
+  MakeT({});
+  constexpr const char* kSum =
+      "func f() {\n"
+      "  s = 41;\n"
+      "  rows = executeQuery(\"SELECT * FROM t AS r\");\n"
+      "  for (r : rows) {\n"
+      "    s = s + r.id;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n";
+  EXPECT_EQ(CheckEquivalent(kSum), "41");
+}
+
+TEST_F(NullSemanticsTest, MaxInitDominatesAllRows) {
+  // T6 with MAX: every value is below the init, so the init wins.
+  MakeT({{0, "-9", "a"}, {1, "-4", "b"}});
+  constexpr const char* kMax =
+      "func f() {\n"
+      "  m = 100;\n"
+      "  rows = executeQuery(\"SELECT * FROM t AS r\");\n"
+      "  for (r : rows) {\n"
+      "    if (r.v > m) { m = r.v; }\n"
+      "  }\n"
+      "  return m;\n"
+      "}\n";
+  EXPECT_EQ(CheckEquivalent(kMax), "100");
+}
+
+TEST_F(NullSemanticsTest, ExistsOverEmptyTableIsFalse) {
+  MakeT({});
+  constexpr const char* kExists =
+      "func f() {\n"
+      "  found = false;\n"
+      "  rows = executeQuery(\"SELECT * FROM t AS r\");\n"
+      "  for (r : rows) {\n"
+      "    if (r.v > 10) { found = true; }\n"
+      "  }\n"
+      "  return found;\n"
+      "}\n";
+  EXPECT_EQ(CheckEquivalent(kExists), "FALSE");
+}
+
+TEST_F(NullSemanticsTest, GroupByCountNonIdentityInitAllGroups) {
+  // The init (3) adds to every group — including groups whose inner
+  // loop matched nothing — not only NULL-padded empty groups.
+  auto dim = *db_.CreateTable("d", Schema({{"id", DataType::kInt64},
+                                           {"tag", DataType::kString}}));
+  ASSERT_TRUE(dim->Insert({Value::Int(0), Value::String("g0")}).ok());
+  ASSERT_TRUE(dim->Insert({Value::Int(1), Value::String("g1")}).ok());
+  ASSERT_TRUE(dim->DeclareUniqueKey("id").ok());
+  auto fact = *db_.CreateTable("t", Schema({{"id", DataType::kInt64},
+                                            {"fk", DataType::kInt64},
+                                            {"v", DataType::kInt64}}));
+  ASSERT_TRUE(
+      fact->Insert({Value::Int(0), Value::Int(0), Value::Int(99)}).ok());
+  ASSERT_TRUE(fact->DeclareUniqueKey("id").ok());
+  constexpr const char* kGroupCount =
+      "func f() {\n"
+      "  out = list();\n"
+      "  ds = executeQuery(\"SELECT * FROM d AS g\");\n"
+      "  for (g : ds) {\n"
+      "    n = 3;\n"
+      "    ms = executeQuery(\"SELECT * FROM t AS m WHERE m.fk = ?\", g.id);\n"
+      "    for (m : ms) {\n"
+      "      n = n + 1;\n"
+      "    }\n"
+      "    out.append(pair(g.tag, n));\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  // g0 has one matching row (3 + 1), g1 none (3 + 0).
+  EXPECT_EQ(CheckEquivalent(kGroupCount), "[(g0, 4), (g1, 3)]");
+}
+
+}  // namespace
+}  // namespace eqsql::core

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
 #include "core/optimizer.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
@@ -20,13 +21,6 @@ namespace {
 using catalog::DataType;
 using catalog::Schema;
 using catalog::Value;
-
-uint64_t Mix(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 /// One generated scenario: a program pattern instantiated with a
 /// comparison operator and constant, against seeded data.
@@ -107,7 +101,7 @@ TEST_P(EquivalenceSweep, RewritePreservesSemantics) {
     ASSERT_TRUE(table
                     ->Insert({Value::Int(i),
                               Value::Int(static_cast<int64_t>(
-                                  Mix(param.seed + i) % 100)),
+                                  SplitMix64(param.seed + i) % 100)),
                               Value::String("n" + std::to_string(i))})
                     .ok());
   }

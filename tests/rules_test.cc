@@ -245,11 +245,14 @@ TEST_F(RulesTest, T52GroupByIdentification) {
   )");
   ASSERT_NE(out, nullptr);
   EXPECT_TRUE(Applied("T5.2")) << out->ToString();
+  // The fold init (0) participates in every group, not just empty ones:
+  // a role whose scores are all negative keeps best = 0 imperatively,
+  // so the extracted SQL must clamp with GREATEST (T6 composition).
   EXPECT_EQ(Sql(out),
             "SELECT r.name AS name, CASE WHEN (MAX(u.score) IS NULL) THEN 0 "
-            "ELSE MAX(u.score) END AS agg FROM role AS r LEFT OUTER JOIN "
-            "wuser AS u ON (u.role_id = r.id) GROUP BY r.id, r.name "
-            "ORDER BY r.id");
+            "ELSE GREATEST(0, MAX(u.score)) END AS agg FROM role AS r "
+            "LEFT OUTER JOIN wuser AS u ON (u.role_id = r.id) "
+            "GROUP BY r.id, r.name ORDER BY r.id");
 }
 
 TEST_F(RulesTest, T52SumAndCount) {
