@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: clean build + full test suite, then the bounded
-# differential-fuzz sweep again under ASan+UBSan. Usage: scripts/verify.sh
-# (run from anywhere; builds land in build/ and build-asan/).
+# Tier-1 verification: clean build + full test suite, the bounded
+# differential-fuzz sweep again under ASan+UBSan, and the concurrency
+# stress suite + a bounded fuzz sweep under TSan. Usage: scripts/verify.sh
+# (run from anywhere; builds land in build/, build-asan/, build-tsan/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,14 @@ cmake --build build-asan -j"$(nproc)" --target fuzz_test fuzz_eqsql \
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
   -R 'Fuzz|SqlRoundTrip|NullSemantics'
 ./build-asan/src/fuzz/fuzz_eqsql --seed 99 --iters 100 \
+  --corpus tests/fuzz_corpus
+
+echo "== sanitizers: TSan concurrency stress + bounded fuzz sweep =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'PlanCache|ConnectionOwnership|ServerStress'
+./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 
 echo "verify.sh: all green"

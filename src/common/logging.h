@@ -26,4 +26,17 @@
     }                                                                      \
   } while (0)
 
+/// Debug-build-only invariant check (compiled out under NDEBUG, i.e. in
+/// the default RelWithDebInfo preset; active in the Debug-based tsan
+/// preset). For ownership/threading contracts whose violation is a
+/// programming error but whose runtime check should not tax release
+/// hot paths.
+#ifdef NDEBUG
+#define EQSQL_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#else
+#define EQSQL_DCHECK(cond, msg) EQSQL_CHECK_MSG(cond, msg)
+#endif
+
 #endif  // EQSQL_COMMON_LOGGING_H_

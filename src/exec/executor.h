@@ -56,6 +56,16 @@ class EvalContext {
 ///
 /// Joins with extractable equi-conjuncts use hash join; everything else
 /// is a (predicated) nested loop.
+///
+/// Shared-read contract: execution touches the database exclusively
+/// through `const storage::Database*` / `const storage::Table*` — no
+/// execution path mutates storage, so any number of Executors may run
+/// concurrently against one Database provided writers are excluded
+/// (net::Connection holds the database's data lock shared around every
+/// Execute). Plans are shared_ptr<const RaNode> and are never mutated
+/// during execution, so one cached plan may be executed by many
+/// sessions at once. One Executor instance itself is single-threaded:
+/// rows_processed_ is per-run scratch.
 class Executor {
  public:
   explicit Executor(const storage::Database* db) : db_(db) {}

@@ -1,5 +1,6 @@
 #include "fuzz/program_gen.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace eqsql::fuzz {
@@ -20,6 +21,8 @@ const char* FamilyName(Family f) {
     case Family::kBreak: return "break";
     case Family::kPartial: return "partial";
     case Family::kMultiAgg: return "multi_agg";
+    case Family::kConcat: return "concat";
+    case Family::kCorrExists: return "corr_exists";
   }
   return "?";
 }
@@ -27,9 +30,10 @@ const char* FamilyName(Family f) {
 namespace {
 
 std::vector<int> Weights(const GenOptions& o) {
-  return {o.w_filter_collect, o.w_scalar_agg, o.w_maxmin, o.w_exists,
-          o.w_join,           o.w_groupby,    o.w_argmax, o.w_apply,
-          o.w_print,          o.w_break,      o.w_partial, o.w_multi};
+  return {o.w_filter_collect, o.w_scalar_agg, o.w_maxmin,  o.w_exists,
+          o.w_join,           o.w_groupby,    o.w_argmax,  o.w_apply,
+          o.w_print,          o.w_break,      o.w_partial, o.w_multi,
+          o.w_concat,         o.w_corr_exists};
 }
 
 constexpr Family kFamilies[] = {
@@ -37,13 +41,56 @@ constexpr Family kFamilies[] = {
     Family::kExists,        Family::kJoin,      Family::kGroupBy,
     Family::kArgmax,        Family::kApply,     Family::kPrint,
     Family::kBreak,         Family::kPartial,   Family::kMultiAgg,
+    Family::kConcat,        Family::kCorrExists,
 };
 
 bool NeedsDim(Family f) {
-  return f == Family::kJoin || f == Family::kGroupBy || f == Family::kApply;
+  return f == Family::kJoin || f == Family::kGroupBy ||
+         f == Family::kApply || f == Family::kCorrExists;
 }
 
-/// The dimension table: t1(id key, u, tag).
+/// One string column's value domain ("<prefix>0" .. "<prefix>k").
+struct StrCol {
+  std::string name;
+  std::string prefix;
+  int64_t distinct = 6;
+};
+
+/// The fact table's randomized column roster. Columns are grouped by
+/// the semantic role the renderers need:
+///  * notnull_ints — arithmetic fold targets. Imperative `s = s + r.x`
+///    poisons the sum with NULL while SQL's SUM skips NULLs, so folds
+///    must accumulate NOT NULL columns to be equivalence-comparable
+///    (mirrors the paper's Java ints, which cannot be null).
+///  * nullable_ints — predicate / max-min material, where NULL handling
+///    differences between ImpLang and SQL are exactly what the oracle
+///    should probe.
+///  * strings — equality predicates, projections, string folds.
+struct FactShape {
+  std::vector<std::string> notnull_ints;
+  std::vector<std::string> nullable_ints;
+  std::vector<StrCol> strings;
+  bool has_key = true;
+};
+
+FactShape MakeFactShape(Rng* rng) {
+  FactShape shape;
+  // Anchor columns keep hand-reading easy; extras randomize the width.
+  shape.notnull_ints.push_back("w");
+  for (int i = 2, n = static_cast<int>(rng->Range(1, 3)); i <= n; ++i) {
+    shape.notnull_ints.push_back("w" + std::to_string(i));
+  }
+  shape.nullable_ints.push_back("v");
+  if (rng->Percent(35)) shape.nullable_ints.push_back("v2");
+  shape.strings.push_back({"name", "n", rng->Range(3, 8)});
+  if (rng->Percent(30)) {
+    shape.strings.push_back({"label", "L", rng->Range(2, 5)});
+  }
+  shape.has_key = !rng->Percent(6);
+  return shape;
+}
+
+/// The dimension table: t1(id key, u, tag [, z...]).
 TableSpec MakeDim(Rng* rng, const DataOptions& data) {
   TableSpec spec;
   spec.name = "t1";
@@ -53,11 +100,18 @@ TableSpec MakeDim(Rng* rng, const DataOptions& data) {
   cols[0].kind = ColumnGen::Kind::kSequential;
   cols[1].column = {"u", DataType::kInt64};
   cols[1].lo = 0;
-  cols[1].hi = 30;
+  cols[1].hi = rng->Range(10, 40);
   cols[2].column = {"tag", DataType::kString};
   cols[2].kind = ColumnGen::Kind::kString;
   cols[2].prefix = "g";
-  cols[2].distinct = 4;
+  cols[2].distinct = rng->Range(3, 6);
+  if (rng->Percent(25)) {  // shape-only padding the programs never read
+    ColumnGen pad;
+    pad.column = {"z", DataType::kInt64};
+    pad.lo = -5;
+    pad.hi = 5;
+    cols.push_back(pad);
+  }
   // Dimensions stay small so joins/group-bys see many-to-one fan-in.
   DataOptions dim_data = data;
   dim_data.max_rows = std::max(2, data.max_rows / 6);
@@ -65,48 +119,82 @@ TableSpec MakeDim(Rng* rng, const DataOptions& data) {
   return spec;
 }
 
-/// The fact table: t0(id key, fk, v, w, name). `v` (and sometimes
-/// `fk`) are nullable; `w` never is — imperative `s = s + r.v` poisons
-/// the sum with NULL while SQL's SUM skips NULLs, so arithmetic folds
-/// must accumulate a NOT NULL column to be equivalence-comparable
-/// (mirrors the paper's Java ints, which cannot be null).
-TableSpec MakeFact(Rng* rng, const DataOptions& data, int64_t dim_rows) {
+/// The fact table: t0(id [key], fk, <shape columns> [, pad]).
+TableSpec MakeFact(Rng* rng, const DataOptions& data, const FactShape& shape,
+                   int64_t dim_rows) {
   TableSpec spec;
   spec.name = "t0";
-  spec.unique_key = "id";
-  std::vector<ColumnGen> cols(5);
-  cols[0].column = {"id", DataType::kInt64};
-  cols[0].kind = ColumnGen::Kind::kSequential;
-  cols[1].column = {"fk", DataType::kInt64};
-  cols[1].lo = 0;
-  cols[1].hi = std::max<int64_t>(dim_rows + 1, 2);  // dangling refs too
-  cols[1].nullable = rng->Percent(25);
-  cols[2].column = {"v", DataType::kInt64};
-  cols[2].lo = -20;
-  cols[2].hi = 100;
-  cols[2].nullable = rng->Percent(60);
-  cols[3].column = {"w", DataType::kInt64};
-  cols[3].lo = 0;
-  cols[3].hi = 50;
-  cols[4].column = {"name", DataType::kString};
-  cols[4].kind = ColumnGen::Kind::kString;
-  cols[4].prefix = "n";
-  cols[4].distinct = 6;
+  spec.unique_key = shape.has_key ? "id" : "";
+  std::vector<ColumnGen> cols;
+  {
+    ColumnGen id;
+    id.column = {"id", DataType::kInt64};
+    id.kind = ColumnGen::Kind::kSequential;
+    cols.push_back(id);
+  }
+  {
+    ColumnGen fk;
+    fk.column = {"fk", DataType::kInt64};
+    fk.lo = 0;
+    fk.hi = std::max<int64_t>(dim_rows + 1, 2);  // dangling refs too
+    fk.nullable = rng->Percent(25);
+    cols.push_back(fk);
+  }
+  for (const std::string& name : shape.nullable_ints) {
+    ColumnGen c;
+    c.column = {name, DataType::kInt64};
+    c.lo = -20;
+    c.hi = 100;
+    c.nullable = rng->Percent(60);
+    cols.push_back(c);
+  }
+  for (const std::string& name : shape.notnull_ints) {
+    ColumnGen c;
+    c.column = {name, DataType::kInt64};
+    c.lo = 0;
+    c.hi = 50;
+    cols.push_back(c);
+  }
+  for (const StrCol& sc : shape.strings) {
+    ColumnGen c;
+    c.column = {sc.name, DataType::kString};
+    c.kind = ColumnGen::Kind::kString;
+    c.prefix = sc.prefix;
+    c.distinct = sc.distinct;
+    cols.push_back(c);
+  }
+  if (rng->Percent(20)) {  // padding column the program never touches
+    ColumnGen pad;
+    pad.column = {"pad", DataType::kInt64};
+    pad.lo = 0;
+    pad.hi = 9;
+    pad.nullable = rng->Percent(50);
+    cols.push_back(pad);
+  }
   GenerateRows(rng, data, cols, PickRowCount(rng, data), &spec);
   return spec;
 }
 
+/// A random integer value column of either nullability.
+const std::string& AnyIntCol(Rng* rng, const FactShape& shape) {
+  if (rng->Percent(55)) return rng->Pick(shape.nullable_ints);
+  return rng->Pick(shape.notnull_ints);
+}
+
 /// A random comparison over fact-table cursor `r`.
-std::string FactPredicate(Rng* rng, const std::string& r) {
+std::string FactPredicate(Rng* rng, const FactShape& shape,
+                          const std::string& r) {
   static const std::vector<std::string> ops = {">", "<", ">=",
                                                "<=", "==", "!="};
   auto atom = [&]() -> std::string {
     int roll = static_cast<int>(rng->Range(0, 9));
     if (roll < 2) {
-      return r + ".name " + (rng->Percent(50) ? "==" : "!=") + " \"n" +
-             std::to_string(rng->Range(0, 5)) + "\"";
+      const StrCol& sc = rng->Pick(shape.strings);
+      return r + "." + sc.name + " " + (rng->Percent(50) ? "==" : "!=") +
+             " \"" + sc.prefix + std::to_string(rng->Range(0, sc.distinct)) +
+             "\"";
     }
-    std::string col = roll < 6 ? "v" : "w";
+    const std::string& col = AnyIntCol(rng, shape);
     return r + "." + col + " " + rng->Pick(ops) + " " +
            std::to_string(rng->Range(-5, 105));
   };
@@ -121,15 +209,20 @@ std::string FactPredicate(Rng* rng, const std::string& r) {
 
 /// A random per-row projection over cursor `r`. Scalars only when
 /// `scalar_only` (set elements and print arguments).
-std::string FactProjection(Rng* rng, const std::string& r, bool scalar_only) {
+std::string FactProjection(Rng* rng, const FactShape& shape,
+                           const std::string& r, bool scalar_only) {
+  const std::string& str = shape.strings[0].name;
+  const std::string& nn = rng->Pick(shape.notnull_ints);
   int roll = static_cast<int>(rng->Range(0, scalar_only ? 4 : 5));
   switch (roll) {
-    case 0: return r + ".name";
-    case 1: return r + ".v";
-    case 2: return r + ".w";
-    case 3: return r + ".v + " + r + ".w";
-    case 4: return r + ".w * 2";
-    default: return "pair(" + r + ".name, " + r + ".v)";
+    case 0: return r + "." + str;
+    case 1: return r + "." + rng->Pick(shape.nullable_ints);
+    case 2: return r + "." + nn;
+    case 3: return r + "." + shape.nullable_ints[0] + " + " + r + "." + nn;
+    case 4: return r + "." + nn + " * 2";
+    default:
+      return "pair(" + r + "." + str + ", " + r + "." +
+             shape.nullable_ints[0] + ")";
   }
 }
 
@@ -146,37 +239,38 @@ std::string Scan(const std::string& handle, const std::string& alias,
 // --- family renderers ----------------------------------------------------
 // Each returns the body of `func f() { ... }` for its family.
 
-std::string GenFilterCollect(Rng* rng) {
+std::string GenFilterCollect(Rng* rng, const FactShape& shape) {
   bool use_set = rng->Percent(25);
   bool guarded = rng->Percent(80);
   std::string s = "  out = " + std::string(use_set ? "set()" : "list()") +
                   ";\n" + Scan("rows", "r", "t0");
   std::string append = std::string("out.") +
                        (use_set ? "insert" : "append") + "(" +
-                       FactProjection(rng, "r", use_set) + ");";
+                       FactProjection(rng, shape, "r", use_set) + ");";
   s += "  for (r : rows) {\n";
-  s += guarded ? Guarded(FactPredicate(rng, "r"), append)
+  s += guarded ? Guarded(FactPredicate(rng, shape, "r"), append)
                : "    " + append + "\n";
   s += "  }\n  return out;\n";
   return s;
 }
 
-std::string GenScalarAgg(Rng* rng) {
+std::string GenScalarAgg(Rng* rng, const FactShape& shape) {
   bool is_count = rng->Percent(40);
+  const std::string& col = rng->Pick(shape.notnull_ints);
   std::string init = std::to_string(rng->Range(-10, 10));
-  std::string update = is_count ? "s = s + 1;" : "s = s + r.w;";
+  std::string update = is_count ? "s = s + 1;" : "s = s + r." + col + ";";
   std::string s = "  s = " + init + ";\n" + Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
-  s += rng->Percent(80) ? Guarded(FactPredicate(rng, "r"), update)
+  s += rng->Percent(80) ? Guarded(FactPredicate(rng, shape, "r"), update)
                         : "    " + update + "\n";
   s += "  }\n  return s;\n";
   return s;
 }
 
-std::string GenMaxMin(Rng* rng) {
+std::string GenMaxMin(Rng* rng, const FactShape& shape) {
   bool is_max = rng->Percent(50);
   bool builtin = rng->Percent(40);
-  std::string col = rng->Percent(70) ? "v" : "w";
+  const std::string& col = AnyIntCol(rng, shape);
   std::string init = std::to_string(rng->Range(-30, 60));
   std::string s = "  m = " + init + ";\n" + Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
@@ -191,22 +285,23 @@ std::string GenMaxMin(Rng* rng) {
   return s;
 }
 
-std::string GenExists(Rng* rng) {
+std::string GenExists(Rng* rng, const FactShape& shape) {
   bool negated = rng->Percent(30);  // NOT EXISTS shape
   std::string s = "  found = " + std::string(negated ? "true" : "false") +
                   ";\n" + Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
-  s += Guarded(FactPredicate(rng, "r"),
+  s += Guarded(FactPredicate(rng, shape, "r"),
                negated ? "found = false;" : "found = true;");
   s += "  }\n  return found;\n";
   return s;
 }
 
-std::string GenJoin(Rng* rng) {
+std::string GenJoin(Rng* rng, const FactShape& shape) {
   std::string pred = "a.fk == b.id";
-  if (rng->Percent(40)) pred += " && " + FactPredicate(rng, "a");
-  std::string proj = rng->Percent(50) ? "pair(a.name, b.tag)"
-                                      : "pair(a.v, b.u)";
+  if (rng->Percent(40)) pred += " && " + FactPredicate(rng, shape, "a");
+  std::string proj = rng->Percent(50)
+                         ? "pair(a." + shape.strings[0].name + ", b.tag)"
+                         : "pair(a." + shape.nullable_ints[0] + ", b.u)";
   std::string s = "  out = list();\n" + Scan("as", "a", "t0") +
                   Scan("bs", "b", "t1");
   s += "  for (a : as) {\n    for (b : bs) {\n";
@@ -215,15 +310,17 @@ std::string GenJoin(Rng* rng) {
   return s;
 }
 
-std::string GenGroupBy(Rng* rng) {
+std::string GenGroupBy(Rng* rng, const FactShape& shape) {
   int kind = static_cast<int>(rng->Range(0, 2));  // sum / count / max
+  const std::string& nn = rng->Pick(shape.notnull_ints);
+  const std::string& nullable = shape.nullable_ints[0];
   std::string init = kind == 2 ? std::to_string(rng->Range(-10, 30))
                                : std::to_string(rng->Range(-5, 5));
-  std::string update = kind == 0   ? "agg = agg + m.w;"
+  std::string update = kind == 0   ? "agg = agg + m." + nn + ";"
                        : kind == 1 ? "agg = agg + 1;"
-                                   : "agg = m.v;";
-  std::string guard = kind == 2 ? "m.v > agg" : FactPredicate(rng, "m");
-  if (kind == 2) update = "agg = m.v;";
+                                   : "agg = m." + nullable + ";";
+  std::string guard = kind == 2 ? "m." + nullable + " > agg"
+                                : FactPredicate(rng, shape, "m");
   std::string s = "  out = list();\n" + Scan("ds", "d", "t1");
   s += "  for (d : ds) {\n";
   s += "    agg = " + init + ";\n";
@@ -237,86 +334,130 @@ std::string GenGroupBy(Rng* rng) {
   return s;
 }
 
-std::string GenArgmax(Rng* rng) {
+std::string GenArgmax(Rng* rng, const FactShape& shape) {
   bool is_max = rng->Percent(60);
-  std::string col = rng->Percent(70) ? "v" : "w";
+  const std::string& col = AnyIntCol(rng, shape);
+  const std::string& str = shape.strings[0].name;
   std::string init = std::to_string(rng->Range(-30, 40));
   std::string s = "  best = " + init + ";\n  who = \"none\";\n" +
                   Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
   s += "    if (r." + col + (is_max ? " > best" : " < best") +
-       ") { best = r." + col + "; who = r.name; }\n";
+       ") { best = r." + col + "; who = r." + str + "; }\n";
   s += "  }\n  return pair(who, best);\n";
   return s;
 }
 
-std::string GenApply(Rng* rng) {
+std::string GenApply(Rng* rng, const FactShape& shape) {
   bool collect = rng->Percent(50);
+  const std::string& str = shape.strings[0].name;
   std::string s = collect ? "  out = list();\n" : "";
   s += Scan("rows", "a", "t0");
   s += "  for (a : rows) {\n";
   s += "    aux = scalar(executeQuery(\"SELECT b.u AS u FROM t1 AS b WHERE "
        "b.id = ?\", a.fk));\n";
-  s += collect ? "    out.append(pair(a.name, aux));\n"
-               : "    print(pair(a.name, aux));\n";
+  s += collect ? "    out.append(pair(a." + str + ", aux));\n"
+               : "    print(pair(a." + str + ", aux));\n";
   s += "  }\n";
   if (collect) s += "  return out;\n";
   return s;
 }
 
-std::string GenPrint(Rng* rng) {
+std::string GenPrint(Rng* rng, const FactShape& shape) {
   std::string s = Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
-  s += Guarded(FactPredicate(rng, "r"),
-               "print(" + FactProjection(rng, "r", true) + ");");
+  s += Guarded(FactPredicate(rng, shape, "r"),
+               "print(" + FactProjection(rng, shape, "r", true) + ");");
   s += "  }\n";
   return s;
 }
 
-std::string GenBreak(Rng* rng) {
+std::string GenBreak(Rng* rng, const FactShape& shape) {
   std::string s = "  out = list();\n" + Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
-  s += Guarded(FactPredicate(rng, "r"), "break;");
-  s += "    out.append(r.name);\n";
+  s += Guarded(FactPredicate(rng, shape, "r"), "break;");
+  s += "    out.append(r." + shape.strings[0].name + ");\n";
   s += "  }\n  return out;\n";
   return s;
 }
 
-std::string GenPartial(Rng* rng) {
+std::string GenPartial(Rng* rng, const FactShape& shape) {
+  const std::string& col = rng->Pick(shape.notnull_ints);
   std::string s = "  s = 0;\n  d = " + std::to_string(rng->Range(0, 3)) +
                   ";\n" + Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
-  s += "    s = s + r.w;\n    d = d + s;\n";
+  s += "    s = s + r." + col + ";\n    d = d + s;\n";
   s += "  }\n  return pair(s, d);\n";
   return s;
 }
 
-std::string GenMultiAgg(Rng* rng) {
+std::string GenMultiAgg(Rng* rng, const FactShape& shape) {
+  const std::string& nullable = shape.nullable_ints[0];
   std::string init = std::to_string(rng->Range(-10, 20));
   std::string s = "  n = 0;\n  m = " + init + ";\n" +
                   Scan("rows", "r", "t0");
   s += "  for (r : rows) {\n";
-  s += Guarded(FactPredicate(rng, "r"), "n = n + 1;");
-  s += Guarded("r.v > m", "m = r.v;");
+  s += Guarded(FactPredicate(rng, shape, "r"), "n = n + 1;");
+  s += Guarded("r." + nullable + " > m", "m = r." + nullable + ";");
   s += "  }\n  return pair(n, m);\n";
   return s;
 }
 
-std::string Render(Family family, Rng* rng) {
+/// String aggregation: a concat fold over a string column, optionally
+/// guarded. No transformation rule targets string folds yet, so today
+/// this family pins the refusal path (the program must survive intact
+/// and equivalent); when a string_agg rule lands, the same family
+/// starts validating it with zero generator changes.
+std::string GenConcat(Rng* rng, const FactShape& shape) {
+  const StrCol& sc = rng->Pick(shape.strings);
+  bool guarded = rng->Percent(60);
+  std::string update = "s = concat(s, r." + sc.name + ");";
+  std::string s = "  s = \"\";\n" + Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += guarded ? Guarded(FactPredicate(rng, shape, "r"), update)
+               : "    " + update + "\n";
+  s += "  }\n  return s;\n";
+  return s;
+}
+
+/// Correlated EXISTS inside a predicate: an inner per-row query sets a
+/// flag that guards the collection — the imperative spelling of
+/// `WHERE EXISTS (SELECT .. FROM t1 b WHERE b.id = a.fk AND b.u > K)`.
+std::string GenCorrExists(Rng* rng, const FactShape& shape) {
+  bool negated = rng->Percent(25);
+  std::string inner_guard = "b.u " + std::string(rng->Percent(50) ? ">" : "<=") +
+                            " " + std::to_string(rng->Range(0, 30));
+  std::string s = "  out = list();\n" + Scan("as", "a", "t0");
+  s += "  for (a : as) {\n";
+  s += "    found = false;\n";
+  s += "    bs = executeQuery(\"SELECT * FROM t1 AS b WHERE b.id = ?\", "
+       "a.fk);\n";
+  s += "    for (b : bs) {\n";
+  s += "      if (" + inner_guard + ") { found = true; }\n";
+  s += "    }\n";
+  s += "    if (" + std::string(negated ? "!found" : "found") +
+       ") { out.append(a." + shape.strings[0].name + "); }\n";
+  s += "  }\n  return out;\n";
+  return s;
+}
+
+std::string Render(Family family, Rng* rng, const FactShape& shape) {
   std::string body;
   switch (family) {
-    case Family::kFilterCollect: body = GenFilterCollect(rng); break;
-    case Family::kScalarAgg: body = GenScalarAgg(rng); break;
-    case Family::kMaxMin: body = GenMaxMin(rng); break;
-    case Family::kExists: body = GenExists(rng); break;
-    case Family::kJoin: body = GenJoin(rng); break;
-    case Family::kGroupBy: body = GenGroupBy(rng); break;
-    case Family::kArgmax: body = GenArgmax(rng); break;
-    case Family::kApply: body = GenApply(rng); break;
-    case Family::kPrint: body = GenPrint(rng); break;
-    case Family::kBreak: body = GenBreak(rng); break;
-    case Family::kPartial: body = GenPartial(rng); break;
-    case Family::kMultiAgg: body = GenMultiAgg(rng); break;
+    case Family::kFilterCollect: body = GenFilterCollect(rng, shape); break;
+    case Family::kScalarAgg: body = GenScalarAgg(rng, shape); break;
+    case Family::kMaxMin: body = GenMaxMin(rng, shape); break;
+    case Family::kExists: body = GenExists(rng, shape); break;
+    case Family::kJoin: body = GenJoin(rng, shape); break;
+    case Family::kGroupBy: body = GenGroupBy(rng, shape); break;
+    case Family::kArgmax: body = GenArgmax(rng, shape); break;
+    case Family::kApply: body = GenApply(rng, shape); break;
+    case Family::kPrint: body = GenPrint(rng, shape); break;
+    case Family::kBreak: body = GenBreak(rng, shape); break;
+    case Family::kPartial: body = GenPartial(rng, shape); break;
+    case Family::kMultiAgg: body = GenMultiAgg(rng, shape); break;
+    case Family::kConcat: body = GenConcat(rng, shape); break;
+    case Family::kCorrExists: body = GenCorrExists(rng, shape); break;
   }
   return "func f() {\n" + body + "}\n";
 }
@@ -331,6 +472,7 @@ Family FamilyForSeed(uint64_t seed, const GenOptions& opts) {
 FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
   Rng rng(seed);
   Family family = kFamilies[rng.PickWeighted(Weights(opts))];
+  FactShape shape = MakeFactShape(&rng);
 
   FuzzCase c;
   c.seed = seed;
@@ -342,8 +484,9 @@ FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
   }
   // t0 first in the file for readability; generation order stays
   // dim-then-fact so fk's domain can depend on the dim's size.
-  c.tables.insert(c.tables.begin(), MakeFact(&rng, opts.data, dim_rows));
-  c.source = Render(family, &rng);
+  c.tables.insert(c.tables.begin(),
+                  MakeFact(&rng, opts.data, shape, dim_rows));
+  c.source = Render(family, &rng, shape);
   return c;
 }
 

@@ -24,6 +24,8 @@ enum class Family {
   kBreak,          // early break: extraction must refuse, program intact
   kPartial,        // P2 violation: partial optimization path
   kMultiAgg,       // two accumulators over one loop
+  kConcat,         // string aggregation fold: s = concat(s, r.<str>)
+  kCorrExists,     // correlated EXISTS flag feeding a later predicate
 };
 
 const char* FamilyName(Family f);
@@ -45,10 +47,16 @@ struct GenOptions {
   int w_break = 4;
   int w_partial = 4;
   int w_multi = 6;
+  int w_concat = 5;
+  int w_corr_exists = 6;
 };
 
 /// Generates one self-contained scenario from `seed`: random schemas
-/// and data plus a random ImpLang cursor-loop program over them.
+/// and data plus a random ImpLang cursor-loop program over them. Table
+/// *shapes* are random too — the fact table carries 1-3 NOT NULL value
+/// columns, 1-2 nullable value columns, 1-2 string columns, sometimes
+/// padding columns the program never touches, and (rarely) no declared
+/// unique key, which exercises the key-requiring rules' refusal paths.
 /// Bit-deterministic: equal seeds and options yield equal cases.
 FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts = {});
 

@@ -115,6 +115,183 @@ int CountStmts(const std::vector<StmtPtr>& body) {
   return n;
 }
 
+// --- expression-level edits ----------------------------------------------
+// Statement edits leave expression innards untouched: a failing case can
+// still carry a magic constant like `s = 37` or a predicate atom buried
+// in an assignment RHS. These edits enumerate every expression node
+// (depth-first across all statements of the function) and try the
+// canonical simplifications on one node at a time.
+
+enum class ExprEditKind {
+  kConstToZero,  // integer literal -> 0
+  kConstToOne,   // integer literal -> 1
+  kKeepLeft,     // a && b / a || b -> a   (atom deletion, any depth)
+  kKeepRight,    //                 -> b
+};
+
+constexpr ExprEditKind kAllExprEdits[] = {
+    ExprEditKind::kConstToZero, ExprEditKind::kConstToOne,
+    ExprEditKind::kKeepLeft, ExprEditKind::kKeepRight};
+
+struct ExprEditState {
+  int target = 0;  // expression index (depth-first) the edit applies to
+  ExprEditKind kind = ExprEditKind::kConstToZero;
+  int next = 0;  // running expression counter
+  bool applied = false;
+};
+
+using frontend::ExprPtr;
+
+ExprPtr RebuildExpr(const ExprPtr& e, ExprEditState* st) {
+  if (e == nullptr) return e;
+  int idx = st->next++;
+  if (idx == st->target) {
+    switch (st->kind) {
+      case ExprEditKind::kConstToZero:
+        if (e->kind() == ExprKind::kIntLit && e->int_value() != 0) {
+          st->applied = true;
+          return Expr::IntLit(0);
+        }
+        break;
+      case ExprEditKind::kConstToOne:
+        if (e->kind() == ExprKind::kIntLit && e->int_value() != 1) {
+          st->applied = true;
+          return Expr::IntLit(1);
+        }
+        break;
+      case ExprEditKind::kKeepLeft:
+      case ExprEditKind::kKeepRight:
+        if (e->kind() == ExprKind::kBinary &&
+            (e->bin_op() == BinOp::kAnd || e->bin_op() == BinOp::kOr)) {
+          st->applied = true;
+          // The kept side's subtree is not re-numbered: the candidate is
+          // evaluated as a whole and the next round re-enumerates.
+          return e->arg(st->kind == ExprEditKind::kKeepLeft ? 0 : 1);
+        }
+        break;
+    }
+    // Edit does not fit this node's kind; fall through unchanged
+    // (st->applied stays false, the caller discards the candidate).
+  }
+  switch (e->kind()) {
+    case ExprKind::kUnary:
+      return Expr::Unary(e->un_op(), RebuildExpr(e->arg(0), st));
+    case ExprKind::kBinary: {
+      // Children are rebuilt in sequenced statements (not inline call
+      // arguments) so the depth-first numbering is left-to-right on
+      // every compiler.
+      ExprPtr lhs = RebuildExpr(e->arg(0), st);
+      ExprPtr rhs = RebuildExpr(e->arg(1), st);
+      return Expr::Binary(e->bin_op(), std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kTernary: {
+      ExprPtr cond = RebuildExpr(e->arg(0), st);
+      ExprPtr then_e = RebuildExpr(e->arg(1), st);
+      ExprPtr else_e = RebuildExpr(e->arg(2), st);
+      return Expr::Ternary(std::move(cond), std::move(then_e),
+                           std::move(else_e));
+    }
+    case ExprKind::kFieldAccess:
+      return Expr::FieldAccess(RebuildExpr(e->object(), st), e->name());
+    case ExprKind::kCall: {
+      std::vector<ExprPtr> args;
+      args.reserve(e->args().size());
+      for (const ExprPtr& a : e->args()) args.push_back(RebuildExpr(a, st));
+      return Expr::Call(e->name(), std::move(args));
+    }
+    case ExprKind::kMethodCall: {
+      ExprPtr object = RebuildExpr(e->object(), st);
+      std::vector<ExprPtr> args;
+      args.reserve(e->args().size());
+      for (const ExprPtr& a : e->args()) args.push_back(RebuildExpr(a, st));
+      return Expr::MethodCall(std::move(object), e->name(), std::move(args));
+    }
+    default:
+      return e;  // leaves: literals, var refs
+  }
+}
+
+std::vector<StmtPtr> RebuildBodyExprs(const std::vector<StmtPtr>& body,
+                                      ExprEditState* st) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const StmtPtr& s : body) {
+    switch (s->kind()) {
+      case StmtKind::kAssign:
+        out.push_back(Stmt::Assign(s->target(), RebuildExpr(s->expr(), st)));
+        break;
+      case StmtKind::kExprStmt:
+        out.push_back(Stmt::ExprStmt(RebuildExpr(s->expr(), st)));
+        break;
+      case StmtKind::kIf: {
+        ExprPtr cond = RebuildExpr(s->expr(), st);
+        std::vector<StmtPtr> then_body = RebuildBodyExprs(s->body(), st);
+        std::vector<StmtPtr> else_body = RebuildBodyExprs(s->else_body(), st);
+        out.push_back(Stmt::If(std::move(cond), std::move(then_body),
+                               std::move(else_body)));
+        break;
+      }
+      case StmtKind::kForEach: {
+        ExprPtr iterable = RebuildExpr(s->expr(), st);
+        std::vector<StmtPtr> loop_body = RebuildBodyExprs(s->body(), st);
+        out.push_back(Stmt::ForEach(s->target(), std::move(iterable),
+                                    std::move(loop_body)));
+        break;
+      }
+      case StmtKind::kWhile: {
+        ExprPtr cond = RebuildExpr(s->expr(), st);
+        std::vector<StmtPtr> loop_body = RebuildBodyExprs(s->body(), st);
+        out.push_back(Stmt::While(std::move(cond), std::move(loop_body)));
+        break;
+      }
+      case StmtKind::kReturn:
+        out.push_back(Stmt::Return(RebuildExpr(s->expr(), st)));
+        break;
+      case StmtKind::kPrint:
+        out.push_back(Stmt::Print(RebuildExpr(s->expr(), st)));
+        break;
+      case StmtKind::kBreak:
+        out.push_back(s);
+        break;
+    }
+  }
+  return out;
+}
+
+int CountExprsIn(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  int n = 1;
+  if (e->object() != nullptr) n += CountExprsIn(e->object());
+  for (const ExprPtr& a : e->args()) n += CountExprsIn(a);
+  return n;
+}
+
+int CountExprs(const std::vector<StmtPtr>& body) {
+  int n = 0;
+  for (const StmtPtr& s : body) {
+    n += CountExprsIn(s->expr()) + CountExprs(s->body()) +
+         CountExprs(s->else_body());
+  }
+  return n;
+}
+
+/// The candidate source with one expression edit applied, or nullopt
+/// when the edit is inapplicable at `target`.
+std::optional<std::string> ApplyExprEdit(const frontend::Program& program,
+                                         const std::string& function,
+                                         int target, ExprEditKind kind) {
+  frontend::Program candidate = program;
+  ExprEditState st;
+  st.target = target;
+  st.kind = kind;
+  for (frontend::Function& f : candidate.functions) {
+    if (f.name != function) continue;
+    f.body = RebuildBodyExprs(f.body, &st);
+  }
+  if (!st.applied) return std::nullopt;
+  return candidate.ToString();
+}
+
 /// The candidate program source with one edit applied, or nullopt when
 /// the edit is inapplicable.
 std::optional<std::string> ApplyEdit(const frontend::Program& program,
@@ -147,6 +324,7 @@ class Shrinker {
       if (ShrinkTables()) progress = true;
       if (ShrinkRows()) progress = true;
       if (ShrinkProgram()) progress = true;
+      if (ShrinkExprs()) progress = true;
     }
     ShrinkOutcome out;
     out.reduced = std::move(cur_);
@@ -228,6 +406,38 @@ class Shrinker {
           if (Try(std::move(candidate))) {
             progress = true;
             again = true;  // statement indices changed; re-enumerate
+            break;
+          }
+          if (!Budget()) return progress;
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// Expression pass: constants to 0/1, &&/|| atom deletion, at any
+  /// depth in any statement's expressions. Same re-enumeration scheme
+  /// as ShrinkProgram — accepting a candidate renumbers the nodes.
+  bool ShrinkExprs() {
+    bool progress = false;
+    bool again = true;
+    while (again && Budget()) {
+      again = false;
+      auto program = frontend::ParseProgram(cur_.source);
+      if (!program.ok()) return progress;
+      const frontend::Function* fn = program->Find(cur_.function);
+      if (fn == nullptr) return progress;
+      int n = CountExprs(fn->body);
+      for (int target = 0; target < n && !again; ++target) {
+        for (ExprEditKind kind : kAllExprEdits) {
+          std::optional<std::string> src =
+              ApplyExprEdit(*program, cur_.function, target, kind);
+          if (!src.has_value()) continue;
+          FuzzCase candidate = cur_;
+          candidate.source = std::move(*src);
+          if (Try(std::move(candidate))) {
+            progress = true;
+            again = true;
             break;
           }
           if (!Budget()) return progress;

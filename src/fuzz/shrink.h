@@ -27,7 +27,11 @@ struct ShrinkOutcome {
 ///  1. drop whole tables the program no longer needs,
 ///  2. delete row chunks, then single rows, from every table (ddmin),
 ///  3. delete statements / unwrap conditionals / split && and ||
-///     conditions in the program source.
+///     conditions in the program source,
+///  4. simplify expressions: integer constants collapse to 0 then 1,
+///     and &&/|| predicate atoms are deleted at any nesting depth
+///     (inside assignments, returns, and ternaries — not just
+///     top-level if conditions, which pass 3 already covers).
 /// Repeats to fixpoint. `failing` must currently fail under `oopts`
 /// (IsViolation(RunOracle(...))); the result is the smallest failing
 /// case found, suitable for the corpus.

@@ -1,12 +1,22 @@
 #include "net/connection.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "sql/parser.h"
 
 namespace eqsql::net {
 
 Result<exec::ResultSet> Connection::ExecuteQuery(
     const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
-  EQSQL_ASSIGN_OR_RETURN(exec::ResultSet rs, executor_.Execute(plan, params));
+  DebugCheckThreadOwner();
+  Result<exec::ResultSet> executed = [&] {
+    // Readers scale: concurrent sessions execute under shared locks and
+    // only DML / temp-table churn excludes them.
+    std::shared_lock<std::shared_mutex> read_lock(db_->data_mutex());
+    return executor_.Execute(plan, params);
+  }();
+  EQSQL_ASSIGN_OR_RETURN(exec::ResultSet rs, std::move(executed));
 
   // Request bytes: plan text stands in for the SQL string, plus bound
   // parameter payload.
@@ -50,6 +60,7 @@ Result<exec::ResultSet> Connection::ExecuteSql(
 }
 
 void Connection::SimulateUpdate(std::string_view sql) {
+  DebugCheckThreadOwner();
   ++stats_.queries_executed;
   ++stats_.round_trips;
   stats_.bytes_transferred += static_cast<int64_t>(sql.size());
@@ -61,13 +72,19 @@ void Connection::SimulateUpdate(std::string_view sql) {
 Status Connection::CreateTempTable(const std::string& name,
                                    catalog::Schema schema,
                                    std::vector<catalog::Row> rows) {
-  if (db_->HasTable(name)) db_->DropTable(name);
-  EQSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                         db_->CreateTable(name, std::move(schema)));
+  DebugCheckThreadOwner();
   size_t upload_bytes = 0;
-  for (catalog::Row& row : rows) {
-    upload_bytes += catalog::RowWireSize(row);
-    EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  {
+    // Registering and loading the table must exclude every reader: the
+    // table is globally visible the moment CreateTable registers it.
+    std::unique_lock<std::shared_mutex> write_lock(db_->data_mutex());
+    if (db_->HasTable(name)) db_->DropTable(name);
+    EQSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                           db_->CreateTable(name, std::move(schema)));
+    for (catalog::Row& row : rows) {
+      upload_bytes += catalog::RowWireSize(row);
+      EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
   }
   ++stats_.round_trips;
   stats_.bytes_transferred += static_cast<int64_t>(upload_bytes);
@@ -78,6 +95,7 @@ Status Connection::CreateTempTable(const std::string& name,
 }
 
 void Connection::DropTempTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> write_lock(db_->data_mutex());
   db_->DropTable(name);
 }
 

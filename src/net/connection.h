@@ -3,8 +3,10 @@
 
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/result.h"
 #include "exec/executor.h"
 #include "net/cost_model.h"
@@ -28,6 +30,16 @@ struct QueryTrace {
 /// the connection charges the CostModel onto a simulated clock and
 /// counts round trips / bytes, which is what the benchmark harness
 /// reports for Figures 8-11.
+///
+/// Sharing model: many connections may target one storage::Database
+/// concurrently — queries take the database's data lock shared, DML /
+/// temp-table churn takes it exclusive. One Connection itself is owned
+/// by a single thread at a time: its stats_ and trace_ accumulators are
+/// deliberately unsynchronized (they are per-session counters, and
+/// making them atomic would still leave torn multi-field reads). The
+/// owning thread is latched on first use and debug-asserted on every
+/// stats-mutating call; hand a connection to another thread only after
+/// ReleaseThreadOwnership().
 class Connection {
  public:
   explicit Connection(storage::Database* db, CostModel model = CostModel())
@@ -36,7 +48,8 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Executes a relational-algebra plan with bound parameters.
+  /// Executes a relational-algebra plan with bound parameters, holding
+  /// the database's data lock shared for the duration.
   Result<exec::ResultSet> ExecuteQuery(
       const ra::RaNodePtr& plan,
       const std::vector<catalog::Value>& params = {});
@@ -56,6 +69,7 @@ class Connection {
   /// Charges client-side computation (interpreted statements executed
   /// by the application) onto the simulated clock.
   void ChargeClientOps(int64_t ops) {
+    DebugCheckThreadOwner();
     stats_.simulated_ms +=
         model_.client_cost_per_op_ms * static_cast<double>(ops);
   }
@@ -67,11 +81,14 @@ class Connection {
 
   /// Creates a server-side temporary table and loads `rows` into it,
   /// charging batching's parameter-table overhead plus upload transfer.
-  /// Used by the batching baseline [11].
+  /// Holds the data lock exclusive while loading (the table is visible
+  /// to every session the moment it is registered). Used by the
+  /// batching baseline [11].
   Status CreateTempTable(const std::string& name, catalog::Schema schema,
                          std::vector<catalog::Row> rows);
 
-  /// Drops a temporary table (no charge; piggybacks on the next query).
+  /// Drops a temporary table under the exclusive data lock (no charge;
+  /// piggybacks on the next query).
   void DropTempTable(const std::string& name);
 
   const ConnectionStats& stats() const { return stats_; }
@@ -83,10 +100,32 @@ class Connection {
   const std::vector<QueryTrace>& trace() const { return trace_; }
   void ClearTrace() { trace_.clear(); }
 
+  /// Clears the latched owner thread so a *quiesced* connection can be
+  /// handed to another thread (e.g. created on a main thread, used on a
+  /// worker). Calling this while another thread still uses the
+  /// connection is a race, not a transfer.
+  void ReleaseThreadOwnership() { owner_thread_ = std::thread::id(); }
+
+  /// The thread id latched by the first stats-mutating call since
+  /// construction / ReleaseThreadOwnership (default id if none yet).
+  std::thread::id owner_thread() const { return owner_thread_; }
+
   storage::Database* db() { return db_; }
   const CostModel& cost_model() const { return model_; }
 
  private:
+  /// Latches the calling thread as owner on first use; asserts (debug
+  /// builds) that every later stats-mutating call is from that thread.
+  void DebugCheckThreadOwner() {
+    if (owner_thread_ == std::thread::id()) {
+      owner_thread_ = std::this_thread::get_id();
+      return;
+    }
+    EQSQL_DCHECK(owner_thread_ == std::this_thread::get_id(),
+                 "net::Connection used from two threads without "
+                 "ReleaseThreadOwnership()");
+  }
+
   storage::Database* db_;
   CostModel model_;
   exec::Executor executor_;
@@ -96,6 +135,7 @@ class Connection {
   bool trace_enabled_ = false;
   std::string pending_sql_;  // set by ExecuteSql for the trace entry
   std::vector<QueryTrace> trace_;
+  std::thread::id owner_thread_;  // default id = not yet latched
 };
 
 }  // namespace eqsql::net

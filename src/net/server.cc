@@ -1,0 +1,60 @@
+#include "net/server.h"
+
+#include <algorithm>
+
+namespace eqsql::net {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity) {}
+
+std::unique_ptr<Session> Server::Connect() {
+  int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ++sessions_opened_;
+  }
+  return std::unique_ptr<Session>(new Session(this, id));
+}
+
+void Server::CloseSession(const ConnectionStats& session_stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sessions_closed_;
+  totals_.queries_executed += session_stats.queries_executed;
+  totals_.round_trips += session_stats.round_trips;
+  totals_.rows_transferred += session_stats.rows_transferred;
+  totals_.bytes_transferred += session_stats.bytes_transferred;
+  totals_.simulated_ms += session_stats.simulated_ms;
+  max_session_simulated_ms_ =
+      std::max(max_session_simulated_ms_, session_stats.simulated_ms);
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.sessions_opened = sessions_opened_;
+    out.sessions_closed = sessions_closed_;
+    out.totals = totals_;
+    out.max_session_simulated_ms = max_session_simulated_ms_;
+  }
+  out.plan_cache = plan_cache_.stats();
+  return out;
+}
+
+Session::~Session() { server_->CloseSession(conn_.stats()); }
+
+Result<exec::ResultSet> Session::ExecuteSql(
+    std::string_view sql, const std::vector<catalog::Value>& params) {
+  EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan,
+                         server_->plan_cache_.GetOrParseSql(sql));
+  return conn_.ExecuteQuery(plan, params);
+}
+
+Result<std::shared_ptr<const core::OptimizeResult>> Session::OptimizeCached(
+    const std::string& source, const std::string& function) {
+  return server_->plan_cache_.GetOrOptimize(source, function,
+                                            server_->options_.optimize);
+}
+
+}  // namespace eqsql::net

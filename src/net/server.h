@@ -1,0 +1,136 @@
+#ifndef EQSQL_NET_SERVER_H_
+#define EQSQL_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/optimizer.h"
+#include "core/plan_cache.h"
+#include "net/connection.h"
+#include "net/cost_model.h"
+#include "storage/database.h"
+
+namespace eqsql::net {
+
+class Session;
+
+struct ServerOptions {
+  /// Capacity of the shared plan/extraction cache (entries).
+  size_t plan_cache_capacity = 512;
+  /// Cost model handed to every session's connection.
+  CostModel cost_model;
+  /// Pipeline options used by Session::OptimizeCached. Part of the
+  /// cache key, so changing them between sessions is safe (entries
+  /// never alias across different options).
+  core::OptimizeOptions optimize;
+};
+
+/// Server-wide aggregate counters. Session stats fold in when a session
+/// closes (destructor), so a snapshot taken after workers join is
+/// exact; a snapshot taken mid-flight reports only closed sessions.
+struct ServerStats {
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  /// Sum of every closed session's ConnectionStats.
+  ConnectionStats totals;
+  /// Longest per-session simulated time among closed sessions. Sessions
+  /// simulate independent client links, so totals.simulated_ms is the
+  /// *serialized* cost of the work while max_session_simulated_ms is
+  /// the *concurrent* makespan — their ratio is the architectural
+  /// speedup the benchmark reports.
+  double max_session_simulated_ms = 0.0;
+  core::PlanCacheStats plan_cache;
+};
+
+/// A concurrent multi-session server: one shared storage::Database
+/// (reader-writer locked via Connection) plus one shared core::PlanCache
+/// that memoizes parse -> optimize -> extract across sessions.
+///
+/// Thread model: Connect() and stats() may be called from any thread.
+/// Each Session must be driven by one thread at a time (it wraps a
+/// Connection, which debug-asserts single-thread ownership); N sessions
+/// on N worker threads execute queries concurrently under shared locks.
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions());
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The shared database. Populate it before spawning workers, or from
+  /// workers via Connection's DML paths (which take the exclusive lock).
+  storage::Database* db() { return &db_; }
+
+  core::PlanCache* plan_cache() { return &plan_cache_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Opens a session against the shared database. The session may be
+  /// handed to a worker thread before first use; it folds its stats
+  /// back into the server when destroyed.
+  std::unique_ptr<Session> Connect();
+
+  /// Snapshot of the server-wide aggregates (closed sessions + cache).
+  ServerStats stats() const;
+
+ private:
+  friend class Session;
+
+  /// Folds a closing session's counters into the aggregate.
+  void CloseSession(const ConnectionStats& session_stats);
+
+  ServerOptions options_;
+  storage::Database db_;
+  core::PlanCache plan_cache_;
+
+  mutable std::mutex mu_;  // guards the aggregate counters below
+  int64_t sessions_opened_ = 0;
+  int64_t sessions_closed_ = 0;
+  ConnectionStats totals_;
+  double max_session_simulated_ms_ = 0.0;
+};
+
+/// One client session: a Connection to the server's shared database
+/// plus access to the shared plan cache. Single-threaded by contract
+/// (see Connection); open one session per worker thread.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int64_t id() const { return id_; }
+
+  /// Executes `sql`, resolving the plan through the shared cache:
+  /// repeated statement texts skip the SQL parser entirely.
+  Result<exec::ResultSet> ExecuteSql(
+      std::string_view sql, const std::vector<catalog::Value>& params = {});
+
+  /// Full extraction pipeline through the shared cache: repeated
+  /// (source, function) requests under the server's optimize options
+  /// skip parse, analysis, transformation, and rewriting.
+  Result<std::shared_ptr<const core::OptimizeResult>> OptimizeCached(
+      const std::string& source, const std::string& function);
+
+  /// The underlying connection, for callers that need the raw API
+  /// (interpreter runs, temp tables, tracing).
+  Connection* connection() { return &conn_; }
+  const ConnectionStats& stats() const { return conn_.stats(); }
+
+ private:
+  friend class Server;
+  Session(Server* server, int64_t id)
+      : server_(server), id_(id), conn_(&server->db_,
+                                        server->options_.cost_model) {}
+
+  Server* server_;
+  int64_t id_;
+  Connection conn_;
+};
+
+}  // namespace eqsql::net
+
+#endif  // EQSQL_NET_SERVER_H_

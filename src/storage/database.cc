@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include <mutex>
+
 #include "common/strings.h"
 
 namespace eqsql::storage {
@@ -7,6 +9,7 @@ namespace eqsql::storage {
 Result<Table*> Database::CreateTable(const std::string& name,
                                      catalog::Schema schema) {
   std::string key = AsciiToLower(name);
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (tables_.count(key) > 0) {
     return Status::InvalidArgument("table already exists: " + name);
   }
@@ -17,26 +20,31 @@ Result<Table*> Database::CreateTable(const std::string& name,
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = tables_.find(AsciiToLower(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return it->second.get();
 }
 
 Result<const Table*> Database::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = tables_.find(AsciiToLower(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return static_cast<const Table*>(it->second.get());
 }
 
 bool Database::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   return tables_.count(AsciiToLower(name)) > 0;
 }
 
 void Database::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   tables_.erase(AsciiToLower(name));
 }
 
 std::vector<std::string> Database::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,20 @@ namespace eqsql::storage {
 
 /// The server-side table registry. Table names are case-insensitive, as
 /// in MySQL's default configuration (the paper's evaluation server).
+///
+/// Concurrency discipline (two locks, registry lock always the leaf):
+///
+///  * The *registry* — the name → Table map — is internally
+///    synchronized: every method takes registry_mu_ (shared for
+///    lookups, exclusive for create/drop), so concurrent sessions may
+///    resolve tables at any time.
+///  * Table *contents* are NOT internally synchronized. Readers
+///    (query execution) must hold data_mutex() shared; writers
+///    (Table::Insert / Clear / DeclareUniqueKey, and any create/drop
+///    whose Table* escapes to other sessions, e.g. temp-table churn)
+///    must hold it exclusive. net::Connection acquires it on every
+///    query/DML path, so code going through connections is safe by
+///    construction; direct Table mutation is for single-threaded setup.
 class Database {
  public:
   Database() = default;
@@ -33,7 +48,19 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  /// The database-wide reader-writer lock over table *contents*.
+  /// Shared holders may read any table's rows; the exclusive holder may
+  /// mutate them (DML, temp-table load/drop). Acquired by net::
+  /// Connection around execution; exposed so batch setup code can take
+  /// one exclusive section around many direct Table writes.
+  std::shared_mutex& data_mutex() const { return data_mu_; }
+
  private:
+  /// Guards tables_ itself (leaf lock; never held while acquiring
+  /// data_mu_).
+  mutable std::shared_mutex registry_mu_;
+  /// Reader-writer lock over table contents; see class comment.
+  mutable std::shared_mutex data_mu_;
   /// Keyed by lowercase name; Table::name() preserves original spelling.
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };

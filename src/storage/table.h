@@ -14,6 +14,12 @@ namespace eqsql::storage {
 /// An in-memory heap table: a schema plus a row vector in insertion
 /// order. Row order is deterministic (insertion order), which matters
 /// because the paper's π operator is defined to preserve input order.
+///
+/// Not internally synchronized. Concurrent readers are safe on their
+/// own (all read paths are const); any mutation (Insert, Clear,
+/// DeclareUniqueKey) must exclude readers by holding the owning
+/// Database's data_mutex() exclusively — net::Connection enforces this
+/// on every execution/DML path.
 class Table {
  public:
   Table(std::string name, catalog::Schema schema)

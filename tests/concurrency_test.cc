@@ -1,0 +1,315 @@
+// Concurrency stress tests for the multi-session server stack: the
+// shared PlanCache, the Connection thread-ownership latch, and N worker
+// threads driving Sessions against one reader-writer-locked Database
+// with mixed query reads and temp-table churn. Run these under the
+// `tsan` preset (scripts/verify.sh does) to prove the locking
+// discipline race-free; the functional assertions here hold in any
+// build: every thread's results must be identical to a serial replay.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/value.h"
+#include "core/optimizer.h"
+#include "core/plan_cache.h"
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+#include "net/connection.h"
+#include "net/server.h"
+#include "workloads/benchmark_apps.h"
+
+namespace eqsql::net {
+namespace {
+
+using catalog::DataType;
+using catalog::Value;
+
+// ---------------------------------------------------------------------------
+// PlanCache unit behaviour (single-threaded).
+
+TEST(PlanCacheTest, HitsMissesAndLru) {
+  core::PlanCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  auto p1 = cache.GetOrParseSql("SELECT * FROM t1 AS r");
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  auto p1_again = cache.GetOrParseSql("SELECT * FROM t1 AS r");
+  ASSERT_TRUE(p1_again.ok());
+  // The cached plan is shared, not re-parsed.
+  EXPECT_EQ(p1->get(), p1_again->get());
+
+  core::PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.insertions, 1);
+  EXPECT_EQ(s.evictions, 0);
+
+  // Fill past capacity; the LRU line ("t2") must be evicted: touch
+  // "t1" to promote it first.
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT * FROM t2 AS r").ok());
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT * FROM t1 AS r").ok());  // promote
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT * FROM t3 AS r").ok());  // evict t2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT * FROM t1 AS r").ok());
+  EXPECT_EQ(cache.stats().hits, 3);  // "t1" survived the eviction
+  auto p2 = cache.GetOrParseSql("SELECT * FROM t2 AS r");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(cache.stats().misses, 4);  // "t2" did not
+}
+
+TEST(PlanCacheTest, ParseErrorsAreNotCached) {
+  core::PlanCache cache(8);
+  EXPECT_FALSE(cache.GetOrParseSql("SELEKT nope").ok());
+  EXPECT_FALSE(cache.GetOrParseSql("SELEKT nope").ok());
+  core::PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 2);  // the error was recomputed, never inserted
+  EXPECT_EQ(s.insertions, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, OptimizeResultsKeyedByOptions) {
+  core::PlanCache cache(8);
+  const std::string source = workloads::SelectionProgram();
+  core::OptimizeOptions opts;
+  opts.transform.table_keys = {{"project", "id"}};
+
+  auto r1 = cache.GetOrOptimize(source, "unfinished", opts);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = cache.GetOrOptimize(source, "unfinished", opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->get(), r2->get());  // shared, not re-extracted
+  EXPECT_TRUE((*r1)->any_extracted());
+
+  // Different options (no keys) must not alias the keyed entry.
+  core::OptimizeOptions bare;
+  auto r3 = cache.GetOrOptimize(source, "unfinished", bare);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_NE(r1->get(), r3->get());
+  EXPECT_EQ(cache.stats().hits, 1);    // r2 only
+  EXPECT_EQ(cache.stats().misses, 2);  // r1 and r3
+}
+
+// Hammer one small cache from many threads with overlapping key sets so
+// hits, misses, insertions, and evictions all interleave. TSan proves
+// the mutex discipline; the assertions prove the counters stay sane.
+TEST(PlanCacheTest, ConcurrentLookupsStayConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  core::PlanCache cache(4);  // smaller than the key set: eviction churn
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back("SELECT * FROM t" + std::to_string(i) + " AS r");
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string& sql = keys[(t + i) % keys.size()];
+        auto plan = cache.GetOrParseSql(sql);
+        if (!plan.ok() || *plan == nullptr) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  core::PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, int64_t{kThreads} * kIters);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(s.evictions, 1);  // churn actually happened
+}
+
+// ---------------------------------------------------------------------------
+// Connection thread-ownership latch.
+
+TEST(ConnectionOwnershipTest, LatchReleaseAndRelatch) {
+  storage::Database db;
+  Connection conn(&db);
+  EXPECT_EQ(conn.owner_thread(), std::thread::id());  // not yet latched
+
+  conn.ChargeClientOps(1);  // first stats-mutating call latches
+  EXPECT_EQ(conn.owner_thread(), std::this_thread::get_id());
+
+  conn.ReleaseThreadOwnership();
+  EXPECT_EQ(conn.owner_thread(), std::thread::id());
+
+  std::thread::id worker_id;
+  std::thread worker([&] {
+    conn.ChargeClientOps(1);  // re-latches on the new owner
+    worker_id = std::this_thread::get_id();
+  });
+  worker.join();
+  EXPECT_EQ(conn.owner_thread(), worker_id);
+  EXPECT_NE(conn.owner_thread(), std::this_thread::get_id());
+}
+
+// ---------------------------------------------------------------------------
+// Server / Session stress.
+
+struct App {
+  std::string name;
+  std::string source;
+  std::string function;
+};
+
+std::vector<App> BenchmarkApps() {
+  return {{"matoso", workloads::MatosoProgram(), "findMaxScore"},
+          {"jobportal", workloads::JobPortalProgram(), "jobReport"},
+          {"selection", workloads::SelectionProgram(), "unfinished"},
+          {"join", workloads::JoinProgram(), "userRoles"}};
+}
+
+void SetupAllApps(storage::Database* db) {
+  ASSERT_TRUE(workloads::SetupMatosoDatabase(db, 40, 4).ok());
+  ASSERT_TRUE(workloads::SetupJobPortalDatabase(db, 30).ok());
+  ASSERT_TRUE(workloads::SetupSelectionDatabase(db, 60, 25).ok());
+  ASSERT_TRUE(workloads::SetupJoinDatabase(db, 40).ok());
+}
+
+ServerOptions AppServerOptions() {
+  ServerOptions options;
+  options.plan_cache_capacity = 64;
+  options.optimize.transform.table_keys = {{"board", "id"},
+                                           {"applicants", "id"},
+                                           {"details", "id"},
+                                           {"feedback1", "id"},
+                                           {"education", "id"},
+                                           {"project", "id"},
+                                           {"wilosuser", "id"},
+                                           {"role", "id"}};
+  return options;
+}
+
+/// Runs every app through one session: extract via the shared cache,
+/// interpret both the original and the rewritten program, and return
+/// the rewritten results (one DisplayString per app). Asserts
+/// original == rewritten along the way.
+std::vector<std::string> RunAppsOnSession(Session* session) {
+  std::vector<std::string> out;
+  for (const App& app : BenchmarkApps()) {
+    auto program = frontend::ParseProgram(app.source);
+    EXPECT_TRUE(program.ok()) << app.name;
+    if (!program.ok()) return out;
+    auto optimized = session->OptimizeCached(app.source, app.function);
+    EXPECT_TRUE(optimized.ok()) << app.name;
+    if (!optimized.ok()) return out;
+
+    interp::Interpreter original(&*program, session->connection());
+    auto r1 = original.Run(app.function);
+    interp::Interpreter rewritten(&(*optimized)->program,
+                                  session->connection());
+    auto r2 = rewritten.Run(app.function);
+    EXPECT_TRUE(r1.ok() && r2.ok()) << app.name;
+    if (!r1.ok() || !r2.ok()) return out;
+    EXPECT_EQ(r1->DisplayString(), r2->DisplayString()) << app.name;
+    out.push_back(r2->DisplayString());
+  }
+  return out;
+}
+
+/// The tentpole stress: 8 worker threads replay the benchmark-app
+/// workload through their own sessions — cached extraction, original +
+/// rewritten interpretation, direct SQL reads, and per-thread temp-table
+/// churn (exclusive-lock writers interleaving with shared-lock readers).
+/// Every thread's results must equal a serial single-session replay.
+TEST(ServerStressTest, ParallelSessionsMatchSerialReplay) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5;
+
+  Server server(AppServerOptions());
+  SetupAllApps(server.db());
+
+  // Serial baseline, computed before any worker starts.
+  std::vector<std::string> expected;
+  {
+    std::unique_ptr<Session> session = server.Connect();
+    expected = RunAppsOnSession(session.get());
+  }
+  ASSERT_EQ(expected.size(), BenchmarkApps().size());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::unique_ptr<Session> session = server.Connect();
+      const std::string temp_name = "stress_tmp_" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        // Mixed read workload through the shared cache.
+        std::vector<std::string> got = RunAppsOnSession(session.get());
+        if (got != expected) mismatches.fetch_add(1);
+
+        // Plain SQL reads (shared data lock).
+        auto rs = session->ExecuteSql(
+            "SELECT COUNT(*) AS n FROM project AS p WHERE p.id >= ?",
+            {Value::Int(0)});
+        if (!rs.ok()) mismatches.fetch_add(1);
+
+        // Temp-table churn (exclusive data lock), names per-thread so
+        // sessions only contend on the lock, not the namespace.
+        catalog::Schema schema(
+            {{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+        std::vector<catalog::Row> rows;
+        for (int r = 0; r < 8; ++r) {
+          rows.push_back({Value::Int(r), Value::Int(t * 1000 + i)});
+        }
+        Status create = session->connection()->CreateTempTable(
+            temp_name, schema, std::move(rows));
+        if (!create.ok()) {
+          mismatches.fetch_add(1);
+        } else {
+          auto sum = session->ExecuteSql("SELECT SUM(t.v) AS s FROM " +
+                                         temp_name + " AS t");
+          if (!sum.ok()) mismatches.fetch_add(1);
+          session->connection()->DropTempTable(temp_name);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_opened, kThreads + 1);
+  EXPECT_EQ(stats.sessions_closed, kThreads + 1);
+  // Each worker repeated the same four extraction requests; after the
+  // serial warm-up every one is a cache hit.
+  EXPECT_GT(stats.plan_cache.hit_ratio(), 0.9);
+  // The serialized cost is the sum over sessions; the concurrent
+  // makespan is the max. With kThreads equal-cost sessions the ratio
+  // approaches kThreads.
+  EXPECT_GT(stats.totals.simulated_ms, stats.max_session_simulated_ms);
+  EXPECT_GT(stats.totals.queries_executed, 0);
+}
+
+// Stats fold into the server exactly once, when the session closes.
+TEST(ServerStressTest, StatsFoldOnClose) {
+  Server server;
+  ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 10, 50).ok());
+
+  {
+    std::unique_ptr<Session> session = server.Connect();
+    ASSERT_TRUE(
+        session->ExecuteSql("SELECT COUNT(*) AS n FROM project AS p").ok());
+    ServerStats mid = server.stats();
+    EXPECT_EQ(mid.sessions_opened, 1);
+    EXPECT_EQ(mid.sessions_closed, 0);
+    EXPECT_EQ(mid.totals.queries_executed, 0);  // not folded yet
+  }
+  ServerStats done = server.stats();
+  EXPECT_EQ(done.sessions_closed, 1);
+  EXPECT_EQ(done.totals.queries_executed, 1);
+  EXPECT_GT(done.totals.simulated_ms, 0.0);
+  EXPECT_EQ(done.max_session_simulated_ms, done.totals.simulated_ms);
+}
+
+}  // namespace
+}  // namespace eqsql::net

@@ -1,0 +1,165 @@
+// Unit tests for the shrinker's expression-level simplification pass:
+// a seeded failure full of magic constants and compound predicates must
+// reduce below a fixed statement + predicate-atom budget, with its
+// integer literals collapsed to 0/1.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/parser.h"
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrink.h"
+
+namespace eqsql::fuzz {
+namespace {
+
+using catalog::DataType;
+using catalog::Value;
+using frontend::ExprKind;
+using frontend::ExprPtr;
+using frontend::StmtPtr;
+
+int CountStmts(const std::vector<StmtPtr>& body) {
+  int n = 0;
+  for (const StmtPtr& s : body) {
+    n += 1 + CountStmts(s->body()) + CountStmts(s->else_body());
+  }
+  return n;
+}
+
+int CountLargeIntLiteralsIn(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  int n = 0;
+  if (e->kind() == ExprKind::kIntLit &&
+      (e->int_value() > 1 || e->int_value() < -1)) {
+    n = 1;
+  }
+  n += CountLargeIntLiteralsIn(e->object());
+  for (const ExprPtr& a : e->args()) n += CountLargeIntLiteralsIn(a);
+  return n;
+}
+
+int CountLargeIntLiterals(const std::vector<StmtPtr>& body) {
+  int n = 0;
+  for (const StmtPtr& s : body) {
+    n += CountLargeIntLiteralsIn(s->expr()) + CountLargeIntLiterals(s->body()) +
+         CountLargeIntLiterals(s->else_body());
+  }
+  return n;
+}
+
+/// A deliberately bloated guarded-sum case. The injected corruption
+/// turns the extracted `w > 37` into `w >= 37`, and the w == 37 row
+/// makes that observable, so the case fails before shrinking.
+FuzzCase BloatedSumCase() {
+  FuzzCase c;
+  TableSpec t;
+  t.name = "t0";
+  t.unique_key = "id";
+  t.columns = {{"id", DataType::kInt64},
+               {"v", DataType::kInt64},
+               {"w", DataType::kInt64},
+               {"name", DataType::kString}};
+  auto row = [](int64_t id, int64_t v, int64_t w, const char* name) {
+    return catalog::Row{Value::Int(id), Value::Int(v), Value::Int(w),
+                        Value::String(name)};
+  };
+  t.rows = {row(0, 10, 37, "a"), row(1, 20, 1, "b"),  row(2, 95, 50, "c"),
+            row(3, 5, 40, "d"),  row(4, 60, 12, "e"), row(5, 33, 37, "f")};
+  c.tables.push_back(std::move(t));
+  c.source =
+      "func f() {\n"
+      "  junk = 17;\n"
+      "  s = 3;\n"
+      "  rows = executeQuery(\"SELECT * FROM t0 AS r\");\n"
+      "  for (r : rows) {\n"
+      "    if ((r.v < 90 && r.w > 37) || r.name == \"zz\") { s = s + r.w; }\n"
+      "  }\n"
+      "  waste = junk + 25;\n"
+      "  return s;\n"
+      "}\n";
+  c.function = "f";
+  return c;
+}
+
+TEST(ShrinkExprs, SeededFailureShrinksBelowStatementAndAtomBudget) {
+  OracleOptions inject;
+  inject.inject_sql_bug = true;
+  FuzzCase c = BloatedSumCase();
+  OracleReport before = RunOracle(c, inject);
+  ASSERT_TRUE(IsViolation(before.verdict))
+      << VerdictName(before.verdict) << ": " << before.detail;
+
+  ShrinkOutcome out = Shrink(c, inject);
+  OracleReport after = RunOracle(out.reduced, inject);
+  ASSERT_TRUE(IsViolation(after.verdict))
+      << "shrunk case stopped failing:\n" << SerializeCase(out.reduced);
+
+  auto program = frontend::ParseProgram(out.reduced.source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const frontend::Function* fn = program->Find("f");
+  ASSERT_NE(fn, nullptr);
+
+  // Statement budget: init, scan, loop, fold, return — the junk
+  // assignments and the guard must be gone.
+  EXPECT_LE(CountStmts(fn->body), 6) << out.reduced.source;
+  // Predicate-atom budget: no conjunction survives (the && and || atoms
+  // are deletable one side at a time while the failure persists).
+  EXPECT_EQ(out.reduced.source.find("&&"), std::string::npos)
+      << out.reduced.source;
+  EXPECT_EQ(out.reduced.source.find("||"), std::string::npos)
+      << out.reduced.source;
+  // Constant simplification: the injected bug is the flipped comparison,
+  // so the comparison's boundary literal is data-pinned and must survive
+  // (shrinking it to 0/1 makes the corruption unobservable). Every OTHER
+  // integer literal — the junk inits and the fold seed — collapses to 0/1.
+  EXPECT_LE(CountLargeIntLiterals(fn->body), 1) << out.reduced.source;
+  // Data shrinks with the program (ddmin row deletion still applies).
+  size_t total_rows = 0;
+  for (const TableSpec& t : out.reduced.tables) total_rows += t.rows.size();
+  EXPECT_LE(total_rows, 2u) << SerializeCase(out.reduced);
+}
+
+/// Atom deletion must reach predicates that statement-level conditional
+/// splitting cannot: a compound condition in an assignment RHS.
+TEST(ShrinkExprs, DeletesAtomsInsideAssignments) {
+  OracleOptions inject;
+  inject.inject_sql_bug = true;
+  FuzzCase c = BloatedSumCase();
+  // Rows chosen so the injected `>` -> `>=` flip is observable exactly at
+  // the w == 37 boundary (no row has w > 37, and the boundary row also
+  // satisfies v < 90), which makes the `&& r.v < 90` conjunct deletable
+  // without masking the failure.
+  c.tables[0].rows = {
+      catalog::Row{Value::Int(0), Value::Int(10), Value::Int(37),
+                   Value::String("a")},
+      catalog::Row{Value::Int(1), Value::Int(95), Value::Int(37),
+                   Value::String("c")},
+      catalog::Row{Value::Int(2), Value::Int(20), Value::Int(5),
+                   Value::String("b")}};
+  c.source =
+      "func f() {\n"
+      "  found = false;\n"
+      "  rows = executeQuery(\"SELECT * FROM t0 AS r\");\n"
+      "  for (r : rows) {\n"
+      "    found = found || (r.w > 37 && r.v < 90);\n"
+      "  }\n"
+      "  return found;\n"
+      "}\n";
+  OracleReport before = RunOracle(c, inject);
+  ASSERT_TRUE(IsViolation(before.verdict))
+      << VerdictName(before.verdict) << ": " << before.detail;
+  ShrinkOutcome out = Shrink(c, inject);
+  OracleReport after = RunOracle(out.reduced, inject);
+  ASSERT_TRUE(IsViolation(after.verdict)) << SerializeCase(out.reduced);
+  // The && conjunct inside the RHS must have been deletable.
+  EXPECT_EQ(out.reduced.source.find("&&"), std::string::npos)
+      << out.reduced.source;
+}
+
+}  // namespace
+}  // namespace eqsql::fuzz
