@@ -15,12 +15,19 @@
 //
 // Acceptance (exit status enforces it): at 8 threads the aggregate
 // throughput is >= 2x the 1-thread serialized baseline, the shared
-// plan-cache hit ratio is >= 90%, and every session's app results match
-// the serial replay.
+// plan-cache hit ratio is >= 90%, every session's app results match
+// the serial replay, and — the sharded-storage gate — concurrent
+// readers complete a fixed read workload at least 1.5x faster on the
+// per-shard locking scheme than under a simulated global data lock
+// while a writer churns temp tables next to them.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -150,6 +157,93 @@ RunReport RunWorkload(int threads) {
   return report;
 }
 
+// ---------------------------------------------------------------------------
+// Mixed read/write phase: does a temp-table writer still serialize
+// readers?
+//
+// Before the storage layer was sharded (PR 2), one database-wide
+// reader-writer lock guarded all data: a temp-table upload held it
+// exclusively for the whole transfer, so every reader — even of
+// unrelated tables — stalled behind it. With per-shard locks the
+// upload builds the table offline, publishes it in one registry write,
+// and its DML touches only the shards its rows hash into; readers of
+// other tables never block.
+//
+// Both modes below run the SAME work on real wall clock: one writer
+// repeatedly "uploads" a temp table (create + a sleep modeling the
+// row transfer + drop) while reader threads run a fixed count of
+// queries against the benchmark tables. The baseline wraps the upload
+// in a process-wide exclusive lock and the readers in shared locks —
+// the PR-2 architecture reproduced at benchmark level; the sharded
+// mode uses only the engine's own locks. Sleeping yields the CPU, so
+// unblocked readers finish fast even on a single-core container: the
+// measured gap is lock-blocking, not parallel hardware.
+
+constexpr int kWriterUploads = 25;
+constexpr auto kUploadTransfer = std::chrono::milliseconds(2);
+constexpr int kReaderThreads = 2;
+constexpr int kReadsPerThread = 40;
+
+/// Runs the mixed phase and returns the readers' wall-clock makespan
+/// (ms from phase start until the last reader finishes).
+double RunMixedPhase(bool global_lock) {
+  eqsql::net::Server server(MakeOptions());
+  SetupDatabase(server.db());
+
+  std::shared_mutex data_lock;  // only used when global_lock
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    std::unique_ptr<eqsql::net::Session> session = server.Connect();
+    eqsql::catalog::Schema schema({{"id", eqsql::catalog::DataType::kInt64},
+                                   {"v", eqsql::catalog::DataType::kInt64}});
+    for (int w = 0; w < kWriterUploads; ++w) {
+      std::unique_lock<std::shared_mutex> exclusive(data_lock,
+                                                    std::defer_lock);
+      if (global_lock) exclusive.lock();
+      std::vector<eqsql::catalog::Row> rows;
+      for (int r = 0; r < 16; ++r) {
+        rows.push_back({eqsql::catalog::Value::Int(r),
+                        eqsql::catalog::Value::Int(w)});
+      }
+      CheckOk(session->CreateTempTable("mixed_tmp", schema, std::move(rows)),
+              "mixed_tmp");
+      // The row transfer: under the old architecture this whole wait
+      // sat inside the exclusive section.
+      std::this_thread::sleep_for(kUploadTransfer);
+      session->DropTempTable("mixed_tmp");
+    }
+    writer_done.store(true);
+  });
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  std::vector<double> finished_ms(kReaderThreads, 0.0);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&, t] {
+      std::unique_ptr<eqsql::net::Session> session = server.Connect();
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        std::shared_lock<std::shared_mutex> shared(data_lock,
+                                                   std::defer_lock);
+        if (global_lock) shared.lock();
+        auto rs = session->ExecuteSql(
+            "SELECT COUNT(*) AS n FROM project AS p WHERE p.id >= ?",
+            {eqsql::catalog::Value::Int(i % 10)});
+        if (!rs.ok()) CheckOk(rs.status(), "mixed reader");
+      }
+      finished_ms[t] = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  writer.join();
+
+  double makespan = 0;
+  for (double ms : finished_ms) makespan = std::max(makespan, ms);
+  return makespan;
+}
+
 }  // namespace
 
 int main() {
@@ -184,8 +278,24 @@ int main() {
                 100.0 * r.stats.plan_cache.hit_ratio());
   }
 
+  std::printf("\nmixed read/write phase: %d reader threads x %d queries "
+              "vs %d temp-table uploads\n",
+              kReaderThreads, kReadsPerThread, kWriterUploads);
+  double global_ms = RunMixedPhase(/*global_lock=*/true);
+  double sharded_ms = RunMixedPhase(/*global_lock=*/false);
+  std::printf("%26s %14s %9s\n", "global-lock readers ms", "sharded ms",
+              "speedup");
+  std::printf("%26.1f %14.1f %8.2fx\n", global_ms, sharded_ms,
+              global_ms / sharded_ms);
+
   std::printf("\n");
   bool ok = true;
+  if (sharded_ms * 1.5 > global_ms) {
+    std::printf("FAIL: sharded readers (%.1f ms) not 1.5x faster than "
+                "global-lock baseline (%.1f ms)\n",
+                sharded_ms, global_ms);
+    ok = false;
+  }
   if (total_mismatches > 0) {
     std::printf("FAIL: %d session results diverged from serial replay\n",
                 total_mismatches);
@@ -203,8 +313,10 @@ int main() {
   }
   if (ok) {
     std::printf("PASS: >=2x aggregate throughput at 8 threads, "
-                "cache hit ratio %.1f%%, results identical to serial\n",
-                100.0 * threads8_hit_ratio);
+                "cache hit ratio %.1f%%, results identical to serial, "
+                "readers %.2fx faster than a global data lock under "
+                "concurrent DML\n",
+                100.0 * threads8_hit_ratio, global_ms / sharded_ms);
   }
   return ok ? 0 : 1;
 }

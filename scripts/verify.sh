@@ -23,12 +23,18 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
 ./build-asan/src/fuzz/fuzz_eqsql --seed 99 --iters 100 \
   --corpus tests/fuzz_corpus
 
-echo "== sanitizers: TSan concurrency stress + bounded fuzz sweep =="
+echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql
+cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
+  shard_test shard_invariance_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|ReadGuard|Database'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
+  --corpus tests/fuzz_corpus
+# The same sweep on 8-way partitioned tables with the parallel
+# operators forced through the worker pool: shard-count invariance
+# under the race detector.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --shards 8 \
   --corpus tests/fuzz_corpus
 
 echo "verify.sh: all green"

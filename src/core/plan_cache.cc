@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "common/strings.h"
 #include "frontend/parser.h"
 #include "sql/parser.h"
 
@@ -44,6 +45,10 @@ uint64_t PlanCache::DigestProgram(std::string_view source,
   return h;
 }
 
+uint64_t PlanCache::Salted(uint64_t digest) const {
+  return key_salt_ == 0 ? digest : SplitMix64(digest ^ key_salt_);
+}
+
 bool PlanCache::Lookup(uint64_t key, Entry* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -78,7 +83,7 @@ void PlanCache::Insert(Entry entry) {
 }
 
 Result<ra::RaNodePtr> PlanCache::GetOrParseSql(std::string_view sql) {
-  uint64_t key = DigestSql(sql);
+  uint64_t key = Salted(DigestSql(sql));
   Entry entry;
   if (Lookup(key, &entry) && entry.plan != nullptr) return entry.plan;
   // Miss: parse outside the lock so concurrent misses do not serialize.
@@ -86,6 +91,8 @@ Result<ra::RaNodePtr> PlanCache::GetOrParseSql(std::string_view sql) {
   entry.key = key;
   entry.plan = plan;
   entry.optimized = nullptr;
+  entry.tables = ra::CollectScannedTables(plan);
+  for (std::string& t : entry.tables) t = AsciiToLower(t);
   Insert(std::move(entry));
   return plan;
 }
@@ -93,7 +100,7 @@ Result<ra::RaNodePtr> PlanCache::GetOrParseSql(std::string_view sql) {
 Result<std::shared_ptr<const OptimizeResult>> PlanCache::GetOrOptimize(
     const std::string& source, const std::string& function,
     const OptimizeOptions& options) {
-  uint64_t key = DigestProgram(source, function, options);
+  uint64_t key = Salted(DigestProgram(source, function, options));
   Entry entry;
   if (Lookup(key, &entry) && entry.optimized != nullptr) {
     return entry.optimized;
@@ -107,6 +114,7 @@ Result<std::shared_ptr<const OptimizeResult>> PlanCache::GetOrOptimize(
   entry.key = key;
   entry.plan = nullptr;
   entry.optimized = shared;
+  entry.source_lower = AsciiToLower(source);
   Insert(std::move(entry));
   return shared;
 }
@@ -126,6 +134,31 @@ void PlanCache::Clear() {
   lru_.clear();
   index_.clear();
   stats_ = PlanCacheStats();
+}
+
+void PlanCache::InvalidateTable(const std::string& name) {
+  const std::string needle = AsciiToLower(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    bool stale = false;
+    for (const std::string& t : it->tables) {
+      if (t == needle) {
+        stale = true;
+        break;
+      }
+    }
+    if (!stale && !it->source_lower.empty() &&
+        it->source_lower.find(needle) != std::string::npos) {
+      stale = true;
+    }
+    if (stale) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace eqsql::core

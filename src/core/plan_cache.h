@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "core/optimizer.h"
@@ -22,6 +23,8 @@ struct PlanCacheStats {
   int64_t misses = 0;
   int64_t insertions = 0;
   int64_t evictions = 0;
+  /// Lines dropped by InvalidateTable (DDL-driven, not LRU pressure).
+  int64_t invalidations = 0;
 
   double hit_ratio() const {
     int64_t lookups = hits + misses;
@@ -77,6 +80,21 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
   void Clear();
 
+  /// Mixes `salt` into every lookup key. The server salts its cache
+  /// with the database's shard configuration so entries computed under
+  /// one sharding can never alias a differently-configured server's
+  /// (e.g. if a cache is ever shared or serialized across servers).
+  /// Changing the salt effectively empties the cache. Not thread-safe:
+  /// set before concurrent use.
+  void set_key_salt(uint64_t salt) { key_salt_ = salt; }
+
+  /// Drops every line that references table `name` (case-insensitive):
+  /// SQL entries record their scanned tables; program entries match by
+  /// source-text mention (conservative — a false positive only costs a
+  /// recomputation). Called by Session DDL (temp-table CREATE/DROP) so
+  /// cached plans can never alias a renamed/reshaped table.
+  void InvalidateTable(const std::string& name);
+
   /// Digest of a SQL request (FNV-1a over the text, namespaced so SQL
   /// and program entries cannot collide on equal text).
   static uint64_t DigestSql(std::string_view sql);
@@ -92,7 +110,16 @@ class PlanCache {
     uint64_t key = 0;
     ra::RaNodePtr plan;                               // SQL entries
     std::shared_ptr<const OptimizeResult> optimized;  // program entries
+    /// Lowercased names of tables the plan scans (SQL entries), for
+    /// InvalidateTable.
+    std::vector<std::string> tables;
+    /// Lowercased program source (program entries), for conservative
+    /// InvalidateTable matching by mention.
+    std::string source_lower;
   };
+
+  /// Post-mixes key_salt_ into a pure digest.
+  uint64_t Salted(uint64_t digest) const;
 
   /// Looks up `key`, promoting the line to most-recently-used. Returns
   /// an owning copy of the entry payloads (never a reference — the line
@@ -103,6 +130,7 @@ class PlanCache {
   void Insert(Entry entry);
 
   const size_t capacity_;
+  uint64_t key_salt_ = 0;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;

@@ -133,6 +133,25 @@ struct AggState {
     }
   }
 
+  /// Folds another shard's partial state into this one. Only called on
+  /// the exact (integer) path: parallel aggregation is gated off when
+  /// any double can reach Update (see ParallelAggHazard), so summation
+  /// order cannot change the result.
+  void Merge(const AggState& other) {
+    count += other.count;
+    if (other.any) {
+      if (!any) {
+        any = true;
+        minv = other.minv;
+        maxv = other.maxv;
+      } else {
+        if (other.minv < minv) minv = other.minv;
+        if (maxv < other.maxv) maxv = other.maxv;
+      }
+    }
+    isum += other.isum;
+  }
+
   Value Finalize(ra::AggFunc func) const {
     switch (func) {
       case ra::AggFunc::kCountStar:
@@ -155,13 +174,74 @@ struct AggState {
   }
 };
 
+/// True if the scalar tree contains a double literal or a positional
+/// parameter (whose bound value might be a double). Subqueries are not
+/// descended: EXISTS yields a bool, so doubles inside one cannot reach
+/// an aggregation state.
+bool MayProduceDouble(const ScalarExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->op() == ScalarOp::kLiteral && expr->literal().is_double()) {
+    return true;
+  }
+  if (expr->op() == ScalarOp::kParameter) return true;
+  for (const ScalarExprPtr& c : expr->children()) {
+    if (MayProduceDouble(c)) return true;
+  }
+  return false;
+}
+
+bool SchemaHasDouble(const Schema& schema) {
+  for (const catalog::Column& c : schema.columns()) {
+    if (c.type == catalog::DataType::kDouble) return true;
+  }
+  return false;
+}
+
+/// Conservative, side-effect-free superset of TryIndexLookup's
+/// applicability: true if `select` (a kSelect directly over `scan`)
+/// might hit the unique-key point-lookup fast path. When this returns
+/// false, TryIndexLookup is guaranteed to fail with kNotFound, so the
+/// parallel operators can take over without changing the row-count
+/// accounting (the fast path charges 1 probe instead of a full scan).
+bool IndexLookupMightApply(const RaNode& select, const RaNode& scan,
+                           const storage::Table& table) {
+  // unique_key() returns the optional by value; keep the copy alive
+  // for the whole match loop instead of referencing a temporary.
+  const std::optional<std::string> key = table.unique_key();
+  if (!key.has_value()) return false;
+  const std::string qualified = scan.alias() + "." + *key;
+  const std::string& bare = *key;
+  std::vector<ScalarExprPtr> conjuncts;
+  SplitConjuncts(select.predicate(), &conjuncts);
+  for (const ScalarExprPtr& c : conjuncts) {
+    if (c->op() != ScalarOp::kEq) continue;
+    for (int side = 0; side < 2; ++side) {
+      const ScalarExprPtr& e = c->child(side);
+      if (e->op() == ScalarOp::kColumnRef &&
+          (e->column_name() == qualified || e->column_name() == bare)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+Result<const storage::Table*> Executor::ResolveTable(
+    const std::string& name) const {
+  if (guard_ != nullptr) {
+    const storage::Table* pinned = guard_->Find(name);
+    if (pinned != nullptr) return pinned;
+  }
+  return db_->GetTable(name);
+}
 
 Result<Schema> Executor::OutputSchema(const RaNode& node) const {
   switch (node.op()) {
     case RaOp::kScan: {
       EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
-                             db_->GetTable(node.table_name()));
+                             ResolveTable(node.table_name()));
       std::vector<catalog::Column> cols;
       for (const catalog::Column& c : table->schema().columns()) {
         cols.push_back({node.alias() + "." + c.name, c.type});
@@ -229,6 +309,10 @@ Result<ResultSet> Executor::Execute(const RaNodePtr& node,
   rows_processed_ = 0;
   EvalContext ctx(&params);
   return Exec(*node, &ctx);
+}
+
+Result<Value> Executor::Eval(const ScalarExprPtr& expr, EvalContext* ctx) {
+  return EvalScalar(expr, ctx);
 }
 
 Result<Value> Executor::EvalScalar(const ScalarExprPtr& expr,
@@ -320,7 +404,11 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
   switch (node.op()) {
     case RaOp::kScan: {
       EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
-                             db_->GetTable(node.table_name()));
+                             ResolveTable(node.table_name()));
+      if (pool_ != nullptr && table->shard_count() > 1 &&
+          table->row_count() >= parallel_threshold_) {
+        return ExecScanParallel(node, *table);
+      }
       ResultSet out;
       EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
       out.rows = table->rows();
@@ -333,8 +421,18 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
       // point lookup (this is what MySQL's primary-key index does for
       // the paper's per-row scalar queries).
       if (node.child(0)->op() == RaOp::kScan) {
-        Result<ResultSet> fast = TryIndexLookup(node, ctx);
-        if (fast.ok()) return fast;
+        Result<const storage::Table*> table =
+            ResolveTable(node.child(0)->table_name());
+        bool might_index =
+            table.ok() && IndexLookupMightApply(node, *node.child(0), **table);
+        if (might_index) {
+          Result<ResultSet> fast = TryIndexLookup(node, ctx);
+          if (fast.ok()) return fast;
+        } else if (table.ok() && pool_ != nullptr &&
+                   (*table)->shard_count() > 1 &&
+                   (*table)->row_count() >= parallel_threshold_) {
+          return ExecSelectScanParallel(node, **table, ctx);
+        }
       }
       EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
       ResultSet out;
@@ -449,7 +547,7 @@ Result<ResultSet> Executor::TryIndexLookup(const RaNode& node,
                                            EvalContext* ctx) {
   const RaNode& scan = *node.child(0);
   EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
-                         db_->GetTable(scan.table_name()));
+                         ResolveTable(scan.table_name()));
   if (!table->unique_key().has_value()) {
     return Status::NotFound("no key");
   }
@@ -497,9 +595,9 @@ Result<ResultSet> Executor::TryIndexLookup(const RaNode& node,
   EQSQL_ASSIGN_OR_RETURN(Value key, EvalScalar(key_expr, ctx));
   ResultSet out;
   EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(scan));
-  std::optional<size_t> row_idx = table->LookupByKey(key);
-  if (row_idx.has_value()) {
-    const Row& row = table->rows()[*row_idx];
+  std::optional<Row> hit = table->GetByKey(key);
+  if (hit.has_value()) {
+    const Row& row = *hit;
     bool pass = true;
     if (!residual.empty()) {
       ctx->PushFrame(&out.schema, &row);
@@ -684,6 +782,46 @@ Result<ResultSet> Executor::ExecOuterApply(const RaNode& node,
 }
 
 Result<ResultSet> Executor::ExecGroupBy(const RaNode& node, EvalContext* ctx) {
+  // Partition-parallel partial aggregation applies when the input is a
+  // (possibly filtered) base scan and every value that can reach an
+  // aggregation state is exact: no double column in the scanned schema,
+  // no double literal or parameter in the keys / aggregate arguments /
+  // filter predicate, and no outer frames (a correlated outer column
+  // could be a double). Under those gates, merging per-shard integer
+  // partial states is order-independent and the result is byte-
+  // identical to serial execution.
+  if (pool_ != nullptr && ctx->depth() == 0) {
+    const RaNode* select = nullptr;
+    const RaNode* scan = nullptr;
+    const RaNode& child = *node.child(0);
+    if (child.op() == RaOp::kScan) {
+      scan = &child;
+    } else if (child.op() == RaOp::kSelect &&
+               child.child(0)->op() == RaOp::kScan) {
+      select = &child;
+      scan = child.child(0).get();
+    }
+    if (scan != nullptr) {
+      Result<const storage::Table*> table = ResolveTable(scan->table_name());
+      if (table.ok() && (*table)->shard_count() > 1 &&
+          (*table)->row_count() >= parallel_threshold_) {
+        bool hazard = SchemaHasDouble((*table)->schema());
+        if (select != nullptr) {
+          hazard = hazard || IndexLookupMightApply(*select, *scan, **table) ||
+                   MayProduceDouble(select->predicate());
+        }
+        for (const ScalarExprPtr& k : node.group_keys()) {
+          hazard = hazard || MayProduceDouble(k);
+        }
+        for (const ra::AggregateSpec& a : node.aggregates()) {
+          hazard = hazard || MayProduceDouble(a.arg);
+        }
+        if (!hazard) {
+          return ExecGroupByParallel(node, select, *scan, **table, ctx);
+        }
+      }
+    }
+  }
   EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
   ResultSet out;
   EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
@@ -747,6 +885,257 @@ Result<ResultSet> Executor::ExecGroupBy(const RaNode& node, EvalContext* ctx) {
     out.rows.push_back(std::move(row));
   }
   rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
+                                             const storage::Table& table) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  out.rows.resize(table.row_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(table.shard_count());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    // Sequence numbers are dense and unique, so tasks write disjoint
+    // elements of the pre-sized row vector: scatter, no merge needed.
+    tasks.push_back([&table, s, &out] {
+      for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+        if (slot.seq < out.rows.size()) out.rows[slot.seq] = slot.row;
+      }
+    });
+  }
+  pool_->Run(std::move(tasks));
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
+                                                   const storage::Table& table,
+                                                   EvalContext* ctx) {
+  const RaNode& scan = *node.child(0);
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(scan));
+  const Schema& schema = out.schema;
+  const ScalarExprPtr& pred = node.predicate();
+
+  struct TaskResult {
+    std::vector<std::pair<size_t, Row>> rows;  // (seq, matched row)
+    size_t sub_rows = 0;   // subquery rows processed by the task
+    size_t fail_seq = 0;
+    Status status = Status::OK();
+  };
+  std::vector<TaskResult> results(table.shard_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(table.shard_count());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    tasks.push_back([this, &table, &schema, &pred, ctx, s, &results] {
+      TaskResult& r = results[s];
+      // Task-scratch Executor: rows_processed_ is per-instance, and a
+      // task must never fan out again (WorkerPool::Run is not
+      // re-entrant from a task), hence no pool on it.
+      Executor ex(db_);
+      ex.guard_ = guard_;
+      EvalContext local = *ctx;
+      for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+        local.PushFrame(&schema, &slot.row);
+        Result<Value> v = ex.EvalScalar(pred, &local);
+        local.PopFrame();
+        if (!v.ok()) {
+          // Slots are in ascending seq order, so the first failure is
+          // this shard's earliest — matching serial abort order.
+          r.status = v.status();
+          r.fail_seq = slot.seq;
+          break;
+        }
+        if (IsTruthy(*v)) r.rows.emplace_back(slot.seq, slot.row);
+      }
+      r.sub_rows = ex.rows_processed_;
+    });
+  }
+  pool_->Run(std::move(tasks));
+
+  // Serial execution aborts at the lowest failing sequence number;
+  // report that same error.
+  const TaskResult* failed = nullptr;
+  for (const TaskResult& r : results) {
+    if (!r.status.ok() &&
+        (failed == nullptr || r.fail_seq < failed->fail_seq)) {
+      failed = &r;
+    }
+  }
+  if (failed != nullptr) return failed->status;
+
+  size_t total = 0;
+  size_t sub_rows = 0;
+  for (const TaskResult& r : results) {
+    total += r.rows.size();
+    sub_rows += r.sub_rows;
+  }
+  std::vector<std::pair<size_t, Row>> merged;
+  merged.reserve(total);
+  for (TaskResult& r : results) {
+    for (auto& p : r.rows) merged.push_back(std::move(p));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.rows.reserve(merged.size());
+  for (auto& p : merged) out.rows.push_back(std::move(p.second));
+  // Cost parity with serial: scan charged every row, predicate
+  // subqueries charged their rows, selection charged its output.
+  rows_processed_ += table.row_count() + sub_rows + out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
+                                                const RaNode* select,
+                                                const RaNode& scan,
+                                                const storage::Table& table,
+                                                EvalContext* ctx) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  EQSQL_ASSIGN_OR_RETURN(Schema scan_schema, OutputSchema(scan));
+  const auto& keys = node.group_keys();
+  const auto& aggs = node.aggregates();
+
+  /// One shard's partial aggregation: groups in first-seen order plus
+  /// the lowest sequence number at which each group appeared, so the
+  /// merge can reproduce the serial first-seen group order exactly.
+  struct Partial {
+    std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+    std::vector<std::vector<Value>> keys;
+    std::vector<std::vector<AggState>> states;
+    std::vector<size_t> first_seq;
+    size_t matched = 0;
+    size_t sub_rows = 0;
+    size_t fail_seq = 0;
+    Status status = Status::OK();
+  };
+  std::vector<Partial> partials(table.shard_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(table.shard_count());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    tasks.push_back([this, &table, &scan_schema, &keys, &aggs, select, ctx, s,
+                     &partials] {
+      Partial& p = partials[s];
+      Executor ex(db_);
+      ex.guard_ = guard_;
+      EvalContext local = *ctx;
+      for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+        local.PushFrame(&scan_schema, &slot.row);
+        Status status = Status::OK();
+        bool pass = true;
+        if (select != nullptr) {
+          Result<Value> v = ex.EvalScalar(select->predicate(), &local);
+          if (!v.ok()) {
+            status = v.status();
+          } else {
+            pass = IsTruthy(*v);
+          }
+        }
+        if (status.ok() && pass) {
+          if (select != nullptr) ++p.matched;
+          std::vector<Value> key;
+          key.reserve(keys.size());
+          for (const ScalarExprPtr& k : keys) {
+            Result<Value> v = ex.EvalScalar(k, &local);
+            if (!v.ok()) {
+              status = v.status();
+              break;
+            }
+            key.push_back(std::move(*v));
+          }
+          if (status.ok()) {
+            auto [it, inserted] = p.index.emplace(key, p.keys.size());
+            if (inserted) {
+              p.keys.push_back(key);
+              p.states.emplace_back(aggs.size());
+              p.first_seq.push_back(slot.seq);
+            }
+            std::vector<AggState>& states = p.states[it->second];
+            for (size_t a = 0; a < aggs.size(); ++a) {
+              if (aggs[a].func == ra::AggFunc::kCountStar) {
+                ++states[a].count;
+                continue;
+              }
+              Result<Value> v = ex.EvalScalar(aggs[a].arg, &local);
+              if (!v.ok()) {
+                status = v.status();
+                break;
+              }
+              states[a].Update(*v);
+            }
+          }
+        }
+        local.PopFrame();
+        if (!status.ok()) {
+          p.status = status;
+          p.fail_seq = slot.seq;
+          break;
+        }
+      }
+      p.sub_rows = ex.rows_processed_;
+    });
+  }
+  pool_->Run(std::move(tasks));
+
+  const Partial* failed = nullptr;
+  for (const Partial& p : partials) {
+    if (!p.status.ok() && (failed == nullptr || p.fail_seq < failed->fail_seq)) {
+      failed = &p;
+    }
+  }
+  if (failed != nullptr) return failed->status;
+
+  // Merge shard partials (ascending shard order is arbitrary here: the
+  // final group order comes from first_seq, and state merges are exact).
+  std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+  std::vector<std::vector<Value>> gkeys;
+  std::vector<std::vector<AggState>> gstates;
+  std::vector<size_t> gseq;
+  size_t matched = 0;
+  size_t sub_rows = 0;
+  for (Partial& p : partials) {
+    matched += p.matched;
+    sub_rows += p.sub_rows;
+    for (size_t g = 0; g < p.keys.size(); ++g) {
+      auto [it, inserted] = index.emplace(p.keys[g], gkeys.size());
+      if (inserted) {
+        gkeys.push_back(std::move(p.keys[g]));
+        gstates.push_back(std::move(p.states[g]));
+        gseq.push_back(p.first_seq[g]);
+      } else {
+        size_t i = it->second;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          gstates[i][a].Merge(p.states[g][a]);
+        }
+        gseq[i] = std::min(gseq[i], p.first_seq[g]);
+      }
+    }
+  }
+
+  // Scalar aggregation (no keys) over empty input produces one row.
+  if (keys.empty() && gkeys.empty()) {
+    gkeys.emplace_back();
+    gstates.emplace_back(aggs.size());
+    gseq.push_back(0);
+  }
+
+  // Serial group order is first appearance in sequence order.
+  std::vector<size_t> order(gkeys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return gseq[a] < gseq[b]; });
+
+  out.rows.reserve(order.size());
+  for (size_t g : order) {
+    Row row = std::move(gkeys[g]);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(gstates[g][a].Finalize(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  rows_processed_ +=
+      table.row_count() + matched + sub_rows + out.rows.size();
   return out;
 }
 

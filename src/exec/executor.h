@@ -5,8 +5,10 @@
 
 #include "catalog/schema.h"
 #include "common/result.h"
+#include "exec/worker_pool.h"
 #include "ra/ra_node.h"
 #include "storage/database.h"
+#include "storage/shard_guard.h"
 
 namespace eqsql::exec {
 
@@ -61,18 +63,48 @@ class EvalContext {
 /// through `const storage::Database*` / `const storage::Table*` — no
 /// execution path mutates storage, so any number of Executors may run
 /// concurrently against one Database provided writers are excluded
-/// (net::Connection holds the database's data lock shared around every
-/// Execute). Plans are shared_ptr<const RaNode> and are never mutated
-/// during execution, so one cached plan may be executed by many
-/// sessions at once. One Executor instance itself is single-threaded:
-/// rows_processed_ is per-run scratch.
+/// (net::Connection holds every scanned table's shard locks shared via
+/// storage::ReadGuard around every Execute). Plans are
+/// shared_ptr<const RaNode> and are never mutated during execution, so
+/// one cached plan may be executed by many sessions at once. One
+/// Executor instance itself is single-threaded: rows_processed_ is
+/// per-run scratch. Partition-parallel operators (scan, filter over a
+/// scan, aggregation over a scan) spawn per-shard tasks onto a
+/// WorkerPool when one is attached; each task runs its own scratch
+/// Executor, so the contract holds per task.
 class Executor {
  public:
   explicit Executor(const storage::Database* db) : db_(db) {}
 
+  /// Attaches a shard worker pool. With a pool, full-table scans,
+  /// filters directly over a scan, and aggregations over a (filtered)
+  /// scan fan out one task per shard when the table has at least
+  /// `parallel threshold` rows and more than one shard. Results are
+  /// byte-identical to serial execution: rows reassemble by insertion
+  /// sequence and aggregation merges are gated to exact
+  /// (non-floating-point) states.
+  void set_worker_pool(WorkerPool* pool) { pool_ = pool; }
+
+  /// Minimum table row count before parallel operators engage (small
+  /// tables are not worth the fan-out). 0 forces parallelism for any
+  /// non-empty eligible table — used by the invariance tests.
+  void set_parallel_threshold(size_t n) { parallel_threshold_ = n; }
+
+  /// Attaches the caller's pinned table snapshot. When set, table
+  /// resolution prefers the guard's snapshot over the live registry, so
+  /// a query keeps reading the tables it locked even if another session
+  /// republishes them mid-flight.
+  void set_read_guard(const storage::ReadGuard* guard) { guard_ = guard; }
+
   /// Executes `node` with positional `params` bound to '?' placeholders.
   Result<ResultSet> Execute(const ra::RaNodePtr& node,
                             const std::vector<catalog::Value>& params = {});
+
+  /// Evaluates a scalar expression (used by DML to compute INSERT
+  /// values / UPDATE assignments, and by shard tasks). Row counts from
+  /// any subqueries accumulate into last_rows_processed() without
+  /// resetting it.
+  Result<catalog::Value> Eval(const ra::ScalarExprPtr& expr, EvalContext* ctx);
 
   /// Output schema of `node` without executing it (used for NULL padding
   /// in outer joins / outer apply and by the SQL generator).
@@ -84,6 +116,9 @@ class Executor {
 
  private:
   Result<ResultSet> Exec(const ra::RaNode& node, EvalContext* ctx);
+  /// Resolves a table name through the attached ReadGuard first (pinned
+  /// snapshot), then the live registry.
+  Result<const storage::Table*> ResolveTable(const std::string& name) const;
   /// Unique-key point lookup for Select(Scan); errors with kNotFound
   /// when the fast path does not apply.
   Result<ResultSet> TryIndexLookup(const ra::RaNode& node, EvalContext* ctx);
@@ -93,8 +128,22 @@ class Executor {
                              EvalContext* ctx);
   Result<ResultSet> ExecOuterApply(const ra::RaNode& node, EvalContext* ctx);
   Result<ResultSet> ExecGroupBy(const ra::RaNode& node, EvalContext* ctx);
+  /// Per-shard parallel variants; preconditions checked by callers.
+  Result<ResultSet> ExecScanParallel(const ra::RaNode& node,
+                                     const storage::Table& table);
+  Result<ResultSet> ExecSelectScanParallel(const ra::RaNode& node,
+                                           const storage::Table& table,
+                                           EvalContext* ctx);
+  Result<ResultSet> ExecGroupByParallel(const ra::RaNode& node,
+                                        const ra::RaNode* select,
+                                        const ra::RaNode& scan,
+                                        const storage::Table& table,
+                                        EvalContext* ctx);
 
   const storage::Database* db_;
+  const storage::ReadGuard* guard_ = nullptr;
+  WorkerPool* pool_ = nullptr;
+  size_t parallel_threshold_ = 512;
   size_t rows_processed_ = 0;
 };
 

@@ -1,0 +1,81 @@
+#include "exec/worker_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace eqsql::exec {
+
+WorkerPool::WorkerPool(size_t threads) {
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void WorkerPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty() || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = tasks.size();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : tasks) {
+      queue_.push_back([batch, task = std::move(t)] {
+        task();
+        {
+          std::lock_guard<std::mutex> lock(batch->mu);
+          --batch->remaining;
+          if (batch->remaining > 0) return;
+        }
+        batch->cv.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // Caller helps: drain whatever is queued (possibly other batches'
+  // tasks — it is all work that must happen) until the queue is empty,
+  // then wait for this batch's stragglers running on workers.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+}
+
+}  // namespace eqsql::exec

@@ -9,7 +9,7 @@
 // Usage:
 //   fuzz_eqsql [--seed N] [--iters M] [--corpus DIR] [--replay FILE]
 //              [--case-seed S] [--inject-bug] [--max-rows K]
-//              [--no-shrink] [--verbose]
+//              [--shards P] [--no-shrink] [--verbose]
 //
 // Exit status: 0 when every scenario passes, 1 on any violation or
 // infra error, 2 on bad usage.
@@ -40,6 +40,7 @@ struct Args {
   bool no_shrink = false;
   bool verbose = false;
   int max_rows = 40;
+  int shards = 1;
 };
 
 void PrintReport(const FuzzCase& c, const OracleReport& r) {
@@ -86,6 +87,7 @@ void HandleFailure(const Args& args, const FuzzCase& c,
 int Run(const Args& args) {
   OracleOptions oopts;
   oopts.inject_sql_bug = args.inject_bug;
+  oopts.shard_count = args.shards < 1 ? 1 : static_cast<size_t>(args.shards);
   GenOptions gopts;
   gopts.data.max_rows = args.max_rows;
 
@@ -117,7 +119,12 @@ int Run(const Args& args) {
         ++failures;
         continue;
       }
-      OracleReport report = RunOracle(*c, OracleOptions());
+      // Corpus replays ignore --inject-bug (they are regression tests
+      // for real failures) but do honor --shards, so the saved
+      // reproducers also sweep the sharded configurations.
+      OracleOptions replay_opts;
+      replay_opts.shard_count = oopts.shard_count;
+      OracleReport report = RunOracle(*c, replay_opts);
       if (report.verdict != Verdict::kPass) {
         std::fprintf(stderr, "corpus regression: %s\n", file.c_str());
         PrintReport(*c, report);
@@ -206,11 +213,14 @@ int main(int argc, char** argv) {
       args.verbose = true;
     } else if (a == "--max-rows") {
       args.max_rows = std::atoi(next());
+    } else if (a == "--shards") {
+      args.shards = std::atoi(next());
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: fuzz_eqsql [--seed N] [--iters M] [--corpus DIR]\n"
           "                  [--replay FILE] [--case-seed S] [--inject-bug]\n"
-          "                  [--max-rows K] [--no-shrink] [--verbose]\n");
+          "                  [--max-rows K] [--shards P] [--no-shrink]\n"
+          "                  [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <memory>
 #include <set>
 #include <sstream>
 
 #include "core/optimizer.h"
+#include "exec/worker_pool.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
 
@@ -205,8 +207,19 @@ std::string DescribePrintDiff(const std::vector<std::string>& a,
 OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
   OracleReport report;
 
-  storage::Database db;
-  if (Status s = BuildDatabase(c, &db); !s.ok()) {
+  // Each interpreter run gets its own freshly built database: programs
+  // may execute real DML (INSERT/UPDATE into their tables), so sharing
+  // one database would leak the original run's writes into the
+  // rewritten run and every mismatch would be a harness artifact, not
+  // a rewrite bug.
+  storage::DatabaseOptions dbo;
+  dbo.shard_count = opts.shard_count == 0 ? 1 : opts.shard_count;
+  storage::Database db1(dbo), db2(dbo);
+  if (Status s = BuildDatabase(c, &db1); !s.ok()) {
+    report.detail = "database setup: " + s.ToString();
+    return report;
+  }
+  if (Status s = BuildDatabase(c, &db2); !s.ok()) {
     report.detail = "database setup: " + s.ToString();
     return report;
   }
@@ -238,7 +251,15 @@ OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
   }
   report.rewritten_source = optimized->program.ToString();
 
-  net::Connection c1(&db), c2(&db);
+  net::Connection c1(&db1), c2(&db2);
+  std::unique_ptr<exec::WorkerPool> pool;
+  if (dbo.shard_count > 1) {
+    pool = std::make_unique<exec::WorkerPool>(2);
+    c1.set_worker_pool(pool.get());
+    c1.set_parallel_threshold(0);  // force parallel operators on
+    c2.set_worker_pool(pool.get());
+    c2.set_parallel_threshold(0);
+  }
   c2.set_trace(true);
   interp::Interpreter i1(&*program, &c1);
   interp::Interpreter i2(&optimized->program, &c2);

@@ -30,6 +30,12 @@ struct OracleOptions {
   /// constant, swap MAX/MIN). Simulates an unsound rule so tests can
   /// prove the oracle catches it and the shrinker minimizes it.
   bool inject_sql_bug = false;
+  /// Hash partitions per table in the scratch databases (0 and 1 both
+  /// mean a single shard). When > 1 the oracle also attaches a small
+  /// worker pool and forces the parallel operators on (threshold 0),
+  /// so a sweep at --shards N exercises the partition-parallel
+  /// scan/aggregate paths against the exact same programs.
+  size_t shard_count = 1;
 };
 
 /// Everything one differential run learned.

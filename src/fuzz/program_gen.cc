@@ -23,6 +23,7 @@ const char* FamilyName(Family f) {
     case Family::kMultiAgg: return "multi_agg";
     case Family::kConcat: return "concat";
     case Family::kCorrExists: return "corr_exists";
+    case Family::kDml: return "dml";
   }
   return "?";
 }
@@ -33,7 +34,7 @@ std::vector<int> Weights(const GenOptions& o) {
   return {o.w_filter_collect, o.w_scalar_agg, o.w_maxmin,  o.w_exists,
           o.w_join,           o.w_groupby,    o.w_argmax,  o.w_apply,
           o.w_print,          o.w_break,      o.w_partial, o.w_multi,
-          o.w_concat,         o.w_corr_exists};
+          o.w_concat,         o.w_corr_exists, o.w_dml};
 }
 
 constexpr Family kFamilies[] = {
@@ -41,7 +42,7 @@ constexpr Family kFamilies[] = {
     Family::kExists,        Family::kJoin,      Family::kGroupBy,
     Family::kArgmax,        Family::kApply,     Family::kPrint,
     Family::kBreak,         Family::kPartial,   Family::kMultiAgg,
-    Family::kConcat,        Family::kCorrExists,
+    Family::kConcat,        Family::kCorrExists, Family::kDml,
 };
 
 bool NeedsDim(Family f) {
@@ -441,6 +442,36 @@ std::string GenCorrExists(Rng* rng, const FactShape& shape) {
   return s;
 }
 
+/// Real DML: a guarded INSERT into the keyless scratch table t2 for
+/// each fact row, an optional blanket/filtered UPDATE, then a read-back
+/// fold over t2. executeUpdate is a side effect no rule may fold away,
+/// so the insert loop must survive rewriting untouched while the
+/// read-back loop is fair game — the family probes the refusal path,
+/// DML/extraction interleaving, and (under --shards) the per-shard
+/// write-lock path against partition-parallel reads.
+std::string GenDml(Rng* rng, const FactShape& shape) {
+  const std::string& nn = rng->Pick(shape.notnull_ints);
+  bool guarded = rng->Percent(75);
+  std::string insert =
+      "executeUpdate(\"INSERT INTO t2 VALUES (?, ?)\", r.id, r." + nn + ");";
+  std::string s = Scan("rows", "r", "t0");
+  s += "  for (r : rows) {\n";
+  s += guarded ? Guarded(FactPredicate(rng, shape, "r"), insert)
+               : "    " + insert + "\n";
+  s += "  }\n";
+  if (rng->Percent(60)) {
+    std::string stmt = "UPDATE t2 SET b = b + " +
+                       std::to_string(rng->Range(1, 9));
+    if (rng->Percent(50)) {
+      stmt += " WHERE a > " + std::to_string(rng->Range(0, 40));
+    }
+    s += "  executeUpdate(\"" + stmt + "\");\n";
+  }
+  s += "  s = 0;\n" + Scan("back", "x", "t2");
+  s += "  for (x : back) {\n    s = s + x.b;\n  }\n  return s;\n";
+  return s;
+}
+
 std::string Render(Family family, Rng* rng, const FactShape& shape) {
   std::string body;
   switch (family) {
@@ -458,6 +489,7 @@ std::string Render(Family family, Rng* rng, const FactShape& shape) {
     case Family::kMultiAgg: body = GenMultiAgg(rng, shape); break;
     case Family::kConcat: body = GenConcat(rng, shape); break;
     case Family::kCorrExists: body = GenCorrExists(rng, shape); break;
+    case Family::kDml: body = GenDml(rng, shape); break;
   }
   return "func f() {\n" + body + "}\n";
 }
@@ -486,6 +518,25 @@ FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
   // dim-then-fact so fk's domain can depend on the dim's size.
   c.tables.insert(c.tables.begin(),
                   MakeFact(&rng, opts.data, shape, dim_rows));
+  if (family == Family::kDml) {
+    // The keyless scratch table DML programs write into. Keyless on
+    // purpose: inserts land round-robin across shards, so every shard
+    // sees writes even when the fact table's ids cluster.
+    TableSpec scratch;
+    scratch.name = "t2";
+    scratch.columns = {{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+    // Always pre-seeded: an empty t2 at read-back time would let the
+    // lifted SUM ship its one aggregate row where the original loop
+    // ships zero, tripping the never-more-rows oracle on a case that
+    // is a wash, not a regression. One guaranteed row keeps the
+    // invariant strict (agg's 1 row <= scan's N rows, N >= 1).
+    int64_t n = rng.Range(1, 4);
+    for (int64_t i = 0; i < n; ++i) {
+      scratch.rows.push_back({catalog::Value::Int(rng.Range(0, 20)),
+                              catalog::Value::Int(rng.Range(-10, 30))});
+    }
+    c.tables.push_back(std::move(scratch));
+  }
   c.source = Render(family, &rng, shape);
   return c;
 }

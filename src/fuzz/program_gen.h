@@ -26,6 +26,7 @@ enum class Family {
   kMultiAgg,       // two accumulators over one loop
   kConcat,         // string aggregation fold: s = concat(s, r.<str>)
   kCorrExists,     // correlated EXISTS flag feeding a later predicate
+  kDml,            // real INSERT/UPDATE into a scratch table + read-back
 };
 
 const char* FamilyName(Family f);
@@ -49,6 +50,7 @@ struct GenOptions {
   int w_multi = 6;
   int w_concat = 5;
   int w_corr_exists = 6;
+  int w_dml = 6;
 };
 
 /// Generates one self-contained scenario from `seed`: random schemas

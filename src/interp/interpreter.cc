@@ -279,11 +279,25 @@ Result<RtValue> Interpreter::EvalCall(const Expr& call, Env* env) {
         call.args()[0]->kind() != ExprKind::kStringLit) {
       return Status::RuntimeError("executeUpdate needs a literal statement");
     }
+    std::vector<Value> params;
+    params.reserve(call.args().size() - 1);
     for (size_t i = 1; i < call.args().size(); ++i) {
-      EQSQL_RETURN_IF_ERROR(EvalScalarArg(call.args()[i], env).status());
+      EQSQL_ASSIGN_OR_RETURN(Value v, EvalScalarArg(call.args()[i], env));
+      params.push_back(std::move(v));
     }
-    conn_->SimulateUpdate(call.args()[0]->string_value());
-    return RtValue(Value::Int(0));
+    const std::string& sql = call.args()[0]->string_value();
+    // Real DML for the INSERT/UPDATE subset; statements outside it
+    // (DELETEs, vendor syntax) and writes to tables this simulated
+    // server does not hold fall back to cost-only simulation, as the
+    // whole engine did before the write path existed.
+    Result<int64_t> affected = conn_->ExecuteDml(sql, params);
+    if (affected.ok()) return RtValue(Value::Int(*affected));
+    if (affected.status().code() == StatusCode::kParseError ||
+        affected.status().code() == StatusCode::kNotFound) {
+      conn_->SimulateUpdate(sql);
+      return RtValue(Value::Int(0));
+    }
+    return affected.status();
   }
   if (name == "max" || name == "min") {
     if (call.args().size() < 2) {

@@ -1,9 +1,12 @@
 #include "net/connection.h"
 
-#include <mutex>
-#include <shared_mutex>
+#include <utility>
 
+#include "common/strings.h"
+#include "exec/scalar_ops.h"
+#include "sql/dml.h"
 #include "sql/parser.h"
+#include "storage/shard_guard.h"
 
 namespace eqsql::net {
 
@@ -11,10 +14,15 @@ Result<exec::ResultSet> Connection::ExecuteQuery(
     const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
   DebugCheckThreadOwner();
   Result<exec::ResultSet> executed = [&] {
-    // Readers scale: concurrent sessions execute under shared locks and
-    // only DML / temp-table churn excludes them.
-    std::shared_lock<std::shared_mutex> read_lock(db_->data_mutex());
-    return executor_.Execute(plan, params);
+    // Readers scale: pin and shard-shared-lock exactly the tables this
+    // plan scans. Writers to other tables — or to shards of these
+    // tables only after we release — are not excluded globally anymore.
+    storage::ReadGuard guard =
+        storage::ReadGuard::Acquire(*db_, ra::CollectScannedTables(plan));
+    executor_.set_read_guard(&guard);
+    Result<exec::ResultSet> rs = executor_.Execute(plan, params);
+    executor_.set_read_guard(nullptr);
+    return rs;
   }();
   EQSQL_ASSIGN_OR_RETURN(exec::ResultSet rs, std::move(executed));
 
@@ -69,23 +77,116 @@ void Connection::SimulateUpdate(std::string_view sql) {
                          model_.TransferMs(sql.size());
 }
 
+Result<int64_t> Connection::ExecuteDml(
+    std::string_view sql, const std::vector<catalog::Value>& params) {
+  DebugCheckThreadOwner();
+  EQSQL_ASSIGN_OR_RETURN(sql::DmlStatement stmt, sql::ParseDml(sql));
+  std::shared_ptr<storage::Table> table = db_->SnapshotTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table not found: " + stmt.table);
+  }
+
+  int64_t affected = 0;
+  size_t examined = 0;
+  exec::EvalContext ctx(&params);
+  if (stmt.kind == sql::DmlStatement::Kind::kInsert) {
+    if (stmt.insert_values.size() != table->schema().size()) {
+      return Status::InvalidArgument(
+          "INSERT arity does not match schema of table " + stmt.table);
+    }
+    catalog::Row row;
+    row.reserve(stmt.insert_values.size());
+    for (const ra::ScalarExprPtr& e : stmt.insert_values) {
+      EQSQL_ASSIGN_OR_RETURN(catalog::Value v, executor_.Eval(e, &ctx));
+      row.push_back(std::move(v));
+    }
+    EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    affected = 1;
+    examined = 1;
+  } else {
+    if (table->unique_key().has_value()) {
+      const std::string key = AsciiToLower(*table->unique_key());
+      for (const auto& [col, expr] : stmt.assignments) {
+        if (AsciiToLower(col) == key) {
+          return Status::InvalidArgument(
+              "updating unique key column " + col + " of table " +
+              stmt.table + " is not supported");
+        }
+      }
+    }
+    std::vector<size_t> targets;
+    targets.reserve(stmt.assignments.size());
+    for (const auto& [col, expr] : stmt.assignments) {
+      EQSQL_ASSIGN_OR_RETURN(size_t idx, table->schema().ResolveColumn(col));
+      targets.push_back(idx);
+    }
+    const catalog::Schema& schema = table->schema();
+    EQSQL_RETURN_IF_ERROR(
+        table->ForEachRowExclusive([&](catalog::Row* row) -> Status {
+          ++examined;
+          ctx.PushFrame(&schema, row);
+          Status status = Status::OK();
+          bool pass = true;
+          if (stmt.predicate != nullptr) {
+            Result<catalog::Value> v = executor_.Eval(stmt.predicate, &ctx);
+            if (!v.ok()) {
+              status = v.status();
+            } else {
+              pass = exec::IsTruthy(*v);
+            }
+          }
+          if (status.ok() && pass) {
+            // All assignments see the OLD row: `SET a = b, b = a` swaps.
+            std::vector<catalog::Value> fresh;
+            fresh.reserve(targets.size());
+            for (const auto& [col, expr] : stmt.assignments) {
+              Result<catalog::Value> v = executor_.Eval(expr, &ctx);
+              if (!v.ok()) {
+                status = v.status();
+                break;
+              }
+              fresh.push_back(std::move(*v));
+            }
+            if (status.ok()) {
+              for (size_t i = 0; i < targets.size(); ++i) {
+                (*row)[targets[i]] = std::move(fresh[i]);
+              }
+              ++affected;
+            }
+          }
+          ctx.PopFrame();
+          return status;
+        }));
+  }
+
+  ++stats_.queries_executed;
+  ++stats_.round_trips;
+  size_t request_bytes = sql.size();
+  for (const catalog::Value& p : params) request_bytes += p.WireSize();
+  stats_.bytes_transferred += static_cast<int64_t>(request_bytes);
+  stats_.simulated_ms += model_.round_trip_latency_ms +
+                         model_.query_overhead_ms +
+                         model_.TransferMs(request_bytes) +
+                         model_.ServerMs(examined);
+  return affected;
+}
+
 Status Connection::CreateTempTable(const std::string& name,
                                    catalog::Schema schema,
                                    std::vector<catalog::Row> rows) {
   DebugCheckThreadOwner();
   size_t upload_bytes = 0;
-  {
-    // Registering and loading the table must exclude every reader: the
-    // table is globally visible the moment CreateTable registers it.
-    std::unique_lock<std::shared_mutex> write_lock(db_->data_mutex());
-    if (db_->HasTable(name)) db_->DropTable(name);
-    EQSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                           db_->CreateTable(name, std::move(schema)));
-    for (catalog::Row& row : rows) {
-      upload_bytes += catalog::RowWireSize(row);
-      EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
-    }
+  // Build the table fully offline: it is invisible until published, so
+  // loading needs no locks and excludes nobody. PublishTable then
+  // atomically replaces any existing table of the same name; in-flight
+  // readers of the old one keep their pinned snapshot.
+  auto table = std::make_shared<storage::Table>(name, std::move(schema),
+                                                db_->shard_count());
+  for (catalog::Row& row : rows) {
+    upload_bytes += catalog::RowWireSize(row);
+    EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
   }
+  db_->PublishTable(std::move(table));
   ++stats_.round_trips;
   stats_.bytes_transferred += static_cast<int64_t>(upload_bytes);
   stats_.simulated_ms += model_.param_table_overhead_ms +
@@ -95,7 +196,8 @@ Status Connection::CreateTempTable(const std::string& name,
 }
 
 void Connection::DropTempTable(const std::string& name) {
-  std::unique_lock<std::shared_mutex> write_lock(db_->data_mutex());
+  // Registry erase only; shared ownership keeps the table alive for any
+  // in-flight reader that pinned it.
   db_->DropTable(name);
 }
 

@@ -32,9 +32,11 @@ struct QueryTrace {
 /// reports for Figures 8-11.
 ///
 /// Sharing model: many connections may target one storage::Database
-/// concurrently — queries take the database's data lock shared, DML /
-/// temp-table churn takes it exclusive. One Connection itself is owned
-/// by a single thread at a time: its stats_ and trace_ accumulators are
+/// concurrently — queries pin the tables they scan with a
+/// storage::ReadGuard (per-shard shared locks), and DML locks only the
+/// shards it touches, so a writer on one table no longer excludes
+/// readers of every other table. One Connection itself is owned by a
+/// single thread at a time: its stats_ and trace_ accumulators are
 /// deliberately unsynchronized (they are per-session counters, and
 /// making them atomic would still leave torn multi-field reads). The
 /// owning thread is latched on first use and debug-asserted on every
@@ -49,7 +51,8 @@ class Connection {
   Connection& operator=(const Connection&) = delete;
 
   /// Executes a relational-algebra plan with bound parameters, holding
-  /// the database's data lock shared for the duration.
+  /// every scanned table's shard locks shared for the duration (via a
+  /// storage::ReadGuard pinning a consistent snapshot).
   Result<exec::ResultSet> ExecuteQuery(
       const ra::RaNodePtr& plan,
       const std::vector<catalog::Value>& params = {});
@@ -79,17 +82,42 @@ class Connection {
   /// removes updates, so only the cost matters for the benchmarks.
   void SimulateUpdate(std::string_view sql);
 
+  /// Executes a real DML statement (the INSERT/UPDATE subset of
+  /// sql::ParseDml) against storage and returns the number of affected
+  /// rows. INSERT locks exactly the one shard the new row lands in;
+  /// UPDATE walks the table shard by shard, holding one shard lock
+  /// exclusively at a time — concurrent readers of other shards (and
+  /// other tables) proceed. Assignments evaluate against the OLD row;
+  /// updating the unique-key column is rejected (it would invalidate
+  /// key placement). Parse failures and missing tables come back as
+  /// kParseError / kNotFound so callers (the interpreter's
+  /// executeUpdate) can fall back to SimulateUpdate.
+  Result<int64_t> ExecuteDml(std::string_view sql,
+                             const std::vector<catalog::Value>& params = {});
+
   /// Creates a server-side temporary table and loads `rows` into it,
   /// charging batching's parameter-table overhead plus upload transfer.
-  /// Holds the data lock exclusive while loading (the table is visible
-  /// to every session the moment it is registered). Used by the
-  /// batching baseline [11].
+  /// The table is built fully offline — no session can see it, so no
+  /// locks are needed — and then atomically published into the
+  /// registry, replacing any previous table of that name (in-flight
+  /// readers keep their pinned snapshot). Used by the batching
+  /// baseline [11].
   Status CreateTempTable(const std::string& name, catalog::Schema schema,
                          std::vector<catalog::Row> rows);
 
-  /// Drops a temporary table under the exclusive data lock (no charge;
-  /// piggybacks on the next query).
+  /// Drops a temporary table: a registry erase only (no charge;
+  /// piggybacks on the next query). In-flight readers keep their
+  /// snapshot alive via shared ownership.
   void DropTempTable(const std::string& name);
+
+  /// Attaches the server's shard worker pool for partition-parallel
+  /// scans/aggregations (see exec::Executor::set_worker_pool).
+  void set_worker_pool(exec::WorkerPool* pool) {
+    executor_.set_worker_pool(pool);
+  }
+  void set_parallel_threshold(size_t n) {
+    executor_.set_parallel_threshold(n);
+  }
 
   const ConnectionStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ConnectionStats(); }

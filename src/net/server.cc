@@ -1,12 +1,32 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <thread>
+
+#include "common/hash.h"
 
 namespace eqsql::net {
 
+namespace {
+
+size_t ResolveExecThreads(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 1;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      plan_cache_(options_.plan_cache_capacity) {}
+      db_(options_.database),
+      plan_cache_(options_.plan_cache_capacity),
+      pool_(ResolveExecThreads(options_.exec_threads)) {
+  // Salt cache keys with the shard configuration: a plan cached under
+  // one sharding can never alias a differently-configured server's.
+  plan_cache_.set_key_salt(
+      SplitMix64(0x5ca1ab1e ^ static_cast<uint64_t>(db_.shard_count())));
+}
 
 std::unique_ptr<Session> Server::Connect() {
   int64_t id;
@@ -55,6 +75,23 @@ Result<std::shared_ptr<const core::OptimizeResult>> Session::OptimizeCached(
     const std::string& source, const std::string& function) {
   return server_->plan_cache_.GetOrOptimize(source, function,
                                             server_->options_.optimize);
+}
+
+Status Session::CreateTempTable(const std::string& name,
+                                catalog::Schema schema,
+                                std::vector<catalog::Row> rows) {
+  // Invalidate BEFORE publishing: a racing session may re-cache a plan
+  // against the old registry entry between invalidation and publish,
+  // but such a plan still resolves the *new* table by name at
+  // execution (plans bind names, not pointers) — whereas invalidating
+  // after would let a plan computed against the old shape linger.
+  server_->plan_cache_.InvalidateTable(name);
+  return conn_.CreateTempTable(name, std::move(schema), std::move(rows));
+}
+
+void Session::DropTempTable(const std::string& name) {
+  server_->plan_cache_.InvalidateTable(name);
+  conn_.DropTempTable(name);
 }
 
 }  // namespace eqsql::net

@@ -28,6 +28,16 @@ struct ServerOptions {
   /// cache key, so changing them between sessions is safe (entries
   /// never alias across different options).
   core::OptimizeOptions optimize;
+  /// Storage configuration: `database.shard_count` hash partitions per
+  /// table (0 = hardware concurrency). Also salts the plan-cache keys.
+  storage::DatabaseOptions database;
+  /// Worker threads in the shared shard-execution pool. 0 = hardware
+  /// concurrency minus one (at least 1). Submitting sessions always
+  /// help drain the pool, so even 1 worker cannot deadlock progress.
+  size_t exec_threads = 0;
+  /// Minimum table row count before per-shard parallel operators engage
+  /// (forwarded to every session's Executor).
+  size_t parallel_threshold = 512;
 };
 
 /// Server-wide aggregate counters. Session stats fold in when a session
@@ -66,6 +76,7 @@ class Server {
   storage::Database* db() { return &db_; }
 
   core::PlanCache* plan_cache() { return &plan_cache_; }
+  exec::WorkerPool* worker_pool() { return &pool_; }
   const ServerOptions& options() const { return options_; }
 
   /// Opens a session against the shared database. The session may be
@@ -85,6 +96,7 @@ class Server {
   ServerOptions options_;
   storage::Database db_;
   core::PlanCache plan_cache_;
+  exec::WorkerPool pool_;
 
   mutable std::mutex mu_;  // guards the aggregate counters below
   int64_t sessions_opened_ = 0;
@@ -115,6 +127,15 @@ class Session {
   Result<std::shared_ptr<const core::OptimizeResult>> OptimizeCached(
       const std::string& source, const std::string& function);
 
+  /// Temp-table DDL with plan-cache invalidation: any cached plan or
+  /// extraction referencing `name` is dropped before the registry
+  /// changes, so no session can execute a plan that aliases the old
+  /// table after the DDL. Prefer these over the raw Connection calls
+  /// whenever the same name may be recreated with a different shape.
+  Status CreateTempTable(const std::string& name, catalog::Schema schema,
+                         std::vector<catalog::Row> rows);
+  void DropTempTable(const std::string& name);
+
   /// The underlying connection, for callers that need the raw API
   /// (interpreter runs, temp tables, tracing).
   Connection* connection() { return &conn_; }
@@ -124,7 +145,10 @@ class Session {
   friend class Server;
   Session(Server* server, int64_t id)
       : server_(server), id_(id), conn_(&server->db_,
-                                        server->options_.cost_model) {}
+                                        server->options_.cost_model) {
+    conn_.set_worker_pool(&server->pool_);
+    conn_.set_parallel_threshold(server->options_.parallel_threshold);
+  }
 
   Server* server_;
   int64_t id_;

@@ -16,7 +16,8 @@ const std::unordered_set<std::string>& Keywords() {
       "ON",     "AS",    "AND",    "OR",     "NOT",   "EXISTS", "NULL",
       "TRUE",   "FALSE", "CASE",   "WHEN",   "THEN",  "ELSE",   "END",
       "IS",     "DISTINCT", "GREATEST", "LEAST", "COUNT", "SUM", "MIN",
-      "MAX",    "AVG",   "LATERAL", "HAVING", "IN",
+      "MAX",    "AVG",   "LATERAL", "HAVING", "IN",     "INSERT", "INTO",
+      "VALUES", "UPDATE", "SET",
   });
   return *kKeywords;
 }

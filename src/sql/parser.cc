@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "sql/dml.h"
 #include "sql/lexer.h"
 
 namespace eqsql::sql {
@@ -53,6 +54,44 @@ class Parser {
     return plan;
   }
 
+  Result<DmlStatement> ParseDmlTopLevel() {
+    DmlStatement stmt;
+    if (MatchKeyword("INSERT")) {
+      stmt.kind = DmlStatement::Kind::kInsert;
+      EQSQL_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+      EQSQL_ASSIGN_OR_RETURN(stmt.table, ParseBareIdentifier("table name"));
+      EQSQL_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+      EQSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      do {
+        EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr value, ParseExpr());
+        stmt.insert_values.push_back(std::move(value));
+      } while (Match(TokenKind::kComma));
+      EQSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    } else if (MatchKeyword("UPDATE")) {
+      stmt.kind = DmlStatement::Kind::kUpdate;
+      EQSQL_ASSIGN_OR_RETURN(stmt.table, ParseBareIdentifier("table name"));
+      EQSQL_RETURN_IF_ERROR(ExpectKeyword("SET"));
+      do {
+        EQSQL_ASSIGN_OR_RETURN(std::string col,
+                               ParseBareIdentifier("column name"));
+        EQSQL_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='"));
+        EQSQL_ASSIGN_OR_RETURN(ScalarExprPtr value, ParseExpr());
+        stmt.assignments.emplace_back(std::move(col), std::move(value));
+      } while (Match(TokenKind::kComma));
+      if (MatchKeyword("WHERE")) {
+        EQSQL_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
+      }
+    } else {
+      return Status::ParseError("expected INSERT or UPDATE before '" +
+                                Peek().text + "'");
+    }
+    if (!AtEnd()) {
+      return Status::ParseError("trailing input after statement: '" +
+                                Peek().text + "'");
+    }
+    return stmt;
+  }
+
  private:
   // --- token helpers ------------------------------------------------------
   const Token& Peek(size_t ahead = 0) const {
@@ -85,6 +124,14 @@ class Parser {
     if (Match(kind)) return Status::OK();
     return Status::ParseError("expected " + std::string(what) + " before '" +
                               Peek().text + "'");
+  }
+
+  Result<std::string> ParseBareIdentifier(std::string_view what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected " + std::string(what) +
+                                " before '" + Peek().text + "'");
+    }
+    return Advance().text;
   }
 
   // --- query --------------------------------------------------------------
@@ -610,6 +657,12 @@ Result<RaNodePtr> ParseSql(std::string_view input) {
   EQSQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeSql(input));
   Parser parser(std::move(tokens));
   return parser.ParseTopLevel();
+}
+
+Result<DmlStatement> ParseDml(std::string_view input) {
+  EQSQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeSql(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseDmlTopLevel();
 }
 
 }  // namespace eqsql::sql

@@ -1,10 +1,19 @@
 #include "storage/database.h"
 
 #include <mutex>
+#include <thread>
 
 #include "common/strings.h"
 
 namespace eqsql::storage {
+
+Database::Database(DatabaseOptions options) {
+  shard_count_ = options.shard_count;
+  if (shard_count_ == 0) {
+    shard_count_ = std::thread::hardware_concurrency();
+    if (shard_count_ == 0) shard_count_ = 1;
+  }
+}
 
 Result<Table*> Database::CreateTable(const std::string& name,
                                      catalog::Schema schema) {
@@ -13,7 +22,7 @@ Result<Table*> Database::CreateTable(const std::string& name,
   if (tables_.count(key) > 0) {
     return Status::InvalidArgument("table already exists: " + name);
   }
-  auto table = std::make_unique<Table>(name, std::move(schema));
+  auto table = std::make_shared<Table>(name, std::move(schema), shard_count_);
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return raw;
@@ -31,6 +40,27 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
   auto it = tables_.find(AsciiToLower(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return static_cast<const Table*>(it->second.get());
+}
+
+std::shared_ptr<const Table> Database::SnapshotTable(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return it->second;
+}
+
+std::shared_ptr<Table> Database::SnapshotTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) return nullptr;
+  return it->second;
+}
+
+void Database::PublishTable(std::shared_ptr<Table> table) {
+  std::string key = AsciiToLower(table->name());
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  tables_[std::move(key)] = std::move(table);
 }
 
 bool Database::HasTable(const std::string& name) const {

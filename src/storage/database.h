@@ -1,6 +1,7 @@
 #ifndef EQSQL_STORAGE_DATABASE_H_
 #define EQSQL_STORAGE_DATABASE_H_
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -12,57 +13,79 @@
 
 namespace eqsql::storage {
 
+struct DatabaseOptions {
+  /// Number of hash partitions per table. 0 means "use the hardware
+  /// concurrency" (at least 1). Every table created through this
+  /// database gets this many shards; the plan cache salts its keys
+  /// with the resolved value (core::PlanCache::set_key_salt).
+  size_t shard_count = 0;
+};
+
 /// The server-side table registry. Table names are case-insensitive, as
 /// in MySQL's default configuration (the paper's evaluation server).
 ///
-/// Concurrency discipline (two locks, registry lock always the leaf):
+/// Concurrency discipline (registry lock + per-shard table locks):
 ///
 ///  * The *registry* — the name → Table map — is internally
 ///    synchronized: every method takes registry_mu_ (shared for
-///    lookups, exclusive for create/drop), so concurrent sessions may
-///    resolve tables at any time.
-///  * Table *contents* are NOT internally synchronized. Readers
-///    (query execution) must hold data_mutex() shared; writers
-///    (Table::Insert / Clear / DeclareUniqueKey, and any create/drop
-///    whose Table* escapes to other sessions, e.g. temp-table churn)
-///    must hold it exclusive. net::Connection acquires it on every
-///    query/DML path, so code going through connections is safe by
-///    construction; direct Table mutation is for single-threaded setup.
+///    lookups, exclusive for create/drop/publish). registry_mu_ is a
+///    leaf lock: it is never held while acquiring any table shard lock.
+///  * Table *contents* are guarded by the table's own per-shard
+///    reader-writer locks (see Table's class comment). There is no
+///    database-wide data lock anymore: a writer touching table T's
+///    shard 3 excludes only readers of that shard, not the rest of the
+///    database.
+///  * Tables are held by shared_ptr so a query can pin a consistent
+///    snapshot (storage::ReadGuard) while another session drops or
+///    replaces the registry entry; the dropped table stays alive until
+///    the last in-flight reader releases it.
 class Database {
  public:
   Database() = default;
+  explicit Database(DatabaseOptions options);
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Creates an empty table; errors if the name is taken.
+  /// The resolved per-table shard count (options.shard_count, or the
+  /// hardware concurrency when that was 0).
+  size_t shard_count() const { return shard_count_; }
+
+  /// Creates an empty table with shard_count() shards; errors if the
+  /// name is taken.
   Result<Table*> CreateTable(const std::string& name, catalog::Schema schema);
 
   /// Looks up a table; errors with kNotFound.
   Result<Table*> GetTable(const std::string& name);
   Result<const Table*> GetTable(const std::string& name) const;
 
+  /// Looks up a table and returns an owning reference, so the caller
+  /// can keep reading it even if the registry entry is dropped or
+  /// replaced concurrently (temp-table churn). nullptr if absent.
+  std::shared_ptr<const Table> SnapshotTable(const std::string& name) const;
+  std::shared_ptr<Table> SnapshotTable(const std::string& name);
+
+  /// Atomically registers `table` under its name, replacing any
+  /// existing entry. Used by temp-table upload: the table is built
+  /// fully offline (no locks needed — nobody can see it yet) and then
+  /// published in one registry write. In-flight readers of a replaced
+  /// table keep their snapshot.
+  void PublishTable(std::shared_ptr<Table> table);
+
   bool HasTable(const std::string& name) const;
 
   /// Drops a table if present (temporary parameter tables in batching).
+  /// Purely a registry erase; in-flight readers keep their snapshot.
   void DropTable(const std::string& name);
 
   std::vector<std::string> TableNames() const;
 
-  /// The database-wide reader-writer lock over table *contents*.
-  /// Shared holders may read any table's rows; the exclusive holder may
-  /// mutate them (DML, temp-table load/drop). Acquired by net::
-  /// Connection around execution; exposed so batch setup code can take
-  /// one exclusive section around many direct Table writes.
-  std::shared_mutex& data_mutex() const { return data_mu_; }
-
  private:
-  /// Guards tables_ itself (leaf lock; never held while acquiring
-  /// data_mu_).
+  /// Guards tables_ itself (leaf lock; never held while acquiring any
+  /// table shard lock).
   mutable std::shared_mutex registry_mu_;
-  /// Reader-writer lock over table contents; see class comment.
-  mutable std::shared_mutex data_mu_;
   /// Keyed by lowercase name; Table::name() preserves original spelling.
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  size_t shard_count_ = 1;
 };
 
 }  // namespace eqsql::storage

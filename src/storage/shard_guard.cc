@@ -1,0 +1,42 @@
+#include "storage/shard_guard.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace eqsql::storage {
+
+ReadGuard ReadGuard::Acquire(const Database& db,
+                             const std::vector<std::string>& tables) {
+  std::vector<std::string> keys;
+  keys.reserve(tables.size());
+  for (const std::string& t : tables) keys.push_back(AsciiToLower(t));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  ReadGuard guard;
+  for (std::string& key : keys) {
+    std::shared_ptr<const Table> table = db.SnapshotTable(key);
+    if (table == nullptr) continue;  // execution reports kNotFound later
+    guard.keys_.push_back(std::move(key));
+    guard.tables_.push_back(std::move(table));
+  }
+  // All snapshots taken (registry lock released each time); now lock
+  // shards — canonical order: by sorted table name, ascending shard.
+  for (const auto& table : guard.tables_) {
+    for (size_t i = 0; i < table->shard_count(); ++i) {
+      guard.locks_.emplace_back(table->shard_mutex(i));
+    }
+  }
+  return guard;
+}
+
+const Table* ReadGuard::Find(const std::string& name) const {
+  std::string key = AsciiToLower(name);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return tables_[i].get();
+  }
+  return nullptr;
+}
+
+}  // namespace eqsql::storage

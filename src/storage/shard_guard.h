@@ -1,0 +1,58 @@
+#ifndef EQSQL_STORAGE_SHARD_GUARD_H_
+#define EQSQL_STORAGE_SHARD_GUARD_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace eqsql::storage {
+
+/// Pins a read-consistent view of a set of tables for the duration of a
+/// query: an owning snapshot of each table (so a concurrent DROP cannot
+/// free it) plus shared locks on every shard of every table (so
+/// concurrent DML cannot mutate rows mid-scan).
+///
+/// Deadlock-freedom: locks are acquired in a canonical global order —
+/// tables sorted by lowercase name, and within a table shards in
+/// ascending index order. Table write methods follow the same
+/// ascending-shard rule, and the registry lock is never held while
+/// shard locks are acquired, so all lock acquisition orders are
+/// consistent.
+///
+/// Tables named but absent from the database are silently skipped:
+/// execution will then report its usual kNotFound error when it
+/// resolves the table, which keeps error messages identical to the
+/// unsharded engine.
+class ReadGuard {
+ public:
+  /// Snapshots and shard-shared-locks `tables` (any case, duplicates
+  /// fine) from `db`.
+  static ReadGuard Acquire(const Database& db,
+                           const std::vector<std::string>& tables);
+
+  ReadGuard() = default;
+  ReadGuard(ReadGuard&&) = default;
+  ReadGuard& operator=(ReadGuard&&) = default;
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+  ~ReadGuard() = default;  // locks_ unlock, then snapshots release
+
+  /// The pinned table with this (case-insensitive) name, or nullptr if
+  /// it was not covered by this guard.
+  const Table* Find(const std::string& name) const;
+
+  bool empty() const { return tables_.empty(); }
+
+ private:
+  /// Lowercase names, parallel to tables_.
+  std::vector<std::string> keys_;
+  std::vector<std::shared_ptr<const Table>> tables_;
+  std::vector<std::shared_lock<std::shared_mutex>> locks_;
+};
+
+}  // namespace eqsql::storage
+
+#endif  // EQSQL_STORAGE_SHARD_GUARD_H_

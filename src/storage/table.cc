@@ -1,6 +1,43 @@
 #include "storage/table.h"
 
+#include <algorithm>
+#include <mutex>
+
 namespace eqsql::storage {
+
+namespace {
+
+/// Locks every shard mutex exclusively, in ascending shard order (the
+/// table-wide lock-ordering rule; see DESIGN.md). Unlocks in reverse.
+class AllShardsExclusive {
+ public:
+  explicit AllShardsExclusive(const std::vector<std::shared_mutex*>& mus)
+      : mus_(mus) {
+    for (std::shared_mutex* mu : mus_) mu->lock();
+  }
+  ~AllShardsExclusive() {
+    for (auto it = mus_.rbegin(); it != mus_.rend(); ++it) (*it)->unlock();
+  }
+
+ private:
+  std::vector<std::shared_mutex*> mus_;
+};
+
+}  // namespace
+
+std::vector<catalog::Row> Table::rows() const {
+  std::vector<catalog::Row> out(row_count());
+  for (const auto& shard : shards_) {
+    for (const Slot& slot : shard->slots) {
+      if (slot.seq < out.size()) out[slot.seq] = slot.row;
+    }
+  }
+  return out;
+}
+
+size_t Table::ShardOfKey(const catalog::Value& key) const {
+  return catalog::ValueHash()(key) % shards_.size();
+}
 
 Status Table::Insert(catalog::Row row) {
   if (row.size() != schema_.size()) {
@@ -9,43 +46,151 @@ Status Table::Insert(catalog::Row row) {
         schema_.ToString() + " of table " + name_);
   }
   if (unique_key_.has_value()) {
-    const catalog::Value& key = row[key_index_col_];
-    auto [it, inserted] = key_index_.emplace(key, rows_.size());
-    if (!inserted) {
+    const catalog::Value key = row[key_index_col_];
+    Shard& shard = *shards_[ShardOfKey(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.index.count(key) > 0) {
       return Status::InvalidArgument("duplicate key " + key.ToString() +
                                      " in table " + name_);
     }
+    size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+    shard.index.emplace(std::move(key), shard.slots.size());
+    shard.slots.push_back(Slot{seq, std::move(row)});
+  } else {
+    size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+    Shard& shard = *shards_[seq % shards_.size()];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.slots.push_back(Slot{seq, std::move(row)});
   }
-  rows_.push_back(std::move(row));
+  size_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status Table::Repartition(size_t new_count, const std::string* new_key) {
+  // When the shard count changes, the replaced shards move here. The
+  // declaration MUST precede `lock`: locals destroy in reverse order,
+  // so the lock's destructor unlocks the old mutexes before `old`
+  // frees the Shard objects that own them.
+  std::vector<std::unique_ptr<Shard>> old;
+
+  // Gather every slot under all-shard exclusive locks, then re-place.
+  std::vector<std::shared_mutex*> mus;
+  mus.reserve(shards_.size());
+  for (const auto& s : shards_) mus.push_back(&s->mu);
+  AllShardsExclusive lock(mus);
+
+  std::optional<std::string> key = unique_key_;
+  size_t key_col = key_index_col_;
+  if (new_key != nullptr) {
+    EQSQL_ASSIGN_OR_RETURN(key_col, schema_.ResolveColumn(*new_key));
+    key = *new_key;
+  }
+
+  std::vector<Slot> all;
+  all.reserve(row_count());
+  for (const auto& s : shards_) {
+    for (Slot& slot : s->slots) all.push_back(std::move(slot));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Slot& a, const Slot& b) { return a.seq < b.seq; });
+
+  size_t count = new_count == 0 ? shards_.size() : new_count;
+  std::vector<std::vector<Slot>> placed(count);
+  std::vector<std::unordered_map<catalog::Value, size_t, catalog::ValueHash>>
+      indexes(count);
+  for (Slot& slot : all) {
+    size_t target;
+    if (key.has_value()) {
+      const catalog::Value& kv = slot.row[key_col];
+      target = catalog::ValueHash()(kv) % count;
+      auto [it, inserted] =
+          indexes[target].emplace(kv, placed[target].size());
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "existing data violates unique key on " + *key + " in table " +
+            name_);
+      }
+    } else {
+      target = slot.seq % count;
+    }
+    placed[target].push_back(std::move(slot));
+  }
+
+  // Commit. When the shard count changes the shards_ vector itself is
+  // rebuilt; AllShardsExclusive still holds the *old* mutexes, which
+  // stay alive in `old` (declared above the lock) until after unlock.
+  if (count != shards_.size()) {
+    std::vector<std::unique_ptr<Shard>> fresh(count);
+    for (auto& s : fresh) s = std::make_unique<Shard>();
+    old = std::move(shards_);
+    shards_ = std::move(fresh);
+    for (size_t i = 0; i < count; ++i) {
+      shards_[i]->slots = std::move(placed[i]);
+      shards_[i]->index = std::move(indexes[i]);
+    }
+    unique_key_ = key;
+    key_index_col_ = key_col;
+    return Status::OK();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    shards_[i]->slots = std::move(placed[i]);
+    shards_[i]->index = std::move(indexes[i]);
+  }
+  unique_key_ = key;
+  key_index_col_ = key_col;
   return Status::OK();
 }
 
 Status Table::DeclareUniqueKey(const std::string& column) {
-  EQSQL_ASSIGN_OR_RETURN(size_t idx, schema_.ResolveColumn(column));
-  std::unordered_map<catalog::Value, size_t, catalog::ValueHash> index;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    auto [it, inserted] = index.emplace(rows_[i][idx], i);
-    if (!inserted) {
-      return Status::InvalidArgument("existing data violates unique key on " +
-                                     column + " in table " + name_);
-    }
+  return Repartition(0, &column);
+}
+
+Status Table::SetShardCount(size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("shard count must be positive");
   }
-  unique_key_ = column;
-  key_index_col_ = idx;
-  key_index_ = std::move(index);
-  return Status::OK();
+  if (n == shards_.size()) return Status::OK();
+  return Repartition(n, nullptr);
 }
 
 std::optional<size_t> Table::LookupByKey(const catalog::Value& key) const {
   if (!unique_key_.has_value()) return std::nullopt;
-  auto it = key_index_.find(key);
-  if (it == key_index_.end()) return std::nullopt;
-  return it->second;
+  const Shard& shard = *shards_[ShardOfKey(key)];
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  return shard.slots[it->second].seq;
+}
+
+std::optional<catalog::Row> Table::GetByKey(const catalog::Value& key) const {
+  if (!unique_key_.has_value()) return std::nullopt;
+  const Shard& shard = *shards_[ShardOfKey(key)];
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  return shard.slots[it->second].row;
 }
 
 void Table::Clear() {
-  rows_.clear();
-  key_index_.clear();
+  std::vector<std::shared_mutex*> mus;
+  mus.reserve(shards_.size());
+  for (const auto& s : shards_) mus.push_back(&s->mu);
+  AllShardsExclusive lock(mus);
+  for (const auto& s : shards_) {
+    s->slots.clear();
+    s->index.clear();
+  }
+  next_seq_.store(0, std::memory_order_release);
+  size_.store(0, std::memory_order_release);
+}
+
+Status Table::ForEachRowExclusive(
+    const std::function<Status(catalog::Row* row)>& fn) {
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    for (Slot& slot : shard->slots) {
+      EQSQL_RETURN_IF_ERROR(fn(&slot.row));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace eqsql::storage

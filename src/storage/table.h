@@ -1,7 +1,12 @@
 #ifndef EQSQL_STORAGE_TABLE_H_
 #define EQSQL_STORAGE_TABLE_H_
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,48 +16,132 @@
 
 namespace eqsql::storage {
 
-/// An in-memory heap table: a schema plus a row vector in insertion
-/// order. Row order is deterministic (insertion order), which matters
-/// because the paper's π operator is defined to preserve input order.
+/// An in-memory heap table, hash-partitioned across N shards. Each row
+/// carries a table-wide insertion sequence number; a full scan
+/// reassembles rows in sequence order, so the observable row order is
+/// insertion order regardless of the shard count. This matters because
+/// the paper's π operator is defined to preserve input order — and it
+/// is what makes results shard-count-invariant (tests/
+/// shard_invariance_test.cc proves it at 1, 2, and 8 shards).
 ///
-/// Not internally synchronized. Concurrent readers are safe on their
-/// own (all read paths are const); any mutation (Insert, Clear,
-/// DeclareUniqueKey) must exclude readers by holding the owning
-/// Database's data_mutex() exclusively — net::Connection enforces this
-/// on every execution/DML path.
+/// Placement: when a unique key is declared, a row lives in the shard
+/// its key value hashes to (so uniqueness is checkable per shard and a
+/// point lookup touches exactly one shard); otherwise rows are placed
+/// round-robin by sequence number.
+///
+/// Concurrency discipline (one reader-writer lock per shard):
+///  * Write methods (Insert, Clear, DeclareUniqueKey, SetShardCount,
+///    ForEachRowExclusive) are internally synchronized: they acquire
+///    the shard locks they need, always in ascending shard order, and
+///    assume the calling thread holds none of this table's shard locks.
+///  * Read methods (rows, shard_slots, LookupByKey, GetByKey) take no
+///    locks. Concurrent readers must exclude writers by holding the
+///    shard locks shared — net::Connection does this via
+///    storage::ReadGuard around every query; single-threaded setup
+///    code needs no locks.
 class Table {
  public:
-  Table(std::string name, catalog::Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  /// One stored row plus its table-wide insertion sequence number.
+  struct Slot {
+    size_t seq = 0;
+    catalog::Row row;
+  };
+
+  Table(std::string name, catalog::Schema schema, size_t shard_count = 1)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        shards_(std::max<size_t>(1, shard_count)) {
+    for (auto& s : shards_) s = std::make_unique<Shard>();
+  }
 
   const std::string& name() const { return name_; }
   const catalog::Schema& schema() const { return schema_; }
-  const std::vector<catalog::Row>& rows() const { return rows_; }
-  size_t row_count() const { return rows_.size(); }
+  size_t shard_count() const { return shards_.size(); }
+  size_t row_count() const { return size_.load(std::memory_order_acquire); }
 
-  /// Appends a row; errors if arity does not match the schema.
+  /// All rows in insertion order (gathered across shards). Returns a
+  /// fresh vector: shards own their slots and there is no contiguous
+  /// backing array to reference.
+  std::vector<catalog::Row> rows() const;
+
+  /// Appends a row; errors if arity does not match the schema or the
+  /// declared unique key is violated. Takes exactly one shard lock.
   Status Insert(catalog::Row row);
 
-  /// Declares column `column` as a unique key and builds an index over
-  /// it. Errors if existing data violates uniqueness. Rule T4.1/T5.2
-  /// require the outer query's relation to have a key (paper Sec. 5.1).
+  /// Declares column `column` as a unique key, re-partitions rows by
+  /// key hash, and builds per-shard indexes. Errors if existing data
+  /// violates uniqueness. Rule T4.1/T5.2 require the outer query's
+  /// relation to have a key (paper Sec. 5.1).
   Status DeclareUniqueKey(const std::string& column);
 
   /// Name of the declared unique key column, if any.
   std::optional<std::string> unique_key() const { return unique_key_; }
 
-  /// Point lookup via the unique-key index; nullopt if absent or no key.
+  /// Point lookup via the unique-key index; returns the row's sequence
+  /// number (its position in rows()) or nullopt. Touches one shard.
   std::optional<size_t> LookupByKey(const catalog::Value& key) const;
+
+  /// Point lookup returning the row itself; nullopt if absent / no key.
+  std::optional<catalog::Row> GetByKey(const catalog::Value& key) const;
 
   void Clear();
 
+  /// Re-partitions existing rows across `n` shards (shard-count change
+  /// at runtime, e.g. rebalancing a long-lived temp table). Takes every
+  /// old shard lock exclusively; scan order is unaffected because order
+  /// is defined by sequence numbers, not placement.
+  Status SetShardCount(size_t n);
+
+  /// The shard a row with key value `key` lives in (key-hash placement).
+  size_t ShardOfKey(const catalog::Value& key) const;
+
+  /// Applies `fn` to every row, shard by shard in ascending order,
+  /// holding each shard's lock exclusively while its rows are visited.
+  /// `fn` may mutate the row in place but must preserve arity and must
+  /// not change the unique-key column (the key index maps keys to
+  /// slots). An error aborts the walk; prior shards stay applied
+  /// (statement-level, not transactional — like MySQL's non-atomic
+  /// multi-row UPDATE on MyISAM, the paper's evaluation default).
+  Status ForEachRowExclusive(
+      const std::function<Status(catalog::Row* row)>& fn);
+
+  /// Shard `i`'s lock. Exposed so ReadGuard can pin scans, DML-style
+  /// writers can scope their exclusion, and tests can prove lock
+  /// independence across shards.
+  std::shared_mutex& shard_mutex(size_t i) const { return shards_[i]->mu; }
+
+  /// Shard `i`'s slots (seq + row). Readers must hold shard_mutex(i)
+  /// shared in concurrent settings. Slot order within a shard is
+  /// unspecified; order across the table is by Slot::seq.
+  const std::vector<Slot>& shard_slots(size_t i) const {
+    return shards_[i]->slots;
+  }
+
  private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<Slot> slots;
+    /// key value -> index into `slots` (only when a unique key is
+    /// declared; keys hash-place into exactly one shard).
+    std::unordered_map<catalog::Value, size_t, catalog::ValueHash> index;
+  };
+
+  /// Re-places every row under all-shard exclusive locks. `new_count`
+  /// of 0 keeps the current shard count (used by DeclareUniqueKey).
+  Status Repartition(size_t new_count, const std::string* new_key);
+
   std::string name_;
   catalog::Schema schema_;
-  std::vector<catalog::Row> rows_;
+  /// unique_ptr keeps Shard addresses (and their mutexes) stable if the
+  /// vector itself is rebuilt by SetShardCount.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::optional<std::string> unique_key_;
   size_t key_index_col_ = 0;
-  std::unordered_map<catalog::Value, size_t, catalog::ValueHash> key_index_;
+  /// Next insertion sequence number. Sequence numbers are dense
+  /// (0..row_count-1): they are allocated only after validation
+  /// succeeds, and rows are never deleted individually (Clear resets).
+  std::atomic<size_t> next_seq_{0};
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace eqsql::storage

@@ -95,6 +95,68 @@ TEST(PlanCacheTest, OptimizeResultsKeyedByOptions) {
   EXPECT_EQ(cache.stats().misses, 2);  // r1 and r3
 }
 
+TEST(PlanCacheTest, InvalidateTableDropsMatchingEntries) {
+  core::PlanCache cache(8);
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT * FROM t1 AS r").ok());
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT s.id AS a FROM t2 AS s").ok());
+  const std::string source = workloads::SelectionProgram();
+  core::OptimizeOptions opts;
+  opts.transform.table_keys = {{"project", "id"}};
+  ASSERT_TRUE(cache.GetOrOptimize(source, "unfinished", opts).ok());
+  ASSERT_EQ(cache.size(), 3u);
+
+  // SQL entries match by scanned-table name, case-insensitively.
+  cache.InvalidateTable("T1");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+
+  // Program entries match conservatively by source-text mention.
+  cache.InvalidateTable("project");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+
+  // Unknown tables are a no-op and the unrelated entry survives.
+  cache.InvalidateTable("no_such_table");
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.GetOrParseSql("SELECT s.id AS a FROM t2 AS s").ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+// The stale-plan regression: recreating a temp table under the same
+// name through the Session wrappers must drop every cached line naming
+// it, so the next request re-parses against the new table rather than
+// reusing a plan computed against the old one.
+TEST(PlanCacheTest, TempTableDdlInvalidatesCachedPlans) {
+  Server server;
+  std::unique_ptr<Session> session = server.Connect();
+  catalog::Schema schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+  auto rows_of = [](int64_t base) {
+    std::vector<catalog::Row> rows;
+    for (int i = 0; i < 4; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(base + i)});
+    }
+    return rows;
+  };
+  ASSERT_TRUE(session->CreateTempTable("tt", schema, rows_of(10)).ok());
+  const std::string sql = "SELECT SUM(t.v) AS s FROM tt AS t";
+  auto r1 = session->ExecuteSql(sql);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->rows[0][0].AsInt(), 46);
+  ASSERT_TRUE(session->ExecuteSql(sql).ok());  // now cached
+  EXPECT_GE(server.plan_cache()->stats().hits, 1);
+
+  session->DropTempTable("tt");
+  ASSERT_TRUE(session->CreateTempTable("tt", schema, rows_of(100)).ok());
+  core::PlanCacheStats mid = server.plan_cache()->stats();
+  EXPECT_GE(mid.invalidations, 1);
+
+  auto r2 = session->ExecuteSql(sql);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows[0][0].AsInt(), 406);  // fresh table, fresh plan
+  // The re-execution was a cache miss: the stale line really was gone.
+  EXPECT_EQ(server.plan_cache()->stats().misses, mid.misses + 1);
+}
+
 // Hammer one small cache from many threads with overlapping key sets so
 // hits, misses, insertions, and evictions all interleave. TSan proves
 // the mutex discipline; the assertions prove the counters stay sane.

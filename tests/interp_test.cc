@@ -187,16 +187,32 @@ TEST_F(InterpTest, RuntimeErrors) {
           .ok());
 }
 
-TEST_F(InterpTest, ExecuteUpdateChargesButDoesNotFail) {
+TEST_F(InterpTest, ExecuteUpdateRunsRealDml) {
   auto r = Run(R"(
     func f() {
-      executeUpdate("UPDATE nums SET v = 0");
-      return 1;
+      return executeUpdate("UPDATE nums SET v = 0");
     }
   )", "f");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(last_conn().stats().round_trips, 1);
-  // Data untouched (simulated update).
+  // The update really executes: every row's v column is zeroed, and the
+  // affected-row count comes back to the program.
+  std::vector<catalog::Row> rows = (*db_.GetTable("nums"))->rows();
+  EXPECT_EQ(r->scalar().AsInt(), static_cast<int64_t>(rows.size()));
+  for (const catalog::Row& row : rows) EXPECT_EQ(row[1].AsInt(), 0);
+}
+
+TEST_F(InterpTest, ExecuteUpdateUnparsableFallsBackToSimulation) {
+  auto r = Run(R"(
+    func f() {
+      return executeUpdate("DELETE FROM nums");
+    }
+  )", "f");
+  ASSERT_TRUE(r.ok());
+  // DELETE is not in the DML grammar: the connection simulates the
+  // round trip (charges cost, touches nothing, reports 0 affected).
+  EXPECT_EQ(r->scalar().AsInt(), 0);
+  EXPECT_EQ(last_conn().stats().round_trips, 1);
   EXPECT_EQ((*db_.GetTable("nums"))->rows()[0][1].AsInt(), 1);
 }
 

@@ -117,5 +117,58 @@ TEST_F(ConnectionTest, AggregationReducesBytesVsFullScan) {
   EXPECT_LT(agg.stats().rows_transferred, full.stats().rows_transferred);
 }
 
+TEST_F(ConnectionTest, ExecuteDmlInsertWithParams) {
+  Connection conn(&db_);
+  auto n = conn.ExecuteDml("INSERT INTO items VALUES (?, ?)",
+                           {Value::Int(100), Value::Int(7)});
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(conn.stats().round_trips, 1);
+  auto rs = conn.ExecuteSql(
+      "SELECT i.v AS v FROM items AS i WHERE i.id = ?", {Value::Int(100)});
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 7);
+
+  // Arity mismatch is rejected before any row lands.
+  EXPECT_FALSE(conn.ExecuteDml("INSERT INTO items VALUES (1)").ok());
+}
+
+TEST_F(ConnectionTest, ExecuteDmlUpdateCountsAndFilters) {
+  Connection conn(&db_);
+  // Blanket update touches all 10 rows; filtered update only some.
+  auto all = conn.ExecuteDml("UPDATE items SET v = v + 1");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(*all, 10);
+  auto some = conn.ExecuteDml("UPDATE items SET v = 0 WHERE id > 6");
+  ASSERT_TRUE(some.ok());
+  EXPECT_EQ(*some, 3);
+  auto rs = conn.ExecuteSql("SELECT SUM(i.v) AS s FROM items AS i");
+  ASSERT_TRUE(rs.ok());
+  // Rows 0..6 hold i*10+1; rows 7..9 hold 0.
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 217);
+}
+
+TEST_F(ConnectionTest, ExecuteDmlRejectsKeyUpdateAndUnknownStatements) {
+  ASSERT_TRUE((*db_.GetTable("items"))->DeclareUniqueKey("id").ok());
+  Connection conn(&db_);
+  // The key index maps key values to slots; rewriting keys in place
+  // would corrupt it, so the engine refuses.
+  EXPECT_FALSE(conn.ExecuteDml("UPDATE items SET id = id + 1").ok());
+  // Outside the INSERT/UPDATE grammar: kParseError, the signal the
+  // interpreter uses to fall back to cost-only simulation.
+  auto del = conn.ExecuteDml("DELETE FROM items");
+  ASSERT_FALSE(del.ok());
+  EXPECT_EQ(del.status().code(), StatusCode::kParseError);
+  // Unknown table: kNotFound, same fallback contract.
+  auto missing = conn.ExecuteDml("UPDATE ghosts SET v = 1");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // Nothing was mutated by any of the rejected statements.
+  auto rs = conn.ExecuteSql("SELECT SUM(i.v) AS s FROM items AS i");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 450);
+}
+
 }  // namespace
 }  // namespace eqsql::net
