@@ -1,5 +1,6 @@
 #include "core/plan_cache.h"
 
+#include <cctype>
 #include <utility>
 
 #include "common/hash.h"
@@ -25,6 +26,26 @@ uint64_t OptionsFingerprint(const OptimizeOptions& options) {
   h = SplitMix64(h + (options.transform.ignore_ordering ? 1 : 0));
   h = SplitMix64(h + static_cast<uint64_t>(options.dialect) * 7);
   return h;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `needle` occurs in `hay` as a whole identifier token, not
+/// as a substring of a longer identifier. Program sources refer to
+/// tables by identifier, so a short table name like "t" must not match
+/// every source containing the letter t.
+bool ContainsIdentToken(const std::string& hay, const std::string& needle) {
+  if (needle.empty()) return false;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + 1)) {
+    bool left_ok = pos == 0 || !IsIdentChar(hay[pos - 1]);
+    bool right_ok = pos + needle.size() == hay.size() ||
+                    !IsIdentChar(hay[pos + needle.size()]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -148,7 +169,7 @@ void PlanCache::InvalidateTable(const std::string& name) {
       }
     }
     if (!stale && !it->source_lower.empty() &&
-        it->source_lower.find(needle) != std::string::npos) {
+        ContainsIdentToken(it->source_lower, needle)) {
       stale = true;
     }
     if (stale) {

@@ -937,17 +937,24 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
       ex.guard_ = guard_;
       EvalContext local = *ctx;
       for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+        // Slots are usually in ascending seq order, but concurrent
+        // keyless inserts allocate seq before taking the shard lock,
+        // so a later slot can carry a smaller seq. Keep scanning after
+        // a failure to find this shard's MINIMUM failing seq (serial
+        // execution aborts at the globally lowest one); slots above a
+        // known failure cannot change the outcome and are skipped.
+        if (!r.status.ok() && slot.seq > r.fail_seq) continue;
         local.PushFrame(&schema, &slot.row);
         Result<Value> v = ex.EvalScalar(pred, &local);
         local.PopFrame();
         if (!v.ok()) {
-          // Slots are in ascending seq order, so the first failure is
-          // this shard's earliest — matching serial abort order.
           r.status = v.status();
           r.fail_seq = slot.seq;
-          break;
+          continue;
         }
-        if (IsTruthy(*v)) r.rows.emplace_back(slot.seq, slot.row);
+        if (r.status.ok() && IsTruthy(*v)) {
+          r.rows.emplace_back(slot.seq, slot.row);
+        }
       }
       r.sub_rows = ex.rows_processed_;
     });
@@ -1021,6 +1028,14 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
       ex.guard_ = guard_;
       EvalContext local = *ctx;
       for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+        // As in ExecSelectScanParallel: slot order within a shard is
+        // not guaranteed to follow seq under concurrent keyless
+        // inserts, so track the shard's minimum failing seq instead of
+        // stopping at the first failing slot. Once failed, lower-seq
+        // slots are still evaluated (a yet-earlier failure must win);
+        // their group-state updates are dead weight — the whole
+        // partial is discarded on failure.
+        if (!p.status.ok() && slot.seq > p.fail_seq) continue;
         local.PushFrame(&scan_schema, &slot.row);
         Status status = Status::OK();
         bool pass = true;
@@ -1068,9 +1083,10 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
         }
         local.PopFrame();
         if (!status.ok()) {
+          // The skip above admits only slots below the current failing
+          // seq, so plain assignment keeps the minimum.
           p.status = status;
           p.fail_seq = slot.seq;
-          break;
         }
       }
       p.sub_rows = ex.rows_processed_;

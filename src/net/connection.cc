@@ -10,6 +10,40 @@
 
 namespace eqsql::net {
 
+namespace {
+
+bool ContainsSubquery(const ra::ScalarExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->op() == ra::ScalarOp::kExists ||
+      expr->op() == ra::ScalarOp::kNotExists) {
+    return true;
+  }
+  for (const ra::ScalarExprPtr& c : expr->children()) {
+    if (ContainsSubquery(c)) return true;
+  }
+  return false;
+}
+
+/// DML expressions must be subquery-free: ExecuteDml evaluates them
+/// while holding the target table's shard locks exclusively and with no
+/// ReadGuard, so an EXISTS subquery would scan other tables with no
+/// locks held (racing their writers) and could even fan its scan onto
+/// the worker pool from inside the exclusive section. Statements that
+/// need one take the kParseError fall-back to cost-only simulation,
+/// like every other unsupported statement shape.
+bool DmlContainsSubquery(const sql::DmlStatement& stmt) {
+  if (ContainsSubquery(stmt.predicate)) return true;
+  for (const ra::ScalarExprPtr& e : stmt.insert_values) {
+    if (ContainsSubquery(e)) return true;
+  }
+  for (const auto& [col, expr] : stmt.assignments) {
+    if (ContainsSubquery(expr)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<exec::ResultSet> Connection::ExecuteQuery(
     const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
   DebugCheckThreadOwner();
@@ -81,6 +115,11 @@ Result<int64_t> Connection::ExecuteDml(
     std::string_view sql, const std::vector<catalog::Value>& params) {
   DebugCheckThreadOwner();
   EQSQL_ASSIGN_OR_RETURN(sql::DmlStatement stmt, sql::ParseDml(sql));
+  if (DmlContainsSubquery(stmt)) {
+    return Status::ParseError(
+        "subqueries in DML expressions are not supported: " +
+        std::string(sql));
+  }
   std::shared_ptr<storage::Table> table = db_->SnapshotTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound("table not found: " + stmt.table);

@@ -89,9 +89,12 @@ class Connection {
   /// exclusively at a time — concurrent readers of other shards (and
   /// other tables) proceed. Assignments evaluate against the OLD row;
   /// updating the unique-key column is rejected (it would invalidate
-  /// key placement). Parse failures and missing tables come back as
-  /// kParseError / kNotFound so callers (the interpreter's
-  /// executeUpdate) can fall back to SimulateUpdate.
+  /// key placement). DML expressions must be subquery-free: they are
+  /// evaluated inside the exclusive shard section with no ReadGuard, so
+  /// an EXISTS over another table would race that table's writers.
+  /// Parse failures (including the subquery restriction) and missing
+  /// tables come back as kParseError / kNotFound so callers (the
+  /// interpreter's executeUpdate) can fall back to SimulateUpdate.
   Result<int64_t> ExecuteDml(std::string_view sql,
                              const std::vector<catalog::Value>& params = {});
 

@@ -21,9 +21,13 @@ ReadGuard ReadGuard::Acquire(const Database& db,
     guard.keys_.push_back(std::move(key));
     guard.tables_.push_back(std::move(table));
   }
-  // All snapshots taken (registry lock released each time); now lock
-  // shards — canonical order: by sorted table name, ascending shard.
+  // All snapshots taken (registry lock released each time); now lock —
+  // canonical order: by sorted table name; within a table the topology
+  // lock (shared, so shard_count/shard_mutex are stable and no
+  // repartition can free the mutexes while we hold them), then shards
+  // in ascending index order.
   for (const auto& table : guard.tables_) {
+    guard.topology_locks_.emplace_back(table->topology_mutex());
     for (size_t i = 0; i < table->shard_count(); ++i) {
       guard.locks_.emplace_back(table->shard_mutex(i));
     }

@@ -16,11 +16,14 @@ namespace eqsql::storage {
 /// concurrent DML cannot mutate rows mid-scan).
 ///
 /// Deadlock-freedom: locks are acquired in a canonical global order —
-/// tables sorted by lowercase name, and within a table shards in
-/// ascending index order. Table write methods follow the same
-/// ascending-shard rule, and the registry lock is never held while
-/// shard locks are acquired, so all lock acquisition orders are
-/// consistent.
+/// tables sorted by lowercase name, and within a table the topology
+/// lock (shared) first, then shards in ascending index order. Table
+/// write methods follow the same topology-then-ascending-shard rule,
+/// and the registry lock is never held while shard locks are acquired,
+/// so all lock acquisition orders are consistent. The shared topology
+/// hold lasts as long as the shard locks: it is what keeps
+/// SetShardCount/DeclareUniqueKey from rebuilding the shard vector
+/// (and freeing the mutexes we hold) mid-query.
 ///
 /// Tables named but absent from the database are silently skipped:
 /// execution will then report its usual kNotFound error when it
@@ -50,6 +53,10 @@ class ReadGuard {
   /// Lowercase names, parallel to tables_.
   std::vector<std::string> keys_;
   std::vector<std::shared_ptr<const Table>> tables_;
+  /// Declared before locks_: members destroy in reverse order, so the
+  /// shard locks release first, then the topology holds, then the
+  /// snapshots.
+  std::vector<std::shared_lock<std::shared_mutex>> topology_locks_;
   std::vector<std::shared_lock<std::shared_mutex>> locks_;
 };
 

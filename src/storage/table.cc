@@ -45,6 +45,10 @@ Status Table::Insert(catalog::Row row) {
         "row arity " + std::to_string(row.size()) + " does not match schema " +
         schema_.ToString() + " of table " + name_);
   }
+  // Shared topology hold: keeps a concurrent Repartition from freeing
+  // the Shard this insert is about to lock (or has picked but not yet
+  // locked) out from under us.
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
   if (unique_key_.has_value()) {
     const catalog::Value key = row[key_index_col_];
     Shard& shard = *shards_[ShardOfKey(key)];
@@ -67,17 +71,13 @@ Status Table::Insert(catalog::Row row) {
 }
 
 Status Table::Repartition(size_t new_count, const std::string* new_key) {
-  // When the shard count changes, the replaced shards move here. The
-  // declaration MUST precede `lock`: locals destroy in reverse order,
-  // so the lock's destructor unlocks the old mutexes before `old`
-  // frees the Shard objects that own them.
-  std::vector<std::unique_ptr<Shard>> old;
-
-  // Gather every slot under all-shard exclusive locks, then re-place.
-  std::vector<std::shared_mutex*> mus;
-  mus.reserve(shards_.size());
-  for (const auto& s : shards_) mus.push_back(&s->mu);
-  AllShardsExclusive lock(mus);
+  // Exclusive topology hold: every other path that touches shards_ —
+  // Insert, Clear, ForEachRowExclusive, and external readers via
+  // ReadGuard — holds topology_mu_ shared for as long as it holds any
+  // shard lock, so once we own it exclusively no thread can be reading
+  // a Shard or blocked on one of its mutexes, and the old Shard
+  // objects are safe to free at function exit.
+  std::unique_lock<std::shared_mutex> topology(topology_mu_);
 
   std::optional<std::string> key = unique_key_;
   size_t key_col = key_index_col_;
@@ -86,51 +86,53 @@ Status Table::Repartition(size_t new_count, const std::string* new_key) {
     key = *new_key;
   }
 
-  std::vector<Slot> all;
+  // Phase 1: validate. Compute every slot's target shard and run the
+  // uniqueness check over slot *references* — no row moves until the
+  // whole placement is known to succeed, so a duplicate-key error
+  // leaves the table exactly as it was.
+  std::vector<Slot*> all;
   all.reserve(row_count());
   for (const auto& s : shards_) {
-    for (Slot& slot : s->slots) all.push_back(std::move(slot));
+    for (Slot& slot : s->slots) all.push_back(&slot);
   }
   std::sort(all.begin(), all.end(),
-            [](const Slot& a, const Slot& b) { return a.seq < b.seq; });
+            [](const Slot* a, const Slot* b) { return a->seq < b->seq; });
 
   size_t count = new_count == 0 ? shards_.size() : new_count;
-  std::vector<std::vector<Slot>> placed(count);
+  std::vector<size_t> targets(all.size());
   std::vector<std::unordered_map<catalog::Value, size_t, catalog::ValueHash>>
       indexes(count);
-  for (Slot& slot : all) {
+  std::vector<size_t> placed_count(count, 0);
+  for (size_t i = 0; i < all.size(); ++i) {
     size_t target;
     if (key.has_value()) {
-      const catalog::Value& kv = slot.row[key_col];
+      const catalog::Value& kv = all[i]->row[key_col];
       target = catalog::ValueHash()(kv) % count;
       auto [it, inserted] =
-          indexes[target].emplace(kv, placed[target].size());
+          indexes[target].emplace(kv, placed_count[target]);
       if (!inserted) {
         return Status::InvalidArgument(
             "existing data violates unique key on " + *key + " in table " +
             name_);
       }
     } else {
-      target = slot.seq % count;
+      target = all[i]->seq % count;
     }
-    placed[target].push_back(std::move(slot));
+    targets[i] = target;
+    ++placed_count[target];
   }
 
-  // Commit. When the shard count changes the shards_ vector itself is
-  // rebuilt; AllShardsExclusive still holds the *old* mutexes, which
-  // stay alive in `old` (declared above the lock) until after unlock.
+  // Phase 2: move rows into their new shards and commit.
+  std::vector<std::vector<Slot>> placed(count);
+  for (size_t t = 0; t < count; ++t) placed[t].reserve(placed_count[t]);
+  for (size_t i = 0; i < all.size(); ++i) {
+    placed[targets[i]].push_back(std::move(*all[i]));
+  }
+
   if (count != shards_.size()) {
     std::vector<std::unique_ptr<Shard>> fresh(count);
     for (auto& s : fresh) s = std::make_unique<Shard>();
-    old = std::move(shards_);
     shards_ = std::move(fresh);
-    for (size_t i = 0; i < count; ++i) {
-      shards_[i]->slots = std::move(placed[i]);
-      shards_[i]->index = std::move(indexes[i]);
-    }
-    unique_key_ = key;
-    key_index_col_ = key_col;
-    return Status::OK();
   }
   for (size_t i = 0; i < count; ++i) {
     shards_[i]->slots = std::move(placed[i]);
@@ -149,7 +151,8 @@ Status Table::SetShardCount(size_t n) {
   if (n == 0) {
     return Status::InvalidArgument("shard count must be positive");
   }
-  if (n == shards_.size()) return Status::OK();
+  // No unlocked same-count early-out: shards_.size() may only be read
+  // under the topology lock, which Repartition takes.
   return Repartition(n, nullptr);
 }
 
@@ -170,6 +173,7 @@ std::optional<catalog::Row> Table::GetByKey(const catalog::Value& key) const {
 }
 
 void Table::Clear() {
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
   std::vector<std::shared_mutex*> mus;
   mus.reserve(shards_.size());
   for (const auto& s : shards_) mus.push_back(&s->mu);
@@ -184,6 +188,7 @@ void Table::Clear() {
 
 Status Table::ForEachRowExclusive(
     const std::function<Status(catalog::Row* row)>& fn) {
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
   for (const auto& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
     for (Slot& slot : shard->slots) {

@@ -29,16 +29,22 @@ namespace eqsql::storage {
 /// point lookup touches exactly one shard); otherwise rows are placed
 /// round-robin by sequence number.
 ///
-/// Concurrency discipline (one reader-writer lock per shard):
+/// Concurrency discipline (a topology lock over the shard vector, plus
+/// one reader-writer lock per shard):
 ///  * Write methods (Insert, Clear, DeclareUniqueKey, SetShardCount,
-///    ForEachRowExclusive) are internally synchronized: they acquire
-///    the shard locks they need, always in ascending shard order, and
-///    assume the calling thread holds none of this table's shard locks.
+///    ForEachRowExclusive) are internally synchronized and assume the
+///    calling thread holds none of this table's locks. Insert, Clear
+///    and ForEachRowExclusive take the topology lock shared, then the
+///    shard locks they need in ascending shard order.
+///    DeclareUniqueKey/SetShardCount take the topology lock exclusive:
+///    they replace the shards_ vector itself, and the shared topology
+///    hold on every other path is what keeps a concurrent Insert from
+///    touching (or blocking on) a Shard about to be freed.
 ///  * Read methods (rows, shard_slots, LookupByKey, GetByKey) take no
 ///    locks. Concurrent readers must exclude writers by holding the
-///    shard locks shared — net::Connection does this via
-///    storage::ReadGuard around every query; single-threaded setup
-///    code needs no locks.
+///    topology lock and the shard locks shared — net::Connection does
+///    this via storage::ReadGuard around every query; single-threaded
+///    setup code needs no locks.
 class Table {
  public:
   /// One stored row plus its table-wide insertion sequence number.
@@ -110,6 +116,11 @@ class Table {
   /// independence across shards.
   std::shared_mutex& shard_mutex(size_t i) const { return shards_[i]->mu; }
 
+  /// The topology lock guarding the shards_ vector itself. External
+  /// lockers (ReadGuard) hold it shared for as long as they hold any
+  /// shard lock; it is always acquired before shard locks.
+  std::shared_mutex& topology_mutex() const { return topology_mu_; }
+
   /// Shard `i`'s slots (seq + row). Readers must hold shard_mutex(i)
   /// shared in concurrent settings. Slot order within a shard is
   /// unspecified; order across the table is by Slot::seq.
@@ -126,12 +137,19 @@ class Table {
     std::unordered_map<catalog::Value, size_t, catalog::ValueHash> index;
   };
 
-  /// Re-places every row under all-shard exclusive locks. `new_count`
-  /// of 0 keeps the current shard count (used by DeclareUniqueKey).
+  /// Re-places every row under the exclusive topology lock. Validates
+  /// placement (including uniqueness) before moving any row, so a
+  /// failure leaves the table untouched. `new_count` of 0 keeps the
+  /// current shard count (used by DeclareUniqueKey).
   Status Repartition(size_t new_count, const std::string* new_key);
 
   std::string name_;
   catalog::Schema schema_;
+  /// Guards the shards_ vector itself (not row data): shared by every
+  /// path that dereferences shards_, exclusive while Repartition
+  /// rebuilds it and frees the old Shard objects. Acquired before any
+  /// shard lock.
+  mutable std::shared_mutex topology_mu_;
   /// unique_ptr keeps Shard addresses (and their mutexes) stable if the
   /// vector itself is rebuilt by SetShardCount.
   std::vector<std::unique_ptr<Shard>> shards_;

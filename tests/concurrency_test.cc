@@ -122,6 +122,27 @@ TEST(PlanCacheTest, InvalidateTableDropsMatchingEntries) {
   EXPECT_EQ(cache.stats().hits, 1);
 }
 
+TEST(PlanCacheTest, InvalidateTableMatchesWholeIdentifiersOnly) {
+  core::PlanCache cache(8);
+  const std::string source = workloads::SelectionProgram();
+  ASSERT_TRUE(
+      cache.GetOrOptimize(source, "unfinished", core::OptimizeOptions()).ok());
+  ASSERT_EQ(cache.size(), 1u);
+
+  // "proj" and "ject" occur in the source only inside the longer
+  // identifier "project": not whole-token mentions, so a table with
+  // such a short name must not sweep the program entry.
+  cache.InvalidateTable("proj");
+  cache.InvalidateTable("ject");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0);
+
+  // "project" appears as a whole identifier ("FROM project AS p").
+  cache.InvalidateTable("PROJECT");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
 // The stale-plan regression: recreating a temp table under the same
 // name through the Session wrappers must drop every cached line naming
 // it, so the next request re-parses against the new table rather than

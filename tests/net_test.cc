@@ -149,6 +149,25 @@ TEST_F(ConnectionTest, ExecuteDmlUpdateCountsAndFilters) {
   EXPECT_EQ(rs->rows[0][0].AsInt(), 217);
 }
 
+TEST_F(ConnectionTest, ExecuteDmlRejectsSubqueries) {
+  Connection conn(&db_);
+  // DML expressions evaluate inside the exclusive shard section with
+  // no ReadGuard, so subqueries are rejected as kParseError — the
+  // interpreter's signal to fall back to cost-only simulation.
+  auto pred = conn.ExecuteDml(
+      "UPDATE items SET v = 0 WHERE EXISTS (SELECT p.id AS id FROM items AS p)");
+  ASSERT_FALSE(pred.ok());
+  EXPECT_EQ(pred.status().code(), StatusCode::kParseError);
+  auto assign = conn.ExecuteDml(
+      "UPDATE items SET v = CASE WHEN EXISTS (SELECT p.id AS id FROM items AS p) THEN 1 ELSE 0 END");
+  ASSERT_FALSE(assign.ok());
+  EXPECT_EQ(assign.status().code(), StatusCode::kParseError);
+  // Nothing was mutated by the rejected statements.
+  auto rs = conn.ExecuteSql("SELECT SUM(i.v) AS s FROM items AS i");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 450);  // rows hold i*10, i in 0..9
+}
+
 TEST_F(ConnectionTest, ExecuteDmlRejectsKeyUpdateAndUnknownStatements) {
   ASSERT_TRUE((*db_.GetTable("items"))->DeclareUniqueKey("id").ok());
   Connection conn(&db_);

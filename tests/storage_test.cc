@@ -53,6 +53,42 @@ TEST(TableTest, DeclareKeyOnExistingDataValidates) {
   EXPECT_FALSE(t.DeclareUniqueKey("id").ok());
 }
 
+TEST(TableTest, FailedDeclareKeyPreservesRows) {
+  // Uniqueness is validated before any row moves, so a failed
+  // DeclareUniqueKey must leave the table exactly as it was — not a
+  // husk of moved-from rows.
+  Table t("users", TwoColSchema(), /*shard_count=*/4);
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("b")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("c")}).ok());
+  const std::vector<Row> before = t.rows();
+
+  EXPECT_FALSE(t.DeclareUniqueKey("id").ok());
+  EXPECT_EQ(t.rows(), before);
+  EXPECT_EQ(t.row_count(), 3u);
+  EXPECT_FALSE(t.unique_key().has_value());
+
+  // And the table keeps working: the failed declaration built no index.
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("d")}).ok());
+  EXPECT_EQ(t.row_count(), 4u);
+}
+
+TEST(TableTest, FailedRekeyPreservesRowsAndOldKey) {
+  // Same guarantee when a keyed table is re-keyed onto a non-unique
+  // column: rows, old key, and old index all survive.
+  Table t("users", TwoColSchema(), /*shard_count=*/2);
+  ASSERT_TRUE(t.DeclareUniqueKey("id").ok());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("same")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("same")}).ok());
+  const std::vector<Row> before = t.rows();
+
+  EXPECT_FALSE(t.DeclareUniqueKey("name").ok());
+  EXPECT_EQ(t.rows(), before);
+  ASSERT_TRUE(t.unique_key().has_value());
+  EXPECT_EQ(*t.unique_key(), "id");
+  EXPECT_EQ(t.LookupByKey(Value::Int(2)), 1u);
+}
+
 TEST(TableTest, DeclareKeyUnknownColumnFails) {
   Table t("users", TwoColSchema());
   EXPECT_FALSE(t.DeclareUniqueKey("missing").ok());
