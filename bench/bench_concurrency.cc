@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -98,6 +99,9 @@ struct RunReport {
   double wall_ms = 0;
   eqsql::net::ServerStats stats;
   int mismatches = 0;
+  /// Server metrics-registry snapshot (JSON), taken after all workers
+  /// joined — lands in the --json artifact.
+  std::string metrics_json;
 };
 
 /// Processes kTotalRequests across `threads` sessions. Even request
@@ -153,6 +157,7 @@ RunReport RunWorkload(int threads) {
   report.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
   report.stats = server.stats();
+  report.metrics_json = server.metrics()->Snapshot().ToJson();
   for (int m : mismatches) report.mismatches += m;
   return report;
 }
@@ -246,7 +251,14 @@ double RunMixedPhase(bool global_lock) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   eqsql::bench::PrintHeader(
       "Concurrency: multi-session server, shared plan cache");
   std::printf("%d requests (app runs + servlet extractions), simulated "
@@ -260,6 +272,8 @@ int main() {
   double threads8_throughput = 0;
   double threads8_hit_ratio = 0;
   int total_mismatches = 0;
+  std::string json_runs;
+  std::string last_metrics_json;
 
   for (int threads : {1, 2, 4, 8}) {
     RunReport r = RunWorkload(threads);
@@ -276,6 +290,18 @@ int main() {
                 r.wall_ms, serialized, makespan, throughput,
                 throughput / baseline_throughput,
                 100.0 * r.stats.plan_cache.hit_ratio());
+    if (json_path != nullptr) {
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s{\"threads\":%d,\"wall_ms\":%.1f,"
+                    "\"serialized_sim_ms\":%.1f,\"makespan_sim_ms\":%.1f,"
+                    "\"requests_per_sim_s\":%.0f,\"cache_hit_ratio\":%.4f}",
+                    json_runs.empty() ? "" : ",", threads, r.wall_ms,
+                    serialized, makespan, throughput,
+                    r.stats.plan_cache.hit_ratio());
+      json_runs += row;
+      last_metrics_json = std::move(r.metrics_json);
+    }
   }
 
   std::printf("\nmixed read/write phase: %d reader threads x %d queries "
@@ -317,6 +343,25 @@ int main() {
                 "readers %.2fx faster than a global data lock under "
                 "concurrent DML\n",
                 100.0 * threads8_hit_ratio, global_ms / sharded_ms);
+  }
+
+  // Machine-readable artifact: per-thread-count measurements, the
+  // mixed-phase makespans, and the 8-thread server's full metrics-
+  // registry snapshot (scripts/verify.sh smoke-checks its counters).
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      EQSQL_LOG(Error, "cannot write %s", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\"bench\":\"concurrency\",\"requests\":%d,\"runs\":[%s],"
+                 "\"mixed_phase\":{\"global_lock_ms\":%.1f,"
+                 "\"sharded_ms\":%.1f},\"pass\":%s,\"metrics\":%s}\n",
+                 kTotalRequests, json_runs.c_str(), global_ms, sharded_ms,
+                 ok ? "true" : "false", last_metrics_json.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
   }
   return ok ? 0 : 1;
 }

@@ -28,7 +28,7 @@ int main() {
   auto optimized = eqsql::bench::ValueOrDie(
       optimizer.Optimize(program, "findMaxScore"), "optimize");
   if (!optimized.any_extracted()) {
-    std::fprintf(stderr, "aggregation did not extract\n");
+    EQSQL_LOG(Error, "aggregation did not extract");
     return 1;
   }
 
@@ -41,7 +41,7 @@ int main() {
     auto rewritten = eqsql::bench::RunInterpreted(optimized.program,
                                                   "findMaxScore", &db);
     if (original.result != rewritten.result) {
-      std::fprintf(stderr, "MISMATCH at %d boards\n", boards);
+      EQSQL_LOG(Error, "MISMATCH at %d boards", boards);
       return 1;
     }
     std::printf("%10d %14.3f %14.3f %14.1f %14.1f %7.2fx\n", boards,

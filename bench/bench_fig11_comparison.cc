@@ -109,7 +109,7 @@ int main() {
   auto optimized = eqsql::bench::ValueOrDie(
       optimizer.Optimize(program, "jobReport"), "optimize");
   if (!optimized.any_extracted()) {
-    std::fprintf(stderr, "jobReport did not extract\n");
+    EQSQL_LOG(Error, "jobReport did not extract");
     return 1;
   }
 
@@ -126,7 +126,7 @@ int main() {
         eqsql::bench::RunInterpreted(optimized.program, "jobReport", &db);
     if (original.printed != rewritten.printed ||
         original.printed != batch.printed) {
-      std::fprintf(stderr, "OUTPUT MISMATCH at n=%d\n", n);
+      EQSQL_LOG(Error, "OUTPUT MISMATCH at n=%d", n);
       return 1;
     }
     std::printf("%12d %9.2fms %9.2fms %9.2fms %9.2fms\n", n, original.ms,

@@ -6,16 +6,69 @@
 // Expected shape: the transformed program is faster and transfers less
 // data; the gap widens as the table grows (only 20% of rows — and only
 // two columns — cross the wire).
+//
+// With --json FILE, additionally writes the per-size measurements plus
+// the metrics-registry snapshot of the rewritten runs as a machine-
+// readable artifact (BENCH_fig8.json in CI).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/perf_util.h"
 #include "core/optimizer.h"
 #include "frontend/parser.h"
+#include "obs/metrics.h"
 #include "workloads/benchmark_apps.h"
 #include "workloads/wilos_samples.h"
 
-int main() {
+namespace {
+
+struct Measurement {
+  int rows;
+  eqsql::bench::PerfResult original;
+  eqsql::bench::PerfResult rewritten;
+};
+
+bool WriteJson(const char* path, const std::vector<Measurement>& runs,
+               const std::string& sql,
+               const eqsql::obs::MetricsSnapshot& metrics) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"bench\":\"fig8_selection\",\"runs\":[");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Measurement& m = runs[i];
+    std::fprintf(f,
+                 "%s{\"rows\":%d,\"orig_ms\":%.3f,\"eqsql_ms\":%.3f,"
+                 "\"orig_bytes\":%lld,\"eqsql_bytes\":%lld,"
+                 "\"orig_rows_transferred\":%lld,"
+                 "\"eqsql_rows_transferred\":%lld,\"speedup\":%.3f}",
+                 i == 0 ? "" : ",", m.rows, m.original.ms, m.rewritten.ms,
+                 static_cast<long long>(m.original.bytes),
+                 static_cast<long long>(m.rewritten.bytes),
+                 static_cast<long long>(m.original.rows),
+                 static_cast<long long>(m.rewritten.rows),
+                 m.original.ms / m.rewritten.ms);
+  }
+  // The SQL is emitted by our own renderer: no quotes or control
+  // characters, so direct embedding is safe.
+  std::fprintf(f, "],\"extracted_sql\":\"%s\",\"metrics\":%s}\n", sql.c_str(),
+               metrics.ToJson().c_str());
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   eqsql::bench::PrintHeader(
       "Figure 8: Selection (20% selectivity), original vs transformed");
   std::printf("%10s %14s %14s %14s %14s %8s\n", "rows", "orig ms",
@@ -30,29 +83,43 @@ int main() {
   auto optimized = eqsql::bench::ValueOrDie(
       optimizer.Optimize(program, "unfinished"), "optimize");
   if (!optimized.any_extracted()) {
-    std::fprintf(stderr, "selection did not extract\n");
+    EQSQL_LOG(Error, "selection did not extract");
     return 1;
   }
 
+  // One registry across all rewritten runs: storage.scan.* and net.*
+  // totals land in the JSON artifact for the CI smoke check.
+  eqsql::obs::MetricsRegistry metrics;
+  std::vector<Measurement> runs;
   for (int rows : {1000, 5000, 20000, 50000, 100000}) {
     eqsql::storage::Database db;
     eqsql::bench::CheckOk(
         eqsql::workloads::SetupSelectionDatabase(&db, rows, 20), "setup");
     auto original =
         eqsql::bench::RunInterpreted(program, "unfinished", &db);
-    auto rewritten = eqsql::bench::RunInterpreted(optimized.program,
-                                                  "unfinished", &db);
+    auto rewritten =
+        eqsql::bench::RunInterpreted(optimized.program, "unfinished", &db,
+                                     /*prefetch=*/false, &metrics);
     if (original.result != rewritten.result) {
-      std::fprintf(stderr, "MISMATCH at %d rows\n", rows);
+      EQSQL_LOG(Error, "MISMATCH at %d rows", rows);
       return 1;
     }
     std::printf("%10d %14.3f %14.3f %14.1f %14.1f %7.2fx\n", rows,
                 original.ms, rewritten.ms, original.bytes / 1024.0,
                 rewritten.bytes / 1024.0, original.ms / rewritten.ms);
+    runs.push_back({rows, std::move(original), std::move(rewritten)});
   }
-  std::printf("\nExtracted SQL: %s\n",
-              optimized.outcomes[0].sql.empty()
-                  ? "(none)"
-                  : optimized.outcomes[0].sql[0].c_str());
+  std::string sql = optimized.outcomes[0].sql.empty()
+                        ? "(none)"
+                        : optimized.outcomes[0].sql[0];
+  std::printf("\nExtracted SQL: %s\n", sql.c_str());
+
+  if (json_path != nullptr) {
+    if (!WriteJson(json_path, runs, sql, metrics.Snapshot())) {
+      EQSQL_LOG(Error, "cannot write %s", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

@@ -31,7 +31,7 @@ int main() {
   auto optimized = eqsql::bench::ValueOrDie(
       optimizer.Optimize(program, "userRoles"), "optimize");
   if (!optimized.any_extracted()) {
-    std::fprintf(stderr, "join did not extract\n");
+    EQSQL_LOG(Error, "join did not extract");
     return 1;
   }
 
@@ -43,7 +43,7 @@ int main() {
     auto rewritten =
         eqsql::bench::RunInterpreted(optimized.program, "userRoles", &db);
     if (original.result != rewritten.result) {
-      std::fprintf(stderr, "MISMATCH at %d users\n", users);
+      EQSQL_LOG(Error, "MISMATCH at %d users", users);
       return 1;
     }
     std::printf("%10d %14.3f %14.3f %14.1f %14.1f %7.2fx\n", users,

@@ -14,7 +14,7 @@ namespace eqsql::bench {
 /// benchmarks have no meaningful fallback.
 inline void CheckOk(const Status& status, const char* what) {
   if (!status.ok()) {
-    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    EQSQL_LOG(Error, "%s: %s", what, status.ToString().c_str());
     std::abort();
   }
 }
@@ -22,7 +22,7 @@ inline void CheckOk(const Status& status, const char* what) {
 template <typename T>
 inline T ValueOrDie(Result<T> result, const char* what) {
   if (!result.ok()) {
-    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    EQSQL_LOG(Error, "%s: %s", what, result.status().ToString().c_str());
     std::abort();
   }
   return std::move(result).value();

@@ -6,6 +6,7 @@
 #include "bench/bench_util.h"
 #include "interp/interpreter.h"
 #include "net/connection.h"
+#include "obs/metrics.h"
 
 namespace eqsql::bench {
 
@@ -23,14 +24,16 @@ struct PerfResult {
 inline PerfResult RunInterpreted(const frontend::Program& program,
                                  const std::string& function,
                                  storage::Database* db,
-                                 bool prefetch = false) {
+                                 bool prefetch = false,
+                                 obs::MetricsRegistry* metrics = nullptr) {
   net::Connection conn(db);
   conn.set_prefetch_mode(prefetch);
+  if (metrics != nullptr) conn.set_metrics(metrics);
   interp::Interpreter interp(&program, &conn);
   auto ret = interp.Run(function);
   if (!ret.ok()) {
-    std::fprintf(stderr, "run %s: %s\n", function.c_str(),
-                 ret.status().ToString().c_str());
+    EQSQL_LOG(Error, "run %s: %s", function.c_str(),
+              ret.status().ToString().c_str());
     std::abort();
   }
   PerfResult out;

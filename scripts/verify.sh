@@ -37,4 +37,14 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --shards 8 \
   --corpus tests/fuzz_corpus
 
+echo "== observability: bench JSON artifacts + metrics smoke check =="
+cmake --build build -j"$(nproc)" --target bench_concurrency \
+  bench_fig8_selection
+./build/bench/bench_concurrency --json BENCH_concurrency.json
+./build/bench/bench_fig8_selection --json BENCH_fig8.json
+# The artifacts must embed a live registry snapshot: a busy server that
+# reports zero plan-cache traffic means the metrics wiring fell off.
+grep -q '"plan_cache.hits":[1-9]' BENCH_concurrency.json
+grep -q '"storage.scan.rows":[1-9]' BENCH_fig8.json
+
 echo "verify.sh: all green"

@@ -168,6 +168,150 @@ Slice ComputeSlice(const LoopBodyInfo& info, const std::string& var) {
   return slice;
 }
 
+namespace {
+
+/// First line of a statement's rendering, trimmed and clipped — enough
+/// to identify the statement next to its line number in a report.
+std::string StmtBrief(const frontend::Stmt* s) {
+  std::string text = s->ToString();
+  size_t nl = text.find('\n');
+  if (nl != std::string::npos) text = text.substr(0, nl);
+  size_t b = text.find_first_not_of(' ');
+  text = b == std::string::npos ? "" : text.substr(b);
+  if (text.size() > 60) text = text.substr(0, 57) + "...";
+  return text;
+}
+
+std::string StmtRef(const frontend::Stmt* s) {
+  return "line " + std::to_string(s->loc().line) + " `" + StmtBrief(s) + "`";
+}
+
+/// The first statement (program order) in `stmts` writing `var`, or
+/// nullptr.
+const frontend::Stmt* FirstWriter(const LoopBodyInfo& info,
+                                  const std::set<const frontend::Stmt*>& in,
+                                  const std::string& var) {
+  for (const frontend::Stmt* s : info.stmts) {
+    if (!in.empty() && in.count(s) == 0) continue;
+    if (info.effects.at(s).writes.count(var) > 0) return s;
+  }
+  return nullptr;
+}
+
+const frontend::Stmt* FirstReader(const LoopBodyInfo& info,
+                                  const std::string& var) {
+  for (const frontend::Stmt* s : info.stmts) {
+    if (info.effects.at(s).reads.count(var) > 0) return s;
+  }
+  return nullptr;
+}
+
+/// Renders the loop-carried flow-dependence edge for `w`: the writing
+/// statement and the statement whose next-iteration read closes the
+/// cycle in the data-dependence graph.
+std::string DescribeCarriedEdge(const LoopBodyInfo& info,
+                                const std::set<const frontend::Stmt*>& slice,
+                                const std::string& w) {
+  std::string out = "loop-carried flow dependence via '" + w + "': ";
+  const frontend::Stmt* writer = FirstWriter(info, slice, w);
+  if (writer == nullptr) writer = FirstWriter(info, {}, w);
+  const frontend::Stmt* reader = FirstReader(info, w);
+  if (writer != nullptr) out += "written at " + StmtRef(writer);
+  if (reader != nullptr) {
+    out += std::string(writer != nullptr ? ", " : "") +
+           "read on the next iteration at " + StmtRef(reader);
+  } else if (writer != nullptr) {
+    out += ", and its previous value survives on paths that skip the write";
+  }
+  return out;
+}
+
+}  // namespace
+
+PreconditionReport ExplainFoldPreconditions(const LoopBodyInfo& info,
+                                            const std::string& var) {
+  PreconditionReport report;
+  // The binding verdict comes from the legacy single-failure check, so
+  // conversion behavior is identical by construction.
+  PreconditionResult legacy = CheckFoldPreconditions(info, var);
+  report.ok = legacy.ok;
+  report.failure = legacy.failure;
+
+  if (info.has_break) {
+    report.gate = "loop contains break (unconditional exit)";
+  } else if (info.has_return) {
+    report.gate = "loop contains return (unconditional exit)";
+  }
+
+  // P1: var itself must carry a value across iterations.
+  report.p1.checked = true;
+  if (info.loop_carried.count(var) > 0) {
+    report.p1.held = true;
+    if (const frontend::Stmt* w = FirstWriter(info, {}, var)) {
+      report.p1.detail = "accumulation cycle through " + StmtRef(w);
+    }
+  } else if (info.written.count(var) == 0) {
+    report.p1.detail = "'" + var + "' is not updated in the loop body";
+  } else {
+    report.p1.detail =
+        "'" + var +
+        "' never reads its previous-iteration value (no loop-carried "
+        "flow dependence, so there is no accumulation cycle)";
+  }
+
+  Slice slice = ComputeSlice(info, var);
+  if (report.gate.empty()) {
+    for (const frontend::Stmt* s : slice.stmts) {
+      if (s->kind() == StmtKind::kWhile) {
+        report.gate = "slice contains a while loop";
+        break;
+      }
+    }
+  }
+
+  // P2: no other loop-carried dependence inside the slice. Program
+  // order picks a deterministic offending edge for the report.
+  report.p2.checked = true;
+  report.p2.held = true;
+  for (const Stmt* s : info.stmts) {
+    if (slice.stmts.count(s) == 0) continue;
+    for (const std::string& w : info.effects.at(s).writes) {
+      if (w != var && info.loop_carried.count(w) > 0) {
+        report.p2.held = false;
+        report.p2.detail = DescribeCarriedEdge(info, slice.stmts, w);
+        break;
+      }
+    }
+    if (!report.p2.held) break;
+  }
+
+  // P3: no external dependencies in the slice (DB writes, program
+  // output, calls with unknown semantics).
+  report.p3.checked = true;
+  report.p3.held =
+      !slice.writes_db && !slice.writes_output && !slice.has_unknown_call;
+  if (!report.p3.held) {
+    for (const Stmt* s : info.stmts) {
+      if (slice.stmts.count(s) == 0) continue;
+      const StmtEffects& eff = info.effects.at(s);
+      if (eff.writes_db) {
+        report.p3.detail = StmtRef(s) + " writes to the database";
+        break;
+      }
+      if (eff.writes_output) {
+        report.p3.detail = StmtRef(s) + " writes to program output";
+        break;
+      }
+      if (eff.has_unknown_call) {
+        report.p3.detail = StmtRef(s) + " calls a function with unknown "
+                                        "semantics";
+        break;
+      }
+    }
+  }
+  return report;
+}
+
 PreconditionResult CheckFoldPreconditions(const LoopBodyInfo& info,
                                           const std::string& var) {
   PreconditionResult result;

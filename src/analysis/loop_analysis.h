@@ -76,6 +76,34 @@ struct PreconditionResult {
 PreconditionResult CheckFoldPreconditions(const LoopBodyInfo& info,
                                           const std::string& var);
 
+/// Verdict for one precondition in an EXPLAIN EXTRACTION report.
+/// Unlike CheckFoldPreconditions (which stops at the first failure),
+/// every precondition is evaluated so the report can show which held
+/// and which failed, with the offending DDG edge or statement.
+struct PreconditionVerdict {
+  bool checked = false;  // false when a structural gate made it moot
+  bool held = false;
+  /// When failed: the offending data-dependence edge or statement,
+  /// rendered with source lines ("line 4 `w = w + v` -> read at ...").
+  std::string detail;
+};
+
+/// All-verdicts precondition report for one (loop, var) attempt. The
+/// `ok`/`failure` pair is byte-identical to CheckFoldPreconditions (it
+/// is computed by the same code), so conversion decisions driven by
+/// this report cannot diverge from the legacy check.
+struct PreconditionReport {
+  PreconditionVerdict p1, p2, p3;
+  /// Structural rejection outside P1-P3: loop-level break/return, or a
+  /// while loop inside the slice. Empty when no gate fired.
+  std::string gate;
+  bool ok = false;
+  std::string failure;  // first failure in legacy check order
+};
+
+PreconditionReport ExplainFoldPreconditions(const LoopBodyInfo& info,
+                                            const std::string& var);
+
 }  // namespace eqsql::analysis
 
 #endif  // EQSQL_ANALYSIS_LOOP_ANALYSIS_H_

@@ -1,0 +1,270 @@
+// Command-line front door for the extraction pipeline: runs a program
+// (a built-in benchmark app or a source file) through the server's
+// cached parse -> analyze -> extract pipeline and reports what happened.
+//
+//   eqsql --app matoso --explain            EXPLAIN EXTRACTION report
+//   eqsql --app join --run --metrics        run + registry snapshot
+//   eqsql --file prog.imp --function f --explain-json --trace
+//
+// Flags:
+//   --app NAME        built-in workload: matoso|jobportal|selection|join
+//   --file PATH       ImpLang source file (default function: first in file)
+//   --function NAME   entry function (defaults per app / first in file)
+//   --explain         print the EXPLAIN EXTRACTION text report
+//   --explain-json    print the same report as JSON
+//   --run             interpret the rewritten program against the
+//                     (seeded, for --app) database and print its result
+//   --trace           print the pipeline trace as a flame summary
+//   --trace-json      print the pipeline trace as JSON
+//   --metrics         print the server metrics registry as text
+//   --metrics-json    print the server metrics registry as JSON
+//   --shards N        storage hash partitions per table
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.h"
+#include "interp/interpreter.h"
+#include "net/server.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workloads/benchmark_apps.h"
+
+namespace {
+
+struct CliOptions {
+  std::string app;
+  std::string file;
+  std::string function;
+  bool explain = false;
+  bool explain_json = false;
+  bool run = false;
+  bool trace = false;
+  bool trace_json = false;
+  bool metrics = false;
+  bool metrics_json = false;
+  size_t shards = 0;  // 0 = storage default
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--app matoso|jobportal|selection|join | --file "
+               "PATH) [--function NAME]\n"
+               "          [--explain] [--explain-json] [--run] [--trace] "
+               "[--trace-json]\n"
+               "          [--metrics] [--metrics-json] [--shards N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--app") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->app = v;
+    } else if (std::strcmp(arg, "--file") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->file = v;
+    } else if (std::strcmp(arg, "--function") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->function = v;
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->shards = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--explain") == 0) {
+      out->explain = true;
+    } else if (std::strcmp(arg, "--explain-json") == 0) {
+      out->explain_json = true;
+    } else if (std::strcmp(arg, "--run") == 0) {
+      out->run = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      out->trace = true;
+    } else if (std::strcmp(arg, "--trace-json") == 0) {
+      out->trace_json = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      out->metrics = true;
+    } else if (std::strcmp(arg, "--metrics-json") == 0) {
+      out->metrics_json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return false;
+    }
+  }
+  if (out->app.empty() == out->file.empty()) return false;  // exactly one
+  // Default action: if nothing was requested, explain is the most
+  // useful single report.
+  if (!out->explain && !out->explain_json && !out->run && !out->trace &&
+      !out->trace_json && !out->metrics && !out->metrics_json) {
+    out->explain = true;
+  }
+  return true;
+}
+
+struct LoadedProgram {
+  std::string source;
+  std::string function;
+};
+
+bool LoadApp(const std::string& app, eqsql::storage::Database* db,
+             LoadedProgram* out) {
+  namespace wl = eqsql::workloads;
+  eqsql::Status setup = eqsql::Status::OK();
+  if (app == "matoso") {
+    out->source = wl::MatosoProgram();
+    out->function = "findMaxScore";
+    setup = wl::SetupMatosoDatabase(db, 60, 4);
+  } else if (app == "jobportal") {
+    out->source = wl::JobPortalProgram();
+    out->function = "jobReport";
+    setup = wl::SetupJobPortalDatabase(db, 40);
+  } else if (app == "selection") {
+    out->source = wl::SelectionProgram();
+    out->function = "unfinished";
+    setup = wl::SetupSelectionDatabase(db, 80, 25);
+  } else if (app == "join") {
+    out->source = wl::JoinProgram();
+    out->function = "userRoles";
+    setup = wl::SetupJoinDatabase(db, 40);
+  } else {
+    std::fprintf(stderr, "unknown app: %s\n", app.c_str());
+    return false;
+  }
+  if (!setup.ok()) {
+    std::fprintf(stderr, "database setup failed: %s\n",
+                 setup.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadFile(const std::string& path, LoadedProgram* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out->source = buf.str();
+  // Default entry point: the first function in the file.
+  auto program = eqsql::frontend::ParseProgram(out->source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return false;
+  }
+  if (program->functions.empty()) {
+    std::fprintf(stderr, "no functions in %s\n", path.c_str());
+    return false;
+  }
+  out->function = program->functions.front().name;
+  return true;
+}
+
+eqsql::net::ServerOptions MakeServerOptions(const CliOptions& cli) {
+  eqsql::net::ServerOptions options;
+  if (cli.shards != 0) options.database.shard_count = cli.shards;
+  // Key columns for every table the built-in apps and the repo's test
+  // corpus use; harmless for tables that do not exist.
+  options.optimize.transform.table_keys = {
+      {"board", "id"},      {"applicants", "id"}, {"details", "id"},
+      {"feedback1", "id"},  {"education", "id"},  {"project", "id"},
+      {"wilosuser", "id"},  {"role", "id"},       {"wuser", "id"},
+  };
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return Usage(argv[0]);
+
+  eqsql::net::Server server(MakeServerOptions(cli));
+
+  LoadedProgram prog;
+  if (!cli.app.empty()) {
+    if (!LoadApp(cli.app, server.db(), &prog)) return 1;
+  } else {
+    if (!LoadFile(cli.file, &prog)) return 1;
+  }
+  if (!cli.function.empty()) prog.function = cli.function;
+
+  std::unique_ptr<eqsql::net::Session> session = server.Connect();
+
+  // The whole pipeline — cached extraction and (optionally) execution —
+  // runs under one trace, so --trace covers parse through shard scans.
+  eqsql::obs::Trace trace;
+  int status = 0;
+  {
+    eqsql::obs::ScopedTrace scoped(&trace);
+
+    auto optimized = session->OptimizeCached(prog.source, prog.function);
+    if (!optimized.ok()) {
+      std::fprintf(stderr, "extraction failed: %s\n",
+                   optimized.status().ToString().c_str());
+      return 1;
+    }
+
+    if (cli.explain) {
+      std::fputs(
+          eqsql::obs::RenderExplainText(**optimized, prog.function).c_str(),
+          stdout);
+    }
+    if (cli.explain_json) {
+      std::printf(
+          "%s\n",
+          eqsql::obs::RenderExplainJson(**optimized, prog.function).c_str());
+    }
+
+    if (cli.run) {
+      eqsql::interp::Interpreter interp(&(*optimized)->program,
+                                        session->connection());
+      auto result = interp.Run(prog.function);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status().ToString().c_str());
+        status = 1;
+      } else {
+        for (const std::string& line : interp.printed()) {
+          std::printf("%s\n", line.c_str());
+        }
+        std::printf("%s() = %s\n", prog.function.c_str(),
+                    result->DisplayString().c_str());
+        const eqsql::net::ConnectionStats& stats = session->stats();
+        std::printf(
+            "queries=%lld round_trips=%lld rows=%lld bytes=%lld "
+            "simulated_ms=%.3f\n",
+            static_cast<long long>(stats.queries_executed),
+            static_cast<long long>(stats.round_trips),
+            static_cast<long long>(stats.rows_transferred),
+            static_cast<long long>(stats.bytes_transferred),
+            stats.simulated_ms);
+      }
+    }
+  }
+
+  if (cli.trace) std::fputs(trace.FlameSummary().c_str(), stdout);
+  if (cli.trace_json) std::printf("%s\n", trace.ToJson().c_str());
+  if (cli.metrics) {
+    std::fputs(server.metrics()->Snapshot().ToText().c_str(), stdout);
+  }
+  if (cli.metrics_json) {
+    std::printf("%s\n", server.metrics()->Snapshot().ToJson().c_str());
+  }
+  return status;
+}

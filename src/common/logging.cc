@@ -1,0 +1,86 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstring>
+
+namespace eqsql::common {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    char ca = *a, cb = *b;
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+}  // namespace
+
+LogLevel ParseLogLevel(const char* s) {
+  if (s == nullptr || *s == '\0') return LogLevel::kWarn;
+  if (EqualsIgnoreCase(s, "off") || EqualsIgnoreCase(s, "none") ||
+      EqualsIgnoreCase(s, "0")) {
+    return LogLevel::kOff;
+  }
+  if (EqualsIgnoreCase(s, "error")) return LogLevel::kError;
+  if (EqualsIgnoreCase(s, "warn") || EqualsIgnoreCase(s, "warning")) {
+    return LogLevel::kWarn;
+  }
+  if (EqualsIgnoreCase(s, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCase(s, "debug") || EqualsIgnoreCase(s, "all")) {
+    return LogLevel::kDebug;
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel GlobalLogLevel() {
+  // First call wins; after that the threshold is immutable, so the
+  // static-local read is the only synchronization needed.
+  static const LogLevel level = ParseLogLevel(std::getenv("EQSQL_LOG_LEVEL"));
+  return level;
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(GlobalLogLevel());
+}
+
+void LogLine(LogLevel level, const char* file, int line, const char* fmt,
+             ...) {
+  char buf[2048];
+  const char* base = std::strrchr(file, '/');
+  base = base == nullptr ? file : base + 1;
+  int head = std::snprintf(buf, sizeof(buf), "[%s] %s:%d: ",
+                           LevelName(level), base, line);
+  if (head < 0) return;
+  size_t pos = static_cast<size_t>(head);
+  if (pos >= sizeof(buf) - 2) pos = sizeof(buf) - 2;
+  std::va_list args;
+  va_start(args, fmt);
+  int body = std::vsnprintf(buf + pos, sizeof(buf) - pos - 1, fmt, args);
+  va_end(args);
+  if (body > 0) {
+    pos += static_cast<size_t>(body);
+    if (pos > sizeof(buf) - 2) pos = sizeof(buf) - 2;
+  }
+  buf[pos] = '\n';
+  buf[pos + 1] = '\0';
+  // One fwrite per line: stdio locks the stream per call, so lines from
+  // concurrent threads come out whole.
+  std::fwrite(buf, 1, pos + 1, stderr);
+}
+
+}  // namespace eqsql::common

@@ -39,4 +39,51 @@
 #define EQSQL_DCHECK(cond, msg) EQSQL_CHECK_MSG(cond, msg)
 #endif
 
+namespace eqsql::common {
+
+/// Leveled diagnostic logging. kError/kWarn are on by default (they
+/// report genuine problems); kInfo/kDebug are off by default. The
+/// threshold comes from the EQSQL_LOG_LEVEL environment variable
+/// ("off", "error", "warn", "info", "debug"), parsed once on first use.
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Parses a level name (case-insensitive; unknown strings -> kWarn,
+/// the default). Exposed for tests.
+LogLevel ParseLogLevel(const char* s);
+
+/// The process-wide threshold (EQSQL_LOG_LEVEL, cached after first call).
+LogLevel GlobalLogLevel();
+
+bool LogEnabled(LogLevel level);
+
+/// printf-style sink. Builds the whole line ("[level] file:line: msg")
+/// in a local buffer and emits it with a single unbuffered write, so
+/// concurrent threads never interleave partial lines.
+void LogLine(LogLevel level, const char* file, int line, const char* fmt,
+             ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+}  // namespace eqsql::common
+
+/// EQSQL_LOG(Error, "bad row %d", i); — level is Error/Warn/Info/Debug.
+/// Compiles to a threshold check plus a call; arguments are not
+/// evaluated when the level is disabled.
+#define EQSQL_LOG(level, ...)                                             \
+  do {                                                                    \
+    if (::eqsql::common::LogEnabled(                                      \
+            ::eqsql::common::LogLevel::k##level)) {                       \
+      ::eqsql::common::LogLine(::eqsql::common::LogLevel::k##level,       \
+                               __FILE__, __LINE__, __VA_ARGS__);          \
+    }                                                                     \
+  } while (0)
+
 #endif  // EQSQL_COMMON_LOGGING_H_

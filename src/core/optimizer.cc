@@ -6,6 +6,8 @@
 
 #include "analysis/loop_analysis.h"
 #include "dir/builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/dce.h"
 #include "rewrite/emit.h"
 #include "rewrite/rewriter.h"
@@ -242,6 +244,8 @@ Result<ArgmaxRewrite> TryArgmaxExtraction(dir::DagContext* ctx,
 Result<OptimizeResult> EqSqlOptimizer::Optimize(
     const frontend::Program& program, const std::string& function) {
   auto start = std::chrono::steady_clock::now();
+  obs::ScopedSpan opt_span("optimize");
+  opt_span.Attr("function", function);
 
   const frontend::Function* fn = program.Find(function);
   if (fn == nullptr) {
@@ -285,9 +289,21 @@ Result<OptimizeResult> EqSqlOptimizer::Optimize(
     std::vector<PendingExtraction> pending;
     std::vector<std::pair<const dir::LoopReport*, VarOutcome>> failed;
 
+    // Stamps the EXPLAIN EXTRACTION payload (defining loop + P1-P3
+    // verdicts) onto an outcome, whatever path produced it.
+    auto stamp = [&](VarOutcome* o, const dir::LoopReport* r) {
+      o->loop_line = stmt->loc().line;
+      o->loop_desc = "for " + stmt->target() + " in " +
+                     (stmt->expr() == nullptr ? std::string("<?>")
+                                              : stmt->expr()->ToString());
+      o->query_backed = r->query_backed;
+      o->preconditions = r->preconditions;
+    };
+
     for (const dir::LoopReport* report : it->second) {
       VarOutcome outcome;
       outcome.var = report->var;
+      stamp(&outcome, report);
       if (!report->converted) {
         kept_vars.insert(report->var);
         // Report the failure only when the variable is observable after
@@ -385,6 +401,9 @@ Result<OptimizeResult> EqSqlOptimizer::Optimize(
           px.outcome.extracted = true;
           px.outcome.sql = std::move(rewrite->sql);
           px.outcome.rules = {"ARGMAX"};
+          // Keep the P2-failed report: the explain output shows the
+          // failed precondition alongside the ARGMAX rescue.
+          stamp(&px.outcome, report);
           pending.push_back(std::move(px));
           kept_vars.erase(report->var);
           rescued = true;
@@ -430,6 +449,7 @@ Result<OptimizeResult> EqSqlOptimizer::Optimize(
       std::set<const Stmt*> own = exclusive_removals(px.var);
       if (own.empty()) {
         px.outcome.extracted = false;
+        px.outcome.cost_skipped = true;
         px.outcome.sql.clear();
         px.outcome.reason =
             "not beneficial: the loop must remain and recompute the same "
@@ -461,6 +481,38 @@ Result<OptimizeResult> EqSqlOptimizer::Optimize(
   auto end = std::chrono::steady_clock::now();
   result.extraction_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
+
+  // Extraction counters. Every one of these is deterministic for a
+  // fixed (program, function, options) input, so totals recorded here
+  // stay shard-count-invariant (the invariance suite asserts it).
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    m.counter("extract.runs")->Increment();
+    m.histogram("extract.duration_us")
+        ->Record(static_cast<int64_t>(result.extraction_ms * 1000.0));
+    for (const VarOutcome& o : result.outcomes) {
+      m.counter(o.extracted ? "extract.vars_extracted"
+                            : "extract.vars_kept")
+          ->Increment();
+      if (o.cost_skipped) m.counter("extract.cost_skipped")->Increment();
+      for (const std::string& rule : o.rules) {
+        m.counter("extract.rules_fired")->Increment();
+        m.counter("extract.rule." + rule)->Increment();
+      }
+      if (o.query_backed) {
+        auto verdict = [&m](const char* name,
+                            const analysis::PreconditionVerdict& v) {
+          if (!v.checked) return;
+          m.counter(std::string("extract.precond.") + name +
+                    (v.held ? ".held" : ".failed"))
+              ->Increment();
+        };
+        verdict("p1", o.preconditions.p1);
+        verdict("p2", o.preconditions.p2);
+        verdict("p3", o.preconditions.p3);
+      }
+    }
+  }
   return result;
 }
 

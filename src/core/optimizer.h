@@ -4,10 +4,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/loop_analysis.h"
 #include "common/result.h"
 #include "frontend/ast.h"
 #include "rules/transform.h"
 #include "sql/generator.h"
+
+namespace eqsql::obs {
+class MetricsRegistry;
+}  // namespace eqsql::obs
 
 namespace eqsql::core {
 
@@ -17,6 +22,11 @@ struct OptimizeOptions {
   /// Dialect used for the *reported* SQL (the rewritten program always
   /// embeds the round-trippable kDefault dialect).
   sql::Dialect dialect = sql::Dialect::kDefault;
+  /// When set, Optimize records extraction counters (rules fired,
+  /// P1-P3 verdicts, cost-heuristic skips) into this registry. NOT part
+  /// of the plan-cache fingerprint: metrics wiring must not change
+  /// cache identity (see OptionsFingerprint in plan_cache.cc).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome for one (loop, variable) extraction attempt.
@@ -30,6 +40,20 @@ struct VarOutcome {
   /// when the Sec. 5.3 cost heuristic later declines the extraction;
   /// the fuzz harness uses this for rule-coverage accounting.
   std::vector<std::string> rules;
+
+  // --- EXPLAIN EXTRACTION payload (obs::RenderExplain*) ---
+  /// Source line of the defining loop and a one-line rendering of its
+  /// header ("for t in executeQuery(...)").
+  int loop_line = 0;
+  std::string loop_desc;
+  /// True when the loop iterated a query result (P1-P3 were evaluated).
+  bool query_backed = false;
+  /// Per-precondition verdicts with offending DDG edges on failure.
+  analysis::PreconditionReport preconditions;
+  /// True when conversion succeeded but the Sec. 5.3 cost heuristic
+  /// declined the extraction (nothing of the slice was exclusively
+  /// removable, so the loop stays and the query would only add cost).
+  bool cost_skipped = false;
 };
 
 /// Result of optimizing one function.

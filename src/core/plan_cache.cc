@@ -70,15 +70,33 @@ uint64_t PlanCache::Salted(uint64_t digest) const {
   return key_salt_ == 0 ? digest : SplitMix64(digest ^ key_salt_);
 }
 
+void PlanCache::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_hits_ = nullptr;
+    m_misses_ = nullptr;
+    m_insertions_ = nullptr;
+    m_evictions_ = nullptr;
+    m_invalidations_ = nullptr;
+    return;
+  }
+  m_hits_ = metrics->counter("plan_cache.hits");
+  m_misses_ = metrics->counter("plan_cache.misses");
+  m_insertions_ = metrics->counter("plan_cache.insertions");
+  m_evictions_ = metrics->counter("plan_cache.evictions");
+  m_invalidations_ = metrics->counter("plan_cache.invalidations");
+}
+
 bool PlanCache::Lookup(uint64_t key, Entry* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (m_misses_ != nullptr) m_misses_->Increment();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   ++stats_.hits;
+  if (m_hits_ != nullptr) m_hits_->Increment();
   *out = *it->second;
   return true;
 }
@@ -96,10 +114,12 @@ void PlanCache::Insert(Entry entry) {
   lru_.push_front(std::move(entry));
   index_[lru_.front().key] = lru_.begin();
   ++stats_.insertions;
+  if (m_insertions_ != nullptr) m_insertions_->Increment();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    if (m_evictions_ != nullptr) m_evictions_->Increment();
   }
 }
 
@@ -176,6 +196,7 @@ void PlanCache::InvalidateTable(const std::string& name) {
       index_.erase(it->key);
       it = lru_.erase(it);
       ++stats_.invalidations;
+      if (m_invalidations_ != nullptr) m_invalidations_->Increment();
     } else {
       ++it;
     }

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "core/optimizer.h"
+#include "obs/metrics.h"
 #include "ra/ra_node.h"
 
 namespace eqsql::core {
@@ -88,6 +89,13 @@ class PlanCache {
   /// set before concurrent use.
   void set_key_salt(uint64_t salt) { key_salt_ = salt; }
 
+  /// Mirrors every stat increment into plan_cache.* counters of
+  /// `metrics` (hits, misses, insertions, evictions, invalidations).
+  /// Handles are resolved here once; increments are lock-free, so the
+  /// registry mutex is never taken while the cache mutex is held. Not
+  /// thread-safe: set before concurrent use.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Drops every line that references table `name` (case-insensitive):
   /// SQL entries record their scanned tables; program entries match by
   /// source-text mention (conservative — a false positive only costs a
@@ -135,6 +143,11 @@ class PlanCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
   PlanCacheStats stats_;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_insertions_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_invalidations_ = nullptr;
 };
 
 }  // namespace eqsql::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/loop_analysis.h"
+#include "obs/trace.h"
 #include "sql/parser.h"
 
 namespace eqsql::dir {
@@ -52,6 +53,8 @@ DNodePtr DirBuilder::LookupVar(const std::string& name, Scope scope) {
 }
 
 Result<FunctionDir> DirBuilder::BuildFunction(const frontend::Function& fn) {
+  obs::ScopedSpan span("region-analysis+dir");
+  if (span.active()) span.Attr("function", fn.name);
   loop_reports_.clear();
   VeMap map;
   map[kOutputVar] = ctx_->EmptyList();
@@ -211,11 +214,11 @@ Status DirBuilder::BuildLoop(const cfg::Region& region, Scope scope) {
       loop_reports_.push_back(std::move(report));
       continue;
     }
-    analysis::PreconditionResult pre =
-        analysis::CheckFoldPreconditions(info, var);
-    if (!pre.ok) {
-      (*scope.map)[var] = ctx_->Opaque(pre.failure);
-      report.reason = pre.failure;
+    report.query_backed = true;
+    report.preconditions = analysis::ExplainFoldPreconditions(info, var);
+    if (!report.preconditions.ok) {
+      (*scope.map)[var] = ctx_->Opaque(report.preconditions.failure);
+      report.reason = report.preconditions.failure;
       loop_reports_.push_back(std::move(report));
       continue;
     }

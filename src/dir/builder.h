@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/loop_analysis.h"
 #include "cfg/region.h"
 #include "common/result.h"
 #include "dir/dnode.h"
@@ -25,6 +26,12 @@ struct LoopReport {
   DNodePtr init;       // its value at loop entry
   DNodePtr query_node; // the looped kQuery (null when not query-backed)
   std::string tuple_var;
+  /// True when the loop iterates a query result, i.e. P1-P3 were
+  /// actually evaluated and `preconditions` is meaningful.
+  bool query_backed = false;
+  /// All-verdicts P1-P3 report (EXPLAIN EXTRACTION); its ok/failure
+  /// mirror `converted`/`reason` exactly for query-backed loops.
+  analysis::PreconditionReport preconditions;
 };
 
 /// The D-IR of one function: a ve-Map giving each variable's value at

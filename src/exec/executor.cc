@@ -1,12 +1,14 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "exec/scalar_ops.h"
+#include "obs/trace.h"
 
 namespace eqsql::exec {
 
@@ -228,6 +230,44 @@ bool IndexLookupMightApply(const RaNode& select, const RaNode& scan,
 
 }  // namespace
 
+void Executor::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    scan_rows_ = nullptr;
+    scan_bytes_ = nullptr;
+    parallel_batches_ = nullptr;
+    shard_scan_ns_ = nullptr;
+    return;
+  }
+  scan_rows_ = metrics->counter("storage.scan.rows");
+  scan_bytes_ = metrics->counter("storage.scan.bytes");
+  parallel_batches_ = metrics->counter("exec.parallel.batches");
+  shard_scan_ns_ = metrics->histogram("storage.shard.scan_ns");
+}
+
+std::vector<Executor::ShardScanMetrics> Executor::ShardMetrics(
+    size_t shard_count) {
+  std::vector<ShardScanMetrics> out(shard_count);
+  if (metrics_ == nullptr) return out;
+  for (size_t s = 0; s < shard_count; ++s) {
+    const std::string prefix = "storage.shard." + std::to_string(s) + ".scan.";
+    out[s].rows = metrics_->counter(prefix + "rows");
+    out[s].bytes = metrics_->counter(prefix + "bytes");
+    out[s].ns = metrics_->counter(prefix + "ns");
+  }
+  return out;
+}
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 Result<const storage::Table*> Executor::ResolveTable(
     const std::string& name) const {
   if (guard_ != nullptr) {
@@ -413,6 +453,7 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
       EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
       out.rows = table->rows();
       rows_processed_ += out.rows.size();
+      if (scan_rows_ != nullptr) RecordScan(out.rows.size(), out.WireSize());
       return out;
     }
     case RaOp::kSelect: {
@@ -893,19 +934,41 @@ Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
   ResultSet out;
   EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
   out.rows.resize(table.row_count());
+  if (parallel_batches_ != nullptr) parallel_batches_->Increment();
+  std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
+  const obs::SpanContext parent = obs::CurrentSpanContext();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     // Sequence numbers are dense and unique, so tasks write disjoint
     // elements of the pre-sized row vector: scatter, no merge needed.
-    tasks.push_back([&table, s, &out] {
+    tasks.push_back([this, &table, s, &out, &shard_metrics, parent] {
+      obs::ScopedContext tctx(parent);
+      obs::ScopedSpan tspan("shard-scan");
+      if (tspan.active()) tspan.Attr("shard", std::to_string(s));
+      const int64_t t0 = NowNs();
+      size_t rows = 0;
+      size_t bytes = 0;
       for (const storage::Table::Slot& slot : table.shard_slots(s)) {
         if (slot.seq < out.rows.size()) out.rows[slot.seq] = slot.row;
+        ++rows;
+        bytes += catalog::RowWireSize(slot.row);
+      }
+      const ShardScanMetrics& m = shard_metrics[s];
+      if (m.rows != nullptr) {
+        m.rows->Add(static_cast<int64_t>(rows));
+        m.bytes->Add(static_cast<int64_t>(bytes));
+        const int64_t elapsed = NowNs() - t0;
+        m.ns->Add(elapsed);
+        shard_scan_ns_->Record(elapsed);
       }
     });
   }
   pool_->Run(std::move(tasks));
   rows_processed_ += out.rows.size();
+  // Shard-invariant totals mirror the serial scan exactly: same row
+  // count, same wire bytes.
+  if (scan_rows_ != nullptr) RecordScan(out.rows.size(), out.WireSize());
   return out;
 }
 
@@ -921,20 +984,37 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
   struct TaskResult {
     std::vector<std::pair<size_t, Row>> rows;  // (seq, matched row)
     size_t sub_rows = 0;   // subquery rows processed by the task
+    size_t scanned_bytes = 0;
     size_t fail_seq = 0;
     Status status = Status::OK();
   };
+  if (parallel_batches_ != nullptr) parallel_batches_->Increment();
+  std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
+  const obs::SpanContext parent = obs::CurrentSpanContext();
   std::vector<TaskResult> results(table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
-    tasks.push_back([this, &table, &schema, &pred, ctx, s, &results] {
+    tasks.push_back([this, &table, &schema, &pred, ctx, s, &results,
+                     &shard_metrics, parent] {
+      obs::ScopedContext tctx(parent);
+      obs::ScopedSpan tspan("shard-filter");
+      if (tspan.active()) tspan.Attr("shard", std::to_string(s));
+      const int64_t t0 = NowNs();
       TaskResult& r = results[s];
       // Task-scratch Executor: rows_processed_ is per-instance, and a
       // task must never fan out again (WorkerPool::Run is not
-      // re-entrant from a task), hence no pool on it.
+      // re-entrant from a task), hence no pool on it. Metric handles
+      // are shared: counters are thread-safe and subquery scans inside
+      // the predicate must charge the same shard-invariant totals as
+      // their serial counterparts.
       Executor ex(db_);
       ex.guard_ = guard_;
+      ex.metrics_ = metrics_;
+      ex.scan_rows_ = scan_rows_;
+      ex.scan_bytes_ = scan_bytes_;
+      ex.parallel_batches_ = parallel_batches_;
+      ex.shard_scan_ns_ = shard_scan_ns_;
       EvalContext local = *ctx;
       for (const storage::Table::Slot& slot : table.shard_slots(s)) {
         // Slots are usually in ascending seq order, but concurrent
@@ -944,6 +1024,7 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
         // execution aborts at the globally lowest one); slots above a
         // known failure cannot change the outcome and are skipped.
         if (!r.status.ok() && slot.seq > r.fail_seq) continue;
+        r.scanned_bytes += catalog::RowWireSize(slot.row);
         local.PushFrame(&schema, &slot.row);
         Result<Value> v = ex.EvalScalar(pred, &local);
         local.PopFrame();
@@ -957,6 +1038,14 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
         }
       }
       r.sub_rows = ex.rows_processed_;
+      const ShardScanMetrics& m = shard_metrics[s];
+      if (m.rows != nullptr) {
+        m.rows->Add(static_cast<int64_t>(table.shard_slots(s).size()));
+        m.bytes->Add(static_cast<int64_t>(r.scanned_bytes));
+        const int64_t elapsed = NowNs() - t0;
+        m.ns->Add(elapsed);
+        shard_scan_ns_->Record(elapsed);
+      }
     });
   }
   pool_->Run(std::move(tasks));
@@ -974,10 +1063,15 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
 
   size_t total = 0;
   size_t sub_rows = 0;
+  size_t scanned_bytes = 0;
   for (const TaskResult& r : results) {
     total += r.rows.size();
     sub_rows += r.sub_rows;
+    scanned_bytes += r.scanned_bytes;
   }
+  // Shard-invariant scan totals: the serial plan's child Scan would have
+  // charged the whole table's rows and wire bytes before filtering.
+  if (scan_rows_ != nullptr) RecordScan(table.row_count(), scanned_bytes);
   std::vector<std::pair<size_t, Row>> merged;
   merged.reserve(total);
   for (TaskResult& r : results) {
@@ -1014,18 +1108,31 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
     std::vector<size_t> first_seq;
     size_t matched = 0;
     size_t sub_rows = 0;
+    size_t scanned_bytes = 0;
     size_t fail_seq = 0;
     Status status = Status::OK();
   };
+  if (parallel_batches_ != nullptr) parallel_batches_->Increment();
+  std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
+  const obs::SpanContext parent = obs::CurrentSpanContext();
   std::vector<Partial> partials(table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, &scan_schema, &keys, &aggs, select, ctx, s,
-                     &partials] {
+                     &partials, &shard_metrics, parent] {
+      obs::ScopedContext tctx(parent);
+      obs::ScopedSpan tspan("shard-aggregate");
+      if (tspan.active()) tspan.Attr("shard", std::to_string(s));
+      const int64_t t0 = NowNs();
       Partial& p = partials[s];
       Executor ex(db_);
       ex.guard_ = guard_;
+      ex.metrics_ = metrics_;
+      ex.scan_rows_ = scan_rows_;
+      ex.scan_bytes_ = scan_bytes_;
+      ex.parallel_batches_ = parallel_batches_;
+      ex.shard_scan_ns_ = shard_scan_ns_;
       EvalContext local = *ctx;
       for (const storage::Table::Slot& slot : table.shard_slots(s)) {
         // As in ExecSelectScanParallel: slot order within a shard is
@@ -1036,6 +1143,7 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
         // their group-state updates are dead weight — the whole
         // partial is discarded on failure.
         if (!p.status.ok() && slot.seq > p.fail_seq) continue;
+        p.scanned_bytes += catalog::RowWireSize(slot.row);
         local.PushFrame(&scan_schema, &slot.row);
         Status status = Status::OK();
         bool pass = true;
@@ -1090,6 +1198,14 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
         }
       }
       p.sub_rows = ex.rows_processed_;
+      const ShardScanMetrics& m = shard_metrics[s];
+      if (m.rows != nullptr) {
+        m.rows->Add(static_cast<int64_t>(table.shard_slots(s).size()));
+        m.bytes->Add(static_cast<int64_t>(p.scanned_bytes));
+        const int64_t elapsed = NowNs() - t0;
+        m.ns->Add(elapsed);
+        shard_scan_ns_->Record(elapsed);
+      }
     });
   }
   pool_->Run(std::move(tasks));
@@ -1110,9 +1226,11 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
   std::vector<size_t> gseq;
   size_t matched = 0;
   size_t sub_rows = 0;
+  size_t scanned_bytes = 0;
   for (Partial& p : partials) {
     matched += p.matched;
     sub_rows += p.sub_rows;
+    scanned_bytes += p.scanned_bytes;
     for (size_t g = 0; g < p.keys.size(); ++g) {
       auto [it, inserted] = index.emplace(p.keys[g], gkeys.size());
       if (inserted) {
@@ -1150,6 +1268,8 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
     }
     out.rows.push_back(std::move(row));
   }
+  // Shard-invariant scan totals, mirroring the serial child Scan.
+  if (scan_rows_ != nullptr) RecordScan(table.row_count(), scanned_bytes);
   rows_processed_ +=
       table.row_count() + matched + sub_rows + out.rows.size();
   return out;

@@ -6,6 +6,7 @@
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "exec/worker_pool.h"
+#include "obs/metrics.h"
 #include "ra/ra_node.h"
 #include "storage/database.h"
 #include "storage/shard_guard.h"
@@ -96,6 +97,16 @@ class Executor {
   /// republishes them mid-flight.
   void set_read_guard(const storage::ReadGuard* guard) { guard_ = guard; }
 
+  /// Attaches a metrics registry. Shard-invariant totals go to
+  /// storage.scan.rows / storage.scan.bytes (identical whatever the
+  /// shard count or pool — scan counters always charge the full logical
+  /// scan); per-shard breakdowns go under storage.shard.<i>.scan.* and
+  /// fan-out counts under exec.parallel.*, which are layout-dependent by
+  /// design and excluded from the invariance contract. Handles are
+  /// resolved here once; execution never touches the registry mutex
+  /// except to name per-shard counters at fan-out time.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Executes `node` with positional `params` bound to '?' placeholders.
   Result<ResultSet> Execute(const ra::RaNodePtr& node,
                             const std::vector<catalog::Value>& params = {});
@@ -140,11 +151,31 @@ class Executor {
                                         const storage::Table& table,
                                         EvalContext* ctx);
 
+  /// Per-shard counter handles for one fan-out, resolved on the
+  /// submitting thread so tasks never take the registry mutex.
+  struct ShardScanMetrics {
+    obs::Counter* rows = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* ns = nullptr;
+  };
+  std::vector<ShardScanMetrics> ShardMetrics(size_t shard_count);
+  void RecordScan(size_t rows, size_t bytes) {
+    if (scan_rows_ != nullptr) {
+      scan_rows_->Add(static_cast<int64_t>(rows));
+      scan_bytes_->Add(static_cast<int64_t>(bytes));
+    }
+  }
+
   const storage::Database* db_;
   const storage::ReadGuard* guard_ = nullptr;
   WorkerPool* pool_ = nullptr;
   size_t parallel_threshold_ = 512;
   size_t rows_processed_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* scan_rows_ = nullptr;
+  obs::Counter* scan_bytes_ = nullptr;
+  obs::Counter* parallel_batches_ = nullptr;
+  obs::Histogram* shard_scan_ns_ = nullptr;
 };
 
 }  // namespace eqsql::exec

@@ -1,9 +1,32 @@
 #include "exec/worker_pool.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace eqsql::exec {
+
+namespace {
+
+int64_t PoolNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void WorkerPool::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    tasks_submitted_ = nullptr;
+    queue_depth_ = nullptr;
+    task_ns_ = nullptr;
+    return;
+  }
+  tasks_submitted_ = metrics->counter("exec.pool.tasks");
+  queue_depth_ = metrics->histogram("exec.pool.queue_depth");
+  task_ns_ = metrics->histogram("exec.pool.task_ns");
+}
 
 WorkerPool::WorkerPool(size_t threads) {
   threads_.reserve(threads);
@@ -37,19 +60,37 @@ void WorkerPool::WorkerLoop() {
 
 void WorkerPool::Run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  if (tasks_submitted_ != nullptr) {
+    tasks_submitted_->Add(static_cast<int64_t>(tasks.size()));
+  }
   if (threads_.empty() || tasks.size() == 1) {
-    for (auto& t : tasks) t();
+    for (auto& t : tasks) {
+      if (task_ns_ != nullptr) {
+        const int64_t t0 = PoolNowNs();
+        t();
+        task_ns_->Record(PoolNowNs() - t0);
+      } else {
+        t();
+      }
+    }
     return;
   }
 
   auto batch = std::make_shared<Batch>();
   batch->remaining = tasks.size();
 
+  size_t depth_after_submit = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& t : tasks) {
-      queue_.push_back([batch, task = std::move(t)] {
-        task();
+      queue_.push_back([batch, task = std::move(t), hist = task_ns_] {
+        if (hist != nullptr) {
+          const int64_t t0 = PoolNowNs();
+          task();
+          hist->Record(PoolNowNs() - t0);
+        } else {
+          task();
+        }
         {
           std::lock_guard<std::mutex> lock(batch->mu);
           --batch->remaining;
@@ -58,6 +99,12 @@ void WorkerPool::Run(std::vector<std::function<void()>> tasks) {
         batch->cv.notify_all();
       });
     }
+    depth_after_submit = queue_.size();
+  }
+  // Sampled under mu_, recorded outside it: the registry and histogram
+  // are leaf-level and must never nest inside the pool lock.
+  if (queue_depth_ != nullptr) {
+    queue_depth_->Record(static_cast<int64_t>(depth_after_submit));
   }
   cv_.notify_all();
 

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace eqsql::exec {
 
 /// A small shared pool for partition-parallel query execution. One pool
@@ -38,6 +40,13 @@ class WorkerPool {
 
   size_t thread_count() const { return threads_.size(); }
 
+  /// Attaches a metrics registry: exec.pool.tasks (counter),
+  /// exec.pool.queue_depth (histogram, sampled at submit time) and
+  /// exec.pool.task_ns (histogram). All are scheduling-dependent and
+  /// excluded from the shard-count-invariance contract. Call before the
+  /// pool is shared across threads; handles are resolved once here.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Runs every task and returns when all have finished. The calling
   /// thread helps drain the queue while it waits.
   void Run(std::vector<std::function<void()>> tasks);
@@ -57,6 +66,9 @@ class WorkerPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  obs::Counter* tasks_submitted_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
+  obs::Histogram* task_ns_ = nullptr;
 };
 
 }  // namespace eqsql::exec

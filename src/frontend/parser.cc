@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "frontend/lexer.h"
+#include "obs/trace.h"
 
 namespace eqsql::frontend {
 
@@ -364,6 +365,7 @@ class Parser {
 }  // namespace
 
 Result<Program> ParseProgram(std::string_view source) {
+  obs::ScopedSpan span("parse");
   EQSQL_ASSIGN_OR_RETURN(std::vector<Tok> tokens, TokenizeImp(source));
   Parser parser(std::move(tokens));
   return parser.Parse();

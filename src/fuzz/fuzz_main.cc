@@ -17,10 +17,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "fuzz/corpus.h"
 #include "fuzz/oracle.h"
 #include "fuzz/program_gen.h"
@@ -68,8 +70,7 @@ void HandleFailure(const Args& args, const FuzzCase& c,
   OracleReport final_report = report;
   if (!args.no_shrink && IsViolation(report.verdict)) {
     ShrinkOutcome shrunk = Shrink(c, oopts);
-    std::fprintf(stderr, "shrunk after %d oracle runs\n",
-                 shrunk.oracle_runs);
+    EQSQL_LOG(Info, "shrunk after %d oracle runs", shrunk.oracle_runs);
     to_save = std::move(shrunk.reduced);
     final_report = std::move(shrunk.report);
   }
@@ -78,6 +79,24 @@ void HandleFailure(const Args& args, const FuzzCase& c,
   auto path = SaveCaseFile(to_save, dir);
   if (path.ok()) {
     std::fprintf(stderr, "reproducer written to %s\n", path->c_str());
+    // Re-run the minimal case with diagnostics on and attach the
+    // EXPLAIN EXTRACTION report and pipeline trace next to it, so a
+    // mismatch arrives with the optimizer's own account of which
+    // preconditions held and which rules fired.
+    OracleOptions diag = oopts;
+    diag.collect_diagnostics = true;
+    OracleReport rerun = RunOracle(to_save, diag);
+    std::ofstream explain(*path + ".explain.txt");
+    explain << rerun.explain_text;
+    std::ofstream trace(*path + ".trace.json");
+    trace << rerun.trace_json << "\n";
+    if (explain && trace) {
+      std::fprintf(stderr, "diagnostics written to %s.{explain.txt,trace.json}\n",
+                   path->c_str());
+    } else {
+      EQSQL_LOG(Warn, "could not write diagnostics next to %s",
+                path->c_str());
+    }
   } else {
     std::fprintf(stderr, "cannot write reproducer: %s\n",
                  path.status().ToString().c_str());

@@ -10,6 +10,8 @@
 #include "exec/worker_pool.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
 
 namespace eqsql::fuzz {
 
@@ -202,9 +204,9 @@ std::string DescribePrintDiff(const std::vector<std::string>& a,
   return out.str();
 }
 
-}  // namespace
-
-OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
+/// The differential run proper. RunOracle below wraps it in an
+/// optional pipeline trace when diagnostics are requested.
+OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
   OracleReport report;
 
   // Each interpreter run gets its own freshly built database: programs
@@ -239,6 +241,9 @@ OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
     return report;
   }
   report.extracted = optimized->any_extracted();
+  if (opts.collect_diagnostics) {
+    report.explain_text = obs::RenderExplainText(*optimized, c.function);
+  }
   std::set<std::string> rules;
   for (const core::VarOutcome& o : optimized->outcomes) {
     if (!o.extracted) continue;
@@ -304,6 +309,22 @@ OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
     return report;
   }
   report.verdict = Verdict::kPass;
+  return report;
+}
+
+}  // namespace
+
+OracleReport RunOracle(const FuzzCase& c, const OracleOptions& opts) {
+  if (!opts.collect_diagnostics) return RunOracleImpl(c, opts);
+  // One trace spans the whole differential run: extraction pipeline
+  // spans plus both interpreter executions (per-query execute spans).
+  obs::Trace trace;
+  OracleReport report;
+  {
+    obs::ScopedTrace scoped(&trace);
+    report = RunOracleImpl(c, opts);
+  }
+  report.trace_json = trace.ToJson();
   return report;
 }
 

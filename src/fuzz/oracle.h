@@ -36,6 +36,12 @@ struct OracleOptions {
   /// so a sweep at --shards N exercises the partition-parallel
   /// scan/aggregate paths against the exact same programs.
   size_t shard_count = 1;
+  /// Collects failure diagnostics: the EXPLAIN EXTRACTION report for
+  /// the case's function and a pipeline trace (JSON) covering the
+  /// whole differential run. Off by default — the fuzz loop re-runs
+  /// only the shrunk reproducer with this on, so the hot path stays
+  /// untraced.
+  bool collect_diagnostics = false;
 };
 
 /// Everything one differential run learned.
@@ -51,6 +57,9 @@ struct OracleReport {
   int64_t rewritten_queries = 0;
   std::string rewritten_source;
   std::vector<net::QueryTrace> rewritten_trace;
+  /// Populated only under OracleOptions::collect_diagnostics.
+  std::string explain_text;  // EXPLAIN EXTRACTION report
+  std::string trace_json;    // pipeline span tree (obs::Trace::ToJson)
 };
 
 /// Runs the differential oracle on one case: interpret the program

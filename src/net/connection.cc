@@ -1,9 +1,11 @@
 #include "net/connection.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/strings.h"
 #include "exec/scalar_ops.h"
+#include "obs/trace.h"
 #include "sql/dml.h"
 #include "sql/parser.h"
 #include "storage/shard_guard.h"
@@ -44,15 +46,39 @@ bool DmlContainsSubquery(const sql::DmlStatement& stmt) {
 
 }  // namespace
 
+void Connection::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  executor_.set_metrics(metrics);
+  if (metrics == nullptr) {
+    m_queries_ = nullptr;
+    m_round_trips_ = nullptr;
+    m_rows_transferred_ = nullptr;
+    m_bytes_transferred_ = nullptr;
+    m_dml_statements_ = nullptr;
+    m_rows_processed_ = nullptr;
+    m_query_ns_ = nullptr;
+    return;
+  }
+  m_queries_ = metrics->counter("net.queries");
+  m_round_trips_ = metrics->counter("net.round_trips");
+  m_rows_transferred_ = metrics->counter("net.rows_transferred");
+  m_bytes_transferred_ = metrics->counter("net.bytes_transferred");
+  m_dml_statements_ = metrics->counter("net.dml_statements");
+  m_rows_processed_ = metrics->counter("exec.rows_processed");
+  m_query_ns_ = metrics->histogram("net.query_ns");
+}
+
 Result<exec::ResultSet> Connection::ExecuteQuery(
     const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
   DebugCheckThreadOwner();
+  obs::ScopedSpan span("execute");
+  const auto wall0 = std::chrono::steady_clock::now();
   Result<exec::ResultSet> executed = [&] {
     // Readers scale: pin and shard-shared-lock exactly the tables this
     // plan scans. Writers to other tables — or to shards of these
     // tables only after we release — are not excluded globally anymore.
-    storage::ReadGuard guard =
-        storage::ReadGuard::Acquire(*db_, ra::CollectScannedTables(plan));
+    storage::ReadGuard guard = storage::ReadGuard::Acquire(
+        *db_, ra::CollectScannedTables(plan), metrics_);
     executor_.set_read_guard(&guard);
     Result<exec::ResultSet> rs = executor_.Execute(plan, params);
     executor_.set_read_guard(nullptr);
@@ -91,6 +117,23 @@ Result<exec::ResultSet> Connection::ExecuteQuery(
   }
   prefetch_primed_ = prefetch_mode_;
   stats_.simulated_ms += elapsed;
+  PublishStats();
+
+  if (m_queries_ != nullptr) {
+    m_queries_->Increment();
+    if (pay_latency) m_round_trips_->Increment();
+    m_rows_transferred_->Add(static_cast<int64_t>(rs.rows.size()));
+    m_bytes_transferred_->Add(
+        static_cast<int64_t>(request_bytes + result_bytes));
+    m_rows_processed_->Add(
+        static_cast<int64_t>(executor_.last_rows_processed()));
+    m_query_ns_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count());
+  }
+  if (span.active()) {
+    span.Attr("rows", std::to_string(rs.rows.size()));
+  }
   return rs;
 }
 
@@ -109,6 +152,13 @@ void Connection::SimulateUpdate(std::string_view sql) {
   stats_.simulated_ms += model_.round_trip_latency_ms +
                          model_.query_overhead_ms +
                          model_.TransferMs(sql.size());
+  PublishStats();
+  if (m_queries_ != nullptr) {
+    m_queries_->Increment();
+    m_round_trips_->Increment();
+    m_dml_statements_->Increment();
+    m_bytes_transferred_->Add(static_cast<int64_t>(sql.size()));
+  }
 }
 
 Result<int64_t> Connection::ExecuteDml(
@@ -207,6 +257,13 @@ Result<int64_t> Connection::ExecuteDml(
                          model_.query_overhead_ms +
                          model_.TransferMs(request_bytes) +
                          model_.ServerMs(examined);
+  PublishStats();
+  if (m_queries_ != nullptr) {
+    m_queries_->Increment();
+    m_round_trips_->Increment();
+    m_dml_statements_->Increment();
+    m_bytes_transferred_->Add(static_cast<int64_t>(request_bytes));
+  }
   return affected;
 }
 
@@ -231,6 +288,11 @@ Status Connection::CreateTempTable(const std::string& name,
   stats_.simulated_ms += model_.param_table_overhead_ms +
                          model_.round_trip_latency_ms +
                          model_.TransferMs(upload_bytes);
+  PublishStats();
+  if (m_round_trips_ != nullptr) {
+    m_round_trips_->Increment();
+    m_bytes_transferred_->Add(static_cast<int64_t>(upload_bytes));
+  }
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef EQSQL_NET_CONNECTION_H_
 #define EQSQL_NET_CONNECTION_H_
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "exec/executor.h"
 #include "net/cost_model.h"
+#include "obs/metrics.h"
 #include "ra/ra_node.h"
 #include "storage/database.h"
 
@@ -75,6 +77,7 @@ class Connection {
     DebugCheckThreadOwner();
     stats_.simulated_ms +=
         model_.client_cost_per_op_ms * static_cast<double>(ops);
+    PublishStats();
   }
 
   /// Simulates a DML statement (INSERT/UPDATE/DELETE): charges one round
@@ -122,8 +125,37 @@ class Connection {
     executor_.set_parallel_threshold(n);
   }
 
+  /// Attaches a metrics registry: net.* counters (queries, round trips,
+  /// rows/bytes transferred, DML statements), the net.query_ns wall-time
+  /// histogram, storage.lock_wait_ns via the per-query ReadGuard, and
+  /// the executor's storage/exec metrics.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   const ConnectionStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ConnectionStats(); }
+  void ResetStats() {
+    stats_ = ConnectionStats();
+    PublishStats();
+  }
+
+  /// Race-free approximation of stats() for OTHER threads: the owner
+  /// thread publishes a snapshot into an atomic mirror after every
+  /// mutating operation, so a concurrent reader sees the state as of
+  /// the last completed operation (never a torn mid-operation value).
+  /// Used by Server::stats() to fold live (unclosed) sessions.
+  ConnectionStats ApproxStats() const {
+    ConnectionStats out;
+    out.queries_executed =
+        shared_stats_.queries_executed.load(std::memory_order_relaxed);
+    out.round_trips =
+        shared_stats_.round_trips.load(std::memory_order_relaxed);
+    out.rows_transferred =
+        shared_stats_.rows_transferred.load(std::memory_order_relaxed);
+    out.bytes_transferred =
+        shared_stats_.bytes_transferred.load(std::memory_order_relaxed);
+    out.simulated_ms =
+        shared_stats_.simulated_ms.load(std::memory_order_relaxed);
+    return out;
+  }
 
   /// Enables per-query tracing (off by default; tracing stores the SQL
   /// text of every query, so leave it off in benchmark loops).
@@ -157,10 +189,44 @@ class Connection {
                  "ReleaseThreadOwnership()");
   }
 
+  /// Copies stats_ into the atomic mirror (owner thread only; readers
+  /// use ApproxStats). Field-wise relaxed stores: a concurrent reader
+  /// may see one operation's fields partially applied across fields,
+  /// but every individual field is a complete post-operation value.
+  void PublishStats() {
+    shared_stats_.queries_executed.store(stats_.queries_executed,
+                                         std::memory_order_relaxed);
+    shared_stats_.round_trips.store(stats_.round_trips,
+                                    std::memory_order_relaxed);
+    shared_stats_.rows_transferred.store(stats_.rows_transferred,
+                                         std::memory_order_relaxed);
+    shared_stats_.bytes_transferred.store(stats_.bytes_transferred,
+                                          std::memory_order_relaxed);
+    shared_stats_.simulated_ms.store(stats_.simulated_ms,
+                                     std::memory_order_relaxed);
+  }
+
+  struct SharedStats {
+    std::atomic<int64_t> queries_executed{0};
+    std::atomic<int64_t> round_trips{0};
+    std::atomic<int64_t> rows_transferred{0};
+    std::atomic<int64_t> bytes_transferred{0};
+    std::atomic<double> simulated_ms{0.0};
+  };
+
   storage::Database* db_;
   CostModel model_;
   exec::Executor executor_;
   ConnectionStats stats_;
+  SharedStats shared_stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_round_trips_ = nullptr;
+  obs::Counter* m_rows_transferred_ = nullptr;
+  obs::Counter* m_bytes_transferred_ = nullptr;
+  obs::Counter* m_dml_statements_ = nullptr;
+  obs::Counter* m_rows_processed_ = nullptr;
+  obs::Histogram* m_query_ns_ = nullptr;
   bool prefetch_mode_ = false;
   bool prefetch_primed_ = false;
   bool trace_enabled_ = false;

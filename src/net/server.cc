@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "common/strings.h"
+#include "obs/explain.h"
 
 namespace eqsql::net {
 
@@ -26,6 +28,13 @@ Server::Server(ServerOptions options)
   // one sharding can never alias a differently-configured server's.
   plan_cache_.set_key_salt(
       SplitMix64(0x5ca1ab1e ^ static_cast<uint64_t>(db_.shard_count())));
+  // One registry serves every layer. The optimizer pointer is
+  // deliberately NOT part of the plan-cache fingerprint (see
+  // OptimizeOptions::metrics), so cached extractions are shared whether
+  // or not metrics are on.
+  plan_cache_.set_metrics(&metrics_);
+  pool_.set_metrics(&metrics_);
+  options_.optimize.metrics = &metrics_;
 }
 
 std::unique_ptr<Session> Server::Connect() {
@@ -34,11 +43,17 @@ std::unique_ptr<Session> Server::Connect() {
     std::lock_guard<std::mutex> lock(mu_);
     id = ++sessions_opened_;
   }
-  return std::unique_ptr<Session>(new Session(this, id));
+  auto session = std::unique_ptr<Session>(new Session(this, id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_sessions_[id] = &session->conn_;
+  }
+  return session;
 }
 
-void Server::CloseSession(const ConnectionStats& session_stats) {
+void Server::CloseSession(int64_t id, const ConnectionStats& session_stats) {
   std::lock_guard<std::mutex> lock(mu_);
+  live_sessions_.erase(id);
   ++sessions_closed_;
   totals_.queries_executed += session_stats.queries_executed;
   totals_.round_trips += session_stats.round_trips;
@@ -57,18 +72,66 @@ ServerStats Server::stats() const {
     out.sessions_closed = sessions_closed_;
     out.totals = totals_;
     out.max_session_simulated_ms = max_session_simulated_ms_;
+    // Live sessions contribute the snapshot their owner thread last
+    // published (complete up to the last finished operation).
+    for (const auto& [id, conn] : live_sessions_) {
+      ConnectionStats live = conn->ApproxStats();
+      out.totals.queries_executed += live.queries_executed;
+      out.totals.round_trips += live.round_trips;
+      out.totals.rows_transferred += live.rows_transferred;
+      out.totals.bytes_transferred += live.bytes_transferred;
+      out.totals.simulated_ms += live.simulated_ms;
+      out.max_session_simulated_ms =
+          std::max(out.max_session_simulated_ms, live.simulated_ms);
+    }
   }
   out.plan_cache = plan_cache_.stats();
   return out;
 }
 
-Session::~Session() { server_->CloseSession(conn_.stats()); }
+Session::~Session() { server_->CloseSession(id_, conn_.stats()); }
+
+namespace {
+
+/// True if `sql` is the introspection statement "SHOW METRICS"
+/// (case-insensitive, surrounding whitespace and a trailing ';' ok).
+bool IsShowMetrics(std::string_view sql) {
+  size_t b = sql.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) return false;
+  size_t e = sql.find_last_not_of(" \t\r\n;");
+  std::string text = AsciiToLower(std::string(sql.substr(b, e - b + 1)));
+  return text == "show metrics";
+}
+
+}  // namespace
 
 Result<exec::ResultSet> Session::ExecuteSql(
     std::string_view sql, const std::vector<catalog::Value>& params) {
+  if (IsShowMetrics(sql)) {
+    // Counters only: they are deterministic for a fixed workload.
+    // Histograms carry timing and are exported via the JSON snapshot
+    // (Server::metrics()), not through the query surface.
+    obs::MetricsSnapshot snap = server_->metrics_.Snapshot();
+    exec::ResultSet rs;
+    rs.schema = catalog::Schema({{"metric", catalog::DataType::kString},
+                                 {"value", catalog::DataType::kInt64}});
+    rs.rows.reserve(snap.counters.size());
+    for (const auto& [name, value] : snap.counters) {
+      rs.rows.push_back(
+          {catalog::Value::String(name), catalog::Value::Int(value)});
+    }
+    return rs;
+  }
   EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan,
                          server_->plan_cache_.GetOrParseSql(sql));
   return conn_.ExecuteQuery(plan, params);
+}
+
+Result<std::string> Session::ExplainExtraction(const std::string& source,
+                                               const std::string& function) {
+  EQSQL_ASSIGN_OR_RETURN(std::shared_ptr<const core::OptimizeResult> result,
+                         OptimizeCached(source, function));
+  return obs::RenderExplainText(*result, function);
 }
 
 Result<std::shared_ptr<const core::OptimizeResult>> Session::OptimizeCached(

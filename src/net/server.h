@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +14,7 @@
 #include "core/plan_cache.h"
 #include "net/connection.h"
 #include "net/cost_model.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 
 namespace eqsql::net {
@@ -40,13 +42,18 @@ struct ServerOptions {
   size_t parallel_threshold = 512;
 };
 
-/// Server-wide aggregate counters. Session stats fold in when a session
-/// closes (destructor), so a snapshot taken after workers join is
-/// exact; a snapshot taken mid-flight reports only closed sessions.
+/// Server-wide aggregate counters. Closed sessions fold their exact
+/// stats in when destroyed; live (unclosed) sessions contribute the
+/// snapshot their owner thread last published after a completed
+/// operation (Connection::ApproxStats). A snapshot taken after workers
+/// join is therefore exact, and one taken mid-flight is complete up to
+/// each session's last finished operation — never zero for a session
+/// that has already done work.
 struct ServerStats {
   int64_t sessions_opened = 0;
   int64_t sessions_closed = 0;
-  /// Sum of every closed session's ConnectionStats.
+  /// Sum of every closed session's ConnectionStats plus every live
+  /// session's last published snapshot.
   ConnectionStats totals;
   /// Longest per-session simulated time among closed sessions. Sessions
   /// simulate independent client links, so totals.simulated_ms is the
@@ -79,6 +86,11 @@ class Server {
   exec::WorkerPool* worker_pool() { return &pool_; }
   const ServerOptions& options() const { return options_; }
 
+  /// The server-wide metrics registry: plan cache, worker pool,
+  /// storage scans, per-session net counters, and extraction pipeline
+  /// metrics all land here. Snapshot() is safe from any thread.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
   /// Opens a session against the shared database. The session may be
   /// handed to a worker thread before first use; it folds its stats
   /// back into the server when destroyed.
@@ -90,10 +102,14 @@ class Server {
  private:
   friend class Session;
 
-  /// Folds a closing session's counters into the aggregate.
-  void CloseSession(const ConnectionStats& session_stats);
+  /// Folds a closing session's counters into the aggregate and drops
+  /// it from the live-session map.
+  void CloseSession(int64_t id, const ConnectionStats& session_stats);
 
   ServerOptions options_;
+  /// Declared before pool_ and db_: destroyed last, so worker threads
+  /// and in-flight sessions can touch metric handles until they join.
+  obs::MetricsRegistry metrics_;
   storage::Database db_;
   core::PlanCache plan_cache_;
   exec::WorkerPool pool_;
@@ -103,6 +119,10 @@ class Server {
   int64_t sessions_closed_ = 0;
   ConnectionStats totals_;
   double max_session_simulated_ms_ = 0.0;
+  /// Connections of open sessions, for live stats fold-in. A Session
+  /// unregisters in its destructor before its Connection dies, so every
+  /// pointer here is valid whenever mu_ is held.
+  std::unordered_map<int64_t, const Connection*> live_sessions_;
 };
 
 /// One client session: a Connection to the server's shared database
@@ -117,7 +137,10 @@ class Session {
   int64_t id() const { return id_; }
 
   /// Executes `sql`, resolving the plan through the shared cache:
-  /// repeated statement texts skip the SQL parser entirely.
+  /// repeated statement texts skip the SQL parser entirely. The
+  /// introspection statement "SHOW METRICS" is intercepted server-side
+  /// and answers with a (metric, value) result set of every counter in
+  /// the server registry, without touching storage.
   Result<exec::ResultSet> ExecuteSql(
       std::string_view sql, const std::vector<catalog::Value>& params = {});
 
@@ -126,6 +149,14 @@ class Session {
   /// skip parse, analysis, transformation, and rewriting.
   Result<std::shared_ptr<const core::OptimizeResult>> OptimizeCached(
       const std::string& source, const std::string& function);
+
+  /// Renders the EXPLAIN EXTRACTION report for (source, function)
+  /// under the server's optimize options: per cursor loop P1-P3
+  /// verdicts, fired rules in order, emitted SQL or the reason (and
+  /// cost-heuristic verdict) extraction was skipped. Resolved through
+  /// the shared plan cache, so repeated requests are free.
+  Result<std::string> ExplainExtraction(const std::string& source,
+                                        const std::string& function);
 
   /// Temp-table DDL with plan-cache invalidation: any cached plan or
   /// extraction referencing `name` is dropped before the registry
@@ -148,6 +179,7 @@ class Session {
                                         server->options_.cost_model) {
     conn_.set_worker_pool(&server->pool_);
     conn_.set_parallel_threshold(server->options_.parallel_threshold);
+    conn_.set_metrics(&server->metrics_);
   }
 
   Server* server_;

@@ -1,0 +1,181 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace eqsql::obs {
+
+namespace {
+
+using core::VarOutcome;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Outcomes grouped by defining loop, preserving first-seen loop order
+/// and per-loop outcome order.
+std::vector<std::pair<int, std::vector<const VarOutcome*>>> GroupByLoop(
+    const core::OptimizeResult& result) {
+  std::vector<std::pair<int, std::vector<const VarOutcome*>>> loops;
+  for (const VarOutcome& o : result.outcomes) {
+    if (loops.empty() || loops.back().first != o.loop_line) {
+      loops.emplace_back(o.loop_line, std::vector<const VarOutcome*>());
+    }
+    loops.back().second.push_back(&o);
+  }
+  return loops;
+}
+
+void RenderVerdict(std::ostringstream& out, const char* label,
+                   const analysis::PreconditionVerdict& v) {
+  out << "    " << label << ": ";
+  if (!v.checked) {
+    out << "not checked\n";
+    return;
+  }
+  if (v.held) {
+    out << "held";
+    if (!v.detail.empty()) out << " (" << v.detail << ")";
+  } else {
+    out << "FAILED";
+    if (!v.detail.empty()) out << ": " << v.detail;
+  }
+  out << "\n";
+}
+
+void RenderVar(std::ostringstream& out, const VarOutcome& o) {
+  out << "  var '" << o.var << "':\n";
+  if (!o.query_backed) {
+    out << "    preconditions not applicable: " << o.reason << "\n";
+  } else {
+    RenderVerdict(out, "P1 loop-carried accumulation cycle", o.preconditions.p1);
+    RenderVerdict(out, "P2 no other loop-carried dependence", o.preconditions.p2);
+    RenderVerdict(out, "P3 no external effects in slice", o.preconditions.p3);
+    if (!o.preconditions.gate.empty()) {
+      out << "    gate: FAILED: " << o.preconditions.gate << "\n";
+    }
+  }
+  out << "    rules fired: ";
+  if (o.rules.empty()) {
+    out << "(none)";
+  } else {
+    for (size_t i = 0; i < o.rules.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << o.rules[i];
+    }
+  }
+  out << "\n";
+  if (o.extracted) {
+    out << "    => extracted\n";
+    for (const std::string& sql : o.sql) {
+      out << "       " << sql << "\n";
+    }
+  } else if (o.cost_skipped) {
+    out << "    => skipped by cost heuristic: " << o.reason << "\n";
+  } else {
+    out << "    => kept imperative: " << o.reason << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderExplainText(const core::OptimizeResult& result,
+                              const std::string& function) {
+  std::ostringstream out;
+  out << "EXPLAIN EXTRACTION for function '" << function << "'\n";
+  if (result.outcomes.empty()) {
+    out << "no cursor loops with observable variables\n";
+    return out.str();
+  }
+  int extracted = 0;
+  for (const auto& [line, vars] : GroupByLoop(result)) {
+    out << "loop at line " << line;
+    if (!vars.empty()) out << ": " << vars.front()->loop_desc;
+    out << "\n";
+    for (const VarOutcome* o : vars) {
+      RenderVar(out, *o);
+      if (o->extracted) ++extracted;
+    }
+  }
+  out << "summary: " << extracted << " of " << result.outcomes.size()
+      << " variable(s) extracted\n";
+  return out.str();
+}
+
+std::string RenderExplainJson(const core::OptimizeResult& result,
+                              const std::string& function) {
+  std::ostringstream out;
+  out << "{\"function\":\"" << JsonEscape(function) << "\",\"loops\":[";
+  bool first_loop = true;
+  auto verdict_json = [&](const char* name,
+                          const analysis::PreconditionVerdict& v) {
+    out << "\"" << name << "\":{\"checked\":" << (v.checked ? "true" : "false")
+        << ",\"held\":" << (v.held ? "true" : "false") << ",\"detail\":\""
+        << JsonEscape(v.detail) << "\"}";
+  };
+  for (const auto& [line, vars] : GroupByLoop(result)) {
+    if (!first_loop) out << ",";
+    first_loop = false;
+    out << "{\"line\":" << line << ",\"desc\":\""
+        << JsonEscape(vars.empty() ? "" : vars.front()->loop_desc)
+        << "\",\"vars\":[";
+    bool first_var = true;
+    for (const VarOutcome* o : vars) {
+      if (!first_var) out << ",";
+      first_var = false;
+      out << "{\"var\":\"" << JsonEscape(o->var) << "\",\"extracted\":"
+          << (o->extracted ? "true" : "false") << ",\"query_backed\":"
+          << (o->query_backed ? "true" : "false") << ",\"cost_skipped\":"
+          << (o->cost_skipped ? "true" : "false");
+      if (o->query_backed) {
+        out << ",\"preconditions\":{";
+        verdict_json("p1", o->preconditions.p1);
+        out << ",";
+        verdict_json("p2", o->preconditions.p2);
+        out << ",";
+        verdict_json("p3", o->preconditions.p3);
+        if (!o->preconditions.gate.empty()) {
+          out << ",\"gate\":\"" << JsonEscape(o->preconditions.gate) << "\"";
+        }
+        out << "}";
+      }
+      out << ",\"rules\":[";
+      for (size_t i = 0; i < o->rules.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\"" << JsonEscape(o->rules[i]) << "\"";
+      }
+      out << "],\"sql\":[";
+      for (size_t i = 0; i < o->sql.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\"" << JsonEscape(o->sql[i]) << "\"";
+      }
+      out << "],\"reason\":\"" << JsonEscape(o->reason) << "\"}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace eqsql::obs

@@ -1,0 +1,28 @@
+#ifndef EQSQL_OBS_EXPLAIN_H_
+#define EQSQL_OBS_EXPLAIN_H_
+
+#include <string>
+
+#include "core/optimizer.h"
+
+namespace eqsql::obs {
+
+/// Renders an EXPLAIN EXTRACTION report for one optimized function: for
+/// every cursor loop, which preconditions P1-P3 held or failed (with
+/// the offending DDG edge), which transformation rules fired in order,
+/// and the cost-heuristic verdict when an extraction was skipped.
+///
+/// The text form is stable (golden-tested); timings are deliberately
+/// omitted so output is byte-deterministic for a fixed program.
+std::string RenderExplainText(const core::OptimizeResult& result,
+                              const std::string& function);
+
+/// The same report as JSON: {"function":..,"loops":[{"line":..,
+/// "desc":..,"vars":[{"var":..,"extracted":..,"preconditions":{...},
+/// "rules":[..],"sql":[..],"reason":..,"cost_skipped":..},..]},..]}.
+std::string RenderExplainJson(const core::OptimizeResult& result,
+                              const std::string& function);
+
+}  // namespace eqsql::obs
+
+#endif  // EQSQL_OBS_EXPLAIN_H_

@@ -1,0 +1,130 @@
+#ifndef EQSQL_OBS_METRICS_H_
+#define EQSQL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eqsql::obs {
+
+/// A lock-free monotonic counter, striped across cache-line-aligned
+/// cells so concurrent writers from different threads do not bounce one
+/// cache line. Add() picks a cell by a thread-local stripe index;
+/// Value() sums the cells.
+///
+/// Counter-valued metrics carry the determinism contract: for a fixed
+/// workload their totals must not depend on shard count or thread
+/// interleaving (see tests/shard_invariance_test.cc). Timing belongs in
+/// Histogram, never here.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t delta) {
+    cells_[StripeIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  static constexpr size_t kStripes = 8;
+
+  static size_t StripeIndex();
+
+  Cell cells_[kStripes];
+};
+
+/// Exported state of one histogram: total count/sum/max plus the
+/// occupied power-of-two buckets as (upper_bound, count) pairs.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;
+  std::vector<std::pair<int64_t, int64_t>> buckets;
+};
+
+/// A bucketed latency histogram with power-of-two bucket boundaries
+/// (bucket i counts values <= 2^i, the last bucket is unbounded).
+/// Record() is wait-free apart from a CAS loop maintaining the max.
+/// Values are whatever unit the recording site chooses — by convention
+/// nanoseconds for *_ns metrics. Timing histograms are exempt from the
+/// shard-count-invariance contract and are excluded from those tests.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  static constexpr size_t kBuckets = 48;
+
+  std::atomic<int64_t> counts_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Point-in-time export of a registry: counter values and histogram
+/// states keyed by metric name (sorted, so rendering is deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+/// A process- or server-wide registry of named metrics.
+///
+/// Locking: the registry mutex guards only the name -> metric maps.
+/// Metric mutation (Counter::Add, Histogram::Record) is lock-free on
+/// stable pointers, so hot paths resolve their handles once (at wiring
+/// time) and never touch the mutex again. The registry mutex is a LEAF
+/// lock: no code may acquire a storage shard/topology lock, the worker
+/// pool mutex, or the plan cache mutex while holding it — it is taken
+/// briefly for name resolution and snapshotting only, which keeps the
+/// "registry is never held across shard locks" rule trivially true.
+///
+/// Returned handles stay valid for the registry's lifetime (metrics are
+/// never removed).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace eqsql::obs
+
+#endif  // EQSQL_OBS_METRICS_H_

@@ -1,0 +1,128 @@
+#ifndef EQSQL_OBS_TRACE_H_
+#define EQSQL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eqsql::obs {
+
+/// One completed (or still-open) span of a pipeline trace.
+struct TraceSpan {
+  std::string name;
+  int id = -1;
+  int parent = -1;  // index of the parent span, -1 for roots
+  int64_t start_ns = 0;  // relative to the trace's origin
+  int64_t dur_ns = -1;   // -1 while the span is open
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// A per-query span tree covering the extraction/execution pipeline
+/// (parse -> region analysis -> D-IR -> F-IR -> rules -> SQL emission
+/// -> execution), including per-shard spans emitted by the partition-
+/// parallel executor.
+///
+/// Thread model: spans may begin/end on any thread (the parallel
+/// executor's pool tasks append shard spans concurrently); the internal
+/// mutex serializes the span vector. The ambient ScopedTrace/ScopedSpan
+/// API below keeps instrumentation sites one-liners with zero cost when
+/// no trace is installed.
+class Trace {
+ public:
+  Trace() : origin_(std::chrono::steady_clock::now()) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span; returns its id. `parent` of -1 makes a root span.
+  int BeginSpan(std::string name, int parent);
+  void EndSpan(int id);
+  void SetAttr(int id, std::string key, std::string value);
+
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Machine form: {"spans":[{"id":..,"parent":..,"name":..,
+  /// "start_ns":..,"dur_ns":..,"attrs":{...}},...]}.
+  std::string ToJson() const;
+
+  /// Human form: a depth-indented flame summary. Sibling spans with the
+  /// same name under the same parent aggregate into one line with a
+  /// repeat count, so a 64-shard fan-out reads as one line.
+  std::string FlameSummary() const;
+
+ private:
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// The ambient trace position of the current thread: which trace is
+/// active and which span is the parent for new child spans. Captured by
+/// fan-out code (one SpanContext per pool task) and restored on the
+/// worker thread with ScopedContext, so spans created inside tasks
+/// attach to the submitting query's tree.
+struct SpanContext {
+  Trace* trace = nullptr;
+  int span = -1;
+};
+
+/// The calling thread's current context (null trace when none active).
+SpanContext CurrentSpanContext();
+
+/// Installs `trace` as the calling thread's active trace for the
+/// current scope. Passing nullptr is a no-op scope.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(Trace* trace);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  SpanContext saved_;
+};
+
+/// Restores a captured SpanContext on this thread for the current scope
+/// (for pool tasks running parts of a traced query).
+class ScopedContext {
+ public:
+  explicit ScopedContext(SpanContext ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  SpanContext saved_;
+};
+
+/// Opens a child span of the current ambient context, and makes itself
+/// the ambient parent until destruction. A no-op (no allocation, two
+/// thread-local reads) when no trace is installed — instrumentation in
+/// deep layers costs nothing for untraced queries.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+  void Attr(const char* key, std::string value);
+
+ private:
+  Trace* trace_ = nullptr;
+  int id_ = -1;
+  SpanContext saved_;
+};
+
+}  // namespace eqsql::obs
+
+#endif  // EQSQL_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "rewrite/emit.h"
 
+#include "obs/trace.h"
+
 namespace eqsql::rewrite {
 
 using dir::DNodePtr;
@@ -134,9 +136,11 @@ Result<frontend::ExprPtr> EmitExpression(const DNodePtr& node,
   return expr;
 }
 
-Result<EmittedCode> EmitAssignment(const DNodePtr& node,
-                                   const std::string& var,
-                                   sql::Dialect dialect) {
+namespace {
+
+Result<EmittedCode> EmitAssignmentImpl(const DNodePtr& node,
+                                       const std::string& var,
+                                       sql::Dialect dialect) {
   bool has_query = dir::DagContext::Contains(
       node, [](const dir::DNode& n) { return n.op() == DOp::kQuery; });
   if (!has_query) {
@@ -148,6 +152,15 @@ Result<EmittedCode> EmitAssignment(const DNodePtr& node,
   out.stmt = frontend::Stmt::Assign(var, std::move(expr));
   out.sql_queries = emitter.TakeSql();
   return out;
+}
+
+}  // namespace
+
+Result<EmittedCode> EmitAssignment(const DNodePtr& node,
+                                   const std::string& var,
+                                   sql::Dialect dialect) {
+  obs::ScopedSpan span("sql-emit");
+  return EmitAssignmentImpl(node, var, dialect);
 }
 
 }  // namespace eqsql::rewrite

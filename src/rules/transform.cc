@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "rules/convert.h"
 #include "rules/ra_utils.h"
 
@@ -143,6 +144,7 @@ std::string ItemName(const DNodePtr& elem, size_t index) {
 }  // namespace
 
 DNodePtr Transformer::Transform(const DNodePtr& node) {
+  obs::ScopedSpan span("fir-rules");
   applied_.clear();
   var_stack_.clear();
   return Rewrite(node);

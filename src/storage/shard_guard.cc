@@ -1,13 +1,17 @@
 #include "storage/shard_guard.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace eqsql::storage {
 
 ReadGuard ReadGuard::Acquire(const Database& db,
-                             const std::vector<std::string>& tables) {
+                             const std::vector<std::string>& tables,
+                             obs::MetricsRegistry* metrics) {
+  obs::ScopedSpan span("lock-acquire");
   std::vector<std::string> keys;
   keys.reserve(tables.size());
   for (const std::string& t : tables) keys.push_back(AsciiToLower(t));
@@ -26,11 +30,21 @@ ReadGuard ReadGuard::Acquire(const Database& db,
   // lock (shared, so shard_count/shard_mutex are stable and no
   // repartition can free the mutexes while we hold them), then shards
   // in ascending index order.
+  // Resolve the histogram handle before any lock is taken: the registry
+  // mutex is a leaf lock and must never nest inside shard locks.
+  obs::Histogram* lock_wait =
+      metrics == nullptr ? nullptr : metrics->histogram("storage.lock_wait_ns");
+  const auto t0 = std::chrono::steady_clock::now();
   for (const auto& table : guard.tables_) {
     guard.topology_locks_.emplace_back(table->topology_mutex());
     for (size_t i = 0; i < table->shard_count(); ++i) {
       guard.locks_.emplace_back(table->shard_mutex(i));
     }
+  }
+  if (lock_wait != nullptr) {
+    lock_wait->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
   }
   return guard;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/database.h"
 
 namespace eqsql::storage {
@@ -32,9 +33,13 @@ namespace eqsql::storage {
 class ReadGuard {
  public:
   /// Snapshots and shard-shared-locks `tables` (any case, duplicates
-  /// fine) from `db`.
+  /// fine) from `db`. With a registry, the total time spent blocked on
+  /// lock acquisition is recorded in the storage.lock_wait_ns histogram
+  /// (the registry itself is only consulted before and after locking —
+  /// never while any shard lock is held).
   static ReadGuard Acquire(const Database& db,
-                           const std::vector<std::string>& tables);
+                           const std::vector<std::string>& tables,
+                           obs::MetricsRegistry* metrics = nullptr);
 
   ReadGuard() = default;
   ReadGuard(ReadGuard&&) = default;

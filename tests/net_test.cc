@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/connection.h"
+#include "net/server.h"
 
 namespace eqsql::net {
 namespace {
@@ -187,6 +188,68 @@ TEST_F(ConnectionTest, ExecuteDmlRejectsKeyUpdateAndUnknownStatements) {
   auto rs = conn.ExecuteSql("SELECT SUM(i.v) AS s FROM items AS i");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->rows[0][0].AsInt(), 450);
+}
+
+// Regression test: Server::stats() must include work done by sessions
+// that are still open. The original implementation folded a session's
+// counters only in its destructor, so a monitoring thread polling
+// stats() mid-run always saw zero queries.
+TEST(ServerLiveStatsTest, StatsFoldLiveSessions) {
+  Server server;
+  {
+    auto t = *server.db()->CreateTable(
+        "items", Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}}));
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(t->Insert({Value::Int(i), Value::Int(i * 10)}).ok());
+    }
+  }
+
+  std::unique_ptr<Session> session = server.Connect();
+  ServerStats before = server.stats();
+  EXPECT_EQ(before.totals.queries_executed, 0);
+
+  ASSERT_TRUE(session->ExecuteSql("SELECT i.v AS v FROM items AS i").ok());
+  ServerStats live = server.stats();
+  EXPECT_EQ(live.sessions_opened, 1);
+  EXPECT_EQ(live.sessions_closed, 0);
+  EXPECT_EQ(live.totals.queries_executed, 1);
+  EXPECT_EQ(live.totals.rows_transferred, 10);
+  EXPECT_GT(live.totals.bytes_transferred, 0);
+  EXPECT_GT(live.totals.simulated_ms, 0.0);
+
+  // Closing must not double-count: the exact totals replace the live
+  // snapshot, they do not add to it.
+  session.reset();
+  ServerStats done = server.stats();
+  EXPECT_EQ(done.sessions_closed, 1);
+  EXPECT_EQ(done.totals.queries_executed, 1);
+  EXPECT_EQ(done.totals.rows_transferred, 10);
+}
+
+// SHOW METRICS answers from the server registry without touching
+// storage; counters like net.queries and plan_cache.misses are visible
+// through the ordinary query surface.
+TEST(ServerLiveStatsTest, ShowMetricsQuery) {
+  Server server;
+  {
+    auto t = *server.db()->CreateTable(
+        "items", Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}}));
+    ASSERT_TRUE(t->Insert({Value::Int(1), Value::Int(10)}).ok());
+  }
+  std::unique_ptr<Session> session = server.Connect();
+  ASSERT_TRUE(session->ExecuteSql("SELECT i.v AS v FROM items AS i").ok());
+
+  auto rs = session->ExecuteSql("  show metrics ; ");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->schema.size(), 2u);
+  int64_t net_queries = -1;
+  bool saw_plan_cache = false;
+  for (const auto& row : rs->rows) {
+    if (row[0].AsString() == "net.queries") net_queries = row[1].AsInt();
+    if (row[0].AsString() == "plan_cache.misses") saw_plan_cache = true;
+  }
+  EXPECT_EQ(net_queries, 1);
+  EXPECT_TRUE(saw_plan_cache);
 }
 
 }  // namespace

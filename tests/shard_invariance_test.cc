@@ -34,6 +34,7 @@
 #include "interp/interpreter.h"
 #include "net/connection.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "workloads/benchmark_apps.h"
 
 namespace eqsql {
@@ -219,6 +220,80 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
     } else {
       EXPECT_EQ(signatures, reference) << "diverges at shards=" << shards;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counter metrics carry the same invariance contract: for a fixed
+// workload, every counter in the server registry whose name is not
+// layout-scoped must be byte-identical at 1, 2, and 8 shards. Only
+// per-shard breakdowns ("storage.shard.*"), pool/batch bookkeeping
+// ("exec.pool.*", "exec.parallel.*"), and timing histograms may differ
+// — they describe HOW the work was partitioned, not how much there was.
+
+bool LayoutScoped(const std::string& name) {
+  return name.rfind("storage.shard.", 0) == 0 ||
+         name.rfind("exec.pool.", 0) == 0 ||
+         name.rfind("exec.parallel.", 0) == 0;
+}
+
+/// All shard-invariant counters, flattened to one comparable string.
+std::string CounterSignature(const obs::MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    if (LayoutScoped(name)) continue;
+    out << name << "=" << value << "\n";
+  }
+  return out.str();
+}
+
+TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
+  std::string reference;
+  for (size_t shards : kShardCounts) {
+    net::Server server(AppServerOptions(shards));
+    ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
+    ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
+    ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
+    ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
+
+    {
+      std::unique_ptr<net::Session> session = server.Connect();
+      for (const App& app : BenchmarkApps()) {
+        auto optimized = session->OptimizeCached(app.source, app.function);
+        ASSERT_TRUE(optimized.ok()) << app.name;
+        interp::Interpreter rewritten(&(*optimized)->program,
+                                      session->connection());
+        ASSERT_TRUE(rewritten.Run(app.function).ok()) << app.name;
+      }
+    }
+
+    obs::MetricsSnapshot snap = server.metrics()->Snapshot();
+    std::string sig = CounterSignature(snap);
+    ASSERT_FALSE(sig.empty());
+    // The invariant set must actually cover the hot counters, or the
+    // filter grew too wide and this test proves nothing.
+    EXPECT_NE(sig.find("storage.scan.rows="), std::string::npos);
+    EXPECT_NE(sig.find("net.queries="), std::string::npos);
+    EXPECT_NE(sig.find("extract.runs="), std::string::npos);
+    if (shards == kShardCounts[0]) {
+      reference = sig;
+    } else {
+      EXPECT_EQ(sig, reference) << "counters diverge at shards=" << shards;
+    }
+
+    // Per-shard breakdowns must still reconcile with the invariant
+    // totals: the sum over storage.shard.<i>.scan.rows equals
+    // storage.scan.rows for the parallel operators' share. Weaker
+    // check (<=): the serial path records no per-shard rows.
+    int64_t per_shard_rows = 0;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("storage.shard.", 0) == 0 &&
+          name.size() > 10 &&
+          name.compare(name.size() - 10, 10, ".scan.rows") == 0) {
+        per_shard_rows += value;
+      }
+    }
+    EXPECT_LE(per_shard_rows, snap.counters.at("storage.scan.rows"));
   }
 }
 
