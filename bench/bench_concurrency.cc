@@ -13,13 +13,25 @@
 // on a single-core container it cannot show parallel speedup, which is
 // exactly why the repo benchmarks on the simulated clock.
 //
+// Two load models are measured:
+//   closed-loop — each caller thread owns a Session and executes its
+//     requests itself on the direct connection path (the PR-2 model;
+//     kept as the comparable baseline);
+//   open-loop — producers only *submit* requests through
+//     Session::Submit and the server's scheduler workers execute them
+//     (the PR-5 model: no caller-owned execution threads).
+//
 // Acceptance (exit status enforces it): at 8 threads the aggregate
-// throughput is >= 2x the 1-thread serialized baseline, the shared
-// plan-cache hit ratio is >= 90%, every session's app results match
-// the serial replay, and — the sharded-storage gate — concurrent
-// readers complete a fixed read workload at least 1.5x faster on the
-// per-shard locking scheme than under a simulated global data lock
-// while a writer churns temp tables next to them.
+// closed-loop throughput is >= 2x the 1-thread serialized baseline,
+// the shared plan-cache hit ratio is >= 90%, every session's app
+// results match the serial replay, the sharded-storage gate holds
+// (concurrent readers complete a fixed read workload at least 1.5x
+// faster on the per-shard locking scheme than under a simulated global
+// data lock while a writer churns temp tables next to them), the
+// open-loop phase with 8 producers sustains >= 2x the 1-thread
+// baseline on the scheduler's worker links alone, and a deliberately
+// tiny admission queue sheds a burst with kOverloaded without ever
+// blocking the producer.
 
 #include <algorithm>
 #include <atomic>
@@ -36,6 +48,7 @@
 #include "bench/bench_util.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
+#include "net/scheduler.h"
 #include "net/server.h"
 #include "workloads/benchmark_apps.h"
 #include "workloads/servlets.h"
@@ -231,9 +244,15 @@ double RunMixedPhase(bool global_lock) {
         std::shared_lock<std::shared_mutex> shared(data_lock,
                                                    std::defer_lock);
         if (global_lock) shared.lock();
-        auto rs = session->ExecuteSql(
-            "SELECT COUNT(*) AS n FROM project AS p WHERE p.id >= ?",
-            {eqsql::catalog::Value::Int(i % 10)});
+        // Direct connection path on purpose: the reader must execute on
+        // its own thread for the per-shard-vs-global-lock comparison to
+        // measure storage locking, not scheduler queueing.
+        auto rs = session->connection()
+                      ->Perform(eqsql::net::Request::Query(
+                          "SELECT COUNT(*) AS n FROM project AS p "
+                          "WHERE p.id >= ?",
+                          {eqsql::catalog::Value::Int(i % 10)}))
+                      .TakeResultSet();
         if (!rs.ok()) CheckOk(rs.status(), "mixed reader");
       }
       finished_ms[t] = std::chrono::duration<double, std::milli>(
@@ -247,6 +266,195 @@ double RunMixedPhase(bool global_lock) {
   double makespan = 0;
   for (double ms : finished_ms) makespan = std::max(makespan, ms);
   return makespan;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop phase: producers submit, scheduler workers execute.
+//
+// The same 640-slot workload as RunWorkload, but no caller thread ever
+// executes a query: even slots drive an app run through the Session as
+// a net::Client (each statement is a blocking Execute — parked on a
+// future while a scheduler worker runs it), odd slots fire
+// EXPLAIN EXTRACTION requests as kBatch-priority futures that are only
+// drained at the end. Throughput is computed over the scheduler's
+// worker links exclusively, so the gate proves the worker pool alone
+// sustains the load.
+
+constexpr int kOpenLoopProducers = 8;
+
+struct OpenLoopReport {
+  double makespan_sim_ms = 0;
+  double throughput = 0;
+  int mismatches = 0;
+  int64_t queue_wait_p50_ns = 0;
+  int64_t queue_wait_p99_ns = 0;
+  int64_t dispatched = 0;
+};
+
+OpenLoopReport RunOpenLoop() {
+  eqsql::net::ServerOptions options = MakeOptions();
+  options.scheduler_workers = kOpenLoopProducers;
+  options.scheduler_queue_capacity = 1024;
+  eqsql::net::Server server(options);
+  SetupDatabase(server.db());
+
+  const std::vector<App> apps = Apps();
+  std::vector<eqsql::workloads::Servlet> servlets =
+      eqsql::workloads::RubisServlets();
+  for (auto& s : eqsql::workloads::RubbosServlets()) {
+    servlets.push_back(s);
+  }
+
+  // Serial replay for expected results (direct path, warm cache).
+  std::vector<std::string> expected;
+  {
+    std::unique_ptr<eqsql::net::Session> warm = server.Connect();
+    for (const App& app : apps) expected.push_back(RunApp(warm.get(), app));
+  }
+
+  OpenLoopReport report;
+  std::vector<int> mismatches(kOpenLoopProducers, 0);
+  const int per_producer = kTotalRequests / kOpenLoopProducers;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kOpenLoopProducers; ++t) {
+    producers.emplace_back([&, t] {
+      std::unique_ptr<eqsql::net::Session> session = server.Connect();
+      std::vector<std::future<eqsql::net::Outcome>> pending;
+      for (int i = 0; i < per_producer; ++i) {
+        int slot = t * per_producer + i;
+        if (slot % 2 == 0) {
+          // App run with the Session as the interpreter's client: every
+          // executeQuery/executeUpdate becomes Submit + wait, executed
+          // on a scheduler worker.
+          size_t a = static_cast<size_t>(slot / 2) % apps.size();
+          auto optimized = ValueOrDie(
+              session->OptimizeCached(apps[a].source, apps[a].function),
+              apps[a].name.c_str());
+          eqsql::interp::Interpreter interp(&optimized->program,
+                                            session.get());
+          std::string got =
+              ValueOrDie(interp.Run(apps[a].function), apps[a].name.c_str())
+                  .DisplayString();
+          if (got != expected[a]) ++mismatches[t];
+        } else {
+          // Fire-and-collect: the future resolves whenever a worker
+          // gets to it; the producer never waits inline.
+          size_t s = static_cast<size_t>(slot / 2) % servlets.size();
+          pending.push_back(session->Submit(
+              eqsql::net::Request::ExplainExtraction(servlets[s].source,
+                                                     servlets[s].function)
+                  .WithPriority(eqsql::net::Priority::kBatch)));
+        }
+      }
+      for (auto& f : pending) {
+        if (!f.get().ok()) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  for (int m : mismatches) report.mismatches += m;
+
+  // Makespan over the scheduler's worker links only: the producers'
+  // own connections carry just client-side compute, and the gate is
+  // about what the worker pool executed.
+  for (const eqsql::net::ConnectionStats& ws :
+       server.scheduler()->WorkerStats()) {
+    report.makespan_sim_ms = std::max(report.makespan_sim_ms,
+                                      ws.simulated_ms);
+  }
+  report.throughput =
+      kTotalRequests / (report.makespan_sim_ms / 1000.0);
+
+  eqsql::obs::MetricsSnapshot snap = server.metrics()->Snapshot();
+  auto wait = snap.histograms.find("net.scheduler.queue_wait_ns");
+  if (wait != snap.histograms.end()) {
+    report.queue_wait_p50_ns = wait->second.ValueAtQuantile(0.5);
+    report.queue_wait_p99_ns = wait->second.ValueAtQuantile(0.99);
+  }
+  auto dispatched = snap.counters.find("net.scheduler.dispatched");
+  if (dispatched != snap.counters.end()) {
+    report.dispatched = dispatched->second;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure burst: a full admission queue must shed load inline.
+//
+// One worker, a 4-slot queue. The dispatch hook parks the worker on the
+// first request; the producer then bursts 8 more submissions into the
+// stalled queue. Exactly the overflow must come back kOverloaded, each
+// rejected future must be ready the moment Submit returns (rejection
+// never blocks), and once the worker is released every admitted request
+// must still complete.
+
+struct BurstReport {
+  int rejected = 0;
+  int accepted = 0;
+  bool rejections_immediate = true;
+  bool admitted_completed = true;
+};
+
+BurstReport RunBurstCheck() {
+  constexpr size_t kBurstQueueCapacity = 4;
+  constexpr int kBurstSubmits = 8;
+
+  eqsql::net::ServerOptions options = MakeOptions();
+  options.scheduler_workers = 1;
+  options.scheduler_queue_capacity = kBurstQueueCapacity;
+  eqsql::net::Server server(options);
+  SetupDatabase(server.db());
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  server.scheduler()->set_dispatch_hook(
+      [&](const eqsql::net::Request&) {
+        parked.store(true);
+        while (!release.load()) std::this_thread::yield();
+      });
+
+  std::unique_ptr<eqsql::net::Session> session = server.Connect();
+  auto plug = session->Submit(eqsql::net::Request::Query(
+      "SELECT COUNT(*) AS n FROM project AS p"));
+  while (!parked.load()) std::this_thread::yield();
+
+  // Queue is empty and the only worker is parked: the next
+  // kBurstQueueCapacity submissions are admitted, the rest rejected.
+  BurstReport report;
+  std::vector<std::future<eqsql::net::Outcome>> burst;
+  for (int i = 0; i < kBurstSubmits; ++i) {
+    std::future<eqsql::net::Outcome> f = session->Submit(
+        eqsql::net::Request::Query(
+            "SELECT COUNT(*) AS n FROM project AS p WHERE p.id >= ?",
+            {eqsql::catalog::Value::Int(i)}));
+    bool ready = f.wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready;
+    if (ready) {
+      eqsql::net::Outcome o = f.get();
+      if (o.status.code() == eqsql::StatusCode::kOverloaded) {
+        ++report.rejected;
+      } else {
+        // Ready-at-submit with any other status means the worker ran
+        // it, which the parked hook should have made impossible.
+        report.rejections_immediate = false;
+      }
+    } else {
+      burst.push_back(std::move(f));
+    }
+  }
+  report.accepted = static_cast<int>(burst.size());
+
+  release.store(true);
+  if (plug.get().status.code() != eqsql::StatusCode::kOk) {
+    report.admitted_completed = false;
+  }
+  for (auto& f : burst) {
+    if (f.get().status.code() != eqsql::StatusCode::kOk) {
+      report.admitted_completed = false;
+    }
+  }
+  server.scheduler()->set_dispatch_hook(nullptr);
+  return report;
 }
 
 }  // namespace
@@ -314,6 +522,23 @@ int main(int argc, char** argv) {
   std::printf("%26.1f %14.1f %8.2fx\n", global_ms, sharded_ms,
               global_ms / sharded_ms);
 
+  std::printf("\nopen-loop phase: %d producers submit through the "
+              "scheduler (%d workers execute)\n",
+              kOpenLoopProducers, kOpenLoopProducers);
+  OpenLoopReport open = RunOpenLoop();
+  total_mismatches += open.mismatches;
+  std::printf("%14s %12s %9s %14s %14s\n", "makespan ms", "req/sim-s",
+              "speedup", "qwait p50 ns", "qwait p99 ns");
+  std::printf("%14.1f %12.0f %8.2fx %14lld %14lld\n", open.makespan_sim_ms,
+              open.throughput, open.throughput / baseline_throughput,
+              static_cast<long long>(open.queue_wait_p50_ns),
+              static_cast<long long>(open.queue_wait_p99_ns));
+
+  BurstReport burst = RunBurstCheck();
+  std::printf("\nbackpressure burst: %d accepted, %d rejected "
+              "(kOverloaded, immediate)\n",
+              burst.accepted, burst.rejected);
+
   std::printf("\n");
   bool ok = true;
   if (sharded_ms * 1.5 > global_ms) {
@@ -337,17 +562,37 @@ int main(int argc, char** argv) {
                 100.0 * threads8_hit_ratio);
     ok = false;
   }
+  if (open.throughput < 2.0 * baseline_throughput) {
+    std::printf("FAIL: open-loop throughput %.0f < 2x baseline %.0f\n",
+                open.throughput, baseline_throughput);
+    ok = false;
+  }
+  if (burst.rejected < 1 || !burst.rejections_immediate) {
+    std::printf("FAIL: burst against a full queue produced %d immediate "
+                "kOverloaded rejections (expected >= 1, all inline)\n",
+                burst.rejected);
+    ok = false;
+  }
+  if (!burst.admitted_completed) {
+    std::printf("FAIL: a request admitted during the burst did not "
+                "complete after the worker was released\n");
+    ok = false;
+  }
   if (ok) {
     std::printf("PASS: >=2x aggregate throughput at 8 threads, "
                 "cache hit ratio %.1f%%, results identical to serial, "
                 "readers %.2fx faster than a global data lock under "
-                "concurrent DML\n",
-                100.0 * threads8_hit_ratio, global_ms / sharded_ms);
+                "concurrent DML, open-loop scheduler at %.2fx baseline, "
+                "full queue sheds load with kOverloaded\n",
+                100.0 * threads8_hit_ratio, global_ms / sharded_ms,
+                open.throughput / baseline_throughput);
   }
 
   // Machine-readable artifact: per-thread-count measurements, the
-  // mixed-phase makespans, and the 8-thread server's full metrics-
-  // registry snapshot (scripts/verify.sh smoke-checks its counters).
+  // mixed-phase makespans, the open-loop scheduler numbers (queue-wait
+  // percentiles included), the burst counts, and the 8-thread server's
+  // full metrics-registry snapshot (scripts/verify.sh smoke-checks its
+  // counters).
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {
@@ -357,9 +602,19 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\"bench\":\"concurrency\",\"requests\":%d,\"runs\":[%s],"
                  "\"mixed_phase\":{\"global_lock_ms\":%.1f,"
-                 "\"sharded_ms\":%.1f},\"pass\":%s,\"metrics\":%s}\n",
+                 "\"sharded_ms\":%.1f},"
+                 "\"open_loop\":{\"producers\":%d,\"makespan_sim_ms\":%.1f,"
+                 "\"requests_per_sim_s\":%.0f,\"dispatched\":%lld,"
+                 "\"queue_wait_p50_ns\":%lld,\"queue_wait_p99_ns\":%lld},"
+                 "\"burst\":{\"accepted\":%d,\"rejected\":%d},"
+                 "\"pass\":%s,\"metrics\":%s}\n",
                  kTotalRequests, json_runs.c_str(), global_ms, sharded_ms,
-                 ok ? "true" : "false", last_metrics_json.c_str());
+                 kOpenLoopProducers, open.makespan_sim_ms, open.throughput,
+                 static_cast<long long>(open.dispatched),
+                 static_cast<long long>(open.queue_wait_p50_ns),
+                 static_cast<long long>(open.queue_wait_p99_ns),
+                 burst.accepted, burst.rejected, ok ? "true" : "false",
+                 last_metrics_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

@@ -19,6 +19,7 @@
 
 #include "bench/perf_util.h"
 #include "core/optimizer.h"
+#include "net/connection.h"
 #include "frontend/parser.h"
 #include "workloads/benchmark_apps.h"
 #include "workloads/wilos_samples.h"
@@ -35,7 +36,9 @@ using eqsql::catalog::Value;
 eqsql::bench::PerfResult RunBatched(eqsql::storage::Database* db) {
   eqsql::net::Connection conn(db);
   auto outer = eqsql::bench::ValueOrDie(
-      conn.ExecuteSql("SELECT * FROM applicants AS a"), "outer query");
+      conn.Perform(eqsql::net::Request::Query("SELECT * FROM applicants AS a"))
+          .TakeResultSet(),
+      "outer query");
 
   // Ship (aid, mode) to the server as a parameter table.
   Schema param_schema({{"aid", DataType::kInt64},
@@ -63,8 +66,9 @@ eqsql::bench::PerfResult RunBatched(eqsql::storage::Database* db) {
   };
   std::vector<std::map<int64_t, std::string>> lookups(4);
   for (int i = 0; i < 4; ++i) {
-    auto rs = eqsql::bench::ValueOrDie(conn.ExecuteSql(batched[i]),
-                                       "batched query");
+    auto rs = eqsql::bench::ValueOrDie(
+        conn.Perform(eqsql::net::Request::Query(batched[i])).TakeResultSet(),
+        "batched query");
     for (const Row& row : rs.rows) {
       lookups[i][row[0].AsInt()] =
           row[1].is_null() ? "NULL" : row[1].AsString();

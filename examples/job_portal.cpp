@@ -10,6 +10,7 @@
 #include "core/optimizer.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
+#include "net/connection.h"
 #include "workloads/benchmark_apps.h"
 #include "workloads/wilos_samples.h"
 

@@ -26,9 +26,12 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
 echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
-  shard_test shard_invariance_test
+  shard_test shard_invariance_test scheduler_test net_test
+# Scheduler here covers the 8-producer bounded-queue storm
+# (SchedulerTest.QueueFullRejectsOverloadedWithoutBlocking) under the
+# race detector: producers race workers on the admission queue.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|ReadGuard|Database'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|ReadGuard|Database|Scheduler|ServerLiveStats'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 # The same sweep on 8-way partitioned tables with the parallel
@@ -36,6 +39,21 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # under the race detector.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --shards 8 \
   --corpus tests/fuzz_corpus
+# Every case through the scheduler-backed execution path (Session ->
+# admission queue -> worker) instead of direct connections.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --async-every 1
+
+echo "== api surface: no callers on the deprecated net entry points =="
+# The legacy ExecuteSql/ExecuteQuery/ExecuteDml overloads survive only
+# as shims inside src/net/connection.* and src/net/server.*; everything
+# else must go through Perform/Submit/Execute. Member-call syntax only,
+# so test names like EmitsExecuteQueryAssignment do not trip it.
+if grep -rEn '(->|\.)Execute(Sql|Query|Dml)\(' src tests bench examples \
+    --include='*.cc' --include='*.h' --include='*.cpp' \
+    | grep -vE '^src/net/(connection|server)\.(h|cc):'; then
+  echo "verify.sh: deprecated net entry point called outside the shim layer"
+  exit 1
+fi
 
 echo "== observability: bench JSON artifacts + metrics smoke check =="
 cmake --build build -j"$(nproc)" --target bench_concurrency \
@@ -46,5 +64,12 @@ cmake --build build -j"$(nproc)" --target bench_concurrency \
 # reports zero plan-cache traffic means the metrics wiring fell off.
 grep -q '"plan_cache.hits":[1-9]' BENCH_concurrency.json
 grep -q '"storage.scan.rows":[1-9]' BENCH_fig8.json
+# Open-loop scheduler numbers: the run must have dispatched work,
+# measured a non-degenerate queue-wait distribution, and the burst
+# phase must have shed at least one request.
+grep -q '"open_loop":{"producers":8' BENCH_concurrency.json
+grep -q '"dispatched":[1-9]' BENCH_concurrency.json
+grep -q '"queue_wait_p99_ns":[1-9]' BENCH_concurrency.json
+grep -q '"rejected":[1-9]' BENCH_concurrency.json
 
 echo "verify.sh: all green"

@@ -13,12 +13,16 @@
 //   --explain         print the EXPLAIN EXTRACTION text report
 //   --explain-json    print the same report as JSON
 //   --run             interpret the rewritten program against the
-//                     (seeded, for --app) database and print its result
+//                     (seeded, for --app) database and print its result;
+//                     every statement goes through the server's
+//                     scheduler (Session::Submit -> worker execution)
 //   --trace           print the pipeline trace as a flame summary
 //   --trace-json      print the pipeline trace as JSON
 //   --metrics         print the server metrics registry as text
 //   --metrics-json    print the server metrics registry as JSON
 //   --shards N        storage hash partitions per table
+//   --workers N       scheduler worker threads (0 = default)
+//   --queue-depth N   scheduler admission-queue capacity
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,7 +53,9 @@ struct CliOptions {
   bool trace_json = false;
   bool metrics = false;
   bool metrics_json = false;
-  size_t shards = 0;  // 0 = storage default
+  size_t shards = 0;       // 0 = storage default
+  size_t workers = 0;      // 0 = scheduler default
+  size_t queue_depth = 0;  // 0 = scheduler default
 };
 
 int Usage(const char* argv0) {
@@ -58,7 +64,8 @@ int Usage(const char* argv0) {
                "PATH) [--function NAME]\n"
                "          [--explain] [--explain-json] [--run] [--trace] "
                "[--trace-json]\n"
-               "          [--metrics] [--metrics-json] [--shards N]\n",
+               "          [--metrics] [--metrics-json] [--shards N]\n"
+               "          [--workers N] [--queue-depth N]\n",
                argv0);
   return 2;
 }
@@ -85,6 +92,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = value();
       if (v == nullptr) return false;
       out->shards = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->workers = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->queue_depth = static_cast<size_t>(std::atol(v));
     } else if (std::strcmp(arg, "--explain") == 0) {
       out->explain = true;
     } else if (std::strcmp(arg, "--explain-json") == 0) {
@@ -178,6 +193,10 @@ bool LoadFile(const std::string& path, LoadedProgram* out) {
 eqsql::net::ServerOptions MakeServerOptions(const CliOptions& cli) {
   eqsql::net::ServerOptions options;
   if (cli.shards != 0) options.database.shard_count = cli.shards;
+  if (cli.workers != 0) options.scheduler_workers = cli.workers;
+  if (cli.queue_depth != 0) {
+    options.scheduler_queue_capacity = cli.queue_depth;
+  }
   // Key columns for every table the built-in apps and the repo's test
   // corpus use; harmless for tables that do not exist.
   options.optimize.transform.table_keys = {
@@ -232,8 +251,11 @@ int main(int argc, char** argv) {
     }
 
     if (cli.run) {
+      // The Session is the interpreter's net::Client: every statement
+      // is submitted to the scheduler and executed on a worker thread,
+      // so a CLI run exercises the same path a served request takes.
       eqsql::interp::Interpreter interp(&(*optimized)->program,
-                                        session->connection());
+                                        session.get());
       auto result = interp.Run(prog.function);
       if (!result.ok()) {
         std::fprintf(stderr, "run failed: %s\n",
@@ -245,7 +267,9 @@ int main(int argc, char** argv) {
         }
         std::printf("%s() = %s\n", prog.function.c_str(),
                     result->DisplayString().c_str());
-        const eqsql::net::ConnectionStats& stats = session->stats();
+        // Server-wide totals: scheduler-executed work lands on the
+        // worker links, not on this session's own connection.
+        const eqsql::net::ConnectionStats stats = server.stats().totals;
         std::printf(
             "queries=%lld round_trips=%lld rows=%lld bytes=%lld "
             "simulated_ms=%.3f\n",

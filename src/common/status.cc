@@ -20,6 +20,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kRuntimeError:
       return "RuntimeError";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kShuttingDown:
+      return "ShuttingDown";
   }
   return "Unknown";
 }

@@ -30,6 +30,14 @@ enum class StatusCode {
   kInternal,
   /// A runtime evaluation error (type mismatch, division by zero, ...).
   kRuntimeError,
+  /// The server's admission queue is full; the request was rejected
+  /// without blocking the submitter. Retry with backoff.
+  kOverloaded,
+  /// The request's deadline expired before it began executing.
+  kDeadlineExceeded,
+  /// The server is draining: queued requests are failed, in-flight
+  /// requests finish. Nothing was executed for this request.
+  kShuttingDown,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -67,6 +75,15 @@ class Status {
   }
   static Status RuntimeError(std::string msg) {
     return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ShuttingDown(std::string msg) {
+    return Status(StatusCode::kShuttingDown, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,7 +9,12 @@
 // Usage:
 //   fuzz_eqsql [--seed N] [--iters M] [--corpus DIR] [--replay FILE]
 //              [--case-seed S] [--inject-bug] [--max-rows K]
-//              [--shards P] [--no-shrink] [--verbose]
+//              [--shards P] [--async-every N] [--no-shrink] [--verbose]
+//
+// --async-every N routes a deterministic 1-in-N of the generated cases
+// through a scheduler-backed server (Session::Submit) instead of direct
+// connections, differentially testing the async execution path. Default
+// 8; 0 keeps every case on the direct path.
 //
 // Exit status: 0 when every scenario passes, 1 on any violation or
 // infra error, 2 on bad usage.
@@ -43,6 +48,7 @@ struct Args {
   bool verbose = false;
   int max_rows = 40;
   int shards = 1;
+  int async_every = 8;
 };
 
 void PrintReport(const FuzzCase& c, const OracleReport& r) {
@@ -107,6 +113,8 @@ int Run(const Args& args) {
   OracleOptions oopts;
   oopts.inject_sql_bug = args.inject_bug;
   oopts.shard_count = args.shards < 1 ? 1 : static_cast<size_t>(args.shards);
+  oopts.async_every_n =
+      args.async_every < 1 ? 0 : static_cast<size_t>(args.async_every);
   GenOptions gopts;
   gopts.data.max_rows = args.max_rows;
 
@@ -234,12 +242,14 @@ int main(int argc, char** argv) {
       args.max_rows = std::atoi(next());
     } else if (a == "--shards") {
       args.shards = std::atoi(next());
+    } else if (a == "--async-every") {
+      args.async_every = std::atoi(next());
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: fuzz_eqsql [--seed N] [--iters M] [--corpus DIR]\n"
           "                  [--replay FILE] [--case-seed S] [--inject-bug]\n"
-          "                  [--max-rows K] [--shards P] [--no-shrink]\n"
-          "                  [--verbose]\n");
+          "                  [--max-rows K] [--shards P] [--async-every N]\n"
+          "                  [--no-shrink] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());

@@ -6,10 +6,13 @@
 #include <set>
 #include <sstream>
 
+#include "common/hash.h"
 #include "core/optimizer.h"
 #include "exec/worker_pool.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
+#include "net/connection.h"
+#include "net/server.h"
 #include "obs/explain.h"
 #include "obs/trace.h"
 
@@ -204,27 +207,44 @@ std::string DescribePrintDiff(const std::vector<std::string>& a,
   return out.str();
 }
 
+/// Compares the two runs and renders the verdict. Expects the
+/// transfer counters on `report` to be filled in already.
+void JudgeRuns(const interp::RtValue& r1,
+               const std::vector<std::string>& printed1,
+               const interp::RtValue& r2,
+               const std::vector<std::string>& printed2,
+               OracleReport* report) {
+  if (r1.DisplayString() != r2.DisplayString()) {
+    report->verdict = Verdict::kReturnMismatch;
+    report->detail = "returned '" + r1.DisplayString() + "' vs '" +
+                     r2.DisplayString() + "'";
+    return;
+  }
+  if (printed1 != printed2) {
+    report->verdict = Verdict::kPrintMismatch;
+    report->detail = DescribePrintDiff(printed1, printed2);
+    return;
+  }
+  // The optimization invariant: never ship more rows than the original,
+  // modulo the one-row floor of each scalar-aggregate query.
+  int64_t allowed =
+      std::max(report->original_rows, report->rewritten_queries);
+  if (report->rewritten_rows > allowed) {
+    report->verdict = Verdict::kRowRegression;
+    std::ostringstream out;
+    out << "rewrite shipped " << report->rewritten_rows << " rows vs "
+        << report->original_rows << " original ("
+        << report->rewritten_queries << " queries)";
+    report->detail = out.str();
+    return;
+  }
+  report->verdict = Verdict::kPass;
+}
+
 /// The differential run proper. RunOracle below wraps it in an
 /// optional pipeline trace when diagnostics are requested.
 OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
   OracleReport report;
-
-  // Each interpreter run gets its own freshly built database: programs
-  // may execute real DML (INSERT/UPDATE into their tables), so sharing
-  // one database would leak the original run's writes into the
-  // rewritten run and every mismatch would be a harness artifact, not
-  // a rewrite bug.
-  storage::DatabaseOptions dbo;
-  dbo.shard_count = opts.shard_count == 0 ? 1 : opts.shard_count;
-  storage::Database db1(dbo), db2(dbo);
-  if (Status s = BuildDatabase(c, &db1); !s.ok()) {
-    report.detail = "database setup: " + s.ToString();
-    return report;
-  }
-  if (Status s = BuildDatabase(c, &db2); !s.ok()) {
-    report.detail = "database setup: " + s.ToString();
-    return report;
-  }
 
   auto program = frontend::ParseProgram(c.source);
   if (!program.ok()) {
@@ -256,6 +276,74 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
   }
   report.rewritten_source = optimized->program.ToString();
 
+  // Each interpreter run gets its own freshly built database: programs
+  // may execute real DML (INSERT/UPDATE into their tables), so sharing
+  // one database would leak the original run's writes into the
+  // rewritten run and every mismatch would be a harness artifact, not
+  // a rewrite bug.
+  storage::DatabaseOptions dbo;
+  dbo.shard_count = opts.shard_count == 0 ? 1 : opts.shard_count;
+
+  // Deterministic 1-in-N coin flip on the case seed: scheduler-backed
+  // execution for the selected cases, direct connections for the rest.
+  const bool async =
+      opts.async_every_n > 0 &&
+      SplitMix64(c.seed) % static_cast<uint64_t>(opts.async_every_n) == 0;
+
+  if (async) {
+    // Every statement of both programs travels Session::Submit ->
+    // admission queue -> scheduler worker against the program's own
+    // server. Transfer stats land on the worker links, so they are
+    // read from the server-wide totals; per-query traces stay empty
+    // (the submitting session's connection never executes anything).
+    net::ServerOptions so;
+    so.database = dbo;
+    so.scheduler_workers = 2;
+    if (dbo.shard_count > 1) {
+      so.exec_threads = 2;
+      so.parallel_threshold = 0;  // force parallel operators on
+    }
+    net::Server s1(so), s2(so);
+    if (Status s = BuildDatabase(c, s1.db()); !s.ok()) {
+      report.detail = "database setup: " + s.ToString();
+      return report;
+    }
+    if (Status s = BuildDatabase(c, s2.db()); !s.ok()) {
+      report.detail = "database setup: " + s.ToString();
+      return report;
+    }
+    std::unique_ptr<net::Session> sess1 = s1.Connect();
+    std::unique_ptr<net::Session> sess2 = s2.Connect();
+    interp::Interpreter i1(&*program, sess1.get());
+    interp::Interpreter i2(&optimized->program, sess2.get());
+    auto r1 = i1.Run(c.function);
+    if (!r1.ok()) {
+      report.detail = "original run (scheduler): " + r1.status().ToString();
+      return report;
+    }
+    auto r2 = i2.Run(c.function);
+    if (!r2.ok()) {
+      report.detail = "rewritten run (scheduler): " + r2.status().ToString();
+      return report;
+    }
+    report.original_rows = s1.stats().totals.rows_transferred;
+    report.rewritten_rows = s2.stats().totals.rows_transferred;
+    report.original_queries = s1.stats().totals.queries_executed;
+    report.rewritten_queries = s2.stats().totals.queries_executed;
+    JudgeRuns(*r1, i1.printed(), *r2, i2.printed(), &report);
+    return report;
+  }
+
+  storage::Database db1(dbo), db2(dbo);
+  if (Status s = BuildDatabase(c, &db1); !s.ok()) {
+    report.detail = "database setup: " + s.ToString();
+    return report;
+  }
+  if (Status s = BuildDatabase(c, &db2); !s.ok()) {
+    report.detail = "database setup: " + s.ToString();
+    return report;
+  }
+
   net::Connection c1(&db1), c2(&db2);
   std::unique_ptr<exec::WorkerPool> pool;
   if (dbo.shard_count > 1) {
@@ -284,31 +372,7 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
   report.original_queries = c1.stats().queries_executed;
   report.rewritten_queries = c2.stats().queries_executed;
   report.rewritten_trace = c2.trace();
-
-  if (r1->DisplayString() != r2->DisplayString()) {
-    report.verdict = Verdict::kReturnMismatch;
-    report.detail = "returned '" + r1->DisplayString() + "' vs '" +
-                    r2->DisplayString() + "'";
-    return report;
-  }
-  if (i1.printed() != i2.printed()) {
-    report.verdict = Verdict::kPrintMismatch;
-    report.detail = DescribePrintDiff(i1.printed(), i2.printed());
-    return report;
-  }
-  // The optimization invariant: never ship more rows than the original,
-  // modulo the one-row floor of each scalar-aggregate query.
-  int64_t allowed = std::max(report.original_rows, report.rewritten_queries);
-  if (report.rewritten_rows > allowed) {
-    report.verdict = Verdict::kRowRegression;
-    std::ostringstream out;
-    out << "rewrite shipped " << report.rewritten_rows << " rows vs "
-        << report.original_rows << " original (" << report.rewritten_queries
-        << " queries)";
-    report.detail = out.str();
-    return report;
-  }
-  report.verdict = Verdict::kPass;
+  JudgeRuns(*r1, i1.printed(), *r2, i2.printed(), &report);
   return report;
 }
 

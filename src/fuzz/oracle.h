@@ -42,6 +42,16 @@ struct OracleOptions {
   /// only the shrunk reproducer with this on, so the hot path stays
   /// untraced.
   bool collect_diagnostics = false;
+  /// When > 0, a deterministic 1-in-N coin flip on the case seed
+  /// selects the scheduler-backed execution path: both programs run
+  /// against their own net::Server with a Session as the interpreter's
+  /// net::Client, so every statement travels Submit -> admission queue
+  /// -> worker — the fuzzer then differentially tests the PR-5
+  /// execution model against itself, not just the direct connection.
+  /// 0 (default) keeps every case on the direct path; per-query traces
+  /// are unavailable for scheduler-backed cases (execution happens on
+  /// worker links).
+  size_t async_every_n = 0;
 };
 
 /// Everything one differential run learned.

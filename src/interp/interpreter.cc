@@ -88,7 +88,7 @@ Result<Interpreter::Signal> Interpreter::ExecBlock(
 
 Result<Interpreter::Signal> Interpreter::ExecStmt(const StmtPtr& stmt,
                                                   Env* env, RtValue* ret) {
-  conn_->ChargeClientOps(1);
+  client_->ChargeClientOps(1);
   switch (stmt->kind()) {
     case StmtKind::kAssign: {
       EQSQL_ASSIGN_OR_RETURN(RtValue value, Eval(stmt->expr(), env));
@@ -268,7 +268,10 @@ Result<RtValue> Interpreter::EvalCall(const Expr& call, Env* env) {
     }
     EQSQL_ASSIGN_OR_RETURN(
         exec::ResultSet rs,
-        conn_->ExecuteSql(call.args()[0]->string_value(), params));
+        client_
+            ->Perform(net::Request::Query(call.args()[0]->string_value(),
+                                          std::move(params)))
+            .TakeResultSet());
     auto obj = std::make_shared<ResultSetObject>();
     obj->schema = std::make_shared<catalog::Schema>(std::move(rs.schema));
     obj->rows = std::move(rs.rows);
@@ -290,11 +293,13 @@ Result<RtValue> Interpreter::EvalCall(const Expr& call, Env* env) {
     // (DELETEs, vendor syntax) and writes to tables this simulated
     // server does not hold fall back to cost-only simulation, as the
     // whole engine did before the write path existed.
-    Result<int64_t> affected = conn_->ExecuteDml(sql, params);
+    Result<int64_t> affected =
+        client_->Perform(net::Request::Dml(sql, std::move(params)))
+            .TakeRowCount();
     if (affected.ok()) return RtValue(Value::Int(*affected));
     if (affected.status().code() == StatusCode::kParseError ||
         affected.status().code() == StatusCode::kNotFound) {
-      conn_->SimulateUpdate(sql);
+      client_->Perform(net::Request::SimulatedDml(sql));
       return RtValue(Value::Int(0));
     }
     return affected.status();

@@ -8,13 +8,15 @@
 #include "common/result.h"
 #include "frontend/ast.h"
 #include "interp/value.h"
-#include "net/connection.h"
+#include "net/api.h"
 
 namespace eqsql::interp {
 
 /// A tree-walking interpreter for ImpLang programs.
 ///
-/// Queries execute through a net::Connection, so running a program also
+/// Queries execute through a net::Client — either a raw net::Connection
+/// (direct, caller-thread execution) or a net::Session (every statement
+/// goes through the server's scheduler) — so running a program also
 /// accumulates the simulated cost-model statistics (round trips, bytes,
 /// simulated time) that the benchmark harness reports. Prints are
 /// captured into `printed()` in order — the equivalence tests compare
@@ -27,8 +29,8 @@ namespace eqsql::interp {
 /// T6 rewrite max(init, MAX-query) exact on empty inputs).
 class Interpreter {
  public:
-  Interpreter(const frontend::Program* program, net::Connection* conn)
-      : program_(program), conn_(conn) {}
+  Interpreter(const frontend::Program* program, net::Client* client)
+      : program_(program), client_(client) {}
 
   /// Runs `function` with scalar arguments; returns its return value
   /// (NULL scalar if the function does not return).
@@ -54,7 +56,7 @@ class Interpreter {
                                        Env* env);
 
   const frontend::Program* program_;
-  net::Connection* conn_;
+  net::Client* client_;
   std::vector<std::string> printed_;
   int call_depth_ = 0;
 };

@@ -1,0 +1,82 @@
+#include "net/api.h"
+
+#include <cctype>
+
+namespace eqsql::net {
+
+namespace {
+
+/// First whitespace-delimited token of `sql`, lower-cased.
+std::string FirstKeyword(std::string_view sql) {
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string word;
+  while (i < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(sql[i]))));
+    ++i;
+  }
+  return word;
+}
+
+}  // namespace
+
+Result<exec::ResultSet> Outcome::TakeResultSet() && {
+  if (kind == Kind::kError) return status;
+  if (kind != Kind::kResultSet) {
+    return Status::InvalidArgument(
+        "outcome does not carry a result set (statement was not a query)");
+  }
+  return std::move(rows);
+}
+
+Result<int64_t> Outcome::TakeRowCount() && {
+  if (kind == Kind::kError) return status;
+  if (kind != Kind::kRowCount) {
+    return Status::InvalidArgument(
+        "outcome does not carry a row count (statement was not DML)");
+  }
+  return row_count;
+}
+
+Result<std::string> Outcome::TakeExplain() && {
+  if (kind == Kind::kError) return status;
+  if (kind != Kind::kExplain) {
+    return Status::InvalidArgument("outcome does not carry an explain report");
+  }
+  return std::move(explain);
+}
+
+bool IsDmlStatement(std::string_view sql) {
+  const std::string kw = FirstKeyword(sql);
+  return kw == "insert" || kw == "update" || kw == "delete";
+}
+
+bool IsShowMetricsStatement(std::string_view sql) {
+  size_t end = sql.size();
+  while (end > 0 && (std::isspace(static_cast<unsigned char>(sql[end - 1])) ||
+                     sql[end - 1] == ';')) {
+    --end;
+  }
+  size_t begin = 0;
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(sql[begin]))) {
+    ++begin;
+  }
+  std::string_view body = sql.substr(begin, end - begin);
+  constexpr std::string_view kShowMetrics = "show metrics";
+  if (body.size() != kShowMetrics.size()) return false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(body[i])) !=
+        kShowMetrics[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eqsql::net

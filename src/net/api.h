@@ -1,0 +1,187 @@
+#ifndef EQSQL_NET_API_H_
+#define EQSQL_NET_API_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/executor.h"
+
+namespace eqsql::net {
+
+/// Scheduling class for a request. Within one class dispatch is FIFO;
+/// across classes the scheduler always drains the higher class first
+/// (which can starve kBatch under sustained kHigh load — acceptable for
+/// a serving system where batch work is explicitly best-effort).
+enum class Priority {
+  kHigh = 0,    // latency-sensitive interactive traffic
+  kNormal = 1,  // default
+  kBatch = 2,   // bulk / background work
+};
+
+/// A single unit of work submitted to the server.
+///
+/// This is the one public request shape: queries, DML, cost-only
+/// simulated DML, and EXPLAIN EXTRACTION reports all travel through it.
+/// Use the factory helpers rather than aggregate-initializing — they
+/// keep call sites readable and defaults in one place.
+struct Request {
+  enum class Kind {
+    /// Classify from the SQL text: INSERT/UPDATE/DELETE execute as DML,
+    /// everything else as a query. The convenience default.
+    kStatement,
+    /// Force the query path (DML text yields kParseError).
+    kQuery,
+    /// Force the DML path (query text yields kParseError).
+    kDml,
+    /// Charge DML cost onto the simulated clock without touching data
+    /// (the interpreter's fallback for statements ParseDml rejects).
+    kSimulateDml,
+    /// Produce an EXPLAIN EXTRACTION report for an ImpLang function:
+    /// `sql` holds the program source, `function` the entry point.
+    kExplainExtraction,
+  };
+
+  Kind kind = Kind::kStatement;
+  std::string sql;  // SQL text, or ImpLang source for kExplainExtraction
+  std::vector<catalog::Value> params;
+  std::string function;  // entry function for kExplainExtraction
+  Priority priority = Priority::kNormal;
+  /// Deadline budget in milliseconds of *wall* time from submission;
+  /// 0 = no deadline. A request whose deadline passes while it is still
+  /// queued fails with kDeadlineExceeded before touching any data; a
+  /// request already dispatched runs to completion.
+  int64_t timeout_ms = 0;
+
+  static Request Statement(std::string sql,
+                           std::vector<catalog::Value> params = {}) {
+    Request r;
+    r.kind = Kind::kStatement;
+    r.sql = std::move(sql);
+    r.params = std::move(params);
+    return r;
+  }
+  static Request Query(std::string sql,
+                       std::vector<catalog::Value> params = {}) {
+    Request r = Statement(std::move(sql), std::move(params));
+    r.kind = Kind::kQuery;
+    return r;
+  }
+  static Request Dml(std::string sql,
+                     std::vector<catalog::Value> params = {}) {
+    Request r = Statement(std::move(sql), std::move(params));
+    r.kind = Kind::kDml;
+    return r;
+  }
+  static Request SimulatedDml(std::string sql) {
+    Request r;
+    r.kind = Kind::kSimulateDml;
+    r.sql = std::move(sql);
+    return r;
+  }
+  static Request ExplainExtraction(std::string program_source,
+                                   std::string function) {
+    Request r;
+    r.kind = Kind::kExplainExtraction;
+    r.sql = std::move(program_source);
+    r.function = std::move(function);
+    return r;
+  }
+
+  Request WithPriority(Priority p) && {
+    priority = p;
+    return std::move(*this);
+  }
+  Request WithTimeoutMs(int64_t ms) && {
+    timeout_ms = ms;
+    return std::move(*this);
+  }
+};
+
+/// The one result type for every request: a tagged union of the four
+/// things the server can hand back. `status` is kOk exactly when
+/// `kind != kError`; the scheduler's error-code taxonomy (kParseError,
+/// kOverloaded, kDeadlineExceeded, kShuttingDown, ...) lives in the
+/// StatusCode enum — see common/status.h.
+struct Outcome {
+  enum class Kind {
+    kResultSet,  // a query's rows
+    kRowCount,   // a DML statement's affected-row count
+    kExplain,    // an EXPLAIN EXTRACTION report (rendered text)
+    kError,
+  };
+
+  Kind kind = Kind::kError;
+  Status status = Status::Internal("outcome not delivered");
+  exec::ResultSet rows;     // kResultSet
+  int64_t row_count = 0;    // kRowCount
+  std::string explain;      // kExplain
+
+  bool ok() const { return kind != Kind::kError; }
+
+  static Outcome FromResultSet(exec::ResultSet rs) {
+    Outcome o;
+    o.kind = Kind::kResultSet;
+    o.status = Status::OK();
+    o.rows = std::move(rs);
+    return o;
+  }
+  static Outcome FromRowCount(int64_t n) {
+    Outcome o;
+    o.kind = Kind::kRowCount;
+    o.status = Status::OK();
+    o.row_count = n;
+    return o;
+  }
+  static Outcome FromExplain(std::string report) {
+    Outcome o;
+    o.kind = Kind::kExplain;
+    o.status = Status::OK();
+    o.explain = std::move(report);
+    return o;
+  }
+  static Outcome FromError(Status s) {
+    Outcome o;
+    o.kind = Kind::kError;
+    o.status = std::move(s);
+    return o;
+  }
+
+  /// Narrowing accessors for callers that expect one specific shape;
+  /// a mismatched kind comes back as kInvalidArgument.
+  Result<exec::ResultSet> TakeResultSet() &&;
+  Result<int64_t> TakeRowCount() &&;
+  Result<std::string> TakeExplain() &&;
+};
+
+/// The minimal surface the interpreter (and any other embedded client
+/// code) needs from "a database client": perform one request, charge
+/// client-side compute onto the simulated clock. Both net::Connection
+/// (direct, blocking, caller-thread execution) and net::Session
+/// (scheduler-backed: Perform == blocking Execute over Submit)
+/// implement it, so the same interpreted program can be driven down
+/// either path — which is exactly what the fuzzer's async mode
+/// differentially tests.
+class Client {
+ public:
+  virtual ~Client() = default;
+  virtual Outcome Perform(Request req) = 0;
+  virtual void ChargeClientOps(int64_t ops) = 0;
+};
+
+/// True when the first keyword of `sql` is INSERT/UPDATE/DELETE
+/// (case-insensitive) — the classifier behind Request::Kind::kStatement.
+bool IsDmlStatement(std::string_view sql);
+
+/// True when `sql` is the SHOW METRICS introspection statement
+/// (case-insensitive, optional trailing semicolon).
+bool IsShowMetricsStatement(std::string_view sql);
+
+}  // namespace eqsql::net
+
+#endif  // EQSQL_NET_API_H_

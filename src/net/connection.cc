@@ -68,7 +68,67 @@ void Connection::set_metrics(obs::MetricsRegistry* metrics) {
   m_query_ns_ = metrics->histogram("net.query_ns");
 }
 
+Outcome Connection::Perform(Request req) {
+  using Kind = Request::Kind;
+  Kind kind = req.kind;
+  if (kind == Kind::kStatement) {
+    kind = IsDmlStatement(req.sql) ? Kind::kDml : Kind::kQuery;
+  }
+  switch (kind) {
+    case Kind::kQuery: {
+      Result<exec::ResultSet> rs = QuerySqlImpl(req.sql, req.params);
+      if (!rs.ok()) return Outcome::FromError(rs.status());
+      return Outcome::FromResultSet(std::move(*rs));
+    }
+    case Kind::kDml: {
+      Result<int64_t> n = DmlImpl(req.sql, req.params);
+      if (!n.ok()) return Outcome::FromError(n.status());
+      return Outcome::FromRowCount(*n);
+    }
+    case Kind::kSimulateDml:
+      SimulateUpdateImpl(req.sql);
+      return Outcome::FromRowCount(0);
+    case Kind::kExplainExtraction:
+      return Outcome::FromError(Status::Unsupported(
+          "EXPLAIN EXTRACTION needs a Session (plan cache + optimizer); "
+          "a raw Connection cannot serve it"));
+    case Kind::kStatement:
+      break;  // classified above; unreachable
+  }
+  return Outcome::FromError(Status::Internal("unhandled request kind"));
+}
+
+Outcome Connection::PerformPlanned(const ra::RaNodePtr& plan,
+                                   const std::vector<catalog::Value>& params) {
+  Result<exec::ResultSet> rs = QueryPlannedImpl(plan, params);
+  if (!rs.ok()) return Outcome::FromError(rs.status());
+  return Outcome::FromResultSet(std::move(*rs));
+}
+
+// DEPRECATED(issue-5) shim layer: the four legacy entry points forward
+// to the private impls so out-of-tree callers keep compiling; in-repo
+// callers all use Perform/PerformPlanned or Session::Submit/Execute
+// (enforced by a grep in scripts/verify.sh).
 Result<exec::ResultSet> Connection::ExecuteQuery(
+    const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
+  return QueryPlannedImpl(plan, params);
+}
+
+Result<exec::ResultSet> Connection::ExecuteSql(
+    std::string_view sql, const std::vector<catalog::Value>& params) {
+  return QuerySqlImpl(sql, params);
+}
+
+Result<int64_t> Connection::ExecuteDml(
+    std::string_view sql, const std::vector<catalog::Value>& params) {
+  return DmlImpl(sql, params);
+}
+
+void Connection::SimulateUpdate(std::string_view sql) {
+  SimulateUpdateImpl(sql);
+}
+
+Result<exec::ResultSet> Connection::QueryPlannedImpl(
     const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
   DebugCheckThreadOwner();
   obs::ScopedSpan span("execute");
@@ -137,14 +197,14 @@ Result<exec::ResultSet> Connection::ExecuteQuery(
   return rs;
 }
 
-Result<exec::ResultSet> Connection::ExecuteSql(
+Result<exec::ResultSet> Connection::QuerySqlImpl(
     std::string_view sql, const std::vector<catalog::Value>& params) {
   EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan, sql::ParseSql(sql));
   if (trace_enabled_) pending_sql_ = std::string(sql);
-  return ExecuteQuery(plan, params);
+  return QueryPlannedImpl(plan, params);
 }
 
-void Connection::SimulateUpdate(std::string_view sql) {
+void Connection::SimulateUpdateImpl(std::string_view sql) {
   DebugCheckThreadOwner();
   ++stats_.queries_executed;
   ++stats_.round_trips;
@@ -161,7 +221,7 @@ void Connection::SimulateUpdate(std::string_view sql) {
   }
 }
 
-Result<int64_t> Connection::ExecuteDml(
+Result<int64_t> Connection::DmlImpl(
     std::string_view sql, const std::vector<catalog::Value>& params) {
   DebugCheckThreadOwner();
   EQSQL_ASSIGN_OR_RETURN(sql::DmlStatement stmt, sql::ParseDml(sql));

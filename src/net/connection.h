@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/result.h"
 #include "exec/executor.h"
+#include "net/api.h"
 #include "net/cost_model.h"
 #include "obs/metrics.h"
 #include "ra/ra_node.h"
@@ -44,7 +45,7 @@ struct QueryTrace {
 /// owning thread is latched on first use and debug-asserted on every
 /// stats-mutating call; hand a connection to another thread only after
 /// ReleaseThreadOwnership().
-class Connection {
+class Connection : public Client {
  public:
   explicit Connection(storage::Database* db, CostModel model = CostModel())
       : db_(db), model_(model), executor_(db) {}
@@ -52,14 +53,30 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Executes a relational-algebra plan with bound parameters, holding
-  /// every scanned table's shard locks shared for the duration (via a
-  /// storage::ReadGuard pinning a consistent snapshot).
+  /// The canonical entry point (net::Client): executes one Request on
+  /// the calling thread and returns its Outcome. kQuery holds every
+  /// scanned table's shard locks shared for the duration (via a
+  /// storage::ReadGuard pinning a consistent snapshot); kDml locks only
+  /// the shards it writes; kStatement classifies by first keyword.
+  /// kExplainExtraction is a Session-level request (it needs the plan
+  /// cache and optimizer) and comes back kUnsupported here. Priority
+  /// and timeout_ms are scheduling attributes — a direct Connection has
+  /// no queue, so they are ignored on this path.
+  Outcome Perform(Request req) override;
+
+  /// Perform() for an already-parsed (typically plan-cache-shared)
+  /// relational-algebra plan: the scheduler's query hot path.
+  Outcome PerformPlanned(const ra::RaNodePtr& plan,
+                         const std::vector<catalog::Value>& params = {});
+
+  // DEPRECATED(issue-5): legacy entry point, use Perform(Request::Query)
+  // or PerformPlanned. Kept as a thin shim for out-of-tree callers.
   Result<exec::ResultSet> ExecuteQuery(
       const ra::RaNodePtr& plan,
       const std::vector<catalog::Value>& params = {});
 
-  /// Parses `sql` (our SQL/HQL subset) then executes it.
+  // DEPRECATED(issue-5): legacy entry point, use
+  // Perform(Request::Query(sql, params)).
   Result<exec::ResultSet> ExecuteSql(
       std::string_view sql, const std::vector<catalog::Value>& params = {});
 
@@ -73,31 +90,20 @@ class Connection {
 
   /// Charges client-side computation (interpreted statements executed
   /// by the application) onto the simulated clock.
-  void ChargeClientOps(int64_t ops) {
+  void ChargeClientOps(int64_t ops) override {
     DebugCheckThreadOwner();
     stats_.simulated_ms +=
         model_.client_cost_per_op_ms * static_cast<double>(ops);
     PublishStats();
   }
 
-  /// Simulates a DML statement (INSERT/UPDATE/DELETE): charges one round
-  /// trip plus query overhead without touching data. The optimizer never
-  /// removes updates, so only the cost matters for the benchmarks.
+  // DEPRECATED(issue-5): legacy entry point, use
+  // Perform(Request::SimulatedDml(sql)). Charges one round trip plus
+  // query overhead without touching data.
   void SimulateUpdate(std::string_view sql);
 
-  /// Executes a real DML statement (the INSERT/UPDATE subset of
-  /// sql::ParseDml) against storage and returns the number of affected
-  /// rows. INSERT locks exactly the one shard the new row lands in;
-  /// UPDATE walks the table shard by shard, holding one shard lock
-  /// exclusively at a time — concurrent readers of other shards (and
-  /// other tables) proceed. Assignments evaluate against the OLD row;
-  /// updating the unique-key column is rejected (it would invalidate
-  /// key placement). DML expressions must be subquery-free: they are
-  /// evaluated inside the exclusive shard section with no ReadGuard, so
-  /// an EXISTS over another table would race that table's writers.
-  /// Parse failures (including the subquery restriction) and missing
-  /// tables come back as kParseError / kNotFound so callers (the
-  /// interpreter's executeUpdate) can fall back to SimulateUpdate.
+  // DEPRECATED(issue-5): legacy entry point, use
+  // Perform(Request::Dml(sql, params)).
   Result<int64_t> ExecuteDml(std::string_view sql,
                              const std::vector<catalog::Value>& params = {});
 
@@ -177,6 +183,29 @@ class Connection {
   const CostModel& cost_model() const { return model_; }
 
  private:
+  /// The execution bodies behind Perform/PerformPlanned and the
+  /// deprecated shims. Cost accounting in here is byte-identical to the
+  /// pre-scheduler code paths (the shard-invariance suite compares the
+  /// simulated clock bit for bit).
+  Result<exec::ResultSet> QueryPlannedImpl(
+      const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params);
+  Result<exec::ResultSet> QuerySqlImpl(
+      std::string_view sql, const std::vector<catalog::Value>& params);
+  /// INSERT locks exactly the one shard the new row lands in; UPDATE
+  /// walks the table shard by shard, holding one shard lock exclusively
+  /// at a time — concurrent readers of other shards (and other tables)
+  /// proceed. Assignments evaluate against the OLD row; updating the
+  /// unique-key column is rejected (it would invalidate key placement).
+  /// DML expressions must be subquery-free: they are evaluated inside
+  /// the exclusive shard section with no ReadGuard, so an EXISTS over
+  /// another table would race that table's writers. Parse failures
+  /// (including the subquery restriction) and missing tables come back
+  /// as kParseError / kNotFound so callers (the interpreter's
+  /// executeUpdate) can fall back to cost-only simulation.
+  Result<int64_t> DmlImpl(std::string_view sql,
+                          const std::vector<catalog::Value>& params);
+  void SimulateUpdateImpl(std::string_view sql);
+
   /// Latches the calling thread as owner on first use; asserts (debug
   /// builds) that every later stats-mutating call is from that thread.
   void DebugCheckThreadOwner() {

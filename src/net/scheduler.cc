@@ -1,0 +1,283 @@
+#include "net/scheduler.h"
+
+#include <string>
+#include <utility>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "net/server.h"
+#include "obs/explain.h"
+
+namespace eqsql::net {
+
+namespace {
+
+constexpr size_t kDefaultWorkers = 2;
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+size_t PriorityClass(Priority p) {
+  size_t cls = static_cast<size_t>(p);
+  return cls < 3 ? cls : 2;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Server* server, SchedulerOptions options)
+    : server_(server), options_(options) {
+  if (options_.workers == 0) options_.workers = kDefaultWorkers;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+
+  obs::MetricsRegistry* metrics = server_->metrics();
+  m_depth_ = metrics->counter("net.scheduler.queue_depth");
+  m_submitted_ = metrics->counter("net.scheduler.submitted");
+  m_rejected_ = metrics->counter("net.scheduler.rejected");
+  m_deadline_ = metrics->counter("net.scheduler.deadline_expired");
+  m_dispatched_ = metrics->counter("net.scheduler.dispatched");
+  m_queue_wait_ns_ = metrics->histogram("net.scheduler.queue_wait_ns");
+
+  // One connection per worker: created here on the constructing thread,
+  // then latched by its worker thread on first use (Connection latches
+  // its owner on the first stats-mutating call, and these are unused
+  // until then).
+  conns_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    auto conn = std::make_unique<Connection>(server_->db(),
+                                             server_->options().cost_model);
+    conn->set_worker_pool(server_->worker_pool());
+    conn->set_parallel_threshold(server_->options().parallel_threshold);
+    conn->set_metrics(metrics);
+    conns_.push_back(std::move(conn));
+  }
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::FailEntry(Entry& e, Status status) {
+  if (e.enqueue_span >= 0 && e.ctx.trace != nullptr) {
+    e.ctx.trace->EndSpan(e.enqueue_span);
+  }
+  e.promise.set_value(Outcome::FromError(std::move(status)));
+}
+
+std::future<Outcome> Scheduler::Submit(Request req) {
+  const auto now = std::chrono::steady_clock::now();
+  Entry e;
+  e.req = std::move(req);
+  e.enqueued = now;
+  e.deadline = e.req.timeout_ms > 0
+                   ? now + std::chrono::milliseconds(e.req.timeout_ms)
+                   : std::chrono::steady_clock::time_point::max();
+  // Capture the submitter's trace position before admission so the
+  // queue wait shows up as a "scheduler.enqueue" span in its tree.
+  e.ctx = obs::CurrentSpanContext();
+  if (e.ctx.trace != nullptr) {
+    e.enqueue_span = e.ctx.trace->BeginSpan("scheduler.enqueue", e.ctx.span);
+  }
+  std::future<Outcome> fut = e.promise.get_future();
+
+  const size_t cls = PriorityClass(e.req.priority);
+  bool shutting_down = false;
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      shutting_down = true;
+    } else if (queued_ >= options_.queue_capacity) {
+      full = true;
+    } else {
+      queues_[cls].push_back(std::move(e));
+      ++queued_;
+    }
+  }
+  if (shutting_down) {
+    FailEntry(e, Status::ShuttingDown("server is shutting down"));
+    return fut;
+  }
+  if (full) {
+    // Backpressure: reject inline, never block the producer.
+    m_rejected_->Increment();
+    FailEntry(e, Status::Overloaded("scheduler queue is full (capacity " +
+                                    std::to_string(options_.queue_capacity) +
+                                    "); retry with backoff"));
+    return fut;
+  }
+  m_submitted_->Increment();
+  m_depth_->Add(1);
+  cv_.notify_one();
+  return fut;
+}
+
+void Scheduler::WorkerLoop(size_t worker_index) {
+  Connection* conn = conns_[worker_index].get();
+  for (;;) {
+    Entry e;
+    DispatchHook hook;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+      // Stop wins over remaining work: Shutdown() flushes the queue
+      // with kShuttingDown itself, so workers must not race it for
+      // entries once draining begins.
+      if (stop_) return;
+      for (auto& q : queues_) {
+        if (!q.empty()) {
+          e = std::move(q.front());
+          q.pop_front();
+          break;
+        }
+      }
+      --queued_;
+      hook = dispatch_hook_;
+    }
+    m_depth_->Add(-1);
+    m_dispatched_->Increment();
+    const auto now = std::chrono::steady_clock::now();
+    m_queue_wait_ns_->Record(ElapsedNs(e.enqueued, now));
+    if (e.enqueue_span >= 0 && e.ctx.trace != nullptr) {
+      e.ctx.trace->EndSpan(e.enqueue_span);
+    }
+    // Admission deadline: fail cleanly before touching any data. A
+    // request that makes it past this line runs to completion even if
+    // its deadline passes mid-execution.
+    if (now >= e.deadline) {
+      m_deadline_->Increment();
+      e.promise.set_value(Outcome::FromError(Status::DeadlineExceeded(
+          "deadline expired after " +
+          std::to_string(e.req.timeout_ms) + "ms in queue")));
+      continue;
+    }
+    if (hook) hook(e.req);
+    Outcome out;
+    {
+      obs::ScopedContext restore(e.ctx);
+      obs::ScopedSpan span("scheduler.dispatch");
+      if (span.active()) {
+        span.Attr("worker", std::to_string(worker_index));
+      }
+      out = ExecuteRequest(conn, e.req);
+    }
+    e.promise.set_value(std::move(out));
+  }
+}
+
+Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
+  using Kind = Request::Kind;
+  Kind kind = req.kind;
+  if ((kind == Kind::kStatement || kind == Kind::kQuery) &&
+      IsShowMetricsStatement(req.sql)) {
+    return ShowMetricsOutcome();
+  }
+  if (kind == Kind::kStatement) {
+    kind = IsDmlStatement(req.sql) ? Kind::kDml : Kind::kQuery;
+  }
+  switch (kind) {
+    case Kind::kQuery: {
+      // Resolve the plan through the shared cache: repeated statement
+      // texts skip the SQL parser entirely, across all sessions.
+      Result<ra::RaNodePtr> plan =
+          server_->plan_cache()->GetOrParseSql(req.sql);
+      if (!plan.ok()) return Outcome::FromError(plan.status());
+      return conn->PerformPlanned(*plan, req.params);
+    }
+    case Kind::kDml:
+    case Kind::kSimulateDml: {
+      Request forced = req;
+      forced.kind = kind;
+      return conn->Perform(std::move(forced));
+    }
+    case Kind::kExplainExtraction: {
+      Result<std::shared_ptr<const core::OptimizeResult>> result =
+          server_->plan_cache()->GetOrOptimize(req.sql, req.function,
+                                               server_->options().optimize);
+      if (!result.ok()) return Outcome::FromError(result.status());
+      return Outcome::FromExplain(
+          obs::RenderExplainText(**result, req.function));
+    }
+    case Kind::kStatement:
+      break;  // classified above; unreachable
+  }
+  return Outcome::FromError(Status::Internal("unhandled request kind"));
+}
+
+Outcome Scheduler::ShowMetricsOutcome() const {
+  // Counters plus derived histogram rows (<name>.count/.p50/.p99/.max):
+  // the scheduler's queue-wait distribution is part of the admission
+  // story, so it is queryable, not just in the JSON snapshot. Counter
+  // values are deterministic for a fixed workload; the histogram rows
+  // carry wall timing and are excluded from invariance comparisons.
+  obs::MetricsSnapshot snap = server_->metrics()->Snapshot();
+  exec::ResultSet rs;
+  rs.schema = catalog::Schema({{"metric", catalog::DataType::kString},
+                               {"value", catalog::DataType::kInt64}});
+  rs.rows.reserve(snap.counters.size() + 4 * snap.histograms.size());
+  for (const auto& [name, value] : snap.counters) {
+    rs.rows.push_back(
+        {catalog::Value::String(name), catalog::Value::Int(value)});
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    rs.rows.push_back({catalog::Value::String(name + ".count"),
+                       catalog::Value::Int(h.count)});
+    rs.rows.push_back({catalog::Value::String(name + ".p50"),
+                       catalog::Value::Int(h.ValueAtQuantile(0.5))});
+    rs.rows.push_back({catalog::Value::String(name + ".p99"),
+                       catalog::Value::Int(h.ValueAtQuantile(0.99))});
+    rs.rows.push_back(
+        {catalog::Value::String(name + ".max"), catalog::Value::Int(h.max)});
+  }
+  return Outcome::FromResultSet(std::move(rs));
+}
+
+void Scheduler::Shutdown() {
+  std::vector<Entry> flushed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (auto& q : queues_) {
+      for (Entry& e : q) flushed.push_back(std::move(e));
+      q.clear();
+    }
+    queued_ = 0;
+  }
+  cv_.notify_all();
+  for (Entry& e : flushed) {
+    m_depth_->Add(-1);
+    FailEntry(e, Status::ShuttingDown(
+                     "server shut down before the request was dispatched"));
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool Scheduler::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
+}
+
+int64_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queued_);
+}
+
+std::vector<ConnectionStats> Scheduler::WorkerStats() const {
+  std::vector<ConnectionStats> out;
+  out.reserve(conns_.size());
+  for (const auto& conn : conns_) out.push_back(conn->ApproxStats());
+  return out;
+}
+
+void Scheduler::set_dispatch_hook(DispatchHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_hook_ = std::move(hook);
+}
+
+}  // namespace eqsql::net

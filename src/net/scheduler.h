@@ -1,0 +1,152 @@
+#ifndef EQSQL_NET_SCHEDULER_H_
+#define EQSQL_NET_SCHEDULER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/api.h"
+#include "net/connection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace eqsql::net {
+
+class Server;
+
+struct SchedulerOptions {
+  /// Worker threads executing requests. 0 = default (2).
+  size_t workers = 0;
+  /// Bound of the admission queue (all priority classes combined).
+  /// A Submit() against a full queue is rejected with kOverloaded
+  /// immediately — producers are never blocked by backpressure.
+  size_t queue_capacity = 256;
+};
+
+/// The server's execution engine: a bounded MPMC request queue feeding a
+/// pool of worker threads, each owning one Connection to the shared
+/// database. Sessions submit Requests from any thread and get a
+/// std::future<Outcome> back; workers execute in FIFO order within each
+/// priority class, always draining higher classes first.
+///
+/// Admission control: the queue bound is the backpressure mechanism. A
+/// full queue rejects the request inline (kOverloaded) rather than
+/// blocking the producer, so a latency-sensitive caller can shed load or
+/// retry with backoff on its own schedule.
+///
+/// Deadlines: Request::timeout_ms is an admission deadline. A request
+/// whose deadline passes while still queued fails with kDeadlineExceeded
+/// without touching any data; one already dispatched runs to completion
+/// (mid-query cancellation would require plumbing interruption through
+/// the executor's shard fan-out — not worth it while queries are
+/// milliseconds).
+///
+/// Shutdown: stops admission (new submits get kShuttingDown), lets
+/// in-flight requests finish, fails every still-queued request with
+/// kShuttingDown, then joins the workers. Safe to call more than once;
+/// the destructor calls it.
+///
+/// Lock ordering: the queue mutex mu_ is held only around deque
+/// push/pop and never while executing a request, so it nests freely
+/// outside the storage locks (table topology -> shard) that execution
+/// acquires. The metrics registry stays a leaf: handles are resolved at
+/// construction and recorded without mu_ where possible.
+///
+/// Tracing: Submit() captures the submitting thread's ambient
+/// SpanContext and opens a "scheduler.enqueue" span; the worker closes
+/// it at dispatch, restores the context, and wraps execution in a
+/// "scheduler.dispatch" span — so a traced request reads
+/// enqueue -> dispatch -> execute with the queue wait visible as the
+/// enqueue span's duration. The submitter's Trace must outlive outcome
+/// delivery (trivially true for the blocking Execute path).
+class Scheduler {
+ public:
+  Scheduler(Server* server, SchedulerOptions options);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Non-blocking admission. The returned future is always valid; on
+  /// rejection (kOverloaded / kShuttingDown) it is already ready.
+  std::future<Outcome> Submit(Request req);
+
+  /// Graceful drain; see class comment. Idempotent.
+  void Shutdown();
+
+  /// True once Shutdown() has begun (admission is closed).
+  bool shutting_down() const;
+
+  /// Requests currently queued (not yet dispatched). Racy by design.
+  int64_t queue_depth() const;
+
+  size_t worker_count() const { return conns_.size(); }
+
+  /// Snapshot of every worker link's simulated-cost counters (see
+  /// Connection::ApproxStats). Server::stats() folds these into its
+  /// totals; the max over links is the concurrent makespan of
+  /// scheduler-executed work.
+  std::vector<ConnectionStats> WorkerStats() const;
+
+  /// Test-only: invoked on the worker thread after the deadline check
+  /// and immediately before execution, with the dequeued request. Lets
+  /// tests park a worker deterministically ("deadline expires while
+  /// queued" vs "while executing", drain ordering, priority order).
+  using DispatchHook = std::function<void(const Request&)>;
+  void set_dispatch_hook(DispatchHook hook);
+
+ private:
+  struct Entry {
+    Request req;
+    std::promise<Outcome> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // ::max() if none
+    obs::SpanContext ctx;      // submitter's ambient trace position
+    int enqueue_span = -1;     // open "scheduler.enqueue" span id
+  };
+
+  void WorkerLoop(size_t worker_index);
+  /// Executes one admitted request on `conn` (SHOW METRICS and EXPLAIN
+  /// EXTRACTION are served here; queries go through the shared plan
+  /// cache; DML/simulated DML go straight to the connection).
+  Outcome ExecuteRequest(Connection* conn, const Request& req);
+  Outcome ShowMetricsOutcome() const;
+
+  /// Closes `e`'s enqueue span (if traced) and fails its promise.
+  static void FailEntry(Entry& e, Status status);
+
+  Server* server_;
+  SchedulerOptions options_;
+
+  obs::Counter* m_depth_ = nullptr;          // net.scheduler.queue_depth
+  obs::Counter* m_submitted_ = nullptr;      // net.scheduler.submitted
+  obs::Counter* m_rejected_ = nullptr;       // net.scheduler.rejected
+  obs::Counter* m_deadline_ = nullptr;       // net.scheduler.deadline_expired
+  obs::Counter* m_dispatched_ = nullptr;     // net.scheduler.dispatched
+  obs::Histogram* m_queue_wait_ns_ = nullptr;  // net.scheduler.queue_wait_ns
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  size_t queued_ = 0;  // total across classes, compared against capacity
+  /// One FIFO per priority class, indexed by Priority's integer value.
+  std::array<std::deque<Entry>, 3> queues_;
+  DispatchHook dispatch_hook_;
+
+  /// One connection per worker, created before the threads and released
+  /// to be latched by their worker's first request.
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace eqsql::net
+
+#endif  // EQSQL_NET_SCHEDULER_H_

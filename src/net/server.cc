@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "net/scheduler.h"
 #include "obs/explain.h"
 
 namespace eqsql::net {
@@ -35,7 +37,15 @@ Server::Server(ServerOptions options)
   plan_cache_.set_metrics(&metrics_);
   pool_.set_metrics(&metrics_);
   options_.optimize.metrics = &metrics_;
+  // Last: the scheduler's workers touch everything above, so it is the
+  // final member built and (being declared last) the first destroyed.
+  SchedulerOptions sched;
+  sched.workers = options_.scheduler_workers;
+  sched.queue_capacity = options_.scheduler_queue_capacity;
+  scheduler_ = std::make_unique<Scheduler>(this, sched);
 }
+
+Server::~Server() { scheduler_->Shutdown(); }
 
 std::unique_ptr<Session> Server::Connect() {
   int64_t id;
@@ -85,53 +95,44 @@ ServerStats Server::stats() const {
           std::max(out.max_session_simulated_ms, live.simulated_ms);
     }
   }
+  // Scheduler worker links: requests submitted through Session::Submit
+  // execute on these connections, so server totals would undercount
+  // without them. Workers never "close", so there is no double count
+  // with the closed-session aggregate above.
+  if (scheduler_ != nullptr) {
+    for (const ConnectionStats& link : scheduler_->WorkerStats()) {
+      out.totals.queries_executed += link.queries_executed;
+      out.totals.round_trips += link.round_trips;
+      out.totals.rows_transferred += link.rows_transferred;
+      out.totals.bytes_transferred += link.bytes_transferred;
+      out.totals.simulated_ms += link.simulated_ms;
+      out.max_session_simulated_ms =
+          std::max(out.max_session_simulated_ms, link.simulated_ms);
+    }
+  }
   out.plan_cache = plan_cache_.stats();
   return out;
 }
 
 Session::~Session() { server_->CloseSession(id_, conn_.stats()); }
 
-namespace {
-
-/// True if `sql` is the introspection statement "SHOW METRICS"
-/// (case-insensitive, surrounding whitespace and a trailing ';' ok).
-bool IsShowMetrics(std::string_view sql) {
-  size_t b = sql.find_first_not_of(" \t\r\n");
-  if (b == std::string_view::npos) return false;
-  size_t e = sql.find_last_not_of(" \t\r\n;");
-  std::string text = AsciiToLower(std::string(sql.substr(b, e - b + 1)));
-  return text == "show metrics";
+std::future<Outcome> Session::Submit(Request req) {
+  return server_->scheduler_->Submit(std::move(req));
 }
 
-}  // namespace
+Outcome Session::Execute(Request req) { return Submit(std::move(req)).get(); }
 
+// DEPRECATED(issue-5) shim: the legacy statement entry point forwards
+// through the scheduler like every other request ("SHOW METRICS"
+// included — the scheduler intercepts it before touching storage).
 Result<exec::ResultSet> Session::ExecuteSql(
     std::string_view sql, const std::vector<catalog::Value>& params) {
-  if (IsShowMetrics(sql)) {
-    // Counters only: they are deterministic for a fixed workload.
-    // Histograms carry timing and are exported via the JSON snapshot
-    // (Server::metrics()), not through the query surface.
-    obs::MetricsSnapshot snap = server_->metrics_.Snapshot();
-    exec::ResultSet rs;
-    rs.schema = catalog::Schema({{"metric", catalog::DataType::kString},
-                                 {"value", catalog::DataType::kInt64}});
-    rs.rows.reserve(snap.counters.size());
-    for (const auto& [name, value] : snap.counters) {
-      rs.rows.push_back(
-          {catalog::Value::String(name), catalog::Value::Int(value)});
-    }
-    return rs;
-  }
-  EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan,
-                         server_->plan_cache_.GetOrParseSql(sql));
-  return conn_.ExecuteQuery(plan, params);
+  return Execute(Request::Query(std::string(sql), params)).TakeResultSet();
 }
 
 Result<std::string> Session::ExplainExtraction(const std::string& source,
                                                const std::string& function) {
-  EQSQL_ASSIGN_OR_RETURN(std::shared_ptr<const core::OptimizeResult> result,
-                         OptimizeCached(source, function));
-  return obs::RenderExplainText(*result, function);
+  return Execute(Request::ExplainExtraction(source, function)).TakeExplain();
 }
 
 Result<std::shared_ptr<const core::OptimizeResult>> Session::OptimizeCached(

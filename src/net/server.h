@@ -2,6 +2,7 @@
 #define EQSQL_NET_SERVER_H_
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/result.h"
 #include "core/optimizer.h"
 #include "core/plan_cache.h"
+#include "net/api.h"
 #include "net/connection.h"
 #include "net/cost_model.h"
 #include "obs/metrics.h"
@@ -19,6 +21,7 @@
 
 namespace eqsql::net {
 
+class Scheduler;
 class Session;
 
 struct ServerOptions {
@@ -40,26 +43,34 @@ struct ServerOptions {
   /// Minimum table row count before per-shard parallel operators engage
   /// (forwarded to every session's Executor).
   size_t parallel_threshold = 512;
+  /// Worker threads in the request scheduler (the execution engine
+  /// behind Session::Submit/Execute). 0 = default (2).
+  size_t scheduler_workers = 0;
+  /// Bound of the scheduler's admission queue; a full queue rejects
+  /// submissions with kOverloaded instead of blocking the producer.
+  size_t scheduler_queue_capacity = 256;
 };
 
 /// Server-wide aggregate counters. Closed sessions fold their exact
-/// stats in when destroyed; live (unclosed) sessions contribute the
-/// snapshot their owner thread last published after a completed
-/// operation (Connection::ApproxStats). A snapshot taken after workers
-/// join is therefore exact, and one taken mid-flight is complete up to
-/// each session's last finished operation — never zero for a session
-/// that has already done work.
+/// stats in when destroyed; live (unclosed) sessions and the
+/// scheduler's worker links contribute the snapshot their owner thread
+/// last published after a completed operation (Connection::ApproxStats).
+/// A snapshot taken after workers join is therefore exact, and one
+/// taken mid-flight is complete up to each link's last finished
+/// operation — never zero for a link that has already done work.
 struct ServerStats {
   int64_t sessions_opened = 0;
   int64_t sessions_closed = 0;
-  /// Sum of every closed session's ConnectionStats plus every live
-  /// session's last published snapshot.
+  /// Sum of every closed session's ConnectionStats, every live
+  /// session's last published snapshot, and every scheduler worker
+  /// link's snapshot (scheduler-executed work lands on the worker's
+  /// connection, not the submitting session's).
   ConnectionStats totals;
-  /// Longest per-session simulated time among closed sessions. Sessions
-  /// simulate independent client links, so totals.simulated_ms is the
-  /// *serialized* cost of the work while max_session_simulated_ms is
-  /// the *concurrent* makespan — their ratio is the architectural
-  /// speedup the benchmark reports.
+  /// Longest simulated time across links (closed and live sessions plus
+  /// scheduler worker links). Each link simulates an independent client
+  /// connection, so totals.simulated_ms is the *serialized* cost of the
+  /// work while max_session_simulated_ms is the *concurrent* makespan —
+  /// their ratio is the architectural speedup the benchmark reports.
   double max_session_simulated_ms = 0.0;
   core::PlanCacheStats plan_cache;
 };
@@ -75,6 +86,9 @@ struct ServerStats {
 class Server {
  public:
   explicit Server(ServerOptions options = ServerOptions());
+  /// Drains the scheduler (in-flight requests finish, queued requests
+  /// fail with kShuttingDown) before tearing anything else down.
+  ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
@@ -85,6 +99,10 @@ class Server {
   core::PlanCache* plan_cache() { return &plan_cache_; }
   exec::WorkerPool* worker_pool() { return &pool_; }
   const ServerOptions& options() const { return options_; }
+
+  /// The request scheduler behind Session::Submit/Execute (exposed for
+  /// shutdown control and the scheduler test suite's dispatch hook).
+  Scheduler* scheduler() { return scheduler_.get(); }
 
   /// The server-wide metrics registry: plan cache, worker pool,
   /// storage scans, per-session net counters, and extraction pipeline
@@ -123,12 +141,22 @@ class Server {
   /// unregisters in its destructor before its Connection dies, so every
   /// pointer here is valid whenever mu_ is held.
   std::unordered_map<int64_t, const Connection*> live_sessions_;
+
+  /// Declared last: destroyed first, so Shutdown() joins the scheduler
+  /// workers while the database, pools, and metrics they touch are all
+  /// still alive.
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
-/// One client session: a Connection to the server's shared database
-/// plus access to the shared plan cache. Single-threaded by contract
-/// (see Connection); open one session per worker thread.
-class Session {
+/// One client session: the handle through which requests enter the
+/// server. Submit() hands a Request to the server's scheduler and
+/// returns a std::future<Outcome>; Execute() is the blocking wrapper.
+/// Execution happens on the scheduler's worker threads against the
+/// shared database and plan cache — the session's own Connection only
+/// carries client-side simulated cost (ChargeClientOps) and serves the
+/// legacy direct path. Single-threaded by contract (see Connection);
+/// open one session per client thread.
+class Session : public Client {
  public:
   ~Session();
   Session(const Session&) = delete;
@@ -136,11 +164,26 @@ class Session {
 
   int64_t id() const { return id_; }
 
-  /// Executes `sql`, resolving the plan through the shared cache:
-  /// repeated statement texts skip the SQL parser entirely. The
-  /// introspection statement "SHOW METRICS" is intercepted server-side
-  /// and answers with a (metric, value) result set of every counter in
-  /// the server registry, without touching storage.
+  /// Submits one request to the server's scheduler. Non-blocking: on
+  /// admission the future resolves when a worker finishes the request;
+  /// on rejection (kOverloaded queue-full backpressure, kShuttingDown
+  /// drain) it is already ready. "SHOW METRICS" answers with every
+  /// counter plus <histogram>.count/.p50/.p99/.max rows, without
+  /// touching storage. May be called from the session's owner thread;
+  /// the returned future may be waited anywhere.
+  std::future<Outcome> Submit(Request req);
+
+  /// Blocking wrapper: Submit + wait.
+  Outcome Execute(Request req);
+
+  /// net::Client: lets interpreted programs drive this session like a
+  /// direct connection — every statement goes through the scheduler.
+  Outcome Perform(Request req) override { return Execute(std::move(req)); }
+  void ChargeClientOps(int64_t ops) override { conn_.ChargeClientOps(ops); }
+
+  // DEPRECATED(issue-5): legacy entry point, use
+  // Execute(Request::Query(sql, params)) or Submit. Routed through the
+  // scheduler like every other request.
   Result<exec::ResultSet> ExecuteSql(
       std::string_view sql, const std::vector<catalog::Value>& params = {});
 
@@ -167,8 +210,10 @@ class Session {
                          std::vector<catalog::Row> rows);
   void DropTempTable(const std::string& name);
 
-  /// The underlying connection, for callers that need the raw API
-  /// (interpreter runs, temp tables, tracing).
+  /// The underlying client-side connection, for callers that need the
+  /// raw blocking API (direct interpreter runs, temp tables, tracing).
+  /// Work done here executes on the calling thread, bypassing the
+  /// scheduler's admission queue.
   Connection* connection() { return &conn_; }
   const ConnectionStats& stats() const { return conn_.stats(); }
 

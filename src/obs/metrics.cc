@@ -74,6 +74,22 @@ HistogramSnapshot Histogram::Snapshot() const {
   return out;
 }
 
+int64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * count).
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t seen = 0;
+  for (const auto& [bound, n] : buckets) {
+    seen += n;
+    if (seen >= rank) return bound < max ? bound : max;
+  }
+  return max;
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);

@@ -59,6 +59,13 @@ struct HistogramSnapshot {
   int64_t sum = 0;
   int64_t max = 0;
   std::vector<std::pair<int64_t, int64_t>> buckets;
+
+  /// Upper bucket boundary containing the q-th quantile (q in [0, 1]),
+  /// clamped to `max` so the tail estimate never exceeds an observed
+  /// value. Returns 0 for an empty histogram. Bucket resolution is a
+  /// power of two, so this is an upper-bound estimate, not an exact
+  /// order statistic — good enough for p50/p99 dashboards.
+  int64_t ValueAtQuantile(double q) const;
 };
 
 /// A bucketed latency histogram with power-of-two bucket boundaries

@@ -29,6 +29,14 @@ namespace {
 using catalog::DataType;
 using catalog::Value;
 
+// Queries go through the scheduler-backed session API; the legacy
+// ExecuteSql overloads are deprecated shims (issue-5).
+Result<exec::ResultSet> SessionQuery(Session* session, std::string sql,
+                                     std::vector<Value> params = {}) {
+  return session->Execute(Request::Query(std::move(sql), std::move(params)))
+      .TakeResultSet();
+}
+
 // ---------------------------------------------------------------------------
 // PlanCache unit behaviour (single-threaded).
 
@@ -160,10 +168,10 @@ TEST(PlanCacheTest, TempTableDdlInvalidatesCachedPlans) {
   };
   ASSERT_TRUE(session->CreateTempTable("tt", schema, rows_of(10)).ok());
   const std::string sql = "SELECT SUM(t.v) AS s FROM tt AS t";
-  auto r1 = session->ExecuteSql(sql);
+  auto r1 = SessionQuery(session.get(), sql);
   ASSERT_TRUE(r1.ok());
   EXPECT_EQ(r1->rows[0][0].AsInt(), 46);
-  ASSERT_TRUE(session->ExecuteSql(sql).ok());  // now cached
+  ASSERT_TRUE(SessionQuery(session.get(), sql).ok());  // now cached
   EXPECT_GE(server.plan_cache()->stats().hits, 1);
 
   session->DropTempTable("tt");
@@ -171,7 +179,7 @@ TEST(PlanCacheTest, TempTableDdlInvalidatesCachedPlans) {
   core::PlanCacheStats mid = server.plan_cache()->stats();
   EXPECT_GE(mid.invalidations, 1);
 
-  auto r2 = session->ExecuteSql(sql);
+  auto r2 = SessionQuery(session.get(), sql);
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r2->rows[0][0].AsInt(), 406);  // fresh table, fresh plan
   // The re-execution was a cache miss: the stale line really was gone.
@@ -331,7 +339,7 @@ TEST(ServerStressTest, ParallelSessionsMatchSerialReplay) {
         if (got != expected) mismatches.fetch_add(1);
 
         // Plain SQL reads (shared data lock).
-        auto rs = session->ExecuteSql(
+        auto rs = SessionQuery(session.get(), 
             "SELECT COUNT(*) AS n FROM project AS p WHERE p.id >= ?",
             {Value::Int(0)});
         if (!rs.ok()) mismatches.fetch_add(1);
@@ -349,7 +357,7 @@ TEST(ServerStressTest, ParallelSessionsMatchSerialReplay) {
         if (!create.ok()) {
           mismatches.fetch_add(1);
         } else {
-          auto sum = session->ExecuteSql("SELECT SUM(t.v) AS s FROM " +
+          auto sum = SessionQuery(session.get(), "SELECT SUM(t.v) AS s FROM " +
                                          temp_name + " AS t");
           if (!sum.ok()) mismatches.fetch_add(1);
           session->connection()->DropTempTable(temp_name);
@@ -382,7 +390,7 @@ TEST(ServerStressTest, StatsFoldOnClose) {
   {
     std::unique_ptr<Session> session = server.Connect();
     ASSERT_TRUE(
-        session->ExecuteSql("SELECT COUNT(*) AS n FROM project AS p").ok());
+        SessionQuery(session.get(), "SELECT COUNT(*) AS n FROM project AS p").ok());
     ServerStats mid = server.stats();
     EXPECT_EQ(mid.sessions_opened, 1);
     EXPECT_EQ(mid.sessions_closed, 0);

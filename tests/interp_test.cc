@@ -2,6 +2,7 @@
 
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
+#include "net/connection.h"
 
 namespace eqsql::interp {
 namespace {

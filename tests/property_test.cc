@@ -14,6 +14,7 @@
 #include "core/optimizer.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
+#include "net/connection.h"
 
 namespace eqsql::core {
 namespace {

@@ -228,13 +228,17 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
 // workload, every counter in the server registry whose name is not
 // layout-scoped must be byte-identical at 1, 2, and 8 shards. Only
 // per-shard breakdowns ("storage.shard.*"), pool/batch bookkeeping
-// ("exec.pool.*", "exec.parallel.*"), and timing histograms may differ
-// — they describe HOW the work was partitioned, not how much there was.
+// ("exec.pool.*", "exec.parallel.*"), scheduler bookkeeping
+// ("net.scheduler.*" — dispatch counts depend on thread interleaving
+// once requests flow through the admission queue), and timing
+// histograms may differ — they describe HOW the work was partitioned
+// and scheduled, not how much there was.
 
 bool LayoutScoped(const std::string& name) {
   return name.rfind("storage.shard.", 0) == 0 ||
          name.rfind("exec.pool.", 0) == 0 ||
-         name.rfind("exec.parallel.", 0) == 0;
+         name.rfind("exec.parallel.", 0) == 0 ||
+         name.rfind("net.scheduler.", 0) == 0;
 }
 
 /// All shard-invariant counters, flattened to one comparable string.
