@@ -269,6 +269,79 @@ double RunMixedPhase(bool global_lock) {
 }
 
 // ---------------------------------------------------------------------------
+// MVCC phase: snapshot readers against a sustained writer.
+//
+// The mixed phase above proves readers of *other* tables don't stall
+// behind a bulk upload. This phase makes the stronger multi-version
+// claim: readers of the SAME table a writer is continuously committing
+// single-row updates into never block — each scan pins a snapshot and
+// walks version chains, so reader throughput with the writer running
+// must stay within 10% of the no-writer baseline. The writer sleeps
+// between commits (modeling client think time), so the comparison
+// measures blocking, not CPU contention on a small container.
+
+constexpr int kMvccReaders = 8;
+constexpr int kMvccReadsPerThread = 30;
+constexpr auto kMvccWriterThinkTime = std::chrono::microseconds(500);
+
+/// Runs kMvccReaders scan threads over the `project` table, optionally
+/// against a sustained single-row-update writer on the same table, and
+/// returns the readers' wall-clock makespan in ms.
+double RunMvccPhase(bool with_writer) {
+  eqsql::net::Server server(MakeOptions());
+  SetupDatabase(server.db());
+
+  std::atomic<bool> readers_done{false};
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      std::unique_ptr<eqsql::net::Session> session = server.Connect();
+      int64_t k = 0;
+      while (!readers_done.load(std::memory_order_relaxed)) {
+        auto out = session->connection()->Perform(
+            eqsql::net::Request::Dml(
+                "UPDATE project SET finished = ? WHERE id = ?",
+                {eqsql::catalog::Value::Int(k % 2),
+                 eqsql::catalog::Value::Int(k % 20)}));
+        CheckOk(out.status, "mvcc writer");
+        ++k;
+        std::this_thread::sleep_for(kMvccWriterThinkTime);
+      }
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  std::vector<double> finished_ms(kMvccReaders, 0.0);
+  for (int t = 0; t < kMvccReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::unique_ptr<eqsql::net::Session> session = server.Connect();
+      for (int i = 0; i < kMvccReadsPerThread; ++i) {
+        // Each query pins a snapshot for its whole scan: the writer's
+        // pending and newly committed versions are simply not visible.
+        auto rs = session->connection()
+                      ->Perform(eqsql::net::Request::Query(
+                          "SELECT COUNT(*) AS n FROM project AS p "
+                          "WHERE p.id >= ?",
+                          {eqsql::catalog::Value::Int(i % 10)}))
+                      .TakeResultSet();
+        if (!rs.ok()) CheckOk(rs.status(), "mvcc reader");
+      }
+      finished_ms[t] = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  readers_done.store(true);
+  if (writer.joinable()) writer.join();
+
+  double makespan = 0;
+  for (double ms : finished_ms) makespan = std::max(makespan, ms);
+  return makespan;
+}
+
+// ---------------------------------------------------------------------------
 // Open-loop phase: producers submit, scheduler workers execute.
 //
 // The same 640-slot workload as RunWorkload, but no caller thread ever
@@ -522,6 +595,18 @@ int main(int argc, char** argv) {
   std::printf("%26.1f %14.1f %8.2fx\n", global_ms, sharded_ms,
               global_ms / sharded_ms);
 
+  std::printf("\nmvcc phase: %d snapshot readers x %d scans of a table "
+              "a single writer keeps committing into\n",
+              kMvccReaders, kMvccReadsPerThread);
+  double mvcc_baseline_ms = RunMvccPhase(/*with_writer=*/false);
+  double mvcc_writer_ms = RunMvccPhase(/*with_writer=*/true);
+  // Throughput ratio = baseline makespan / with-writer makespan (same
+  // fixed read count, so time ratio IS the throughput ratio).
+  double mvcc_ratio = mvcc_baseline_ms / mvcc_writer_ms;
+  std::printf("%22s %16s %9s\n", "no-writer ms", "with-writer ms", "ratio");
+  std::printf("%22.1f %16.1f %8.2fx\n", mvcc_baseline_ms, mvcc_writer_ms,
+              mvcc_ratio);
+
   std::printf("\nopen-loop phase: %d producers submit through the "
               "scheduler (%d workers execute)\n",
               kOpenLoopProducers, kOpenLoopProducers);
@@ -550,6 +635,12 @@ int main(int argc, char** argv) {
   if (total_mismatches > 0) {
     std::printf("FAIL: %d session results diverged from serial replay\n",
                 total_mismatches);
+    ok = false;
+  }
+  if (mvcc_ratio < 0.9) {
+    std::printf("FAIL: snapshot-reader throughput under a sustained "
+                "writer is %.2fx the no-writer baseline (gate: >= 0.90x)\n",
+                mvcc_ratio);
     ok = false;
   }
   if (threads8_throughput < 2.0 * baseline_throughput) {
@@ -582,10 +673,12 @@ int main(int argc, char** argv) {
     std::printf("PASS: >=2x aggregate throughput at 8 threads, "
                 "cache hit ratio %.1f%%, results identical to serial, "
                 "readers %.2fx faster than a global data lock under "
-                "concurrent DML, open-loop scheduler at %.2fx baseline, "
-                "full queue sheds load with kOverloaded\n",
+                "concurrent DML, snapshot readers at %.2fx the no-writer "
+                "baseline under a sustained writer, open-loop scheduler "
+                "at %.2fx baseline, full queue sheds load with "
+                "kOverloaded\n",
                 100.0 * threads8_hit_ratio, global_ms / sharded_ms,
-                open.throughput / baseline_throughput);
+                mvcc_ratio, open.throughput / baseline_throughput);
   }
 
   // Machine-readable artifact: per-thread-count measurements, the
@@ -603,12 +696,17 @@ int main(int argc, char** argv) {
                  "{\"bench\":\"concurrency\",\"requests\":%d,\"runs\":[%s],"
                  "\"mixed_phase\":{\"global_lock_ms\":%.1f,"
                  "\"sharded_ms\":%.1f},"
+                 "\"mvcc_phase\":{\"readers\":%d,\"reads_per_thread\":%d,"
+                 "\"no_writer_ms\":%.1f,\"with_writer_ms\":%.1f,"
+                 "\"reader_throughput_ratio\":%.4f},"
                  "\"open_loop\":{\"producers\":%d,\"makespan_sim_ms\":%.1f,"
                  "\"requests_per_sim_s\":%.0f,\"dispatched\":%lld,"
                  "\"queue_wait_p50_ns\":%lld,\"queue_wait_p99_ns\":%lld},"
                  "\"burst\":{\"accepted\":%d,\"rejected\":%d},"
                  "\"pass\":%s,\"metrics\":%s}\n",
                  kTotalRequests, json_runs.c_str(), global_ms, sharded_ms,
+                 kMvccReaders, kMvccReadsPerThread, mvcc_baseline_ms,
+                 mvcc_writer_ms, mvcc_ratio,
                  kOpenLoopProducers, open.makespan_sim_ms, open.throughput,
                  static_cast<long long>(open.dispatched),
                  static_cast<long long>(open.queue_wait_p50_ns),

@@ -26,12 +26,14 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
 echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
-  shard_test shard_invariance_test scheduler_test net_test
+  shard_test mvcc_test shard_invariance_test scheduler_test net_test
 # Scheduler here covers the 8-producer bounded-queue storm
 # (SchedulerTest.QueueFullRejectsOverloadedWithoutBlocking) under the
-# race detector: producers race workers on the admission queue.
+# race detector: producers race workers on the admission queue. Mvcc
+# covers the version-chain suite, including the concurrent
+# readers-vs-committing-writer scan test.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|ReadGuard|Database|Scheduler|ServerLiveStats'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 # The same sweep on 8-way partitioned tables with the parallel
@@ -42,6 +44,11 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # Every case through the scheduler-backed execution path (Session ->
 # admission queue -> worker) instead of direct connections.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --async-every 1
+# Transaction schedules only, 8-way sharded, every statement routed
+# through a scheduler worker: BEGIN/COMMIT/ROLLBACK hand a live MVCC
+# transaction context between threads under the race detector.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 11 --iters 50 --family txn \
+  --shards 8 --async-every 1
 
 echo "== api surface: no callers on the deprecated net entry points =="
 # The legacy ExecuteSql/ExecuteQuery/ExecuteDml overloads survive only
@@ -52,6 +59,17 @@ if grep -rEn '(->|\.)Execute(Sql|Query|Dml)\(' src tests bench examples \
     --include='*.cc' --include='*.h' --include='*.cpp' \
     | grep -vE '^src/net/(connection|server)\.(h|cc):'; then
   echo "verify.sh: deprecated net entry point called outside the shim layer"
+  exit 1
+fi
+
+echo "== api surface: shard locks stay inside the storage layer =="
+# MVCC made readers lock-free: nothing outside src/storage may acquire
+# (or even name) a shard's write_mu / struct_mu. Callers coordinate
+# through snapshots, transactions, and the Table API only.
+if grep -rEn '\b(write_mu|struct_mu)\b' src tests bench examples \
+    --include='*.cc' --include='*.h' --include='*.cpp' \
+    | grep -vE '^src/storage/'; then
+  echo "verify.sh: direct shard-lock acquisition outside src/storage"
   exit 1
 fi
 
@@ -71,5 +89,9 @@ grep -q '"open_loop":{"producers":8' BENCH_concurrency.json
 grep -q '"dispatched":[1-9]' BENCH_concurrency.json
 grep -q '"queue_wait_p99_ns":[1-9]' BENCH_concurrency.json
 grep -q '"rejected":[1-9]' BENCH_concurrency.json
+# MVCC phase: the artifact must carry the snapshot-reader ratio (the
+# binary itself gates it at >= 0.90).
+grep -q '"mvcc_phase":{"readers":8' BENCH_concurrency.json
+grep -q '"reader_throughput_ratio":' BENCH_concurrency.json
 
 echo "verify.sh: all green"

@@ -9,6 +9,9 @@
 // Flags:
 //   --app NAME        built-in workload: matoso|jobportal|selection|join
 //   --file PATH       ImpLang source file (default function: first in file)
+//   --db NAME         with --file: seed the named workload's tables so a
+//                     custom program can query/mutate them (BEGIN/
+//                     COMMIT/ROLLBACK and DML run against real data)
 //   --function NAME   entry function (defaults per app / first in file)
 //   --explain         print the EXPLAIN EXTRACTION text report
 //   --explain-json    print the same report as JSON
@@ -45,6 +48,7 @@ namespace {
 struct CliOptions {
   std::string app;
   std::string file;
+  std::string db;
   std::string function;
   bool explain = false;
   bool explain_json = false;
@@ -62,6 +66,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--app matoso|jobportal|selection|join | --file "
                "PATH) [--function NAME]\n"
+               "          [--db matoso|jobportal|selection|join]\n"
                "          [--explain] [--explain-json] [--run] [--trace] "
                "[--trace-json]\n"
                "          [--metrics] [--metrics-json] [--shards N]\n"
@@ -84,6 +89,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = value();
       if (v == nullptr) return false;
       out->file = v;
+    } else if (std::strcmp(arg, "--db") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->db = v;
     } else if (std::strcmp(arg, "--function") == 0) {
       const char* v = value();
       if (v == nullptr) return false;
@@ -120,6 +129,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     }
   }
   if (out->app.empty() == out->file.empty()) return false;  // exactly one
+  if (!out->db.empty() && out->file.empty()) return false;  // --db needs --file
   // Default action: if nothing was requested, explain is the most
   // useful single report.
   if (!out->explain && !out->explain_json && !out->run && !out->trace &&
@@ -134,28 +144,22 @@ struct LoadedProgram {
   std::string function;
 };
 
-bool LoadApp(const std::string& app, eqsql::storage::Database* db,
-             LoadedProgram* out) {
+/// Seeds the named workload's tables into `db` (shared by --app and
+/// the file-mode --db flag).
+bool SetupWorkloadDatabase(const std::string& name,
+                           eqsql::storage::Database* db) {
   namespace wl = eqsql::workloads;
   eqsql::Status setup = eqsql::Status::OK();
-  if (app == "matoso") {
-    out->source = wl::MatosoProgram();
-    out->function = "findMaxScore";
+  if (name == "matoso") {
     setup = wl::SetupMatosoDatabase(db, 60, 4);
-  } else if (app == "jobportal") {
-    out->source = wl::JobPortalProgram();
-    out->function = "jobReport";
+  } else if (name == "jobportal") {
     setup = wl::SetupJobPortalDatabase(db, 40);
-  } else if (app == "selection") {
-    out->source = wl::SelectionProgram();
-    out->function = "unfinished";
+  } else if (name == "selection") {
     setup = wl::SetupSelectionDatabase(db, 80, 25);
-  } else if (app == "join") {
-    out->source = wl::JoinProgram();
-    out->function = "userRoles";
+  } else if (name == "join") {
     setup = wl::SetupJoinDatabase(db, 40);
   } else {
-    std::fprintf(stderr, "unknown app: %s\n", app.c_str());
+    std::fprintf(stderr, "unknown workload database: %s\n", name.c_str());
     return false;
   }
   if (!setup.ok()) {
@@ -163,6 +167,29 @@ bool LoadApp(const std::string& app, eqsql::storage::Database* db,
                  setup.ToString().c_str());
     return false;
   }
+  return true;
+}
+
+bool LoadApp(const std::string& app, eqsql::storage::Database* db,
+             LoadedProgram* out) {
+  namespace wl = eqsql::workloads;
+  if (app == "matoso") {
+    out->source = wl::MatosoProgram();
+    out->function = "findMaxScore";
+  } else if (app == "jobportal") {
+    out->source = wl::JobPortalProgram();
+    out->function = "jobReport";
+  } else if (app == "selection") {
+    out->source = wl::SelectionProgram();
+    out->function = "unfinished";
+  } else if (app == "join") {
+    out->source = wl::JoinProgram();
+    out->function = "userRoles";
+  } else {
+    std::fprintf(stderr, "unknown app: %s\n", app.c_str());
+    return false;
+  }
+  if (!SetupWorkloadDatabase(app, db)) return false;
   return true;
 }
 
@@ -220,6 +247,9 @@ int main(int argc, char** argv) {
     if (!LoadApp(cli.app, server.db(), &prog)) return 1;
   } else {
     if (!LoadFile(cli.file, &prog)) return 1;
+    if (!cli.db.empty() && !SetupWorkloadDatabase(cli.db, server.db())) {
+      return 1;
+    }
   }
   if (!cli.function.empty()) prog.function = cli.function;
 

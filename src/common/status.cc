@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kShuttingDown:
       return "ShuttingDown";
+    case StatusCode::kTxnConflict:
+      return "TxnConflict";
   }
   return "Unknown";
 }

@@ -38,6 +38,11 @@ enum class StatusCode {
   /// The server is draining: queued requests are failed, in-flight
   /// requests finish. Nothing was executed for this request.
   kShuttingDown,
+  /// A write-write conflict under snapshot isolation: another
+  /// transaction committed (or holds pending) a newer version of a row
+  /// this transaction tried to write, or a table this transaction read
+  /// changed before commit. The transaction is rolled back; retry it.
+  kTxnConflict,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -84,6 +89,9 @@ class Status {
   }
   static Status ShuttingDown(std::string msg) {
     return Status(StatusCode::kShuttingDown, std::move(msg));
+  }
+  static Status TxnConflict(std::string msg) {
+    return Status(StatusCode::kTxnConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -451,7 +451,7 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
       }
       ResultSet out;
       EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
-      out.rows = table->rows();
+      out.rows = table->rows(ReadSnapshot());
       rows_processed_ += out.rows.size();
       if (scan_rows_ != nullptr) RecordScan(out.rows.size(), out.WireSize());
       return out;
@@ -636,7 +636,7 @@ Result<ResultSet> Executor::TryIndexLookup(const RaNode& node,
   EQSQL_ASSIGN_OR_RETURN(Value key, EvalScalar(key_expr, ctx));
   ResultSet out;
   EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(scan));
-  std::optional<Row> hit = table->GetByKey(key);
+  std::optional<Row> hit = table->GetByKey(key, ReadSnapshot());
   if (hit.has_value()) {
     const Row& row = *hit;
     bool pass = true;
@@ -933,30 +933,36 @@ Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
                                              const storage::Table& table) {
   ResultSet out;
   EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
-  out.rows.resize(table.row_count());
+  const storage::Snapshot snap = ReadSnapshot();
   if (parallel_batches_ != nullptr) parallel_batches_->Increment();
   std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  // Sequence numbers are sparse under MVCC (DELETE retires a slot but
+  // never renumbers the survivors), so each task gathers (seq, row)
+  // pairs for its shard's visible versions and one merge sort restores
+  // the serial scan's insertion order.
+  std::vector<std::vector<std::pair<size_t, Row>>> gathered(
+      table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
-    // Sequence numbers are dense and unique, so tasks write disjoint
-    // elements of the pre-sized row vector: scatter, no merge needed.
-    tasks.push_back([this, &table, s, &out, &shard_metrics, parent] {
+    tasks.push_back([this, &table, snap, s, &gathered, &shard_metrics,
+                     parent] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-scan");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
       const int64_t t0 = NowNs();
-      size_t rows = 0;
       size_t bytes = 0;
-      for (const storage::Table::Slot& slot : table.shard_slots(s)) {
-        if (slot.seq < out.rows.size()) out.rows[slot.seq] = slot.row;
-        ++rows;
-        bytes += catalog::RowWireSize(slot.row);
+      std::vector<std::pair<size_t, Row>>& rows = gathered[s];
+      for (const auto& slot : table.PinShard(s)) {
+        const Row* row = slot->VisibleRow(snap);
+        if (row == nullptr) continue;
+        bytes += catalog::RowWireSize(*row);
+        rows.emplace_back(slot->seq, *row);
       }
       const ShardScanMetrics& m = shard_metrics[s];
       if (m.rows != nullptr) {
-        m.rows->Add(static_cast<int64_t>(rows));
+        m.rows->Add(static_cast<int64_t>(rows.size()));
         m.bytes->Add(static_cast<int64_t>(bytes));
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
@@ -965,9 +971,20 @@ Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
     });
   }
   pool_->Run(std::move(tasks));
+  size_t total = 0;
+  for (const auto& g : gathered) total += g.size();
+  std::vector<std::pair<size_t, Row>> merged;
+  merged.reserve(total);
+  for (auto& g : gathered) {
+    for (auto& p : g) merged.push_back(std::move(p));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.rows.reserve(merged.size());
+  for (auto& p : merged) out.rows.push_back(std::move(p.second));
   rows_processed_ += out.rows.size();
-  // Shard-invariant totals mirror the serial scan exactly: same row
-  // count, same wire bytes.
+  // Shard-invariant totals mirror the serial scan exactly: same visible
+  // row count, same wire bytes.
   if (scan_rows_ != nullptr) RecordScan(out.rows.size(), out.WireSize());
   return out;
 }
@@ -981,8 +998,11 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
   const Schema& schema = out.schema;
   const ScalarExprPtr& pred = node.predicate();
 
+  const storage::Snapshot snap = ReadSnapshot();
+
   struct TaskResult {
     std::vector<std::pair<size_t, Row>> rows;  // (seq, matched row)
+    size_t scanned = 0;    // visible rows in this shard (serial-scan parity)
     size_t sub_rows = 0;   // subquery rows processed by the task
     size_t scanned_bytes = 0;
     size_t fail_seq = 0;
@@ -995,7 +1015,7 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
-    tasks.push_back([this, &table, &schema, &pred, ctx, s, &results,
+    tasks.push_back([this, &table, &schema, &pred, ctx, snap, s, &results,
                      &shard_metrics, parent] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-filter");
@@ -1016,31 +1036,34 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
       ex.parallel_batches_ = parallel_batches_;
       ex.shard_scan_ns_ = shard_scan_ns_;
       EvalContext local = *ctx;
-      for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+      for (const auto& slot : table.PinShard(s)) {
+        const Row* row = slot->VisibleRow(snap);
+        if (row == nullptr) continue;
+        ++r.scanned;
         // Slots are usually in ascending seq order, but concurrent
         // keyless inserts allocate seq before taking the shard lock,
         // so a later slot can carry a smaller seq. Keep scanning after
         // a failure to find this shard's MINIMUM failing seq (serial
         // execution aborts at the globally lowest one); slots above a
         // known failure cannot change the outcome and are skipped.
-        if (!r.status.ok() && slot.seq > r.fail_seq) continue;
-        r.scanned_bytes += catalog::RowWireSize(slot.row);
-        local.PushFrame(&schema, &slot.row);
+        if (!r.status.ok() && slot->seq > r.fail_seq) continue;
+        r.scanned_bytes += catalog::RowWireSize(*row);
+        local.PushFrame(&schema, row);
         Result<Value> v = ex.EvalScalar(pred, &local);
         local.PopFrame();
         if (!v.ok()) {
           r.status = v.status();
-          r.fail_seq = slot.seq;
+          r.fail_seq = slot->seq;
           continue;
         }
         if (r.status.ok() && IsTruthy(*v)) {
-          r.rows.emplace_back(slot.seq, slot.row);
+          r.rows.emplace_back(slot->seq, *row);
         }
       }
       r.sub_rows = ex.rows_processed_;
       const ShardScanMetrics& m = shard_metrics[s];
       if (m.rows != nullptr) {
-        m.rows->Add(static_cast<int64_t>(table.shard_slots(s).size()));
+        m.rows->Add(static_cast<int64_t>(r.scanned));
         m.bytes->Add(static_cast<int64_t>(r.scanned_bytes));
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
@@ -1062,16 +1085,19 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
   if (failed != nullptr) return failed->status;
 
   size_t total = 0;
+  size_t scanned = 0;
   size_t sub_rows = 0;
   size_t scanned_bytes = 0;
   for (const TaskResult& r : results) {
     total += r.rows.size();
+    scanned += r.scanned;
     sub_rows += r.sub_rows;
     scanned_bytes += r.scanned_bytes;
   }
   // Shard-invariant scan totals: the serial plan's child Scan would have
-  // charged the whole table's rows and wire bytes before filtering.
-  if (scan_rows_ != nullptr) RecordScan(table.row_count(), scanned_bytes);
+  // charged the snapshot-visible rows and their wire bytes before
+  // filtering.
+  if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
   std::vector<std::pair<size_t, Row>> merged;
   merged.reserve(total);
   for (TaskResult& r : results) {
@@ -1081,9 +1107,9 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
             [](const auto& a, const auto& b) { return a.first < b.first; });
   out.rows.reserve(merged.size());
   for (auto& p : merged) out.rows.push_back(std::move(p.second));
-  // Cost parity with serial: scan charged every row, predicate
+  // Cost parity with serial: scan charged every visible row, predicate
   // subqueries charged their rows, selection charged its output.
-  rows_processed_ += table.row_count() + sub_rows + out.rows.size();
+  rows_processed_ += scanned + sub_rows + out.rows.size();
   return out;
 }
 
@@ -1101,11 +1127,14 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
   /// One shard's partial aggregation: groups in first-seen order plus
   /// the lowest sequence number at which each group appeared, so the
   /// merge can reproduce the serial first-seen group order exactly.
+  const storage::Snapshot snap = ReadSnapshot();
+
   struct Partial {
     std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
     std::vector<std::vector<Value>> keys;
     std::vector<std::vector<AggState>> states;
     std::vector<size_t> first_seq;
+    size_t scanned = 0;  // visible rows in this shard
     size_t matched = 0;
     size_t sub_rows = 0;
     size_t scanned_bytes = 0;
@@ -1119,8 +1148,8 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
-    tasks.push_back([this, &table, &scan_schema, &keys, &aggs, select, ctx, s,
-                     &partials, &shard_metrics, parent] {
+    tasks.push_back([this, &table, &scan_schema, &keys, &aggs, select, ctx,
+                     snap, s, &partials, &shard_metrics, parent] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-aggregate");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -1134,7 +1163,10 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
       ex.parallel_batches_ = parallel_batches_;
       ex.shard_scan_ns_ = shard_scan_ns_;
       EvalContext local = *ctx;
-      for (const storage::Table::Slot& slot : table.shard_slots(s)) {
+      for (const auto& slot : table.PinShard(s)) {
+        const Row* row = slot->VisibleRow(snap);
+        if (row == nullptr) continue;
+        ++p.scanned;
         // As in ExecSelectScanParallel: slot order within a shard is
         // not guaranteed to follow seq under concurrent keyless
         // inserts, so track the shard's minimum failing seq instead of
@@ -1142,9 +1174,9 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
         // slots are still evaluated (a yet-earlier failure must win);
         // their group-state updates are dead weight — the whole
         // partial is discarded on failure.
-        if (!p.status.ok() && slot.seq > p.fail_seq) continue;
-        p.scanned_bytes += catalog::RowWireSize(slot.row);
-        local.PushFrame(&scan_schema, &slot.row);
+        if (!p.status.ok() && slot->seq > p.fail_seq) continue;
+        p.scanned_bytes += catalog::RowWireSize(*row);
+        local.PushFrame(&scan_schema, row);
         Status status = Status::OK();
         bool pass = true;
         if (select != nullptr) {
@@ -1172,7 +1204,7 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
             if (inserted) {
               p.keys.push_back(key);
               p.states.emplace_back(aggs.size());
-              p.first_seq.push_back(slot.seq);
+              p.first_seq.push_back(slot->seq);
             }
             std::vector<AggState>& states = p.states[it->second];
             for (size_t a = 0; a < aggs.size(); ++a) {
@@ -1194,13 +1226,13 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
           // The skip above admits only slots below the current failing
           // seq, so plain assignment keeps the minimum.
           p.status = status;
-          p.fail_seq = slot.seq;
+          p.fail_seq = slot->seq;
         }
       }
       p.sub_rows = ex.rows_processed_;
       const ShardScanMetrics& m = shard_metrics[s];
       if (m.rows != nullptr) {
-        m.rows->Add(static_cast<int64_t>(table.shard_slots(s).size()));
+        m.rows->Add(static_cast<int64_t>(p.scanned));
         m.bytes->Add(static_cast<int64_t>(p.scanned_bytes));
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
@@ -1224,10 +1256,12 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
   std::vector<std::vector<Value>> gkeys;
   std::vector<std::vector<AggState>> gstates;
   std::vector<size_t> gseq;
+  size_t scanned = 0;
   size_t matched = 0;
   size_t sub_rows = 0;
   size_t scanned_bytes = 0;
   for (Partial& p : partials) {
+    scanned += p.scanned;
     matched += p.matched;
     sub_rows += p.sub_rows;
     scanned_bytes += p.scanned_bytes;
@@ -1268,10 +1302,10 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
     }
     out.rows.push_back(std::move(row));
   }
-  // Shard-invariant scan totals, mirroring the serial child Scan.
-  if (scan_rows_ != nullptr) RecordScan(table.row_count(), scanned_bytes);
-  rows_processed_ +=
-      table.row_count() + matched + sub_rows + out.rows.size();
+  // Shard-invariant scan totals, mirroring the serial child Scan over
+  // the snapshot-visible rows.
+  if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
+  rows_processed_ += scanned + matched + sub_rows + out.rows.size();
   return out;
 }
 

@@ -62,10 +62,11 @@ class EvalContext {
 ///
 /// Shared-read contract: execution touches the database exclusively
 /// through `const storage::Database*` / `const storage::Table*` — no
-/// execution path mutates storage, so any number of Executors may run
-/// concurrently against one Database provided writers are excluded
-/// (net::Connection holds every scanned table's shard locks shared via
-/// storage::ReadGuard around every Execute). Plans are
+/// execution path mutates storage. Row visibility resolves against the
+/// attached ReadGuard's pinned MVCC snapshot (storage::Snapshot), so
+/// any number of Executors may run concurrently against one Database
+/// while writers commit new versions: readers never block writers and
+/// never see a half-committed transaction. Plans are
 /// shared_ptr<const RaNode> and are never mutated during execution, so
 /// one cached plan may be executed by many sessions at once. One
 /// Executor instance itself is single-threaded: rows_processed_ is
@@ -159,6 +160,14 @@ class Executor {
     obs::Counter* ns = nullptr;
   };
   std::vector<ShardScanMetrics> ShardMetrics(size_t shard_count);
+
+  /// The MVCC snapshot every row-visibility check resolves against: the
+  /// attached guard's pinned snapshot, or "latest committed" when
+  /// executing unguarded (tests, offline tooling).
+  storage::Snapshot ReadSnapshot() const {
+    return guard_ != nullptr ? guard_->snapshot() : storage::Snapshot::Latest();
+  }
+
   void RecordScan(size_t rows, size_t bytes) {
     if (scan_rows_ != nullptr) {
       scan_rows_->Add(static_cast<int64_t>(rows));

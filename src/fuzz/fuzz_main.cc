@@ -8,13 +8,18 @@
 //
 // Usage:
 //   fuzz_eqsql [--seed N] [--iters M] [--corpus DIR] [--replay FILE]
-//              [--case-seed S] [--inject-bug] [--max-rows K]
-//              [--shards P] [--async-every N] [--no-shrink] [--verbose]
+//              [--case-seed S] [--family NAME] [--inject-bug]
+//              [--max-rows K] [--shards P] [--async-every N]
+//              [--no-shrink] [--verbose]
 //
 // --async-every N routes a deterministic 1-in-N of the generated cases
 // through a scheduler-backed server (Session::Submit) instead of direct
 // connections, differentially testing the async execution path. Default
 // 8; 0 keeps every case on the direct path.
+//
+// --family NAME restricts generation to one program family (as printed
+// in the family-mix line), e.g. --family txn sweeps only multi-session
+// transaction schedules.
 //
 // Exit status: 0 when every scenario passes, 1 on any violation or
 // infra error, 2 on bad usage.
@@ -49,6 +54,7 @@ struct Args {
   int max_rows = 40;
   int shards = 1;
   int async_every = 8;
+  std::string family;
 };
 
 void PrintReport(const FuzzCase& c, const OracleReport& r) {
@@ -71,10 +77,13 @@ void HandleFailure(const Args& args, const FuzzCase& c,
                    const OracleReport& report, const OracleOptions& oopts) {
   std::fprintf(stderr, "FAIL seed=%llu family=%s\n",
                static_cast<unsigned long long>(c.seed),
-               FamilyName(FamilyForSeed(c.seed)));
+               c.function == "@txn" ? "txn" : FamilyName(FamilyForSeed(c.seed)));
   FuzzCase to_save = c;
   OracleReport final_report = report;
-  if (!args.no_shrink && IsViolation(report.verdict)) {
+  // The shrinker parses ImpLang; txn schedules are not programs and are
+  // already near-minimal, so they are saved as-is.
+  if (!args.no_shrink && IsViolation(report.verdict) &&
+      c.function != "@txn") {
     ShrinkOutcome shrunk = Shrink(c, oopts);
     EQSQL_LOG(Info, "shrunk after %d oracle runs", shrunk.oracle_runs);
     to_save = std::move(shrunk.reduced);
@@ -117,6 +126,10 @@ int Run(const Args& args) {
       args.async_every < 1 ? 0 : static_cast<size_t>(args.async_every);
   GenOptions gopts;
   gopts.data.max_rows = args.max_rows;
+  if (!args.family.empty() && !RestrictToFamily(&gopts, args.family)) {
+    std::fprintf(stderr, "unknown family: %s\n", args.family.c_str());
+    return 2;
+  }
 
   // Replay a single corpus file.
   if (!args.replay_file.empty()) {
@@ -244,12 +257,14 @@ int main(int argc, char** argv) {
       args.shards = std::atoi(next());
     } else if (a == "--async-every") {
       args.async_every = std::atoi(next());
+    } else if (a == "--family") {
+      args.family = next();
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: fuzz_eqsql [--seed N] [--iters M] [--corpus DIR]\n"
-          "                  [--replay FILE] [--case-seed S] [--inject-bug]\n"
-          "                  [--max-rows K] [--shards P] [--async-every N]\n"
-          "                  [--no-shrink] [--verbose]\n");
+          "                  [--replay FILE] [--case-seed S] [--family NAME]\n"
+          "                  [--inject-bug] [--max-rows K] [--shards P]\n"
+          "                  [--async-every N] [--no-shrink] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());

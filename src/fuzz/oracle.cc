@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -241,9 +243,287 @@ void JudgeRuns(const interp::RtValue& r1,
   report->verdict = Verdict::kPass;
 }
 
+// --- txn-family oracle ---------------------------------------------------
+//
+// A "@txn" case carries no ImpLang program: its source is a
+// multi-session schedule (`<session> <SQL>` per line). The oracle
+// executes it interleaved — every session holds its own transaction
+// context against one shared database, so transactions overlap, writers
+// park pending versions, and conflicts fire — then replays just the
+// committed statements single-threaded, in commit order, on a fresh
+// database. Snapshot-isolation serializability is exactly the claim
+// that the two agree: per-statement row counts (including SELECT
+// cardinalities — commit validation promises a committed transaction's
+// reads match its commit point) and final table contents as multisets
+// (replay assigns different insertion sequences, so order is not
+// comparable, but the bag of rows is).
+
+/// One schedule line.
+struct TxnStep {
+  int session = 0;
+  std::string sql;
+};
+
+Result<std::vector<TxnStep>> ParseTxnSchedule(const std::string& src) {
+  std::vector<TxnStep> steps;
+  std::istringstream in(src);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0) {
+      return Status::ParseError("bad schedule line: " + line);
+    }
+    TxnStep step;
+    step.session = std::atoi(line.substr(0, sp).c_str());
+    step.sql = line.substr(sp + 1);
+    if (step.session < 0 || step.session > 15 || step.sql.empty()) {
+      return Status::ParseError("bad schedule line: " + line);
+    }
+    steps.push_back(std::move(step));
+  }
+  if (steps.empty()) return Status::ParseError("empty txn schedule");
+  return steps;
+}
+
+/// What one executed statement observably did.
+struct StepRecord {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  int64_t rows = 0;  // affected rows (DML) or result cardinality (SELECT)
+};
+
+StepRecord ExecuteStep(net::Client* client, const std::string& sql) {
+  net::Outcome out = client->Perform(net::Request::Statement(sql));
+  StepRecord r;
+  r.ok = out.ok();
+  if (!r.ok) {
+    r.code = out.status.code();
+  } else if (out.kind == net::Outcome::Kind::kRowCount) {
+    r.rows = out.row_count;
+  } else if (out.kind == net::Outcome::Kind::kResultSet) {
+    r.rows = static_cast<int64_t>(out.rows.rows.size());
+  }
+  return r;
+}
+
+/// A committed unit: the statements of one committed transaction (or a
+/// single autocommitted statement), each with its live-run row count.
+using TxnUnit = std::vector<std::pair<std::string, int64_t>>;
+
+/// Runs the schedule interleaved across `clients` (one per session),
+/// appending each transaction's statements to `units` at the moment it
+/// commits — sequential stepping makes the order successful commits
+/// appear in the schedule THE commit order. Tracks each session's
+/// open/closed state from observed outcomes, not from the schedule: a
+/// kTxnConflict mid-transaction aborts the whole transaction, dropping
+/// its buffered statements.
+std::vector<StepRecord> RunTxnSchedule(
+    const std::vector<TxnStep>& steps,
+    const std::vector<net::Client*>& clients, std::vector<TxnUnit>* units) {
+  std::vector<StepRecord> records;
+  records.reserve(steps.size());
+  std::vector<TxnUnit> buffer(clients.size());
+  std::vector<bool> open(clients.size(), false);
+  for (const TxnStep& step : steps) {
+    const size_t s = static_cast<size_t>(step.session);
+    const net::Request::Kind kind = net::ClassifyStatement(
+        net::Request::Kind::kStatement, step.sql);
+    StepRecord rec = ExecuteStep(clients[s], step.sql);
+    records.push_back(rec);
+    switch (kind) {
+      case net::Request::Kind::kBegin:
+        if (rec.ok) {
+          open[s] = true;
+          buffer[s].clear();
+        }
+        break;
+      case net::Request::Kind::kCommit:
+        if (open[s]) {
+          if (rec.ok) units->push_back(std::move(buffer[s]));
+          buffer[s].clear();  // failed COMMIT already rolled back
+          open[s] = false;
+        }
+        break;
+      case net::Request::Kind::kRollback:
+        buffer[s].clear();
+        open[s] = false;
+        break;
+      default:  // DML or SELECT
+        if (rec.ok) {
+          if (open[s]) {
+            buffer[s].emplace_back(step.sql, rec.rows);
+          } else {
+            units->push_back({{step.sql, rec.rows}});  // autocommitted
+          }
+        } else if (rec.code == StatusCode::kTxnConflict) {
+          // First-writer-wins: the conflict aborted the whole
+          // transaction and the session fell back to autocommit.
+          buffer[s].clear();
+          open[s] = false;
+        }
+        // Any other statement error (duplicate key, eval error outside
+        // a txn) had no committed effect; inside a txn it leaves the
+        // transaction open with its earlier writes intact.
+        break;
+    }
+  }
+  return records;
+}
+
+/// Final contents of every case table as table -> sorted bag of
+/// row-renderings (insertion order is not comparable across live and
+/// replay runs — aborted transactions burn sequence numbers).
+std::map<std::string, std::vector<std::string>> TableBags(
+    storage::Database* db, const FuzzCase& c) {
+  std::map<std::string, std::vector<std::string>> bags;
+  for (const TableSpec& t : c.tables) {
+    std::shared_ptr<storage::Table> table = db->SnapshotTable(t.name);
+    std::vector<std::string>& bag = bags[t.name];
+    if (table == nullptr) continue;
+    for (const catalog::Row& row : table->rows()) {
+      std::string key;
+      for (const catalog::Value& v : row) {
+        key += v.ToString();
+        key.push_back('|');
+      }
+      bag.push_back(std::move(key));
+    }
+    std::sort(bag.begin(), bag.end());
+  }
+  return bags;
+}
+
+/// Renders the live run as text: deterministic for a fixed case, so
+/// the shard-invariance suite can compare it byte for byte across
+/// layouts, and failures print a readable timeline.
+std::string RenderTxnLog(const std::vector<TxnStep>& steps,
+                         const std::vector<StepRecord>& records) {
+  std::ostringstream out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out << "S" << steps[i].session << " " << steps[i].sql << " -> ";
+    if (records[i].ok) {
+      out << "ok rows=" << records[i].rows;
+    } else {
+      out << "error code=" << static_cast<int>(records[i].code);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+OracleReport RunTxnOracle(const FuzzCase& c, const OracleOptions& opts) {
+  OracleReport report;
+  auto steps = ParseTxnSchedule(c.source);
+  if (!steps.ok()) {
+    report.detail = "schedule: " + steps.status().ToString();
+    return report;
+  }
+  int sessions = 0;
+  for (const TxnStep& s : *steps) sessions = std::max(sessions, s.session + 1);
+
+  storage::DatabaseOptions dbo;
+  dbo.shard_count = opts.shard_count == 0 ? 1 : opts.shard_count;
+  const bool async =
+      opts.async_every_n > 0 &&
+      SplitMix64(c.seed) % static_cast<uint64_t>(opts.async_every_n) == 0;
+
+  // --- live interleaved run.
+  std::vector<StepRecord> live;
+  std::vector<TxnUnit> units;
+  std::map<std::string, std::vector<std::string>> live_bags;
+  if (async) {
+    // Session::Submit -> scheduler worker per statement: the txn
+    // context crosses threads between consecutive statements of one
+    // transaction, which is the handoff TSan sweeps care about.
+    net::ServerOptions so;
+    so.database = dbo;
+    so.scheduler_workers = 2;
+    net::Server server(so);
+    if (Status s = BuildDatabase(c, server.db()); !s.ok()) {
+      report.detail = "database setup: " + s.ToString();
+      return report;
+    }
+    std::vector<std::unique_ptr<net::Session>> owned;
+    std::vector<net::Client*> clients;
+    for (int i = 0; i < sessions; ++i) {
+      owned.push_back(server.Connect());
+      clients.push_back(owned.back().get());
+    }
+    live = RunTxnSchedule(*steps, clients, &units);
+    // GC must not change observable contents (an implicit oracle check).
+    server.db()->Vacuum();
+    live_bags = TableBags(server.db(), c);
+  } else {
+    storage::Database db(dbo);
+    if (Status s = BuildDatabase(c, &db); !s.ok()) {
+      report.detail = "database setup: " + s.ToString();
+      return report;
+    }
+    std::vector<std::unique_ptr<net::Connection>> owned;
+    std::vector<net::Client*> clients;
+    for (int i = 0; i < sessions; ++i) {
+      owned.push_back(std::make_unique<net::Connection>(&db));
+      clients.push_back(owned.back().get());
+    }
+    live = RunTxnSchedule(*steps, clients, &units);
+    db.Vacuum();
+    live_bags = TableBags(&db, c);
+  }
+  report.rewritten_source = RenderTxnLog(*steps, live);
+  report.original_queries = static_cast<int64_t>(steps->size());
+  for (const StepRecord& r : live) report.original_rows += r.rows;
+
+  // --- single-threaded commit-order replay on a fresh database.
+  storage::Database replay_db(dbo);
+  if (Status s = BuildDatabase(c, &replay_db); !s.ok()) {
+    report.detail = "replay database setup: " + s.ToString();
+    return report;
+  }
+  net::Connection replay_conn(&replay_db);
+  for (size_t u = 0; u < units.size(); ++u) {
+    for (const auto& [sql, live_rows] : units[u]) {
+      ++report.rewritten_queries;
+      StepRecord rec = ExecuteStep(&replay_conn, sql);
+      report.rewritten_rows += rec.rows;
+      if (!rec.ok) {
+        report.verdict = Verdict::kReturnMismatch;
+        report.detail = "commit-order replay failed on committed statement '" +
+                        sql + "' (unit " + std::to_string(u) +
+                        "): " + std::to_string(static_cast<int>(rec.code));
+        return report;
+      }
+      if (rec.rows != live_rows) {
+        report.verdict = Verdict::kReturnMismatch;
+        report.detail = "row count diverged on '" + sql + "' (unit " +
+                        std::to_string(u) + "): live " +
+                        std::to_string(live_rows) + " vs replay " +
+                        std::to_string(rec.rows);
+        return report;
+      }
+    }
+  }
+  std::map<std::string, std::vector<std::string>> replay_bags =
+      TableBags(&replay_db, c);
+  for (const TableSpec& t : c.tables) {
+    if (live_bags[t.name] != replay_bags[t.name]) {
+      report.verdict = Verdict::kReturnMismatch;
+      report.detail = "final contents of " + t.name + " diverged: live " +
+                      std::to_string(live_bags[t.name].size()) +
+                      " row(s) vs replay " +
+                      std::to_string(replay_bags[t.name].size());
+      return report;
+    }
+  }
+  report.verdict = Verdict::kPass;
+  report.detail = std::to_string(units.size()) + " committed unit(s)";
+  return report;
+}
+
 /// The differential run proper. RunOracle below wraps it in an
 /// optional pipeline trace when diagnostics are requested.
 OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
+  if (c.function == "@txn") return RunTxnOracle(c, opts);
   OracleReport report;
 
   auto program = frontend::ParseProgram(c.source);

@@ -24,6 +24,7 @@ const char* FamilyName(Family f) {
     case Family::kConcat: return "concat";
     case Family::kCorrExists: return "corr_exists";
     case Family::kDml: return "dml";
+    case Family::kTxn: return "txn";
   }
   return "?";
 }
@@ -34,7 +35,7 @@ std::vector<int> Weights(const GenOptions& o) {
   return {o.w_filter_collect, o.w_scalar_agg, o.w_maxmin,  o.w_exists,
           o.w_join,           o.w_groupby,    o.w_argmax,  o.w_apply,
           o.w_print,          o.w_break,      o.w_partial, o.w_multi,
-          o.w_concat,         o.w_corr_exists, o.w_dml};
+          o.w_concat,         o.w_corr_exists, o.w_dml,    o.w_txn};
 }
 
 constexpr Family kFamilies[] = {
@@ -43,6 +44,7 @@ constexpr Family kFamilies[] = {
     Family::kArgmax,        Family::kApply,     Family::kPrint,
     Family::kBreak,         Family::kPartial,   Family::kMultiAgg,
     Family::kConcat,        Family::kCorrExists, Family::kDml,
+    Family::kTxn,
 };
 
 bool NeedsDim(Family f) {
@@ -472,6 +474,111 @@ std::string GenDml(Rng* rng, const FactShape& shape) {
   return s;
 }
 
+/// One random DML/SELECT statement for the txn schedule. Key-space [0,
+/// 14] on the keyed table is deliberately tight against the seeded ids,
+/// so duplicate-key inserts, first-writer-wins conflicts, and DELETE +
+/// reinsert chains all occur organically.
+std::string TxnStatement(Rng* rng) {
+  switch (rng->Range(0, 10)) {
+    case 0:
+    case 1:
+      return "INSERT INTO t0 VALUES (" + std::to_string(rng->Range(0, 14)) +
+             ", " + std::to_string(rng->Range(-5, 40)) + ")";
+    case 2:
+      return "UPDATE t0 SET v = v + " + std::to_string(rng->Range(1, 9)) +
+             " WHERE id = " + std::to_string(rng->Range(0, 14));
+    case 3:
+      return "UPDATE t0 SET v = v - " + std::to_string(rng->Range(1, 5)) +
+             " WHERE v > " + std::to_string(rng->Range(10, 35));
+    case 4:
+      return "DELETE FROM t0 WHERE id = " + std::to_string(rng->Range(0, 14));
+    case 5:
+      return "DELETE FROM t0 WHERE v < " + std::to_string(rng->Range(-5, 5));
+    case 6:
+      return "INSERT INTO t1 VALUES (" + std::to_string(rng->Range(0, 9)) +
+             ", " + std::to_string(rng->Range(-10, 30)) + ")";
+    case 7:
+      return "UPDATE t1 SET b = b + " + std::to_string(rng->Range(1, 6)) +
+             " WHERE a <= " + std::to_string(rng->Range(0, 9));
+    case 8:
+      return "DELETE FROM t1 WHERE b > " + std::to_string(rng->Range(15, 35));
+    case 9:
+      return "SELECT * FROM t0 AS r";
+    default:
+      return "SELECT * FROM t1 AS r";
+  }
+}
+
+/// A txn-family case: no ImpLang program, but a multi-session schedule
+/// (function "@txn") the oracle executes interleaved and then replays
+/// single-threaded in commit order. Line format: `<session> <SQL>`.
+/// Sessions open transactions, write both a keyed and a keyless table,
+/// and close with COMMIT or ROLLBACK; statements outside BEGIN...COMMIT
+/// autocommit. The generator's open/closed bookkeeping is a prediction
+/// only — a mid-transaction conflict aborts earlier than planned, which
+/// is exactly the behavior the replay oracle must track.
+FuzzCase GenTxnCase(uint64_t seed, Rng* rng) {
+  FuzzCase c;
+  c.seed = seed;
+  c.function = "@txn";
+
+  TableSpec keyed;
+  keyed.name = "t0";
+  keyed.unique_key = "id";
+  keyed.columns = {{"id", DataType::kInt64}, {"v", DataType::kInt64}};
+  const int64_t n = rng->Range(4, 10);
+  for (int64_t i = 0; i < n; ++i) {
+    keyed.rows.push_back(
+        {catalog::Value::Int(i), catalog::Value::Int(rng->Range(0, 40))});
+  }
+  c.tables.push_back(std::move(keyed));
+
+  TableSpec keyless;
+  keyless.name = "t1";
+  keyless.columns = {{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+  const int64_t m = rng->Range(1, 4);
+  for (int64_t i = 0; i < m; ++i) {
+    keyless.rows.push_back({catalog::Value::Int(rng->Range(0, 9)),
+                            catalog::Value::Int(rng->Range(-10, 30))});
+  }
+  c.tables.push_back(std::move(keyless));
+
+  const int sessions = static_cast<int>(rng->Range(2, 4));
+  const int steps = static_cast<int>(rng->Range(10, 24));
+  std::vector<bool> open(sessions, false);
+  std::string src;
+  auto emit = [&src](int s, const std::string& stmt) {
+    src += std::to_string(s) + " " + stmt + "\n";
+  };
+  for (int i = 0; i < steps; ++i) {
+    const int s = static_cast<int>(rng->Index(sessions));
+    if (!open[s]) {
+      if (rng->Percent(55)) {
+        emit(s, "BEGIN");
+        open[s] = true;
+      } else {
+        emit(s, TxnStatement(rng));  // autocommit
+      }
+    } else {
+      const int roll = static_cast<int>(rng->Range(0, 9));
+      if (roll < 2) {
+        emit(s, "COMMIT");
+        open[s] = false;
+      } else if (roll == 2) {
+        emit(s, "ROLLBACK");
+        open[s] = false;
+      } else {
+        emit(s, TxnStatement(rng));
+      }
+    }
+  }
+  for (int s = 0; s < sessions; ++s) {
+    if (open[s]) emit(s, rng->Percent(70) ? "COMMIT" : "ROLLBACK");
+  }
+  c.source = std::move(src);
+  return c;
+}
+
 std::string Render(Family family, Rng* rng, const FactShape& shape) {
   std::string body;
   switch (family) {
@@ -490,6 +597,7 @@ std::string Render(Family family, Rng* rng, const FactShape& shape) {
     case Family::kConcat: body = GenConcat(rng, shape); break;
     case Family::kCorrExists: body = GenCorrExists(rng, shape); break;
     case Family::kDml: body = GenDml(rng, shape); break;
+    case Family::kTxn: break;  // handled by GenTxnCase, never rendered
   }
   return "func f() {\n" + body + "}\n";
 }
@@ -501,9 +609,32 @@ Family FamilyForSeed(uint64_t seed, const GenOptions& opts) {
   return kFamilies[rng.PickWeighted(Weights(opts))];
 }
 
+bool RestrictToFamily(GenOptions* opts, const std::string& name) {
+  GenOptions next = *opts;
+  int* weights[] = {&next.w_filter_collect, &next.w_scalar_agg,
+                    &next.w_maxmin,         &next.w_exists,
+                    &next.w_join,           &next.w_groupby,
+                    &next.w_argmax,         &next.w_apply,
+                    &next.w_print,          &next.w_break,
+                    &next.w_partial,        &next.w_multi,
+                    &next.w_concat,         &next.w_corr_exists,
+                    &next.w_dml,            &next.w_txn};
+  static_assert(sizeof(weights) / sizeof(weights[0]) ==
+                sizeof(kFamilies) / sizeof(kFamilies[0]));
+  bool found = false;
+  for (size_t i = 0; i < sizeof(kFamilies) / sizeof(kFamilies[0]); ++i) {
+    const bool match = name == FamilyName(kFamilies[i]);
+    *weights[i] = match ? 1 : 0;
+    found = found || match;
+  }
+  if (found) *opts = next;
+  return found;
+}
+
 FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
   Rng rng(seed);
   Family family = kFamilies[rng.PickWeighted(Weights(opts))];
+  if (family == Family::kTxn) return GenTxnCase(seed, &rng);
   FactShape shape = MakeFactShape(&rng);
 
   FuzzCase c;

@@ -27,6 +27,7 @@ enum class Family {
   kConcat,         // string aggregation fold: s = concat(s, r.<str>)
   kCorrExists,     // correlated EXISTS flag feeding a later predicate
   kDml,            // real INSERT/UPDATE into a scratch table + read-back
+  kTxn,            // multi-session BEGIN/COMMIT/ROLLBACK schedule (MVCC)
 };
 
 const char* FamilyName(Family f);
@@ -51,7 +52,13 @@ struct GenOptions {
   int w_concat = 5;
   int w_corr_exists = 6;
   int w_dml = 6;
+  int w_txn = 7;
 };
+
+/// Zeroes every family weight except `name`'s (as printed by
+/// FamilyName), so a sweep can target one family. False if `name`
+/// matches no family; `opts` is untouched then.
+bool RestrictToFamily(GenOptions* opts, const std::string& name);
 
 /// Generates one self-contained scenario from `seed`: random schemas
 /// and data plus a random ImpLang cursor-loop program over them. Table

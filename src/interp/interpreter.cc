@@ -289,10 +289,20 @@ Result<RtValue> Interpreter::EvalCall(const Expr& call, Env* env) {
       params.push_back(std::move(v));
     }
     const std::string& sql = call.args()[0]->string_value();
-    // Real DML for the INSERT/UPDATE subset; statements outside it
-    // (DELETEs, vendor syntax) and writes to tables this simulated
-    // server does not hold fall back to cost-only simulation, as the
-    // whole engine did before the write path existed.
+    // BEGIN/COMMIT/ROLLBACK manage the session transaction (the Client
+    // behind this interpreter owns a TxnContext that survives across
+    // statements, so the transaction spans multiple executeUpdate
+    // calls).
+    if (net::IsTxnControlStatement(sql)) {
+      net::Outcome out =
+          client_->Perform(net::Request::Statement(sql));
+      EQSQL_ASSIGN_OR_RETURN(int64_t n, std::move(out).TakeRowCount());
+      return RtValue(Value::Int(n));
+    }
+    // Real DML for the INSERT/UPDATE/DELETE subset; statements outside
+    // it (vendor syntax) and writes to tables this simulated server
+    // does not hold fall back to cost-only simulation, as the whole
+    // engine did before the write path existed.
     Result<int64_t> affected =
         client_->Perform(net::Request::Dml(sql, std::move(params)))
             .TakeRowCount();

@@ -56,6 +56,24 @@ bool IsDmlStatement(std::string_view sql) {
   return kw == "insert" || kw == "update" || kw == "delete";
 }
 
+bool IsTxnControlStatement(std::string_view sql) {
+  const std::string kw = FirstKeyword(sql);
+  return kw == "begin" || kw == "commit" || kw == "rollback" ||
+         kw == "start";
+}
+
+Request::Kind ClassifyStatement(Request::Kind kind, std::string_view sql) {
+  if (kind != Request::Kind::kStatement) return kind;
+  const std::string kw = FirstKeyword(sql);
+  if (kw == "begin" || kw == "start") return Request::Kind::kBegin;
+  if (kw == "commit") return Request::Kind::kCommit;
+  if (kw == "rollback") return Request::Kind::kRollback;
+  if (kw == "insert" || kw == "update" || kw == "delete") {
+    return Request::Kind::kDml;
+  }
+  return Request::Kind::kQuery;
+}
+
 bool IsShowMetricsStatement(std::string_view sql) {
   size_t end = sql.size();
   while (end > 0 && (std::isspace(static_cast<unsigned char>(sql[end - 1])) ||

@@ -2,6 +2,8 @@
 #define EQSQL_NET_API_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -11,8 +13,20 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/executor.h"
+#include "storage/txn.h"
 
 namespace eqsql::net {
+
+/// Per-logical-session transaction state, shared (by shared_ptr) between
+/// the session handle and whichever scheduler worker executes each of
+/// its statements. `mu` serializes the session's statements — a
+/// session's statements are totally ordered even when consecutive ones
+/// land on different workers. `txn` is the open transaction (null in
+/// autocommit); only the holder of `mu` may read or write it.
+struct TxnContext {
+  std::mutex mu;
+  std::shared_ptr<storage::Transaction> txn;
+};
 
 /// Scheduling class for a request. Within one class dispatch is FIFO;
 /// across classes the scheduler always drains the higher class first
@@ -33,7 +47,8 @@ enum class Priority {
 struct Request {
   enum class Kind {
     /// Classify from the SQL text: INSERT/UPDATE/DELETE execute as DML,
-    /// everything else as a query. The convenience default.
+    /// BEGIN/COMMIT/ROLLBACK as transaction control, everything else as
+    /// a query. The convenience default.
     kStatement,
     /// Force the query path (DML text yields kParseError).
     kQuery,
@@ -45,6 +60,11 @@ struct Request {
     /// Produce an EXPLAIN EXTRACTION report for an ImpLang function:
     /// `sql` holds the program source, `function` the entry point.
     kExplainExtraction,
+    /// Transaction control: open / commit / abort the session
+    /// transaction carried by `txn` (see TxnContext).
+    kBegin,
+    kCommit,
+    kRollback,
   };
 
   Kind kind = Kind::kStatement;
@@ -52,6 +72,11 @@ struct Request {
   std::vector<catalog::Value> params;
   std::string function;  // entry function for kExplainExtraction
   Priority priority = Priority::kNormal;
+  /// The session transaction context this request executes under.
+  /// net::Session stamps its own context at Submit; a null context on a
+  /// direct Connection uses the connection's built-in (single-session)
+  /// context.
+  std::shared_ptr<TxnContext> txn;
   /// Deadline budget in milliseconds of *wall* time from submission;
   /// 0 = no deadline. A request whose deadline passes while it is still
   /// queued fails with kDeadlineExceeded before touching any data; a
@@ -92,9 +117,31 @@ struct Request {
     r.function = std::move(function);
     return r;
   }
+  static Request Begin() {
+    Request r;
+    r.kind = Kind::kBegin;
+    r.sql = "BEGIN";
+    return r;
+  }
+  static Request Commit() {
+    Request r;
+    r.kind = Kind::kCommit;
+    r.sql = "COMMIT";
+    return r;
+  }
+  static Request Rollback() {
+    Request r;
+    r.kind = Kind::kRollback;
+    r.sql = "ROLLBACK";
+    return r;
+  }
 
   Request WithPriority(Priority p) && {
     priority = p;
+    return std::move(*this);
+  }
+  Request WithTxn(std::shared_ptr<TxnContext> ctx) && {
+    txn = std::move(ctx);
     return std::move(*this);
   }
   Request WithTimeoutMs(int64_t ms) && {
@@ -177,6 +224,16 @@ class Client {
 /// True when the first keyword of `sql` is INSERT/UPDATE/DELETE
 /// (case-insensitive) — the classifier behind Request::Kind::kStatement.
 bool IsDmlStatement(std::string_view sql);
+
+/// True when the first keyword is BEGIN/COMMIT/ROLLBACK
+/// (case-insensitive; START TRANSACTION also counts as BEGIN).
+bool IsTxnControlStatement(std::string_view sql);
+
+/// Resolves Kind::kStatement from the SQL text: txn control first, then
+/// DML, else query. Non-kStatement kinds pass through unchanged. Both
+/// Connection::Perform and Scheduler::ExecuteRequest classify with this
+/// one function so the two paths can never disagree.
+Request::Kind ClassifyStatement(Request::Kind kind, std::string_view sql);
 
 /// True when `sql` is the SHOW METRICS introspection statement
 /// (case-insensitive, optional trailing semicolon).

@@ -26,13 +26,13 @@ bool ContainsSubquery(const ra::ScalarExprPtr& expr) {
   return false;
 }
 
-/// DML expressions must be subquery-free: ExecuteDml evaluates them
-/// while holding the target table's shard locks exclusively and with no
-/// ReadGuard, so an EXISTS subquery would scan other tables with no
-/// locks held (racing their writers) and could even fan its scan onto
-/// the worker pool from inside the exclusive section. Statements that
-/// need one take the kParseError fall-back to cost-only simulation,
-/// like every other unsupported statement shape.
+/// DML expressions must be subquery-free: DmlImpl evaluates them under
+/// the target shard's write mutex with no ReadGuard, so an EXISTS
+/// subquery would scan other tables with no pinned snapshot (racing
+/// their writers) and could even fan its scan onto the worker pool from
+/// inside the write section. Statements that need one take the
+/// kParseError fall-back to cost-only simulation, like every other
+/// unsupported statement shape.
 bool DmlContainsSubquery(const sql::DmlStatement& stmt) {
   if (ContainsSubquery(stmt.predicate)) return true;
   for (const ra::ScalarExprPtr& e : stmt.insert_values) {
@@ -68,26 +68,43 @@ void Connection::set_metrics(obs::MetricsRegistry* metrics) {
   m_query_ns_ = metrics->histogram("net.query_ns");
 }
 
+Connection::~Connection() {
+  // A dropped connection must not leak a snapshot pin: an open
+  // transaction would hold the GC watermark back forever.
+  std::lock_guard<std::mutex> session(own_txn_->mu);
+  if (own_txn_->txn != nullptr) {
+    if (own_txn_->txn->active()) {
+      db_->txn_manager()->Rollback(own_txn_->txn.get());
+    }
+    own_txn_->txn.reset();
+  }
+}
+
 Outcome Connection::Perform(Request req) {
   using Kind = Request::Kind;
-  Kind kind = req.kind;
-  if (kind == Kind::kStatement) {
-    kind = IsDmlStatement(req.sql) ? Kind::kDml : Kind::kQuery;
-  }
+  Kind kind = ClassifyStatement(req.kind, req.sql);
+  TxnContext* ctx = req.txn != nullptr ? req.txn.get() : own_txn_.get();
+  // One session, one statement at a time: consecutive statements of the
+  // same logical session may arrive on different scheduler workers.
+  std::lock_guard<std::mutex> session(ctx->mu);
   switch (kind) {
     case Kind::kQuery: {
-      Result<exec::ResultSet> rs = QuerySqlImpl(req.sql, req.params);
+      Result<exec::ResultSet> rs = QuerySqlImpl(req.sql, req.params, ctx);
       if (!rs.ok()) return Outcome::FromError(rs.status());
       return Outcome::FromResultSet(std::move(*rs));
     }
     case Kind::kDml: {
-      Result<int64_t> n = DmlImpl(req.sql, req.params);
+      Result<int64_t> n = DmlImpl(req.sql, req.params, ctx);
       if (!n.ok()) return Outcome::FromError(n.status());
       return Outcome::FromRowCount(*n);
     }
     case Kind::kSimulateDml:
       SimulateUpdateImpl(req.sql);
       return Outcome::FromRowCount(0);
+    case Kind::kBegin:
+    case Kind::kCommit:
+    case Kind::kRollback:
+      return TxnControlImpl(kind, ctx);
     case Kind::kExplainExtraction:
       return Outcome::FromError(Status::Unsupported(
           "EXPLAIN EXTRACTION needs a Session (plan cache + optimizer); "
@@ -99,8 +116,11 @@ Outcome Connection::Perform(Request req) {
 }
 
 Outcome Connection::PerformPlanned(const ra::RaNodePtr& plan,
-                                   const std::vector<catalog::Value>& params) {
-  Result<exec::ResultSet> rs = QueryPlannedImpl(plan, params);
+                                   const std::vector<catalog::Value>& params,
+                                   TxnContext* txn_ctx) {
+  TxnContext* ctx = txn_ctx != nullptr ? txn_ctx : own_txn_.get();
+  std::lock_guard<std::mutex> session(ctx->mu);
+  Result<exec::ResultSet> rs = QueryPlannedImpl(plan, params, ctx);
   if (!rs.ok()) return Outcome::FromError(rs.status());
   return Outcome::FromResultSet(std::move(*rs));
 }
@@ -111,17 +131,20 @@ Outcome Connection::PerformPlanned(const ra::RaNodePtr& plan,
 // (enforced by a grep in scripts/verify.sh).
 Result<exec::ResultSet> Connection::ExecuteQuery(
     const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
-  return QueryPlannedImpl(plan, params);
+  std::lock_guard<std::mutex> session(own_txn_->mu);
+  return QueryPlannedImpl(plan, params, own_txn_.get());
 }
 
 Result<exec::ResultSet> Connection::ExecuteSql(
     std::string_view sql, const std::vector<catalog::Value>& params) {
-  return QuerySqlImpl(sql, params);
+  std::lock_guard<std::mutex> session(own_txn_->mu);
+  return QuerySqlImpl(sql, params, own_txn_.get());
 }
 
 Result<int64_t> Connection::ExecuteDml(
     std::string_view sql, const std::vector<catalog::Value>& params) {
-  return DmlImpl(sql, params);
+  std::lock_guard<std::mutex> session(own_txn_->mu);
+  return DmlImpl(sql, params, own_txn_.get());
 }
 
 void Connection::SimulateUpdate(std::string_view sql) {
@@ -129,16 +152,31 @@ void Connection::SimulateUpdate(std::string_view sql) {
 }
 
 Result<exec::ResultSet> Connection::QueryPlannedImpl(
-    const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
+    const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params,
+    TxnContext* txn_ctx) {
   DebugCheckThreadOwner();
   obs::ScopedSpan span("execute");
   const auto wall0 = std::chrono::steady_clock::now();
+  storage::Transaction* txn =
+      (txn_ctx->txn != nullptr && txn_ctx->txn->active())
+          ? txn_ctx->txn.get()
+          : nullptr;
   Result<exec::ResultSet> executed = [&] {
-    // Readers scale: pin and shard-shared-lock exactly the tables this
-    // plan scans. Writers to other tables — or to shards of these
-    // tables only after we release — are not excluded globally anymore.
-    storage::ReadGuard guard = storage::ReadGuard::Acquire(
-        *db_, ra::CollectScannedTables(plan), metrics_);
+    // Readers scale: pin exactly the tables this plan scans plus an
+    // MVCC snapshot — no shard lock is taken, so writers anywhere
+    // proceed. Inside an open transaction, read at the transaction's
+    // snapshot (its own pending writes are visible to it) and record
+    // the scanned tables for commit-time serialization validation.
+    std::vector<std::string> tables = ra::CollectScannedTables(plan);
+    storage::ReadGuard guard =
+        txn != nullptr
+            ? storage::ReadGuard::AcquireAt(*db_, tables, txn->snapshot())
+            : storage::ReadGuard::Acquire(*db_, tables, metrics_);
+    if (txn != nullptr) {
+      for (const std::string& t : tables) {
+        txn->RecordAccess(db_->SnapshotTable(t));
+      }
+    }
     executor_.set_read_guard(&guard);
     Result<exec::ResultSet> rs = executor_.Execute(plan, params);
     executor_.set_read_guard(nullptr);
@@ -198,10 +236,11 @@ Result<exec::ResultSet> Connection::QueryPlannedImpl(
 }
 
 Result<exec::ResultSet> Connection::QuerySqlImpl(
-    std::string_view sql, const std::vector<catalog::Value>& params) {
+    std::string_view sql, const std::vector<catalog::Value>& params,
+    TxnContext* txn_ctx) {
   EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan, sql::ParseSql(sql));
   if (trace_enabled_) pending_sql_ = std::string(sql);
-  return QueryPlannedImpl(plan, params);
+  return QueryPlannedImpl(plan, params, txn_ctx);
 }
 
 void Connection::SimulateUpdateImpl(std::string_view sql) {
@@ -222,7 +261,8 @@ void Connection::SimulateUpdateImpl(std::string_view sql) {
 }
 
 Result<int64_t> Connection::DmlImpl(
-    std::string_view sql, const std::vector<catalog::Value>& params) {
+    std::string_view sql, const std::vector<catalog::Value>& params,
+    TxnContext* txn_ctx) {
   DebugCheckThreadOwner();
   EQSQL_ASSIGN_OR_RETURN(sql::DmlStatement stmt, sql::ParseDml(sql));
   if (DmlContainsSubquery(stmt)) {
@@ -235,88 +275,191 @@ Result<int64_t> Connection::DmlImpl(
     return Status::NotFound("table not found: " + stmt.table);
   }
 
+  storage::TxnManager* mgr = db_->txn_manager();
+  const bool autocommit =
+      txn_ctx->txn == nullptr || !txn_ctx->txn->active();
+  std::shared_ptr<storage::Transaction> txn =
+      autocommit ? mgr->Begin() : txn_ctx->txn;
+
   int64_t affected = 0;
   size_t examined = 0;
   exec::EvalContext ctx(&params);
+  Status status = Status::OK();
+
   if (stmt.kind == sql::DmlStatement::Kind::kInsert) {
     if (stmt.insert_values.size() != table->schema().size()) {
-      return Status::InvalidArgument(
+      // Arity is schema-only: deterministic, observes no table state.
+      status = Status::InvalidArgument(
           "INSERT arity does not match schema of table " + stmt.table);
-    }
-    catalog::Row row;
-    row.reserve(stmt.insert_values.size());
-    for (const ra::ScalarExprPtr& e : stmt.insert_values) {
-      EQSQL_ASSIGN_OR_RETURN(catalog::Value v, executor_.Eval(e, &ctx));
-      row.push_back(std::move(v));
-    }
-    EQSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
-    affected = 1;
-    examined = 1;
-  } else {
-    if (table->unique_key().has_value()) {
-      const std::string key = AsciiToLower(*table->unique_key());
-      for (const auto& [col, expr] : stmt.assignments) {
-        if (AsciiToLower(col) == key) {
-          return Status::InvalidArgument(
-              "updating unique key column " + col + " of table " +
-              stmt.table + " is not supported");
+    } else {
+      catalog::Row row;
+      row.reserve(stmt.insert_values.size());
+      for (const ra::ScalarExprPtr& e : stmt.insert_values) {
+        Result<catalog::Value> v = executor_.Eval(e, &ctx);
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        row.push_back(std::move(*v));
+      }
+      if (status.ok()) {
+        status = table->InsertTxn(txn.get(), std::move(row));
+        examined = 1;
+        if (status.ok()) {
+          affected = 1;
+        } else if (status.code() != StatusCode::kTxnConflict) {
+          // A duplicate-key outcome observed the key slot's state at
+          // this snapshot: it must join the read-validation set, or a
+          // concurrent DELETE of that key would make commit-order
+          // replay disagree with the live outcome.
+          txn->RecordAccess(table);
         }
       }
     }
+  } else {
+    // UPDATE / DELETE read the table: the snapshot-visible match set is
+    // a read even when it is empty or the statement later fails.
+    txn->RecordAccess(table);
     std::vector<size_t> targets;
-    targets.reserve(stmt.assignments.size());
-    for (const auto& [col, expr] : stmt.assignments) {
-      EQSQL_ASSIGN_OR_RETURN(size_t idx, table->schema().ResolveColumn(col));
-      targets.push_back(idx);
-    }
-    const catalog::Schema& schema = table->schema();
-    EQSQL_RETURN_IF_ERROR(
-        table->ForEachRowExclusive([&](catalog::Row* row) -> Status {
-          ++examined;
-          ctx.PushFrame(&schema, row);
-          Status status = Status::OK();
-          bool pass = true;
-          if (stmt.predicate != nullptr) {
-            Result<catalog::Value> v = executor_.Eval(stmt.predicate, &ctx);
-            if (!v.ok()) {
-              status = v.status();
-            } else {
-              pass = exec::IsTruthy(*v);
-            }
+    if (stmt.kind == sql::DmlStatement::Kind::kUpdate) {
+      if (table->unique_key().has_value()) {
+        const std::string key = AsciiToLower(*table->unique_key());
+        for (const auto& [col, expr] : stmt.assignments) {
+          if (AsciiToLower(col) == key) {
+            status = Status::InvalidArgument(
+                "updating unique key column " + col + " of table " +
+                stmt.table + " is not supported");
           }
-          if (status.ok() && pass) {
-            // All assignments see the OLD row: `SET a = b, b = a` swaps.
-            std::vector<catalog::Value> fresh;
-            fresh.reserve(targets.size());
-            for (const auto& [col, expr] : stmt.assignments) {
-              Result<catalog::Value> v = executor_.Eval(expr, &ctx);
-              if (!v.ok()) {
-                status = v.status();
-                break;
-              }
-              fresh.push_back(std::move(*v));
+        }
+      }
+      targets.reserve(stmt.assignments.size());
+      for (const auto& [col, expr] : stmt.assignments) {
+        if (!status.ok()) break;
+        Result<size_t> idx = table->schema().ResolveColumn(col);
+        if (!idx.ok()) {
+          status = idx.status();
+          break;
+        }
+        targets.push_back(*idx);
+      }
+    }
+    if (status.ok()) {
+      const catalog::Schema& schema = table->schema();
+      auto pred = [&](const catalog::Row& row) -> Result<bool> {
+        ++examined;
+        if (stmt.predicate == nullptr) return true;
+        ctx.PushFrame(&schema, &row);
+        Result<catalog::Value> v = executor_.Eval(stmt.predicate, &ctx);
+        ctx.PopFrame();
+        if (!v.ok()) return v.status();
+        return exec::IsTruthy(*v);
+      };
+      Result<size_t> written = 0;
+      if (stmt.kind == sql::DmlStatement::Kind::kDelete) {
+        written = table->MutateRows(txn.get(), pred, nullptr);
+      } else {
+        auto mutate =
+            [&](const catalog::Row& row) -> Result<catalog::Row> {
+          // All assignments see the OLD row: `SET a = b, b = a` swaps.
+          ctx.PushFrame(&schema, &row);
+          std::vector<catalog::Value> fresh;
+          fresh.reserve(targets.size());
+          Status eval = Status::OK();
+          for (const auto& [col, expr] : stmt.assignments) {
+            Result<catalog::Value> v = executor_.Eval(expr, &ctx);
+            if (!v.ok()) {
+              eval = v.status();
+              break;
             }
-            if (status.ok()) {
-              for (size_t i = 0; i < targets.size(); ++i) {
-                (*row)[targets[i]] = std::move(fresh[i]);
-              }
-              ++affected;
-            }
+            fresh.push_back(std::move(*v));
           }
           ctx.PopFrame();
-          return status;
-        }));
+          EQSQL_RETURN_IF_ERROR(eval);
+          catalog::Row updated = row;
+          for (size_t i = 0; i < targets.size(); ++i) {
+            updated[targets[i]] = std::move(fresh[i]);
+          }
+          return updated;
+        };
+        written = table->MutateRows(txn.get(), pred, mutate);
+      }
+      if (written.ok()) {
+        affected = static_cast<int64_t>(*written);
+      } else {
+        status = written.status();
+      }
+    }
   }
 
-  ++stats_.queries_executed;
-  ++stats_.round_trips;
+  // Transaction resolution. A first-writer-wins conflict aborts the
+  // whole transaction (the statement's caller sees kTxnConflict and the
+  // session drops back to autocommit); any other statement error leaves
+  // an open transaction open. In autocommit the single-statement
+  // transaction commits — including the partial writes of a
+  // mid-statement evaluation error, matching the statement-level
+  // semantics of the paper's MyISAM evaluation server.
+  if (status.code() == StatusCode::kTxnConflict) {
+    mgr->Rollback(txn.get());
+    if (!autocommit) txn_ctx->txn.reset();
+  } else if (autocommit) {
+    Status commit = mgr->Commit(txn.get());
+    if (status.ok()) status = commit;
+  }
+  EQSQL_RETURN_IF_ERROR(status);
+
   size_t request_bytes = sql.size();
   for (const catalog::Value& p : params) request_bytes += p.WireSize();
+  ChargeStatement(request_bytes, examined);
+  return affected;
+}
+
+Outcome Connection::TxnControlImpl(Request::Kind kind, TxnContext* txn_ctx) {
+  DebugCheckThreadOwner();
+  storage::TxnManager* mgr = db_->txn_manager();
+  const bool open = txn_ctx->txn != nullptr && txn_ctx->txn->active();
+  Status status = Status::OK();
+  switch (kind) {
+    case Request::Kind::kBegin:
+      if (open) {
+        status = Status::InvalidArgument(
+            "a transaction is already open on this session");
+      } else {
+        txn_ctx->txn = mgr->Begin();
+      }
+      break;
+    case Request::Kind::kCommit:
+      // COMMIT/ROLLBACK with no open transaction are no-ops, as in
+      // MySQL. A failed COMMIT (kTxnConflict) has already rolled the
+      // transaction back inside the manager.
+      if (open) {
+        status = mgr->Commit(txn_ctx->txn.get());
+        txn_ctx->txn.reset();
+      }
+      break;
+    case Request::Kind::kRollback:
+      if (open) {
+        mgr->Rollback(txn_ctx->txn.get());
+        txn_ctx->txn.reset();
+      }
+      break;
+    default:
+      return Outcome::FromError(
+          Status::Internal("not a transaction-control request kind"));
+  }
+  // One round trip carrying just the keyword, no server-side row work.
+  ChargeStatement(/*request_bytes=*/8, /*server_rows=*/0);
+  if (!status.ok()) return Outcome::FromError(std::move(status));
+  return Outcome::FromRowCount(0);
+}
+
+void Connection::ChargeStatement(size_t request_bytes, size_t server_rows) {
+  ++stats_.queries_executed;
+  ++stats_.round_trips;
   stats_.bytes_transferred += static_cast<int64_t>(request_bytes);
   stats_.simulated_ms += model_.round_trip_latency_ms +
                          model_.query_overhead_ms +
                          model_.TransferMs(request_bytes) +
-                         model_.ServerMs(examined);
+                         model_.ServerMs(server_rows);
   PublishStats();
   if (m_queries_ != nullptr) {
     m_queries_->Increment();
@@ -324,7 +467,6 @@ Result<int64_t> Connection::DmlImpl(
     m_dml_statements_->Increment();
     m_bytes_transferred_->Add(static_cast<int64_t>(request_bytes));
   }
-  return affected;
 }
 
 Status Connection::CreateTempTable(const std::string& name,

@@ -35,10 +35,13 @@ struct QueryTrace {
 /// reports for Figures 8-11.
 ///
 /// Sharing model: many connections may target one storage::Database
-/// concurrently — queries pin the tables they scan with a
-/// storage::ReadGuard (per-shard shared locks), and DML locks only the
-/// shards it touches, so a writer on one table no longer excludes
-/// readers of every other table. One Connection itself is owned by a
+/// concurrently — queries pin an MVCC snapshot with a storage::ReadGuard
+/// (readers take no shard locks and never block writers), and DML
+/// installs pending versions under per-shard write mutexes, committing
+/// through the database's TxnManager. BEGIN/COMMIT/ROLLBACK manage the
+/// session transaction in the attached TxnContext; statements outside an
+/// open transaction autocommit (one statement = one transaction). One
+/// Connection itself is owned by a
 /// single thread at a time: its stats_ and trace_ accumulators are
 /// deliberately unsynchronized (they are per-session counters, and
 /// making them atomic would still leave torn multi-field reads). The
@@ -50,24 +53,43 @@ class Connection : public Client {
   explicit Connection(storage::Database* db, CostModel model = CostModel())
       : db_(db), model_(model), executor_(db) {}
 
+  /// Rolls back any transaction still open in the built-in context, so
+  /// a dropped connection never leaks a snapshot pin (which would stall
+  /// the version-GC watermark forever).
+  ~Connection();
+
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
+  /// Replaces the built-in transaction context with a shared one, so a
+  /// Session and its direct Connection (and any scheduler worker
+  /// executing the session's requests) agree on the open transaction.
+  void set_txn_context(std::shared_ptr<TxnContext> ctx) {
+    if (ctx != nullptr) own_txn_ = std::move(ctx);
+  }
+  const std::shared_ptr<TxnContext>& txn_context() const { return own_txn_; }
+
   /// The canonical entry point (net::Client): executes one Request on
-  /// the calling thread and returns its Outcome. kQuery holds every
-  /// scanned table's shard locks shared for the duration (via a
-  /// storage::ReadGuard pinning a consistent snapshot); kDml locks only
-  /// the shards it writes; kStatement classifies by first keyword.
-  /// kExplainExtraction is a Session-level request (it needs the plan
-  /// cache and optimizer) and comes back kUnsupported here. Priority
-  /// and timeout_ms are scheduling attributes — a direct Connection has
-  /// no queue, so they are ignored on this path.
+  /// the calling thread and returns its Outcome. kQuery reads at a
+  /// pinned MVCC snapshot (the open transaction's snapshot inside
+  /// BEGIN...COMMIT, a fresh one otherwise); kDml writes through the
+  /// transaction machinery, autocommitting when no transaction is open;
+  /// kBegin/kCommit/kRollback manage the session transaction; kStatement
+  /// classifies by first keyword. The request's TxnContext (or the
+  /// connection's built-in one when the request carries none) is locked
+  /// for the duration of the statement. kExplainExtraction is a
+  /// Session-level request (it needs the plan cache and optimizer) and
+  /// comes back kUnsupported here. Priority and timeout_ms are
+  /// scheduling attributes — a direct Connection has no queue, so they
+  /// are ignored on this path.
   Outcome Perform(Request req) override;
 
   /// Perform() for an already-parsed (typically plan-cache-shared)
-  /// relational-algebra plan: the scheduler's query hot path.
+  /// relational-algebra plan: the scheduler's query hot path. `txn_ctx`
+  /// null uses the connection's built-in context.
   Outcome PerformPlanned(const ra::RaNodePtr& plan,
-                         const std::vector<catalog::Value>& params = {});
+                         const std::vector<catalog::Value>& params = {},
+                         TxnContext* txn_ctx = nullptr);
 
   // DEPRECATED(issue-5): legacy entry point, use Perform(Request::Query)
   // or PerformPlanned. Kept as a thin shim for out-of-tree callers.
@@ -184,27 +206,46 @@ class Connection : public Client {
 
  private:
   /// The execution bodies behind Perform/PerformPlanned and the
-  /// deprecated shims. Cost accounting in here is byte-identical to the
-  /// pre-scheduler code paths (the shard-invariance suite compares the
-  /// simulated clock bit for bit).
+  /// deprecated shims. Callers hold the statement lock of the TxnContext
+  /// they pass. Cost accounting in here is deterministic and
+  /// shard-count-invariant (the shard-invariance suite compares the
+  /// simulated clock bit for bit across layouts).
   Result<exec::ResultSet> QueryPlannedImpl(
-      const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params);
-  Result<exec::ResultSet> QuerySqlImpl(
-      std::string_view sql, const std::vector<catalog::Value>& params);
-  /// INSERT locks exactly the one shard the new row lands in; UPDATE
-  /// walks the table shard by shard, holding one shard lock exclusively
-  /// at a time — concurrent readers of other shards (and other tables)
-  /// proceed. Assignments evaluate against the OLD row; updating the
-  /// unique-key column is rejected (it would invalidate key placement).
-  /// DML expressions must be subquery-free: they are evaluated inside
-  /// the exclusive shard section with no ReadGuard, so an EXISTS over
-  /// another table would race that table's writers. Parse failures
+      const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params,
+      TxnContext* txn_ctx);
+  Result<exec::ResultSet> QuerySqlImpl(std::string_view sql,
+                                       const std::vector<catalog::Value>& params,
+                                       TxnContext* txn_ctx);
+  /// Transactional DML. INSERT installs a pending version in the one
+  /// shard the new row lands in; UPDATE/DELETE walk the snapshot-visible
+  /// rows shard by shard (storage::Table::MutateRows), installing
+  /// pending versions / tombstones. Outside an open transaction the
+  /// statement autocommits; inside one, writes stay pending until
+  /// COMMIT. A first-writer-wins conflict (kTxnConflict) rolls the whole
+  /// transaction back; other statement errors (duplicate key, eval
+  /// error) fail only the statement and leave the transaction open.
+  /// Assignments evaluate against the OLD row; updating the unique-key
+  /// column is rejected (it would invalidate key placement). DML
+  /// expressions must be subquery-free: they are evaluated under the
+  /// target shard's write mutex with no ReadGuard. Parse failures
   /// (including the subquery restriction) and missing tables come back
   /// as kParseError / kNotFound so callers (the interpreter's
   /// executeUpdate) can fall back to cost-only simulation.
   Result<int64_t> DmlImpl(std::string_view sql,
-                          const std::vector<catalog::Value>& params);
+                          const std::vector<catalog::Value>& params,
+                          TxnContext* txn_ctx);
+  /// BEGIN/COMMIT/ROLLBACK bodies. COMMIT and ROLLBACK outside a
+  /// transaction are no-ops (MySQL semantics); BEGIN inside an open
+  /// transaction is an error. COMMIT surfaces kTxnConflict when
+  /// serialization validation fails (the transaction is already rolled
+  /// back by then).
+  Outcome TxnControlImpl(Request::Kind kind, TxnContext* txn_ctx);
   void SimulateUpdateImpl(std::string_view sql);
+
+  /// Charges one round-trip statement of `request_bytes` with
+  /// `server_rows` of server-side work onto the simulated clock and the
+  /// net.* counters (the shared accounting of DML and txn control).
+  void ChargeStatement(size_t request_bytes, size_t server_rows);
 
   /// Latches the calling thread as owner on first use; asserts (debug
   /// builds) that every later stats-mutating call is from that thread.
@@ -246,6 +287,9 @@ class Connection : public Client {
   storage::Database* db_;
   CostModel model_;
   exec::Executor executor_;
+  /// The built-in session transaction context (replaceable via
+  /// set_txn_context; requests may carry their own).
+  std::shared_ptr<TxnContext> own_txn_ = std::make_shared<TxnContext>();
   ConnectionStats stats_;
   SharedStats shared_stats_;
   obs::MetricsRegistry* metrics_ = nullptr;

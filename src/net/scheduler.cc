@@ -176,9 +176,7 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
       IsShowMetricsStatement(req.sql)) {
     return ShowMetricsOutcome();
   }
-  if (kind == Kind::kStatement) {
-    kind = IsDmlStatement(req.sql) ? Kind::kDml : Kind::kQuery;
-  }
+  kind = ClassifyStatement(kind, req.sql);
   switch (kind) {
     case Kind::kQuery: {
       // Resolve the plan through the shared cache: repeated statement
@@ -186,10 +184,15 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
       Result<ra::RaNodePtr> plan =
           server_->plan_cache()->GetOrParseSql(req.sql);
       if (!plan.ok()) return Outcome::FromError(plan.status());
-      return conn->PerformPlanned(*plan, req.params);
+      // Thread the session's transaction context through so a SELECT
+      // inside an open transaction reads at the transaction snapshot.
+      return conn->PerformPlanned(*plan, req.params, req.txn.get());
     }
     case Kind::kDml:
-    case Kind::kSimulateDml: {
+    case Kind::kSimulateDml:
+    case Kind::kBegin:
+    case Kind::kCommit:
+    case Kind::kRollback: {
       Request forced = req;
       forced.kind = kind;
       return conn->Perform(std::move(forced));

@@ -36,6 +36,7 @@ Server::Server(ServerOptions options)
   // or not metrics are on.
   plan_cache_.set_metrics(&metrics_);
   pool_.set_metrics(&metrics_);
+  db_.set_metrics(&metrics_);
   options_.optimize.metrics = &metrics_;
   // Last: the scheduler's workers touch everything above, so it is the
   // final member built and (being declared last) the first destroyed.
@@ -117,6 +118,7 @@ ServerStats Server::stats() const {
 Session::~Session() { server_->CloseSession(id_, conn_.stats()); }
 
 std::future<Outcome> Session::Submit(Request req) {
+  if (req.txn == nullptr) req.txn = txn_ctx_;
   return server_->scheduler_->Submit(std::move(req));
 }
 

@@ -169,8 +169,11 @@ class Session : public Client {
   /// on rejection (kOverloaded queue-full backpressure, kShuttingDown
   /// drain) it is already ready. "SHOW METRICS" answers with every
   /// counter plus <histogram>.count/.p50/.p99/.max rows, without
-  /// touching storage. May be called from the session's owner thread;
-  /// the returned future may be waited anywhere.
+  /// touching storage. Requests that carry no TxnContext are stamped
+  /// with this session's, so BEGIN/COMMIT/ROLLBACK and the statements
+  /// between them belong to one transaction no matter which scheduler
+  /// worker executes each of them. May be called from the session's
+  /// owner thread; the returned future may be waited anywhere.
   std::future<Outcome> Submit(Request req);
 
   /// Blocking wrapper: Submit + wait.
@@ -225,10 +228,18 @@ class Session : public Client {
     conn_.set_worker_pool(&server->pool_);
     conn_.set_parallel_threshold(server->options_.parallel_threshold);
     conn_.set_metrics(&server->metrics_);
+    // Direct connection() calls and scheduler-executed requests share
+    // one transaction context (~Connection rolls back anything left
+    // open, so a dropped session never stalls the GC watermark).
+    conn_.set_txn_context(txn_ctx_);
   }
 
   Server* server_;
   int64_t id_;
+  /// This session's transaction state, shared with conn_ and stamped
+  /// onto every Submit()ed request. Declared before conn_ so the
+  /// context outlives the connection's destructor-time rollback.
+  std::shared_ptr<TxnContext> txn_ctx_ = std::make_shared<TxnContext>();
   Connection conn_;
 };
 

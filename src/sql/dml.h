@@ -15,28 +15,29 @@ namespace eqsql::sql {
 ///
 ///   INSERT INTO table VALUES ( expr, ... )
 ///   UPDATE table SET col = expr [, col = expr ...] [WHERE pred]
+///   DELETE FROM table [WHERE pred]
 ///
 /// Value / assignment / predicate expressions reuse the query
 /// expression grammar: positional '?' parameters, arithmetic, CASE,
 /// etc. Assignment and predicate column references are the target
 /// table's (unqualified) column names and resolve against the OLD row
-/// — `SET a = b, b = a` swaps, as in SQL.
+/// — `SET a = b, b = a` swaps, as in SQL. DELETE predicates likewise
+/// see the candidate row's columns.
 struct DmlStatement {
-  enum class Kind { kInsert, kUpdate };
+  enum class Kind { kInsert, kUpdate, kDelete };
   Kind kind = Kind::kInsert;
   std::string table;
   /// kInsert: one expression per column, in schema order.
   std::vector<ra::ScalarExprPtr> insert_values;
   /// kUpdate: (column name, new-value expression) pairs.
   std::vector<std::pair<std::string, ra::ScalarExprPtr>> assignments;
-  /// kUpdate: optional WHERE predicate (nullptr = all rows).
+  /// kUpdate / kDelete: optional WHERE predicate (nullptr = all rows).
   ra::ScalarExprPtr predicate;
 };
 
-/// Parses an INSERT or UPDATE statement. Anything else (including the
-/// DELETE statements some workloads issue) fails with kParseError —
-/// net::Connection then falls back to cost-only simulation, matching
-/// the pre-DML engine.
+/// Parses an INSERT, UPDATE or DELETE statement. Anything else fails
+/// with kParseError — net::Connection then falls back to cost-only
+/// simulation, matching the pre-DML engine.
 Result<DmlStatement> ParseDml(std::string_view input);
 
 }  // namespace eqsql::sql

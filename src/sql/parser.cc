@@ -81,8 +81,15 @@ class Parser {
       if (MatchKeyword("WHERE")) {
         EQSQL_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
       }
+    } else if (MatchKeyword("DELETE")) {
+      stmt.kind = DmlStatement::Kind::kDelete;
+      EQSQL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+      EQSQL_ASSIGN_OR_RETURN(stmt.table, ParseBareIdentifier("table name"));
+      if (MatchKeyword("WHERE")) {
+        EQSQL_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
+      }
     } else {
-      return Status::ParseError("expected INSERT or UPDATE before '" +
+      return Status::ParseError("expected INSERT, UPDATE or DELETE before '" +
                                 Peek().text + "'");
     }
     if (!AtEnd()) {

@@ -22,7 +22,8 @@ Result<Table*> Database::CreateTable(const std::string& name,
   if (tables_.count(key) > 0) {
     return Status::InvalidArgument("table already exists: " + name);
   }
-  auto table = std::make_shared<Table>(name, std::move(schema), shard_count_);
+  auto table =
+      std::make_shared<Table>(name, std::move(schema), shard_count_, &txns_);
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return raw;
@@ -59,6 +60,9 @@ std::shared_ptr<Table> Database::SnapshotTable(const std::string& name) {
 
 void Database::PublishTable(std::shared_ptr<Table> table) {
   std::string key = AsciiToLower(table->name());
+  // Offline-built tables adopt this database's transaction coordinator
+  // at publication, so later transactional writes stamp consistently.
+  table->set_txn_manager(&txns_);
   std::unique_lock<std::shared_mutex> lock(registry_mu_);
   tables_[std::move(key)] = std::move(table);
 }
@@ -71,6 +75,21 @@ bool Database::HasTable(const std::string& name) const {
 void Database::DropTable(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(registry_mu_);
   tables_.erase(AsciiToLower(name));
+}
+
+void Database::Vacuum() {
+  // Collect table references under the registry lock, then vacuum
+  // without it (registry_mu_ is a leaf lock and must not be held while
+  // shard write locks are taken).
+  std::vector<std::shared_ptr<Table>> tables;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    tables.reserve(tables_.size());
+    for (const auto& [key, table] : tables_) tables.push_back(table);
+  }
+  const Ts watermark = txns_.Watermark();
+  for (const auto& table : tables) table->Vacuum(watermark, &txns_);
+  txns_.SweepRetired();
 }
 
 std::vector<std::string> Database::TableNames() const {

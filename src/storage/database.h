@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
+#include "storage/txn.h"
 
 namespace eqsql::storage {
 
@@ -39,6 +41,9 @@ struct DatabaseOptions {
 ///    snapshot (storage::ReadGuard) while another session drops or
 ///    replaces the registry entry; the dropped table stays alive until
 ///    the last in-flight reader releases it.
+///  * The database owns the TxnManager: the commit clock, transaction
+///    ids, snapshot pins and the version retire list are database-wide,
+///    so snapshots are consistent across tables.
 class Database {
  public:
   Database() = default;
@@ -79,6 +84,22 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  /// The database-wide transaction coordinator. Const-qualified callers
+  /// (read guards pinning snapshots) still need to mutate pin state,
+  /// hence the mutable member behind a const accessor.
+  TxnManager* txn_manager() const { return &txns_; }
+
+  /// One version-GC pass: computes the watermark once, vacuums every
+  /// table, then frees retired versions no pinned reader can reach.
+  /// Safe to run concurrently with readers and writers; callers
+  /// serialize multiple GC threads externally (net::Server runs one).
+  void Vacuum();
+
+  /// Resolves storage.mvcc.* counter handles on the TxnManager.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    txns_.set_metrics(metrics);
+  }
+
  private:
   /// Guards tables_ itself (leaf lock; never held while acquiring any
   /// table shard lock).
@@ -86,6 +107,7 @@ class Database {
   /// Keyed by lowercase name; Table::name() preserves original spelling.
   std::map<std::string, std::shared_ptr<Table>> tables_;
   size_t shard_count_ = 1;
+  mutable TxnManager txns_;
 };
 
 }  // namespace eqsql::storage

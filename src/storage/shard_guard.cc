@@ -5,48 +5,76 @@
 
 #include "common/strings.h"
 #include "obs/trace.h"
+#include "storage/txn.h"
 
 namespace eqsql::storage {
 
-ReadGuard ReadGuard::Acquire(const Database& db,
-                             const std::vector<std::string>& tables,
-                             obs::MetricsRegistry* metrics) {
-  obs::ScopedSpan span("lock-acquire");
+namespace {
+
+/// Deduplicated lowercase names, sorted for deterministic guard layout.
+std::vector<std::string> CanonicalKeys(const std::vector<std::string>& tables) {
   std::vector<std::string> keys;
   keys.reserve(tables.size());
   for (const std::string& t : tables) keys.push_back(AsciiToLower(t));
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+ReadGuard ReadGuard::Acquire(const Database& db,
+                             const std::vector<std::string>& tables,
+                             obs::MetricsRegistry* metrics) {
+  obs::ScopedSpan span("snapshot-pin");
+  // Resolve the histogram handle first (leaf-lock rule: the registry
+  // mutex never nests inside storage synchronization).
+  obs::Histogram* lock_wait =
+      metrics == nullptr ? nullptr : metrics->histogram("storage.lock_wait_ns");
+  const auto t0 = std::chrono::steady_clock::now();
 
   ReadGuard guard;
-  for (std::string& key : keys) {
+  for (std::string& key : CanonicalKeys(tables)) {
     std::shared_ptr<const Table> table = db.SnapshotTable(key);
     if (table == nullptr) continue;  // execution reports kNotFound later
     guard.keys_.push_back(std::move(key));
     guard.tables_.push_back(std::move(table));
   }
-  // All snapshots taken (registry lock released each time); now lock —
-  // canonical order: by sorted table name; within a table the topology
-  // lock (shared, so shard_count/shard_mutex are stable and no
-  // repartition can free the mutexes while we hold them), then shards
-  // in ascending index order.
-  // Resolve the histogram handle before any lock is taken: the registry
-  // mutex is a leaf lock and must never nest inside shard locks.
-  obs::Histogram* lock_wait =
-      metrics == nullptr ? nullptr : metrics->histogram("storage.lock_wait_ns");
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& table : guard.tables_) {
-    guard.topology_locks_.emplace_back(table->topology_mutex());
-    for (size_t i = 0; i < table->shard_count(); ++i) {
-      guard.locks_.emplace_back(table->shard_mutex(i));
-    }
-  }
+  // Pin after the registry snapshot: the pin reads the commit clock
+  // under the manager's mutex, so every version committed at or before
+  // snapshot().ts is fully stamped by the time we read it.
+  TxnManager* mgr = db.txn_manager();
+  guard.snap_ = Snapshot{mgr->PinSnapshot(), 0};
+  guard.pinned_in_ = mgr;
+
   if (lock_wait != nullptr) {
     lock_wait->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
                           std::chrono::steady_clock::now() - t0)
                           .count());
   }
   return guard;
+}
+
+ReadGuard ReadGuard::AcquireAt(const Database& db,
+                               const std::vector<std::string>& tables,
+                               Snapshot snap) {
+  obs::ScopedSpan span("snapshot-pin");
+  ReadGuard guard;
+  for (std::string& key : CanonicalKeys(tables)) {
+    std::shared_ptr<const Table> table = db.SnapshotTable(key);
+    if (table == nullptr) continue;
+    guard.keys_.push_back(std::move(key));
+    guard.tables_.push_back(std::move(table));
+  }
+  guard.snap_ = snap;  // the owning transaction holds the lifetime pin
+  return guard;
+}
+
+void ReadGuard::Release() {
+  if (pinned_in_ != nullptr) {
+    pinned_in_->Unpin(snap_.ts);
+    pinned_in_ = nullptr;
+  }
 }
 
 const Table* ReadGuard::Find(const std::string& name) const {

@@ -2,29 +2,24 @@
 #define EQSQL_STORAGE_SHARD_GUARD_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "storage/database.h"
+#include "storage/mvcc.h"
 
 namespace eqsql::storage {
 
 /// Pins a read-consistent view of a set of tables for the duration of a
-/// query: an owning snapshot of each table (so a concurrent DROP cannot
-/// free it) plus shared locks on every shard of every table (so
-/// concurrent DML cannot mutate rows mid-scan).
-///
-/// Deadlock-freedom: locks are acquired in a canonical global order —
-/// tables sorted by lowercase name, and within a table the topology
-/// lock (shared) first, then shards in ascending index order. Table
-/// write methods follow the same topology-then-ascending-shard rule,
-/// and the registry lock is never held while shard locks are acquired,
-/// so all lock acquisition orders are consistent. The shared topology
-/// hold lasts as long as the shard locks: it is what keeps
-/// SetShardCount/DeclareUniqueKey from rebuilding the shard vector
-/// (and freeing the mutexes we hold) mid-query.
+/// query: an owning snapshot of each table object (so a concurrent DROP
+/// cannot free it) plus a pinned MVCC snapshot timestamp. Execution
+/// resolves row visibility against snapshot(); no shard lock is taken
+/// or held, so a query never blocks a writer and a writer never blocks
+/// a query — at any shard count. The pin registers with the database's
+/// TxnManager so version GC cannot reclaim anything this reader can
+/// still see.
 ///
 /// Tables named but absent from the database are silently skipped:
 /// execution will then report its usual kNotFound error when it
@@ -32,37 +27,56 @@ namespace eqsql::storage {
 /// unsharded engine.
 class ReadGuard {
  public:
-  /// Snapshots and shard-shared-locks `tables` (any case, duplicates
-  /// fine) from `db`. With a registry, the total time spent blocked on
-  /// lock acquisition is recorded in the storage.lock_wait_ns histogram
-  /// (the registry itself is only consulted before and after locking —
-  /// never while any shard lock is held).
+  /// Snapshots `tables` (any case, duplicates fine) from `db` and pins
+  /// a fresh snapshot at the current commit clock. With a registry, the
+  /// (now lock-free) acquisition time still lands in the
+  /// storage.lock_wait_ns histogram so existing dashboards keep their
+  /// series.
   static ReadGuard Acquire(const Database& db,
                            const std::vector<std::string>& tables,
                            obs::MetricsRegistry* metrics = nullptr);
 
+  /// Snapshots `tables` but reads at `snap` instead of pinning a fresh
+  /// timestamp — used inside an open transaction, whose own lifetime
+  /// pin already protects the snapshot from GC.
+  static ReadGuard AcquireAt(const Database& db,
+                             const std::vector<std::string>& tables,
+                             Snapshot snap);
+
   ReadGuard() = default;
-  ReadGuard(ReadGuard&&) = default;
-  ReadGuard& operator=(ReadGuard&&) = default;
+  ReadGuard(ReadGuard&& other) noexcept { *this = std::move(other); }
+  ReadGuard& operator=(ReadGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      keys_ = std::move(other.keys_);
+      tables_ = std::move(other.tables_);
+      snap_ = other.snap_;
+      pinned_in_ = std::exchange(other.pinned_in_, nullptr);
+    }
+    return *this;
+  }
   ReadGuard(const ReadGuard&) = delete;
   ReadGuard& operator=(const ReadGuard&) = delete;
-  ~ReadGuard() = default;  // locks_ unlock, then snapshots release
+  ~ReadGuard() { Release(); }
 
   /// The pinned table with this (case-insensitive) name, or nullptr if
   /// it was not covered by this guard.
   const Table* Find(const std::string& name) const;
 
+  /// The snapshot every read through this guard resolves against.
+  const Snapshot& snapshot() const { return snap_; }
+
   bool empty() const { return tables_.empty(); }
 
  private:
+  void Release();
+
   /// Lowercase names, parallel to tables_.
   std::vector<std::string> keys_;
   std::vector<std::shared_ptr<const Table>> tables_;
-  /// Declared before locks_: members destroy in reverse order, so the
-  /// shard locks release first, then the topology holds, then the
-  /// snapshots.
-  std::vector<std::shared_lock<std::shared_mutex>> topology_locks_;
-  std::vector<std::shared_lock<std::shared_mutex>> locks_;
+  Snapshot snap_ = Snapshot::Latest();
+  /// Non-null while this guard owns a pin in the manager.
+  TxnManager* pinned_in_ = nullptr;
 };
 
 }  // namespace eqsql::storage

@@ -2,41 +2,104 @@
 
 #include <algorithm>
 #include <mutex>
+#include <utility>
+
+#include "storage/txn.h"
 
 namespace eqsql::storage {
 
-namespace {
-
-/// Locks every shard mutex exclusively, in ascending shard order (the
-/// table-wide lock-ordering rule; see DESIGN.md). Unlocks in reverse.
-class AllShardsExclusive {
- public:
-  explicit AllShardsExclusive(const std::vector<std::shared_mutex*>& mus)
-      : mus_(mus) {
-    for (std::shared_mutex* mu : mus_) mu->lock();
+TableSlot::~TableSlot() {
+  Version* v = head.load(std::memory_order_acquire);
+  while (v != nullptr) {
+    Version* next = v->next.load(std::memory_order_acquire);
+    delete v;
+    v = next;
   }
-  ~AllShardsExclusive() {
-    for (auto it = mus_.rbegin(); it != mus_.rend(); ++it) (*it)->unlock();
+}
+
+const Version* TableSlot::VisibleVersion(const Snapshot& snap) const {
+  for (const Version* v = head.load(std::memory_order_acquire); v != nullptr;
+       v = v->next.load(std::memory_order_acquire)) {
+    Ts b = v->begin.load(std::memory_order_acquire);
+    Ts e = v->end.load(std::memory_order_acquire);
+    if (TsVisible(b, e, snap)) return v;
   }
+  return nullptr;
+}
 
- private:
-  std::vector<std::shared_mutex*> mus_;
-};
+const catalog::Row* TableSlot::VisibleRow(const Snapshot& snap) const {
+  const Version* v = VisibleVersion(snap);
+  return v == nullptr ? nullptr : &v->row;
+}
 
-}  // namespace
+Version* Table::NewestMeaningful(const Slot& slot) {
+  for (Version* v = slot.head.load(std::memory_order_acquire); v != nullptr;
+       v = v->next.load(std::memory_order_acquire)) {
+    if (v->begin.load(std::memory_order_acquire) != kTsAborted) return v;
+  }
+  return nullptr;
+}
 
-std::vector<catalog::Row> Table::rows() const {
-  std::vector<catalog::Row> out(row_count());
-  for (const auto& shard : shards_) {
-    for (const Slot& slot : shard->slots) {
-      if (slot.seq < out.size()) out[slot.seq] = slot.row;
+Status Table::CheckWritable(const Slot& slot, const Version* expected,
+                            const Transaction& txn) const {
+  Version* newest = NewestMeaningful(slot);
+  if (newest != expected) {
+    return Status::TxnConflict("write-write conflict on table " + name_ +
+                               ": row version superseded since snapshot " +
+                               std::to_string(txn.snapshot().ts));
+  }
+  if (newest == nullptr) return Status::OK();
+  Ts end = newest->end.load(std::memory_order_acquire);
+  if (end == kTsInfinity) return Status::OK();
+  if (TsIsPending(end) && TsPendingTxn(end) == txn.id()) return Status::OK();
+  return Status::TxnConflict(
+      "write-write conflict on table " + name_ +
+      ": row deleted by a concurrent transaction (snapshot " +
+      std::to_string(txn.snapshot().ts) + ")");
+}
+
+std::vector<catalog::Row> Table::rows(const Snapshot& snap) const {
+  std::vector<std::pair<size_t, catalog::Row>> acc;
+  {
+    std::shared_lock<std::shared_mutex> topology(topology_mu_);
+    for (const auto& shard : shards_) {
+      std::vector<std::shared_ptr<Slot>> local;
+      {
+        std::shared_lock<std::shared_mutex> sl(shard->struct_mu);
+        local = shard->slots;
+      }
+      for (const auto& slot : local) {
+        const catalog::Row* row = slot->VisibleRow(snap);
+        if (row != nullptr) acc.emplace_back(slot->seq, *row);
+      }
     }
   }
+  std::sort(acc.begin(), acc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<catalog::Row> out;
+  out.reserve(acc.size());
+  for (auto& p : acc) out.push_back(std::move(p.second));
   return out;
 }
 
 size_t Table::ShardOfKey(const catalog::Value& key) const {
   return catalog::ValueHash()(key) % shards_.size();
+}
+
+std::shared_ptr<Table::Slot> Table::InstallNewSlot(Shard* shard,
+                                                   catalog::Row row, Ts begin,
+                                                   const catalog::Value* key,
+                                                   size_t seq) {
+  auto slot = std::make_shared<Slot>(seq);
+  slot->head.store(new Version(std::move(row), begin),
+                   std::memory_order_release);
+  {
+    std::unique_lock<std::shared_mutex> sl(shard->struct_mu);
+    shard->slots.push_back(slot);
+    if (key != nullptr) shard->index.emplace(*key, slot);
+  }
+  if (txns_ != nullptr) txns_->NoteVersionInstalled();
+  return slot;
 }
 
 Status Table::Insert(catalog::Row row) {
@@ -46,37 +109,175 @@ Status Table::Insert(catalog::Row row) {
         schema_.ToString() + " of table " + name_);
   }
   // Shared topology hold: keeps a concurrent Repartition from freeing
-  // the Shard this insert is about to lock (or has picked but not yet
-  // locked) out from under us.
+  // the Shard this insert is about to lock out from under us.
   std::shared_lock<std::shared_mutex> topology(topology_mu_);
+  // Setup-path stamp: committed as of the current clock, so every
+  // snapshot pinned from now on sees the row.
+  const Ts begin = txns_ == nullptr ? 1 : txns_->clock();
   if (unique_key_.has_value()) {
     const catalog::Value key = row[key_index_col_];
     Shard& shard = *shards_[ShardOfKey(key)];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    if (shard.index.count(key) > 0) {
+    std::lock_guard<std::mutex> write(shard.write_mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() &&
+        it->second->VisibleVersion(Snapshot::Latest()) != nullptr) {
       return Status::InvalidArgument("duplicate key " + key.ToString() +
                                      " in table " + name_);
     }
-    size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
-    shard.index.emplace(std::move(key), shard.slots.size());
-    shard.slots.push_back(Slot{seq, std::move(row)});
+    if (it != shard.index.end()) {
+      // Key slot exists but holds no live row (deleted): stack the
+      // reinserted row on the same slot.
+      Slot& slot = *it->second;
+      Version* nv = new Version(std::move(row), begin);
+      nv->next.store(slot.head.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+      slot.head.store(nv, std::memory_order_release);
+      if (txns_ != nullptr) txns_->NoteVersionInstalled();
+    } else {
+      size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+      InstallNewSlot(&shard, std::move(row), begin, &key, seq);
+    }
   } else {
+    // Round-robin placement: the sequence number decides the shard, so
+    // single-threaded bulk loads fill shards exactly as the unsharded
+    // engine's scan order expects.
     size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
     Shard& shard = *shards_[seq % shards_.size()];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    shard.slots.push_back(Slot{seq, std::move(row)});
+    std::lock_guard<std::mutex> write(shard.write_mu);
+    InstallNewSlot(&shard, std::move(row), begin, nullptr, seq);
   }
   size_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
+Status Table::InsertTxn(Transaction* txn, catalog::Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString() + " of table " + name_);
+  }
+  const Ts pending = TsPendingFor(txn->id());
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
+  if (unique_key_.has_value()) {
+    const catalog::Value key = row[key_index_col_];
+    Shard& shard = *shards_[ShardOfKey(key)];
+    std::lock_guard<std::mutex> write(shard.write_mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Slot& slot = *it->second;
+      Version* newest = NewestMeaningful(slot);
+      if (newest != nullptr) {
+        Ts b = newest->begin.load(std::memory_order_acquire);
+        Ts e = newest->end.load(std::memory_order_acquire);
+        const bool own_begin =
+            TsIsPending(b) && TsPendingTxn(b) == txn->id();
+        if (TsIsPending(b) && !own_begin) {
+          return Status::TxnConflict("write-write conflict on table " + name_ +
+                                     ": key " + key.ToString() +
+                                     " inserted by an uncommitted transaction");
+        }
+        if (!TsIsPending(b) && b > txn->snapshot().ts) {
+          return Status::TxnConflict("write-write conflict on table " + name_ +
+                                     ": key " + key.ToString() +
+                                     " committed after snapshot");
+        }
+        if (e == kTsInfinity) {
+          return Status::InvalidArgument("duplicate key " + key.ToString() +
+                                         " in table " + name_);
+        }
+        if (TsIsPending(e)) {
+          if (TsPendingTxn(e) != txn->id()) {
+            return Status::TxnConflict(
+                "write-write conflict on table " + name_ + ": key " +
+                key.ToString() + " deleted by an uncommitted transaction");
+          }
+          // We deleted it ourselves: reinsert stacks a new version.
+        } else if (e > txn->snapshot().ts) {
+          return Status::TxnConflict("write-write conflict on table " + name_ +
+                                     ": key " + key.ToString() +
+                                     " deleted after snapshot");
+        }
+      }
+      Version* nv = new Version(std::move(row), pending);
+      nv->next.store(slot.head.load(std::memory_order_acquire),
+                     std::memory_order_relaxed);
+      slot.head.store(nv, std::memory_order_release);
+      if (txns_ != nullptr) txns_->NoteVersionInstalled();
+      txn->RecordWrite(WriteRecord{weak_from_this().lock(), this, it->second,
+                                   nv, nullptr, 1});
+    } else {
+      size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+      std::shared_ptr<Slot> slot =
+          InstallNewSlot(&shard, std::move(row), pending, &key, seq);
+      txn->RecordWrite(WriteRecord{weak_from_this().lock(), this, slot,
+                                   slot->head.load(std::memory_order_acquire),
+                                   nullptr, 1});
+    }
+  } else {
+    size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+    Shard& shard = *shards_[seq % shards_.size()];
+    std::lock_guard<std::mutex> write(shard.write_mu);
+    std::shared_ptr<Slot> slot =
+        InstallNewSlot(&shard, std::move(row), pending, nullptr, seq);
+    txn->RecordWrite(WriteRecord{weak_from_this().lock(), this, slot,
+                                 slot->head.load(std::memory_order_acquire),
+                                 nullptr, 1});
+  }
+  return Status::OK();
+}
+
+Result<size_t> Table::MutateRows(
+    Transaction* txn,
+    const std::function<Result<bool>(const catalog::Row&)>& pred,
+    const std::function<Result<catalog::Row>(const catalog::Row&)>& mutate) {
+  const Ts pending = TsPendingFor(txn->id());
+  size_t written = 0;
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> write(shard->write_mu);
+    // Slot vectors mutate only under write_mu (writers, GC), so holding
+    // it makes the plain iteration safe.
+    for (const auto& slot : shard->slots) {
+      const Version* vis = slot->VisibleVersion(txn->snapshot());
+      if (vis == nullptr) continue;
+      EQSQL_ASSIGN_OR_RETURN(bool matched, pred(vis->row));
+      if (!matched) continue;
+      EQSQL_RETURN_IF_ERROR(CheckWritable(*slot, vis, *txn));
+      Version* old_version = const_cast<Version*>(vis);
+      if (mutate == nullptr) {
+        old_version->end.store(pending, std::memory_order_release);
+        txn->RecordWrite(WriteRecord{weak_from_this().lock(), this, slot,
+                                     nullptr, old_version, -1});
+      } else {
+        EQSQL_ASSIGN_OR_RETURN(catalog::Row new_row, mutate(vis->row));
+        if (new_row.size() != schema_.size()) {
+          return Status::InvalidArgument(
+              "updated row arity " + std::to_string(new_row.size()) +
+              " does not match schema of table " + name_);
+        }
+        Version* nv = new Version(std::move(new_row), pending);
+        nv->next.store(slot->head.load(std::memory_order_acquire),
+                       std::memory_order_relaxed);
+        slot->head.store(nv, std::memory_order_release);
+        old_version->end.store(pending, std::memory_order_release);
+        if (txns_ != nullptr) txns_->NoteVersionInstalled();
+        txn->RecordWrite(
+            WriteRecord{weak_from_this().lock(), this, slot, nv, old_version, 0});
+      }
+      ++written;
+    }
+  }
+  return written;
+}
+
 Status Table::Repartition(size_t new_count, const std::string* new_key) {
   // Exclusive topology hold: every other path that touches shards_ —
-  // Insert, Clear, ForEachRowExclusive, and external readers via
-  // ReadGuard — holds topology_mu_ shared for as long as it holds any
-  // shard lock, so once we own it exclusively no thread can be reading
-  // a Shard or blocked on one of its mutexes, and the old Shard
-  // objects are safe to free at function exit.
+  // writers, readers pinning slots, GC — holds topology_mu_ shared for
+  // the duration of its shard access, so once we own it exclusively no
+  // thread can be inside a Shard, and the old Shard objects are safe
+  // to free at function exit. Version chains move wholesale with their
+  // slots: pending versions and in-flight transactions' slot
+  // references stay valid.
   std::unique_lock<std::shared_mutex> topology(topology_mu_);
 
   std::optional<std::string> key = unique_key_;
@@ -87,46 +288,66 @@ Status Table::Repartition(size_t new_count, const std::string* new_key) {
   }
 
   // Phase 1: validate. Compute every slot's target shard and run the
-  // uniqueness check over slot *references* — no row moves until the
-  // whole placement is known to succeed, so a duplicate-key error
-  // leaves the table exactly as it was.
-  std::vector<Slot*> all;
-  all.reserve(row_count());
+  // uniqueness check over live rows — no slot moves until the whole
+  // placement is known to succeed, so a duplicate-key error leaves the
+  // table exactly as it was. A slot counts against uniqueness when its
+  // newest meaningful version is live (end infinity) or mid-write
+  // (pending end — the owner may roll the delete back).
+  std::vector<std::shared_ptr<Slot>> all;
+  all.reserve(next_seq_.load(std::memory_order_acquire));
   for (const auto& s : shards_) {
-    for (Slot& slot : s->slots) all.push_back(&slot);
+    for (const auto& slot : s->slots) {
+      if (slot->head.load(std::memory_order_acquire) != nullptr) {
+        all.push_back(slot);
+      }
+    }
   }
-  std::sort(all.begin(), all.end(),
-            [](const Slot* a, const Slot* b) { return a->seq < b->seq; });
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a->seq < b->seq;
+  });
 
   size_t count = new_count == 0 ? shards_.size() : new_count;
   std::vector<size_t> targets(all.size());
-  std::vector<std::unordered_map<catalog::Value, size_t, catalog::ValueHash>>
+  std::vector<std::unordered_map<catalog::Value, std::shared_ptr<Slot>,
+                                 catalog::ValueHash>>
       indexes(count);
-  std::vector<size_t> placed_count(count, 0);
   for (size_t i = 0; i < all.size(); ++i) {
     size_t target;
     if (key.has_value()) {
-      const catalog::Value& kv = all[i]->row[key_col];
+      Version* newest = NewestMeaningful(*all[i]);
+      const Version* any = newest != nullptr
+                               ? newest
+                               : all[i]->head.load(std::memory_order_acquire);
+      const catalog::Value& kv = any->row[key_col];
       target = catalog::ValueHash()(kv) % count;
-      auto [it, inserted] =
-          indexes[target].emplace(kv, placed_count[target]);
-      if (!inserted) {
-        return Status::InvalidArgument(
-            "existing data violates unique key on " + *key + " in table " +
-            name_);
+      bool live = false;
+      if (newest != nullptr) {
+        Ts end = newest->end.load(std::memory_order_acquire);
+        live = end == kTsInfinity || TsIsPending(end);
+      }
+      if (live) {
+        auto [it, inserted] = indexes[target].emplace(kv, all[i]);
+        if (!inserted) {
+          return Status::InvalidArgument(
+              "existing data violates unique key on " + *key + " in table " +
+              name_);
+        }
+      } else {
+        // Dead slot: still indexed (reinsert stacks on it) unless a
+        // live slot claims the key — which uniqueness forbids anyway,
+        // since a key maps to exactly one slot for its whole life.
+        indexes[target].emplace(kv, all[i]);
       }
     } else {
       target = all[i]->seq % count;
     }
     targets[i] = target;
-    ++placed_count[target];
   }
 
-  // Phase 2: move rows into their new shards and commit.
-  std::vector<std::vector<Slot>> placed(count);
-  for (size_t t = 0; t < count; ++t) placed[t].reserve(placed_count[t]);
+  // Phase 2: move slots into their new shards and commit.
+  std::vector<std::vector<std::shared_ptr<Slot>>> placed(count);
   for (size_t i = 0; i < all.size(); ++i) {
-    placed[targets[i]].push_back(std::move(*all[i]));
+    placed[targets[i]].push_back(std::move(all[i]));
   }
 
   if (count != shards_.size()) {
@@ -158,44 +379,145 @@ Status Table::SetShardCount(size_t n) {
 
 std::optional<size_t> Table::LookupByKey(const catalog::Value& key) const {
   if (!unique_key_.has_value()) return std::nullopt;
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
   const Shard& shard = *shards_[ShardOfKey(key)];
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) return std::nullopt;
-  return shard.slots[it->second].seq;
+  std::shared_ptr<Slot> slot;
+  {
+    std::shared_lock<std::shared_mutex> sl(shard.struct_mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    slot = it->second;
+  }
+  if (slot->VisibleVersion(Snapshot::Latest()) == nullptr) return std::nullopt;
+  return slot->seq;
 }
 
-std::optional<catalog::Row> Table::GetByKey(const catalog::Value& key) const {
+std::optional<catalog::Row> Table::GetByKey(const catalog::Value& key,
+                                            const Snapshot& snap) const {
   if (!unique_key_.has_value()) return std::nullopt;
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
   const Shard& shard = *shards_[ShardOfKey(key)];
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) return std::nullopt;
-  return shard.slots[it->second].row;
+  std::shared_ptr<Slot> slot;
+  {
+    std::shared_lock<std::shared_mutex> sl(shard.struct_mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    slot = it->second;
+  }
+  const catalog::Row* row = slot->VisibleRow(snap);
+  if (row == nullptr) return std::nullopt;
+  return *row;
 }
 
 void Table::Clear() {
   std::shared_lock<std::shared_mutex> topology(topology_mu_);
-  std::vector<std::shared_mutex*> mus;
-  mus.reserve(shards_.size());
-  for (const auto& s : shards_) mus.push_back(&s->mu);
-  AllShardsExclusive lock(mus);
+  // Lock every shard's write mutex in ascending order, then clear
+  // under the structural locks. Setup-path operation.
+  std::vector<std::unique_lock<std::mutex>> writes;
+  writes.reserve(shards_.size());
+  for (const auto& s : shards_) writes.emplace_back(s->write_mu);
   for (const auto& s : shards_) {
+    std::unique_lock<std::shared_mutex> sl(s->struct_mu);
     s->slots.clear();
     s->index.clear();
   }
   next_seq_.store(0, std::memory_order_release);
   size_.store(0, std::memory_order_release);
+  last_commit_ts_.store(0, std::memory_order_release);
 }
 
 Status Table::ForEachRowExclusive(
     const std::function<Status(catalog::Row* row)>& fn) {
   std::shared_lock<std::shared_mutex> topology(topology_mu_);
   for (const auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mu);
-    for (Slot& slot : shard->slots) {
-      EQSQL_RETURN_IF_ERROR(fn(&slot.row));
+    std::lock_guard<std::mutex> write(shard->write_mu);
+    for (const auto& slot : shard->slots) {
+      const Version* vis = slot->VisibleVersion(Snapshot::Latest());
+      if (vis == nullptr) continue;
+      // Setup-only in-place mutation: no version is installed, so this
+      // must not race snapshot readers (documented in the header).
+      EQSQL_RETURN_IF_ERROR(fn(&const_cast<Version*>(vis)->row));
     }
   }
   return Status::OK();
+}
+
+std::vector<std::shared_ptr<const Table::Slot>> Table::PinShard(
+    size_t i) const {
+  std::shared_lock<std::shared_mutex> topology(topology_mu_);
+  const Shard& shard = *shards_[i];
+  std::shared_lock<std::shared_mutex> sl(shard.struct_mu);
+  return std::vector<std::shared_ptr<const Slot>>(shard.slots.begin(),
+                                                  shard.slots.end());
+}
+
+void Table::NoteCommit(Ts commit_ts, int64_t size_delta) {
+  last_commit_ts_.store(commit_ts, std::memory_order_release);
+  size_.fetch_add(static_cast<size_t>(size_delta),
+                  std::memory_order_acq_rel);
+}
+
+void Table::Vacuum(Ts watermark, TxnManager* txns) {
+  std::vector<Version*> retired;
+  {
+    std::shared_lock<std::shared_mutex> topology(topology_mu_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> write(shard->write_mu);
+      bool any_dead_slot = false;
+      for (const auto& slot : shard->slots) {
+        // Unlink versions no live or future snapshot can see: aborted
+        // ones, and superseded/deleted ones whose committed end is at
+        // or below the watermark. Pending stamps always survive.
+        Version* prev = nullptr;
+        Version* v = slot->head.load(std::memory_order_acquire);
+        while (v != nullptr) {
+          Version* next = v->next.load(std::memory_order_acquire);
+          Ts b = v->begin.load(std::memory_order_acquire);
+          Ts e = v->end.load(std::memory_order_acquire);
+          bool dead = b == kTsAborted ||
+                      (!TsIsPending(b) && !TsIsPending(e) &&
+                       e != kTsInfinity && e <= watermark);
+          if (dead) {
+            // Keep v->next intact: a reader paused on v mid-walk can
+            // still step off it; the retire list delays the free until
+            // every such reader's pin is gone.
+            if (prev == nullptr) {
+              slot->head.store(next, std::memory_order_release);
+            } else {
+              prev->next.store(next, std::memory_order_release);
+            }
+            retired.push_back(v);
+          } else {
+            prev = v;
+          }
+          v = next;
+        }
+        if (slot->head.load(std::memory_order_acquire) == nullptr) {
+          any_dead_slot = true;
+        }
+      }
+      if (any_dead_slot) {
+        // Fully dead slots leave the shard (readers holding pinned
+        // shared_ptrs keep them alive and see empty chains).
+        std::unique_lock<std::shared_mutex> sl(shard->struct_mu);
+        for (auto it = shard->index.begin(); it != shard->index.end();) {
+          if (it->second->head.load(std::memory_order_acquire) == nullptr) {
+            it = shard->index.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        shard->slots.erase(
+            std::remove_if(shard->slots.begin(), shard->slots.end(),
+                           [](const std::shared_ptr<Slot>& s) {
+                             return s->head.load(
+                                        std::memory_order_acquire) == nullptr;
+                           }),
+            shard->slots.end());
+      }
+    }
+  }
+  if (!retired.empty() && txns != nullptr) txns->Retire(std::move(retired));
 }
 
 }  // namespace eqsql::storage

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -13,134 +14,230 @@
 
 #include "catalog/schema.h"
 #include "common/result.h"
+#include "storage/mvcc.h"
 
 namespace eqsql::storage {
 
-/// An in-memory heap table, hash-partitioned across N shards. Each row
-/// carries a table-wide insertion sequence number; a full scan
-/// reassembles rows in sequence order, so the observable row order is
-/// insertion order regardless of the shard count. This matters because
-/// the paper's π operator is defined to preserve input order — and it
-/// is what makes results shard-count-invariant (tests/
-/// shard_invariance_test.cc proves it at 1, 2, and 8 shards).
+class Transaction;
+class TxnManager;
+
+/// One logical row: a table-wide insertion sequence number plus a
+/// newest-first chain of versions. The chain head is atomic so readers
+/// resolve their visible version without any lock; writers install new
+/// versions under the owning shard's write mutex. A slot whose chain
+/// has no live version is a tombstone until GC removes it; readers that
+/// pinned the slot (shared_ptr) before removal keep traversing safely.
+struct TableSlot {
+  size_t seq = 0;
+  std::atomic<Version*> head{nullptr};
+
+  TableSlot() = default;
+  explicit TableSlot(size_t s) : seq(s) {}
+  TableSlot(const TableSlot&) = delete;
+  TableSlot& operator=(const TableSlot&) = delete;
+  ~TableSlot();  // frees the remaining chain
+
+  /// The single version of this row visible to `snap`, or nullptr.
+  const Version* VisibleVersion(const Snapshot& snap) const;
+  /// Convenience: the visible version's row, or nullptr.
+  const catalog::Row* VisibleRow(const Snapshot& snap) const;
+};
+
+/// An in-memory multi-version heap table, hash-partitioned across N
+/// shards. Each logical row is a TableSlot holding a chain of versions
+/// stamped with begin/end commit timestamps; a scan materializes the
+/// versions visible to a snapshot and orders them by insertion
+/// sequence, so the observable row order is insertion order regardless
+/// of the shard count (the paper's π operator preserves input order,
+/// and tests/shard_invariance_test.cc proves results identical at 1, 2
+/// and 8 shards). Sequence numbers are sparse once DELETE exists: order
+/// comparisons are by seq value, never by seq-as-index.
 ///
 /// Placement: when a unique key is declared, a row lives in the shard
-/// its key value hashes to (so uniqueness is checkable per shard and a
-/// point lookup touches exactly one shard); otherwise rows are placed
-/// round-robin by sequence number.
+/// its key value hashes to (uniqueness checkable per shard, point
+/// lookup touches one shard); otherwise rows are placed round-robin by
+/// sequence number.
 ///
-/// Concurrency discipline (a topology lock over the shard vector, plus
-/// one reader-writer lock per shard):
-///  * Write methods (Insert, Clear, DeclareUniqueKey, SetShardCount,
-///    ForEachRowExclusive) are internally synchronized and assume the
-///    calling thread holds none of this table's locks. Insert, Clear
-///    and ForEachRowExclusive take the topology lock shared, then the
-///    shard locks they need in ascending shard order.
-///    DeclareUniqueKey/SetShardCount take the topology lock exclusive:
-///    they replace the shards_ vector itself, and the shared topology
-///    hold on every other path is what keeps a concurrent Insert from
-///    touching (or blocking on) a Shard about to be freed.
-///  * Read methods (rows, shard_slots, LookupByKey, GetByKey) take no
-///    locks. Concurrent readers must exclude writers by holding the
-///    topology lock and the shard locks shared — net::Connection does
-///    this via storage::ReadGuard around every query; single-threaded
-///    setup code needs no locks.
-class Table {
+/// Concurrency discipline (readers never block writers, writers never
+/// block readers):
+///  * Readers take no long-lived locks. PinShard copies a shard's slot
+///    pointers under a brief shared structural lock, then visibility
+///    resolution walks version chains lock-free via atomics. A reader's
+///    consistency comes from its pinned Snapshot, not from excluding
+///    writers.
+///  * Writers serialize per shard on the shard's write mutex
+///    (write_mu), held for the statement's validate+install on that
+///    shard. Slot-vector/index mutations additionally take the shard's
+///    structural lock (struct_mu) exclusively for the few instructions
+///    that publish a new slot.
+///  * The topology lock guards the shards_ vector itself: shared on
+///    every access path, exclusive while SetShardCount /
+///    DeclareUniqueKey rebuild it. Lock order within a shard is
+///    write_mu, then struct_mu; shards are taken in ascending order;
+///    topology before any shard lock.
+///  * Version garbage collection (Vacuum) runs under the shard write
+///    locks and unlinks only versions dead to the TxnManager watermark;
+///    unlinked versions park on the manager's retire list until no
+///    pinned reader can still be traversing them.
+class Table : public std::enable_shared_from_this<Table> {
  public:
-  /// One stored row plus its table-wide insertion sequence number.
-  struct Slot {
-    size_t seq = 0;
-    catalog::Row row;
-  };
+  using Slot = TableSlot;
 
-  Table(std::string name, catalog::Schema schema, size_t shard_count = 1)
+  Table(std::string name, catalog::Schema schema, size_t shard_count = 1,
+        TxnManager* txns = nullptr)
       : name_(std::move(name)),
         schema_(std::move(schema)),
-        shards_(std::max<size_t>(1, shard_count)) {
+        shards_(std::max<size_t>(1, shard_count)),
+        txns_(txns) {
     for (auto& s : shards_) s = std::make_unique<Shard>();
   }
 
   const std::string& name() const { return name_; }
   const catalog::Schema& schema() const { return schema_; }
   size_t shard_count() const { return shards_.size(); }
+  /// Committed live rows (approximate under concurrent commits; exact
+  /// when quiescent). Snapshot-exact counts come from rows(snap).size().
   size_t row_count() const { return size_.load(std::memory_order_acquire); }
 
-  /// All rows in insertion order (gathered across shards). Returns a
-  /// fresh vector: shards own their slots and there is no contiguous
-  /// backing array to reference.
-  std::vector<catalog::Row> rows() const;
+  /// Rows visible to `snap`, in insertion-sequence order.
+  std::vector<catalog::Row> rows(const Snapshot& snap) const;
+  /// Every committed live row (Snapshot::Latest()).
+  std::vector<catalog::Row> rows() const { return rows(Snapshot::Latest()); }
 
-  /// Appends a row; errors if arity does not match the schema or the
-  /// declared unique key is violated. Takes exactly one shard lock.
+  /// Setup/bulk append: installs a committed version stamped at the
+  /// current clock in one step. Not snapshot-consistent under
+  /// concurrency (a mid-bulk reader sees a prefix) — transactional
+  /// writers must use InsertTxn. Errors on arity mismatch or duplicate
+  /// key.
   Status Insert(catalog::Row row);
 
+  /// Transactional insert: installs a version pending under `txn`,
+  /// invisible to others until commit. Duplicate-key checks run against
+  /// txn's snapshot plus its own writes; a row inserted or deleted by
+  /// an uncommitted peer raises kTxnConflict (first-writer-wins).
+  Status InsertTxn(Transaction* txn, catalog::Row row);
+
+  /// Transactional UPDATE/DELETE over the rows visible to `txn`,
+  /// shard by shard in ascending order. For each visible row where
+  /// `pred` returns true: with `mutate` null the row is deleted
+  /// (tombstone: the visible version's end becomes pending); otherwise
+  /// `mutate` produces the replacement row installed as a new pending
+  /// version in the same slot. A concurrent writer on any matched row
+  /// raises kTxnConflict (first-writer-wins); evaluation errors abort
+  /// the statement mid-way (statement-level, like the paper's MyISAM
+  /// evaluation default) with prior writes staying in the txn's write
+  /// set. Returns the number of rows written.
+  Result<size_t> MutateRows(
+      Transaction* txn,
+      const std::function<Result<bool>(const catalog::Row&)>& pred,
+      const std::function<Result<catalog::Row>(const catalog::Row&)>& mutate);
+
   /// Declares column `column` as a unique key, re-partitions rows by
-  /// key hash, and builds per-shard indexes. Errors if existing data
+  /// key hash, and builds per-shard indexes. Errors if live data
   /// violates uniqueness. Rule T4.1/T5.2 require the outer query's
   /// relation to have a key (paper Sec. 5.1).
   Status DeclareUniqueKey(const std::string& column);
 
-  /// Name of the declared unique key column, if any.
   std::optional<std::string> unique_key() const { return unique_key_; }
 
-  /// Point lookup via the unique-key index; returns the row's sequence
-  /// number (its position in rows()) or nullopt. Touches one shard.
+  /// Point lookup via the unique-key index; returns the live row's
+  /// insertion sequence (an ordering token — seqs are sparse, not
+  /// positions) or nullopt. Takes the shard's structural lock briefly.
   std::optional<size_t> LookupByKey(const catalog::Value& key) const;
 
-  /// Point lookup returning the row itself; nullopt if absent / no key.
-  std::optional<catalog::Row> GetByKey(const catalog::Value& key) const;
+  /// Point lookup for the row visible to `snap` (or every committed row
+  /// with the one-argument form); nullopt if absent / no key declared.
+  std::optional<catalog::Row> GetByKey(const catalog::Value& key) const {
+    return GetByKey(key, Snapshot::Latest());
+  }
+  std::optional<catalog::Row> GetByKey(const catalog::Value& key,
+                                       const Snapshot& snap) const;
 
   void Clear();
 
   /// Re-partitions existing rows across `n` shards (shard-count change
-  /// at runtime, e.g. rebalancing a long-lived temp table). Takes every
-  /// old shard lock exclusively; scan order is unaffected because order
-  /// is defined by sequence numbers, not placement.
+  /// at runtime, e.g. rebalancing a long-lived temp table). Slots move
+  /// wholesale — chains, pending versions and all; in-flight
+  /// transactions keep their slot references.
   Status SetShardCount(size_t n);
 
   /// The shard a row with key value `key` lives in (key-hash placement).
   size_t ShardOfKey(const catalog::Value& key) const;
 
-  /// Applies `fn` to every row, shard by shard in ascending order,
-  /// holding each shard's lock exclusively while its rows are visited.
-  /// `fn` may mutate the row in place but must preserve arity and must
-  /// not change the unique-key column (the key index maps keys to
-  /// slots). An error aborts the walk; prior shards stay applied
-  /// (statement-level, not transactional — like MySQL's non-atomic
-  /// multi-row UPDATE on MyISAM, the paper's evaluation default).
+  /// Applies `fn` to every committed live row in place, shard by shard
+  /// in ascending order under the shard write locks. Setup-only: rows
+  /// mutate in place (no new versions), so it must not run concurrently
+  /// with snapshot readers. `fn` must preserve arity and must not
+  /// change the unique-key column. An error aborts the walk; prior
+  /// shards stay applied.
   Status ForEachRowExclusive(
       const std::function<Status(catalog::Row* row)>& fn);
 
-  /// Shard `i`'s lock. Exposed so ReadGuard can pin scans, DML-style
-  /// writers can scope their exclusion, and tests can prove lock
-  /// independence across shards.
-  std::shared_mutex& shard_mutex(size_t i) const { return shards_[i]->mu; }
+  /// Copies shard `i`'s slot pointers (brief shared structural lock).
+  /// Callers resolve visibility per slot against their snapshot; the
+  /// shared_ptrs keep slots safe across concurrent GC removal.
+  std::vector<std::shared_ptr<const Slot>> PinShard(size_t i) const;
 
-  /// The topology lock guarding the shards_ vector itself. External
-  /// lockers (ReadGuard) hold it shared for as long as they hold any
-  /// shard lock; it is always acquired before shard locks.
-  std::shared_mutex& topology_mutex() const { return topology_mu_; }
-
-  /// Shard `i`'s slots (seq + row). Readers must hold shard_mutex(i)
-  /// shared in concurrent settings. Slot order within a shard is
-  /// unspecified; order across the table is by Slot::seq.
-  const std::vector<Slot>& shard_slots(size_t i) const {
-    return shards_[i]->slots;
+  /// Timestamp of the last committed write to this table (0 if none).
+  /// Commit validation compares it against a txn's snapshot.
+  Ts last_commit_ts() const {
+    return last_commit_ts_.load(std::memory_order_acquire);
   }
+
+  /// Called by TxnManager under the commit lock after stamping this
+  /// table's versions: publishes the commit timestamp and adjusts the
+  /// committed row count.
+  void NoteCommit(Ts commit_ts, int64_t size_delta);
+
+  /// Unlinks versions dead at `watermark` (aborted, or superseded with
+  /// a committed end <= watermark), removes fully dead slots and their
+  /// index entries, and parks unlinked versions on `txns`'s retire
+  /// list. Never touches a version with a pending stamp.
+  void Vacuum(Ts watermark, TxnManager* txns);
+
+  TxnManager* txn_manager() const { return txns_; }
+  void set_txn_manager(TxnManager* txns) { txns_ = txns; }
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::vector<Slot> slots;
-    /// key value -> index into `slots` (only when a unique key is
-    /// declared; keys hash-place into exactly one shard).
-    std::unordered_map<catalog::Value, size_t, catalog::ValueHash> index;
+    /// Serializes writers (and GC) on this shard; held for a
+    /// statement's validate+install. Acquired before struct_mu.
+    std::mutex write_mu;
+    /// Guards the slots vector and index containers themselves (not
+    /// version chains): shared for the brief pointer copy readers do,
+    /// exclusive while a writer publishes or GC removes a slot.
+    mutable std::shared_mutex struct_mu;
+    std::vector<std::shared_ptr<Slot>> slots;
+    /// key value -> slot (only when a unique key is declared; keys
+    /// hash-place into exactly one shard). A key maps to one slot for
+    /// its whole life: delete + reinsert stack versions in that slot.
+    std::unordered_map<catalog::Value, std::shared_ptr<Slot>,
+                       catalog::ValueHash>
+        index;
   };
 
+  /// First version in `slot`'s chain that is not aborted (the newest
+  /// write that may matter), or nullptr.
+  static Version* NewestMeaningful(const Slot& slot);
+
+  /// First-writer-wins check for writing over `slot` under its write
+  /// lock: OK when the newest meaningful version is dead to everyone or
+  /// is `expected` (the version the writer resolved against its
+  /// snapshot); kTxnConflict when an uncommitted peer owns it or it was
+  /// committed after the snapshot.
+  Status CheckWritable(const Slot& slot, const Version* expected,
+                       const Transaction& txn) const;
+
+  /// Installs `row` as a version stamped `begin` in a fresh slot with
+  /// sequence `seq`, appended to `shard` (index entry added when `key`
+  /// is non-null). Caller holds the shard's write_mu.
+  std::shared_ptr<Slot> InstallNewSlot(Shard* shard, catalog::Row row, Ts begin,
+                                       const catalog::Value* key, size_t seq);
+
   /// Re-places every row under the exclusive topology lock. Validates
-  /// placement (including uniqueness) before moving any row, so a
-  /// failure leaves the table untouched. `new_count` of 0 keeps the
-  /// current shard count (used by DeclareUniqueKey).
+  /// placement (including uniqueness over live versions) before moving
+  /// any slot, so a failure leaves the table untouched. `new_count` of
+  /// 0 keeps the current shard count (used by DeclareUniqueKey).
   Status Repartition(size_t new_count, const std::string* new_key);
 
   std::string name_;
@@ -155,11 +252,12 @@ class Table {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::optional<std::string> unique_key_;
   size_t key_index_col_ = 0;
-  /// Next insertion sequence number. Sequence numbers are dense
-  /// (0..row_count-1): they are allocated only after validation
-  /// succeeds, and rows are never deleted individually (Clear resets).
+  /// Next insertion sequence number. Sparse: DELETE leaves holes and
+  /// aborted inserts burn numbers; seq is an ordering token only.
   std::atomic<size_t> next_seq_{0};
   std::atomic<size_t> size_{0};
+  std::atomic<Ts> last_commit_ts_{0};
+  TxnManager* txns_ = nullptr;
 };
 
 }  // namespace eqsql::storage

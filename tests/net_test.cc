@@ -196,11 +196,11 @@ TEST_F(ConnectionTest, ExecuteDmlRejectsKeyUpdateAndUnknownStatements) {
   // The key index maps key values to slots; rewriting keys in place
   // would corrupt it, so the engine refuses.
   EXPECT_FALSE(Dml(conn, "UPDATE items SET id = id + 1").ok());
-  // Outside the INSERT/UPDATE grammar: kParseError, the signal the
-  // interpreter uses to fall back to cost-only simulation.
-  auto del = Dml(conn, "DELETE FROM items");
-  ASSERT_FALSE(del.ok());
-  EXPECT_EQ(del.status().code(), StatusCode::kParseError);
+  // Outside the INSERT/UPDATE/DELETE grammar: kParseError, the signal
+  // the interpreter uses to fall back to cost-only simulation.
+  auto trunc = Dml(conn, "TRUNCATE TABLE items");
+  ASSERT_FALSE(trunc.ok());
+  EXPECT_EQ(trunc.status().code(), StatusCode::kParseError);
   // Unknown table: kNotFound, same fallback contract.
   auto missing = Dml(conn, "UPDATE ghosts SET v = 1");
   ASSERT_FALSE(missing.ok());
@@ -209,6 +209,15 @@ TEST_F(ConnectionTest, ExecuteDmlRejectsKeyUpdateAndUnknownStatements) {
   auto rs = Query(conn, "SELECT SUM(i.v) AS s FROM items AS i");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->rows[0][0].AsInt(), 450);
+
+  // DELETE is real DML now: filtered deletes remove exactly the
+  // matching rows and report the affected count.
+  auto del = Dml(conn, "DELETE FROM items WHERE v >= 50");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(*del, 5);
+  auto after = Query(conn, "SELECT SUM(i.v) AS s FROM items AS i");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows[0][0].AsInt(), 100);  // 0+10+20+30+40
 }
 
 // Regression test: Server::stats() must include work done by sessions

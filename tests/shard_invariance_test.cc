@@ -9,9 +9,11 @@
 // examination cost as the serial ones, in the same order, so even the
 // floating-point clock must agree).
 //
-// Two populations prove it: fuzzer-generated programs (every grammar
-// family, including the DML family's real INSERT/UPDATE traffic) and
-// the four benchmark workload apps, original and rewritten. Run under
+// Three populations prove it: fuzzer-generated programs (every grammar
+// family, including the DML family's real INSERT/UPDATE traffic),
+// multi-session transaction schedules (MVCC snapshot reads, conflicts,
+// and rollbacks), and the four benchmark workload apps, original and
+// rewritten. Run under
 // the `tsan` preset too (scripts/verify.sh does): with the parallel
 // threshold forced to 0 every scan/fold fans out across the pool, so
 // this suite doubles as the race detector for the partition-parallel
@@ -86,16 +88,31 @@ Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards) {
 }
 
 /// Asserts the case signatures at 1, 2, and 8 shards are identical.
+/// Txn-family cases are schedules, not programs: their signature is the
+/// txn oracle's rendered outcome log (per-statement row counts and
+/// error codes in schedule order) instead of an interpreter run.
 void ExpectInvariant(const fuzz::FuzzCase& c, const std::string& label) {
   std::string reference;
   for (size_t shards : kShardCounts) {
-    auto sig = RunAtShardCount(c, shards);
-    ASSERT_TRUE(sig.ok()) << label << " shards=" << shards << ": "
-                          << sig.status().ToString();
-    if (shards == kShardCounts[0]) {
-      reference = *sig;
+    std::string sig;
+    if (c.function == "@txn") {
+      fuzz::OracleOptions opts;
+      opts.shard_count = shards;
+      fuzz::OracleReport report = fuzz::RunOracle(c, opts);
+      ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
+          << label << " shards=" << shards << ": " << report.detail;
+      sig = report.rewritten_source;
+      ASSERT_FALSE(sig.empty()) << label;
     } else {
-      EXPECT_EQ(*sig, reference) << label << " diverges at shards=" << shards;
+      auto run = RunAtShardCount(c, shards);
+      ASSERT_TRUE(run.ok()) << label << " shards=" << shards << ": "
+                            << run.status().ToString();
+      sig = *run;
+    }
+    if (shards == kShardCounts[0]) {
+      reference = sig;
+    } else {
+      EXPECT_EQ(sig, reference) << label << " diverges at shards=" << shards;
     }
   }
 }
@@ -141,6 +158,41 @@ TEST(ShardInvarianceTest, OraclePassesAtEveryShardCount) {
       fuzz::OracleReport report = fuzz::RunOracle(c, opts);
       EXPECT_EQ(report.verdict, fuzz::Verdict::kPass)
           << "seed " << seed << " shards=" << shards << ": " << report.detail;
+    }
+  }
+}
+
+// Transaction schedules extend the invariance property to MVCC: a
+// multi-session BEGIN/COMMIT/ROLLBACK interleaving must produce the
+// byte-identical step-by-step outcome log — every per-statement row
+// count, every conflict, in the same order — at 1, 2, and 8 shards.
+// The txn oracle's deterministic sequential stepping makes this exact:
+// snapshot visibility and first-writer-wins conflicts may not depend
+// on which shard a key hashes to.
+TEST(ShardInvarianceTest, TxnFamilySchedulesAcrossShardCounts) {
+  fuzz::GenOptions gopts;
+  ASSERT_TRUE(fuzz::RestrictToFamily(&gopts, "txn"));
+  for (int i = 0; i < 24; ++i) {
+    uint64_t seed = SplitMix64(0x7a57 + static_cast<uint64_t>(i));
+    fuzz::FuzzCase c = fuzz::GenerateCase(seed, gopts);
+    ASSERT_EQ(c.function, "@txn");
+    std::string reference;
+    for (size_t shards : kShardCounts) {
+      fuzz::OracleOptions opts;
+      opts.shard_count = shards;
+      fuzz::OracleReport report = fuzz::RunOracle(c, opts);
+      ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
+          << "txn seed " << seed << " shards=" << shards << ": "
+          << report.detail;
+      // rewritten_source carries the rendered outcome log.
+      ASSERT_FALSE(report.rewritten_source.empty());
+      if (shards == kShardCounts[0]) {
+        reference = report.rewritten_source;
+      } else {
+        EXPECT_EQ(report.rewritten_source, reference)
+            << "txn seed " << seed << " outcome log diverges at shards="
+            << shards;
+      }
     }
   }
 }
@@ -238,7 +290,10 @@ bool LayoutScoped(const std::string& name) {
   return name.rfind("storage.shard.", 0) == 0 ||
          name.rfind("exec.pool.", 0) == 0 ||
          name.rfind("exec.parallel.", 0) == 0 ||
-         name.rfind("net.scheduler.", 0) == 0;
+         name.rfind("net.scheduler.", 0) == 0 ||
+         // MVCC bookkeeping is layout-scoped too: version installs and
+         // GC reclaim counts follow per-shard vacuum sweep boundaries.
+         name.rfind("storage.mvcc.", 0) == 0;
 }
 
 /// All shard-invariant counters, flattened to one comparable string.

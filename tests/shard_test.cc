@@ -1,15 +1,16 @@
 // Storage-layer sharding tests: hash placement, insertion-order scans,
-// per-shard lock independence, runtime rebalancing, empty/single-row
-// partitions, and ReadGuard's snapshot-pinning across a concurrent
-// DROP. The cross-layer counterpart is tests/shard_invariance_test.cc,
-// which proves whole-engine results identical at 1, 2, and 8 shards.
+// writer/reader independence under MVCC versioning, runtime
+// rebalancing, empty/single-row partitions, and ReadGuard's
+// snapshot-pinning across a concurrent DROP. The cross-layer
+// counterpart is tests/shard_invariance_test.cc, which proves
+// whole-engine results identical at 1, 2, and 8 shards; transaction
+// semantics proper live in tests/mvcc_test.cc.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <future>
-#include <mutex>
-#include <shared_mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "storage/database.h"
 #include "storage/shard_guard.h"
 #include "storage/table.h"
+#include "storage/txn.h"
 
 namespace eqsql::storage {
 namespace {
@@ -69,8 +71,9 @@ TEST(ShardTest, KeyedPlacementLookupAndDuplicates) {
     // The row really lives in the shard its key hashes to.
     size_t shard = t.ShardOfKey(Value::Int(i));
     bool found = false;
-    for (const Table::Slot& s : t.shard_slots(shard)) {
-      if (s.row[0] == Value::Int(i)) found = true;
+    for (const auto& slot : t.PinShard(shard)) {
+      const Row* visible = slot->VisibleRow(Snapshot::Latest());
+      if (visible != nullptr && (*visible)[0] == Value::Int(i)) found = true;
     }
     EXPECT_TRUE(found) << "key " << i << " not in shard " << shard;
   }
@@ -94,7 +97,7 @@ TEST(ShardTest, SetShardCountRebalancesWithoutReordering) {
     EXPECT_EQ((*row)[1].AsInt(), 170);
     // Every row is findable in its newly computed home shard.
     size_t total = 0;
-    for (size_t i = 0; i < n; ++i) total += t.shard_slots(i).size();
+    for (size_t i = 0; i < n; ++i) total += t.PinShard(i).size();
     EXPECT_EQ(total, 30u);
   }
   EXPECT_FALSE(t.SetShardCount(0).ok());
@@ -116,16 +119,19 @@ TEST(ShardTest, EmptyAndSingleRowPartitions) {
   // empty partitions every scan/fold path must tolerate.
   size_t nonempty = 0;
   for (size_t i = 0; i < 8; ++i) {
-    if (!one.shard_slots(i).empty()) ++nonempty;
+    if (!one.PinShard(i).empty()) ++nonempty;
   }
   EXPECT_EQ(nonempty, 1u);
   EXPECT_TRUE(one.GetByKey(Value::Int(42)).has_value());
 }
 
-// A writer holding one shard's lock must not block work on another
-// shard — the whole point of partitioning the data lock.
-TEST(ShardTest, WriterOnOneShardDoesNotBlockAnotherShard) {
-  Table t("t", KV(), 2);
+// An uncommitted writer must not block readers anywhere — under MVCC a
+// writer parks a pending version in its slot and holds no locks between
+// statements, so readers on the written shard (and every other shard)
+// proceed against their snapshot and see the pre-image.
+TEST(ShardTest, UncommittedWriterDoesNotBlockReaders) {
+  TxnManager mgr;
+  Table t("t", KV(), 2, &mgr);
   FillKeyed(&t, 16);
   // A resident key on shard 1, and a fresh key that will insert there.
   int64_t key_b = -1;
@@ -136,24 +142,39 @@ TEST(ShardTest, WriterOnOneShardDoesNotBlockAnotherShard) {
   int64_t new_key = 1000;
   while (t.ShardOfKey(Value::Int(new_key)) != 1) ++new_key;
 
-  // Hold shard 0 exclusively, as a DML writer would.
-  std::unique_lock<std::shared_mutex> writer(t.shard_mutex(0));
+  // Park an uncommitted UPDATE over key_b's row (a pending version in
+  // shard 1).
+  std::shared_ptr<Transaction> writer = mgr.Begin();
+  auto written = t.MutateRows(
+      writer.get(),
+      [&](const Row& row) -> Result<bool> {
+        return row[0] == Value::Int(key_b);
+      },
+      [](const Row& row) -> Result<Row> {
+        Row updated = row;
+        updated[1] = Value::Int(-1);
+        return updated;
+      });
+  ASSERT_TRUE(written.ok());
+  ASSERT_EQ(*written, 1u);
 
-  // A reader and an inserter on shard 1 must both complete while the
-  // shard-0 writer is parked.
-  auto other_shard_work = std::async(std::launch::async, [&] {
-    std::shared_lock<std::shared_mutex> reader(t.shard_mutex(1));
-    bool ok = t.GetByKey(Value::Int(key_b)).has_value();
-    reader.unlock();
+  // A reader and an inserter on the SAME shard must both complete while
+  // the write is pending, and the reader sees the pre-image.
+  auto other_work = std::async(std::launch::async, [&] {
+    auto row = t.GetByKey(Value::Int(key_b));
+    bool ok = row.has_value() && (*row)[1].AsInt() == key_b * 10;
     return ok && t.Insert({Value::Int(new_key), Value::Int(0)}).ok();
   });
   // Generous timeout: under TSan "instant" can be slow, but a deadlock
   // would hang forever.
-  ASSERT_EQ(other_shard_work.wait_for(std::chrono::seconds(10)),
+  ASSERT_EQ(other_work.wait_for(std::chrono::seconds(10)),
             std::future_status::ready);
-  EXPECT_TRUE(other_shard_work.get());
+  EXPECT_TRUE(other_work.get());
 
-  writer.unlock();
+  ASSERT_TRUE(mgr.Commit(writer.get()).ok());
+  auto committed = t.GetByKey(Value::Int(key_b));
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ((*committed)[1].AsInt(), -1);
   EXPECT_TRUE(t.Insert({Value::Int(2000), Value::Int(0)}).ok());
 }
 
