@@ -26,14 +26,15 @@ ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
 echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
-  shard_test mvcc_test shard_invariance_test scheduler_test net_test
+  shard_test mvcc_test shard_invariance_test scheduler_test net_test \
+  vector_exec_test
 # Scheduler here covers the 8-producer bounded-queue storm
 # (SchedulerTest.QueueFullRejectsOverloadedWithoutBlocking) under the
 # race detector: producers race workers on the admission queue. Mvcc
 # covers the version-chain suite, including the concurrent
 # readers-vs-committing-writer scan test.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 # The same sweep on 8-way partitioned tables with the parallel
@@ -41,6 +42,11 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # under the race detector.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --shards 8 \
   --corpus tests/fuzz_corpus
+# The vectorized engine across 8-way shards: batch-producing MVCC
+# cursors + compiled-expression shard tasks racing writers, with the
+# row engine as the in-run differential oracle.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 13 --iters 50 --exec-mode vector \
+  --shards 8 --corpus tests/fuzz_corpus
 # Every case through the scheduler-backed execution path (Session ->
 # admission queue -> worker) instead of direct connections.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 --async-every 1
@@ -73,11 +79,29 @@ if grep -rEn '\b(write_mu|struct_mu)\b' src tests bench examples \
   exit 1
 fi
 
+echo "== api surface: batch kernels never re-enter the row evaluator =="
+# The vectorized kernels must stay columnar: compiled expressions and
+# scalar_ops free functions only. A call back into the row engine's
+# EvalRow/EvalScalar from src/exec/batch* would silently turn the
+# batch path into row-at-a-time execution with extra dispatch.
+if grep -rEn '\bEval(Row|Scalar)\(' src/exec/batch*; then
+  echo "verify.sh: row-engine evaluator called from the batch kernels"
+  exit 1
+fi
+
 echo "== observability: bench JSON artifacts + metrics smoke check =="
 cmake --build build -j"$(nproc)" --target bench_concurrency \
-  bench_fig8_selection
+  bench_fig8_selection bench_exec_micro
 ./build/bench/bench_concurrency --json BENCH_concurrency.json
 ./build/bench/bench_fig8_selection --json BENCH_fig8.json
+# Row-vs-vector batch phase: identical results on both engines and a
+# >= 1.5x vectorized evaluation speedup, gated inside the binary and
+# re-checked in the artifact.
+./build/bench/bench_exec_micro --benchmark_filter=ParseSql \
+  --json BENCH_exec_micro.json
+grep -q '"pass":true' BENCH_exec_micro.json
+grep -q '"filter_speedup":' BENCH_exec_micro.json
+grep -q '"eqsql_vector_wall_ms":' BENCH_fig8.json
 # The artifacts must embed a live registry snapshot: a busy server that
 # reports zero plan-cache traffic means the metrics wiring fell off.
 grep -q '"plan_cache.hits":[1-9]' BENCH_concurrency.json

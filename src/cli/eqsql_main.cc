@@ -26,15 +26,20 @@
 //   --shards N        storage hash partitions per table
 //   --workers N       scheduler worker threads (0 = default)
 //   --queue-depth N   scheduler admission-queue capacity
+//   --exec-mode M     execution engine: vector (batch-at-a-time
+//                     columnar, the default) or row (row-at-a-time
+//                     fallback); EQSQL_EXEC_MODE overrides the default
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "exec/exec_mode.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
 #include "net/server.h"
@@ -60,6 +65,7 @@ struct CliOptions {
   size_t shards = 0;       // 0 = storage default
   size_t workers = 0;      // 0 = scheduler default
   size_t queue_depth = 0;  // 0 = scheduler default
+  eqsql::exec::ExecMode exec_mode = eqsql::exec::DefaultExecMode();
 };
 
 int Usage(const char* argv0) {
@@ -70,7 +76,8 @@ int Usage(const char* argv0) {
                "          [--explain] [--explain-json] [--run] [--trace] "
                "[--trace-json]\n"
                "          [--metrics] [--metrics-json] [--shards N]\n"
-               "          [--workers N] [--queue-depth N]\n",
+               "          [--workers N] [--queue-depth N] "
+               "[--exec-mode row|vector]\n",
                argv0);
   return 2;
 }
@@ -109,6 +116,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = value();
       if (v == nullptr) return false;
       out->queue_depth = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--exec-mode") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      std::optional<eqsql::exec::ExecMode> mode =
+          eqsql::exec::ParseExecMode(v);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "unknown exec mode: %s (want row|vector)\n", v);
+        return false;
+      }
+      out->exec_mode = *mode;
     } else if (std::strcmp(arg, "--explain") == 0) {
       out->explain = true;
     } else if (std::strcmp(arg, "--explain-json") == 0) {
@@ -224,6 +241,7 @@ eqsql::net::ServerOptions MakeServerOptions(const CliOptions& cli) {
   if (cli.queue_depth != 0) {
     options.scheduler_queue_capacity = cli.queue_depth;
   }
+  options.exec_mode = cli.exec_mode;
   // Key columns for every table the built-in apps and the repo's test
   // corpus use; harmless for tables that do not exist.
   options.optimize.transform.table_keys = {
@@ -269,15 +287,17 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    const char* mode_name = eqsql::exec::ExecModeName(cli.exec_mode);
     if (cli.explain) {
-      std::fputs(
-          eqsql::obs::RenderExplainText(**optimized, prog.function).c_str(),
-          stdout);
+      std::fputs(eqsql::obs::RenderExplainText(**optimized, prog.function,
+                                               mode_name)
+                     .c_str(),
+                 stdout);
     }
     if (cli.explain_json) {
-      std::printf(
-          "%s\n",
-          eqsql::obs::RenderExplainJson(**optimized, prog.function).c_str());
+      std::printf("%s\n", eqsql::obs::RenderExplainJson(
+                              **optimized, prog.function, mode_name)
+                              .c_str());
     }
 
     if (cli.run) {

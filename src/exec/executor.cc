@@ -176,6 +176,45 @@ struct AggState {
   }
 };
 
+/// Primitive partial state for the typed integer fast fold: one
+/// non-null int64 input per Update, exactly AggState's behavior for
+/// that input class, without boxing a Value per lane. ToAggState
+/// reproduces the AggState the row fold would have built from the same
+/// inputs bit for bit (is_double stays false; an untouched state keeps
+/// the default NULL min/max).
+struct FastIntAgg {
+  int64_t count = 0;
+  bool any = false;
+  int64_t isum = 0;
+  int64_t minv = 0;
+  int64_t maxv = 0;
+
+  void Update(int64_t x) {
+    ++count;
+    if (!any) {
+      any = true;
+      minv = x;
+      maxv = x;
+    } else {
+      if (x < minv) minv = x;
+      if (maxv < x) maxv = x;
+    }
+    isum += x;
+  }
+
+  AggState ToAggState() const {
+    AggState s;
+    s.count = count;
+    s.any = any;
+    s.isum = isum;
+    if (any) {
+      s.minv = Value::Int(minv);
+      s.maxv = Value::Int(maxv);
+    }
+    return s;
+  }
+};
+
 /// True if the scalar tree contains a double literal or a positional
 /// parameter (whose bound value might be a double). Subqueries are not
 /// descended: EXISTS yields a bool, so doubles inside one cannot reach
@@ -237,12 +276,24 @@ void Executor::set_metrics(obs::MetricsRegistry* metrics) {
     scan_bytes_ = nullptr;
     parallel_batches_ = nullptr;
     shard_scan_ns_ = nullptr;
+    batch_batches_ = nullptr;
+    batch_rows_ = nullptr;
+    batch_fallbacks_ = nullptr;
+    batch_size_ = nullptr;
     return;
   }
   scan_rows_ = metrics->counter("storage.scan.rows");
   scan_bytes_ = metrics->counter("storage.scan.bytes");
   parallel_batches_ = metrics->counter("exec.parallel.batches");
   shard_scan_ns_ = metrics->histogram("storage.shard.scan_ns");
+  // exec.batch.* is layout- and mode-dependent by design (like
+  // exec.pool.*): batch counts shift with shard boundaries and the
+  // engine in use, so the shard-invariance signature excludes the
+  // family (tests/shard_invariance_test.cc).
+  batch_batches_ = metrics->counter("exec.batch.batches");
+  batch_rows_ = metrics->counter("exec.batch.rows");
+  batch_fallbacks_ = metrics->counter("exec.batch.fallbacks");
+  batch_size_ = metrics->histogram("exec.batch.size");
 }
 
 std::vector<Executor::ShardScanMetrics> Executor::ShardMetrics(
@@ -447,8 +498,10 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
                              ResolveTable(node.table_name()));
       if (pool_ != nullptr && table->shard_count() > 1 &&
           table->row_count() >= parallel_threshold_) {
-        return ExecScanParallel(node, *table);
+        return mode_ == ExecMode::kVector ? ExecScanVectorParallel(node, *table)
+                                          : ExecScanParallel(node, *table);
       }
+      if (mode_ == ExecMode::kVector) return ExecScanVector(node, *table);
       ResultSet out;
       EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
       out.rows = table->rows(ReadSnapshot());
@@ -472,10 +525,45 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
         } else if (table.ok() && pool_ != nullptr &&
                    (*table)->shard_count() > 1 &&
                    (*table)->row_count() >= parallel_threshold_) {
+          if (mode_ == ExecMode::kVector) {
+            EQSQL_ASSIGN_OR_RETURN(Schema scan_schema,
+                                   OutputSchema(*node.child(0)));
+            std::unique_ptr<CompiledExpr> pred = CompiledExpr::Compile(
+                node.predicate(), scan_schema,
+                [ctx](int i) { return ctx->LookupParameter(i); });
+            if (pred != nullptr) {
+              return ExecSelectScanVectorParallel(node, **table, *pred,
+                                                  scan_schema);
+            }
+            RecordVectorFallback();
+          }
           return ExecSelectScanParallel(node, **table, ctx);
+        }
+        // Serial fused path: stream shard cursors straight through the
+        // compiled predicate instead of materializing the whole scan,
+        // sorting it, and re-batching it through FilterVector. Reached
+        // both when no pool applies and when a unique-key lookup looked
+        // possible but missed. Compile failure falls through to the
+        // unfused attempt below, which records the fallback.
+        if (table.ok() && mode_ == ExecMode::kVector && ctx->depth() == 0) {
+          EQSQL_ASSIGN_OR_RETURN(Schema scan_schema,
+                                 OutputSchema(*node.child(0)));
+          std::unique_ptr<CompiledExpr> pred = CompiledExpr::Compile(
+              node.predicate(), scan_schema,
+              [ctx](int i) { return ctx->LookupParameter(i); });
+          if (pred != nullptr) {
+            return ExecSelectScanVector(node, **table, *pred, scan_schema);
+          }
         }
       }
       EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      if (mode_ == ExecMode::kVector && ctx->depth() == 0) {
+        std::unique_ptr<CompiledExpr> pred = CompiledExpr::Compile(
+            node.predicate(), in.schema,
+            [ctx](int i) { return ctx->LookupParameter(i); });
+        if (pred != nullptr) return FilterVector(std::move(in), *pred);
+        RecordVectorFallback();
+      }
       ResultSet out;
       out.schema = in.schema;
       for (Row& row : in.rows) {
@@ -490,6 +578,22 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
     }
     case RaOp::kProject: {
       EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+      if (mode_ == ExecMode::kVector && ctx->depth() == 0) {
+        std::vector<std::unique_ptr<CompiledExpr>> items;
+        items.reserve(node.project_items().size());
+        bool compiled = true;
+        for (const ra::ProjectItem& item : node.project_items()) {
+          items.push_back(CompiledExpr::Compile(
+              item.expr, in.schema,
+              [ctx](int i) { return ctx->LookupParameter(i); }));
+          if (items.back() == nullptr) {
+            compiled = false;
+            break;
+          }
+        }
+        if (compiled) return ProjectVector(node, std::move(in), items);
+        RecordVectorFallback();
+      }
       ResultSet out;
       EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
       out.rows.reserve(in.rows.size());
@@ -831,7 +935,8 @@ Result<ResultSet> Executor::ExecGroupBy(const RaNode& node, EvalContext* ctx) {
   // could be a double). Under those gates, merging per-shard integer
   // partial states is order-independent and the result is byte-
   // identical to serial execution.
-  if (pool_ != nullptr && ctx->depth() == 0) {
+  if (ctx->depth() == 0 &&
+      (pool_ != nullptr || mode_ == ExecMode::kVector)) {
     const RaNode* select = nullptr;
     const RaNode* scan = nullptr;
     const RaNode& child = *node.child(0);
@@ -842,10 +947,13 @@ Result<ResultSet> Executor::ExecGroupBy(const RaNode& node, EvalContext* ctx) {
       select = &child;
       scan = child.child(0).get();
     }
-    if (scan != nullptr) {
-      Result<const storage::Table*> table = ResolveTable(scan->table_name());
-      if (table.ok() && (*table)->shard_count() > 1 &&
-          (*table)->row_count() >= parallel_threshold_) {
+    Result<const storage::Table*> table =
+        scan != nullptr ? ResolveTable(scan->table_name()) : nullptr;
+    if (scan != nullptr && table.ok() && *table != nullptr) {
+      const bool parallel = pool_ != nullptr &&
+                            (*table)->shard_count() > 1 &&
+                            (*table)->row_count() >= parallel_threshold_;
+      if (parallel || mode_ == ExecMode::kVector) {
         bool hazard = SchemaHasDouble((*table)->schema());
         if (select != nullptr) {
           hazard = hazard || IndexLookupMightApply(*select, *scan, **table) ||
@@ -858,12 +966,44 @@ Result<ResultSet> Executor::ExecGroupBy(const RaNode& node, EvalContext* ctx) {
           hazard = hazard || MayProduceDouble(a.arg);
         }
         if (!hazard) {
-          return ExecGroupByParallel(node, select, *scan, **table, ctx);
+          if (mode_ == ExecMode::kVector) {
+            Result<Schema> scan_schema = OutputSchema(*scan);
+            CompiledGroupBy plan;
+            if (scan_schema.ok() &&
+                CompileGroupBy(node, select, *scan_schema, ctx, &plan)) {
+              // The serial fused twin streams the shard cursors through
+              // the same compiled plan without pool fan-out; the hazard
+              // gate above already guarantees order-independent
+              // (integer) folds, which is what lets both skip the seq
+              // sort the unfused serial fold relies on.
+              return parallel
+                         ? ExecGroupByVectorParallel(node, select, **table,
+                                                     *scan_schema, plan)
+                         : ExecGroupByVectorFused(node, select, **table, plan);
+            }
+            // In the parallel case the row engine takes over here; the
+            // serial case falls through to the unfused attempt below,
+            // which records the fallback itself.
+            if (parallel) RecordVectorFallback();
+          }
+          if (parallel) {
+            return ExecGroupByParallel(node, select, *scan, **table, ctx);
+          }
         }
       }
     }
   }
   EQSQL_ASSIGN_OR_RETURN(ResultSet in, Exec(*node.child(0), ctx));
+  if (mode_ == ExecMode::kVector && ctx->depth() == 0) {
+    // The serial vector fold needs no exactness gate: lanes fold in the
+    // serial row order and no partial states merge, so even double
+    // summation reproduces the row engine bit for bit.
+    CompiledGroupBy plan;
+    if (CompileGroupBy(node, /*select=*/nullptr, in.schema, ctx, &plan)) {
+      return GroupByVectorFold(node, std::move(in), plan);
+    }
+    RecordVectorFallback();
+  }
   ResultSet out;
   EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
 
@@ -1306,6 +1446,865 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
   // the snapshot-visible rows.
   if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
   rows_processed_ += scanned + matched + sub_rows + out.rows.size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized execution (mode_ == kVector). Every operator here is the
+// columnar twin of a row-engine operator above and must match it bit
+// for bit: same rows, same error chosen under failure (the lowest
+// sequence number, left-to-right within a row), same rows_processed_
+// and storage.scan.* charges. Only exec.batch.* observability and
+// speed may differ.
+
+namespace {
+
+/// Refills `batch` from `cursor`; returns the chunk's row count
+/// (0 = shard exhausted).
+size_t NextBatch(storage::ShardScanCursor* cursor, Batch* batch) {
+  batch->seqs.clear();
+  batch->rows.clear();
+  batch->wire_bytes = 0;
+  return cursor->Next(kBatchCapacity, &batch->seqs, &batch->rows,
+                      &batch->wire_bytes);
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::ExecScanVector(const RaNode& node,
+                                           const storage::Table& table) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  const storage::Snapshot snap = ReadSnapshot();
+  std::vector<std::pair<size_t, Row>> acc;
+  size_t bytes = 0;
+  Batch batch;
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    storage::ShardScanCursor cursor(table, s, snap);
+    for (size_t n = NextBatch(&cursor, &batch); n != 0;
+         n = NextBatch(&cursor, &batch)) {
+      RecordBatch(n);
+      bytes += batch.wire_bytes;
+      for (size_t i = 0; i < n; ++i) {
+        acc.emplace_back(batch.seqs[i], std::move(batch.rows[i]));
+      }
+    }
+  }
+  std::sort(acc.begin(), acc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.rows.reserve(acc.size());
+  for (auto& p : acc) out.rows.push_back(std::move(p.second));
+  rows_processed_ += out.rows.size();
+  if (scan_rows_ != nullptr) RecordScan(out.rows.size(), bytes);
+  return out;
+}
+
+Result<ResultSet> Executor::ExecScanVectorParallel(
+    const RaNode& node, const storage::Table& table) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  const storage::Snapshot snap = ReadSnapshot();
+  if (parallel_batches_ != nullptr) parallel_batches_->Increment();
+  std::vector<ShardScanMetrics> shard_metrics =
+      ShardMetrics(table.shard_count());
+  const obs::SpanContext parent = obs::CurrentSpanContext();
+  std::vector<std::vector<std::pair<size_t, Row>>> gathered(
+      table.shard_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(table.shard_count());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    tasks.push_back([this, &table, snap, s, &gathered, &shard_metrics,
+                     parent] {
+      obs::ScopedContext tctx(parent);
+      obs::ScopedSpan tspan("shard-scan");
+      if (tspan.active()) tspan.Attr("shard", std::to_string(s));
+      const int64_t t0 = NowNs();
+      size_t bytes = 0;
+      std::vector<std::pair<size_t, Row>>& rows = gathered[s];
+      storage::ShardScanCursor cursor(table, s, snap);
+      Batch batch;
+      for (size_t n = NextBatch(&cursor, &batch); n != 0;
+           n = NextBatch(&cursor, &batch)) {
+        RecordBatch(n);
+        bytes += batch.wire_bytes;
+        for (size_t i = 0; i < n; ++i) {
+          rows.emplace_back(batch.seqs[i], std::move(batch.rows[i]));
+        }
+      }
+      const ShardScanMetrics& m = shard_metrics[s];
+      if (m.rows != nullptr) {
+        m.rows->Add(static_cast<int64_t>(rows.size()));
+        m.bytes->Add(static_cast<int64_t>(bytes));
+        const int64_t elapsed = NowNs() - t0;
+        m.ns->Add(elapsed);
+        shard_scan_ns_->Record(elapsed);
+      }
+    });
+  }
+  pool_->Run(std::move(tasks));
+  size_t total = 0;
+  for (const auto& g : gathered) total += g.size();
+  std::vector<std::pair<size_t, Row>> merged;
+  merged.reserve(total);
+  for (auto& g : gathered) {
+    for (auto& p : g) merged.push_back(std::move(p));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.rows.reserve(merged.size());
+  for (auto& p : merged) out.rows.push_back(std::move(p.second));
+  rows_processed_ += out.rows.size();
+  if (scan_rows_ != nullptr) RecordScan(out.rows.size(), out.WireSize());
+  return out;
+}
+
+Result<ResultSet> Executor::ExecSelectScanVectorParallel(
+    const RaNode& node, const storage::Table& table, const CompiledExpr& pred,
+    const Schema& schema) {
+  ResultSet out;
+  out.schema = schema;
+
+  const storage::Snapshot snap = ReadSnapshot();
+
+  struct TaskResult {
+    std::vector<std::pair<size_t, Row>> rows;  // (seq, matched row)
+    size_t scanned = 0;
+    size_t scanned_bytes = 0;
+    size_t fail_seq = 0;
+    Status status = Status::OK();
+  };
+  if (parallel_batches_ != nullptr) parallel_batches_->Increment();
+  std::vector<ShardScanMetrics> shard_metrics =
+      ShardMetrics(table.shard_count());
+  const obs::SpanContext parent = obs::CurrentSpanContext();
+  std::vector<TaskResult> results(table.shard_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(table.shard_count());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    tasks.push_back([this, &table, &pred, snap, s, &results, &shard_metrics,
+                     parent] {
+      obs::ScopedContext tctx(parent);
+      obs::ScopedSpan tspan("shard-filter");
+      if (tspan.active()) tspan.Attr("shard", std::to_string(s));
+      const int64_t t0 = NowNs();
+      TaskResult& r = results[s];
+      // A CompiledExpr is immutable and side-effect-free (nothing with
+      // a subquery compiles), so shard tasks share one tree with no
+      // scratch Executor: sub_rows is zero by construction, exactly as
+      // the row engine's count would be for the same predicate.
+      storage::ShardScanCursor cursor(table, s, snap);
+      Batch batch;
+      Vec v;
+      for (size_t n = NextBatch(&cursor, &batch); n != 0;
+           n = NextBatch(&cursor, &batch)) {
+        RecordBatch(n);
+        r.scanned += n;
+        r.scanned_bytes += batch.wire_bytes;
+        pred.Eval(batch.rows.data(), n, &v);
+        for (size_t i = 0; i < n; ++i) {
+          const size_t seq = batch.seqs[i];
+          // Same minimum-failing-seq discipline as the row task: slots
+          // within a shard are not guaranteed seq-ordered under
+          // concurrent keyless inserts, so keep looking for a lower
+          // failing seq after a failure and drop lanes above it.
+          if (!r.status.ok() && seq > r.fail_seq) continue;
+          if (v.ErrAt(i)) {
+            r.status = v.ErrStatus(i);
+            r.fail_seq = seq;
+            continue;
+          }
+          if (r.status.ok() && IsTruthy(v.At(i))) {
+            r.rows.emplace_back(seq, std::move(batch.rows[i]));
+          }
+        }
+      }
+      const ShardScanMetrics& m = shard_metrics[s];
+      if (m.rows != nullptr) {
+        m.rows->Add(static_cast<int64_t>(r.scanned));
+        m.bytes->Add(static_cast<int64_t>(r.scanned_bytes));
+        const int64_t elapsed = NowNs() - t0;
+        m.ns->Add(elapsed);
+        shard_scan_ns_->Record(elapsed);
+      }
+    });
+  }
+  pool_->Run(std::move(tasks));
+
+  const TaskResult* failed = nullptr;
+  for (const TaskResult& r : results) {
+    if (!r.status.ok() &&
+        (failed == nullptr || r.fail_seq < failed->fail_seq)) {
+      failed = &r;
+    }
+  }
+  if (failed != nullptr) return failed->status;
+
+  size_t total = 0;
+  size_t scanned = 0;
+  size_t scanned_bytes = 0;
+  for (const TaskResult& r : results) {
+    total += r.rows.size();
+    scanned += r.scanned;
+    scanned_bytes += r.scanned_bytes;
+  }
+  if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
+  std::vector<std::pair<size_t, Row>> merged;
+  merged.reserve(total);
+  for (TaskResult& r : results) {
+    for (auto& p : r.rows) merged.push_back(std::move(p));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.rows.reserve(merged.size());
+  for (auto& p : merged) out.rows.push_back(std::move(p.second));
+  rows_processed_ += scanned + out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecSelectScanVector(const RaNode& node,
+                                                 const storage::Table& table,
+                                                 const CompiledExpr& pred,
+                                                 const Schema& schema) {
+  ResultSet out;
+  out.schema = schema;
+  const storage::Snapshot snap = ReadSnapshot();
+  std::vector<std::pair<size_t, Row>> matched;  // (seq, matched row)
+  size_t scanned = 0;
+  size_t scanned_bytes = 0;
+  Status fail = Status::OK();
+  size_t fail_seq = 0;
+  Batch batch;
+  Vec v;
+  std::vector<uint32_t> sel;
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    storage::ShardScanCursor cursor(table, s, snap);
+    for (size_t n = NextBatch(&cursor, &batch); n != 0;
+         n = NextBatch(&cursor, &batch)) {
+      RecordBatch(n);
+      scanned += n;
+      scanned_bytes += batch.wire_bytes;
+      pred.Eval(batch.rows.data(), n, &v);
+      if (!v.has_err && fail.ok()) {
+        sel.clear();
+        AppendTruthySelection(v, &sel);
+        for (uint32_t i : sel) {
+          matched.emplace_back(batch.seqs[i], std::move(batch.rows[i]));
+        }
+        continue;
+      }
+      // Same minimum-failing-seq discipline as the parallel shard task:
+      // the row engine filters the seq-sorted scan and aborts at the
+      // first failing row, so the error to surface is the one with the
+      // lowest seq across all shards.
+      for (size_t i = 0; i < n; ++i) {
+        const size_t seq = batch.seqs[i];
+        if (!fail.ok() && seq > fail_seq) continue;
+        if (v.ErrAt(i)) {
+          fail = v.ErrStatus(i);
+          fail_seq = seq;
+        }
+      }
+    }
+  }
+  // The row engine materializes and charges the entire scan before the
+  // filter sees a row, so scan costs land even when the predicate
+  // errors.
+  rows_processed_ += scanned;
+  if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
+  if (!fail.ok()) return fail;
+  std::sort(matched.begin(), matched.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.rows.reserve(matched.size());
+  for (auto& p : matched) out.rows.push_back(std::move(p.second));
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::FilterVector(ResultSet in,
+                                         const CompiledExpr& pred) {
+  ResultSet out;
+  out.schema = std::move(in.schema);
+  Vec v;
+  std::vector<uint32_t> sel;
+  for (size_t off = 0; off < in.rows.size(); off += kBatchCapacity) {
+    const size_t cnt = std::min(kBatchCapacity, in.rows.size() - off);
+    RecordBatch(cnt);
+    pred.Eval(in.rows.data() + off, cnt, &v);
+    if (v.has_err) {
+      // The row engine aborts at the first failing row; lanes are in
+      // row order, so the first error lane is that row.
+      for (size_t i = 0; i < cnt; ++i) {
+        if (v.ErrAt(i)) return v.ErrStatus(i);
+        if (IsTruthy(v.At(i))) out.rows.push_back(std::move(in.rows[off + i]));
+      }
+    } else {
+      sel.clear();
+      AppendTruthySelection(v, &sel);
+      for (uint32_t i : sel) out.rows.push_back(std::move(in.rows[off + i]));
+    }
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ProjectVector(
+    const RaNode& node, ResultSet in,
+    const std::vector<std::unique_ptr<CompiledExpr>>& items) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  out.rows.reserve(in.rows.size());
+  std::vector<Vec> vs(items.size());
+  for (size_t off = 0; off < in.rows.size(); off += kBatchCapacity) {
+    const size_t cnt = std::min(kBatchCapacity, in.rows.size() - off);
+    RecordBatch(cnt);
+    for (size_t k = 0; k < items.size(); ++k) {
+      items[k]->Eval(in.rows.data() + off, cnt, &vs[k]);
+    }
+    for (size_t i = 0; i < cnt; ++i) {
+      Row projected;
+      projected.reserve(items.size());
+      // Items evaluate left to right per row in the row engine: the
+      // first erroring item aborts the statement.
+      for (const Vec& v : vs) {
+        if (v.ErrAt(i)) return v.ErrStatus(i);
+        projected.push_back(v.At(i));
+      }
+      out.rows.push_back(std::move(projected));
+    }
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+bool Executor::CompileGroupBy(const RaNode& node, const RaNode* select,
+                              const Schema& schema, EvalContext* ctx,
+                              CompiledGroupBy* out) {
+  auto params = [ctx](int i) { return ctx->LookupParameter(i); };
+  if (select != nullptr) {
+    out->pred = CompiledExpr::Compile(select->predicate(), schema, params);
+    if (out->pred == nullptr) return false;
+  }
+  for (const ScalarExprPtr& k : node.group_keys()) {
+    out->keys.push_back(CompiledExpr::Compile(k, schema, params));
+    if (out->keys.back() == nullptr) return false;
+  }
+  for (const ra::AggregateSpec& a : node.aggregates()) {
+    if (a.func == ra::AggFunc::kCountStar) {
+      out->aggs.push_back(nullptr);  // reads no input
+      continue;
+    }
+    out->aggs.push_back(CompiledExpr::Compile(a.arg, schema, params));
+    if (out->aggs.back() == nullptr) return false;
+  }
+  return true;
+}
+
+Result<ResultSet> Executor::GroupByVectorFold(const RaNode& node, ResultSet in,
+                                              const CompiledGroupBy& plan) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  const auto& aggs = node.aggregates();
+
+  std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<AggState>> group_states;
+
+  // Typed fast path: a single integer group key whose aggregate inputs
+  // are all integer (or COUNT(*), which reads none) folds through an
+  // int64-keyed map with primitive partials — no Value is boxed per
+  // lane. A typed Vec holds no NULL and no error lanes by construction,
+  // so the fast path cannot diverge from the row fold's NULL handling
+  // or error selection, and accumulating isum in lane order reproduces
+  // its (exact, integer) sums bit for bit. The first batch that
+  // evaluates to anything untyped demotes the accumulated groups into
+  // the boxed representation and the general loop takes over for good;
+  // first-seen group order survives the demotion unchanged.
+  std::unordered_map<int64_t, size_t> fast_index;
+  std::vector<int64_t> fast_keys;
+  std::vector<std::vector<FastIntAgg>> fast_states;
+  bool fast_active = plan.keys.size() == 1;
+  auto demote_fast_groups = [&] {
+    fast_active = false;
+    for (size_t g = 0; g < fast_keys.size(); ++g) {
+      std::vector<Value> key{Value::Int(fast_keys[g])};
+      index.emplace(key, group_keys.size());
+      std::vector<AggState> states(aggs.size());
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        states[a] = fast_states[g][a].ToAggState();
+      }
+      group_keys.push_back(std::move(key));
+      group_states.push_back(std::move(states));
+    }
+    fast_index.clear();
+    fast_keys.clear();
+    fast_states.clear();
+  };
+
+  std::vector<Vec> kv(plan.keys.size());
+  std::vector<Vec> av(plan.aggs.size());
+  for (size_t off = 0; off < in.rows.size(); off += kBatchCapacity) {
+    const size_t cnt = std::min(kBatchCapacity, in.rows.size() - off);
+    RecordBatch(cnt);
+    for (size_t k = 0; k < plan.keys.size(); ++k) {
+      plan.keys[k]->Eval(in.rows.data() + off, cnt, &kv[k]);
+    }
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      if (plan.aggs[a] != nullptr) {
+        plan.aggs[a]->Eval(in.rows.data() + off, cnt, &av[a]);
+      }
+    }
+    if (fast_active) {
+      bool typed = kv[0].tag == Vec::Tag::kInt;
+      for (size_t a = 0; typed && a < plan.aggs.size(); ++a) {
+        typed = plan.aggs[a] == nullptr || av[a].tag == Vec::Tag::kInt;
+      }
+      if (typed) {
+        const int64_t* lanes = kv[0].ints.data();
+        for (size_t i = 0; i < cnt; ++i) {
+          auto [it, inserted] = fast_index.emplace(lanes[i], fast_keys.size());
+          if (inserted) {
+            fast_keys.push_back(lanes[i]);
+            fast_states.emplace_back(aggs.size());
+          }
+          std::vector<FastIntAgg>& states = fast_states[it->second];
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            if (plan.aggs[a] == nullptr) {
+              ++states[a].count;  // COUNT(*)
+              continue;
+            }
+            states[a].Update(av[a].ints[i]);
+          }
+        }
+        continue;
+      }
+      demote_fast_groups();
+    }
+    // Lanes fold in serial row order, so first-seen group order and
+    // error selection (keys before aggregates, left to right) match
+    // the row fold exactly.
+    for (size_t i = 0; i < cnt; ++i) {
+      std::vector<Value> key;
+      key.reserve(kv.size());
+      for (const Vec& v : kv) {
+        if (v.ErrAt(i)) return v.ErrStatus(i);
+        key.push_back(v.At(i));
+      }
+      auto [it, inserted] = index.emplace(key, group_keys.size());
+      if (inserted) {
+        group_keys.push_back(key);
+        group_states.emplace_back(aggs.size());
+      }
+      std::vector<AggState>& states = group_states[it->second];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        if (plan.aggs[a] == nullptr) {
+          ++states[a].count;  // COUNT(*)
+          continue;
+        }
+        if (av[a].ErrAt(i)) return av[a].ErrStatus(i);
+        states[a].Update(av[a].At(i));
+      }
+    }
+  }
+  if (fast_active) demote_fast_groups();
+
+  // Scalar aggregation (no keys) over empty input produces one row.
+  if (plan.keys.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    group_states.emplace_back(aggs.size());
+  }
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = std::move(group_keys[g]);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(group_states[g][a].Finalize(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecGroupByVectorFused(
+    const RaNode& node, const RaNode* select, const storage::Table& table,
+    const CompiledGroupBy& plan) {
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  const auto& aggs = node.aggregates();
+  // plan.pred is non-null exactly when `select` is (CompileGroupBy);
+  // the node pointer itself is not otherwise needed here.
+  (void)select;
+  const storage::Snapshot snap = ReadSnapshot();
+
+  std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<AggState>> group_states;
+  std::vector<size_t> group_seq;  // minimum seq folded into the group
+
+  // Typed fast path, as in GroupByVectorFold. Cursor order within a
+  // shard is not guaranteed seq order, so unlike the unfused fold the
+  // fused one cannot lean on fold order at all: group output order
+  // comes from each group's minimum seq, and the caller's hazard gate
+  // keeps every state integer-exact so accumulation order is moot.
+  std::unordered_map<int64_t, size_t> fast_index;
+  std::vector<int64_t> fast_keys;
+  std::vector<std::vector<FastIntAgg>> fast_states;
+  std::vector<size_t> fast_seq;
+  bool fast_active = plan.keys.size() == 1;
+  auto demote_fast_groups = [&] {
+    fast_active = false;
+    for (size_t g = 0; g < fast_keys.size(); ++g) {
+      std::vector<Value> key{Value::Int(fast_keys[g])};
+      index.emplace(key, group_keys.size());
+      std::vector<AggState> states(aggs.size());
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        states[a] = fast_states[g][a].ToAggState();
+      }
+      group_keys.push_back(std::move(key));
+      group_states.push_back(std::move(states));
+      group_seq.push_back(fast_seq[g]);
+    }
+    fast_index.clear();
+    fast_keys.clear();
+    fast_states.clear();
+    fast_seq.clear();
+  };
+
+  size_t scanned = 0;
+  size_t scanned_bytes = 0;
+  size_t matched = 0;
+  // The serial row engine runs the filter over the whole (seq-sorted)
+  // scan before the fold sees a row, so a predicate error anywhere
+  // outranks any key/aggregate error; within each stage the lowest
+  // failing seq wins.
+  Status pred_fail = Status::OK();
+  size_t pred_fail_seq = 0;
+  Status fold_fail = Status::OK();
+  size_t fold_fail_seq = 0;
+
+  Batch batch;
+  Vec pv;
+  std::vector<Vec> kv(plan.keys.size());
+  std::vector<Vec> av(plan.aggs.size());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    storage::ShardScanCursor cursor(table, s, snap);
+    for (size_t n = NextBatch(&cursor, &batch); n != 0;
+         n = NextBatch(&cursor, &batch)) {
+      RecordBatch(n);
+      scanned += n;
+      scanned_bytes += batch.wire_bytes;
+      if (plan.pred != nullptr) plan.pred->Eval(batch.rows.data(), n, &pv);
+      for (size_t k = 0; k < plan.keys.size(); ++k) {
+        plan.keys[k]->Eval(batch.rows.data(), n, &kv[k]);
+      }
+      for (size_t a = 0; a < plan.aggs.size(); ++a) {
+        if (plan.aggs[a] != nullptr) {
+          plan.aggs[a]->Eval(batch.rows.data(), n, &av[a]);
+        }
+      }
+      if (fast_active) {
+        bool typed = kv[0].tag == Vec::Tag::kInt &&
+                     (plan.pred == nullptr || !pv.has_err);
+        for (size_t a = 0; typed && a < plan.aggs.size(); ++a) {
+          typed = plan.aggs[a] == nullptr || av[a].tag == Vec::Tag::kInt;
+        }
+        if (typed) {
+          const int64_t* lanes = kv[0].ints.data();
+          const bool pred_bool =
+              plan.pred != nullptr && pv.tag == Vec::Tag::kBool;
+          for (size_t i = 0; i < n; ++i) {
+            if (plan.pred != nullptr) {
+              const bool truthy =
+                  pred_bool ? pv.bools[i] != 0 : IsTruthy(pv.At(i));
+              if (!truthy) continue;
+              ++matched;
+            }
+            const size_t seq = batch.seqs[i];
+            auto [it, inserted] =
+                fast_index.emplace(lanes[i], fast_keys.size());
+            if (inserted) {
+              fast_keys.push_back(lanes[i]);
+              fast_states.emplace_back(aggs.size());
+              fast_seq.push_back(seq);
+            } else if (seq < fast_seq[it->second]) {
+              fast_seq[it->second] = seq;
+            }
+            std::vector<FastIntAgg>& states = fast_states[it->second];
+            for (size_t a = 0; a < aggs.size(); ++a) {
+              if (plan.aggs[a] == nullptr) {
+                ++states[a].count;  // COUNT(*)
+                continue;
+              }
+              states[a].Update(av[a].ints[i]);
+            }
+          }
+          continue;
+        }
+        demote_fast_groups();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const size_t seq = batch.seqs[i];
+        if (plan.pred != nullptr) {
+          if (pv.ErrAt(i)) {
+            if (pred_fail.ok() || seq < pred_fail_seq) {
+              pred_fail = pv.ErrStatus(i);
+              pred_fail_seq = seq;
+            }
+            continue;
+          }
+          if (!IsTruthy(pv.At(i))) continue;
+          ++matched;
+        }
+        if (!fold_fail.ok() && seq > fold_fail_seq) continue;
+        std::vector<Value> key;
+        key.reserve(kv.size());
+        bool lane_failed = false;
+        for (const Vec& v : kv) {
+          if (v.ErrAt(i)) {
+            fold_fail = v.ErrStatus(i);
+            fold_fail_seq = seq;
+            lane_failed = true;
+            break;
+          }
+          key.push_back(v.At(i));
+        }
+        if (lane_failed) continue;
+        auto [it, inserted] = index.emplace(key, group_keys.size());
+        if (inserted) {
+          group_keys.push_back(key);
+          group_states.emplace_back(aggs.size());
+          group_seq.push_back(seq);
+        } else if (seq < group_seq[it->second]) {
+          group_seq[it->second] = seq;
+        }
+        std::vector<AggState>& states = group_states[it->second];
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          if (plan.aggs[a] == nullptr) {
+            ++states[a].count;  // COUNT(*)
+            continue;
+          }
+          if (av[a].ErrAt(i)) {
+            fold_fail = av[a].ErrStatus(i);
+            fold_fail_seq = seq;
+            break;
+          }
+          states[a].Update(av[a].At(i));
+        }
+      }
+    }
+  }
+  if (fast_active) demote_fast_groups();
+
+  // The scan's costs land in full before any filter or fold error
+  // surfaces, exactly as the serial row engine charges them.
+  rows_processed_ += scanned;
+  if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
+  if (!pred_fail.ok()) return pred_fail;
+  rows_processed_ += matched;
+  if (!fold_fail.ok()) return fold_fail;
+
+  // Scalar aggregation (no keys) over empty input produces one row.
+  if (plan.keys.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    group_states.emplace_back(aggs.size());
+    group_seq.push_back(0);
+  }
+
+  std::vector<size_t> order(group_keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return group_seq[a] < group_seq[b]; });
+
+  out.rows.reserve(order.size());
+  for (size_t g : order) {
+    Row row = std::move(group_keys[g]);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(group_states[g][a].Finalize(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
+Result<ResultSet> Executor::ExecGroupByVectorParallel(
+    const RaNode& node, const RaNode* select, const storage::Table& table,
+    const Schema& scan_schema, const CompiledGroupBy& plan) {
+  (void)scan_schema;  // compilation already bound columns positionally
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(node));
+  const auto& keys = node.group_keys();
+  const auto& aggs = node.aggregates();
+  const bool filtered = select != nullptr;
+
+  const storage::Snapshot snap = ReadSnapshot();
+
+  struct Partial {
+    std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+    std::vector<std::vector<Value>> keys;
+    std::vector<std::vector<AggState>> states;
+    std::vector<size_t> first_seq;
+    size_t scanned = 0;
+    size_t matched = 0;
+    size_t scanned_bytes = 0;
+    size_t fail_seq = 0;
+    Status status = Status::OK();
+  };
+  if (parallel_batches_ != nullptr) parallel_batches_->Increment();
+  std::vector<ShardScanMetrics> shard_metrics =
+      ShardMetrics(table.shard_count());
+  const obs::SpanContext parent = obs::CurrentSpanContext();
+  std::vector<Partial> partials(table.shard_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(table.shard_count());
+  for (size_t s = 0; s < table.shard_count(); ++s) {
+    tasks.push_back([this, &table, &plan, &aggs, filtered, snap, s, &partials,
+                     &shard_metrics, parent] {
+      obs::ScopedContext tctx(parent);
+      obs::ScopedSpan tspan("shard-aggregate");
+      if (tspan.active()) tspan.Attr("shard", std::to_string(s));
+      const int64_t t0 = NowNs();
+      Partial& p = partials[s];
+      storage::ShardScanCursor cursor(table, s, snap);
+      Batch batch;
+      Vec pv;
+      std::vector<Vec> kv(plan.keys.size());
+      std::vector<Vec> av(plan.aggs.size());
+      for (size_t n = NextBatch(&cursor, &batch); n != 0;
+           n = NextBatch(&cursor, &batch)) {
+        RecordBatch(n);
+        p.scanned += n;
+        p.scanned_bytes += batch.wire_bytes;
+        if (plan.pred != nullptr) plan.pred->Eval(batch.rows.data(), n, &pv);
+        for (size_t k = 0; k < plan.keys.size(); ++k) {
+          plan.keys[k]->Eval(batch.rows.data(), n, &kv[k]);
+        }
+        for (size_t a = 0; a < plan.aggs.size(); ++a) {
+          if (plan.aggs[a] != nullptr) {
+            plan.aggs[a]->Eval(batch.rows.data(), n, &av[a]);
+          }
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const size_t seq = batch.seqs[i];
+          // Minimum-failing-seq discipline (see the row task): the
+          // skip admits only lanes below the current failing seq, so
+          // plain status assignment keeps the minimum.
+          if (!p.status.ok() && seq > p.fail_seq) continue;
+          if (plan.pred != nullptr) {
+            if (pv.ErrAt(i)) {
+              p.status = pv.ErrStatus(i);
+              p.fail_seq = seq;
+              continue;
+            }
+            if (!IsTruthy(pv.At(i))) continue;
+          }
+          if (filtered) ++p.matched;
+          std::vector<Value> key;
+          key.reserve(kv.size());
+          bool lane_failed = false;
+          for (const Vec& v : kv) {
+            if (v.ErrAt(i)) {
+              p.status = v.ErrStatus(i);
+              p.fail_seq = seq;
+              lane_failed = true;
+              break;
+            }
+            key.push_back(v.At(i));
+          }
+          if (lane_failed) continue;
+          auto [it, inserted] = p.index.emplace(key, p.keys.size());
+          if (inserted) {
+            p.keys.push_back(key);
+            p.states.emplace_back(aggs.size());
+            p.first_seq.push_back(seq);
+          }
+          std::vector<AggState>& states = p.states[it->second];
+          for (size_t a = 0; a < aggs.size(); ++a) {
+            if (plan.aggs[a] == nullptr) {
+              ++states[a].count;  // COUNT(*)
+              continue;
+            }
+            if (av[a].ErrAt(i)) {
+              p.status = av[a].ErrStatus(i);
+              p.fail_seq = seq;
+              break;
+            }
+            states[a].Update(av[a].At(i));
+          }
+        }
+      }
+      const ShardScanMetrics& m = shard_metrics[s];
+      if (m.rows != nullptr) {
+        m.rows->Add(static_cast<int64_t>(p.scanned));
+        m.bytes->Add(static_cast<int64_t>(p.scanned_bytes));
+        const int64_t elapsed = NowNs() - t0;
+        m.ns->Add(elapsed);
+        shard_scan_ns_->Record(elapsed);
+      }
+    });
+  }
+  pool_->Run(std::move(tasks));
+
+  const Partial* failed = nullptr;
+  for (const Partial& p : partials) {
+    if (!p.status.ok() && (failed == nullptr || p.fail_seq < failed->fail_seq)) {
+      failed = &p;
+    }
+  }
+  if (failed != nullptr) return failed->status;
+
+  // Merge shard partials exactly like the row engine: arbitrary shard
+  // order, final group order from the minimum first-seen seq, exact
+  // (integer) state merges only — guaranteed by the caller's hazard
+  // gates, which are identical in both modes.
+  std::unordered_map<std::vector<Value>, size_t, RowVecHash, RowVecEq> index;
+  std::vector<std::vector<Value>> gkeys;
+  std::vector<std::vector<AggState>> gstates;
+  std::vector<size_t> gseq;
+  size_t scanned = 0;
+  size_t matched = 0;
+  size_t scanned_bytes = 0;
+  for (Partial& p : partials) {
+    scanned += p.scanned;
+    matched += p.matched;
+    scanned_bytes += p.scanned_bytes;
+    for (size_t g = 0; g < p.keys.size(); ++g) {
+      auto [it, inserted] = index.emplace(p.keys[g], gkeys.size());
+      if (inserted) {
+        gkeys.push_back(std::move(p.keys[g]));
+        gstates.push_back(std::move(p.states[g]));
+        gseq.push_back(p.first_seq[g]);
+      } else {
+        size_t i = it->second;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          gstates[i][a].Merge(p.states[g][a]);
+        }
+        gseq[i] = std::min(gseq[i], p.first_seq[g]);
+      }
+    }
+  }
+
+  // Scalar aggregation (no keys) over empty input produces one row.
+  if (keys.empty() && gkeys.empty()) {
+    gkeys.emplace_back();
+    gstates.emplace_back(aggs.size());
+    gseq.push_back(0);
+  }
+
+  std::vector<size_t> order(gkeys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return gseq[a] < gseq[b]; });
+
+  out.rows.reserve(order.size());
+  for (size_t g : order) {
+    Row row = std::move(gkeys[g]);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(gstates[g][a].Finalize(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  if (scan_rows_ != nullptr) RecordScan(scanned, scanned_bytes);
+  rows_processed_ += scanned + matched + out.rows.size();
   return out;
 }
 

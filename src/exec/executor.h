@@ -5,6 +5,8 @@
 
 #include "catalog/schema.h"
 #include "common/result.h"
+#include "exec/batch.h"
+#include "exec/exec_mode.h"
 #include "exec/worker_pool.h"
 #include "obs/metrics.h"
 #include "ra/ra_node.h"
@@ -92,6 +94,18 @@ class Executor {
   /// non-empty eligible table — used by the invariance tests.
   void set_parallel_threshold(size_t n) { parallel_threshold_ = n; }
 
+  /// Selects the execution engine (see exec/exec_mode.h). kVector
+  /// routes scans, filters, projections, and group-by folds through the
+  /// batch-at-a-time columnar path; expressions the batch compiler
+  /// cannot handle (correlated references, EXISTS subqueries, unbound
+  /// parameters) fall back to the row engine per operator, counted in
+  /// exec.batch.fallbacks. Results, errors, and cost accounting are
+  /// identical in both modes. Defaults to kRow so a bare Executor keeps
+  /// the original engine directly testable; the server stack applies
+  /// ServerOptions::exec_mode.
+  void set_exec_mode(ExecMode mode) { mode_ = mode; }
+  ExecMode exec_mode() const { return mode_; }
+
   /// Attaches the caller's pinned table snapshot. When set, table
   /// resolution prefers the guard's snapshot over the live registry, so
   /// a query keeps reading the tables it locked even if another session
@@ -152,6 +166,50 @@ class Executor {
                                         const storage::Table& table,
                                         EvalContext* ctx);
 
+  /// A group-by whose pieces all compiled for batch evaluation:
+  /// optional filter predicate, key expressions, and aggregate
+  /// arguments (null entry = COUNT(*), which reads no input).
+  struct CompiledGroupBy {
+    std::unique_ptr<CompiledExpr> pred;
+    std::vector<std::unique_ptr<CompiledExpr>> keys;
+    std::vector<std::unique_ptr<CompiledExpr>> aggs;
+  };
+  /// Compiles the group-by's scalar pieces against `schema` (pred only
+  /// when `select` is non-null). False = something didn't compile; the
+  /// caller falls back to the row engine.
+  bool CompileGroupBy(const ra::RaNode& node, const ra::RaNode* select,
+                      const catalog::Schema& schema, EvalContext* ctx,
+                      CompiledGroupBy* out);
+
+  /// Vectorized operators (mode_ == kVector). Each mirrors its row
+  /// twin's results, error selection, and cost accounting exactly.
+  Result<ResultSet> ExecScanVector(const ra::RaNode& node,
+                                   const storage::Table& table);
+  Result<ResultSet> ExecScanVectorParallel(const ra::RaNode& node,
+                                           const storage::Table& table);
+  Result<ResultSet> ExecSelectScanVector(const ra::RaNode& node,
+                                         const storage::Table& table,
+                                         const CompiledExpr& pred,
+                                         const catalog::Schema& schema);
+  Result<ResultSet> ExecSelectScanVectorParallel(const ra::RaNode& node,
+                                                 const storage::Table& table,
+                                                 const CompiledExpr& pred,
+                                                 const catalog::Schema& schema);
+  Result<ResultSet> ExecGroupByVectorParallel(const ra::RaNode& node,
+                                              const ra::RaNode* select,
+                                              const storage::Table& table,
+                                              const catalog::Schema& scan_schema,
+                                              const CompiledGroupBy& plan);
+  Result<ResultSet> ExecGroupByVectorFused(const ra::RaNode& node,
+                                           const ra::RaNode* select,
+                                           const storage::Table& table,
+                                           const CompiledGroupBy& plan);
+  Result<ResultSet> FilterVector(ResultSet in, const CompiledExpr& pred);
+  Result<ResultSet> ProjectVector(const ra::RaNode& node, ResultSet in,
+                                  const std::vector<std::unique_ptr<CompiledExpr>>& items);
+  Result<ResultSet> GroupByVectorFold(const ra::RaNode& node, ResultSet in,
+                                      const CompiledGroupBy& plan);
+
   /// Per-shard counter handles for one fan-out, resolved on the
   /// submitting thread so tasks never take the registry mutex.
   struct ShardScanMetrics {
@@ -175,16 +233,35 @@ class Executor {
     }
   }
 
+  /// One batch moved through a vectorized operator. Thread-safe
+  /// (striped counters); called from shard tasks.
+  void RecordBatch(size_t rows) {
+    if (batch_batches_ != nullptr) {
+      batch_batches_->Increment();
+      batch_rows_->Add(static_cast<int64_t>(rows));
+      batch_size_->Record(static_cast<int64_t>(rows));
+    }
+  }
+  /// An operator in kVector mode handed its input to the row engine.
+  void RecordVectorFallback() {
+    if (batch_fallbacks_ != nullptr) batch_fallbacks_->Increment();
+  }
+
   const storage::Database* db_;
   const storage::ReadGuard* guard_ = nullptr;
   WorkerPool* pool_ = nullptr;
   size_t parallel_threshold_ = 512;
+  ExecMode mode_ = ExecMode::kRow;
   size_t rows_processed_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* scan_rows_ = nullptr;
   obs::Counter* scan_bytes_ = nullptr;
   obs::Counter* parallel_batches_ = nullptr;
   obs::Histogram* shard_scan_ns_ = nullptr;
+  obs::Counter* batch_batches_ = nullptr;
+  obs::Counter* batch_rows_ = nullptr;
+  obs::Counter* batch_fallbacks_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 };
 
 }  // namespace eqsql::exec

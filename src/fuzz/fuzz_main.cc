@@ -10,12 +10,17 @@
 //   fuzz_eqsql [--seed N] [--iters M] [--corpus DIR] [--replay FILE]
 //              [--case-seed S] [--family NAME] [--inject-bug]
 //              [--max-rows K] [--shards P] [--async-every N]
-//              [--no-shrink] [--verbose]
+//              [--exec-mode row|vector] [--no-shrink] [--verbose]
 //
 // --async-every N routes a deterministic 1-in-N of the generated cases
 // through a scheduler-backed server (Session::Submit) instead of direct
 // connections, differentially testing the async execution path. Default
 // 8; 0 keeps every case on the direct path.
+//
+// --exec-mode picks the engine for the rewritten program's run (the
+// original always runs on the row engine). The default, vector, makes
+// every scenario a row-vs-vector differential on top of the rewrite
+// check; --exec-mode row pins both runs to the row engine.
 //
 // --family NAME restricts generation to one program family (as printed
 // in the family-mix line), e.g. --family txn sweeps only multi-session
@@ -33,6 +38,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/exec_mode.h"
 #include "fuzz/corpus.h"
 #include "fuzz/oracle.h"
 #include "fuzz/program_gen.h"
@@ -55,6 +61,7 @@ struct Args {
   int shards = 1;
   int async_every = 8;
   std::string family;
+  exec::ExecMode exec_mode = exec::ExecMode::kVector;
 };
 
 void PrintReport(const FuzzCase& c, const OracleReport& r) {
@@ -124,6 +131,7 @@ int Run(const Args& args) {
   oopts.shard_count = args.shards < 1 ? 1 : static_cast<size_t>(args.shards);
   oopts.async_every_n =
       args.async_every < 1 ? 0 : static_cast<size_t>(args.async_every);
+  oopts.exec_mode = args.exec_mode;
   GenOptions gopts;
   gopts.data.max_rows = args.max_rows;
   if (!args.family.empty() && !RestrictToFamily(&gopts, args.family)) {
@@ -160,10 +168,12 @@ int Run(const Args& args) {
         continue;
       }
       // Corpus replays ignore --inject-bug (they are regression tests
-      // for real failures) but do honor --shards, so the saved
-      // reproducers also sweep the sharded configurations.
+      // for real failures) but do honor --shards and --exec-mode, so
+      // the saved reproducers also sweep the sharded and vectorized
+      // configurations.
       OracleOptions replay_opts;
       replay_opts.shard_count = oopts.shard_count;
+      replay_opts.exec_mode = oopts.exec_mode;
       OracleReport report = RunOracle(*c, replay_opts);
       if (report.verdict != Verdict::kPass) {
         std::fprintf(stderr, "corpus regression: %s\n", file.c_str());
@@ -259,12 +269,22 @@ int main(int argc, char** argv) {
       args.async_every = std::atoi(next());
     } else if (a == "--family") {
       args.family = next();
+    } else if (a == "--exec-mode") {
+      const char* value = next();
+      auto mode = eqsql::exec::ParseExecMode(value);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "unknown exec mode: %s (want row|vector)\n",
+                     value);
+        return 2;
+      }
+      args.exec_mode = *mode;
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: fuzz_eqsql [--seed N] [--iters M] [--corpus DIR]\n"
           "                  [--replay FILE] [--case-seed S] [--family NAME]\n"
           "                  [--inject-bug] [--max-rows K] [--shards P]\n"
-          "                  [--async-every N] [--no-shrink] [--verbose]\n");
+          "                  [--async-every N] [--exec-mode row|vector]\n"
+          "                  [--no-shrink] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());

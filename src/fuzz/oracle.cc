@@ -439,6 +439,7 @@ OracleReport RunTxnOracle(const FuzzCase& c, const OracleOptions& opts) {
     net::ServerOptions so;
     so.database = dbo;
     so.scheduler_workers = 2;
+    so.exec_mode = opts.exec_mode;
     net::Server server(so);
     if (Status s = BuildDatabase(c, server.db()); !s.ok()) {
       report.detail = "database setup: " + s.ToString();
@@ -464,6 +465,7 @@ OracleReport RunTxnOracle(const FuzzCase& c, const OracleOptions& opts) {
     std::vector<net::Client*> clients;
     for (int i = 0; i < sessions; ++i) {
       owned.push_back(std::make_unique<net::Connection>(&db));
+      owned.back()->set_exec_mode(opts.exec_mode);
       clients.push_back(owned.back().get());
     }
     live = RunTxnSchedule(*steps, clients, &units);
@@ -480,6 +482,10 @@ OracleReport RunTxnOracle(const FuzzCase& c, const OracleOptions& opts) {
     report.detail = "replay database setup: " + s.ToString();
     return report;
   }
+  // The replay connection deliberately keeps its default row engine:
+  // when the live run executed on the vector engine, live-vs-replay
+  // agreement doubles as a row-vs-vector differential over the
+  // schedule's SELECT cardinalities and final table contents.
   net::Connection replay_conn(&replay_db);
   for (size_t u = 0; u < units.size(); ++u) {
     for (const auto& [sql, live_rows] : units[u]) {
@@ -583,7 +589,13 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
       so.exec_threads = 2;
       so.parallel_threshold = 0;  // force parallel operators on
     }
-    net::Server s1(so), s2(so);
+    // Original on the row engine, rewrite on opts.exec_mode: the
+    // comparison below is then a rewrite differential AND an engine
+    // differential in one pass.
+    net::ServerOptions so1 = so, so2 = so;
+    so1.exec_mode = exec::ExecMode::kRow;
+    so2.exec_mode = opts.exec_mode;
+    net::Server s1(so1), s2(so2);
     if (Status s = BuildDatabase(c, s1.db()); !s.ok()) {
       report.detail = "database setup: " + s.ToString();
       return report;
@@ -633,6 +645,9 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
     c2.set_worker_pool(pool.get());
     c2.set_parallel_threshold(0);
   }
+  // c1 keeps the Connection default (row engine); the rewrite runs on
+  // the requested engine so every pass is also a row-vs-vector check.
+  c2.set_exec_mode(opts.exec_mode);
   c2.set_trace(true);
   interp::Interpreter i1(&*program, &c1);
   interp::Interpreter i2(&optimized->program, &c2);

@@ -153,6 +153,13 @@ class Connection : public Client {
     executor_.set_parallel_threshold(n);
   }
 
+  /// Selects the execution engine for this connection's queries
+  /// (exec::ExecMode::kRow or kVector — see exec/exec_mode.h). A bare
+  /// Connection defaults to the row engine; the server stack applies
+  /// ServerOptions::exec_mode to every worker link and session.
+  void set_exec_mode(exec::ExecMode mode) { executor_.set_exec_mode(mode); }
+  exec::ExecMode exec_mode() const { return executor_.exec_mode(); }
+
   /// Attaches a metrics registry: net.* counters (queries, round trips,
   /// rows/bytes transferred, DML statements), the net.query_ns wall-time
   /// histogram, storage.lock_wait_ns via the per-query ReadGuard, and

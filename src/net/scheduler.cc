@@ -50,6 +50,7 @@ Scheduler::Scheduler(Server* server, SchedulerOptions options)
                                              server_->options().cost_model);
     conn->set_worker_pool(server_->worker_pool());
     conn->set_parallel_threshold(server_->options().parallel_threshold);
+    conn->set_exec_mode(server_->options().exec_mode);
     conn->set_metrics(metrics);
     conns_.push_back(std::move(conn));
   }
@@ -202,8 +203,9 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
           server_->plan_cache()->GetOrOptimize(req.sql, req.function,
                                                server_->options().optimize);
       if (!result.ok()) return Outcome::FromError(result.status());
-      return Outcome::FromExplain(
-          obs::RenderExplainText(**result, req.function));
+      return Outcome::FromExplain(obs::RenderExplainText(
+          **result, req.function,
+          exec::ExecModeName(server_->options().exec_mode)));
     }
     case Kind::kStatement:
       break;  // classified above; unreachable

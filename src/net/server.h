@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "core/optimizer.h"
+#include "exec/exec_mode.h"
 #include "core/plan_cache.h"
 #include "net/api.h"
 #include "net/connection.h"
@@ -43,6 +44,12 @@ struct ServerOptions {
   /// Minimum table row count before per-shard parallel operators engage
   /// (forwarded to every session's Executor).
   size_t parallel_threshold = 512;
+  /// Execution engine for every session and scheduler worker link:
+  /// vectorized batch-at-a-time by default, row-at-a-time as the
+  /// runtime fallback (--exec-mode=row / EQSQL_EXEC_MODE=row). The two
+  /// engines produce byte-identical results; only speed and the
+  /// exec.batch.* observability differ.
+  exec::ExecMode exec_mode = exec::DefaultExecMode();
   /// Worker threads in the request scheduler (the execution engine
   /// behind Session::Submit/Execute). 0 = default (2).
   size_t scheduler_workers = 0;
@@ -227,6 +234,7 @@ class Session : public Client {
                                         server->options_.cost_model) {
     conn_.set_worker_pool(&server->pool_);
     conn_.set_parallel_threshold(server->options_.parallel_threshold);
+    conn_.set_exec_mode(server->options_.exec_mode);
     conn_.set_metrics(&server->metrics_);
     // Direct connection() calls and scheduler-executed requests share
     // one transaction context (~Connection rolls back anything left

@@ -101,9 +101,11 @@ void RenderVar(std::ostringstream& out, const VarOutcome& o) {
 }  // namespace
 
 std::string RenderExplainText(const core::OptimizeResult& result,
-                              const std::string& function) {
+                              const std::string& function,
+                              const std::string& exec_mode) {
   std::ostringstream out;
   out << "EXPLAIN EXTRACTION for function '" << function << "'\n";
+  if (!exec_mode.empty()) out << "execution mode: " << exec_mode << "\n";
   if (result.outcomes.empty()) {
     out << "no cursor loops with observable variables\n";
     return out.str();
@@ -124,9 +126,14 @@ std::string RenderExplainText(const core::OptimizeResult& result,
 }
 
 std::string RenderExplainJson(const core::OptimizeResult& result,
-                              const std::string& function) {
+                              const std::string& function,
+                              const std::string& exec_mode) {
   std::ostringstream out;
-  out << "{\"function\":\"" << JsonEscape(function) << "\",\"loops\":[";
+  out << "{\"function\":\"" << JsonEscape(function) << "\"";
+  if (!exec_mode.empty()) {
+    out << ",\"exec_mode\":\"" << JsonEscape(exec_mode) << "\"";
+  }
+  out << ",\"loops\":[";
   bool first_loop = true;
   auto verdict_json = [&](const char* name,
                           const analysis::PreconditionVerdict& v) {

@@ -14,14 +14,23 @@ namespace eqsql::obs {
 ///
 /// The text form is stable (golden-tested); timings are deliberately
 /// omitted so output is byte-deterministic for a fixed program.
+///
+/// A non-empty `exec_mode` ("row"/"vector") adds an "execution mode"
+/// line reporting which engine the serving stack would run the
+/// extracted queries on; the default empty string keeps the original
+/// byte-identical report for callers without an engine in play.
 std::string RenderExplainText(const core::OptimizeResult& result,
-                              const std::string& function);
+                              const std::string& function,
+                              const std::string& exec_mode = "");
 
-/// The same report as JSON: {"function":..,"loops":[{"line":..,
-/// "desc":..,"vars":[{"var":..,"extracted":..,"preconditions":{...},
-/// "rules":[..],"sql":[..],"reason":..,"cost_skipped":..},..]},..]}.
+/// The same report as JSON: {"function":..,["exec_mode":..,]"loops":
+/// [{"line":..,"desc":..,"vars":[{"var":..,"extracted":..,
+/// "preconditions":{...},"rules":[..],"sql":[..],"reason":..,
+/// "cost_skipped":..},..]},..]}. The exec_mode field appears only when
+/// the argument is non-empty.
 std::string RenderExplainJson(const core::OptimizeResult& result,
-                              const std::string& function);
+                              const std::string& function,
+                              const std::string& exec_mode = "");
 
 }  // namespace eqsql::obs
 

@@ -451,6 +451,22 @@ std::vector<std::shared_ptr<const Table::Slot>> Table::PinShard(
                                                   shard.slots.end());
 }
 
+size_t ShardScanCursor::Next(size_t max_rows, std::vector<size_t>* seqs,
+                             std::vector<catalog::Row>* rows,
+                             size_t* wire_bytes) {
+  size_t produced = 0;
+  while (produced < max_rows && pos_ < slots_.size()) {
+    const TableSlot& slot = *slots_[pos_++];
+    const catalog::Row* row = slot.VisibleRow(snap_);
+    if (row == nullptr) continue;  // tombstoned / not yet visible
+    seqs->push_back(slot.seq);
+    rows->push_back(*row);  // copy: the version may be vacuumed later
+    *wire_bytes += catalog::RowWireSize(*row);
+    ++produced;
+  }
+  return produced;
+}
+
 void Table::NoteCommit(Ts commit_ts, int64_t size_delta) {
   last_commit_ts_.store(commit_ts, std::memory_order_release);
   size_.fetch_add(static_cast<size_t>(size_delta),

@@ -395,7 +395,15 @@ TEST(ExplainTest, ServerSessionRendersSameReport) {
   ExpectAfter(*report, "=> extracted", 0);
 
   core::OptimizeResult direct = OptimizeOrDie(src, "total");
-  EXPECT_EQ(*report, RenderExplainText(direct, "total"));
+  // The served report additionally names the engine the extracted
+  // queries would run on (ServerOptions::exec_mode).
+  EXPECT_EQ(*report,
+            RenderExplainText(direct, "total",
+                              exec::ExecModeName(server.options().exec_mode)));
+  EXPECT_NE(report->find(std::string("execution mode: ") +
+                         exec::ExecModeName(server.options().exec_mode)),
+            std::string::npos)
+      << *report;
 
   // Second request hits the shared extraction cache.
   auto again = session->ExplainExtraction(src, "total");

@@ -1,8 +1,10 @@
 // Shard-count-invariance property suite — the headline artifact of the
 // sharded storage layer. The property: for any program and any data,
 // every observable output of the engine is byte-identical whether the
-// tables are partitioned across 1, 2, or 8 shards and whether the
-// partition-parallel operators are on or off. "Observable" is strict:
+// tables are partitioned across 1, 2, or 8 shards, whether the
+// partition-parallel operators are on or off, AND whether the row or
+// the vectorized engine executes the queries (the full 2-mode x
+// 3-layout grid shares one reference signature). "Observable" is strict:
 // return value, print stream, AND the simulated cost counters
 // (rows/bytes transferred, queries, round trips, simulated_ms down to
 // the last bit — the parallel operators charge the same per-query row
@@ -28,6 +30,7 @@
 
 #include "catalog/value.h"
 #include "common/hash.h"
+#include "exec/exec_mode.h"
 #include "exec/worker_pool.h"
 #include "frontend/parser.h"
 #include "fuzz/oracle.h"
@@ -43,6 +46,8 @@ namespace eqsql {
 namespace {
 
 constexpr size_t kShardCounts[] = {1, 2, 8};
+constexpr exec::ExecMode kExecModes[] = {exec::ExecMode::kRow,
+                                         exec::ExecMode::kVector};
 
 /// Everything one run of a program observably produced, flattened to a
 /// single comparable string. Cost counters are printed with full
@@ -63,9 +68,11 @@ std::string Signature(const std::string& result_display,
 }
 
 /// Interprets `source`'s function `f` against a fresh database built
-/// from the case's tables, partitioned across `shards`, with the
-/// parallel operators forced on (threshold 0) whenever a pool is given.
-Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards) {
+/// from the case's tables, partitioned across `shards`, on the given
+/// execution engine, with the parallel operators forced on (threshold
+/// 0) whenever a pool is given.
+Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards,
+                                    exec::ExecMode mode) {
   storage::DatabaseOptions dbo;
   dbo.shard_count = shards;
   storage::Database db(dbo);
@@ -75,6 +82,7 @@ Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards) {
   if (!program.ok()) return program.status();
 
   net::Connection conn(&db);
+  conn.set_exec_mode(mode);
   std::unique_ptr<exec::WorkerPool> pool;
   if (shards > 1) {
     pool = std::make_unique<exec::WorkerPool>(2);
@@ -87,32 +95,44 @@ Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards) {
   return Signature(result->DisplayString(), interp.printed(), conn.stats());
 }
 
-/// Asserts the case signatures at 1, 2, and 8 shards are identical.
+/// Asserts the case signatures across the full exec-mode x shard-count
+/// grid are identical: the row engine at 1 shard anchors the reference
+/// and the vectorized engine at every layout must match it byte for
+/// byte — this sweep IS the corpus-wide batch-vs-row differential.
 /// Txn-family cases are schedules, not programs: their signature is the
 /// txn oracle's rendered outcome log (per-statement row counts and
 /// error codes in schedule order) instead of an interpreter run.
 void ExpectInvariant(const fuzz::FuzzCase& c, const std::string& label) {
   std::string reference;
-  for (size_t shards : kShardCounts) {
-    std::string sig;
-    if (c.function == "@txn") {
-      fuzz::OracleOptions opts;
-      opts.shard_count = shards;
-      fuzz::OracleReport report = fuzz::RunOracle(c, opts);
-      ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
-          << label << " shards=" << shards << ": " << report.detail;
-      sig = report.rewritten_source;
-      ASSERT_FALSE(sig.empty()) << label;
-    } else {
-      auto run = RunAtShardCount(c, shards);
-      ASSERT_TRUE(run.ok()) << label << " shards=" << shards << ": "
-                            << run.status().ToString();
-      sig = *run;
-    }
-    if (shards == kShardCounts[0]) {
-      reference = sig;
-    } else {
-      EXPECT_EQ(sig, reference) << label << " diverges at shards=" << shards;
+  bool have_reference = false;
+  for (exec::ExecMode mode : kExecModes) {
+    for (size_t shards : kShardCounts) {
+      std::string sig;
+      if (c.function == "@txn") {
+        fuzz::OracleOptions opts;
+        opts.shard_count = shards;
+        opts.exec_mode = mode;
+        fuzz::OracleReport report = fuzz::RunOracle(c, opts);
+        ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
+            << label << " shards=" << shards << " mode="
+            << exec::ExecModeName(mode) << ": " << report.detail;
+        sig = report.rewritten_source;
+        ASSERT_FALSE(sig.empty()) << label;
+      } else {
+        auto run = RunAtShardCount(c, shards, mode);
+        ASSERT_TRUE(run.ok())
+            << label << " shards=" << shards << " mode="
+            << exec::ExecModeName(mode) << ": " << run.status().ToString();
+        sig = *run;
+      }
+      if (!have_reference) {
+        reference = sig;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(sig, reference)
+            << label << " diverges at shards=" << shards
+            << " mode=" << exec::ExecModeName(mode);
+      }
     }
   }
 }
@@ -146,18 +166,24 @@ TEST(ShardInvarianceTest, DmlFamilySpecifically) {
 }
 
 // The full oracle (original vs rewritten differential) must also pass
-// at every shard count: rewrites and refusals behave identically on
-// partitioned storage.
+// at every shard count and on both execution engines: rewrites and
+// refusals behave identically on partitioned storage, and in vector
+// mode the original (row engine) vs rewrite (vector engine) comparison
+// cross-checks the two interpreters against each other.
 TEST(ShardInvarianceTest, OraclePassesAtEveryShardCount) {
   for (int i = 0; i < 12; ++i) {
     uint64_t seed = SplitMix64(0xacc7 + static_cast<uint64_t>(i));
     fuzz::FuzzCase c = fuzz::GenerateCase(seed);
-    for (size_t shards : kShardCounts) {
-      fuzz::OracleOptions opts;
-      opts.shard_count = shards;
-      fuzz::OracleReport report = fuzz::RunOracle(c, opts);
-      EXPECT_EQ(report.verdict, fuzz::Verdict::kPass)
-          << "seed " << seed << " shards=" << shards << ": " << report.detail;
+    for (exec::ExecMode mode : kExecModes) {
+      for (size_t shards : kShardCounts) {
+        fuzz::OracleOptions opts;
+        opts.shard_count = shards;
+        opts.exec_mode = mode;
+        fuzz::OracleReport report = fuzz::RunOracle(c, opts);
+        EXPECT_EQ(report.verdict, fuzz::Verdict::kPass)
+            << "seed " << seed << " shards=" << shards << " mode="
+            << exec::ExecModeName(mode) << ": " << report.detail;
+      }
     }
   }
 }
@@ -177,21 +203,26 @@ TEST(ShardInvarianceTest, TxnFamilySchedulesAcrossShardCounts) {
     fuzz::FuzzCase c = fuzz::GenerateCase(seed, gopts);
     ASSERT_EQ(c.function, "@txn");
     std::string reference;
-    for (size_t shards : kShardCounts) {
-      fuzz::OracleOptions opts;
-      opts.shard_count = shards;
-      fuzz::OracleReport report = fuzz::RunOracle(c, opts);
-      ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
-          << "txn seed " << seed << " shards=" << shards << ": "
-          << report.detail;
-      // rewritten_source carries the rendered outcome log.
-      ASSERT_FALSE(report.rewritten_source.empty());
-      if (shards == kShardCounts[0]) {
-        reference = report.rewritten_source;
-      } else {
-        EXPECT_EQ(report.rewritten_source, reference)
-            << "txn seed " << seed << " outcome log diverges at shards="
-            << shards;
+    bool have_reference = false;
+    for (exec::ExecMode mode : kExecModes) {
+      for (size_t shards : kShardCounts) {
+        fuzz::OracleOptions opts;
+        opts.shard_count = shards;
+        opts.exec_mode = mode;
+        fuzz::OracleReport report = fuzz::RunOracle(c, opts);
+        ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
+            << "txn seed " << seed << " shards=" << shards << " mode="
+            << exec::ExecModeName(mode) << ": " << report.detail;
+        // rewritten_source carries the rendered outcome log.
+        ASSERT_FALSE(report.rewritten_source.empty());
+        if (!have_reference) {
+          reference = report.rewritten_source;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(report.rewritten_source, reference)
+              << "txn seed " << seed << " outcome log diverges at shards="
+              << shards << " mode=" << exec::ExecModeName(mode);
+        }
       }
     }
   }
@@ -214,10 +245,11 @@ std::vector<App> BenchmarkApps() {
           {"join", workloads::JoinProgram(), "userRoles"}};
 }
 
-net::ServerOptions AppServerOptions(size_t shards) {
+net::ServerOptions AppServerOptions(size_t shards, exec::ExecMode mode) {
   net::ServerOptions options;
   options.plan_cache_capacity = 64;
   options.database.shard_count = shards;
+  options.exec_mode = mode;
   options.exec_threads = 2;
   options.parallel_threshold = 0;  // force the parallel operators on
   options.optimize.transform.table_keys = {{"board", "id"},
@@ -233,44 +265,50 @@ net::ServerOptions AppServerOptions(size_t shards) {
 
 TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
   std::vector<std::string> reference;
-  for (size_t shards : kShardCounts) {
-    net::Server server(AppServerOptions(shards));
-    ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
-    ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
-    ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
-    ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
+  bool have_reference = false;
+  for (exec::ExecMode mode : kExecModes) {
+    for (size_t shards : kShardCounts) {
+      net::Server server(AppServerOptions(shards, mode));
+      ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
+      ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
+      ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
+      ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
 
-    std::vector<std::string> signatures;
-    {
-      std::unique_ptr<net::Session> session = server.Connect();
-      for (const App& app : BenchmarkApps()) {
-        auto program = frontend::ParseProgram(app.source);
-        ASSERT_TRUE(program.ok()) << app.name;
-        auto optimized = session->OptimizeCached(app.source, app.function);
-        ASSERT_TRUE(optimized.ok()) << app.name;
+      std::vector<std::string> signatures;
+      {
+        std::unique_ptr<net::Session> session = server.Connect();
+        for (const App& app : BenchmarkApps()) {
+          auto program = frontend::ParseProgram(app.source);
+          ASSERT_TRUE(program.ok()) << app.name;
+          auto optimized = session->OptimizeCached(app.source, app.function);
+          ASSERT_TRUE(optimized.ok()) << app.name;
 
-        interp::Interpreter original(&*program, session->connection());
-        auto r1 = original.Run(app.function);
-        ASSERT_TRUE(r1.ok()) << app.name;
-        interp::Interpreter rewritten(&(*optimized)->program,
-                                      session->connection());
-        auto r2 = rewritten.Run(app.function);
-        ASSERT_TRUE(r2.ok()) << app.name;
-        EXPECT_EQ(r1->DisplayString(), r2->DisplayString()) << app.name;
-        signatures.push_back(app.name + ": " + r2->DisplayString());
-        for (const std::string& line : rewritten.printed()) {
-          signatures.push_back(app.name + " print: " + line);
+          interp::Interpreter original(&*program, session->connection());
+          auto r1 = original.Run(app.function);
+          ASSERT_TRUE(r1.ok()) << app.name;
+          interp::Interpreter rewritten(&(*optimized)->program,
+                                        session->connection());
+          auto r2 = rewritten.Run(app.function);
+          ASSERT_TRUE(r2.ok()) << app.name;
+          EXPECT_EQ(r1->DisplayString(), r2->DisplayString()) << app.name;
+          signatures.push_back(app.name + ": " + r2->DisplayString());
+          for (const std::string& line : rewritten.printed()) {
+            signatures.push_back(app.name + " print: " + line);
+          }
         }
+        // Session-cumulative cost counters join the signature; they must
+        // not depend on the shard count or the execution engine either.
+        signatures.push_back(Signature("-", {}, session->stats()));
       }
-      // Session-cumulative cost counters join the signature; they must
-      // not depend on the shard count either.
-      signatures.push_back(Signature("-", {}, session->stats()));
-    }
-    if (shards == kShardCounts[0]) {
-      reference = signatures;
-      EXPECT_FALSE(reference.empty());
-    } else {
-      EXPECT_EQ(signatures, reference) << "diverges at shards=" << shards;
+      if (!have_reference) {
+        reference = signatures;
+        have_reference = true;
+        EXPECT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(signatures, reference)
+            << "diverges at shards=" << shards
+            << " mode=" << exec::ExecModeName(mode);
+      }
     }
   }
 }
@@ -290,6 +328,11 @@ bool LayoutScoped(const std::string& name) {
   return name.rfind("storage.shard.", 0) == 0 ||
          name.rfind("exec.pool.", 0) == 0 ||
          name.rfind("exec.parallel.", 0) == 0 ||
+         // Batch bookkeeping counts how the vectorized engine chunked
+         // the work — batch counts follow per-shard chunk boundaries
+         // (and are zero on the row engine), so they are layout- and
+         // engine-scoped like the pool counters above.
+         name.rfind("exec.batch.", 0) == 0 ||
          name.rfind("net.scheduler.", 0) == 0 ||
          // MVCC bookkeeping is layout-scoped too: version installs and
          // GC reclaim counts follow per-shard vacuum sweep boundaries.
@@ -308,51 +351,61 @@ std::string CounterSignature(const obs::MetricsSnapshot& snap) {
 
 TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
   std::string reference;
-  for (size_t shards : kShardCounts) {
-    net::Server server(AppServerOptions(shards));
-    ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
-    ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
-    ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
-    ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
+  bool have_reference = false;
+  for (exec::ExecMode mode : kExecModes) {
+    for (size_t shards : kShardCounts) {
+      net::Server server(AppServerOptions(shards, mode));
+      ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
+      ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
+      ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
+      ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
 
-    {
-      std::unique_ptr<net::Session> session = server.Connect();
-      for (const App& app : BenchmarkApps()) {
-        auto optimized = session->OptimizeCached(app.source, app.function);
-        ASSERT_TRUE(optimized.ok()) << app.name;
-        interp::Interpreter rewritten(&(*optimized)->program,
-                                      session->connection());
-        ASSERT_TRUE(rewritten.Run(app.function).ok()) << app.name;
+      {
+        std::unique_ptr<net::Session> session = server.Connect();
+        for (const App& app : BenchmarkApps()) {
+          auto optimized = session->OptimizeCached(app.source, app.function);
+          ASSERT_TRUE(optimized.ok()) << app.name;
+          interp::Interpreter rewritten(&(*optimized)->program,
+                                        session->connection());
+          ASSERT_TRUE(rewritten.Run(app.function).ok()) << app.name;
+        }
       }
-    }
 
-    obs::MetricsSnapshot snap = server.metrics()->Snapshot();
-    std::string sig = CounterSignature(snap);
-    ASSERT_FALSE(sig.empty());
-    // The invariant set must actually cover the hot counters, or the
-    // filter grew too wide and this test proves nothing.
-    EXPECT_NE(sig.find("storage.scan.rows="), std::string::npos);
-    EXPECT_NE(sig.find("net.queries="), std::string::npos);
-    EXPECT_NE(sig.find("extract.runs="), std::string::npos);
-    if (shards == kShardCounts[0]) {
-      reference = sig;
-    } else {
-      EXPECT_EQ(sig, reference) << "counters diverge at shards=" << shards;
-    }
-
-    // Per-shard breakdowns must still reconcile with the invariant
-    // totals: the sum over storage.shard.<i>.scan.rows equals
-    // storage.scan.rows for the parallel operators' share. Weaker
-    // check (<=): the serial path records no per-shard rows.
-    int64_t per_shard_rows = 0;
-    for (const auto& [name, value] : snap.counters) {
-      if (name.rfind("storage.shard.", 0) == 0 &&
-          name.size() > 10 &&
-          name.compare(name.size() - 10, 10, ".scan.rows") == 0) {
-        per_shard_rows += value;
+      obs::MetricsSnapshot snap = server.metrics()->Snapshot();
+      std::string sig = CounterSignature(snap);
+      ASSERT_FALSE(sig.empty());
+      // The invariant set must actually cover the hot counters, or the
+      // filter grew too wide and this test proves nothing. The vector
+      // engine's exact cost-accounting parity is part of the claim:
+      // storage.scan.rows/bytes and exec.rows_processed agree with the
+      // row engine down to the last unit.
+      EXPECT_NE(sig.find("storage.scan.rows="), std::string::npos);
+      EXPECT_NE(sig.find("net.queries="), std::string::npos);
+      EXPECT_NE(sig.find("extract.runs="), std::string::npos);
+      EXPECT_NE(sig.find("exec.rows_processed="), std::string::npos);
+      if (!have_reference) {
+        reference = sig;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(sig, reference)
+            << "counters diverge at shards=" << shards
+            << " mode=" << exec::ExecModeName(mode);
       }
+
+      // Per-shard breakdowns must still reconcile with the invariant
+      // totals: the sum over storage.shard.<i>.scan.rows equals
+      // storage.scan.rows for the parallel operators' share. Weaker
+      // check (<=): the serial path records no per-shard rows.
+      int64_t per_shard_rows = 0;
+      for (const auto& [name, value] : snap.counters) {
+        if (name.rfind("storage.shard.", 0) == 0 &&
+            name.size() > 10 &&
+            name.compare(name.size() - 10, 10, ".scan.rows") == 0) {
+          per_shard_rows += value;
+        }
+      }
+      EXPECT_LE(per_shard_rows, snap.counters.at("storage.scan.rows"));
     }
-    EXPECT_LE(per_shard_rows, snap.counters.at("storage.scan.rows"));
   }
 }
 
