@@ -27,14 +27,14 @@ echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
   shard_test mvcc_test shard_invariance_test scheduler_test net_test \
-  vector_exec_test
+  vector_exec_test index_test
 # Scheduler here covers the 8-producer bounded-queue storm
 # (SchedulerTest.QueueFullRejectsOverloadedWithoutBlocking) under the
 # race detector: producers race workers on the admission queue. Mvcc
 # covers the version-chain suite, including the concurrent
 # readers-vs-committing-writer scan test.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec|Index'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 # The same sweep on 8-way partitioned tables with the parallel
@@ -54,6 +54,11 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # through a scheduler worker: BEGIN/COMMIT/ROLLBACK hand a live MVCC
 # transaction context between threads under the race detector.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 11 --iters 50 --family txn \
+  --shards 8 --async-every 1
+# Index schedules: CREATE INDEX backfills race DML on scheduler
+# workers across 8 shards, with the indexed-vs-unindexed oracle
+# checking every answer under the race detector.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 17 --iters 50 --family index \
   --shards 8 --async-every 1
 
 echo "== api surface: no callers on the deprecated net entry points =="
@@ -78,6 +83,16 @@ if grep -rEn '\b(write_mu|struct_mu)\b' src tests bench examples \
   echo "verify.sh: direct shard-lock acquisition outside src/storage"
   exit 1
 fi
+# The secondary-index module lives in src/storage but must still stay
+# off the shard internals: entries hold slot pointers, never shard
+# positions, which is what makes indexes survive Repartition untouched.
+# Naming a shard lock or the shards_ vector from index code would break
+# that layering silently.
+if grep -En '\b(write_mu|struct_mu|shards_)\b' src/storage/index.h \
+    src/storage/index.cc; then
+  echo "verify.sh: secondary index reaches into shard internals"
+  exit 1
+fi
 
 echo "== api surface: batch kernels never re-enter the row evaluator =="
 # The vectorized kernels must stay columnar: compiled expressions and
@@ -91,9 +106,13 @@ fi
 
 echo "== observability: bench JSON artifacts + metrics smoke check =="
 cmake --build build -j"$(nproc)" --target bench_concurrency \
-  bench_fig8_selection bench_exec_micro
+  bench_fig8_selection bench_exec_micro bench_fig9_join
 ./build/bench/bench_concurrency --json BENCH_concurrency.json
 ./build/bench/bench_fig8_selection --json BENCH_fig8.json
+# Join + indexed phase: the selective probe through the secondary index
+# must beat the 8-shard parallel full scan by >= 2x wall clock (gated
+# inside the binary and re-checked in the artifact).
+./build/bench/bench_fig9_join --json BENCH_fig9.json
 # Row-vs-vector batch phase: identical results on both engines and a
 # >= 1.5x vectorized evaluation speedup, gated inside the binary and
 # re-checked in the artifact.
@@ -102,6 +121,8 @@ cmake --build build -j"$(nproc)" --target bench_concurrency \
 grep -q '"pass":true' BENCH_exec_micro.json
 grep -q '"filter_speedup":' BENCH_exec_micro.json
 grep -q '"eqsql_vector_wall_ms":' BENCH_fig8.json
+grep -q '"indexed_phase":{' BENCH_fig9.json
+grep -q '"pass":true' BENCH_fig9.json
 # The artifacts must embed a live registry snapshot: a busy server that
 # reports zero plan-cache traffic means the metrics wiring fell off.
 grep -q '"plan_cache.hits":[1-9]' BENCH_concurrency.json

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "common/strings.h"
 
@@ -32,6 +33,31 @@ bool HasEqualityConjunct(const ra::ScalarExprPtr& pred) {
   bool left_col = pred->child(0)->op() == ScalarOp::kColumnRef;
   bool right_col = pred->child(1)->op() == ScalarOp::kColumnRef;
   return left_col != right_col;  // column against literal/parameter
+}
+
+/// Bare column suffix after the last '.' (scan aliases qualify refs).
+std::string BareName(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+/// Bare names of columns appearing in column-to-column equality
+/// conjuncts — the candidates for equi-join key bindings.
+void CollectEqColumnRefs(const ra::ScalarExprPtr& pred,
+                         std::vector<std::string>* cols) {
+  if (pred == nullptr) return;
+  if (pred->op() == ScalarOp::kAnd) {
+    CollectEqColumnRefs(pred->child(0), cols);
+    CollectEqColumnRefs(pred->child(1), cols);
+    return;
+  }
+  if (pred->op() != ScalarOp::kEq) return;
+  const ra::ScalarExprPtr& a = pred->child(0);
+  const ra::ScalarExprPtr& b = pred->child(1);
+  if (a->op() == ScalarOp::kColumnRef && b->op() == ScalarOp::kColumnRef) {
+    cols->push_back(BareName(a->column_name()));
+    cols->push_back(BareName(b->column_name()));
+  }
 }
 
 }  // namespace
@@ -159,6 +185,65 @@ CostEstimate CostEstimator::EstimateLoop(const RaNodePtr& outer,
   // The outer rows plus one (typically narrow) row per inner query.
   out.bytes = est.rows * est.row_bytes +
               est.rows * queries_per_row * kDefaultRowBytes;
+  return out;
+}
+
+JoinPlanChoice CostEstimator::ChooseJoinPlan(const RaNodePtr& plan) const {
+  JoinPlanChoice out;
+  if (plan == nullptr || stats_.table_indexes.empty()) return out;
+
+  // Depth-first search for the first join whose inner side is a base
+  // scan carrying an index fully covered by equi-join columns.
+  const RaNode* site = nullptr;
+  const std::vector<std::string>* index_cols = nullptr;
+  std::string table;
+  std::function<void(const RaNode&)> visit = [&](const RaNode& n) {
+    if (site != nullptr) return;
+    if ((n.op() == RaOp::kJoin || n.op() == RaOp::kLeftOuterJoin) &&
+        n.child(1)->op() == RaOp::kScan) {
+      auto it =
+          stats_.table_indexes.find(AsciiToLower(n.child(1)->table_name()));
+      if (it != stats_.table_indexes.end()) {
+        std::vector<std::string> eq_cols;
+        CollectEqColumnRefs(n.predicate(), &eq_cols);
+        for (const std::vector<std::string>& cols : it->second) {
+          bool covered = !cols.empty();
+          for (const std::string& c : cols) {
+            covered = covered && std::find(eq_cols.begin(), eq_cols.end(),
+                                           c) != eq_cols.end();
+          }
+          if (covered) {
+            site = &n;
+            index_cols = &cols;
+            table = n.child(1)->table_name();
+            return;
+          }
+        }
+      }
+    }
+    for (const RaNodePtr& child : n.children()) visit(*child);
+  };
+  visit(*plan);
+  if (site == nullptr) return out;
+
+  NodeEstimate left = Walk(*site->child(0));
+  NodeEstimate right = Walk(*site->child(1));
+  CostEstimate scan = EstimateQuery(plan);
+  // The index alternative replaces the inner side's full materialization
+  // with one probe per outer row; everything above the join is shared.
+  double delta = right.processed - left.rows;
+  CostEstimate index = scan;
+  index.rows_processed = std::max(0.0, scan.rows_processed - delta);
+  out.applicable = true;
+  out.scan_ms = scan.Milliseconds(model_);
+  out.index_ms = index.Milliseconds(model_);
+  out.index_wins = out.index_ms < out.scan_ms;
+  out.detail = table + "(";
+  for (size_t i = 0; i < index_cols->size(); ++i) {
+    if (i > 0) out.detail += ",";
+    out.detail += (*index_cols)[i];
+  }
+  out.detail += ")";
   return out;
 }
 

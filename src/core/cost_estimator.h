@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/cost_model.h"
 #include "ra/ra_node.h"
@@ -17,6 +18,11 @@ struct TableStats {
   /// Average bytes per row shipped for a table (default assumed when
   /// absent).
   std::map<std::string, int64_t> row_bytes;
+  /// Lowercase table name → column lists of its ready secondary
+  /// indexes (storage::Table::IndexedColumnLists). Empty when the
+  /// database has no indexes; the planner then never prices an
+  /// index-nested-loop alternative.
+  std::map<std::string, std::vector<std::vector<std::string>>> table_indexes;
 };
 
 /// Estimated execution profile of one strategy.
@@ -29,6 +35,21 @@ struct CostEstimate {
   /// Simulated milliseconds under `model` (same formula as
   /// net::Connection charges at run time).
   double Milliseconds(const net::CostModel& model) const;
+};
+
+/// Physical-plan decision for the first indexable equi-join in a plan:
+/// both alternatives priced under the same deterministic cost model so
+/// EXPLAIN EXTRACTION can show the losing cost next to the winner.
+struct JoinPlanChoice {
+  /// True when the plan contains an equi-join whose inner side is a
+  /// base scan with a covering secondary index.
+  bool applicable = false;
+  /// True when the index-nested-loop alternative is estimated cheaper.
+  bool index_wins = false;
+  double index_ms = 0;  // plan cost with the inner scan replaced by probes
+  double scan_ms = 0;   // plan cost with the parallel full scan + hash build
+  /// Human-readable site, e.g. "t1(a,b)".
+  std::string detail;
 };
 
 /// A Volcano-flavoured cost estimator over relational-algebra plans:
@@ -56,6 +77,13 @@ class CostEstimator {
   /// than the imperative strategy it replaces.
   bool RewriteWins(const ra::RaNodePtr& plan, const ra::RaNodePtr& outer,
                    int queries_per_row) const;
+
+  /// Prices the index-nested-loop alternative against the full-scan
+  /// hash join for the first join in `plan` whose inner side is a base
+  /// scan with a secondary index covering the equi-join columns
+  /// (Executor::TryIndexNestedLoopJoin's applicability, approximated
+  /// structurally). Returns applicable=false when no such join exists.
+  JoinPlanChoice ChooseJoinPlan(const ra::RaNodePtr& plan) const;
 
   const net::CostModel& model() const { return model_; }
 

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "exec/scalar_ops.h"
 #include "obs/trace.h"
+#include "storage/index.h"
 
 namespace eqsql::exec {
 
@@ -267,6 +268,21 @@ bool IndexLookupMightApply(const RaNode& select, const RaNode& scan,
   return false;
 }
 
+/// Resolves a column-ref name from a predicate over a base scan:
+/// accepts both the alias-qualified spelling ("t.v") and the bare one
+/// ("v"), and returns the table schema's resolved spelling, which is
+/// what SecondaryIndex::columns() stores.
+std::optional<std::string> BareScanColumn(const std::string& name,
+                                          const RaNode& scan,
+                                          const storage::Table& table) {
+  std::string bare = name;
+  const std::string prefix = scan.alias() + ".";
+  if (bare.rfind(prefix, 0) == 0) bare = bare.substr(prefix.size());
+  Result<size_t> idx = table.schema().ResolveColumn(bare);
+  if (!idx.ok()) return std::nullopt;
+  return table.schema().column(*idx).name;
+}
+
 }  // namespace
 
 void Executor::set_metrics(obs::MetricsRegistry* metrics) {
@@ -280,6 +296,10 @@ void Executor::set_metrics(obs::MetricsRegistry* metrics) {
     batch_rows_ = nullptr;
     batch_fallbacks_ = nullptr;
     batch_size_ = nullptr;
+    index_probes_ = nullptr;
+    index_rows_ = nullptr;
+    index_scans_ = nullptr;
+    index_nlj_probes_ = nullptr;
     return;
   }
   scan_rows_ = metrics->counter("storage.scan.rows");
@@ -294,6 +314,13 @@ void Executor::set_metrics(obs::MetricsRegistry* metrics) {
   batch_rows_ = metrics->counter("exec.batch.rows");
   batch_fallbacks_ = metrics->counter("exec.batch.fallbacks");
   batch_size_ = metrics->histogram("exec.batch.size");
+  // storage.index.* / exec.index.* depend on which physical access
+  // path ran (indexes are per-database DDL state, not part of the
+  // logical workload), so the invariance signature excludes them too.
+  index_probes_ = metrics->counter("storage.index.probes");
+  index_rows_ = metrics->counter("storage.index.rows");
+  index_scans_ = metrics->counter("exec.index.scans");
+  index_nlj_probes_ = metrics->counter("exec.index.nlj_probes");
 }
 
 std::vector<Executor::ShardScanMetrics> Executor::ShardMetrics(
@@ -522,9 +549,20 @@ Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
         if (might_index) {
           Result<ResultSet> fast = TryIndexLookup(node, ctx);
           if (fast.ok()) return fast;
-        } else if (table.ok() && pool_ != nullptr &&
-                   (*table)->shard_count() > 1 &&
-                   (*table)->row_count() >= parallel_threshold_) {
+        }
+        // Secondary-index scan: equality bindings on a ready index's
+        // columns turn the full scan into a probe plus per-candidate
+        // revalidation. kNotFound means inapplicable; any other error
+        // is a real execution failure.
+        if (table.ok() && (*table)->index_count() > 0) {
+          Result<ResultSet> idx = TrySecondaryIndexScan(node, ctx);
+          if (idx.ok() || idx.status().code() != StatusCode::kNotFound) {
+            return idx;
+          }
+        }
+        if (!might_index && table.ok() && pool_ != nullptr &&
+            (*table)->shard_count() > 1 &&
+            (*table)->row_count() >= parallel_threshold_) {
           if (mode_ == ExecMode::kVector) {
             EQSQL_ASSIGN_OR_RETURN(Schema scan_schema,
                                    OutputSchema(*node.child(0)));
@@ -757,9 +795,303 @@ Result<ResultSet> Executor::TryIndexLookup(const RaNode& node,
   return out;
 }
 
+Result<ResultSet> Executor::TrySecondaryIndexScan(const RaNode& node,
+                                                  EvalContext* ctx) {
+  const RaNode& scan = *node.child(0);
+  EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
+                         ResolveTable(scan.table_name()));
+
+  // Split the predicate into "column = column-free expr" bindings and
+  // a residual that is re-checked on every candidate row.
+  struct Binding {
+    std::string column;       // table schema's resolved spelling
+    ScalarExprPtr value;      // the column-free side of the equality
+    ScalarExprPtr conjunct;   // original conjunct, for residual demotion
+  };
+  std::vector<ScalarExprPtr> conjuncts;
+  SplitConjuncts(node.predicate(), &conjuncts);
+  std::vector<Binding> bindings;
+  std::vector<ScalarExprPtr> residual;
+  for (const ScalarExprPtr& c : conjuncts) {
+    bool classified = false;
+    if (c->op() == ScalarOp::kEq) {
+      for (int side = 0; side < 2 && !classified; ++side) {
+        const ScalarExprPtr& col = c->child(side);
+        const ScalarExprPtr& val = c->child(1 - side);
+        if (col->op() != ScalarOp::kColumnRef || HasColumnRef(val)) continue;
+        std::optional<std::string> bare =
+            BareScanColumn(col->column_name(), scan, *table);
+        if (!bare.has_value()) continue;
+        bool dup = false;
+        for (const Binding& b : bindings) dup = dup || b.column == *bare;
+        if (dup) continue;  // first binding per column wins; extras re-check
+        bindings.push_back({*bare, val, c});
+        classified = true;
+      }
+    }
+    if (!classified) residual.push_back(c);
+  }
+  if (bindings.empty()) return Status::NotFound("no index-usable equalities");
+
+  // Choose the widest ready index fully covered by the bindings.
+  std::vector<std::string> bound;
+  bound.reserve(bindings.size());
+  for (const Binding& b : bindings) bound.push_back(b.column);
+  std::shared_ptr<const storage::SecondaryIndex> index;
+  for (const auto& cols : table->IndexedColumnLists()) {
+    bool covered = true;
+    for (const std::string& col : cols) {
+      covered = covered &&
+                std::find(bound.begin(), bound.end(), col) != bound.end();
+    }
+    if (!covered) continue;
+    if (index == nullptr || cols.size() > index->columns().size()) {
+      std::shared_ptr<const storage::SecondaryIndex> exact =
+          table->FindIndex(cols);
+      if (exact != nullptr) index = std::move(exact);
+    }
+  }
+  if (index == nullptr) return Status::NotFound("no matching index");
+
+  // Bindings the chosen index does not consume go back to the residual
+  // as their original conjuncts.
+  std::vector<const Binding*> key_bindings;  // in index-column order
+  for (const std::string& col : index->columns()) {
+    for (const Binding& b : bindings) {
+      if (b.column == col) {
+        key_bindings.push_back(&b);
+        break;
+      }
+    }
+  }
+  for (const Binding& b : bindings) {
+    if (std::find(index->columns().begin(), index->columns().end(),
+                  b.column) == index->columns().end()) {
+      residual.push_back(b.conjunct);
+    }
+  }
+
+  // Evaluate the probe key. An eval failure falls back to the scan so
+  // the row-dependent behavior stays identical (an erroring value expr
+  // over an empty table is not an error on the scan path).
+  std::vector<Value> key;
+  key.reserve(key_bindings.size());
+  for (const Binding* b : key_bindings) {
+    Result<Value> v = EvalScalar(b->value, ctx);
+    if (!v.ok()) return Status::NotFound("probe key did not evaluate");
+    key.push_back(std::move(*v));
+  }
+
+  const storage::Snapshot snap = ReadSnapshot();
+  // Cost parity: charge exactly what the serial full scan plus filter
+  // would — the plan choice shows up in wall time and in the
+  // storage.index.* / exec.index.* counters, never in simulated cost.
+  const storage::TableScanStats stats = table->VisibleStats(snap);
+  std::vector<std::shared_ptr<const storage::TableSlot>> candidates =
+      index->Probe(key);
+  if (index_probes_ != nullptr) {
+    index_probes_->Increment();
+    index_rows_->Add(static_cast<int64_t>(candidates.size()));
+  }
+
+  ResultSet out;
+  EQSQL_ASSIGN_OR_RETURN(out.schema, OutputSchema(scan));
+  ScalarExprPtr residual_pred;
+  if (!residual.empty()) residual_pred = ScalarExpr::MakeAnd(residual);
+  const std::vector<size_t>& key_cols = index->column_indexes();
+  for (const auto& slot : candidates) {
+    const Row* visible = slot->VisibleRow(snap);
+    if (visible == nullptr) continue;
+    // Entries are append-only, so revalidate: the slot's visible
+    // version must still carry the probed key values.
+    bool key_match = true;
+    for (size_t i = 0; i < key_cols.size(); ++i) {
+      key_match = key_match && (*visible)[key_cols[i]] == key[i];
+    }
+    if (!key_match) continue;
+    Row row = *visible;
+    if (residual_pred != nullptr) {
+      ctx->PushFrame(&out.schema, &row);
+      Result<Value> v = EvalScalar(residual_pred, ctx);
+      ctx->PopFrame();
+      if (!v.ok()) return v.status();
+      if (!IsTruthy(*v)) continue;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  rows_processed_ += stats.rows;
+  if (scan_rows_ != nullptr) RecordScan(stats.rows, stats.bytes);
+  rows_processed_ += out.rows.size();
+  if (index_scans_ != nullptr) index_scans_->Increment();
+  return out;
+}
+
+Result<ResultSet> Executor::TryIndexNestedLoopJoin(const RaNode& node,
+                                                   bool left_outer,
+                                                   const ResultSet& left,
+                                                   EvalContext* ctx) {
+  const RaNode& right_node = *node.child(1);
+  if (right_node.op() != RaOp::kScan) {
+    return Status::NotFound("right side is not a base scan");
+  }
+  Result<const storage::Table*> resolved =
+      ResolveTable(right_node.table_name());
+  // Let the regular path surface resolution errors identically.
+  if (!resolved.ok()) return Status::NotFound("right table did not resolve");
+  const storage::Table* table = *resolved;
+  if (table->index_count() == 0) return Status::NotFound("no indexes");
+  EQSQL_ASSIGN_OR_RETURN(Schema right_schema, OutputSchema(right_node));
+
+  // Classify conjuncts exactly like the hash join so the residual, the
+  // null-key handling, and the output order match it bit for bit.
+  std::vector<ScalarExprPtr> conjuncts;
+  SplitConjuncts(node.predicate(), &conjuncts);
+  std::vector<ScalarExprPtr> left_keys, right_keys, residual;
+  for (const ScalarExprPtr& c : conjuncts) {
+    bool classified = false;
+    if (c->op() == ScalarOp::kEq) {
+      const ScalarExprPtr& a = c->child(0);
+      const ScalarExprPtr& b = c->child(1);
+      if (HasColumnRef(a) && HasColumnRef(b)) {
+        if (AllRefsResolve(a, left.schema) && AllRefsResolve(b, right_schema)) {
+          left_keys.push_back(a);
+          right_keys.push_back(b);
+          classified = true;
+        } else if (AllRefsResolve(b, left.schema) &&
+                   AllRefsResolve(a, right_schema)) {
+          left_keys.push_back(b);
+          right_keys.push_back(a);
+          classified = true;
+        }
+      }
+    }
+    if (!classified) residual.push_back(c);
+  }
+  if (left_keys.empty()) return Status::NotFound("no equi-join keys");
+
+  // Every right key must be a plain, distinct column ref whose column
+  // set exactly covers a ready index.
+  std::vector<std::string> right_cols;
+  right_cols.reserve(right_keys.size());
+  for (const ScalarExprPtr& k : right_keys) {
+    if (k->op() != ScalarOp::kColumnRef) {
+      return Status::NotFound("right key is not a plain column");
+    }
+    std::optional<std::string> bare =
+        BareScanColumn(k->column_name(), right_node, *table);
+    if (!bare.has_value() ||
+        std::find(right_cols.begin(), right_cols.end(), *bare) !=
+            right_cols.end()) {
+      return Status::NotFound("right keys are not distinct table columns");
+    }
+    right_cols.push_back(std::move(*bare));
+  }
+  std::shared_ptr<const storage::SecondaryIndex> index =
+      table->FindIndexForColumnSet(right_cols);
+  if (index == nullptr) return Status::NotFound("no matching index");
+  // perm[i] = position in left_keys/right_cols of the index's i-th column.
+  std::vector<size_t> perm;
+  perm.reserve(index->columns().size());
+  for (const std::string& col : index->columns()) {
+    for (size_t j = 0; j < right_cols.size(); ++j) {
+      if (right_cols[j] == col) {
+        perm.push_back(j);
+        break;
+      }
+    }
+  }
+
+  const storage::Snapshot snap = ReadSnapshot();
+  // Charge the right side exactly as the scan it replaces would have.
+  const storage::TableScanStats stats = table->VisibleStats(snap);
+  rows_processed_ += stats.rows;
+  if (scan_rows_ != nullptr) RecordScan(stats.rows, stats.bytes);
+
+  ResultSet out;
+  out.schema = left.schema.Concat(right_schema);
+  ScalarExprPtr residual_pred;
+  if (!residual.empty()) residual_pred = ScalarExpr::MakeAnd(residual);
+  auto eval_combined = [&](const Row& lrow, const Row& rrow,
+                           const ScalarExprPtr& pred) -> Result<bool> {
+    Row combined = lrow;
+    combined.insert(combined.end(), rrow.begin(), rrow.end());
+    ctx->PushFrame(&out.schema, &combined);
+    Result<Value> v = EvalScalar(pred, ctx);
+    ctx->PopFrame();
+    if (!v.ok()) return v.status();
+    return IsTruthy(*v);
+  };
+  Row null_right(right_schema.size(), Value::Null());
+  const std::vector<size_t>& key_cols = index->column_indexes();
+  for (const Row& lrow : left.rows) {
+    std::vector<Value> probe(left_keys.size());
+    bool null_key = false;
+    ctx->PushFrame(&left.schema, &lrow);
+    Status status = Status::OK();
+    for (size_t i = 0; i < left_keys.size(); ++i) {
+      Result<Value> v = EvalScalar(left_keys[i], ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      if (v->is_null()) null_key = true;
+      probe[i] = std::move(*v);
+    }
+    ctx->PopFrame();
+    EQSQL_RETURN_IF_ERROR(status);
+    bool matched = false;
+    if (!null_key) {
+      std::vector<Value> key;
+      key.reserve(perm.size());
+      for (size_t j : perm) key.push_back(probe[j]);
+      std::vector<std::shared_ptr<const storage::TableSlot>> candidates =
+          index->Probe(key);
+      if (index_nlj_probes_ != nullptr) {
+        index_nlj_probes_->Increment();
+        index_rows_->Add(static_cast<int64_t>(candidates.size()));
+      }
+      // Candidates come back in slot-sequence order, which is the same
+      // order the hash join's build lists hold right rows in.
+      for (const auto& slot : candidates) {
+        const Row* visible = slot->VisibleRow(snap);
+        if (visible == nullptr) continue;
+        bool key_match = true;
+        for (size_t i = 0; i < key_cols.size(); ++i) {
+          key_match = key_match && (*visible)[key_cols[i]] == key[i];
+        }
+        if (!key_match) continue;
+        const Row& rrow = *visible;
+        if (residual_pred != nullptr) {
+          EQSQL_ASSIGN_OR_RETURN(bool pass,
+                                 eval_combined(lrow, rrow, residual_pred));
+          if (!pass) continue;
+        }
+        Row combined = lrow;
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        out.rows.push_back(std::move(combined));
+        matched = true;
+      }
+    }
+    if (left_outer && !matched) {
+      Row combined = lrow;
+      combined.insert(combined.end(), null_right.begin(), null_right.end());
+      out.rows.push_back(std::move(combined));
+    }
+  }
+  rows_processed_ += out.rows.size();
+  return out;
+}
+
 Result<ResultSet> Executor::ExecJoin(const RaNode& node, bool left_outer,
                                      EvalContext* ctx) {
   EQSQL_ASSIGN_OR_RETURN(ResultSet left, Exec(*node.child(0), ctx));
+  {
+    // Index nested-loop attempt, before materializing the right side.
+    Result<ResultSet> inlj = TryIndexNestedLoopJoin(node, left_outer, left, ctx);
+    if (inlj.ok() || inlj.status().code() != StatusCode::kNotFound) {
+      return inlj;
+    }
+  }
   EQSQL_ASSIGN_OR_RETURN(ResultSet right, Exec(*node.child(1), ctx));
   ResultSet out;
   out.schema = left.schema.Concat(right.schema);

@@ -148,6 +148,26 @@ class Executor {
   /// Unique-key point lookup for Select(Scan); errors with kNotFound
   /// when the fast path does not apply.
   Result<ResultSet> TryIndexLookup(const ra::RaNode& node, EvalContext* ctx);
+  /// Secondary-index scan for Select(Scan): when the predicate pins a
+  /// ready SecondaryIndex's columns to column-free expressions, probes
+  /// the index and revalidates each candidate against the read
+  /// snapshot instead of materializing the full scan. Charges exactly
+  /// the full scan's simulated cost (storage.scan.* and the
+  /// rows-processed server term, via Table::VisibleStats) so plan
+  /// choice never shows in the deterministic cost model — only in wall
+  /// time. kNotFound = inapplicable, caller falls through.
+  Result<ResultSet> TrySecondaryIndexScan(const ra::RaNode& node,
+                                          EvalContext* ctx);
+  /// Index-nested-loop join: right child is a bare Scan whose
+  /// equi-join columns exactly cover a ready secondary index. Probes
+  /// the index once per left row instead of materializing and hashing
+  /// the right side; classification, residual handling, output order
+  /// (left order, right insertion order within a key) and cost charges
+  /// match the hash join bit for bit. kNotFound = inapplicable.
+  Result<ResultSet> TryIndexNestedLoopJoin(const ra::RaNode& node,
+                                           bool left_outer,
+                                           const ResultSet& left,
+                                           EvalContext* ctx);
   Result<catalog::Value> EvalScalar(const ra::ScalarExprPtr& expr,
                                     EvalContext* ctx);
   Result<ResultSet> ExecJoin(const ra::RaNode& node, bool left_outer,
@@ -262,6 +282,13 @@ class Executor {
   obs::Counter* batch_rows_ = nullptr;
   obs::Counter* batch_fallbacks_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;
+  /// storage.index.* / exec.index.* — physical-plan counters. Like
+  /// exec.batch.*, they depend on which access path ran, so the
+  /// shard-invariance signature excludes both families.
+  obs::Counter* index_probes_ = nullptr;
+  obs::Counter* index_rows_ = nullptr;
+  obs::Counter* index_scans_ = nullptr;
+  obs::Counter* index_nlj_probes_ = nullptr;
 };
 
 }  // namespace eqsql::exec

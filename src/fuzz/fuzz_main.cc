@@ -82,15 +82,17 @@ void PrintReport(const FuzzCase& c, const OracleReport& r) {
 /// Shrinks a failing case, reports it, and saves the reproducer.
 void HandleFailure(const Args& args, const FuzzCase& c,
                    const OracleReport& report, const OracleOptions& oopts) {
+  // Schedule cases carry their family in the "@family" function tag.
   std::fprintf(stderr, "FAIL seed=%llu family=%s\n",
                static_cast<unsigned long long>(c.seed),
-               c.function == "@txn" ? "txn" : FamilyName(FamilyForSeed(c.seed)));
+               !c.function.empty() && c.function[0] == '@'
+                   ? c.function.c_str() + 1
+                   : FamilyName(FamilyForSeed(c.seed)));
   FuzzCase to_save = c;
   OracleReport final_report = report;
-  // The shrinker parses ImpLang; txn schedules are not programs and are
-  // already near-minimal, so they are saved as-is.
-  if (!args.no_shrink && IsViolation(report.verdict) &&
-      c.function != "@txn") {
+  // ImpLang programs get the statement/expression passes; schedule
+  // cases ("@txn", "@index") get line-level ddmin (see shrink.h).
+  if (!args.no_shrink && IsViolation(report.verdict)) {
     ShrinkOutcome shrunk = Shrink(c, oopts);
     EQSQL_LOG(Info, "shrunk after %d oracle runs", shrunk.oracle_runs);
     to_save = std::move(shrunk.reduced);

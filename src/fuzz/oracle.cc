@@ -526,10 +526,201 @@ OracleReport RunTxnOracle(const FuzzCase& c, const OracleOptions& opts) {
   return report;
 }
 
+// --- index-family oracle -------------------------------------------------
+//
+// An "@index" case is a txn-style schedule interleaving CREATE INDEX
+// with DML, transactions, and selective SELECTs. The oracle runs it
+// twice: the indexed arm executes the CREATE INDEX statements (so
+// index builds race live writers, DML maintains live indexes, and
+// later SELECTs take the secondary-index scan / index-nested-loop
+// paths) under the requested shard layout and engine; the plain arm
+// suppresses the creates — synthesizing the `ok rows=0` record an
+// executed CREATE INDEX reports — on a single-shard, row-engine
+// database. Indexes are pure access-path state, so the two runs must
+// agree byte for byte on the statement log and on final contents;
+// one comparison is simultaneously an indexed-vs-unindexed, a
+// layout, and a row-vs-vector differential.
+
+std::vector<StepRecord> RunIndexSchedule(
+    const std::vector<TxnStep>& steps,
+    const std::vector<net::Client*>& clients, bool execute_creates,
+    bool corrupt_after_create, bool* injected) {
+  std::vector<StepRecord> records;
+  records.reserve(steps.size());
+  bool any_index = false;
+  for (const TxnStep& step : steps) {
+    const net::Request::Kind kind =
+        net::ClassifyStatement(net::Request::Kind::kStatement, step.sql);
+    if (kind == net::Request::Kind::kCreateIndex) {
+      // CREATE INDEX is the one statement that intentionally differs
+      // between the arms (only the indexed arm executes it), so its
+      // own outcome is excluded from the comparison: both arms record
+      // a synthesized success. A create that fails when executed (say
+      // a shrinker-dropped table) then simply leaves the indexed arm
+      // index-free rather than manufacturing a spurious divergence.
+      if (execute_creates) {
+        StepRecord real =
+            ExecuteStep(clients[static_cast<size_t>(step.session)], step.sql);
+        if (real.ok) any_index = true;
+      }
+      StepRecord rec;
+      rec.ok = true;
+      rec.rows = 0;
+      records.push_back(rec);
+      continue;
+    }
+    std::string sql = step.sql;
+    if (corrupt_after_create && any_index && !*injected &&
+        kind == net::Request::Kind::kQuery) {
+      // Planted bug: silently drop the rows of the first SELECT that
+      // could have used an index. Only reachable after a CREATE INDEX
+      // executed, so a shrinker that drops the create un-triggers it.
+      sql += sql.find(" WHERE ") == std::string::npos ? " WHERE 0 = 1"
+                                                      : " AND 0 = 1";
+      *injected = true;
+    }
+    StepRecord rec =
+        ExecuteStep(clients[static_cast<size_t>(step.session)], sql);
+    records.push_back(rec);
+  }
+  return records;
+}
+
+OracleReport RunIndexOracle(const FuzzCase& c, const OracleOptions& opts) {
+  OracleReport report;
+  auto steps = ParseTxnSchedule(c.source);
+  if (!steps.ok()) {
+    report.detail = "schedule: " + steps.status().ToString();
+    return report;
+  }
+  int sessions = 0;
+  for (const TxnStep& s : *steps) sessions = std::max(sessions, s.session + 1);
+
+  storage::DatabaseOptions dbo;
+  dbo.shard_count = opts.shard_count == 0 ? 1 : opts.shard_count;
+  const bool async =
+      opts.async_every_n > 0 &&
+      SplitMix64(c.seed) % static_cast<uint64_t>(opts.async_every_n) == 0;
+
+  // --- indexed arm, requested layout and engine.
+  std::vector<StepRecord> indexed;
+  std::map<std::string, std::vector<std::string>> indexed_bags;
+  bool injected = false;
+  if (async) {
+    // Statements cross scheduler workers, whose connections carry the
+    // server's worker pool — CREATE INDEX builds its shards in
+    // parallel there.
+    net::ServerOptions so;
+    so.database = dbo;
+    so.scheduler_workers = 2;
+    so.exec_mode = opts.exec_mode;
+    net::Server server(so);
+    if (Status s = BuildDatabase(c, server.db()); !s.ok()) {
+      report.detail = "database setup: " + s.ToString();
+      return report;
+    }
+    std::vector<std::unique_ptr<net::Session>> owned;
+    std::vector<net::Client*> clients;
+    for (int i = 0; i < sessions; ++i) {
+      owned.push_back(server.Connect());
+      clients.push_back(owned.back().get());
+    }
+    indexed = RunIndexSchedule(*steps, clients, /*execute_creates=*/true,
+                               opts.inject_sql_bug, &injected);
+    server.db()->Vacuum();  // also prunes dead index entries
+    indexed_bags = TableBags(server.db(), c);
+  } else {
+    storage::Database db(dbo);
+    if (Status s = BuildDatabase(c, &db); !s.ok()) {
+      report.detail = "database setup: " + s.ToString();
+      return report;
+    }
+    std::vector<std::unique_ptr<net::Connection>> owned;
+    std::vector<net::Client*> clients;
+    for (int i = 0; i < sessions; ++i) {
+      owned.push_back(std::make_unique<net::Connection>(&db));
+      owned.back()->set_exec_mode(opts.exec_mode);
+      clients.push_back(owned.back().get());
+    }
+    indexed = RunIndexSchedule(*steps, clients, /*execute_creates=*/true,
+                               opts.inject_sql_bug, &injected);
+    db.Vacuum();
+    indexed_bags = TableBags(&db, c);
+  }
+  report.injected = injected;
+
+  // --- plain arm: creates suppressed, single shard, row engine.
+  storage::DatabaseOptions plain_dbo;
+  plain_dbo.shard_count = 1;
+  storage::Database plain_db(plain_dbo);
+  if (Status s = BuildDatabase(c, &plain_db); !s.ok()) {
+    report.detail = "plain database setup: " + s.ToString();
+    return report;
+  }
+  std::vector<std::unique_ptr<net::Connection>> plain_owned;
+  std::vector<net::Client*> plain_clients;
+  for (int i = 0; i < sessions; ++i) {
+    plain_owned.push_back(std::make_unique<net::Connection>(&plain_db));
+    plain_clients.push_back(plain_owned.back().get());
+  }
+  bool plain_injected = false;
+  std::vector<StepRecord> plain =
+      RunIndexSchedule(*steps, plain_clients, /*execute_creates=*/false,
+                       /*corrupt_after_create=*/false, &plain_injected);
+  plain_db.Vacuum();
+  std::map<std::string, std::vector<std::string>> plain_bags =
+      TableBags(&plain_db, c);
+
+  const std::string indexed_log = RenderTxnLog(*steps, indexed);
+  const std::string plain_log = RenderTxnLog(*steps, plain);
+  report.rewritten_source = indexed_log;
+  report.original_queries = static_cast<int64_t>(steps->size());
+  report.rewritten_queries = static_cast<int64_t>(steps->size());
+  for (const StepRecord& r : plain) report.original_rows += r.rows;
+  for (const StepRecord& r : indexed) report.rewritten_rows += r.rows;
+
+  if (indexed_log != plain_log) {
+    report.verdict = Verdict::kReturnMismatch;
+    for (size_t i = 0; i < steps->size(); ++i) {
+      const bool same = indexed[i].ok == plain[i].ok &&
+                        indexed[i].code == plain[i].code &&
+                        indexed[i].rows == plain[i].rows;
+      if (!same) {
+        report.detail =
+            "indexed and plain runs diverged at step " + std::to_string(i) +
+            " ('" + (*steps)[i].sql + "'): indexed " +
+            (indexed[i].ok ? "ok rows=" + std::to_string(indexed[i].rows)
+                           : "error code=" + std::to_string(
+                                 static_cast<int>(indexed[i].code))) +
+            " vs plain " +
+            (plain[i].ok ? "ok rows=" + std::to_string(plain[i].rows)
+                         : "error code=" + std::to_string(
+                               static_cast<int>(plain[i].code)));
+        break;
+      }
+    }
+    return report;
+  }
+  for (const TableSpec& t : c.tables) {
+    if (indexed_bags[t.name] != plain_bags[t.name]) {
+      report.verdict = Verdict::kReturnMismatch;
+      report.detail = "final contents of " + t.name + " diverged: indexed " +
+                      std::to_string(indexed_bags[t.name].size()) +
+                      " row(s) vs plain " +
+                      std::to_string(plain_bags[t.name].size());
+      return report;
+    }
+  }
+  report.verdict = Verdict::kPass;
+  report.detail = "indexed and unindexed runs agree";
+  return report;
+}
+
 /// The differential run proper. RunOracle below wraps it in an
 /// optional pipeline trace when diagnostics are requested.
 OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
   if (c.function == "@txn") return RunTxnOracle(c, opts);
+  if (c.function == "@index") return RunIndexOracle(c, opts);
   OracleReport report;
 
   auto program = frontend::ParseProgram(c.source);

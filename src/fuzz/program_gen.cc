@@ -25,6 +25,7 @@ const char* FamilyName(Family f) {
     case Family::kCorrExists: return "corr_exists";
     case Family::kDml: return "dml";
     case Family::kTxn: return "txn";
+    case Family::kIndex: return "index";
   }
   return "?";
 }
@@ -35,7 +36,8 @@ std::vector<int> Weights(const GenOptions& o) {
   return {o.w_filter_collect, o.w_scalar_agg, o.w_maxmin,  o.w_exists,
           o.w_join,           o.w_groupby,    o.w_argmax,  o.w_apply,
           o.w_print,          o.w_break,      o.w_partial, o.w_multi,
-          o.w_concat,         o.w_corr_exists, o.w_dml,    o.w_txn};
+          o.w_concat,         o.w_corr_exists, o.w_dml,    o.w_txn,
+          o.w_index};
 }
 
 constexpr Family kFamilies[] = {
@@ -44,7 +46,7 @@ constexpr Family kFamilies[] = {
     Family::kArgmax,        Family::kApply,     Family::kPrint,
     Family::kBreak,         Family::kPartial,   Family::kMultiAgg,
     Family::kConcat,        Family::kCorrExists, Family::kDml,
-    Family::kTxn,
+    Family::kTxn,           Family::kIndex,
 };
 
 bool NeedsDim(Family f) {
@@ -579,6 +581,117 @@ FuzzCase GenTxnCase(uint64_t seed, Rng* rng) {
   return c;
 }
 
+/// One random statement for the index-family schedule: the txn mix
+/// diluted with selective point SELECTs and an equi-join the secondary
+/// index paths can serve (Executor::TrySecondaryIndexScan and
+/// TryIndexNestedLoopJoin).
+std::string IndexStatement(Rng* rng) {
+  if (!rng->Percent(45)) return TxnStatement(rng);
+  switch (rng->Range(0, 3)) {
+    case 0:
+      return "SELECT * FROM t0 AS r WHERE v = " +
+             std::to_string(rng->Range(-5, 40));
+    case 1:
+      return "SELECT * FROM t1 AS r WHERE a = " +
+             std::to_string(rng->Range(0, 9));
+    case 2:
+      return "SELECT * FROM t1 AS r WHERE a = " +
+             std::to_string(rng->Range(0, 9)) + " AND b = " +
+             std::to_string(rng->Range(-10, 30));
+    default:
+      return "SELECT * FROM t0 AS r JOIN t1 AS s ON r.v = s.a";
+  }
+}
+
+/// A CREATE INDEX over one of the schedule's hot column sets. Names
+/// are sequential so a schedule never collides with itself.
+std::string CreateIndexStatement(int n, Rng* rng) {
+  const std::string name = "i" + std::to_string(n);
+  switch (rng->Range(0, 4)) {
+    case 0: return "CREATE INDEX " + name + " ON t0 (v)";
+    case 1: return "CREATE INDEX " + name + " ON t1 (a)";
+    case 2: return "CREATE INDEX " + name + " ON t1 (b)";
+    default: return "CREATE INDEX " + name + " ON t1 (a, b)";
+  }
+}
+
+/// An index-family case (function "@index"): the txn schedule shape
+/// with CREATE INDEX statements interleaved mid-stream, so index
+/// builds race live writers, DML maintains live indexes, and later
+/// SELECTs can pick the index access paths. The oracle runs the
+/// schedule with and without the creates and demands byte-identical
+/// observable behavior (oracle.cc: RunIndexOracle).
+FuzzCase GenIndexCase(uint64_t seed, Rng* rng) {
+  FuzzCase c;
+  c.seed = seed;
+  c.function = "@index";
+
+  TableSpec keyed;
+  keyed.name = "t0";
+  keyed.unique_key = "id";
+  keyed.columns = {{"id", DataType::kInt64}, {"v", DataType::kInt64}};
+  const int64_t n = rng->Range(4, 10);
+  for (int64_t i = 0; i < n; ++i) {
+    keyed.rows.push_back(
+        {catalog::Value::Int(i), catalog::Value::Int(rng->Range(0, 40))});
+  }
+  c.tables.push_back(std::move(keyed));
+
+  TableSpec keyless;
+  keyless.name = "t1";
+  keyless.columns = {{"a", DataType::kInt64}, {"b", DataType::kInt64}};
+  const int64_t m = rng->Range(1, 4);
+  for (int64_t i = 0; i < m; ++i) {
+    keyless.rows.push_back({catalog::Value::Int(rng->Range(0, 9)),
+                            catalog::Value::Int(rng->Range(-10, 30))});
+  }
+  c.tables.push_back(std::move(keyless));
+
+  const int sessions = static_cast<int>(rng->Range(2, 4));
+  const int steps = static_cast<int>(rng->Range(10, 24));
+  const int max_creates = static_cast<int>(rng->Range(1, 3));
+  int creates = 0;
+  std::vector<bool> open(sessions, false);
+  std::string src;
+  auto emit = [&src](int s, const std::string& stmt) {
+    src += std::to_string(s) + " " + stmt + "\n";
+  };
+  for (int i = 0; i < steps; ++i) {
+    const int s = static_cast<int>(rng->Index(sessions));
+    // DDL autocommits regardless of the session's transaction state,
+    // so creates drop in anywhere — including mid-transaction.
+    if (creates < max_creates && rng->Percent(12)) {
+      emit(s, CreateIndexStatement(creates++, rng));
+      continue;
+    }
+    if (!open[s]) {
+      if (rng->Percent(55)) {
+        emit(s, "BEGIN");
+        open[s] = true;
+      } else {
+        emit(s, IndexStatement(rng));  // autocommit
+      }
+    } else {
+      const int roll = static_cast<int>(rng->Range(0, 9));
+      if (roll < 2) {
+        emit(s, "COMMIT");
+        open[s] = false;
+      } else if (roll == 2) {
+        emit(s, "ROLLBACK");
+        open[s] = false;
+      } else {
+        emit(s, IndexStatement(rng));
+      }
+    }
+  }
+  if (creates == 0) emit(0, CreateIndexStatement(creates++, rng));
+  for (int s = 0; s < sessions; ++s) {
+    if (open[s]) emit(s, rng->Percent(70) ? "COMMIT" : "ROLLBACK");
+  }
+  c.source = std::move(src);
+  return c;
+}
+
 std::string Render(Family family, Rng* rng, const FactShape& shape) {
   std::string body;
   switch (family) {
@@ -597,7 +710,8 @@ std::string Render(Family family, Rng* rng, const FactShape& shape) {
     case Family::kConcat: body = GenConcat(rng, shape); break;
     case Family::kCorrExists: body = GenCorrExists(rng, shape); break;
     case Family::kDml: body = GenDml(rng, shape); break;
-    case Family::kTxn: break;  // handled by GenTxnCase, never rendered
+    case Family::kTxn: break;    // handled by GenTxnCase, never rendered
+    case Family::kIndex: break;  // handled by GenIndexCase, never rendered
   }
   return "func f() {\n" + body + "}\n";
 }
@@ -618,7 +732,8 @@ bool RestrictToFamily(GenOptions* opts, const std::string& name) {
                     &next.w_print,          &next.w_break,
                     &next.w_partial,        &next.w_multi,
                     &next.w_concat,         &next.w_corr_exists,
-                    &next.w_dml,            &next.w_txn};
+                    &next.w_dml,            &next.w_txn,
+                    &next.w_index};
   static_assert(sizeof(weights) / sizeof(weights[0]) ==
                 sizeof(kFamilies) / sizeof(kFamilies[0]));
   bool found = false;
@@ -635,6 +750,7 @@ FuzzCase GenerateCase(uint64_t seed, const GenOptions& opts) {
   Rng rng(seed);
   Family family = kFamilies[rng.PickWeighted(Weights(opts))];
   if (family == Family::kTxn) return GenTxnCase(seed, &rng);
+  if (family == Family::kIndex) return GenIndexCase(seed, &rng);
   FactShape shape = MakeFactShape(&rng);
 
   FuzzCase c;

@@ -28,6 +28,7 @@ enum class Family {
   kCorrExists,     // correlated EXISTS flag feeding a later predicate
   kDml,            // real INSERT/UPDATE into a scratch table + read-back
   kTxn,            // multi-session BEGIN/COMMIT/ROLLBACK schedule (MVCC)
+  kIndex,          // txn schedule interleaving CREATE INDEX with DML
 };
 
 const char* FamilyName(Family f);
@@ -53,6 +54,7 @@ struct GenOptions {
   int w_corr_exists = 6;
   int w_dml = 6;
   int w_txn = 7;
+  int w_index = 6;
 };
 
 /// Zeroes every family weight except `name`'s (as printed by

@@ -1,9 +1,12 @@
 #include "fuzz/shrink.h"
 
+#include <algorithm>
 #include <optional>
+#include <sstream>
 
 #include "frontend/ast.h"
 #include "frontend/parser.h"
+#include "net/api.h"
 
 namespace eqsql::fuzz {
 
@@ -318,13 +321,21 @@ class Shrinker {
     cur_ = failing;
     best_report_ = RunOracle(cur_, oopts_);
     ++runs_;
+    // Schedule cases ("@txn", "@index") carry `<session> <SQL>` lines,
+    // not an ImpLang program: line deletion replaces the statement and
+    // expression passes.
+    const bool schedule = !cur_.function.empty() && cur_.function[0] == '@';
     bool progress = true;
     while (progress && Budget()) {
       progress = false;
       if (ShrinkTables()) progress = true;
       if (ShrinkRows()) progress = true;
-      if (ShrinkProgram()) progress = true;
-      if (ShrinkExprs()) progress = true;
+      if (schedule) {
+        if (ShrinkScheduleLines()) progress = true;
+      } else {
+        if (ShrinkProgram()) progress = true;
+        if (ShrinkExprs()) progress = true;
+      }
     }
     ShrinkOutcome out;
     out.reduced = std::move(cur_);
@@ -380,6 +391,73 @@ class Shrinker {
         }
         if (chunk == 1) break;
       }
+    }
+    return progress;
+  }
+
+  /// Line-level ddmin for schedule cases: delete halving chunks of
+  /// schedule lines, then single lines, while the case keeps failing.
+  /// Statement kinds are respected: a candidate that would drop the
+  /// schedule's LAST remaining CREATE INDEX line is never proposed —
+  /// an index-family failure is triggered by the index existing, and
+  /// treating the (newer) statement class as silently droppable would
+  /// shrink toward a reproducer that no longer builds an index at all.
+  /// @txn schedules carry no creates, so the guard never fires there.
+  bool ShrinkScheduleLines() {
+    auto is_create = [](const std::string& line) {
+      const size_t sp = line.find(' ');
+      if (sp == std::string::npos) return false;
+      return net::ClassifyStatement(net::Request::Kind::kStatement,
+                                    std::string_view(line).substr(sp + 1)) ==
+             net::Request::Kind::kCreateIndex;
+    };
+    std::vector<std::string> lines;
+    {
+      std::istringstream in(cur_.source);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty()) lines.push_back(line);
+      }
+    }
+    auto join = [](const std::vector<std::string>& ls) {
+      std::string out;
+      for (const std::string& l : ls) {
+        out += l;
+        out += '\n';
+      }
+      return out;
+    };
+    size_t creates = static_cast<size_t>(
+        std::count_if(lines.begin(), lines.end(), is_create));
+    bool progress = false;
+    for (size_t chunk = std::max<size_t>(lines.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (size_t off = 0; off + chunk <= lines.size();) {
+        const size_t removed_creates = static_cast<size_t>(std::count_if(
+            lines.begin() + static_cast<long>(off),
+            lines.begin() + static_cast<long>(off + chunk), is_create));
+        if (creates > 0 && removed_creates == creates) {
+          ++off;  // would delete every remaining CREATE INDEX
+          continue;
+        }
+        std::vector<std::string> kept;
+        kept.reserve(lines.size() - chunk);
+        kept.insert(kept.end(), lines.begin(),
+                    lines.begin() + static_cast<long>(off));
+        kept.insert(kept.end(), lines.begin() + static_cast<long>(off + chunk),
+                    lines.end());
+        FuzzCase candidate = cur_;
+        candidate.source = join(kept);
+        if (Try(std::move(candidate))) {
+          lines = std::move(kept);
+          creates -= removed_creates;
+          progress = true;  // lines shifted down; retry same offset
+        } else {
+          ++off;
+        }
+        if (!Budget()) return progress;
+      }
+      if (chunk == 1) break;
     }
     return progress;
   }

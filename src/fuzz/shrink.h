@@ -32,6 +32,10 @@ struct ShrinkOutcome {
 ///     and &&/|| predicate atoms are deleted at any nesting depth
 ///     (inside assignments, returns, and ternaries — not just
 ///     top-level if conditions, which pass 3 already covers).
+/// Schedule cases (function "@txn"/"@index") swap passes 3-4 for
+/// line-level ddmin over the `<session> <SQL>` lines; the pass knows
+/// the statement kinds and never proposes a candidate that deletes
+/// the last CREATE INDEX line of an index-family schedule.
 /// Repeats to fixpoint. `failing` must currently fail under `oopts`
 /// (IsViolation(RunOracle(...))); the result is the smallest failing
 /// case found, suitable for the corpus.

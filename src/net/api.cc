@@ -71,6 +71,7 @@ Request::Kind ClassifyStatement(Request::Kind kind, std::string_view sql) {
   if (kw == "insert" || kw == "update" || kw == "delete") {
     return Request::Kind::kDml;
   }
+  if (kw == "create") return Request::Kind::kCreateIndex;
   return Request::Kind::kQuery;
 }
 

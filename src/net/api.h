@@ -65,6 +65,10 @@ struct Request {
     kBegin,
     kCommit,
     kRollback,
+    /// DDL: CREATE INDEX name ON table (col, ...). Builds a secondary
+    /// hash index (parallel per-shard backfill through the server's
+    /// worker pool) and reports 0 affected rows.
+    kCreateIndex,
   };
 
   Kind kind = Kind::kStatement;
@@ -133,6 +137,12 @@ struct Request {
     Request r;
     r.kind = Kind::kRollback;
     r.sql = "ROLLBACK";
+    return r;
+  }
+  static Request CreateIndex(std::string sql) {
+    Request r;
+    r.kind = Kind::kCreateIndex;
+    r.sql = std::move(sql);
     return r;
   }
 

@@ -145,8 +145,10 @@ class Connection : public Client {
   void DropTempTable(const std::string& name);
 
   /// Attaches the server's shard worker pool for partition-parallel
-  /// scans/aggregations (see exec::Executor::set_worker_pool).
+  /// scans/aggregations (see exec::Executor::set_worker_pool) and for
+  /// CREATE INDEX's per-shard parallel backfill.
   void set_worker_pool(exec::WorkerPool* pool) {
+    pool_ = pool;
     executor_.set_worker_pool(pool);
   }
   void set_parallel_threshold(size_t n) {
@@ -248,6 +250,14 @@ class Connection : public Client {
   /// back by then).
   Outcome TxnControlImpl(Request::Kind kind, TxnContext* txn_ctx);
   void SimulateUpdateImpl(std::string_view sql);
+  /// CREATE INDEX name ON table (col, ...): builds a secondary hash
+  /// index through storage::Table::CreateIndex, fanning the per-shard
+  /// backfill across the attached worker pool (serial without one).
+  /// DDL autocommits — index visibility is not transactional (the
+  /// index is a physical access path; MVCC visibility of the rows it
+  /// returns still resolves against each reader's own snapshot).
+  /// Returns 0 (affected rows) on success.
+  Result<int64_t> CreateIndexImpl(std::string_view sql);
 
   /// Charges one round-trip statement of `request_bytes` with
   /// `server_rows` of server-side work onto the simulated clock and the
@@ -294,6 +304,9 @@ class Connection : public Client {
   storage::Database* db_;
   CostModel model_;
   exec::Executor executor_;
+  /// The server's shard worker pool (null on bare connections):
+  /// CreateIndexImpl fans the per-shard index backfill across it.
+  exec::WorkerPool* pool_ = nullptr;
   /// The built-in session transaction context (replaceable via
   /// set_txn_context; requests may carry their own).
   std::shared_ptr<TxnContext> own_txn_ = std::make_shared<TxnContext>();

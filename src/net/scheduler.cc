@@ -5,8 +5,11 @@
 
 #include "catalog/schema.h"
 #include "catalog/value.h"
+#include "common/strings.h"
+#include "core/cost_estimator.h"
 #include "net/server.h"
 #include "obs/explain.h"
+#include "storage/table.h"
 
 namespace eqsql::net {
 
@@ -23,6 +26,53 @@ int64_t ElapsedNs(std::chrono::steady_clock::time_point from,
 size_t PriorityClass(Priority p) {
   size_t cls = static_cast<size_t>(p);
   return cls < 3 ? cls : 2;
+}
+
+/// Annotates extracted variables with the physical join-plan choice:
+/// each extracted SQL statement is parsed through the shared plan
+/// cache and priced by the cost estimator against live table and
+/// index statistics. A no-op (and no plan parses) while the database
+/// has no secondary indexes, so EXPLAIN output is unchanged until
+/// someone runs CREATE INDEX.
+void AnnotateJoinPlans(Server* server, core::OptimizeResult* result) {
+  core::TableStats stats;
+  storage::Database* db = server->db();
+  bool any_index = false;
+  for (const std::string& name : db->TableNames()) {
+    Result<storage::Table*> table = db->GetTable(name);
+    if (!table.ok()) continue;
+    const std::string key = AsciiToLower(name);
+    const storage::TableScanStats vs =
+        (*table)->VisibleStats(storage::Snapshot::Latest());
+    stats.table_rows[key] = static_cast<int64_t>(vs.rows);
+    if (vs.rows > 0) {
+      stats.row_bytes[key] = static_cast<int64_t>(vs.bytes / vs.rows);
+    }
+    std::vector<std::vector<std::string>> lists =
+        (*table)->IndexedColumnLists();
+    if (!lists.empty()) {
+      stats.table_indexes[key] = std::move(lists);
+      any_index = true;
+    }
+  }
+  if (!any_index) return;
+  const core::CostEstimator estimator(std::move(stats),
+                                      server->options().cost_model);
+  for (core::VarOutcome& o : result->outcomes) {
+    if (!o.extracted) continue;
+    for (const std::string& sql : o.sql) {
+      Result<ra::RaNodePtr> plan = server->plan_cache()->GetOrParseSql(sql);
+      if (!plan.ok()) continue;
+      core::JoinPlanChoice choice = estimator.ChooseJoinPlan(*plan);
+      if (!choice.applicable) continue;
+      o.join_plan = (choice.index_wins ? "index-nested-loop on "
+                                       : "hash-join over ") +
+                    choice.detail;
+      o.cost_index_ms = choice.index_ms;
+      o.cost_scan_ms = choice.scan_ms;
+      break;
+    }
+  }
 }
 
 }  // namespace
@@ -193,7 +243,8 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
     case Kind::kSimulateDml:
     case Kind::kBegin:
     case Kind::kCommit:
-    case Kind::kRollback: {
+    case Kind::kRollback:
+    case Kind::kCreateIndex: {
       Request forced = req;
       forced.kind = kind;
       return conn->Perform(std::move(forced));
@@ -203,8 +254,12 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
           server_->plan_cache()->GetOrOptimize(req.sql, req.function,
                                                server_->options().optimize);
       if (!result.ok()) return Outcome::FromError(result.status());
+      // Annotate a copy: the cached result is shared and immutable,
+      // and the plan choice depends on current index/table stats.
+      core::OptimizeResult annotated = **result;
+      AnnotateJoinPlans(server_, &annotated);
       return Outcome::FromExplain(obs::RenderExplainText(
-          **result, req.function,
+          annotated, req.function,
           exec::ExecModeName(server_->options().exec_mode)));
     }
     case Kind::kStatement:

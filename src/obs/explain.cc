@@ -91,6 +91,13 @@ void RenderVar(std::ostringstream& out, const VarOutcome& o) {
     for (const std::string& sql : o.sql) {
       out << "       " << sql << "\n";
     }
+    if (!o.join_plan.empty()) {
+      char costs[96];
+      std::snprintf(costs, sizeof(costs),
+                    " (index %.3f ms vs scan %.3f ms)", o.cost_index_ms,
+                    o.cost_scan_ms);
+      out << "    physical plan: " << o.join_plan << costs << "\n";
+    }
   } else if (o.cost_skipped) {
     out << "    => skipped by cost heuristic: " << o.reason << "\n";
   } else {
@@ -177,7 +184,16 @@ std::string RenderExplainJson(const core::OptimizeResult& result,
         if (i > 0) out << ",";
         out << "\"" << JsonEscape(o->sql[i]) << "\"";
       }
-      out << "],\"reason\":\"" << JsonEscape(o->reason) << "\"}";
+      out << "]";
+      if (!o->join_plan.empty()) {
+        char costs[96];
+        std::snprintf(costs, sizeof(costs),
+                      ",\"cost_index_ms\":%.3f,\"cost_scan_ms\":%.3f",
+                      o->cost_index_ms, o->cost_scan_ms);
+        out << ",\"join_plan\":\"" << JsonEscape(o->join_plan) << "\""
+            << costs;
+      }
+      out << ",\"reason\":\"" << JsonEscape(o->reason) << "\"}";
     }
     out << "]}";
   }

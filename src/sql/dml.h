@@ -16,6 +16,7 @@ namespace eqsql::sql {
 ///   INSERT INTO table VALUES ( expr, ... )
 ///   UPDATE table SET col = expr [, col = expr ...] [WHERE pred]
 ///   DELETE FROM table [WHERE pred]
+///   CREATE INDEX name ON table ( col [, col ...] )
 ///
 /// Value / assignment / predicate expressions reuse the query
 /// expression grammar: positional '?' parameters, arithmetic, CASE,
@@ -24,7 +25,7 @@ namespace eqsql::sql {
 /// — `SET a = b, b = a` swaps, as in SQL. DELETE predicates likewise
 /// see the candidate row's columns.
 struct DmlStatement {
-  enum class Kind { kInsert, kUpdate, kDelete };
+  enum class Kind { kInsert, kUpdate, kDelete, kCreateIndex };
   Kind kind = Kind::kInsert;
   std::string table;
   /// kInsert: one expression per column, in schema order.
@@ -33,11 +34,14 @@ struct DmlStatement {
   std::vector<std::pair<std::string, ra::ScalarExprPtr>> assignments;
   /// kUpdate / kDelete: optional WHERE predicate (nullptr = all rows).
   ra::ScalarExprPtr predicate;
+  /// kCreateIndex: the index name and indexed columns, in key order.
+  std::string index_name;
+  std::vector<std::string> index_columns;
 };
 
-/// Parses an INSERT, UPDATE or DELETE statement. Anything else fails
-/// with kParseError — net::Connection then falls back to cost-only
-/// simulation, matching the pre-DML engine.
+/// Parses an INSERT, UPDATE, DELETE or CREATE INDEX statement.
+/// Anything else fails with kParseError — net::Connection then falls
+/// back to cost-only simulation, matching the pre-DML engine.
 Result<DmlStatement> ParseDml(std::string_view input);
 
 }  // namespace eqsql::sql

@@ -17,7 +17,7 @@ const std::unordered_set<std::string>& Keywords() {
       "TRUE",   "FALSE", "CASE",   "WHEN",   "THEN",  "ELSE",   "END",
       "IS",     "DISTINCT", "GREATEST", "LEAST", "COUNT", "SUM", "MIN",
       "MAX",    "AVG",   "LATERAL", "HAVING", "IN",     "INSERT", "INTO",
-      "VALUES", "UPDATE", "SET",    "DELETE",
+      "VALUES", "UPDATE", "SET",    "DELETE", "CREATE", "INDEX",
   });
   return *kKeywords;
 }

@@ -88,9 +88,24 @@ class Parser {
       if (MatchKeyword("WHERE")) {
         EQSQL_ASSIGN_OR_RETURN(stmt.predicate, ParseExpr());
       }
+    } else if (MatchKeyword("CREATE")) {
+      stmt.kind = DmlStatement::Kind::kCreateIndex;
+      EQSQL_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+      EQSQL_ASSIGN_OR_RETURN(stmt.index_name,
+                             ParseBareIdentifier("index name"));
+      EQSQL_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      EQSQL_ASSIGN_OR_RETURN(stmt.table, ParseBareIdentifier("table name"));
+      EQSQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      do {
+        EQSQL_ASSIGN_OR_RETURN(std::string col,
+                               ParseBareIdentifier("column name"));
+        stmt.index_columns.push_back(std::move(col));
+      } while (Match(TokenKind::kComma));
+      EQSQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
     } else {
-      return Status::ParseError("expected INSERT, UPDATE or DELETE before '" +
-                                Peek().text + "'");
+      return Status::ParseError(
+          "expected INSERT, UPDATE, DELETE or CREATE INDEX before '" +
+          Peek().text + "'");
     }
     if (!AtEnd()) {
       return Status::ParseError("trailing input after statement: '" +

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "storage/index.h"
 #include "storage/txn.h"
 
 namespace eqsql::storage {
@@ -99,6 +100,7 @@ std::shared_ptr<Table::Slot> Table::InstallNewSlot(Shard* shard,
     if (key != nullptr) shard->index.emplace(*key, slot);
   }
   if (txns_ != nullptr) txns_->NoteVersionInstalled();
+  NoteVersionForIndexes(slot->head.load(std::memory_order_acquire)->row, slot);
   return slot;
 }
 
@@ -133,6 +135,7 @@ Status Table::Insert(catalog::Row row) {
                      std::memory_order_relaxed);
       slot.head.store(nv, std::memory_order_release);
       if (txns_ != nullptr) txns_->NoteVersionInstalled();
+      NoteVersionForIndexes(nv->row, it->second);
     } else {
       size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
       InstallNewSlot(&shard, std::move(row), begin, &key, seq);
@@ -147,6 +150,7 @@ Status Table::Insert(catalog::Row row) {
     InstallNewSlot(&shard, std::move(row), begin, nullptr, seq);
   }
   size_.fetch_add(1, std::memory_order_acq_rel);
+  BumpStatsEpoch();
   return Status::OK();
 }
 
@@ -203,6 +207,7 @@ Status Table::InsertTxn(Transaction* txn, catalog::Row row) {
                      std::memory_order_relaxed);
       slot.head.store(nv, std::memory_order_release);
       if (txns_ != nullptr) txns_->NoteVersionInstalled();
+      NoteVersionForIndexes(nv->row, it->second);
       txn->RecordWrite(WriteRecord{weak_from_this().lock(), this, it->second,
                                    nv, nullptr, 1});
     } else {
@@ -223,6 +228,7 @@ Status Table::InsertTxn(Transaction* txn, catalog::Row row) {
                                  slot->head.load(std::memory_order_acquire),
                                  nullptr, 1});
   }
+  BumpStatsEpoch();
   return Status::OK();
 }
 
@@ -261,12 +267,14 @@ Result<size_t> Table::MutateRows(
         slot->head.store(nv, std::memory_order_release);
         old_version->end.store(pending, std::memory_order_release);
         if (txns_ != nullptr) txns_->NoteVersionInstalled();
+        NoteVersionForIndexes(nv->row, slot);
         txn->RecordWrite(
             WriteRecord{weak_from_this().lock(), this, slot, nv, old_version, 0});
       }
       ++written;
     }
   }
+  if (written > 0) BumpStatsEpoch();
   return written;
 }
 
@@ -361,6 +369,7 @@ Status Table::Repartition(size_t new_count, const std::string* new_key) {
   }
   unique_key_ = key;
   key_index_col_ = key_col;
+  BumpStatsEpoch();
   return Status::OK();
 }
 
@@ -424,6 +433,11 @@ void Table::Clear() {
   next_seq_.store(0, std::memory_order_release);
   size_.store(0, std::memory_order_release);
   last_commit_ts_.store(0, std::memory_order_release);
+  if (index_count_.load(std::memory_order_acquire) != 0) {
+    std::shared_lock<std::shared_mutex> il(index_mu_);
+    for (const auto& idx : indexes_) idx->Clear();
+  }
+  BumpStatsEpoch();
 }
 
 Status Table::ForEachRowExclusive(
@@ -439,6 +453,7 @@ Status Table::ForEachRowExclusive(
       EQSQL_RETURN_IF_ERROR(fn(&const_cast<Version*>(vis)->row));
     }
   }
+  BumpStatsEpoch();
   return Status::OK();
 }
 
@@ -471,6 +486,7 @@ void Table::NoteCommit(Ts commit_ts, int64_t size_delta) {
   last_commit_ts_.store(commit_ts, std::memory_order_release);
   size_.fetch_add(static_cast<size_t>(size_delta),
                   std::memory_order_acq_rel);
+  BumpStatsEpoch();
 }
 
 void Table::Vacuum(Ts watermark, TxnManager* txns) {
@@ -534,6 +550,166 @@ void Table::Vacuum(Ts watermark, TxnManager* txns) {
     }
   }
   if (!retired.empty() && txns != nullptr) txns->Retire(std::move(retired));
+  // Secondary indexes hold their own slot references: drop entries
+  // whose chain is fully gone so vacuumed slots actually free.
+  if (index_count_.load(std::memory_order_acquire) != 0) {
+    std::shared_lock<std::shared_mutex> il(index_mu_);
+    for (const auto& idx : indexes_) idx->PruneDeadSlots();
+  }
+  BumpStatsEpoch();
+}
+
+void Table::NoteVersionForIndexes(const catalog::Row& row,
+                                  const std::shared_ptr<Slot>& slot) {
+  if (index_count_.load(std::memory_order_acquire) == 0) return;
+  std::shared_lock<std::shared_mutex> il(index_mu_);
+  for (const auto& idx : indexes_) idx->AddEntry(row, slot);
+}
+
+Status Table::CreateIndex(const std::string& name,
+                          const std::vector<std::string>& columns,
+                          const IndexTaskRunner& runner) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("index " + name + " on table " + name_ +
+                                   " must cover at least one column");
+  }
+  std::vector<size_t> col_idx;
+  std::vector<std::string> resolved;
+  col_idx.reserve(columns.size());
+  for (const std::string& col : columns) {
+    EQSQL_ASSIGN_OR_RETURN(size_t idx, schema_.ResolveColumn(col));
+    col_idx.push_back(idx);
+    resolved.push_back(schema_.column(idx).name);
+  }
+  // Bucket count bounds writer contention, not capacity; it is
+  // independent of the table's shard layout so Repartition never
+  // invalidates the index.
+  auto index = std::make_shared<SecondaryIndex>(name, std::move(resolved),
+                                                std::move(col_idx), 16);
+  {
+    std::unique_lock<std::shared_mutex> il(index_mu_);
+    for (const auto& existing : indexes_) {
+      if (existing->name() == name) {
+        return Status::InvalidArgument("index " + name +
+                                       " already exists on table " + name_);
+      }
+    }
+    // Registered before the backfill: from here on every writer notes
+    // new versions into the index, and AddEntry's per-(key, slot)
+    // idempotence makes the backfill/writer overlap safe.
+    indexes_.push_back(index);
+    index_count_.store(indexes_.size(), std::memory_order_release);
+  }
+  size_t shard_total;
+  {
+    std::shared_lock<std::shared_mutex> topology(topology_mu_);
+    shard_total = shards_.size();
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shard_total);
+  for (size_t s = 0; s < shard_total; ++s) {
+    tasks.push_back([this, s, index] {
+      // PinShard copies the slot pointers under the structural lock;
+      // the chain walk itself is the same lock-free traversal readers
+      // do. Every non-aborted version is indexed — committed-deleted
+      // versions may still be visible to an old snapshot, and pending
+      // ones may commit.
+      for (const auto& slot : PinShard(s)) {
+        for (const Version* v = slot->head.load(std::memory_order_acquire);
+             v != nullptr; v = v->next.load(std::memory_order_acquire)) {
+          if (v->begin.load(std::memory_order_acquire) == kTsAborted) continue;
+          index->AddEntry(v->row, slot);
+        }
+      }
+    });
+  }
+  if (runner != nullptr) {
+    runner(std::move(tasks));
+  } else {
+    for (auto& task : tasks) task();
+  }
+  index->MarkReady();
+  return Status::OK();
+}
+
+std::shared_ptr<const SecondaryIndex> Table::FindIndex(
+    const std::vector<std::string>& columns) const {
+  if (index_count_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::shared_lock<std::shared_mutex> il(index_mu_);
+  for (const auto& idx : indexes_) {
+    if (idx->ready() && idx->columns() == columns) return idx;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const SecondaryIndex> Table::FindIndexForColumnSet(
+    const std::vector<std::string>& columns) const {
+  if (index_count_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::shared_lock<std::shared_mutex> il(index_mu_);
+  for (const auto& idx : indexes_) {
+    if (!idx->ready() || idx->columns().size() != columns.size()) continue;
+    bool all = true;
+    for (const std::string& col : idx->columns()) {
+      if (std::find(columns.begin(), columns.end(), col) == columns.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return idx;
+  }
+  return nullptr;
+}
+
+std::vector<std::vector<std::string>> Table::IndexedColumnLists() const {
+  std::vector<std::vector<std::string>> out;
+  if (index_count_.load(std::memory_order_acquire) == 0) return out;
+  std::shared_lock<std::shared_mutex> il(index_mu_);
+  for (const auto& idx : indexes_) {
+    if (idx->ready()) out.push_back(idx->columns());
+  }
+  return out;
+}
+
+TableScanStats Table::VisibleStats(const Snapshot& snap) const {
+  // Memo hit: nothing changed any visible set since the cached walk and
+  // the caller reads at the same snapshot, so the answer is identical.
+  const uint64_t epoch = stats_epoch_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> cache(stats_cache_mu_);
+    if (stats_cache_valid_ && stats_cache_epoch_ == epoch &&
+        stats_cache_snap_.ts == snap.ts &&
+        stats_cache_snap_.txn_id == snap.txn_id) {
+      return stats_cache_;
+    }
+  }
+  TableScanStats stats;
+  {
+    std::shared_lock<std::shared_mutex> topology(topology_mu_);
+    for (const auto& shard : shards_) {
+      std::vector<std::shared_ptr<Slot>> local;
+      {
+        std::shared_lock<std::shared_mutex> sl(shard->struct_mu);
+        local = shard->slots;
+      }
+      for (const auto& slot : local) {
+        const catalog::Row* row = slot->VisibleRow(snap);
+        if (row == nullptr) continue;
+        ++stats.rows;
+        stats.bytes += catalog::RowWireSize(*row);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> cache(stats_cache_mu_);
+  // Re-check the epoch: a writer may have raced our walk, in which case
+  // this result may reflect a half-installed state for Snapshot::Latest
+  // readers — don't let it outlive the race window.
+  if (stats_epoch_.load(std::memory_order_acquire) == epoch) {
+    stats_cache_valid_ = true;
+    stats_cache_epoch_ = epoch;
+    stats_cache_snap_ = snap;
+    stats_cache_ = stats;
+  }
+  return stats;
 }
 
 }  // namespace eqsql::storage

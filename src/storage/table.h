@@ -18,8 +18,19 @@
 
 namespace eqsql::storage {
 
+class SecondaryIndex;
 class Transaction;
 class TxnManager;
+
+/// Snapshot-exact scan statistics: how many rows a full scan at this
+/// snapshot would produce and their total wire size. Computed without
+/// copying any row, so the index-scan operators can charge exactly the
+/// cost a full scan would have charged (the engines' cost-parity
+/// contract) while skipping the materialization work.
+struct TableScanStats {
+  size_t rows = 0;
+  size_t bytes = 0;
+};
 
 /// One logical row: a table-wide insertion sequence number plus a
 /// newest-first chain of versions. The chain head is atomic so readers
@@ -198,6 +209,53 @@ class Table : public std::enable_shared_from_this<Table> {
   TxnManager* txn_manager() const { return txns_; }
   void set_txn_manager(TxnManager* txns) { txns_ = txns; }
 
+  /// Runs a batch of independent build tasks; Table::CreateIndex hands
+  /// one task per shard to it. Injected by the caller (net::Connection
+  /// wraps the server's exec::WorkerPool) so storage does not depend on
+  /// exec; null runs the backfill serially on the calling thread.
+  using IndexTaskRunner =
+      std::function<void(std::vector<std::function<void()>>)>;
+
+  /// Creates and backfills a secondary hash index over `columns`
+  /// (CREATE INDEX name ON table (col, ...)). The index registers
+  /// before the backfill starts — concurrent writers maintain it from
+  /// that moment, and AddEntry's idempotence makes the overlap safe —
+  /// then backfills one task per shard through `runner` and publishes
+  /// atomically (SecondaryIndex::MarkReady), so probes never see a
+  /// half-built index. Errors on a duplicate index name or an unknown
+  /// column; on error nothing is registered.
+  Status CreateIndex(const std::string& name,
+                     const std::vector<std::string>& columns,
+                     const IndexTaskRunner& runner = nullptr);
+
+  /// The first ready index whose column list is exactly `columns`
+  /// (order-sensitive, table-schema spelling), or nullptr. The returned
+  /// pointer stays valid for the table's lifetime (indexes are never
+  /// dropped, matching the paper's evaluation schemas).
+  std::shared_ptr<const SecondaryIndex> FindIndex(
+      const std::vector<std::string>& columns) const;
+
+  /// A ready index covering exactly the column *set* `columns` in any
+  /// order, or nullptr (the join planner matches unordered conjunct
+  /// sets against index definitions).
+  std::shared_ptr<const SecondaryIndex> FindIndexForColumnSet(
+      const std::vector<std::string>& columns) const;
+
+  /// Ready-index column lists, for planner statistics (CostEstimator's
+  /// TableStats::table_indexes) and EXPLAIN.
+  std::vector<std::vector<std::string>> IndexedColumnLists() const;
+
+  /// Number of registered indexes (ready or building).
+  size_t index_count() const {
+    return index_count_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot-exact full-scan statistics (rows + wire bytes visible to
+  /// `snap`), charged by the index-scan operators for cost parity.
+  /// Memoized per (snapshot, mutation epoch): repeated probes of an
+  /// unchanged table pay O(1) here instead of re-walking every slot.
+  TableScanStats VisibleStats(const Snapshot& snap) const;
+
  private:
   struct Shard {
     /// Serializes writers (and GC) on this shard; held for a
@@ -240,6 +298,15 @@ class Table : public std::enable_shared_from_this<Table> {
   /// 0 keeps the current shard count (used by DeclareUniqueKey).
   Status Repartition(size_t new_count, const std::string* new_key);
 
+  /// Notes a freshly installed version with `row` in `slot` to every
+  /// registered secondary index. Called at each version-install site
+  /// while the shard's write_mu is held; index locks (index_mu_ shared,
+  /// then a bucket lock) are leaves below it. DELETE (an end-stamp
+  /// flip), commit and rollback install no version and need no note —
+  /// lookup-time revalidation handles them.
+  void NoteVersionForIndexes(const catalog::Row& row,
+                             const std::shared_ptr<Slot>& slot);
+
   std::string name_;
   catalog::Schema schema_;
   /// Guards the shards_ vector itself (not row data): shared by every
@@ -258,6 +325,32 @@ class Table : public std::enable_shared_from_this<Table> {
   std::atomic<size_t> size_{0};
   std::atomic<Ts> last_commit_ts_{0};
   TxnManager* txns_ = nullptr;
+  /// Guards indexes_ itself (a leaf lock, taken after any shard
+  /// write_mu but never together with struct_mu). index_count_ mirrors
+  /// indexes_.size() so the no-index fast path skips the lock.
+  mutable std::shared_mutex index_mu_;
+  std::vector<std::shared_ptr<SecondaryIndex>> indexes_;
+  std::atomic<size_t> index_count_{0};
+
+  /// Invalidates the VisibleStats memo. Called by every path that can
+  /// change some live snapshot's visible row set: version installs
+  /// (Insert/InsertTxn/MutateRows), commit stamping (NoteCommit),
+  /// topology rebuilds, Clear, and Vacuum. Rollback is deliberately
+  /// exempt — aborting pending stamps only changes visibility for the
+  /// dead owner's snapshot, which is never read again.
+  void BumpStatsEpoch() {
+    stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// One-entry memo for VisibleStats: valid while the table's mutation
+  /// epoch and the probing snapshot both match. Autocommit readers pin
+  /// Snapshot{clock, 0}, so between commits every probe shares one key.
+  std::atomic<uint64_t> stats_epoch_{0};
+  mutable std::mutex stats_cache_mu_;
+  mutable bool stats_cache_valid_ = false;
+  mutable uint64_t stats_cache_epoch_ = 0;
+  mutable Snapshot stats_cache_snap_{};
+  mutable TableScanStats stats_cache_{};
 };
 
 /// Batch-producing MVCC scan over one shard: pins the shard's slots

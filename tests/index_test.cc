@@ -1,0 +1,500 @@
+// Secondary-index suite (PR 8): parallel build correctness against a
+// serial reference (empty table, single row, skewed key distribution),
+// MVCC snapshot visibility *through index lookups* (the index must
+// never surface a version the equivalent scan would hide), DELETE +
+// reinsert version chains, exact rollback, layout independence across
+// Repartition/SetShardCount, a concurrent-writers-during-build race
+// (exercised under TSan via scripts/verify.sh), and the end-to-end
+// acceptance paths: CREATE INDEX through the server, index counters in
+// SHOW METRICS, and EXPLAIN EXTRACTION pricing index-nested-loop
+// against the parallel full scan on a T4-extracted equi-join.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "exec/worker_pool.h"
+#include "net/api.h"
+#include "net/server.h"
+#include "storage/database.h"
+#include "storage/index.h"
+#include "storage/mvcc.h"
+#include "storage/table.h"
+#include "storage/txn.h"
+
+namespace eqsql {
+namespace {
+
+using catalog::DataType;
+using catalog::Row;
+using catalog::Schema;
+using catalog::Value;
+using storage::SecondaryIndex;
+using storage::Snapshot;
+using storage::Table;
+using storage::Transaction;
+using storage::TxnManager;
+
+Schema KV() {
+  return Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}});
+}
+
+/// A table wired to `mgr`, keyed on "id", holding (i, v(i)) for i<n.
+std::shared_ptr<Table> MakeKeyed(TxnManager* mgr, int n,
+                                 int64_t (*value)(int64_t),
+                                 size_t shards = 2) {
+  auto t = std::make_shared<Table>("t", KV(), shards, mgr);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t->Insert({Value::Int(i), Value::Int(value(i))}).ok());
+  }
+  EXPECT_TRUE(t->DeclareUniqueKey("id").ok());
+  return t;
+}
+
+/// What the executor's index-scan operator does: probe, resolve each
+/// candidate's visible version against `snap`, and re-check that the
+/// indexed columns still equal the probe key (filters stale entries
+/// exactly like a full scan would).
+std::vector<Row> ProbeVisible(const SecondaryIndex& idx,
+                              const std::vector<Value>& key,
+                              const Snapshot& snap) {
+  std::vector<Row> out;
+  for (const std::shared_ptr<const storage::TableSlot>& slot :
+       idx.Probe(key)) {
+    const Row* row = slot->VisibleRow(snap);
+    if (row == nullptr) continue;
+    bool match = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      match = match && (*row)[idx.column_indexes()[i]] == key[i];
+    }
+    if (match) out.push_back(*row);
+  }
+  return out;
+}
+
+Table::IndexTaskRunner PoolRunner(exec::WorkerPool* pool) {
+  return [pool](std::vector<std::function<void()>> tasks) {
+    pool->Run(std::move(tasks));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Build
+// ---------------------------------------------------------------------------
+
+// The parallel per-shard backfill must produce an index answering every
+// probe exactly like a serially built one, including under a skewed key
+// distribution (most rows share three values, a few are unique).
+TEST(IndexBuild, ParallelBackfillMatchesSerialOnSkewedKeys) {
+  auto skewed = [](int64_t i) { return i < 180 ? i % 3 : i; };
+  TxnManager mgr_a, mgr_b;
+  auto serial = MakeKeyed(&mgr_a, 200, skewed, /*shards=*/4);
+  auto parallel = MakeKeyed(&mgr_b, 200, skewed, /*shards=*/4);
+  ASSERT_TRUE(serial->CreateIndex("iv", {"v"}).ok());
+  exec::WorkerPool pool(4);
+  ASSERT_TRUE(parallel->CreateIndex("iv", {"v"}, PoolRunner(&pool)).ok());
+
+  auto si = serial->FindIndex({"v"});
+  auto pi = parallel->FindIndex({"v"});
+  ASSERT_NE(si, nullptr);
+  ASSERT_NE(pi, nullptr);
+  EXPECT_TRUE(si->ready());
+  EXPECT_TRUE(pi->ready());
+  EXPECT_EQ(si->entry_count(), pi->entry_count());
+  for (int64_t v = 0; v < 200; ++v) {
+    std::vector<Row> s = ProbeVisible(*si, {Value::Int(v)}, Snapshot::Latest());
+    std::vector<Row> p = ProbeVisible(*pi, {Value::Int(v)}, Snapshot::Latest());
+    ASSERT_EQ(s.size(), p.size()) << "v=" << v;
+    for (size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], p[i]) << "v=" << v;
+  }
+  // The hot value really is skewed and fully indexed.
+  EXPECT_EQ(ProbeVisible(*pi, {Value::Int(0)}, Snapshot::Latest()).size(), 60u);
+}
+
+// Building over an empty table publishes a ready, empty index that
+// writers maintain from then on; a single-row table builds one entry.
+TEST(IndexBuild, EmptyAndSingleRowTables) {
+  TxnManager mgr;
+  exec::WorkerPool pool(2);
+  auto empty = MakeKeyed(&mgr, 0, nullptr);
+  ASSERT_TRUE(empty->CreateIndex("iv", {"v"}, PoolRunner(&pool)).ok());
+  auto idx = empty->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+  EXPECT_TRUE(idx->ready());
+  EXPECT_EQ(idx->entry_count(), 0u);
+  EXPECT_TRUE(
+      ProbeVisible(*idx, {Value::Int(7)}, Snapshot::Latest()).empty());
+  // Maintenance after the (empty) build: a later insert is indexed.
+  ASSERT_TRUE(empty->Insert({Value::Int(1), Value::Int(7)}).ok());
+  auto hit = ProbeVisible(*idx, {Value::Int(7)}, Snapshot::Latest());
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0][0].AsInt(), 1);
+
+  auto one = MakeKeyed(&mgr, 1, [](int64_t) -> int64_t { return 42; });
+  ASSERT_TRUE(one->CreateIndex("iv", {"v"}, PoolRunner(&pool)).ok());
+  auto oi = one->FindIndex({"v"});
+  ASSERT_NE(oi, nullptr);
+  EXPECT_EQ(
+      ProbeVisible(*oi, {Value::Int(42)}, Snapshot::Latest()).size(), 1u);
+}
+
+// Duplicate names and unknown columns refuse without registering
+// anything; NULL key tuples are never indexed and match no probe.
+TEST(IndexBuild, RefusalsAndNullKeys) {
+  TxnManager mgr;
+  auto t = std::make_shared<Table>(
+      "t", Schema({{"id", DataType::kInt64}, {"v", DataType::kInt64}}), 2,
+      &mgr);
+  ASSERT_TRUE(t->Insert({Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(t->Insert({Value::Int(2), Value::Int(5)}).ok());
+  ASSERT_TRUE(t->CreateIndex("iv", {"v"}).ok());
+  EXPECT_FALSE(t->CreateIndex("iv", {"v"}).ok());  // duplicate name
+  EXPECT_FALSE(t->CreateIndex("ix", {"nope"}).ok());
+  EXPECT_EQ(t->index_count(), 1u);
+  auto idx = t->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->entry_count(), 1u);  // the NULL row is not indexed
+  EXPECT_TRUE(
+      ProbeVisible(*idx, {Value::Null()}, Snapshot::Latest()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// MVCC visibility through the index
+// ---------------------------------------------------------------------------
+
+// The ISSUE's named case: a reader whose snapshot predates the writer's
+// commit must never see the new version via the index — not while the
+// write is pending and not after it commits — while the writer reads
+// its own write and a fresh snapshot sees the committed state.
+TEST(IndexMvcc, PinnedReaderNeverSeesLaterCommitThroughIndex) {
+  TxnManager mgr;
+  auto t = MakeKeyed(&mgr, 4, [](int64_t i) { return i * 10; });
+  ASSERT_TRUE(t->CreateIndex("iv", {"v"}).ok());
+  auto idx = t->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+
+  auto reader = mgr.Begin();
+  auto writer = mgr.Begin();
+  ASSERT_TRUE(t->MutateRows(
+                   writer.get(),
+                   [](const Row& r) -> Result<bool> {
+                     return r[0] == Value::Int(2);
+                   },
+                   [](const Row& r) -> Result<Row> {
+                     Row u = r;
+                     u[1] = Value::Int(777);
+                     return u;
+                   })
+                  .ok());
+
+  // Pending: invisible to the reader, visible to the writer itself.
+  EXPECT_TRUE(ProbeVisible(*idx, {Value::Int(777)}, reader->snapshot())
+                  .empty());
+  EXPECT_EQ(
+      ProbeVisible(*idx, {Value::Int(20)}, reader->snapshot()).size(), 1u);
+  EXPECT_EQ(
+      ProbeVisible(*idx, {Value::Int(777)}, writer->snapshot()).size(), 1u);
+  EXPECT_TRUE(
+      ProbeVisible(*idx, {Value::Int(20)}, writer->snapshot()).empty());
+
+  ASSERT_TRUE(mgr.Commit(writer.get()).ok());
+
+  // Committed: the pinned reader still sees the old world through the
+  // index; a fresh snapshot sees the new one.
+  EXPECT_TRUE(ProbeVisible(*idx, {Value::Int(777)}, reader->snapshot())
+                  .empty());
+  EXPECT_EQ(
+      ProbeVisible(*idx, {Value::Int(20)}, reader->snapshot()).size(), 1u);
+  EXPECT_EQ(
+      ProbeVisible(*idx, {Value::Int(777)}, Snapshot::Latest()).size(), 1u);
+  EXPECT_TRUE(
+      ProbeVisible(*idx, {Value::Int(20)}, Snapshot::Latest()).empty());
+  mgr.Rollback(reader.get());
+}
+
+// DELETE then reinsert under the same key stacks versions in one slot;
+// probes must resolve each snapshot to exactly its own version.
+TEST(IndexMvcc, DeleteAndReinsertChains) {
+  TxnManager mgr;
+  auto t = MakeKeyed(&mgr, 3, [](int64_t i) { return i * 10; });
+  ASSERT_TRUE(t->CreateIndex("iv", {"v"}).ok());
+  auto idx = t->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+
+  auto before_delete = mgr.Begin();
+  auto del = mgr.Begin();
+  ASSERT_TRUE(t->MutateRows(
+                   del.get(),
+                   [](const Row& r) -> Result<bool> {
+                     return r[0] == Value::Int(1);
+                   },
+                   nullptr)
+                  .ok());
+  ASSERT_TRUE(mgr.Commit(del.get()).ok());
+  EXPECT_TRUE(
+      ProbeVisible(*idx, {Value::Int(10)}, Snapshot::Latest()).empty());
+  EXPECT_EQ(ProbeVisible(*idx, {Value::Int(10)}, before_delete->snapshot())
+                .size(),
+            1u);
+
+  auto re = mgr.Begin();
+  ASSERT_TRUE(t->InsertTxn(re.get(), {Value::Int(1), Value::Int(55)}).ok());
+  ASSERT_TRUE(mgr.Commit(re.get()).ok());
+  auto hit = ProbeVisible(*idx, {Value::Int(55)}, Snapshot::Latest());
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0][0].AsInt(), 1);
+  EXPECT_TRUE(
+      ProbeVisible(*idx, {Value::Int(10)}, Snapshot::Latest()).empty());
+  // The pinned pre-delete snapshot still resolves the original version.
+  EXPECT_EQ(ProbeVisible(*idx, {Value::Int(10)}, before_delete->snapshot())
+                .size(),
+            1u);
+  EXPECT_TRUE(ProbeVisible(*idx, {Value::Int(55)}, before_delete->snapshot())
+                  .empty());
+  mgr.Rollback(before_delete.get());
+}
+
+// Rollback must restore the observable index state exactly: the
+// append-only entries a doomed txn added stay physically present but
+// revalidation filters every one of them.
+TEST(IndexMvcc, RollbackRestoresObservableIndexStateExactly) {
+  TxnManager mgr;
+  auto t = MakeKeyed(&mgr, 4, [](int64_t i) { return i * 10; });
+  ASSERT_TRUE(t->CreateIndex("iv", {"v"}).ok());
+  auto idx = t->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+
+  std::map<int64_t, std::vector<Row>> before;
+  for (int64_t v : {0, 10, 20, 30, 55, 777}) {
+    before[v] = ProbeVisible(*idx, {Value::Int(v)}, Snapshot::Latest());
+  }
+
+  auto txn = mgr.Begin();
+  ASSERT_TRUE(t->InsertTxn(txn.get(), {Value::Int(100), Value::Int(55)}).ok());
+  ASSERT_TRUE(t->MutateRows(
+                   txn.get(),
+                   [](const Row& r) -> Result<bool> {
+                     return r[0] == Value::Int(2);
+                   },
+                   [](const Row& r) -> Result<Row> {
+                     Row u = r;
+                     u[1] = Value::Int(777);
+                     return u;
+                   })
+                  .ok());
+  mgr.Rollback(txn.get());
+
+  for (const auto& [v, rows] : before) {
+    std::vector<Row> now =
+        ProbeVisible(*idx, {Value::Int(v)}, Snapshot::Latest());
+    ASSERT_EQ(now.size(), rows.size()) << "v=" << v;
+    for (size_t i = 0; i < now.size(); ++i) EXPECT_EQ(now[i], rows[i]);
+  }
+  EXPECT_EQ(t->rows().size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Layout independence
+// ---------------------------------------------------------------------------
+
+// Entries hold slot pointers, not shard positions, so repartitioning
+// (1 -> 8 -> 2 shards) must leave every probe answer bit-identical and
+// keep maintenance working afterwards, with no rebuild.
+TEST(IndexLayout, SurvivesRepartition) {
+  TxnManager mgr;
+  auto t = MakeKeyed(&mgr, 50, [](int64_t i) { return i % 7; },
+                     /*shards=*/1);
+  ASSERT_TRUE(t->CreateIndex("iv", {"v"}).ok());
+  auto idx = t->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+  std::map<int64_t, std::vector<Row>> before;
+  for (int64_t v = 0; v < 7; ++v) {
+    before[v] = ProbeVisible(*idx, {Value::Int(v)}, Snapshot::Latest());
+    EXPECT_FALSE(before[v].empty());
+  }
+
+  for (size_t shards : {8u, 2u}) {
+    ASSERT_TRUE(t->SetShardCount(shards).ok());
+    EXPECT_EQ(t->FindIndex({"v"}), idx);  // same object, no rebuild
+    for (int64_t v = 0; v < 7; ++v) {
+      std::vector<Row> now =
+          ProbeVisible(*idx, {Value::Int(v)}, Snapshot::Latest());
+      ASSERT_EQ(now.size(), before[v].size()) << shards << " shards, v=" << v;
+      for (size_t i = 0; i < now.size(); ++i) EXPECT_EQ(now[i], before[v][i]);
+    }
+  }
+  ASSERT_TRUE(t->Insert({Value::Int(100), Value::Int(3)}).ok());
+  EXPECT_EQ(ProbeVisible(*idx, {Value::Int(3)}, Snapshot::Latest()).size(),
+            before[3].size() + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Build racing writers (the TSan case)
+// ---------------------------------------------------------------------------
+
+// CreateIndex registers the index before backfilling, so writers that
+// run during the build maintain it concurrently with the backfill
+// workers; AddEntry's (key, slot) idempotence makes the overlap safe.
+// Every row inserted before or during the build must be probeable
+// exactly once afterwards. scripts/verify.sh runs this under TSan.
+TEST(IndexConcurrency, WritersDuringParallelBuildAllIndexedOnce) {
+  constexpr int kBase = 256;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  TxnManager mgr;
+  auto t = MakeKeyed(&mgr, kBase, [](int64_t i) { return i * 10; },
+                     /*shards=*/8);
+
+  exec::WorkerPool pool(4);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&t, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int64_t id = kBase + w * kPerThread + i;
+        EXPECT_TRUE(t->Insert({Value::Int(id), Value::Int(id * 10)}).ok());
+      }
+    });
+  }
+  ASSERT_TRUE(t->CreateIndex("iv", {"v"}, PoolRunner(&pool)).ok());
+  for (std::thread& w : writers) w.join();
+
+  auto idx = t->FindIndex({"v"});
+  ASSERT_NE(idx, nullptr);
+  ASSERT_TRUE(idx->ready());
+  const int total = kBase + kThreads * kPerThread;
+  for (int64_t id = 0; id < total; ++id) {
+    std::vector<Row> hit =
+        ProbeVisible(*idx, {Value::Int(id * 10)}, Snapshot::Latest());
+    ASSERT_EQ(hit.size(), 1u) << "id=" << id;
+    EXPECT_EQ(hit[0][0].AsInt(), id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: server DDL, counters, plan choice
+// ---------------------------------------------------------------------------
+
+/// Sums `metric` across a SHOW METRICS result (0 when absent).
+int64_t Metric(net::Session* session, const std::string& metric) {
+  net::Outcome out =
+      session->Execute(net::Request::Statement("SHOW METRICS"));
+  EXPECT_TRUE(out.ok()) << out.status.ToString();
+  size_t mi = *out.rows.schema.IndexOf("metric");
+  size_t vi = *out.rows.schema.IndexOf("value");
+  for (const Row& row : out.rows.rows) {
+    if (row[mi].AsString() == metric) return row[vi].AsInt();
+  }
+  return 0;
+}
+
+// CREATE INDEX through the server: same SELECT answers before and
+// after, and the index-scan operator's counters tick (the plan change
+// is observable only there and in wall time — the simulated cost model
+// charges the index path exactly like the scan it replaces).
+TEST(IndexServer, CreateIndexKeepsAnswersAndTicksCounters) {
+  net::ServerOptions options;
+  options.scheduler_workers = 2;
+  net::Server server(std::move(options));
+  auto t = *server.db()->CreateTable("items", KV());
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(t->Insert({Value::Int(i), Value::Int(i % 5)}).ok());
+  }
+  std::unique_ptr<net::Session> session = server.Connect();
+
+  net::Request probe = net::Request::Query(
+      "SELECT * FROM items AS i WHERE i.v = ?", {Value::Int(3)});
+  net::Outcome before = session->Execute(probe);
+  ASSERT_TRUE(before.ok()) << before.status.ToString();
+  ASSERT_EQ(before.rows.rows.size(), 8u);
+  EXPECT_EQ(Metric(session.get(), "storage.index.probes"), 0);
+
+  net::Outcome ddl = session->Execute(
+      net::Request::Statement("CREATE INDEX items_v ON items (v)"));
+  ASSERT_TRUE(ddl.ok()) << ddl.status.ToString();
+
+  net::Outcome after = session->Execute(probe);
+  ASSERT_TRUE(after.ok()) << after.status.ToString();
+  ASSERT_EQ(after.rows.rows.size(), before.rows.rows.size());
+  for (size_t i = 0; i < after.rows.rows.size(); ++i) {
+    EXPECT_EQ(after.rows.rows[i], before.rows.rows[i]);
+  }
+  EXPECT_GE(Metric(session.get(), "storage.index.probes"), 1);
+  EXPECT_GE(Metric(session.get(), "exec.index.scans"), 1);
+  EXPECT_GE(Metric(session.get(), "storage.index.rows"), 8);
+}
+
+// The acceptance criterion: EXPLAIN EXTRACTION on a selective
+// T4-extracted equi-join (few outer rows, many inner rows, index on
+// the inner join column) must surface the index-nested-loop choice
+// with both alternatives' estimated costs; without the index the line
+// is absent entirely.
+TEST(IndexServer, ExplainExtractionPricesIndexNestedLoopAgainstScan) {
+  const char* src = R"(
+    func userRoles() {
+      result = list();
+      users = executeQuery("SELECT * FROM wuser AS u");
+      roles = executeQuery("SELECT * FROM role AS r");
+      for (u : users) {
+        for (r : roles) {
+          if (u.role_id == r.id) {
+            result.append(pair(u.login, r.name));
+          }
+        }
+      }
+      return result;
+    }
+  )";
+  net::ServerOptions options;
+  options.scheduler_workers = 2;
+  options.optimize.transform.table_keys = {{"wuser", "id"}, {"role", "id"}};
+  net::Server server(std::move(options));
+  auto wuser = *server.db()->CreateTable(
+      "wuser", Schema({{"id", DataType::kInt64},
+                       {"login", DataType::kString},
+                       {"role_id", DataType::kInt64}}));
+  auto role = *server.db()->CreateTable(
+      "role",
+      Schema({{"id", DataType::kInt64}, {"name", DataType::kString}}));
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(wuser
+                    ->Insert({Value::Int(i), Value::String("u" + std::to_string(i)),
+                              Value::Int(i * 50)})
+                    .ok());
+  }
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        role->Insert({Value::Int(i), Value::String("r" + std::to_string(i))})
+            .ok());
+  }
+  std::unique_ptr<net::Session> session = server.Connect();
+
+  auto plain = session->Execute(net::Request::ExplainExtraction(src,
+                                                                "userRoles"))
+                   .TakeExplain();
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->find("physical plan:"), std::string::npos) << *plain;
+
+  ASSERT_TRUE(session
+                  ->Execute(net::Request::Statement(
+                      "CREATE INDEX role_id_idx ON role (id)"))
+                  .ok());
+  auto indexed = session->Execute(net::Request::ExplainExtraction(src,
+                                                                  "userRoles"))
+                     .TakeExplain();
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  EXPECT_NE(indexed->find("physical plan: index-nested-loop on role(id)"),
+            std::string::npos)
+      << *indexed;
+  EXPECT_NE(indexed->find(" ms vs scan "), std::string::npos) << *indexed;
+  EXPECT_NE(indexed->find("(index "), std::string::npos) << *indexed;
+}
+
+}  // namespace
+}  // namespace eqsql

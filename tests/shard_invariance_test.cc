@@ -2,9 +2,12 @@
 // sharded storage layer. The property: for any program and any data,
 // every observable output of the engine is byte-identical whether the
 // tables are partitioned across 1, 2, or 8 shards, whether the
-// partition-parallel operators are on or off, AND whether the row or
-// the vectorized engine executes the queries (the full 2-mode x
-// 3-layout grid shares one reference signature). "Observable" is strict:
+// partition-parallel operators are on or off, whether the row or
+// the vectorized engine executes the queries, AND whether secondary
+// indexes exist (the full 2-mode x 3-layout x 2-index grid shares one
+// reference signature — the index-scan operators charge the exact
+// full-scan costs they replace, so even the simulated clock may not
+// notice an index). "Observable" is strict:
 // return value, print stream, AND the simulated cost counters
 // (rows/bytes transferred, queries, round trips, simulated_ms down to
 // the last bit — the parallel operators charge the same per-query row
@@ -40,6 +43,8 @@
 #include "net/connection.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "storage/database.h"
+#include "storage/table.h"
 #include "workloads/benchmark_apps.h"
 
 namespace eqsql {
@@ -48,6 +53,23 @@ namespace {
 constexpr size_t kShardCounts[] = {1, 2, 8};
 constexpr exec::ExecMode kExecModes[] = {exec::ExecMode::kRow,
                                          exec::ExecMode::kVector};
+constexpr bool kIndexed[] = {false, true};
+
+/// The index-on grid arm: a single-column secondary index over every
+/// column of every table, so any equality predicate or equi-join the
+/// programs run can (and on covered columns will) take the index path.
+/// The signatures must not notice.
+void CreateIndexesEverywhere(storage::Database* db) {
+  for (const std::string& name : db->TableNames()) {
+    std::shared_ptr<storage::Table> t = db->SnapshotTable(name);
+    ASSERT_NE(t, nullptr) << name;
+    for (const catalog::Column& col : t->schema().columns()) {
+      ASSERT_TRUE(
+          t->CreateIndex("inv_" + name + "_" + col.name, {col.name}).ok())
+          << name << "." << col.name;
+    }
+  }
+}
 
 /// Everything one run of a program observably produced, flattened to a
 /// single comparable string. Cost counters are printed with full
@@ -72,11 +94,12 @@ std::string Signature(const std::string& result_display,
 /// execution engine, with the parallel operators forced on (threshold
 /// 0) whenever a pool is given.
 Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards,
-                                    exec::ExecMode mode) {
+                                    exec::ExecMode mode, bool indexed) {
   storage::DatabaseOptions dbo;
   dbo.shard_count = shards;
   storage::Database db(dbo);
   EQSQL_RETURN_IF_ERROR(fuzz::BuildDatabase(c, &db));
+  if (indexed) CreateIndexesEverywhere(&db);
 
   auto program = frontend::ParseProgram(c.source);
   if (!program.ok()) return program.status();
@@ -96,42 +119,49 @@ Result<std::string> RunAtShardCount(const fuzz::FuzzCase& c, size_t shards,
 }
 
 /// Asserts the case signatures across the full exec-mode x shard-count
-/// grid are identical: the row engine at 1 shard anchors the reference
-/// and the vectorized engine at every layout must match it byte for
-/// byte — this sweep IS the corpus-wide batch-vs-row differential.
-/// Txn-family cases are schedules, not programs: their signature is the
-/// txn oracle's rendered outcome log (per-statement row counts and
-/// error codes in schedule order) instead of an interpreter run.
+/// x index-on/off grid are identical: the row engine at 1 shard with no
+/// indexes anchors the reference and every other cell must match it
+/// byte for byte — this sweep IS the corpus-wide batch-vs-row (and
+/// indexed-vs-unindexed) differential. Schedule cases (function
+/// "@txn"/"@index") are not programs: their signature is the oracle's
+/// rendered outcome log (per-statement row counts and error codes in
+/// schedule order), and the index dimension is inside the oracle itself
+/// (the @index oracle's plain arm IS the index-off run).
 void ExpectInvariant(const fuzz::FuzzCase& c, const std::string& label) {
+  const bool schedule = !c.function.empty() && c.function[0] == '@';
   std::string reference;
   bool have_reference = false;
   for (exec::ExecMode mode : kExecModes) {
     for (size_t shards : kShardCounts) {
-      std::string sig;
-      if (c.function == "@txn") {
-        fuzz::OracleOptions opts;
-        opts.shard_count = shards;
-        opts.exec_mode = mode;
-        fuzz::OracleReport report = fuzz::RunOracle(c, opts);
-        ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
-            << label << " shards=" << shards << " mode="
-            << exec::ExecModeName(mode) << ": " << report.detail;
-        sig = report.rewritten_source;
-        ASSERT_FALSE(sig.empty()) << label;
-      } else {
-        auto run = RunAtShardCount(c, shards, mode);
-        ASSERT_TRUE(run.ok())
-            << label << " shards=" << shards << " mode="
-            << exec::ExecModeName(mode) << ": " << run.status().ToString();
-        sig = *run;
-      }
-      if (!have_reference) {
-        reference = sig;
-        have_reference = true;
-      } else {
-        EXPECT_EQ(sig, reference)
-            << label << " diverges at shards=" << shards
-            << " mode=" << exec::ExecModeName(mode);
+      for (bool indexed : kIndexed) {
+        if (schedule && indexed) continue;  // dimension lives in the oracle
+        std::string sig;
+        if (schedule) {
+          fuzz::OracleOptions opts;
+          opts.shard_count = shards;
+          opts.exec_mode = mode;
+          fuzz::OracleReport report = fuzz::RunOracle(c, opts);
+          ASSERT_EQ(report.verdict, fuzz::Verdict::kPass)
+              << label << " shards=" << shards << " mode="
+              << exec::ExecModeName(mode) << ": " << report.detail;
+          sig = report.rewritten_source;
+          ASSERT_FALSE(sig.empty()) << label;
+        } else {
+          auto run = RunAtShardCount(c, shards, mode, indexed);
+          ASSERT_TRUE(run.ok())
+              << label << " shards=" << shards << " mode="
+              << exec::ExecModeName(mode) << ": " << run.status().ToString();
+          sig = *run;
+        }
+        if (!have_reference) {
+          reference = sig;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(sig, reference)
+              << label << " diverges at shards=" << shards
+              << " mode=" << exec::ExecModeName(mode)
+              << " indexed=" << indexed;
+        }
       }
     }
   }
@@ -228,6 +258,22 @@ TEST(ShardInvarianceTest, TxnFamilySchedulesAcrossShardCounts) {
   }
 }
 
+// The index family extends the schedule invariance to DDL: CREATE
+// INDEX statements interleaved with DML and transactions must leave
+// the outcome log byte-identical at every shard count on both engines
+// — and each oracle run is itself an indexed-vs-unindexed (and
+// row-vs-vector) differential, so one green cell certifies four runs.
+TEST(ShardInvarianceTest, IndexFamilySchedulesAcrossShardCounts) {
+  fuzz::GenOptions gopts;
+  ASSERT_TRUE(fuzz::RestrictToFamily(&gopts, "index"));
+  for (int i = 0; i < 24; ++i) {
+    uint64_t seed = SplitMix64(0x1d40 + static_cast<uint64_t>(i));
+    fuzz::FuzzCase c = fuzz::GenerateCase(seed, gopts);
+    ASSERT_EQ(c.function, "@index");
+    ExpectInvariant(c, "index seed " + std::to_string(seed));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Workload apps: the four benchmark programs, original and rewritten,
 // through the full Server/Session stack.
@@ -268,11 +314,13 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
   bool have_reference = false;
   for (exec::ExecMode mode : kExecModes) {
     for (size_t shards : kShardCounts) {
+    for (bool indexed : kIndexed) {
       net::Server server(AppServerOptions(shards, mode));
       ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
       ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
       ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
       ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
+      if (indexed) CreateIndexesEverywhere(server.db());
 
       std::vector<std::string> signatures;
       {
@@ -307,8 +355,10 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
       } else {
         EXPECT_EQ(signatures, reference)
             << "diverges at shards=" << shards
-            << " mode=" << exec::ExecModeName(mode);
+            << " mode=" << exec::ExecModeName(mode)
+            << " indexed=" << indexed;
       }
+    }
     }
   }
 }
@@ -336,7 +386,13 @@ bool LayoutScoped(const std::string& name) {
          name.rfind("net.scheduler.", 0) == 0 ||
          // MVCC bookkeeping is layout-scoped too: version installs and
          // GC reclaim counts follow per-shard vacuum sweep boundaries.
-         name.rfind("storage.mvcc.", 0) == 0;
+         name.rfind("storage.mvcc.", 0) == 0 ||
+         // Index counters describe which physical access path ran, not
+         // what it produced — probes are zero in the index-off arm of
+         // the grid by construction, so they are plan-scoped the way
+         // exec.batch.* is engine-scoped.
+         name.rfind("storage.index.", 0) == 0 ||
+         name.rfind("exec.index.", 0) == 0;
 }
 
 /// All shard-invariant counters, flattened to one comparable string.
@@ -354,11 +410,13 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
   bool have_reference = false;
   for (exec::ExecMode mode : kExecModes) {
     for (size_t shards : kShardCounts) {
+    for (bool indexed : kIndexed) {
       net::Server server(AppServerOptions(shards, mode));
       ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
       ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
       ASSERT_TRUE(workloads::SetupSelectionDatabase(server.db(), 60, 25).ok());
       ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
+      if (indexed) CreateIndexesEverywhere(server.db());
 
       {
         std::unique_ptr<net::Session> session = server.Connect();
@@ -389,7 +447,8 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
       } else {
         EXPECT_EQ(sig, reference)
             << "counters diverge at shards=" << shards
-            << " mode=" << exec::ExecModeName(mode);
+            << " mode=" << exec::ExecModeName(mode)
+            << " indexed=" << indexed;
       }
 
       // Per-shard breakdowns must still reconcile with the invariant
@@ -405,6 +464,16 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
         }
       }
       EXPECT_LE(per_shard_rows, snap.counters.at("storage.scan.rows"));
+
+      // The exclusion must actually be doing work in the indexed arm:
+      // the registry carries index counters there, and the signature
+      // filter kept them out.
+      if (indexed) {
+        EXPECT_TRUE(snap.counters.count("storage.index.probes"));
+        EXPECT_EQ(sig.find("storage.index."), std::string::npos);
+        EXPECT_EQ(sig.find("exec.index."), std::string::npos);
+      }
+    }
     }
   }
 }
