@@ -29,8 +29,12 @@
 // faster on the per-shard locking scheme than under a simulated global
 // data lock while a writer churns temp tables next to them), the
 // open-loop phase with 8 producers sustains >= 2x the 1-thread
-// baseline on the scheduler's worker links alone, and a deliberately
-// tiny admission queue sheds a burst with kOverloaded without ever
+// baseline on the scheduler's worker links alone, re-running that
+// phase with 1/128 request tracing plus an everything-qualifies
+// slow-query threshold keeps the serialized simulated cost within 2%
+// of the tracing-off baseline (it must be exactly 1.0x — profiling
+// never touches the simulated clock), and a deliberately tiny
+// admission queue sheds a burst with kOverloaded without ever
 // blocking the producer.
 
 #include <algorithm>
@@ -357,17 +361,36 @@ constexpr int kOpenLoopProducers = 8;
 
 struct OpenLoopReport {
   double makespan_sim_ms = 0;
+  /// Sum of simulated ms over the worker links. Unlike the makespan
+  /// (max over links, which moves with scheduling), the sum depends
+  /// only on WHAT executed, so it is the deterministic basis for the
+  /// trace-overhead comparison below.
+  double serialized_sim_ms = 0;
   double throughput = 0;
   int mismatches = 0;
   int64_t queue_wait_p50_ns = 0;
   int64_t queue_wait_p99_ns = 0;
   int64_t dispatched = 0;
+  int64_t sampled = 0;          // obs.trace.sampled
+  int64_t slow_log_lines = 0;   // obs.slow_log.emitted
+  size_t shard_count = 0;
 };
 
-OpenLoopReport RunOpenLoop() {
+/// Runs the open-loop workload. With `trace_sample` > 0 every Nth
+/// request records a full span tree + operator profile into the trace
+/// ring; with `slow_query_ms` > 0 requests over the threshold append a
+/// structured line to the slow-query log (flushed to `slow_log_path`
+/// when the server shuts down). `ring_json`, when non-null, receives
+/// the trace ring's JSON dump taken after all producers joined.
+OpenLoopReport RunOpenLoop(size_t trace_sample = 0, double slow_query_ms = 0,
+                           const char* slow_log_path = nullptr,
+                           std::string* ring_json = nullptr) {
   eqsql::net::ServerOptions options = MakeOptions();
   options.scheduler_workers = kOpenLoopProducers;
   options.scheduler_queue_capacity = 1024;
+  options.trace_sample = trace_sample;
+  options.slow_query_ms = slow_query_ms;
+  if (slow_log_path != nullptr) options.slow_query_log_path = slow_log_path;
   eqsql::net::Server server(options);
   SetupDatabase(server.db());
 
@@ -434,9 +457,11 @@ OpenLoopReport RunOpenLoop() {
        server.scheduler()->WorkerStats()) {
     report.makespan_sim_ms = std::max(report.makespan_sim_ms,
                                       ws.simulated_ms);
+    report.serialized_sim_ms += ws.simulated_ms;
   }
   report.throughput =
       kTotalRequests / (report.makespan_sim_ms / 1000.0);
+  report.shard_count = server.db()->shard_count();
 
   eqsql::obs::MetricsSnapshot snap = server.metrics()->Snapshot();
   auto wait = snap.histograms.find("net.scheduler.queue_wait_ns");
@@ -448,6 +473,11 @@ OpenLoopReport RunOpenLoop() {
   if (dispatched != snap.counters.end()) {
     report.dispatched = dispatched->second;
   }
+  auto sampled = snap.counters.find("obs.trace.sampled");
+  if (sampled != snap.counters.end()) report.sampled = sampled->second;
+  auto slow = snap.counters.find("obs.slow_log.emitted");
+  if (slow != snap.counters.end()) report.slow_log_lines = slow->second;
+  if (ring_json != nullptr) *ring_json = server.trace_ring()->ToJson();
   return report;
 }
 
@@ -534,9 +564,15 @@ BurstReport RunBurstCheck() {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  const char* slow_log_path = nullptr;
+  const char* profile_dump_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-log") == 0 && i + 1 < argc) {
+      slow_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-dump") == 0 && i + 1 < argc) {
+      profile_dump_path = argv[++i];
     }
   }
 
@@ -619,6 +655,32 @@ int main(int argc, char** argv) {
               static_cast<long long>(open.queue_wait_p50_ns),
               static_cast<long long>(open.queue_wait_p99_ns));
 
+  // Trace-overhead phase: the identical open-loop workload with 1/128
+  // request sampling and a threshold that slow-logs everything. The
+  // comparison runs on the SERIALIZED simulated ms (sum over worker
+  // links): the sum depends only on what executed, so it is immune to
+  // the scheduling noise that moves the makespan, and because profiling
+  // never touches the simulated clock the ratio must sit at 1.0 —
+  // the 2% band is the contract's safety margin, not an expectation.
+  constexpr size_t kTraceSample = 128;
+  constexpr double kTraceSlowQueryMs = 0.000001;
+  std::printf("\ntrace-overhead phase: open loop re-run with 1/%zu "
+              "sampling and a %g ms slow-query threshold\n",
+              kTraceSample, kTraceSlowQueryMs);
+  std::string ring_json;
+  OpenLoopReport traced =
+      RunOpenLoop(kTraceSample, kTraceSlowQueryMs, slow_log_path, &ring_json);
+  total_mismatches += traced.mismatches;
+  double trace_ratio = open.serialized_sim_ms > 0
+                           ? traced.serialized_sim_ms / open.serialized_sim_ms
+                           : 0;
+  std::printf("%22s %20s %9s %9s %11s\n", "baseline sim ms", "traced sim ms",
+              "ratio", "sampled", "slow lines");
+  std::printf("%22.1f %20.1f %9.4f %9lld %11lld\n", open.serialized_sim_ms,
+              traced.serialized_sim_ms, trace_ratio,
+              static_cast<long long>(traced.sampled),
+              static_cast<long long>(traced.slow_log_lines));
+
   BurstReport burst = RunBurstCheck();
   std::printf("\nbackpressure burst: %d accepted, %d rejected "
               "(kOverloaded, immediate)\n",
@@ -658,6 +720,25 @@ int main(int argc, char** argv) {
                 open.throughput, baseline_throughput);
     ok = false;
   }
+  if (trace_ratio < 0.98 || trace_ratio > 1.02) {
+    std::printf("FAIL: traced open-loop serialized simulated time is "
+                "%.4fx the tracing-off baseline (gate: within 2%%)\n",
+                trace_ratio);
+    ok = false;
+  }
+  if (traced.sampled < 1) {
+    std::printf("FAIL: trace-overhead phase sampled %lld requests at "
+                "1/%zu (expected >= 1)\n",
+                static_cast<long long>(traced.sampled), kTraceSample);
+    ok = false;
+  }
+  if (traced.slow_log_lines < 1) {
+    std::printf("FAIL: trace-overhead phase slow-logged %lld requests "
+                "with a %g ms threshold (expected >= 1)\n",
+                static_cast<long long>(traced.slow_log_lines),
+                kTraceSlowQueryMs);
+    ok = false;
+  }
   if (burst.rejected < 1 || !burst.rejections_immediate) {
     std::printf("FAIL: burst against a full queue produced %d immediate "
                 "kOverloaded rejections (expected >= 1, all inline)\n",
@@ -676,9 +757,11 @@ int main(int argc, char** argv) {
                 "concurrent DML, snapshot readers at %.2fx the no-writer "
                 "baseline under a sustained writer, open-loop scheduler "
                 "at %.2fx baseline, full queue sheds load with "
-                "kOverloaded\n",
+                "kOverloaded, 1/%zu tracing at %.4fx the tracing-off "
+                "simulated cost\n",
                 100.0 * threads8_hit_ratio, global_ms / sharded_ms,
-                mvcc_ratio, open.throughput / baseline_throughput);
+                mvcc_ratio, open.throughput / baseline_throughput,
+                kTraceSample, trace_ratio);
   }
 
   // Machine-readable artifact: per-thread-count measurements, the
@@ -702,8 +785,13 @@ int main(int argc, char** argv) {
                  "\"open_loop\":{\"producers\":%d,\"makespan_sim_ms\":%.1f,"
                  "\"requests_per_sim_s\":%.0f,\"dispatched\":%lld,"
                  "\"queue_wait_p50_ns\":%lld,\"queue_wait_p99_ns\":%lld},"
+                 "\"trace_overhead\":{\"trace_sample\":%zu,"
+                 "\"slow_query_ms\":%g,"
+                 "\"baseline_serialized_sim_ms\":%.3f,"
+                 "\"traced_serialized_sim_ms\":%.3f,\"ratio\":%.6f,"
+                 "\"sampled\":%lld,\"slow_log_lines\":%lld},"
                  "\"burst\":{\"accepted\":%d,\"rejected\":%d},"
-                 "\"pass\":%s,\"metrics\":%s}\n",
+                 "\"pass\":%s,\"provenance\":%s,\"metrics\":%s}\n",
                  kTotalRequests, json_runs.c_str(), global_ms, sharded_ms,
                  kMvccReaders, kMvccReadsPerThread, mvcc_baseline_ms,
                  mvcc_writer_ms, mvcc_ratio,
@@ -711,10 +799,30 @@ int main(int argc, char** argv) {
                  static_cast<long long>(open.dispatched),
                  static_cast<long long>(open.queue_wait_p50_ns),
                  static_cast<long long>(open.queue_wait_p99_ns),
+                 kTraceSample, kTraceSlowQueryMs,
+                 open.serialized_sim_ms, traced.serialized_sim_ms,
+                 trace_ratio, static_cast<long long>(traced.sampled),
+                 static_cast<long long>(traced.slow_log_lines),
                  burst.accepted, burst.rejected, ok ? "true" : "false",
+                 eqsql::bench::ProvenanceJson("vector",
+                                              traced.shard_count)
+                     .c_str(),
                  last_metrics_json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
+  }
+  // Trace-ring dump from the traced phase: the full sampled traces
+  // (span trees + operator profiles) as one JSON object — uploaded as
+  // a CI artifact next to the slow-query log.
+  if (profile_dump_path != nullptr) {
+    std::FILE* pf = std::fopen(profile_dump_path, "w");
+    if (pf == nullptr) {
+      EQSQL_LOG(Error, "cannot write %s", profile_dump_path);
+      return 1;
+    }
+    std::fprintf(pf, "%s\n", ring_json.c_str());
+    std::fclose(pf);
+    std::printf("wrote %s\n", profile_dump_path);
   }
   return ok ? 0 : 1;
 }

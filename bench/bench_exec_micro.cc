@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "exec/exec_mode.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
@@ -207,8 +208,11 @@ bool RunBatchPhase(const char* json_path) {
                    m.label, m.row_ns, m.label, m.vector_ns, m.label,
                    m.speedup());
     }
-    std::fprintf(f, ",\"gate\":%.1f,\"pass\":%s}}\n", kGate,
-                 pass ? "true" : "false");
+    std::fprintf(f, ",\"gate\":%.1f,\"pass\":%s},\"provenance\":%s}\n", kGate,
+                 pass ? "true" : "false",
+                 eqsql::bench::ProvenanceJson("row+vector",
+                                              db->shard_count())
+                     .c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
   }

@@ -48,7 +48,8 @@ double NowMs() {
 
 bool WriteJson(const char* path, const std::vector<Measurement>& runs,
                const std::string& sql,
-               const eqsql::obs::MetricsSnapshot& metrics) {
+               const eqsql::obs::MetricsSnapshot& metrics,
+               size_t shard_count) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\"bench\":\"fig8_selection\",\"runs\":[");
@@ -70,7 +71,9 @@ bool WriteJson(const char* path, const std::vector<Measurement>& runs,
   }
   // The SQL is emitted by our own renderer: no quotes or control
   // characters, so direct embedding is safe.
-  std::fprintf(f, "],\"extracted_sql\":\"%s\",\"metrics\":%s}\n", sql.c_str(),
+  std::fprintf(f, "],\"extracted_sql\":\"%s\",\"provenance\":%s,"
+               "\"metrics\":%s}\n", sql.c_str(),
+               eqsql::bench::ProvenanceJson("row+vector", shard_count).c_str(),
                metrics.ToJson().c_str());
   std::fclose(f);
   return true;
@@ -111,8 +114,10 @@ int main(int argc, char** argv) {
   // single-engine artifacts.
   eqsql::obs::MetricsRegistry metrics;
   std::vector<Measurement> runs;
+  size_t shard_count = 1;
   for (int rows : {1000, 5000, 20000, 50000, 100000}) {
     eqsql::storage::Database db;
+    shard_count = db.shard_count();
     eqsql::bench::CheckOk(
         eqsql::workloads::SetupSelectionDatabase(&db, rows, 20), "setup");
     auto original =
@@ -154,7 +159,7 @@ int main(int argc, char** argv) {
   std::printf("\nExtracted SQL: %s\n", sql.c_str());
 
   if (json_path != nullptr) {
-    if (!WriteJson(json_path, runs, sql, metrics.Snapshot())) {
+    if (!WriteJson(json_path, runs, sql, metrics.Snapshot(), shard_count)) {
       EQSQL_LOG(Error, "cannot write %s", json_path);
       return 1;
     }

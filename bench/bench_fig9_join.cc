@@ -160,11 +160,13 @@ bool WriteJson(const char* path, const std::vector<Measurement>& runs,
   // The SQL is emitted by our own renderer: no quotes or control
   // characters, so direct embedding is safe.
   std::fprintf(f,
-               "],\"extracted_sql\":\"%s\","
+               "],\"extracted_sql\":\"%s\",\"provenance\":%s,"
                "\"indexed_phase\":{\"rows\":%d,\"iters\":%d,"
                "\"probe_rows\":%lld,\"scan_wall_ms\":%.3f,"
                "\"index_wall_ms\":%.3f,\"speedup\":%.3f,\"pass\":%s}}\n",
-               sql.c_str(), phase.rows, phase.iters, phase.probe_rows,
+               sql.c_str(),
+               eqsql::bench::ProvenanceJson("row", 8).c_str(),
+               phase.rows, phase.iters, phase.probe_rows,
                phase.scan_wall_ms, phase.index_wall_ms, phase.speedup,
                phase.pass ? "true" : "false");
   std::fclose(f);

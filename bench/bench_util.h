@@ -32,6 +32,30 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+// Build provenance, injected by bench/CMakeLists.txt at configure time
+// (git SHA of the source tree, CMake preset the binary was built with).
+#ifndef EQSQL_GIT_SHA
+#define EQSQL_GIT_SHA "unknown"
+#endif
+#ifndef EQSQL_BUILD_PRESET
+#define EQSQL_BUILD_PRESET "unknown"
+#endif
+
+/// The "provenance" object embedded in every bench --json artifact, so
+/// a BENCH_*.json number can always be traced back to the commit,
+/// build configuration, engine, and sharding that produced it.
+/// `exec_mode` is the engine the headline numbers ran on ("row",
+/// "vector", or "row+vector" for differential benches).
+inline std::string ProvenanceJson(const char* exec_mode,
+                                  size_t shard_count) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"git_sha\":\"%s\",\"build_preset\":\"%s\","
+                "\"exec_mode\":\"%s\",\"shard_count\":%zu}",
+                EQSQL_GIT_SHA, EQSQL_BUILD_PRESET, exec_mode, shard_count);
+  return buf;
+}
+
 }  // namespace eqsql::bench
 
 #endif  // EQSQL_BENCH_BENCH_UTIL_H_

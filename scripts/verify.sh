@@ -27,14 +27,14 @@ echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
   shard_test mvcc_test shard_invariance_test scheduler_test net_test \
-  vector_exec_test index_test
+  vector_exec_test index_test explain_analyze_test obs_test
 # Scheduler here covers the 8-producer bounded-queue storm
 # (SchedulerTest.QueueFullRejectsOverloadedWithoutBlocking) under the
 # race detector: producers race workers on the admission queue. Mvcc
 # covers the version-chain suite, including the concurrent
 # readers-vs-committing-writer scan test.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec|Index'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec|Index|ExplainAnalyze|TraceRing|SlowQueryLog'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 # The same sweep on 8-way partitioned tables with the parallel
@@ -60,6 +60,12 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # checking every answer under the race detector.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 17 --iters 50 --family index \
   --shards 8 --async-every 1
+# Every scheduled request traced (--trace-sample 1): the span/profile
+# capture path races scheduler workers, shard fan-out tasks, and the
+# trace-ring stripes under the race detector. The corpus includes the
+# EXPLAIN ANALYZE reproducers, so the profile-swap path runs too.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 23 --iters 50 --trace-sample 1 \
+  --shards 8 --async-every 1 --corpus tests/fuzz_corpus
 
 echo "== api surface: no callers on the deprecated net entry points =="
 # The legacy ExecuteSql/ExecuteQuery/ExecuteDml overloads survive only
@@ -107,7 +113,8 @@ fi
 echo "== observability: bench JSON artifacts + metrics smoke check =="
 cmake --build build -j"$(nproc)" --target bench_concurrency \
   bench_fig8_selection bench_exec_micro bench_fig9_join
-./build/bench/bench_concurrency --json BENCH_concurrency.json
+./build/bench/bench_concurrency --json BENCH_concurrency.json \
+  --slow-log slow_query.log --profile-dump profile_ring.json
 ./build/bench/bench_fig8_selection --json BENCH_fig8.json
 # Join + indexed phase: the selective probe through the secondary index
 # must beat the 8-shard parallel full scan by >= 2x wall clock (gated
@@ -138,5 +145,25 @@ grep -q '"rejected":[1-9]' BENCH_concurrency.json
 # binary itself gates it at >= 0.90).
 grep -q '"mvcc_phase":{"readers":8' BENCH_concurrency.json
 grep -q '"reader_throughput_ratio":' BENCH_concurrency.json
+# Trace-overhead phase: 1/128 sampling must stay within the in-binary
+# 2% band on the serialized simulated clock, with at least one sampled
+# trace and one slow-log line, and the artifact must say so.
+grep -q '"trace_overhead":{"trace_sample":128' BENCH_concurrency.json
+grep -q '"sampled":[1-9]' BENCH_concurrency.json
+grep -q '"pass":true' BENCH_concurrency.json
+# Every bench artifact embeds build provenance (git SHA, CMake preset,
+# exec mode, shard count) so a stray number can be traced to a build.
+for f in BENCH_concurrency.json BENCH_fig8.json BENCH_fig9.json \
+    BENCH_exec_micro.json; do
+  grep -q '"provenance":{"git_sha":' "$f"
+done
+# The sinks the trace phase produced: structured slow-query log lines
+# (one JSON object per line) and the profile-ring dump.
+grep -q '"trace_id":' slow_query.log
+grep -q '"total_ns":' slow_query.log
+grep -q '"statement":' slow_query.log
+grep -q '"records":\[' profile_ring.json
+grep -q '"trace":' profile_ring.json
+grep -q '"profile":' profile_ring.json
 
 echo "verify.sh: all green"

@@ -29,6 +29,16 @@
 //   --exec-mode M     execution engine: vector (batch-at-a-time
 //                     columnar, the default) or row (row-at-a-time
 //                     fallback); EQSQL_EXEC_MODE overrides the default
+//   --analyze SQL     execute EXPLAIN ANALYZE on the given statement
+//                     (against the --app / --db seeded tables) and print
+//                     the operator tree, estimated vs actual
+//   --trace-sample N  sample every N-th scheduled request into the
+//                     server's trace ring (1 = all; EQSQL_TRACE_SAMPLE
+//                     supplies a default when unset)
+//   --slow-query-ms X requests slower than X ms append a JSON line to
+//                     the slow-query log
+//   --slow-query-log P  flush the slow-query log to file P on shutdown
+//   --dump-profiles   print the sampled-trace ring as JSON on exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +76,11 @@ struct CliOptions {
   size_t workers = 0;      // 0 = scheduler default
   size_t queue_depth = 0;  // 0 = scheduler default
   eqsql::exec::ExecMode exec_mode = eqsql::exec::DefaultExecMode();
+  std::string analyze_sql;     // EXPLAIN ANALYZE target statement
+  size_t trace_sample = 0;     // 0 = off / EQSQL_TRACE_SAMPLE default
+  double slow_query_ms = 0;    // <= 0 = off
+  std::string slow_query_log;  // flush path (empty = in-memory only)
+  bool dump_profiles = false;
 };
 
 int Usage(const char* argv0) {
@@ -77,7 +92,10 @@ int Usage(const char* argv0) {
                "[--trace-json]\n"
                "          [--metrics] [--metrics-json] [--shards N]\n"
                "          [--workers N] [--queue-depth N] "
-               "[--exec-mode row|vector]\n",
+               "[--exec-mode row|vector]\n"
+               "          [--analyze SQL] [--trace-sample N] "
+               "[--slow-query-ms X]\n"
+               "          [--slow-query-log PATH] [--dump-profiles]\n",
                argv0);
   return 2;
 }
@@ -126,6 +144,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->exec_mode = *mode;
+    } else if (std::strcmp(arg, "--analyze") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->analyze_sql = v;
+    } else if (std::strcmp(arg, "--trace-sample") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->trace_sample = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(arg, "--slow-query-ms") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->slow_query_ms = std::atof(v);
+    } else if (std::strcmp(arg, "--slow-query-log") == 0) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out->slow_query_log = v;
+    } else if (std::strcmp(arg, "--dump-profiles") == 0) {
+      out->dump_profiles = true;
     } else if (std::strcmp(arg, "--explain") == 0) {
       out->explain = true;
     } else if (std::strcmp(arg, "--explain-json") == 0) {
@@ -150,7 +186,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
   // Default action: if nothing was requested, explain is the most
   // useful single report.
   if (!out->explain && !out->explain_json && !out->run && !out->trace &&
-      !out->trace_json && !out->metrics && !out->metrics_json) {
+      !out->trace_json && !out->metrics && !out->metrics_json &&
+      out->analyze_sql.empty() && !out->dump_profiles) {
     out->explain = true;
   }
   return true;
@@ -242,6 +279,9 @@ eqsql::net::ServerOptions MakeServerOptions(const CliOptions& cli) {
     options.scheduler_queue_capacity = cli.queue_depth;
   }
   options.exec_mode = cli.exec_mode;
+  options.trace_sample = cli.trace_sample;
+  options.slow_query_ms = cli.slow_query_ms;
+  options.slow_query_log_path = cli.slow_query_log;
   // Key columns for every table the built-in apps and the repo's test
   // corpus use; harmless for tables that do not exist.
   options.optimize.transform.table_keys = {
@@ -300,6 +340,22 @@ int main(int argc, char** argv) {
                               .c_str());
     }
 
+    if (!cli.analyze_sql.empty()) {
+      // Submitted through the scheduler like any served statement, so
+      // the profile covers the same path (and, when sampling is on, the
+      // request also lands in the trace ring).
+      eqsql::net::Outcome out = session->Execute(
+          eqsql::net::Request::ExplainAnalyze("EXPLAIN ANALYZE " +
+                                              cli.analyze_sql));
+      if (!out.ok()) {
+        std::fprintf(stderr, "explain analyze failed: %s\n",
+                     out.status.ToString().c_str());
+        status = 1;
+      } else {
+        std::fputs(out.explain.c_str(), stdout);
+      }
+    }
+
     if (cli.run) {
       // The Session is the interpreter's net::Client: every statement
       // is submitted to the scheduler and executed on a worker thread,
@@ -339,6 +395,9 @@ int main(int argc, char** argv) {
   }
   if (cli.metrics_json) {
     std::printf("%s\n", server.metrics()->Snapshot().ToJson().c_str());
+  }
+  if (cli.dump_profiles) {
+    std::printf("%s\n", server.trace_ring()->ToJson().c_str());
   }
   return status;
 }

@@ -87,12 +87,20 @@ class CostEstimator {
 
   const net::CostModel& model() const { return model_; }
 
- private:
   struct NodeEstimate {
     double rows = 0;        // output cardinality
     double row_bytes = 0;   // output row width
     double processed = 0;   // cumulative rows processed in the subtree
   };
+
+  /// Per-operator estimate for one plan node (subtree-cumulative
+  /// `processed`). EXPLAIN ANALYZE uses this to put the estimator's
+  /// numbers next to each executed operator's actuals.
+  NodeEstimate EstimateNode(const ra::RaNode& node) const {
+    return Walk(node);
+  }
+
+ private:
   NodeEstimate Walk(const ra::RaNode& node) const;
 
   TableStats stats_;

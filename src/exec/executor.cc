@@ -425,6 +425,7 @@ Result<Schema> Executor::OutputSchema(const RaNode& node) const {
 Result<ResultSet> Executor::Execute(const RaNodePtr& node,
                                     const std::vector<Value>& params) {
   rows_processed_ = 0;
+  prof_cur_ = nullptr;
   EvalContext ctx(&params);
   return Exec(*node, &ctx);
 }
@@ -519,6 +520,26 @@ Result<Value> Executor::EvalScalar(const ScalarExprPtr& expr,
 }
 
 Result<ResultSet> Executor::Exec(const RaNode& node, EvalContext* ctx) {
+  if (profile_ == nullptr) return ExecNode(node, ctx);
+  // Look up (or create) this plan node's profile entry under the
+  // current operator; correlated subqueries and OuterApply re-enter the
+  // same plan node, which folds into one entry with execs > 1. Wall
+  // time is inclusive of children and never touches the simulated
+  // clock, so cost parity holds with profiling on or off.
+  obs::ProfileNode* parent = prof_cur_;
+  obs::ProfileNode* me =
+      profile_->ChildFor(parent, &node, ra::RaOpToString(node.op()));
+  prof_cur_ = me;
+  const int64_t t0 = NowNs();
+  Result<ResultSet> out = ExecNode(node, ctx);
+  me->wall_ns += NowNs() - t0;
+  me->execs += 1;
+  if (out.ok()) me->rows_out += static_cast<int64_t>(out->rows.size());
+  prof_cur_ = parent;
+  return out;
+}
+
+Result<ResultSet> Executor::ExecNode(const RaNode& node, EvalContext* ctx) {
   switch (node.op()) {
     case RaOp::kScan: {
       EQSQL_ASSIGN_OR_RETURN(const storage::Table* table,
@@ -792,6 +813,7 @@ Result<ResultSet> Executor::TryIndexLookup(const RaNode& node,
     if (pass) out.rows.push_back(row);
   }
   rows_processed_ += 1;  // index probe, not a scan
+  if (prof_cur_ != nullptr) prof_cur_->label = "KeyLookup";
   return out;
 }
 
@@ -923,6 +945,7 @@ Result<ResultSet> Executor::TrySecondaryIndexScan(const RaNode& node,
   if (scan_rows_ != nullptr) RecordScan(stats.rows, stats.bytes);
   rows_processed_ += out.rows.size();
   if (index_scans_ != nullptr) index_scans_->Increment();
+  if (prof_cur_ != nullptr) prof_cur_->label = "IndexScan";
   return out;
 }
 
@@ -1079,6 +1102,7 @@ Result<ResultSet> Executor::TryIndexNestedLoopJoin(const RaNode& node,
     }
   }
   rows_processed_ += out.rows.size();
+  if (prof_cur_ != nullptr) prof_cur_->label = "IndexNestedLoopJoin";
   return out;
 }
 
@@ -1409,6 +1433,11 @@ Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
   if (parallel_batches_ != nullptr) parallel_batches_->Increment();
   std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  // Per-shard profile slots: sized on the main thread before fan-out;
+  // each task writes only slot s, published by the pool barrier (the
+  // same one-writer-per-slot discipline as `gathered`).
+  obs::ProfileNode* prof = prof_cur_;
+  if (prof != nullptr) prof->shards.resize(table.shard_count());
   // Sequence numbers are sparse under MVCC (DELETE retires a slot but
   // never renumbers the survivors), so each task gathers (seq, row)
   // pairs for its shard's visible versions and one merge sort restores
@@ -1419,7 +1448,7 @@ Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, snap, s, &gathered, &shard_metrics,
-                     parent] {
+                     parent, prof] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-scan");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -1439,6 +1468,10 @@ Result<ResultSet> Executor::ExecScanParallel(const RaNode& node,
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
         shard_scan_ns_->Record(elapsed);
+      }
+      if (prof != nullptr) {
+        prof->shards[s].rows += static_cast<int64_t>(rows.size());
+        prof->shards[s].wall_ns += NowNs() - t0;
       }
     });
   }
@@ -1483,12 +1516,14 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
   if (parallel_batches_ != nullptr) parallel_batches_->Increment();
   std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  obs::ProfileNode* prof = prof_cur_;
+  if (prof != nullptr) prof->shards.resize(table.shard_count());
   std::vector<TaskResult> results(table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, &schema, &pred, ctx, snap, s, &results,
-                     &shard_metrics, parent] {
+                     &shard_metrics, parent, prof] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-filter");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -1540,6 +1575,10 @@ Result<ResultSet> Executor::ExecSelectScanParallel(const RaNode& node,
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
         shard_scan_ns_->Record(elapsed);
+      }
+      if (prof != nullptr) {
+        prof->shards[s].rows += static_cast<int64_t>(r.scanned);
+        prof->shards[s].wall_ns += NowNs() - t0;
       }
     });
   }
@@ -1616,12 +1655,14 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
   if (parallel_batches_ != nullptr) parallel_batches_->Increment();
   std::vector<ShardScanMetrics> shard_metrics = ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  obs::ProfileNode* prof = prof_cur_;
+  if (prof != nullptr) prof->shards.resize(table.shard_count());
   std::vector<Partial> partials(table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, &scan_schema, &keys, &aggs, select, ctx,
-                     snap, s, &partials, &shard_metrics, parent] {
+                     snap, s, &partials, &shard_metrics, parent, prof] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-aggregate");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -1709,6 +1750,10 @@ Result<ResultSet> Executor::ExecGroupByParallel(const RaNode& node,
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
         shard_scan_ns_->Record(elapsed);
+      }
+      if (prof != nullptr) {
+        prof->shards[s].rows += static_cast<int64_t>(p.scanned);
+        prof->shards[s].wall_ns += NowNs() - t0;
       }
     });
   }
@@ -1840,13 +1885,15 @@ Result<ResultSet> Executor::ExecScanVectorParallel(
   std::vector<ShardScanMetrics> shard_metrics =
       ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  obs::ProfileNode* prof = prof_cur_;
+  if (prof != nullptr) prof->shards.resize(table.shard_count());
   std::vector<std::vector<std::pair<size_t, Row>>> gathered(
       table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, snap, s, &gathered, &shard_metrics,
-                     parent] {
+                     parent, prof] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-scan");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -1870,6 +1917,10 @@ Result<ResultSet> Executor::ExecScanVectorParallel(
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
         shard_scan_ns_->Record(elapsed);
+      }
+      if (prof != nullptr) {
+        prof->shards[s].rows += static_cast<int64_t>(rows.size());
+        prof->shards[s].wall_ns += NowNs() - t0;
       }
     });
   }
@@ -1909,12 +1960,14 @@ Result<ResultSet> Executor::ExecSelectScanVectorParallel(
   std::vector<ShardScanMetrics> shard_metrics =
       ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  obs::ProfileNode* prof = prof_cur_;
+  if (prof != nullptr) prof->shards.resize(table.shard_count());
   std::vector<TaskResult> results(table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, &pred, snap, s, &results, &shard_metrics,
-                     parent] {
+                     parent, prof] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-filter");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -1957,6 +2010,10 @@ Result<ResultSet> Executor::ExecSelectScanVectorParallel(
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
         shard_scan_ns_->Record(elapsed);
+      }
+      if (prof != nullptr) {
+        prof->shards[s].rows += static_cast<int64_t>(r.scanned);
+        prof->shards[s].wall_ns += NowNs() - t0;
       }
     });
   }
@@ -2485,12 +2542,14 @@ Result<ResultSet> Executor::ExecGroupByVectorParallel(
   std::vector<ShardScanMetrics> shard_metrics =
       ShardMetrics(table.shard_count());
   const obs::SpanContext parent = obs::CurrentSpanContext();
+  obs::ProfileNode* prof = prof_cur_;
+  if (prof != nullptr) prof->shards.resize(table.shard_count());
   std::vector<Partial> partials(table.shard_count());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(table.shard_count());
   for (size_t s = 0; s < table.shard_count(); ++s) {
     tasks.push_back([this, &table, &plan, &aggs, filtered, snap, s, &partials,
-                     &shard_metrics, parent] {
+                     &shard_metrics, parent, prof] {
       obs::ScopedContext tctx(parent);
       obs::ScopedSpan tspan("shard-aggregate");
       if (tspan.active()) tspan.Attr("shard", std::to_string(s));
@@ -2571,6 +2630,10 @@ Result<ResultSet> Executor::ExecGroupByVectorParallel(
         const int64_t elapsed = NowNs() - t0;
         m.ns->Add(elapsed);
         shard_scan_ns_->Record(elapsed);
+      }
+      if (prof != nullptr) {
+        prof->shards[s].rows += static_cast<int64_t>(p.scanned);
+        prof->shards[s].wall_ns += NowNs() - t0;
       }
     });
   }

@@ -9,6 +9,7 @@
 #include "exec/exec_mode.h"
 #include "exec/worker_pool.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "ra/ra_node.h"
 #include "storage/database.h"
 #include "storage/shard_guard.h"
@@ -122,6 +123,19 @@ class Executor {
   /// except to name per-shard counters at fan-out time.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attaches a per-request operator profile (EXPLAIN ANALYZE, the
+  /// trace sampler, the slow-query logger). nullptr detaches. Each
+  /// executed plan operator records rows in/out, batches, wall time,
+  /// and — for parallel operators — a per-shard breakdown into the
+  /// tree. Profiling touches only wall-clock fields and the profile's
+  /// own atomics: the simulated cost model and every layout-invariant
+  /// counter are charged identically with profiling on or off.
+  void set_profile(obs::Profile* profile) {
+    profile_ = profile;
+    prof_cur_ = nullptr;
+  }
+  obs::Profile* profile() const { return profile_; }
+
   /// Executes `node` with positional `params` bound to '?' placeholders.
   Result<ResultSet> Execute(const ra::RaNodePtr& node,
                             const std::vector<catalog::Value>& params = {});
@@ -141,7 +155,12 @@ class Executor {
   size_t last_rows_processed() const { return rows_processed_; }
 
  private:
+  /// Operator dispatch. When a profile is attached, Exec wraps ExecNode
+  /// with per-operator bookkeeping (node lookup keyed by plan-node
+  /// address, wall time, rows out) and ExecNode does the actual work;
+  /// without one, Exec tail-calls ExecNode.
   Result<ResultSet> Exec(const ra::RaNode& node, EvalContext* ctx);
+  Result<ResultSet> ExecNode(const ra::RaNode& node, EvalContext* ctx);
   /// Resolves a table name through the attached ReadGuard first (pinned
   /// snapshot), then the live registry.
   Result<const storage::Table*> ResolveTable(const std::string& name) const;
@@ -251,15 +270,24 @@ class Executor {
       scan_rows_->Add(static_cast<int64_t>(rows));
       scan_bytes_->Add(static_cast<int64_t>(bytes));
     }
+    if (prof_cur_ != nullptr) {
+      prof_cur_->rows_in.fetch_add(static_cast<int64_t>(rows),
+                                   std::memory_order_relaxed);
+    }
   }
 
   /// One batch moved through a vectorized operator. Thread-safe
-  /// (striped counters); called from shard tasks.
+  /// (striped counters, atomic profile accumulator); called from shard
+  /// tasks — prof_cur_ is stable for their whole lifetime because the
+  /// main thread blocks in WorkerPool::Run until every task finishes.
   void RecordBatch(size_t rows) {
     if (batch_batches_ != nullptr) {
       batch_batches_->Increment();
       batch_rows_->Add(static_cast<int64_t>(rows));
       batch_size_->Record(static_cast<int64_t>(rows));
+    }
+    if (prof_cur_ != nullptr) {
+      prof_cur_->batches.fetch_add(1, std::memory_order_relaxed);
     }
   }
   /// An operator in kVector mode handed its input to the row engine.
@@ -289,6 +317,11 @@ class Executor {
   obs::Counter* index_rows_ = nullptr;
   obs::Counter* index_scans_ = nullptr;
   obs::Counter* index_nlj_probes_ = nullptr;
+  /// Request profile borrowed from the caller; prof_cur_ tracks the
+  /// profile node of the operator currently executing on the main
+  /// thread (scan/batch charges attribute to it).
+  obs::Profile* profile_ = nullptr;
+  obs::ProfileNode* prof_cur_ = nullptr;
 };
 
 }  // namespace eqsql::exec

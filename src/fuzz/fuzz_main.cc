@@ -10,7 +10,8 @@
 //   fuzz_eqsql [--seed N] [--iters M] [--corpus DIR] [--replay FILE]
 //              [--case-seed S] [--family NAME] [--inject-bug]
 //              [--max-rows K] [--shards P] [--async-every N]
-//              [--exec-mode row|vector] [--no-shrink] [--verbose]
+//              [--exec-mode row|vector] [--trace-sample N]
+//              [--no-shrink] [--verbose]
 //
 // --async-every N routes a deterministic 1-in-N of the generated cases
 // through a scheduler-backed server (Session::Submit) instead of direct
@@ -60,6 +61,7 @@ struct Args {
   int max_rows = 40;
   int shards = 1;
   int async_every = 8;
+  int trace_sample = 0;
   std::string family;
   exec::ExecMode exec_mode = exec::ExecMode::kVector;
 };
@@ -134,6 +136,8 @@ int Run(const Args& args) {
   oopts.async_every_n =
       args.async_every < 1 ? 0 : static_cast<size_t>(args.async_every);
   oopts.exec_mode = args.exec_mode;
+  oopts.trace_sample =
+      args.trace_sample < 1 ? 0 : static_cast<size_t>(args.trace_sample);
   GenOptions gopts;
   gopts.data.max_rows = args.max_rows;
   if (!args.family.empty() && !RestrictToFamily(&gopts, args.family)) {
@@ -170,12 +174,15 @@ int Run(const Args& args) {
         continue;
       }
       // Corpus replays ignore --inject-bug (they are regression tests
-      // for real failures) but do honor --shards and --exec-mode, so
-      // the saved reproducers also sweep the sharded and vectorized
-      // configurations.
+      // for real failures) but do honor --shards, --exec-mode,
+      // --async-every, and --trace-sample, so the saved reproducers
+      // also sweep the sharded, vectorized, scheduler-backed, and
+      // profiled configurations.
       OracleOptions replay_opts;
       replay_opts.shard_count = oopts.shard_count;
       replay_opts.exec_mode = oopts.exec_mode;
+      replay_opts.async_every_n = oopts.async_every_n;
+      replay_opts.trace_sample = oopts.trace_sample;
       OracleReport report = RunOracle(*c, replay_opts);
       if (report.verdict != Verdict::kPass) {
         std::fprintf(stderr, "corpus regression: %s\n", file.c_str());
@@ -269,6 +276,8 @@ int main(int argc, char** argv) {
       args.shards = std::atoi(next());
     } else if (a == "--async-every") {
       args.async_every = std::atoi(next());
+    } else if (a == "--trace-sample") {
+      args.trace_sample = std::atoi(next());
     } else if (a == "--family") {
       args.family = next();
     } else if (a == "--exec-mode") {
@@ -286,7 +295,7 @@ int main(int argc, char** argv) {
           "                  [--replay FILE] [--case-seed S] [--family NAME]\n"
           "                  [--inject-bug] [--max-rows K] [--shards P]\n"
           "                  [--async-every N] [--exec-mode row|vector]\n"
-          "                  [--no-shrink] [--verbose]\n");
+          "                  [--trace-sample N] [--no-shrink] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());

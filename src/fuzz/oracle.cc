@@ -440,6 +440,7 @@ OracleReport RunTxnOracle(const FuzzCase& c, const OracleOptions& opts) {
     so.database = dbo;
     so.scheduler_workers = 2;
     so.exec_mode = opts.exec_mode;
+    so.trace_sample = opts.trace_sample;
     net::Server server(so);
     if (Status s = BuildDatabase(c, server.db()); !s.ok()) {
       report.detail = "database setup: " + s.ToString();
@@ -614,6 +615,7 @@ OracleReport RunIndexOracle(const FuzzCase& c, const OracleOptions& opts) {
     so.database = dbo;
     so.scheduler_workers = 2;
     so.exec_mode = opts.exec_mode;
+    so.trace_sample = opts.trace_sample;
     net::Server server(so);
     if (Status s = BuildDatabase(c, server.db()); !s.ok()) {
       report.detail = "database setup: " + s.ToString();
@@ -776,6 +778,7 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
     net::ServerOptions so;
     so.database = dbo;
     so.scheduler_workers = 2;
+    so.trace_sample = opts.trace_sample;
     if (dbo.shard_count > 1) {
       so.exec_threads = 2;
       so.parallel_threshold = 0;  // force parallel operators on

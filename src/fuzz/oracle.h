@@ -62,6 +62,13 @@ struct OracleOptions {
   /// this to the live interleaved run; the commit-order replay always
   /// stays on the row engine for the same differential reason.
   exec::ExecMode exec_mode = exec::ExecMode::kVector;
+  /// Forwarded to every scheduler-backed server the oracle builds
+  /// (ServerOptions::trace_sample): every N-th scheduled request is
+  /// captured — span tree plus operator profile — into the server's
+  /// trace ring. Profiling must never change results or the simulated
+  /// clock, so a sweep with --trace-sample 1 differentially tests
+  /// exactly that (and, under TSan, races in the ring/sampler).
+  size_t trace_sample = 0;
 };
 
 /// Everything one differential run learned.

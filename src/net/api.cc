@@ -6,8 +6,9 @@ namespace eqsql::net {
 
 namespace {
 
-/// First whitespace-delimited token of `sql`, lower-cased.
-std::string FirstKeyword(std::string_view sql) {
+/// First whitespace-delimited token of `sql`, lower-cased. When `rest`
+/// is non-null it receives the remainder after the keyword.
+std::string FirstKeyword(std::string_view sql, std::string_view* rest = nullptr) {
   size_t i = 0;
   while (i < sql.size() &&
          std::isspace(static_cast<unsigned char>(sql[i]))) {
@@ -20,7 +21,31 @@ std::string FirstKeyword(std::string_view sql) {
         std::tolower(static_cast<unsigned char>(sql[i]))));
     ++i;
   }
+  if (rest != nullptr) *rest = sql.substr(i);
   return word;
+}
+
+/// Case-insensitive exact match of `sql` (trailing semicolons and
+/// whitespace stripped) against a lower-case statement spelling.
+bool IsBareStatement(std::string_view sql, std::string_view spelling) {
+  size_t end = sql.size();
+  while (end > 0 && (std::isspace(static_cast<unsigned char>(sql[end - 1])) ||
+                     sql[end - 1] == ';')) {
+    --end;
+  }
+  size_t begin = 0;
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(sql[begin]))) {
+    ++begin;
+  }
+  std::string_view body = sql.substr(begin, end - begin);
+  if (body.size() != spelling.size()) return false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(body[i])) != spelling[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -64,7 +89,8 @@ bool IsTxnControlStatement(std::string_view sql) {
 
 Request::Kind ClassifyStatement(Request::Kind kind, std::string_view sql) {
   if (kind != Request::Kind::kStatement) return kind;
-  const std::string kw = FirstKeyword(sql);
+  std::string_view rest;
+  const std::string kw = FirstKeyword(sql, &rest);
   if (kw == "begin" || kw == "start") return Request::Kind::kBegin;
   if (kw == "commit") return Request::Kind::kCommit;
   if (kw == "rollback") return Request::Kind::kRollback;
@@ -72,30 +98,30 @@ Request::Kind ClassifyStatement(Request::Kind kind, std::string_view sql) {
     return Request::Kind::kDml;
   }
   if (kw == "create") return Request::Kind::kCreateIndex;
+  if (kw == "explain" && FirstKeyword(rest) == "analyze") {
+    return Request::Kind::kExplainAnalyze;
+  }
   return Request::Kind::kQuery;
 }
 
 bool IsShowMetricsStatement(std::string_view sql) {
-  size_t end = sql.size();
-  while (end > 0 && (std::isspace(static_cast<unsigned char>(sql[end - 1])) ||
-                     sql[end - 1] == ';')) {
-    --end;
-  }
-  size_t begin = 0;
-  while (begin < end &&
-         std::isspace(static_cast<unsigned char>(sql[begin]))) {
-    ++begin;
-  }
-  std::string_view body = sql.substr(begin, end - begin);
-  constexpr std::string_view kShowMetrics = "show metrics";
-  if (body.size() != kShowMetrics.size()) return false;
-  for (size_t i = 0; i < body.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(body[i])) !=
-        kShowMetrics[i]) {
-      return false;
-    }
-  }
-  return true;
+  return IsBareStatement(sql, "show metrics");
+}
+
+bool IsShowProfilesStatement(std::string_view sql) {
+  return IsBareStatement(sql, "show profiles");
+}
+
+bool IsShowTracesStatement(std::string_view sql) {
+  return IsBareStatement(sql, "show traces");
+}
+
+std::string_view ExplainAnalyzeTarget(std::string_view sql) {
+  std::string_view rest;
+  if (FirstKeyword(sql, &rest) != "explain") return sql;
+  std::string_view inner;
+  if (FirstKeyword(rest, &inner) != "analyze") return sql;
+  return inner;
 }
 
 }  // namespace eqsql::net

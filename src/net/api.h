@@ -69,6 +69,10 @@ struct Request {
     /// hash index (parallel per-shard backfill through the server's
     /// worker pool) and reports 0 affected rows.
     kCreateIndex,
+    /// EXPLAIN ANALYZE <query>: execute the query with an operator
+    /// profile attached and return the rendered tree (estimated vs
+    /// actual rows/cost per operator) as a kExplain outcome.
+    kExplainAnalyze,
   };
 
   Kind kind = Kind::kStatement;
@@ -143,6 +147,17 @@ struct Request {
     Request r;
     r.kind = Kind::kCreateIndex;
     r.sql = std::move(sql);
+    return r;
+  }
+  /// `sql` is the full statement including the EXPLAIN ANALYZE prefix
+  /// (the executor strips it), so classified kStatement text and this
+  /// factory produce identical requests.
+  static Request ExplainAnalyze(std::string sql,
+                                std::vector<catalog::Value> params = {}) {
+    Request r;
+    r.kind = Kind::kExplainAnalyze;
+    r.sql = std::move(sql);
+    r.params = std::move(params);
     return r;
   }
 
@@ -248,6 +263,16 @@ Request::Kind ClassifyStatement(Request::Kind kind, std::string_view sql);
 /// True when `sql` is the SHOW METRICS introspection statement
 /// (case-insensitive, optional trailing semicolon).
 bool IsShowMetricsStatement(std::string_view sql);
+
+/// True when `sql` is SHOW PROFILES / SHOW TRACES — introspection over
+/// the server's sampled-trace ring buffer (same spelling rules as SHOW
+/// METRICS).
+bool IsShowProfilesStatement(std::string_view sql);
+bool IsShowTracesStatement(std::string_view sql);
+
+/// Strips a leading EXPLAIN ANALYZE prefix, returning the statement to
+/// execute; `sql` comes back unchanged when the prefix is absent.
+std::string_view ExplainAnalyzeTarget(std::string_view sql);
 
 }  // namespace eqsql::net
 

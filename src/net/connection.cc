@@ -1,10 +1,13 @@
 #include "net/connection.h"
 
 #include <chrono>
+#include <functional>
 #include <utility>
 
 #include "common/strings.h"
+#include "core/cost_estimator.h"
 #include "exec/scalar_ops.h"
+#include "net/table_stats.h"
 #include "obs/trace.h"
 #include "sql/dml.h"
 #include "sql/parser.h"
@@ -110,6 +113,8 @@ Outcome Connection::Perform(Request req) {
       if (!n.ok()) return Outcome::FromError(n.status());
       return Outcome::FromRowCount(*n);
     }
+    case Kind::kExplainAnalyze:
+      return ExplainAnalyzeImpl(req.sql, req.params, ctx);
     case Kind::kExplainExtraction:
       return Outcome::FromError(Status::Unsupported(
           "EXPLAIN EXTRACTION needs a Session (plan cache + optimizer); "
@@ -243,9 +248,58 @@ Result<exec::ResultSet> Connection::QueryPlannedImpl(
 Result<exec::ResultSet> Connection::QuerySqlImpl(
     std::string_view sql, const std::vector<catalog::Value>& params,
     TxnContext* txn_ctx) {
-  EQSQL_ASSIGN_OR_RETURN(ra::RaNodePtr plan, sql::ParseSql(sql));
+  ra::RaNodePtr plan;
+  {
+    obs::ScopedSpan span("parse");
+    EQSQL_ASSIGN_OR_RETURN(plan, sql::ParseSql(sql));
+  }
   if (trace_enabled_) pending_sql_ = std::string(sql);
   return QueryPlannedImpl(plan, params, txn_ctx);
+}
+
+Outcome Connection::ExplainAnalyzeImpl(
+    std::string_view sql, const std::vector<catalog::Value>& params,
+    TxnContext* txn_ctx) {
+  const std::string_view inner = ExplainAnalyzeTarget(sql);
+  ra::RaNodePtr plan;
+  {
+    obs::ScopedSpan span("parse");
+    Result<ra::RaNodePtr> parsed = sql::ParseSql(inner);
+    if (!parsed.ok()) return Outcome::FromError(parsed.status());
+    plan = std::move(*parsed);
+  }
+  // Swap in a fresh profile for this statement; the sampler's (if any)
+  // comes back afterwards so its request-level record stays intact.
+  obs::Profile profile;
+  obs::Profile* sampler = executor_.profile();
+  executor_.set_profile(&profile);
+  Result<exec::ResultSet> rs = QueryPlannedImpl(plan, params, txn_ctx);
+  executor_.set_profile(sampler);
+  if (!rs.ok()) return Outcome::FromError(rs.status());
+
+  // Annotate the executed operators with the estimator's numbers for
+  // the same plan nodes: estimated output rows, and the server-side
+  // cost of the subtree's processed rows priced by this connection's
+  // cost model.
+  const core::CostEstimator estimator(GatherTableStats(db_), model_);
+  const std::function<void(obs::ProfileNode*)> annotate =
+      [&](obs::ProfileNode* n) {
+        if (n->plan_node != nullptr) {
+          const auto* ra_node = static_cast<const ra::RaNode*>(n->plan_node);
+          core::CostEstimator::NodeEstimate est =
+              estimator.EstimateNode(*ra_node);
+          n->est_rows = est.rows;
+          n->est_cost_ms = model_.ServerMs(static_cast<size_t>(est.processed));
+        }
+        for (auto& child : n->children) annotate(child.get());
+      };
+  if (profile.root() != nullptr) annotate(profile.root());
+
+  std::string report = "EXPLAIN ANALYZE (" +
+                       std::string(exec::ExecModeName(exec_mode())) +
+                       ", rows=" + std::to_string(rs->rows.size()) + ")\n" +
+                       profile.ToText() + "JSON: " + profile.ToJson() + "\n";
+  return Outcome::FromExplain(std::move(report));
 }
 
 void Connection::SimulateUpdateImpl(std::string_view sql) {

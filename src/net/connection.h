@@ -162,6 +162,12 @@ class Connection : public Client {
   void set_exec_mode(exec::ExecMode mode) { executor_.set_exec_mode(mode); }
   exec::ExecMode exec_mode() const { return executor_.exec_mode(); }
 
+  /// Attaches a per-request operator profile to this connection's
+  /// executor (the trace sampler / slow-query logger set it around one
+  /// request; EXPLAIN ANALYZE temporarily swaps in its own). nullptr
+  /// detaches. Owner thread only.
+  void set_profile(obs::Profile* profile) { executor_.set_profile(profile); }
+
   /// Attaches a metrics registry: net.* counters (queries, round trips,
   /// rows/bytes transferred, DML statements), the net.query_ns wall-time
   /// histogram, storage.lock_wait_ns via the per-query ReadGuard, and
@@ -258,6 +264,16 @@ class Connection : public Client {
   /// returns still resolves against each reader's own snapshot).
   /// Returns 0 (affected rows) on success.
   Result<int64_t> CreateIndexImpl(std::string_view sql);
+  /// EXPLAIN ANALYZE <query>: parses the inner statement, executes it
+  /// through the regular query path with a fresh operator profile
+  /// attached (swapping any sampler-attached profile back afterwards),
+  /// annotates the profile with the cost estimator's per-node numbers
+  /// against live table stats, and renders estimated-vs-actual text +
+  /// JSON as a kExplain outcome. Cost charges are identical to running
+  /// the inner statement directly.
+  Outcome ExplainAnalyzeImpl(std::string_view sql,
+                             const std::vector<catalog::Value>& params,
+                             TxnContext* txn_ctx);
 
   /// Charges one round-trip statement of `request_bytes` with
   /// `server_rows` of server-side work onto the simulated clock and the

@@ -1,5 +1,7 @@
 #include "net/scheduler.h"
 
+#include <algorithm>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -7,8 +9,11 @@
 #include "catalog/value.h"
 #include "common/strings.h"
 #include "core/cost_estimator.h"
+#include "exec/exec_mode.h"
 #include "net/server.h"
+#include "net/table_stats.h"
 #include "obs/explain.h"
+#include "obs/profile.h"
 #include "storage/table.h"
 
 namespace eqsql::net {
@@ -35,26 +40,8 @@ size_t PriorityClass(Priority p) {
 /// has no secondary indexes, so EXPLAIN output is unchanged until
 /// someone runs CREATE INDEX.
 void AnnotateJoinPlans(Server* server, core::OptimizeResult* result) {
-  core::TableStats stats;
-  storage::Database* db = server->db();
   bool any_index = false;
-  for (const std::string& name : db->TableNames()) {
-    Result<storage::Table*> table = db->GetTable(name);
-    if (!table.ok()) continue;
-    const std::string key = AsciiToLower(name);
-    const storage::TableScanStats vs =
-        (*table)->VisibleStats(storage::Snapshot::Latest());
-    stats.table_rows[key] = static_cast<int64_t>(vs.rows);
-    if (vs.rows > 0) {
-      stats.row_bytes[key] = static_cast<int64_t>(vs.bytes / vs.rows);
-    }
-    std::vector<std::vector<std::string>> lists =
-        (*table)->IndexedColumnLists();
-    if (!lists.empty()) {
-      stats.table_indexes[key] = std::move(lists);
-      any_index = true;
-    }
-  }
+  core::TableStats stats = GatherTableStats(server->db(), &any_index);
   if (!any_index) return;
   const core::CostEstimator estimator(std::move(stats),
                                       server->options().cost_model);
@@ -89,6 +76,8 @@ Scheduler::Scheduler(Server* server, SchedulerOptions options)
   m_deadline_ = metrics->counter("net.scheduler.deadline_expired");
   m_dispatched_ = metrics->counter("net.scheduler.dispatched");
   m_queue_wait_ns_ = metrics->histogram("net.scheduler.queue_wait_ns");
+  m_trace_sampled_ = metrics->counter("obs.trace.sampled");
+  m_slow_logged_ = metrics->counter("obs.slow_log.emitted");
 
   // One connection per worker: created here on the constructing thread,
   // then latched by its worker thread on first use (Connection latches
@@ -127,9 +116,24 @@ std::future<Outcome> Scheduler::Submit(Request req) {
   e.deadline = e.req.timeout_ms > 0
                    ? now + std::chrono::milliseconds(e.req.timeout_ms)
                    : std::chrono::steady_clock::time_point::max();
+  // Every admitted request gets the next trace id; with sampling on,
+  // every N-th becomes a ring-buffer record. Rejected requests below
+  // burn an id — acceptable, ids only need to be unique and increasing.
+  e.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const size_t sample_n = server_->options().trace_sample;
+  e.sampled =
+      sample_n > 0 && static_cast<uint64_t>(e.trace_id) % sample_n == 0;
   // Capture the submitter's trace position before admission so the
-  // queue wait shows up as a "scheduler.enqueue" span in its tree.
+  // queue wait shows up as a "scheduler.enqueue" span in its tree. A
+  // sampled request with no ambient trace gets a scheduler-owned one,
+  // so its spans (and the per-shard spans the executor emits) have a
+  // tree to land in.
   e.ctx = obs::CurrentSpanContext();
+  if (e.sampled && e.ctx.trace == nullptr) {
+    e.owned_trace = std::make_shared<obs::Trace>();
+    e.ctx.trace = e.owned_trace.get();
+    e.ctx.span = -1;
+  }
   if (e.ctx.trace != nullptr) {
     e.enqueue_span = e.ctx.trace->BeginSpan("scheduler.enqueue", e.ctx.span);
   }
@@ -192,7 +196,8 @@ void Scheduler::WorkerLoop(size_t worker_index) {
     m_depth_->Add(-1);
     m_dispatched_->Increment();
     const auto now = std::chrono::steady_clock::now();
-    m_queue_wait_ns_->Record(ElapsedNs(e.enqueued, now));
+    const int64_t queue_wait_ns = ElapsedNs(e.enqueued, now);
+    m_queue_wait_ns_->Record(queue_wait_ns);
     if (e.enqueue_span >= 0 && e.ctx.trace != nullptr) {
       e.ctx.trace->EndSpan(e.enqueue_span);
     }
@@ -207,15 +212,26 @@ void Scheduler::WorkerLoop(size_t worker_index) {
       continue;
     }
     if (hook) hook(e.req);
+    // Operator profile for the sinks: attached when this request is
+    // sampled or the slow-query log is armed. EXPLAIN ANALYZE swaps in
+    // its own profile and restores this one (Connection::set_profile
+    // saves/restores), so the two compose.
+    const bool want_profile =
+        e.sampled || server_->options().slow_query_ms > 0;
+    obs::Profile profile;
     Outcome out;
     {
       obs::ScopedContext restore(e.ctx);
       obs::ScopedSpan span("scheduler.dispatch");
       if (span.active()) {
         span.Attr("worker", std::to_string(worker_index));
+        span.Attr("trace_id", std::to_string(e.trace_id));
       }
+      if (want_profile) conn->set_profile(&profile);
       out = ExecuteRequest(conn, e.req);
+      if (want_profile) conn->set_profile(nullptr);
     }
+    if (want_profile) RecordObservability(e, profile, out, queue_wait_ns);
     e.promise.set_value(std::move(out));
   }
 }
@@ -223,9 +239,10 @@ void Scheduler::WorkerLoop(size_t worker_index) {
 Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
   using Kind = Request::Kind;
   Kind kind = req.kind;
-  if ((kind == Kind::kStatement || kind == Kind::kQuery) &&
-      IsShowMetricsStatement(req.sql)) {
-    return ShowMetricsOutcome();
+  if (kind == Kind::kStatement || kind == Kind::kQuery) {
+    if (IsShowMetricsStatement(req.sql)) return ShowMetricsOutcome();
+    if (IsShowProfilesStatement(req.sql)) return ShowProfilesOutcome();
+    if (IsShowTracesStatement(req.sql)) return ShowTracesOutcome();
   }
   kind = ClassifyStatement(kind, req.sql);
   switch (kind) {
@@ -244,7 +261,8 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
     case Kind::kBegin:
     case Kind::kCommit:
     case Kind::kRollback:
-    case Kind::kCreateIndex: {
+    case Kind::kCreateIndex:
+    case Kind::kExplainAnalyze: {
       Request forced = req;
       forced.kind = kind;
       return conn->Perform(std::move(forced));
@@ -274,26 +292,112 @@ Outcome Scheduler::ShowMetricsOutcome() const {
   // story, so it is queryable, not just in the JSON snapshot. Counter
   // values are deterministic for a fixed workload; the histogram rows
   // carry wall timing and are excluded from invariance comparisons.
+  // All rows merge into ONE lexicographically sorted sequence, so
+  // `exec.pool.tasks` and `exec.pool.task_wait_ns.p99` sort next to
+  // each other instead of counters-then-histograms.
   obs::MetricsSnapshot snap = server_->metrics()->Snapshot();
+  std::vector<std::pair<std::string, int64_t>> merged;
+  merged.reserve(snap.counters.size() + 4 * snap.histograms.size());
+  for (const auto& [name, value] : snap.counters) {
+    merged.emplace_back(name, value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    merged.emplace_back(name + ".count", h.count);
+    merged.emplace_back(name + ".p50", h.ValueAtQuantile(0.5));
+    merged.emplace_back(name + ".p99", h.ValueAtQuantile(0.99));
+    merged.emplace_back(name + ".max", h.max);
+  }
+  std::sort(merged.begin(), merged.end());
   exec::ResultSet rs;
   rs.schema = catalog::Schema({{"metric", catalog::DataType::kString},
                                {"value", catalog::DataType::kInt64}});
-  rs.rows.reserve(snap.counters.size() + 4 * snap.histograms.size());
-  for (const auto& [name, value] : snap.counters) {
-    rs.rows.push_back(
-        {catalog::Value::String(name), catalog::Value::Int(value)});
-  }
-  for (const auto& [name, h] : snap.histograms) {
-    rs.rows.push_back({catalog::Value::String(name + ".count"),
-                       catalog::Value::Int(h.count)});
-    rs.rows.push_back({catalog::Value::String(name + ".p50"),
-                       catalog::Value::Int(h.ValueAtQuantile(0.5))});
-    rs.rows.push_back({catalog::Value::String(name + ".p99"),
-                       catalog::Value::Int(h.ValueAtQuantile(0.99))});
-    rs.rows.push_back(
-        {catalog::Value::String(name + ".max"), catalog::Value::Int(h.max)});
+  rs.rows.reserve(merged.size());
+  for (auto& [name, value] : merged) {
+    rs.rows.push_back({catalog::Value::String(std::move(name)),
+                       catalog::Value::Int(value)});
   }
   return Outcome::FromResultSet(std::move(rs));
+}
+
+Outcome Scheduler::ShowProfilesOutcome() const {
+  exec::ResultSet rs;
+  rs.schema = catalog::Schema({{"trace_id", catalog::DataType::kInt64},
+                               {"statement", catalog::DataType::kString},
+                               {"status", catalog::DataType::kString},
+                               {"queue_wait_ns", catalog::DataType::kInt64},
+                               {"total_ns", catalog::DataType::kInt64},
+                               {"profile", catalog::DataType::kString}});
+  for (obs::TraceRecord& r : server_->trace_ring()->Snapshot()) {
+    rs.rows.push_back({catalog::Value::Int(r.trace_id),
+                       catalog::Value::String(std::move(r.statement)),
+                       catalog::Value::String(std::move(r.status)),
+                       catalog::Value::Int(r.queue_wait_ns),
+                       catalog::Value::Int(r.total_ns),
+                       catalog::Value::String(std::move(r.profile_text))});
+  }
+  return Outcome::FromResultSet(std::move(rs));
+}
+
+Outcome Scheduler::ShowTracesOutcome() const {
+  exec::ResultSet rs;
+  rs.schema = catalog::Schema({{"trace_id", catalog::DataType::kInt64},
+                               {"statement", catalog::DataType::kString},
+                               {"status", catalog::DataType::kString},
+                               {"total_ns", catalog::DataType::kInt64},
+                               {"trace", catalog::DataType::kString}});
+  for (obs::TraceRecord& r : server_->trace_ring()->Snapshot()) {
+    rs.rows.push_back({catalog::Value::Int(r.trace_id),
+                       catalog::Value::String(std::move(r.statement)),
+                       catalog::Value::String(std::move(r.status)),
+                       catalog::Value::Int(r.total_ns),
+                       catalog::Value::String(std::move(r.trace_json))});
+  }
+  return Outcome::FromResultSet(std::move(rs));
+}
+
+void Scheduler::RecordObservability(const Entry& e,
+                                    const obs::Profile& profile,
+                                    const Outcome& out,
+                                    int64_t queue_wait_ns) {
+  const int64_t total_ns =
+      ElapsedNs(e.enqueued, std::chrono::steady_clock::now());
+  const std::string status =
+      out.ok() ? "ok" : std::string(StatusCodeToString(out.status.code()));
+  const std::string_view mode =
+      exec::ExecModeName(server_->options().exec_mode);
+  const int64_t shards =
+      static_cast<int64_t>(server_->db()->shard_count());
+  if (e.sampled) {
+    m_trace_sampled_->Increment();
+    obs::TraceRecord rec;
+    rec.trace_id = e.trace_id;
+    rec.statement = e.req.sql;
+    rec.status = status;
+    rec.queue_wait_ns = queue_wait_ns;
+    rec.total_ns = total_ns;
+    rec.exec_mode = std::string(mode);
+    rec.shard_count = shards;
+    // Serialized here, before the promise resolves: a submitter-owned
+    // ambient Trace is alive until outcome delivery by contract, and a
+    // scheduler-owned one is alive until `e` dies.
+    if (e.ctx.trace != nullptr) rec.trace_json = e.ctx.trace->ToJson();
+    rec.profile_text = profile.ToText();
+    rec.profile_json = profile.ToJson();
+    server_->trace_ring()->Push(std::move(rec));
+  }
+  const double slow_ms = server_->options().slow_query_ms;
+  if (slow_ms > 0 &&
+      static_cast<double>(total_ns) >= slow_ms * 1e6) {
+    m_slow_logged_->Increment();
+    std::ostringstream line;
+    line << "{\"trace_id\":" << e.trace_id << ",\"statement\":\""
+         << obs::JsonEscapeString(e.req.sql) << "\",\"status\":\""
+         << obs::JsonEscapeString(status) << "\",\"queue_wait_ns\":"
+         << queue_wait_ns << ",\"total_ns\":" << total_ns
+         << ",\"exec_mode\":\"" << mode << "\",\"shard_count\":" << shards
+         << ",\"profile\":" << profile.ToJson() << "}";
+    server_->slow_log()->Append(line.str());
+  }
 }
 
 void Scheduler::Shutdown() {

@@ -2,6 +2,7 @@
 #define EQSQL_NET_SCHEDULER_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include "net/api.h"
 #include "net/connection.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace eqsql::net {
@@ -67,6 +69,20 @@ struct SchedulerOptions {
 /// enqueue -> dispatch -> execute with the queue wait visible as the
 /// enqueue span's duration. The submitter's Trace must outlive outcome
 /// delivery (trivially true for the blocking Execute path).
+///
+/// Sampling: every admitted request gets a monotonically increasing
+/// trace id; with ServerOptions::trace_sample == N > 0 every N-th one
+/// is captured end to end. A sampled request with no ambient trace gets
+/// a scheduler-owned obs::Trace attached at Submit (so the enqueue /
+/// dispatch / execute / per-shard spans all land somewhere); the worker
+/// serializes the span tree and the operator profile into an
+/// obs::TraceRecord and pushes it to the server's TraceRing before
+/// resolving the promise. Requests slower than
+/// ServerOptions::slow_query_ms additionally append a structured JSON
+/// line to the server's SlowQueryLog. Neither path touches the
+/// simulated clock or any layout-invariant counter — the obs.trace.* /
+/// obs.slow_log.* counters are wall-clock-dependent and excluded from
+/// shard-invariance signatures, like net.scheduler.*.
 class Scheduler {
  public:
   Scheduler(Server* server, SchedulerOptions options);
@@ -111,6 +127,11 @@ class Scheduler {
     std::chrono::steady_clock::time_point deadline;  // ::max() if none
     obs::SpanContext ctx;      // submitter's ambient trace position
     int enqueue_span = -1;     // open "scheduler.enqueue" span id
+    int64_t trace_id = 0;      // assigned at Submit, 1-based
+    bool sampled = false;      // this request lands in the trace ring
+    /// Scheduler-owned trace for sampled requests that arrived with no
+    /// ambient trace; ctx points at it so every span lands in its tree.
+    std::shared_ptr<obs::Trace> owned_trace;
   };
 
   void WorkerLoop(size_t worker_index);
@@ -119,6 +140,18 @@ class Scheduler {
   /// cache; DML/simulated DML go straight to the connection).
   Outcome ExecuteRequest(Connection* conn, const Request& req);
   Outcome ShowMetricsOutcome() const;
+  /// SHOW PROFILES: one row per retained trace-ring record with the
+  /// rendered operator-profile text. SHOW TRACES: same records with the
+  /// span-tree JSON instead.
+  Outcome ShowProfilesOutcome() const;
+  Outcome ShowTracesOutcome() const;
+
+  /// Serializes a finished request into the server's trace ring and/or
+  /// slow-query log. Runs on the worker thread after execution and
+  /// before promise resolution, so a submitter-owned ambient Trace is
+  /// still alive (it must outlive outcome delivery; see class comment).
+  void RecordObservability(const Entry& e, const obs::Profile& profile,
+                           const Outcome& out, int64_t queue_wait_ns);
 
   /// Closes `e`'s enqueue span (if traced) and fails its promise.
   static void FailEntry(Entry& e, Status status);
@@ -132,6 +165,12 @@ class Scheduler {
   obs::Counter* m_deadline_ = nullptr;       // net.scheduler.deadline_expired
   obs::Counter* m_dispatched_ = nullptr;     // net.scheduler.dispatched
   obs::Histogram* m_queue_wait_ns_ = nullptr;  // net.scheduler.queue_wait_ns
+  obs::Counter* m_trace_sampled_ = nullptr;  // obs.trace.sampled
+  obs::Counter* m_slow_logged_ = nullptr;    // obs.slow_log.emitted
+
+  /// Trace-id source: every admitted request takes the next id, sampled
+  /// or not, so ids are stable against the sampling rate.
+  std::atomic<int64_t> next_trace_id_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -18,6 +18,7 @@
 #include "net/connection.h"
 #include "net/cost_model.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "storage/database.h"
 
 namespace eqsql::net {
@@ -56,6 +57,23 @@ struct ServerOptions {
   /// Bound of the scheduler's admission queue; a full queue rejects
   /// submissions with kOverloaded instead of blocking the producer.
   size_t scheduler_queue_capacity = 256;
+  /// Always-on sampled tracing: every admitted request gets a trace id,
+  /// and every N-th one (1 = all) is captured — full span tree plus
+  /// operator profile — into the server's bounded trace ring
+  /// (SHOW PROFILES / SHOW TRACES / eqsql --dump-profiles). 0 disables
+  /// sampling; when 0, the EQSQL_TRACE_SAMPLE environment variable
+  /// supplies a default. Sampling never touches the simulated clock or
+  /// any layout-invariant counter.
+  size_t trace_sample = 0;
+  /// Capacity of the sampled-trace ring buffer (records retained).
+  size_t trace_ring_capacity = 256;
+  /// Requests whose total latency (queue wait + execution wall time)
+  /// meets or exceeds this many milliseconds append a structured JSON
+  /// line to the slow-query log. <= 0 disables.
+  double slow_query_ms = 0;
+  /// File the slow-query log flushes to on server shutdown (empty =
+  /// in-memory only; lines stay inspectable via Server::slow_log()).
+  std::string slow_query_log_path;
 };
 
 /// Server-wide aggregate counters. Closed sessions fold their exact
@@ -116,6 +134,12 @@ class Server {
   /// metrics all land here. Snapshot() is safe from any thread.
   obs::MetricsRegistry* metrics() { return &metrics_; }
 
+  /// The bounded ring of sampled request traces (ServerOptions::
+  /// trace_sample) and the structured slow-query log. Safe from any
+  /// thread.
+  obs::TraceRing* trace_ring() { return &trace_ring_; }
+  obs::SlowQueryLog* slow_log() { return &slow_log_; }
+
   /// Opens a session against the shared database. The session may be
   /// handed to a worker thread before first use; it folds its stats
   /// back into the server when destroyed.
@@ -148,6 +172,11 @@ class Server {
   /// unregisters in its destructor before its Connection dies, so every
   /// pointer here is valid whenever mu_ is held.
   std::unordered_map<int64_t, const Connection*> live_sessions_;
+
+  /// Sampled-trace sink + slow-query sink. Declared before scheduler_
+  /// (workers push records until they join).
+  obs::TraceRing trace_ring_;
+  obs::SlowQueryLog slow_log_;
 
   /// Declared last: destroyed first, so Shutdown() joins the scheduler
   /// workers while the database, pools, and metrics they touch are all

@@ -1,0 +1,36 @@
+#include "net/table_stats.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "storage/table.h"
+
+namespace eqsql::net {
+
+core::TableStats GatherTableStats(storage::Database* db, bool* any_index) {
+  core::TableStats stats;
+  bool indexed = false;
+  for (const std::string& name : db->TableNames()) {
+    Result<storage::Table*> table = db->GetTable(name);
+    if (!table.ok()) continue;
+    const std::string key = AsciiToLower(name);
+    const storage::TableScanStats vs =
+        (*table)->VisibleStats(storage::Snapshot::Latest());
+    stats.table_rows[key] = static_cast<int64_t>(vs.rows);
+    if (vs.rows > 0) {
+      stats.row_bytes[key] = static_cast<int64_t>(vs.bytes / vs.rows);
+    }
+    std::vector<std::vector<std::string>> lists =
+        (*table)->IndexedColumnLists();
+    if (!lists.empty()) {
+      stats.table_indexes[key] = std::move(lists);
+      indexed = true;
+    }
+  }
+  if (any_index != nullptr) *any_index = indexed;
+  return stats;
+}
+
+}  // namespace eqsql::net

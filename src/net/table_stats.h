@@ -1,0 +1,22 @@
+// Live catalog statistics for the cost estimator, gathered from a
+// storage::Database. Shared by the scheduler's EXPLAIN EXTRACTION
+// join-plan annotation and the connection's EXPLAIN ANALYZE
+// estimated-vs-actual columns, so both price plans against the same
+// numbers.
+#ifndef EQSQL_NET_TABLE_STATS_H_
+#define EQSQL_NET_TABLE_STATS_H_
+
+#include "core/cost_estimator.h"
+#include "storage/database.h"
+
+namespace eqsql::net {
+
+/// Snapshot of per-table row counts, average row widths, and indexed
+/// column lists at Snapshot::Latest(). When `any_index` is non-null it
+/// is set to whether any table carries a secondary index.
+core::TableStats GatherTableStats(storage::Database* db,
+                                  bool* any_index = nullptr);
+
+}  // namespace eqsql::net
+
+#endif  // EQSQL_NET_TABLE_STATS_H_

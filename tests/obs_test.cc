@@ -6,12 +6,19 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "catalog/value.h"
 #include "common/logging.h"
 #include "core/optimizer.h"
 #include "frontend/parser.h"
+#include "net/api.h"
 #include "net/server.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace eqsql::obs {
@@ -53,6 +60,55 @@ TEST(HistogramTest, CountSumMaxAndBuckets) {
     bucket_total += count;
   }
   EXPECT_EQ(bucket_total, 4);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h;
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 0);
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesClampToObservedMax) {
+  Histogram h;
+  h.Record(100);  // power-of-two bucket bound is 128, above the sample
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, 1);
+  ASSERT_EQ(snap.max, 100);
+  // Every quantile of a one-sample distribution IS that sample: the
+  // bucket's upper bound (128) must be clamped to the observed max.
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), 100);
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 100);
+  EXPECT_EQ(snap.ValueAtQuantile(0.99), 100);
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 100);
+  // Out-of-range q clamps to [0, 1] rather than misbehaving.
+  EXPECT_EQ(snap.ValueAtQuantile(-0.5), 100);
+  EXPECT_EQ(snap.ValueAtQuantile(1.5), 100);
+}
+
+TEST(HistogramTest, OverflowBucketQuantileNeverExceedsObservedMax) {
+  // Values beyond the last bounded power-of-two boundary (2^47) land in
+  // the overflow bucket. A quantile resolving there must stay within
+  // the observed range: at or below max, never a fabricated bound.
+  Histogram h;
+  h.Record(int64_t{1} << 55);
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, 1);
+  ASSERT_EQ(snap.max, int64_t{1} << 55);
+  int64_t p100 = snap.ValueAtQuantile(1.0);
+  EXPECT_LE(p100, snap.max);
+  EXPECT_GT(p100, 0);
+
+  // Mixed with small values the tail quantile still resolves into the
+  // overflow bucket and still respects the observed max.
+  Histogram mixed;
+  for (int i = 0; i < 99; ++i) mixed.Record(1);
+  mixed.Record(int64_t{1} << 55);
+  HistogramSnapshot ms = mixed.Snapshot();
+  EXPECT_EQ(ms.ValueAtQuantile(0.5), 1);
+  EXPECT_LE(ms.ValueAtQuantile(1.0), ms.max);
 }
 
 TEST(MetricsRegistryTest, HandlesAreStableAndSnapshotsSorted) {
@@ -170,6 +226,171 @@ TEST(TraceTest, FlameSummaryAggregatesSameNamedSiblings) {
   std::string json = trace.ToJson();
   EXPECT_NE(json.find("\"spans\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"shard-scan\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Operator profiles, trace ring, slow-query log
+// ---------------------------------------------------------------------------
+
+TEST(ProfileTest, EmptyProfileRendersPlaceholders) {
+  Profile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.ToText(), "(no profile)\n");
+  EXPECT_EQ(p.ToJson(), "null");
+}
+
+TEST(ProfileTest, ChildForFoldsReexecutionsByPlanNodeAddress) {
+  Profile p;
+  int scan_ident = 0, filter_ident = 0;  // addresses stand in for plan nodes
+  ProfileNode* root = p.ChildFor(nullptr, &scan_ident, "Project");
+  ASSERT_NE(root, nullptr);
+  EXPECT_FALSE(p.empty());
+  // The root is created once; addressing it again reuses it.
+  EXPECT_EQ(p.ChildFor(nullptr, &scan_ident, "Project"), root);
+
+  ProfileNode* filter = p.ChildFor(root, &filter_ident, "Filter");
+  // A correlated re-execution of the same plan node folds into the same
+  // child instead of growing the tree.
+  EXPECT_EQ(p.ChildFor(root, &filter_ident, "Filter"), filter);
+  ASSERT_EQ(root->children.size(), 1u);
+  filter->execs = 2;
+  filter->rows_out = 7;
+  filter->rows_in.fetch_add(40);
+
+  std::string text = p.ToText();
+  EXPECT_NE(text.find("Project"), std::string::npos) << text;
+  EXPECT_NE(text.find("  Filter"), std::string::npos) << text;  // indented
+  EXPECT_NE(text.find("act_rows=7"), std::string::npos) << text;
+  EXPECT_NE(text.find("rows_in=40"), std::string::npos) << text;
+  EXPECT_NE(text.find("execs=2"), std::string::npos) << text;
+  // Unannotated estimates render as "-" in text and null in JSON.
+  EXPECT_NE(text.find("est_rows=-"), std::string::npos) << text;
+  std::string json = p.ToJson();
+  EXPECT_NE(json.find("\"op\":\"Filter\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"est_rows\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\":["), std::string::npos) << json;
+}
+
+TEST(ProfileTest, ShardSlotsRenderPerShardBreakdown) {
+  Profile p;
+  int ident = 0;
+  ProfileNode* root = p.ChildFor(nullptr, &ident, "Scan[t]");
+  root->shards.resize(2);
+  root->shards[0].rows = 3;
+  root->shards[1].rows = 5;
+  std::string text = p.ToText();
+  EXPECT_NE(text.find("[shard 0] rows=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("[shard 1] rows=5"), std::string::npos) << text;
+  std::string json = p.ToJson();
+  EXPECT_NE(json.find("\"shards\":[{\"shard\":0,\"rows\":3"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceRingTest, EvictsOldestPerStripeAndSnapshotsAscending) {
+  TraceRing ring(/*capacity=*/4, /*stripes=*/2);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int64_t id = 1; id <= 8; ++id) {
+    TraceRecord rec;
+    rec.trace_id = id;
+    rec.statement = "stmt " + std::to_string(id);
+    ring.Push(std::move(rec));
+  }
+  EXPECT_EQ(ring.evicted(), 4);
+  std::vector<TraceRecord> records = ring.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Ascending trace ids, and only the newest survive in each stripe.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].trace_id, records[i].trace_id);
+  }
+  EXPECT_EQ(records.front().trace_id, 5);
+  EXPECT_EQ(records.back().trace_id, 8);
+
+  std::string json = ring.ToJson();
+  EXPECT_NE(json.find("\"evicted\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"records\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"statement\":\"stmt 8\""), std::string::npos) << json;
+}
+
+TEST(SlowQueryLogTest, BoundedBufferDropsNewestAndCounts) {
+  SlowQueryLog log(/*capacity=*/2);
+  log.Append("{\"a\":1}");
+  log.Append("{\"a\":2}");
+  log.Append("{\"a\":3}");  // over capacity: dropped, not blocking
+  EXPECT_EQ(log.emitted(), 2);
+  EXPECT_EQ(log.dropped(), 1);
+  std::vector<std::string> lines = log.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"a\":2}");
+  // No path configured: Flush is a successful no-op and keeps nothing.
+  EXPECT_TRUE(log.Flush());
+}
+
+TEST(SlowQueryLogTest, FlushAppendsToPathAndClearsBuffer) {
+  const std::string path =
+      ::testing::TempDir() + "eqsql_slow_query_test.log";
+  std::remove(path.c_str());
+  SlowQueryLog log(/*capacity=*/8, path);
+  log.Append("{\"q\":\"first\"}");
+  log.Append("{\"q\":\"second\"}");
+  ASSERT_TRUE(log.Flush());
+  EXPECT_TRUE(log.Lines().empty());  // flushed lines leave the buffer
+  log.Append("{\"q\":\"third\"}");
+  ASSERT_TRUE(log.Flush());  // second flush APPENDS to the same file
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"q\":\"first\"}");
+  EXPECT_EQ(lines[2], "{\"q\":\"third\"}");
+  std::remove(path.c_str());
+}
+
+// SHOW METRICS renders counters and histogram-derived rows as ONE
+// lexicographically sorted sequence: a histogram's .count/.p50/.p99/
+// .max rows sort next to related counters instead of trailing after
+// every counter in a second block.
+TEST(ShowMetricsTest, RowsAreOneSortedSequence) {
+  net::Server server;
+  {
+    auto t = *server.db()->CreateTable(
+        "items", catalog::Schema({{"id", catalog::DataType::kInt64},
+                                  {"v", catalog::DataType::kInt64}}));
+    ASSERT_TRUE(
+        t->Insert({catalog::Value::Int(1), catalog::Value::Int(10)}).ok());
+  }
+  std::unique_ptr<net::Session> session = server.Connect();
+  ASSERT_TRUE(
+      session->Execute(net::Request::Query("SELECT * FROM items AS i")).ok());
+
+  net::Outcome out =
+      session->Execute(net::Request::Statement("SHOW METRICS"));
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  size_t mi = *out.rows.schema.IndexOf("metric");
+  std::vector<std::string> names;
+  for (const catalog::Row& row : out.rows.rows) {
+    names.push_back(row[mi].AsString());
+  }
+  ASSERT_FALSE(names.empty());
+  for (size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i])
+        << "SHOW METRICS rows not one sorted sequence at " << names[i];
+  }
+  // Both populations are present in the one sequence: plain counters
+  // and histogram-derived rows.
+  auto has = [&](const std::string& n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("net.queries"));
+  EXPECT_TRUE(has("net.scheduler.queue_wait_ns.count"));
+  EXPECT_TRUE(has("net.scheduler.queue_wait_ns.p50"));
+  EXPECT_TRUE(has("net.scheduler.queue_wait_ns.p99"));
+  EXPECT_TRUE(has("net.scheduler.queue_wait_ns.max"));
+  EXPECT_TRUE(has("obs.trace.sampled"));
+  EXPECT_TRUE(has("obs.slow_log.emitted"));
 }
 
 // ---------------------------------------------------------------------------

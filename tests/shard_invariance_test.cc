@@ -7,7 +7,10 @@
 // indexes exist (the full 2-mode x 3-layout x 2-index grid shares one
 // reference signature — the index-scan operators charge the exact
 // full-scan costs they replace, so even the simulated clock may not
-// notice an index). "Observable" is strict:
+// notice an index), AND whether an operator profile is being recorded
+// (the server-stack grids add a profiled on/off dimension — EXPLAIN
+// ANALYZE instrumentation may never move a counter or the simulated
+// clock). "Observable" is strict:
 // return value, print stream, AND the simulated cost counters
 // (rows/bytes transferred, queries, round trips, simulated_ms down to
 // the last bit — the parallel operators charge the same per-query row
@@ -43,6 +46,7 @@
 #include "net/connection.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "storage/database.h"
 #include "storage/table.h"
 #include "workloads/benchmark_apps.h"
@@ -315,6 +319,11 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
   for (exec::ExecMode mode : kExecModes) {
     for (size_t shards : kShardCounts) {
     for (bool indexed : kIndexed) {
+    // The profiled arm runs the identical workload with an operator
+    // profile attached to the connection: per-operator row counts and
+    // timings are collected, and the signature — including the
+    // simulated clock down to the last bit — may not notice.
+    for (bool profiled : {false, true}) {
       net::Server server(AppServerOptions(shards, mode));
       ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
       ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
@@ -322,9 +331,11 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
       ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
       if (indexed) CreateIndexesEverywhere(server.db());
 
+      obs::Profile profile;
       std::vector<std::string> signatures;
       {
         std::unique_ptr<net::Session> session = server.Connect();
+        if (profiled) session->connection()->set_profile(&profile);
         for (const App& app : BenchmarkApps()) {
           auto program = frontend::ParseProgram(app.source);
           ASSERT_TRUE(program.ok()) << app.name;
@@ -347,7 +358,11 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
         // Session-cumulative cost counters join the signature; they must
         // not depend on the shard count or the execution engine either.
         signatures.push_back(Signature("-", {}, session->stats()));
+        if (profiled) session->connection()->set_profile(nullptr);
       }
+      // The profiled arm must actually have profiled something, or the
+      // on/off comparison is vacuous.
+      if (profiled) EXPECT_FALSE(profile.empty());
       if (!have_reference) {
         reference = signatures;
         have_reference = true;
@@ -356,8 +371,9 @@ TEST(ShardInvarianceTest, WorkloadAppsThroughServerStack) {
         EXPECT_EQ(signatures, reference)
             << "diverges at shards=" << shards
             << " mode=" << exec::ExecModeName(mode)
-            << " indexed=" << indexed;
+            << " indexed=" << indexed << " profiled=" << profiled;
       }
+    }
     }
     }
   }
@@ -392,7 +408,15 @@ bool LayoutScoped(const std::string& name) {
          // the grid by construction, so they are plan-scoped the way
          // exec.batch.* is engine-scoped.
          name.rfind("storage.index.", 0) == 0 ||
-         name.rfind("exec.index.", 0) == 0;
+         name.rfind("exec.index.", 0) == 0 ||
+         // Observability bookkeeping (sampled-trace and slow-query-log
+         // admission counts) describes what the profiler recorded, not
+         // what the engine produced — whether a request was sampled
+         // depends on the arrival order of trace ids, which follows
+         // scheduling like net.scheduler.* does.
+         name.rfind("obs.trace.", 0) == 0 ||
+         name.rfind("obs.profile.", 0) == 0 ||
+         name.rfind("obs.slow_log.", 0) == 0;
 }
 
 /// All shard-invariant counters, flattened to one comparable string.
@@ -411,6 +435,7 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
   for (exec::ExecMode mode : kExecModes) {
     for (size_t shards : kShardCounts) {
     for (bool indexed : kIndexed) {
+    for (bool profiled : {false, true}) {
       net::Server server(AppServerOptions(shards, mode));
       ASSERT_TRUE(workloads::SetupMatosoDatabase(server.db(), 40, 4).ok());
       ASSERT_TRUE(workloads::SetupJobPortalDatabase(server.db(), 30).ok());
@@ -418,8 +443,10 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
       ASSERT_TRUE(workloads::SetupJoinDatabase(server.db(), 40).ok());
       if (indexed) CreateIndexesEverywhere(server.db());
 
+      obs::Profile profile;
       {
         std::unique_ptr<net::Session> session = server.Connect();
+        if (profiled) session->connection()->set_profile(&profile);
         for (const App& app : BenchmarkApps()) {
           auto optimized = session->OptimizeCached(app.source, app.function);
           ASSERT_TRUE(optimized.ok()) << app.name;
@@ -427,6 +454,7 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
                                         session->connection());
           ASSERT_TRUE(rewritten.Run(app.function).ok()) << app.name;
         }
+        if (profiled) session->connection()->set_profile(nullptr);
       }
 
       obs::MetricsSnapshot snap = server.metrics()->Snapshot();
@@ -448,7 +476,7 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
         EXPECT_EQ(sig, reference)
             << "counters diverge at shards=" << shards
             << " mode=" << exec::ExecModeName(mode)
-            << " indexed=" << indexed;
+            << " indexed=" << indexed << " profiled=" << profiled;
       }
 
       // Per-shard breakdowns must still reconcile with the invariant
@@ -473,6 +501,15 @@ TEST(ShardInvarianceTest, CounterMetricsAreShardCountInvariant) {
         EXPECT_EQ(sig.find("storage.index."), std::string::npos);
         EXPECT_EQ(sig.find("exec.index."), std::string::npos);
       }
+      // Likewise for the observability exclusions: the registry always
+      // carries the trace/slow-log admission counters (the scheduler
+      // registers them up front), and the signature filter must have
+      // kept them out.
+      EXPECT_TRUE(snap.counters.count("obs.trace.sampled"));
+      EXPECT_EQ(sig.find("obs.trace."), std::string::npos);
+      EXPECT_EQ(sig.find("obs.slow_log."), std::string::npos);
+      if (profiled) EXPECT_FALSE(profile.empty());
+    }
     }
     }
   }
