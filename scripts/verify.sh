@@ -27,14 +27,14 @@ echo "== sanitizers: TSan concurrency stress + shard suites + fuzz sweeps =="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target concurrency_test fuzz_eqsql \
   shard_test mvcc_test shard_invariance_test scheduler_test net_test \
-  vector_exec_test index_test explain_analyze_test obs_test
+  vector_exec_test index_test explain_analyze_test obs_test selection_test
 # Scheduler here covers the 8-producer bounded-queue storm
 # (SchedulerTest.QueueFullRejectsOverloadedWithoutBlocking) under the
 # race detector: producers race workers on the admission queue. Mvcc
 # covers the version-chain suite, including the concurrent
 # readers-vs-committing-writer scan test.
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec|Index|ExplainAnalyze|TraceRing|SlowQueryLog'
+  -R 'PlanCache|ConnectionOwnership|ServerStress|Shard|Mvcc|ReadGuard|Database|Scheduler|ServerLiveStats|VectorExec|Index|ExplainAnalyze|TraceRing|SlowQueryLog|Selection'
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 7 --iters 50 \
   --corpus tests/fuzz_corpus
 # The same sweep on 8-way partitioned tables with the parallel
@@ -66,16 +66,21 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # EXPLAIN ANALYZE reproducers, so the profile-swap path runs too.
 ./build-tsan/src/fuzz/fuzz_eqsql --seed 23 --iters 50 --trace-sample 1 \
   --shards 8 --async-every 1 --corpus tests/fuzz_corpus
+# Batch-family programs through the three-way differential (original vs
+# rewrite vs the parameter-table batching arm): temp-table DDL and the
+# demultiplexing joins race scheduler workers across 2 shards under the
+# race detector.
+./build-tsan/src/fuzz/fuzz_eqsql --seed 29 --iters 50 --family batch \
+  --shards 2 --async-every 4 --corpus tests/fuzz_corpus
 
-echo "== api surface: no callers on the deprecated net entry points =="
-# The legacy ExecuteSql/ExecuteQuery/ExecuteDml overloads survive only
-# as shims inside src/net/connection.* and src/net/server.*; everything
-# else must go through Perform/Submit/Execute. Member-call syntax only,
+echo "== api surface: the deprecated net entry points are gone =="
+# The legacy ExecuteSql/ExecuteQuery/ExecuteDml overloads (issue-5
+# shims) were retired: the symbols must not be called anywhere — every
+# caller goes through Perform/Submit/Execute. Member-call syntax only,
 # so test names like EmitsExecuteQueryAssignment do not trip it.
 if grep -rEn '(->|\.)Execute(Sql|Query|Dml)\(' src tests bench examples \
-    --include='*.cc' --include='*.h' --include='*.cpp' \
-    | grep -vE '^src/net/(connection|server)\.(h|cc):'; then
-  echo "verify.sh: deprecated net entry point called outside the shim layer"
+    --include='*.cc' --include='*.h' --include='*.cpp'; then
+  echo "verify.sh: retired net entry point (ExecuteSql/ExecuteQuery/ExecuteDml) referenced"
   exit 1
 fi
 
@@ -128,6 +133,14 @@ cmake --build build -j"$(nproc)" --target bench_concurrency \
 grep -q '"pass":true' BENCH_exec_micro.json
 grep -q '"filter_speedup":' BENCH_exec_micro.json
 grep -q '"eqsql_vector_wall_ms":' BENCH_fig8.json
+# Cost-based selection phase: the artifact must carry the per-app
+# chosen strategies, the chosen-strategy tally (with at least one
+# non-extraction pick), and the in-binary gate's verdict that the
+# cost-chosen run never lost to always-extract.
+grep -q '"selection_phase":{' BENCH_fig8.json
+grep -q '"chosen_counts":' BENCH_fig8.json
+grep -q '"chosen":"batching"' BENCH_fig8.json
+grep -Eq '"selection_phase":\{.*"pass":true' BENCH_fig8.json
 grep -q '"indexed_phase":{' BENCH_fig9.json
 grep -q '"pass":true' BENCH_fig9.json
 # The artifacts must embed a live registry snapshot: a busy server that

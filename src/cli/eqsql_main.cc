@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "core/alternative_selector.h"
 #include "exec/exec_mode.h"
 #include "frontend/parser.h"
 #include "interp/interpreter.h"
@@ -327,17 +328,19 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const char* mode_name = eqsql::exec::ExecModeName(cli.exec_mode);
-    if (cli.explain) {
-      std::fputs(eqsql::obs::RenderExplainText(**optimized, prog.function,
-                                               mode_name)
-                     .c_str(),
-                 stdout);
-    }
-    if (cli.explain_json) {
-      std::printf("%s\n", eqsql::obs::RenderExplainJson(
-                              **optimized, prog.function, mode_name)
-                              .c_str());
+    if (cli.explain || cli.explain_json) {
+      // Through the scheduler like a served EXPLAIN EXTRACTION request:
+      // the payload carries the cost-ranked alternatives (extracted SQL
+      // vs batching vs interpreted) priced against live table stats.
+      auto explained =
+          session->ExplainExtraction(prog.source, prog.function);
+      if (!explained.ok()) {
+        std::fprintf(stderr, "explain failed: %s\n",
+                     explained.status().ToString().c_str());
+        return 1;
+      }
+      if (cli.explain) std::fputs(explained->text.c_str(), stdout);
+      if (cli.explain_json) std::printf("%s\n", explained->json.c_str());
     }
 
     if (!cli.analyze_sql.empty()) {
@@ -352,16 +355,37 @@ int main(int argc, char** argv) {
                      out.status.ToString().c_str());
         status = 1;
       } else {
-        std::fputs(out.explain.c_str(), stdout);
+        std::fputs(out.explain.text.c_str(), stdout);
       }
     }
 
     if (cli.run) {
+      // Cost-based strategy pick: run whichever of extracted SQL, the
+      // batching rewrite, or the plain interpreted original the
+      // selector prices cheapest (the same selection EXPLAIN EXTRACTION
+      // reports). Selection failure falls back to the extracted form.
+      eqsql::core::AlternativeKind strategy =
+          eqsql::core::AlternativeKind::kExtractedSql;
+      if (auto plan = session->SelectPlan(prog.source, prog.function);
+          plan.ok()) {
+        strategy = (*plan)->chosen;
+      }
+      auto original = eqsql::frontend::ParseProgram(prog.source);
+      const eqsql::frontend::Program* to_run = &(*optimized)->program;
+      bool batch = false;
+      if (original.ok() &&
+          strategy == eqsql::core::AlternativeKind::kBatching) {
+        to_run = &*original;
+        batch = true;
+      } else if (original.ok() &&
+                 strategy == eqsql::core::AlternativeKind::kInterpreted) {
+        to_run = &*original;
+      }
       // The Session is the interpreter's net::Client: every statement
       // is submitted to the scheduler and executed on a worker thread,
       // so a CLI run exercises the same path a served request takes.
-      eqsql::interp::Interpreter interp(&(*optimized)->program,
-                                        session.get());
+      eqsql::interp::Interpreter interp(to_run, session.get());
+      interp.set_batching(batch);
       auto result = interp.Run(prog.function);
       if (!result.ok()) {
         std::fprintf(stderr, "run failed: %s\n",
@@ -373,6 +397,8 @@ int main(int argc, char** argv) {
         }
         std::printf("%s() = %s\n", prog.function.c_str(),
                     result->DisplayString().c_str());
+        std::printf("strategy=%s\n",
+                    eqsql::core::AlternativeKindName(strategy));
         // Server-wide totals: scheduler-executed work lands on the
         // worker links, not on this session's own connection.
         const eqsql::net::ConnectionStats stats = server.stats().totals;

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "core/alternative_selector.h"
 #include "frontend/parser.h"
 #include "sql/parser.h"
 
@@ -158,6 +159,38 @@ Result<std::shared_ptr<const OptimizeResult>> PlanCache::GetOrOptimize(
   entry.source_lower = AsciiToLower(source);
   Insert(std::move(entry));
   return shared;
+}
+
+Result<std::shared_ptr<const ExtractionPlan>> PlanCache::GetOrSelect(
+    const std::string& source, const std::string& function,
+    const OptimizeOptions& options, uint64_t stats_epoch,
+    const SelectFn& compute) {
+  uint64_t key = Salted(
+      SplitMix64(DigestProgram(source, function, options) ^
+                 Fnv1a("select-plan")));
+  Entry entry;
+  if (Lookup(key, &entry) && entry.selected != nullptr) {
+    if (entry.stats_epoch == stats_epoch) return entry.selected;
+    // The database's statistics changed under the cached pricing; drop
+    // the line so the re-selection below can flip the winner.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.invalidations;
+      if (m_invalidations_ != nullptr) m_invalidations_->Increment();
+    }
+  }
+  EQSQL_ASSIGN_OR_RETURN(std::shared_ptr<const ExtractionPlan> plan,
+                         compute());
+  entry = Entry();
+  entry.key = key;
+  entry.selected = plan;
+  entry.stats_epoch = stats_epoch;
+  entry.source_lower = AsciiToLower(source);
+  Insert(std::move(entry));
+  return plan;
 }
 
 PlanCacheStats PlanCache::stats() const {

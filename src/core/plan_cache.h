@@ -2,6 +2,7 @@
 #define EQSQL_CORE_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,8 @@
 #include "ra/ra_node.h"
 
 namespace eqsql::core {
+
+struct ExtractionPlan;  // core/alternative_selector.h
 
 /// Counters for one PlanCache. A snapshot is taken under the cache
 /// mutex, so the numbers in one snapshot are mutually consistent.
@@ -76,6 +79,23 @@ class PlanCache {
       const std::string& source, const std::string& function,
       const OptimizeOptions& options);
 
+  /// Computes a full selection (AlternativeSelector output).
+  using SelectFn =
+      std::function<Result<std::shared_ptr<const ExtractionPlan>>()>;
+
+  /// Returns the cached alternative-selection plan for (`source`,
+  /// `function`, `options`), running `compute` on miss. A resident line
+  /// is only served while its recorded statistics epoch equals
+  /// `stats_epoch`; a mismatch (the database changed — a table grew, an
+  /// index appeared) counts as an invalidation and re-selects, so the
+  /// chosen alternative tracks live data. The OptimizeResult half of
+  /// the work stays warm: `compute` typically calls GetOrOptimize,
+  /// which keys without the epoch.
+  Result<std::shared_ptr<const ExtractionPlan>> GetOrSelect(
+      const std::string& source, const std::string& function,
+      const OptimizeOptions& options, uint64_t stats_epoch,
+      const SelectFn& compute);
+
   PlanCacheStats stats() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
@@ -118,6 +138,11 @@ class PlanCache {
     uint64_t key = 0;
     ra::RaNodePtr plan;                               // SQL entries
     std::shared_ptr<const OptimizeResult> optimized;  // program entries
+    std::shared_ptr<const ExtractionPlan> selected;   // selection entries
+    /// Database statistics epoch the selection was priced under
+    /// (selection entries only); a lookup under a different epoch
+    /// invalidates the line.
+    uint64_t stats_epoch = 0;
     /// Lowercased names of tables the plan scans (SQL entries), for
     /// InvalidateTable.
     std::vector<std::string> tables;

@@ -243,6 +243,30 @@ void JudgeRuns(const interp::RtValue& r1,
   report->verdict = Verdict::kPass;
 }
 
+/// Judges the batching arm: the ORIGINAL program re-run under the
+/// batching executor must agree with the plain original run on both the
+/// return value and printed output. Together with JudgeRuns above this
+/// makes every program case a three-way differential —
+/// interpreter vs extracted SQL vs batching rewrite — since agreement
+/// is transitive. Leaves the verdict untouched on agreement (the caller
+/// only invokes this after the two-way comparison passed).
+void JudgeBatchingRun(const interp::RtValue& r1,
+                      const std::vector<std::string>& printed1,
+                      const interp::RtValue& r3,
+                      const std::vector<std::string>& printed3,
+                      OracleReport* report) {
+  if (r1.DisplayString() != r3.DisplayString()) {
+    report->verdict = Verdict::kReturnMismatch;
+    report->detail = "batching arm: returned '" + r3.DisplayString() +
+                     "' vs original '" + r1.DisplayString() + "'";
+    return;
+  }
+  if (printed1 != printed3) {
+    report->verdict = Verdict::kPrintMismatch;
+    report->detail = "batching arm: " + DescribePrintDiff(printed1, printed3);
+  }
+}
+
 // --- txn-family oracle ---------------------------------------------------
 //
 // A "@txn" case carries no ImpLang program: its source is a
@@ -817,6 +841,29 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
     report.original_queries = s1.stats().totals.queries_executed;
     report.rewritten_queries = s2.stats().totals.queries_executed;
     JudgeRuns(*r1, i1.printed(), *r2, i2.printed(), &report);
+    if (report.verdict != Verdict::kPass) return report;
+    // --- batching arm, scheduler path: the original program again,
+    // batching executor on, against its own fresh server. Temp-table
+    // upload happens on the session connection; the batched probes
+    // travel Submit -> worker like every other statement.
+    net::ServerOptions so3 = so;
+    so3.exec_mode = opts.exec_mode;
+    net::Server s3(so3);
+    if (Status s = BuildDatabase(c, s3.db()); !s.ok()) {
+      report.verdict = Verdict::kInfraError;
+      report.detail = "batching database setup: " + s.ToString();
+      return report;
+    }
+    std::unique_ptr<net::Session> sess3 = s3.Connect();
+    interp::Interpreter i3(&*program, sess3.get());
+    i3.set_batching(true);
+    auto r3 = i3.Run(c.function);
+    if (!r3.ok()) {
+      report.verdict = Verdict::kInfraError;
+      report.detail = "batching run (scheduler): " + r3.status().ToString();
+      return report;
+    }
+    JudgeBatchingRun(*r1, i1.printed(), *r3, i3.printed(), &report);
     return report;
   }
 
@@ -862,6 +909,34 @@ OracleReport RunOracleImpl(const FuzzCase& c, const OracleOptions& opts) {
   report.rewritten_queries = c2.stats().queries_executed;
   report.rewritten_trace = c2.trace();
   JudgeRuns(*r1, i1.printed(), *r2, i2.printed(), &report);
+  if (report.verdict != Verdict::kPass) return report;
+
+  // --- batching arm: the original program once more with the batching
+  // executor enabled, on its own fresh database (the body may run DML).
+  // Loops the analysis declines fall back to plain iteration inside the
+  // interpreter, so this arm is never skipped — it just degenerates to
+  // a second original run for non-batchable programs.
+  storage::Database db3(dbo);
+  if (Status s = BuildDatabase(c, &db3); !s.ok()) {
+    report.verdict = Verdict::kInfraError;
+    report.detail = "batching database setup: " + s.ToString();
+    return report;
+  }
+  net::Connection c3(&db3);
+  if (dbo.shard_count > 1) {
+    c3.set_worker_pool(pool.get());
+    c3.set_parallel_threshold(0);
+  }
+  c3.set_exec_mode(opts.exec_mode);
+  interp::Interpreter i3(&*program, &c3);
+  i3.set_batching(true);
+  auto r3 = i3.Run(c.function);
+  if (!r3.ok()) {
+    report.verdict = Verdict::kInfraError;
+    report.detail = "batching run: " + r3.status().ToString();
+    return report;
+  }
+  JudgeBatchingRun(*r1, i1.printed(), *r3, i3.printed(), &report);
   return report;
 }
 

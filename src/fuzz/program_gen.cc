@@ -26,6 +26,7 @@ const char* FamilyName(Family f) {
     case Family::kDml: return "dml";
     case Family::kTxn: return "txn";
     case Family::kIndex: return "index";
+    case Family::kBatch: return "batch";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ std::vector<int> Weights(const GenOptions& o) {
           o.w_join,           o.w_groupby,    o.w_argmax,  o.w_apply,
           o.w_print,          o.w_break,      o.w_partial, o.w_multi,
           o.w_concat,         o.w_corr_exists, o.w_dml,    o.w_txn,
-          o.w_index};
+          o.w_index,          o.w_batch};
 }
 
 constexpr Family kFamilies[] = {
@@ -46,12 +47,13 @@ constexpr Family kFamilies[] = {
     Family::kArgmax,        Family::kApply,     Family::kPrint,
     Family::kBreak,         Family::kPartial,   Family::kMultiAgg,
     Family::kConcat,        Family::kCorrExists, Family::kDml,
-    Family::kTxn,           Family::kIndex,
+    Family::kTxn,           Family::kIndex,     Family::kBatch,
 };
 
 bool NeedsDim(Family f) {
   return f == Family::kJoin || f == Family::kGroupBy ||
-         f == Family::kApply || f == Family::kCorrExists;
+         f == Family::kApply || f == Family::kCorrExists ||
+         f == Family::kBatch;
 }
 
 /// One string column's value domain ("<prefix>0" .. "<prefix>k").
@@ -365,6 +367,46 @@ std::string GenApply(Rng* rng, const FactShape& shape) {
                : "    print(pair(a." + str + ", aux));\n";
   s += "  }\n";
   if (collect) s += "  return out;\n";
+  return s;
+}
+
+/// The batching baseline's home turf: per-row point probes of the keyed
+/// dimension with loop-pure parameters — exactly the shape the
+/// set-oriented rewrite in baselines/batching_exec.h targets. Probing
+/// the unique key keeps every demultiplexed group at most one row, so
+/// row order cannot differ between per-row and batched execution, and
+/// the oracle's three arms (original, extracted, batched) must agree
+/// exactly. The concat variant pins the case where extraction refuses
+/// (no rule targets string folds) while batching still applies.
+std::string GenBatch(Rng* rng, const FactShape& shape) {
+  const std::string& str = shape.strings[0].name;
+  const bool arith = rng->Percent(40);
+  const bool second_site = rng->Percent(35);
+  const bool guarded = rng->Percent(30);
+  const int emit_kind = static_cast<int>(rng->Range(0, 3));
+  const std::string param =
+      arith ? "a.fk + " + std::to_string(rng->Range(0, 2)) : "a.fk";
+  std::string s = emit_kind == 0   ? "  out = list();\n"
+                  : emit_kind == 1 ? "  s = \"\";\n"
+                                   : "";
+  s += Scan("rows", "a", "t0");
+  s += "  for (a : rows) {\n";
+  s += "    x = scalar(executeQuery(\"SELECT b.u AS u FROM t1 AS b WHERE "
+       "b.id = ?\", " + param + "));\n";
+  std::string proj = "pair(a." + str + ", x)";
+  if (second_site) {
+    s += "    y = scalar(executeQuery(\"SELECT b.tag AS tag FROM t1 AS b "
+         "WHERE b.id = ?\", a.fk));\n";
+    proj = "tuple(a." + str + ", x, y)";
+  }
+  const std::string emit = emit_kind == 0   ? "out.append(" + proj + ");"
+                           : emit_kind == 1 ? "s = concat(s, " + proj + ");"
+                                            : "print(" + proj + ");";
+  s += guarded ? Guarded(FactPredicate(rng, shape, "a"), emit)
+               : "    " + emit + "\n";
+  s += "  }\n";
+  if (emit_kind == 0) s += "  return out;\n";
+  if (emit_kind == 1) s += "  return s;\n";
   return s;
 }
 
@@ -712,6 +754,7 @@ std::string Render(Family family, Rng* rng, const FactShape& shape) {
     case Family::kDml: body = GenDml(rng, shape); break;
     case Family::kTxn: break;    // handled by GenTxnCase, never rendered
     case Family::kIndex: break;  // handled by GenIndexCase, never rendered
+    case Family::kBatch: body = GenBatch(rng, shape); break;
   }
   return "func f() {\n" + body + "}\n";
 }
@@ -733,7 +776,7 @@ bool RestrictToFamily(GenOptions* opts, const std::string& name) {
                     &next.w_partial,        &next.w_multi,
                     &next.w_concat,         &next.w_corr_exists,
                     &next.w_dml,            &next.w_txn,
-                    &next.w_index};
+                    &next.w_index,          &next.w_batch};
   static_assert(sizeof(weights) / sizeof(weights[0]) ==
                 sizeof(kFamilies) / sizeof(kFamilies[0]));
   bool found = false;

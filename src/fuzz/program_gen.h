@@ -29,6 +29,7 @@ enum class Family {
   kDml,            // real INSERT/UPDATE into a scratch table + read-back
   kTxn,            // multi-session BEGIN/COMMIT/ROLLBACK schedule (MVCC)
   kIndex,          // txn schedule interleaving CREATE INDEX with DML
+  kBatch,          // canonically batchable per-row point probes [11]
 };
 
 const char* FamilyName(Family f);
@@ -55,6 +56,7 @@ struct GenOptions {
   int w_dml = 6;
   int w_txn = 7;
   int w_index = 6;
+  int w_batch = 6;
 };
 
 /// Zeroes every family weight except `name`'s (as printed by

@@ -1,6 +1,7 @@
 #include "interp/interpreter.h"
 
 #include "analysis/effects.h"
+#include "baselines/batching_exec.h"
 #include "exec/scalar_ops.h"
 
 namespace eqsql::interp {
@@ -136,14 +137,33 @@ Result<Interpreter::Signal> Interpreter::ExecStmt(const StmtPtr& stmt,
         return Status::RuntimeError("cannot iterate over " +
                                     iterable.DisplayString());
       }
+      // Batching mode: prefetch every pure probe site in one
+      // set-oriented join each, then iterate serving probes from the
+      // demultiplexed groups. TryBatchForEach declines (false) rather
+      // than fails, so the plain loop below is always a valid fallback.
+      const bool batched =
+          batching_ && !elements.empty() && TryBatchForEach(*stmt, elements);
+      const size_t overlay = batched ? overlays_.size() - 1 : 0;
+      Result<Signal> out = Signal::kNone;
+      size_t rid = 0;
       for (RtValue& element : elements) {
+        if (batched) overlays_[overlay].rid = rid;
+        ++rid;
         (*env)[stmt->target()] = std::move(element);
-        EQSQL_ASSIGN_OR_RETURN(Signal signal,
-                               ExecBlock(stmt->body(), env, ret));
-        if (signal == Signal::kBreak) break;
-        if (signal == Signal::kReturn) return Signal::kReturn;
+        Result<Signal> signal = ExecBlock(stmt->body(), env, ret);
+        if (!signal.ok()) {
+          out = signal.status();
+          break;
+        }
+        if (*signal == Signal::kBreak) break;
+        if (*signal == Signal::kReturn) {
+          out = Signal::kReturn;
+          break;
+        }
       }
-      return Signal::kNone;
+      if (batched) overlays_.pop_back();
+      if (!out.ok()) return out.status();
+      return *out;
     }
     case StmtKind::kWhile: {
       for (int guard = 0; guard < 10'000'000; ++guard) {
@@ -260,6 +280,13 @@ Result<RtValue> Interpreter::EvalCall(const Expr& call, Env* env) {
     if (call.args().empty() ||
         call.args()[0]->kind() != ExprKind::kStringLit) {
       return Status::RuntimeError("executeQuery needs a literal query");
+    }
+    // A probe site inside an active batched loop is served from the
+    // prefetched groups — no round trip, no parameter evaluation (the
+    // purity analysis guarantees the arguments have no side effects).
+    for (auto it = overlays_.rbegin(); it != overlays_.rend(); ++it) {
+      auto hit = it->sites.find(&call);
+      if (hit != it->sites.end()) return RtValue(hit->second[it->rid]);
     }
     std::vector<Value> params;
     for (size_t i = 1; i < call.args().size(); ++i) {
@@ -440,6 +467,106 @@ Result<RtValue> Interpreter::EvalMethod(const Expr& call, Env* env) {
     return RtValue(Value::Bool(false));
   }
   return Status::RuntimeError("unsupported method: " + method);
+}
+
+bool Interpreter::TryBatchForEach(const Stmt& loop,
+                                  const std::vector<RtValue>& elements) {
+  // Per-loop unique parameter table name: the name is baked into the
+  // rewritten SQL, so reuse across (possibly nested) loops would join
+  // against the wrong parameters.
+  const std::string table = "__batch_p" + std::to_string(++batch_seq_);
+  baselines::BatchPlan plan = baselines::AnalyzeForEach(loop, table);
+  if (plan.sites.empty()) return false;
+
+  // Evaluate every site's parameter tuple per cursor element. The
+  // purity analysis restricts parameters to literals and loop-variable
+  // field paths, so an environment holding only the loop variable is
+  // complete.
+  std::vector<catalog::Row> rows;
+  rows.reserve(elements.size());
+  std::vector<catalog::DataType> param_types(plan.param_columns,
+                                             catalog::DataType::kNull);
+  for (size_t i = 0; i < elements.size(); ++i) {
+    Env probe_env;
+    probe_env[plan.loop_var] = elements[i];
+    catalog::Row row;
+    row.reserve(1 + plan.param_columns);
+    row.push_back(Value::Int(static_cast<int64_t>(i)));
+    for (const baselines::BatchSite& site : plan.sites) {
+      for (const ExprPtr& param : site.params) {
+        Result<Value> v = EvalScalarArg(param, &probe_env);
+        if (!v.ok()) return false;
+        size_t col = row.size() - 1;
+        if (param_types[col] == catalog::DataType::kNull) {
+          param_types[col] = v->type();
+        }
+        row.push_back(*std::move(v));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<catalog::Column> columns;
+  columns.reserve(1 + plan.param_columns);
+  columns.push_back({"rid", catalog::DataType::kInt64});
+  for (size_t c = 0; c < plan.param_columns; ++c) {
+    // All-NULL parameter columns default to int64 (the table needs a
+    // concrete column type; comparisons against NULL are NULL either
+    // way).
+    columns.push_back({"p" + std::to_string(c),
+                       param_types[c] == catalog::DataType::kNull
+                           ? catalog::DataType::kInt64
+                           : param_types[c]});
+  }
+
+  Status created = client_->CreateTempTable(
+      table, catalog::Schema(std::move(columns)), std::move(rows));
+  if (!created.ok()) return false;  // e.g. a Client without temp tables
+
+  // One set-oriented join per probe site, demultiplexed by rid. Any
+  // failure from here on must drop the uploaded table before declining.
+  BatchOverlay overlay;
+  for (const baselines::BatchSite& site : plan.sites) {
+    Result<exec::ResultSet> rs =
+        client_->Perform(net::Request::Query(site.batched_sql))
+            .TakeResultSet();
+    if (!rs.ok() || rs->schema.size() == 0) {
+      client_->DropTempTable(table);
+      return false;
+    }
+    auto group_schema = std::make_shared<catalog::Schema>([&] {
+      std::vector<catalog::Column> cols(rs->schema.columns().begin() + 1,
+                                        rs->schema.columns().end());
+      return catalog::Schema(std::move(cols));
+    }());
+    std::vector<std::shared_ptr<ResultSetObject>> groups(elements.size());
+    for (auto& group : groups) {
+      group = std::make_shared<ResultSetObject>();
+      group->schema = group_schema;
+    }
+    bool demux_ok = true;
+    for (catalog::Row& row : rs->rows) {
+      if (row.empty() || !row[0].is_int()) {
+        demux_ok = false;
+        break;
+      }
+      const int64_t rid = row[0].AsInt();
+      if (rid < 0 || static_cast<size_t>(rid) >= groups.size()) {
+        demux_ok = false;
+        break;
+      }
+      row.erase(row.begin());
+      groups[static_cast<size_t>(rid)]->rows.push_back(std::move(row));
+    }
+    if (!demux_ok) {
+      client_->DropTempTable(table);
+      return false;
+    }
+    overlay.sites[site.call] = std::move(groups);
+  }
+  client_->DropTempTable(table);
+  overlays_.push_back(std::move(overlay));
+  return true;
 }
 
 }  // namespace eqsql::interp

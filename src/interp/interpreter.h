@@ -2,6 +2,7 @@
 #define EQSQL_INTERP_INTERPRETER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,18 @@ class Interpreter {
   Result<RtValue> Run(const std::string& function,
                       std::vector<RtValue> args = {});
 
+  /// Enables the batching baseline executor [11]: a query-backed foreach
+  /// whose probe sites pass the purity analysis in
+  /// baselines/batching_exec.h uploads one parameter table, runs each
+  /// probe once as a set-oriented join, and serves per-iteration results
+  /// from the demultiplexed row groups. Any failure along the way — a
+  /// client without temp-table support, a parameter that will not
+  /// evaluate, a rewritten query the engine rejects — falls back to
+  /// plain row-at-a-time iteration for that loop, so enabling this never
+  /// changes which programs run, only how their loops execute.
+  void set_batching(bool on) { batching_ = on; }
+  bool batching() const { return batching_; }
+
   const std::vector<std::string>& printed() const { return printed_; }
   void ClearOutput() { printed_.clear(); }
 
@@ -44,6 +57,17 @@ class Interpreter {
   using Env = std::map<std::string, RtValue>;
 
   enum class Signal { kNone, kBreak, kReturn };
+
+  /// Prefetched probe results for one batched loop: per call site, the
+  /// joined rows demultiplexed by uploaded row id. `rid` tracks the
+  /// current iteration while the loop body executes; executeQuery serves
+  /// `sites[call][rid]` instead of a round trip.
+  struct BatchOverlay {
+    std::map<const frontend::Expr*,
+             std::vector<std::shared_ptr<ResultSetObject>>>
+        sites;
+    size_t rid = 0;
+  };
 
   Result<Signal> ExecBlock(const std::vector<frontend::StmtPtr>& stmts,
                            Env* env, RtValue* ret);
@@ -55,10 +79,21 @@ class Interpreter {
   Result<catalog::Value> EvalScalarArg(const frontend::ExprPtr& expr,
                                        Env* env);
 
+  /// Attempts set-oriented prefetch for one foreach over `elements`.
+  /// On success pushes an overlay onto `overlays_` and returns true; on
+  /// ANY failure returns false with no overlay installed and no lasting
+  /// state (a created temp table is dropped), so the caller can iterate
+  /// plainly.
+  bool TryBatchForEach(const frontend::Stmt& loop,
+                       const std::vector<RtValue>& elements);
+
   const frontend::Program* program_;
   net::Client* client_;
   std::vector<std::string> printed_;
   int call_depth_ = 0;
+  bool batching_ = false;
+  int batch_seq_ = 0;
+  std::vector<BatchOverlay> overlays_;
 };
 
 }  // namespace eqsql::interp

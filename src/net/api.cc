@@ -68,7 +68,7 @@ Result<int64_t> Outcome::TakeRowCount() && {
   return row_count;
 }
 
-Result<std::string> Outcome::TakeExplain() && {
+Result<Explain> Outcome::TakeExplain() && {
   if (kind == Kind::kError) return status;
   if (kind != Kind::kExplain) {
     return Status::InvalidArgument("outcome does not carry an explain report");

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/schema.h"
 #include "catalog/value.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -175,6 +176,24 @@ struct Request {
   }
 };
 
+/// The one payload shape for every explain-style report the server
+/// renders: EXPLAIN EXTRACTION (with its ranked alternatives), EXPLAIN
+/// ANALYZE operator profiles, and SHOW-style introspection over the
+/// trace ring. All three surfaces carry the same pair of renderings —
+/// human text and machine JSON — produced by the shared renderers in
+/// src/obs, with `kind` tagging which surface produced it.
+struct Explain {
+  enum class Kind {
+    kExtraction,     // EXPLAIN EXTRACTION: rewrite + priced alternatives
+    kAnalyze,        // EXPLAIN ANALYZE: executed operator profile
+    kIntrospection,  // SHOW PROFILES / SHOW TRACES
+  };
+
+  Kind kind = Kind::kExtraction;
+  std::string text;  // human rendering
+  std::string json;  // machine rendering (one JSON object/array)
+};
+
 /// The one result type for every request: a tagged union of the four
 /// things the server can hand back. `status` is kOk exactly when
 /// `kind != kError`; the scheduler's error-code taxonomy (kParseError,
@@ -184,7 +203,7 @@ struct Outcome {
   enum class Kind {
     kResultSet,  // a query's rows
     kRowCount,   // a DML statement's affected-row count
-    kExplain,    // an EXPLAIN EXTRACTION report (rendered text)
+    kExplain,    // a tagged explain payload (text + JSON)
     kError,
   };
 
@@ -192,7 +211,7 @@ struct Outcome {
   Status status = Status::Internal("outcome not delivered");
   exec::ResultSet rows;     // kResultSet
   int64_t row_count = 0;    // kRowCount
-  std::string explain;      // kExplain
+  Explain explain;          // kExplain
 
   bool ok() const { return kind != Kind::kError; }
 
@@ -210,11 +229,11 @@ struct Outcome {
     o.row_count = n;
     return o;
   }
-  static Outcome FromExplain(std::string report) {
+  static Outcome FromExplain(Explain payload) {
     Outcome o;
     o.kind = Kind::kExplain;
     o.status = Status::OK();
-    o.explain = std::move(report);
+    o.explain = std::move(payload);
     return o;
   }
   static Outcome FromError(Status s) {
@@ -228,7 +247,7 @@ struct Outcome {
   /// a mismatched kind comes back as kInvalidArgument.
   Result<exec::ResultSet> TakeResultSet() &&;
   Result<int64_t> TakeRowCount() &&;
-  Result<std::string> TakeExplain() &&;
+  Result<Explain> TakeExplain() &&;
 };
 
 /// The minimal surface the interpreter (and any other embedded client
@@ -244,6 +263,21 @@ class Client {
   virtual ~Client() = default;
   virtual Outcome Perform(Request req) = 0;
   virtual void ChargeClientOps(int64_t ops) = 0;
+
+  /// Parameter-table upload for the batching execution strategy: build
+  /// the table offline and publish it atomically, charging the upload
+  /// onto the simulated clock. The base implementation declines, which
+  /// makes the interpreter's batching mode fall back to plain per-row
+  /// iteration on clients that cannot host temp tables.
+  virtual Status CreateTempTable(const std::string& name,
+                                 catalog::Schema schema,
+                                 std::vector<catalog::Row> rows) {
+    (void)name;
+    (void)schema;
+    (void)rows;
+    return Status::Unsupported("client does not support temp tables");
+  }
+  virtual void DropTempTable(const std::string& name) { (void)name; }
 };
 
 /// True when the first keyword of `sql` is INSERT/UPDATE/DELETE

@@ -8,6 +8,7 @@
 #include "core/cost_estimator.h"
 #include "exec/scalar_ops.h"
 #include "net/table_stats.h"
+#include "obs/explain.h"
 #include "obs/trace.h"
 #include "sql/dml.h"
 #include "sql/parser.h"
@@ -133,32 +134,6 @@ Outcome Connection::PerformPlanned(const ra::RaNodePtr& plan,
   Result<exec::ResultSet> rs = QueryPlannedImpl(plan, params, ctx);
   if (!rs.ok()) return Outcome::FromError(rs.status());
   return Outcome::FromResultSet(std::move(*rs));
-}
-
-// DEPRECATED(issue-5) shim layer: the four legacy entry points forward
-// to the private impls so out-of-tree callers keep compiling; in-repo
-// callers all use Perform/PerformPlanned or Session::Submit/Execute
-// (enforced by a grep in scripts/verify.sh).
-Result<exec::ResultSet> Connection::ExecuteQuery(
-    const ra::RaNodePtr& plan, const std::vector<catalog::Value>& params) {
-  std::lock_guard<std::mutex> session(own_txn_->mu);
-  return QueryPlannedImpl(plan, params, own_txn_.get());
-}
-
-Result<exec::ResultSet> Connection::ExecuteSql(
-    std::string_view sql, const std::vector<catalog::Value>& params) {
-  std::lock_guard<std::mutex> session(own_txn_->mu);
-  return QuerySqlImpl(sql, params, own_txn_.get());
-}
-
-Result<int64_t> Connection::ExecuteDml(
-    std::string_view sql, const std::vector<catalog::Value>& params) {
-  std::lock_guard<std::mutex> session(own_txn_->mu);
-  return DmlImpl(sql, params, own_txn_.get());
-}
-
-void Connection::SimulateUpdate(std::string_view sql) {
-  SimulateUpdateImpl(sql);
 }
 
 Result<exec::ResultSet> Connection::QueryPlannedImpl(
@@ -295,11 +270,13 @@ Outcome Connection::ExplainAnalyzeImpl(
       };
   if (profile.root() != nullptr) annotate(profile.root());
 
-  std::string report = "EXPLAIN ANALYZE (" +
-                       std::string(exec::ExecModeName(exec_mode())) +
-                       ", rows=" + std::to_string(rs->rows.size()) + ")\n" +
-                       profile.ToText() + "JSON: " + profile.ToJson() + "\n";
-  return Outcome::FromExplain(std::move(report));
+  const std::string mode(exec::ExecModeName(exec_mode()));
+  const int64_t rows = static_cast<int64_t>(rs->rows.size());
+  Explain payload;
+  payload.kind = Explain::Kind::kAnalyze;
+  payload.text = obs::RenderAnalyzeText(profile, mode, rows);
+  payload.json = obs::RenderAnalyzeJson(profile, mode, rows);
+  return Outcome::FromExplain(std::move(payload));
 }
 
 void Connection::SimulateUpdateImpl(std::string_view sql) {

@@ -91,17 +91,6 @@ class Connection : public Client {
                          const std::vector<catalog::Value>& params = {},
                          TxnContext* txn_ctx = nullptr);
 
-  // DEPRECATED(issue-5): legacy entry point, use Perform(Request::Query)
-  // or PerformPlanned. Kept as a thin shim for out-of-tree callers.
-  Result<exec::ResultSet> ExecuteQuery(
-      const ra::RaNodePtr& plan,
-      const std::vector<catalog::Value>& params = {});
-
-  // DEPRECATED(issue-5): legacy entry point, use
-  // Perform(Request::Query(sql, params)).
-  Result<exec::ResultSet> ExecuteSql(
-      std::string_view sql, const std::vector<catalog::Value>& params = {});
-
   /// When true, models asynchronous prefetching [19]: round-trip latency
   /// is overlapped with client computation, so only the first query
   /// after enabling pays it.
@@ -119,30 +108,20 @@ class Connection : public Client {
     PublishStats();
   }
 
-  // DEPRECATED(issue-5): legacy entry point, use
-  // Perform(Request::SimulatedDml(sql)). Charges one round trip plus
-  // query overhead without touching data.
-  void SimulateUpdate(std::string_view sql);
-
-  // DEPRECATED(issue-5): legacy entry point, use
-  // Perform(Request::Dml(sql, params)).
-  Result<int64_t> ExecuteDml(std::string_view sql,
-                             const std::vector<catalog::Value>& params = {});
-
   /// Creates a server-side temporary table and loads `rows` into it,
   /// charging batching's parameter-table overhead plus upload transfer.
   /// The table is built fully offline — no session can see it, so no
   /// locks are needed — and then atomically published into the
   /// registry, replacing any previous table of that name (in-flight
   /// readers keep their pinned snapshot). Used by the batching
-  /// baseline [11].
+  /// baseline [11] and the interpreter's batching execution mode.
   Status CreateTempTable(const std::string& name, catalog::Schema schema,
-                         std::vector<catalog::Row> rows);
+                         std::vector<catalog::Row> rows) override;
 
   /// Drops a temporary table: a registry erase only (no charge;
   /// piggybacks on the next query). In-flight readers keep their
   /// snapshot alive via shared ownership.
-  void DropTempTable(const std::string& name);
+  void DropTempTable(const std::string& name) override;
 
   /// Attaches the server's shard worker pool for partition-parallel
   /// scans/aggregations (see exec::Executor::set_worker_pool) and for
@@ -220,9 +199,8 @@ class Connection : public Client {
   const CostModel& cost_model() const { return model_; }
 
  private:
-  /// The execution bodies behind Perform/PerformPlanned and the
-  /// deprecated shims. Callers hold the statement lock of the TxnContext
-  /// they pass. Cost accounting in here is deterministic and
+  /// The execution bodies behind Perform/PerformPlanned. Callers hold
+  /// the statement lock of the TxnContext they pass. Cost accounting in here is deterministic and
   /// shard-count-invariant (the shard-invariance suite compares the
   /// simulated clock bit for bit across layouts).
   Result<exec::ResultSet> QueryPlannedImpl(

@@ -8,10 +8,8 @@
 #include "catalog/schema.h"
 #include "catalog/value.h"
 #include "common/strings.h"
-#include "core/cost_estimator.h"
 #include "exec/exec_mode.h"
 #include "net/server.h"
-#include "net/table_stats.h"
 #include "obs/explain.h"
 #include "obs/profile.h"
 #include "storage/table.h"
@@ -31,35 +29,6 @@ int64_t ElapsedNs(std::chrono::steady_clock::time_point from,
 size_t PriorityClass(Priority p) {
   size_t cls = static_cast<size_t>(p);
   return cls < 3 ? cls : 2;
-}
-
-/// Annotates extracted variables with the physical join-plan choice:
-/// each extracted SQL statement is parsed through the shared plan
-/// cache and priced by the cost estimator against live table and
-/// index statistics. A no-op (and no plan parses) while the database
-/// has no secondary indexes, so EXPLAIN output is unchanged until
-/// someone runs CREATE INDEX.
-void AnnotateJoinPlans(Server* server, core::OptimizeResult* result) {
-  bool any_index = false;
-  core::TableStats stats = GatherTableStats(server->db(), &any_index);
-  if (!any_index) return;
-  const core::CostEstimator estimator(std::move(stats),
-                                      server->options().cost_model);
-  for (core::VarOutcome& o : result->outcomes) {
-    if (!o.extracted) continue;
-    for (const std::string& sql : o.sql) {
-      Result<ra::RaNodePtr> plan = server->plan_cache()->GetOrParseSql(sql);
-      if (!plan.ok()) continue;
-      core::JoinPlanChoice choice = estimator.ChooseJoinPlan(*plan);
-      if (!choice.applicable) continue;
-      o.join_plan = (choice.index_wins ? "index-nested-loop on "
-                                       : "hash-join over ") +
-                    choice.detail;
-      o.cost_index_ms = choice.index_ms;
-      o.cost_scan_ms = choice.scan_ms;
-      break;
-    }
-  }
 }
 
 }  // namespace
@@ -268,17 +237,19 @@ Outcome Scheduler::ExecuteRequest(Connection* conn, const Request& req) {
       return conn->Perform(std::move(forced));
     }
     case Kind::kExplainExtraction: {
-      Result<std::shared_ptr<const core::OptimizeResult>> result =
-          server_->plan_cache()->GetOrOptimize(req.sql, req.function,
-                                               server_->options().optimize);
-      if (!result.ok()) return Outcome::FromError(result.status());
-      // Annotate a copy: the cached result is shared and immutable,
-      // and the plan choice depends on current index/table stats.
-      core::OptimizeResult annotated = **result;
-      AnnotateJoinPlans(server_, &annotated);
-      return Outcome::FromExplain(obs::RenderExplainText(
-          annotated, req.function,
-          exec::ExecModeName(server_->options().exec_mode)));
+      // The full selection: extraction result + join-plan annotation +
+      // ranked cost-priced alternatives, cached against the database's
+      // stats epoch (Server::GetOrSelectPlan).
+      Result<std::shared_ptr<const core::ExtractionPlan>> plan =
+          server_->GetOrSelectPlan(req.sql, req.function);
+      if (!plan.ok()) return Outcome::FromError(plan.status());
+      const std::string mode(
+          exec::ExecModeName(server_->options().exec_mode));
+      Explain payload;
+      payload.kind = Explain::Kind::kExtraction;
+      payload.text = obs::RenderExplainText(**plan, req.function, mode);
+      payload.json = obs::RenderExplainJson(**plan, req.function, mode);
+      return Outcome::FromExplain(std::move(payload));
     }
     case Kind::kStatement:
       break;  // classified above; unreachable
@@ -320,39 +291,27 @@ Outcome Scheduler::ShowMetricsOutcome() const {
 }
 
 Outcome Scheduler::ShowProfilesOutcome() const {
-  exec::ResultSet rs;
-  rs.schema = catalog::Schema({{"trace_id", catalog::DataType::kInt64},
-                               {"statement", catalog::DataType::kString},
-                               {"status", catalog::DataType::kString},
-                               {"queue_wait_ns", catalog::DataType::kInt64},
-                               {"total_ns", catalog::DataType::kInt64},
-                               {"profile", catalog::DataType::kString}});
-  for (obs::TraceRecord& r : server_->trace_ring()->Snapshot()) {
-    rs.rows.push_back({catalog::Value::Int(r.trace_id),
-                       catalog::Value::String(std::move(r.statement)),
-                       catalog::Value::String(std::move(r.status)),
-                       catalog::Value::Int(r.queue_wait_ns),
-                       catalog::Value::Int(r.total_ns),
-                       catalog::Value::String(std::move(r.profile_text))});
-  }
-  return Outcome::FromResultSet(std::move(rs));
+  // Introspection rides the unified Explain payload: one stanza per
+  // sampled request in the text form, a JSON array in the machine form
+  // (obs::RenderProfiles*). SHOW METRICS stays a result set — it is
+  // data, not a report.
+  const std::vector<obs::TraceRecord> records =
+      server_->trace_ring()->Snapshot();
+  Explain payload;
+  payload.kind = Explain::Kind::kIntrospection;
+  payload.text = obs::RenderProfilesText(records);
+  payload.json = obs::RenderProfilesJson(records);
+  return Outcome::FromExplain(std::move(payload));
 }
 
 Outcome Scheduler::ShowTracesOutcome() const {
-  exec::ResultSet rs;
-  rs.schema = catalog::Schema({{"trace_id", catalog::DataType::kInt64},
-                               {"statement", catalog::DataType::kString},
-                               {"status", catalog::DataType::kString},
-                               {"total_ns", catalog::DataType::kInt64},
-                               {"trace", catalog::DataType::kString}});
-  for (obs::TraceRecord& r : server_->trace_ring()->Snapshot()) {
-    rs.rows.push_back({catalog::Value::Int(r.trace_id),
-                       catalog::Value::String(std::move(r.statement)),
-                       catalog::Value::String(std::move(r.status)),
-                       catalog::Value::Int(r.total_ns),
-                       catalog::Value::String(std::move(r.trace_json))});
-  }
-  return Outcome::FromResultSet(std::move(rs));
+  const std::vector<obs::TraceRecord> records =
+      server_->trace_ring()->Snapshot();
+  Explain payload;
+  payload.kind = Explain::Kind::kIntrospection;
+  payload.text = obs::RenderTracesText(records);
+  payload.json = obs::RenderTracesJson(records);
+  return Outcome::FromExplain(std::move(payload));
 }
 
 void Scheduler::RecordObservability(const Entry& e,

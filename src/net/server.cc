@@ -7,7 +7,10 @@
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "core/alternative_selector.h"
+#include "frontend/parser.h"
 #include "net/scheduler.h"
+#include "net/table_stats.h"
 #include "obs/explain.h"
 
 namespace eqsql::net {
@@ -137,6 +140,36 @@ ServerStats Server::stats() const {
   return out;
 }
 
+Result<std::shared_ptr<const core::ExtractionPlan>> Server::GetOrSelectPlan(
+    const std::string& source, const std::string& function) {
+  const uint64_t epoch = db_.StatsEpoch();
+  return plan_cache_.GetOrSelect(
+      source, function, options_.optimize, epoch,
+      [&]() -> Result<std::shared_ptr<const core::ExtractionPlan>> {
+        // The expensive half (parse -> analyze -> transform -> rewrite)
+        // keys WITHOUT the stats epoch, so re-pricing after data growth
+        // reuses the cached extraction and only redoes the costing.
+        EQSQL_ASSIGN_OR_RETURN(
+            std::shared_ptr<const core::OptimizeResult> optimized,
+            plan_cache_.GetOrOptimize(source, function, options_.optimize));
+        // Re-parse the ORIGINAL program for loop-shape probing (the
+        // optimized copy has its loops rewritten away). The Program
+        // only needs to outlive Select below.
+        Result<frontend::Program> program = frontend::ParseProgram(source);
+        const frontend::Function* original =
+            program.ok() ? program->Find(function) : nullptr;
+        core::AlternativeSelector selector(GatherTableStats(&db_),
+                                           options_.cost_model);
+        core::ExtractionPlan plan = selector.Select(
+            optimized, original,
+            [this](const std::string& sql) {
+              return plan_cache_.GetOrParseSql(sql);
+            },
+            epoch);
+        return std::make_shared<const core::ExtractionPlan>(std::move(plan));
+      });
+}
+
 Session::~Session() { server_->CloseSession(id_, conn_.stats()); }
 
 std::future<Outcome> Session::Submit(Request req) {
@@ -146,17 +179,14 @@ std::future<Outcome> Session::Submit(Request req) {
 
 Outcome Session::Execute(Request req) { return Submit(std::move(req)).get(); }
 
-// DEPRECATED(issue-5) shim: the legacy statement entry point forwards
-// through the scheduler like every other request ("SHOW METRICS"
-// included — the scheduler intercepts it before touching storage).
-Result<exec::ResultSet> Session::ExecuteSql(
-    std::string_view sql, const std::vector<catalog::Value>& params) {
-  return Execute(Request::Query(std::string(sql), params)).TakeResultSet();
+Result<Explain> Session::ExplainExtraction(const std::string& source,
+                                           const std::string& function) {
+  return Execute(Request::ExplainExtraction(source, function)).TakeExplain();
 }
 
-Result<std::string> Session::ExplainExtraction(const std::string& source,
-                                               const std::string& function) {
-  return Execute(Request::ExplainExtraction(source, function)).TakeExplain();
+Result<std::shared_ptr<const core::ExtractionPlan>> Session::SelectPlan(
+    const std::string& source, const std::string& function) {
+  return server_->GetOrSelectPlan(source, function);
 }
 
 Result<std::shared_ptr<const core::OptimizeResult>> Session::OptimizeCached(

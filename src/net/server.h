@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/alternative_selector.h"
 #include "core/optimizer.h"
 #include "exec/exec_mode.h"
 #include "core/plan_cache.h"
@@ -145,6 +146,16 @@ class Server {
   /// back into the server when destroyed.
   std::unique_ptr<Session> Connect();
 
+  /// Cost-based rewrite selection (Cobra): enumerates and prices the
+  /// execution alternatives for (source, function) — full SQL
+  /// extraction, the batching rewrite, the interpreted original —
+  /// against live table statistics, returning the ranked plan with the
+  /// cheapest feasible strategy chosen. Cached in the shared plan cache
+  /// and re-priced whenever the database's stats epoch moves (table
+  /// growth or new indexes can flip the winner). Thread-safe.
+  Result<std::shared_ptr<const core::ExtractionPlan>> GetOrSelectPlan(
+      const std::string& source, const std::string& function);
+
   /// Snapshot of the server-wide aggregates (closed sessions + cache).
   ServerStats stats() const;
 
@@ -220,25 +231,25 @@ class Session : public Client {
   Outcome Perform(Request req) override { return Execute(std::move(req)); }
   void ChargeClientOps(int64_t ops) override { conn_.ChargeClientOps(ops); }
 
-  // DEPRECATED(issue-5): legacy entry point, use
-  // Execute(Request::Query(sql, params)) or Submit. Routed through the
-  // scheduler like every other request.
-  Result<exec::ResultSet> ExecuteSql(
-      std::string_view sql, const std::vector<catalog::Value>& params = {});
-
   /// Full extraction pipeline through the shared cache: repeated
   /// (source, function) requests under the server's optimize options
   /// skip parse, analysis, transformation, and rewriting.
   Result<std::shared_ptr<const core::OptimizeResult>> OptimizeCached(
       const std::string& source, const std::string& function);
 
-  /// Renders the EXPLAIN EXTRACTION report for (source, function)
-  /// under the server's optimize options: per cursor loop P1-P3
-  /// verdicts, fired rules in order, emitted SQL or the reason (and
-  /// cost-heuristic verdict) extraction was skipped. Resolved through
-  /// the shared plan cache, so repeated requests are free.
-  Result<std::string> ExplainExtraction(const std::string& source,
-                                        const std::string& function);
+  /// Cost-based alternative selection for (source, function) through
+  /// the server's cache — see Server::GetOrSelectPlan. The CLI uses
+  /// this to pick which strategy --run executes.
+  Result<std::shared_ptr<const core::ExtractionPlan>> SelectPlan(
+      const std::string& source, const std::string& function);
+
+  /// The EXPLAIN EXTRACTION payload for (source, function) under the
+  /// server's optimize options: per cursor loop P1-P3 verdicts, fired
+  /// rules, emitted SQL, and the ranked cost-priced alternatives with
+  /// the chosen strategy marked (text + JSON). Resolved through the
+  /// shared plan cache, so repeated requests are free.
+  Result<Explain> ExplainExtraction(const std::string& source,
+                                    const std::string& function);
 
   /// Temp-table DDL with plan-cache invalidation: any cached plan or
   /// extraction referencing `name` is dropped before the registry
@@ -246,8 +257,8 @@ class Session : public Client {
   /// table after the DDL. Prefer these over the raw Connection calls
   /// whenever the same name may be recreated with a different shape.
   Status CreateTempTable(const std::string& name, catalog::Schema schema,
-                         std::vector<catalog::Row> rows);
-  void DropTempTable(const std::string& name);
+                         std::vector<catalog::Row> rows) override;
+  void DropTempTable(const std::string& name) override;
 
   /// The underlying client-side connection, for callers that need the
   /// raw blocking API (direct interpreter runs, temp tables, tracing).

@@ -132,6 +132,148 @@ std::string RenderExplainText(const core::OptimizeResult& result,
   return out.str();
 }
 
+std::string RenderExplainText(const core::ExtractionPlan& plan,
+                              const std::string& function,
+                              const std::string& exec_mode) {
+  static const core::OptimizeResult kEmpty;
+  const core::OptimizeResult& result =
+      plan.optimized != nullptr ? *plan.optimized : kEmpty;
+  std::ostringstream out;
+  out << RenderExplainText(result, function, exec_mode);
+  out << "alternatives:\n";
+  for (const core::PlanAlternative& a : plan.alternatives) {
+    out << "  * " << core::AlternativeKindName(a.kind) << ": ";
+    if (a.feasible) {
+      char cost[32];
+      std::snprintf(cost, sizeof(cost), "est %.3f ms", a.est_cost_ms);
+      out << cost;
+      if (a.chosen) out << " (chosen)";
+      if (!a.detail.empty()) out << " -- " << a.detail;
+    } else {
+      out << "not applicable -- " << a.skip_reason;
+    }
+    out << "\n";
+  }
+  out << "chosen strategy: " << core::AlternativeKindName(plan.chosen)
+      << "\n";
+  return out.str();
+}
+
+std::string RenderExplainJson(const core::ExtractionPlan& plan,
+                              const std::string& function,
+                              const std::string& exec_mode) {
+  static const core::OptimizeResult kEmpty;
+  const core::OptimizeResult& result =
+      plan.optimized != nullptr ? *plan.optimized : kEmpty;
+  std::ostringstream out;
+  out << "{\"plan\":" << RenderExplainJson(result, function, exec_mode)
+      << ",\"alternatives\":[";
+  bool first = true;
+  for (const core::PlanAlternative& a : plan.alternatives) {
+    if (!first) out << ",";
+    first = false;
+    char cost[32];
+    std::snprintf(cost, sizeof(cost), "%.3f", a.est_cost_ms);
+    out << "{\"kind\":\"" << core::AlternativeKindName(a.kind)
+        << "\",\"feasible\":" << (a.feasible ? "true" : "false")
+        << ",\"est_cost_ms\":" << (a.feasible ? cost : "null")
+        << ",\"chosen\":" << (a.chosen ? "true" : "false")
+        << ",\"detail\":\"" << JsonEscape(a.detail)
+        << "\",\"skip_reason\":\"" << JsonEscape(a.skip_reason) << "\"}";
+  }
+  char epoch[32];
+  std::snprintf(epoch, sizeof(epoch), "%016llx",
+                static_cast<unsigned long long>(plan.stats_epoch));
+  out << "],\"chosen\":\"" << core::AlternativeKindName(plan.chosen)
+      << "\",\"stats_epoch\":\"" << epoch << "\"}";
+  return out.str();
+}
+
+std::string RenderAnalyzeText(const Profile& profile,
+                              const std::string& exec_mode, int64_t rows) {
+  std::ostringstream out;
+  out << "EXPLAIN ANALYZE (" << exec_mode << ", rows=" << rows << ")\n";
+  out << profile.ToText();
+  return out.str();
+}
+
+std::string RenderAnalyzeJson(const Profile& profile,
+                              const std::string& exec_mode, int64_t rows) {
+  std::ostringstream out;
+  out << "{\"exec_mode\":\"" << JsonEscape(exec_mode)
+      << "\",\"rows\":" << rows << ",\"profile\":" << profile.ToJson()
+      << "}";
+  return out.str();
+}
+
+namespace {
+
+/// Common stanza header for one sampled request.
+void RecordHeader(std::ostringstream& out, const TraceRecord& rec) {
+  out << "trace " << rec.trace_id << ": " << rec.statement << "\n"
+      << "  status " << rec.status << ", total " << rec.total_ns
+      << " ns, queue wait " << rec.queue_wait_ns << " ns\n";
+}
+
+void RecordJsonCommon(std::ostringstream& out, const TraceRecord& rec) {
+  out << "{\"trace_id\":" << rec.trace_id << ",\"statement\":\""
+      << JsonEscape(rec.statement) << "\",\"status\":\""
+      << JsonEscape(rec.status) << "\",\"queue_wait_ns\":"
+      << rec.queue_wait_ns << ",\"total_ns\":" << rec.total_ns;
+}
+
+}  // namespace
+
+std::string RenderProfilesText(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "SHOW PROFILES: " << records.size() << " sampled request(s)\n";
+  for (const TraceRecord& rec : records) {
+    RecordHeader(out, rec);
+    out << rec.profile_text;
+  }
+  return out.str();
+}
+
+std::string RenderProfilesJson(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const TraceRecord& rec : records) {
+    if (!first) out << ",";
+    first = false;
+    RecordJsonCommon(out, rec);
+    out << ",\"profile\":"
+        << (rec.profile_json.empty() ? "null" : rec.profile_json) << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string RenderTracesText(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "SHOW TRACES: " << records.size() << " sampled request(s)\n";
+  for (const TraceRecord& rec : records) {
+    RecordHeader(out, rec);
+    out << rec.trace_json << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderTracesJson(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const TraceRecord& rec : records) {
+    if (!first) out << ",";
+    first = false;
+    RecordJsonCommon(out, rec);
+    out << ",\"trace\":"
+        << (rec.trace_json.empty() ? "null" : rec.trace_json) << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
 std::string RenderExplainJson(const core::OptimizeResult& result,
                               const std::string& function,
                               const std::string& exec_mode) {

@@ -1,9 +1,13 @@
 #ifndef EQSQL_OBS_EXPLAIN_H_
 #define EQSQL_OBS_EXPLAIN_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/alternative_selector.h"
 #include "core/optimizer.h"
+#include "obs/profile.h"
 
 namespace eqsql::obs {
 
@@ -31,6 +35,39 @@ std::string RenderExplainText(const core::OptimizeResult& result,
 std::string RenderExplainJson(const core::OptimizeResult& result,
                               const std::string& function,
                               const std::string& exec_mode = "");
+
+/// Full selection report: the extraction report above followed by an
+/// "alternatives:" section listing every priced strategy — estimated
+/// cost, the chosen marker, and skip reasons for infeasible ones — plus
+/// the chosen strategy. Byte-deterministic for fixed inputs (the stats
+/// epoch is a cache token, not a timing, and appears only in the JSON
+/// form).
+std::string RenderExplainText(const core::ExtractionPlan& plan,
+                              const std::string& function,
+                              const std::string& exec_mode = "");
+
+/// {"plan":<extraction json>,"alternatives":[{"kind":..,"feasible":..,
+/// "est_cost_ms":..,"chosen":..,"detail":..,"skip_reason":..},..],
+/// "chosen":..,"stats_epoch":"<hex>"}.
+std::string RenderExplainJson(const core::ExtractionPlan& plan,
+                              const std::string& function,
+                              const std::string& exec_mode = "");
+
+/// EXPLAIN ANALYZE rendering: header (execution mode + returned rows)
+/// followed by the operator-profile tree. The JSON form wraps
+/// Profile::ToJson with the same header fields.
+std::string RenderAnalyzeText(const Profile& profile,
+                              const std::string& exec_mode, int64_t rows);
+std::string RenderAnalyzeJson(const Profile& profile,
+                              const std::string& exec_mode, int64_t rows);
+
+/// SHOW PROFILES / SHOW TRACES over the trace ring, as an explain-style
+/// payload: one stanza per sampled request. The profiles form carries
+/// each record's operator tree, the traces form its span tree.
+std::string RenderProfilesText(const std::vector<TraceRecord>& records);
+std::string RenderProfilesJson(const std::vector<TraceRecord>& records);
+std::string RenderTracesText(const std::vector<TraceRecord>& records);
+std::string RenderTracesJson(const std::vector<TraceRecord>& records);
 
 }  // namespace eqsql::obs
 

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace eqsql::storage {
@@ -90,6 +91,19 @@ void Database::Vacuum() {
   const Ts watermark = txns_.Watermark();
   for (const auto& table : tables) table->Vacuum(watermark, &txns_);
   txns_.SweepRetired();
+}
+
+uint64_t Database::StatsEpoch() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  // tables_ is an ordered map keyed by lowercase name, so the fold is
+  // deterministic for a given registry state.
+  uint64_t h = Fnv1a("stats-epoch");
+  for (const auto& [key, table] : tables_) {
+    h = SplitMix64(h ^ Fnv1a(key));
+    h = SplitMix64(h ^ table->stats_epoch());
+    h = SplitMix64(h ^ static_cast<uint64_t>(table->index_count()));
+  }
+  return h;
 }
 
 std::vector<std::string> Database::TableNames() const {

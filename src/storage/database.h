@@ -84,6 +84,16 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  /// Database-wide statistics fingerprint: a deterministic fold over
+  /// every table's name, mutation epoch and index count. Any write that
+  /// changes visible rows, any CREATE INDEX, and any table create/drop
+  /// changes the value, so a cached extraction plan stamped with an
+  /// older epoch is re-priced (a table growing 10x can flip the chosen
+  /// alternative). Not a version counter — an unchanged database always
+  /// folds to the same value, which keeps plan caches warm across
+  /// read-only traffic.
+  uint64_t StatsEpoch() const;
+
   /// The database-wide transaction coordinator. Const-qualified callers
   /// (read guards pinning snapshots) still need to mutate pin state,
   /// hence the mutable member behind a const accessor.

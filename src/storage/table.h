@@ -256,6 +256,13 @@ class Table : public std::enable_shared_from_this<Table> {
   /// unchanged table pay O(1) here instead of re-walking every slot.
   TableScanStats VisibleStats(const Snapshot& snap) const;
 
+  /// Monotone mutation counter, bumped by every operation that can
+  /// change some snapshot's visible row set. Database::StatsEpoch folds
+  /// these into the fingerprint that validates cached extraction plans.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Shard {
     /// Serializes writers (and GC) on this shard; held for a

@@ -30,7 +30,7 @@ using catalog::DataType;
 using catalog::Value;
 
 // Queries go through the scheduler-backed session API; the legacy
-// ExecuteSql overloads are deprecated shims (issue-5).
+// ExecuteSql overloads were retired outright.
 Result<exec::ResultSet> SessionQuery(Session* session, std::string sql,
                                      std::vector<Value> params = {}) {
   return session->Execute(Request::Query(std::move(sql), std::move(params)))

@@ -195,7 +195,8 @@ TEST(ExplainAnalyzeTest, DirectConnectionRendersEstimatesBesideActuals) {
       "WHERE t0.v < 50 GROUP BY t0.g"));
   ASSERT_EQ(out.kind, net::Outcome::Kind::kExplain)
       << out.status.ToString();
-  const std::string& report = out.explain;
+  EXPECT_EQ(out.explain.kind, net::Explain::Kind::kAnalyze);
+  const std::string& report = out.explain.text;
   // Header names the engine and the actual result cardinality.
   EXPECT_NE(report.find("EXPLAIN ANALYZE (row, rows=5)"), std::string::npos)
       << report;
@@ -206,16 +207,18 @@ TEST(ExplainAnalyzeTest, DirectConnectionRendersEstimatesBesideActuals) {
   EXPECT_NE(report.find("execs="), std::string::npos) << report;
   EXPECT_EQ(report.find("est_rows=-"), std::string::npos) << report;
   EXPECT_EQ(report.find("est_ms=-"), std::string::npos) << report;
-  // The machine-readable form rides along on the same report.
-  EXPECT_NE(report.find("JSON: {\"op\":"), std::string::npos) << report;
+  // The machine-readable form rides in the payload's json field now,
+  // not inline in the text.
+  EXPECT_NE(out.explain.json.find("\"profile\":{\"op\":"), std::string::npos)
+      << out.explain.json;
 
   // Parameters flow through like any query.
   net::Outcome param = conn.Perform(net::Request::ExplainAnalyze(
       "EXPLAIN ANALYZE SELECT * FROM t AS t0 WHERE t0.id = ?",
       {Value::Int(7)}));
   ASSERT_EQ(param.kind, net::Outcome::Kind::kExplain);
-  EXPECT_NE(param.explain.find("rows=1)"), std::string::npos)
-      << param.explain;
+  EXPECT_NE(param.explain.text.find("rows=1)"), std::string::npos)
+      << param.explain.text;
 
   // Side-effect-free: the analyzed SELECT changed nothing.
   net::Outcome count = conn.Perform(
@@ -245,8 +248,8 @@ TEST(ExplainAnalyzeTest, SessionSubmitAndKeywordClassification) {
       "  explain   analyze SELECT * FROM items AS i WHERE i.v = 1"));
   ASSERT_EQ(classified.kind, net::Outcome::Kind::kExplain)
       << classified.status.ToString();
-  EXPECT_NE(classified.explain.find("rows=5)"), std::string::npos)
-      << classified.explain;
+  EXPECT_NE(classified.explain.text.find("rows=5)"), std::string::npos)
+      << classified.explain.text;
 
   // Forced kind through the async path.
   std::future<net::Outcome> fut = session->Submit(
@@ -256,9 +259,9 @@ TEST(ExplainAnalyzeTest, SessionSubmitAndKeywordClassification) {
   net::Outcome async = fut.get();
   ASSERT_EQ(async.kind, net::Outcome::Kind::kExplain)
       << async.status.ToString();
-  EXPECT_NE(async.explain.find("EXPLAIN ANALYZE ("), std::string::npos);
-  EXPECT_NE(async.explain.find("act_rows=4"), std::string::npos)
-      << async.explain;
+  EXPECT_NE(async.explain.text.find("EXPLAIN ANALYZE ("), std::string::npos);
+  EXPECT_NE(async.explain.text.find("act_rows=4"), std::string::npos)
+      << async.explain.text;
 
   // A malformed target surfaces the parse error, not a crash.
   net::Outcome bad = session->Execute(
@@ -292,36 +295,33 @@ TEST(ExplainAnalyzeTest, ShowProfilesAndTracesExposeSampledRequests) {
   net::Outcome profiles =
       session->Execute(net::Request::Statement("SHOW PROFILES"));
   ASSERT_TRUE(profiles.ok()) << profiles.status.ToString();
-  ASSERT_EQ(profiles.kind, net::Outcome::Kind::kResultSet);
-  ASSERT_GE(profiles.rows.rows.size(), 3u);
-  size_t stmt_idx = *profiles.rows.schema.IndexOf("statement");
-  size_t prof_idx = *profiles.rows.schema.IndexOf("profile");
-  size_t id_idx = *profiles.rows.schema.IndexOf("trace_id");
-  int64_t prev_id = 0;
-  bool saw_query = false;
-  for (const catalog::Row& row : profiles.rows.rows) {
-    EXPECT_GT(row[id_idx].AsInt(), prev_id);  // ascending trace ids
-    prev_id = row[id_idx].AsInt();
-    if (row[stmt_idx].AsString().rfind("SELECT", 0) == 0) {
-      saw_query = true;
-      EXPECT_NE(row[prof_idx].AsString().find("rows_in="),
-                std::string::npos);
-    }
-  }
-  EXPECT_TRUE(saw_query);
+  ASSERT_EQ(profiles.kind, net::Outcome::Kind::kExplain);
+  EXPECT_EQ(profiles.explain.kind, net::Explain::Kind::kIntrospection);
+  const std::string& prof_text = profiles.explain.text;
+  EXPECT_NE(prof_text.find("SHOW PROFILES:"), std::string::npos) << prof_text;
+  EXPECT_NE(prof_text.find("sampled request(s)"), std::string::npos);
+  // The sampled SELECTs carry their operator profiles.
+  EXPECT_NE(prof_text.find("SELECT * FROM items"), std::string::npos)
+      << prof_text;
+  EXPECT_NE(prof_text.find("rows_in="), std::string::npos) << prof_text;
+  // The JSON form lists the same records with ascending trace ids.
+  EXPECT_NE(profiles.explain.json.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(profiles.explain.json.find("\"profile\":"), std::string::npos);
 
   net::Outcome traces =
       session->Execute(net::Request::Statement("SHOW TRACES"));
   ASSERT_TRUE(traces.ok()) << traces.status.ToString();
-  size_t trace_idx = *traces.rows.schema.IndexOf("trace");
-  ASSERT_GE(traces.rows.rows.size(), 3u);
-  const std::string trace_json = traces.rows.rows[0][trace_idx].AsString();
+  ASSERT_EQ(traces.kind, net::Outcome::Kind::kExplain);
+  EXPECT_EQ(traces.explain.kind, net::Explain::Kind::kIntrospection);
+  const std::string& trace_text = traces.explain.text;
+  EXPECT_NE(trace_text.find("SHOW TRACES:"), std::string::npos) << trace_text;
   // The span tree covers the request's full path: admission queue,
   // worker dispatch, execution.
-  EXPECT_NE(trace_json.find("\"spans\""), std::string::npos) << trace_json;
-  EXPECT_NE(trace_json.find("scheduler.enqueue"), std::string::npos);
-  EXPECT_NE(trace_json.find("scheduler.dispatch"), std::string::npos);
-  EXPECT_NE(trace_json.find("\"execute\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"spans\""), std::string::npos) << trace_text;
+  EXPECT_NE(trace_text.find("scheduler.enqueue"), std::string::npos);
+  EXPECT_NE(trace_text.find("scheduler.dispatch"), std::string::npos);
+  EXPECT_NE(trace_text.find("\"execute\""), std::string::npos);
+  EXPECT_NE(traces.explain.json.find("\"trace\":"), std::string::npos);
 }
 
 // With sampling off (the default) the surfaces stay queryable and
@@ -332,11 +332,15 @@ TEST(ExplainAnalyzeTest, ShowProfilesIsEmptyWithoutSampling) {
   net::Outcome profiles =
       session->Execute(net::Request::Statement("SHOW PROFILES"));
   ASSERT_TRUE(profiles.ok()) << profiles.status.ToString();
-  EXPECT_TRUE(profiles.rows.rows.empty());
+  EXPECT_NE(profiles.explain.text.find("0 sampled request(s)"),
+            std::string::npos)
+      << profiles.explain.text;
   net::Outcome traces =
       session->Execute(net::Request::Statement("SHOW TRACES"));
   ASSERT_TRUE(traces.ok()) << traces.status.ToString();
-  EXPECT_TRUE(traces.rows.rows.empty());
+  EXPECT_NE(traces.explain.text.find("0 sampled request(s)"),
+            std::string::npos)
+      << traces.explain.text;
 }
 
 }  // namespace

@@ -479,7 +479,8 @@ TEST(IndexServer, ExplainExtractionPricesIndexNestedLoopAgainstScan) {
                                                                 "userRoles"))
                    .TakeExplain();
   ASSERT_TRUE(plain.ok()) << plain.status().ToString();
-  EXPECT_EQ(plain->find("physical plan:"), std::string::npos) << *plain;
+  EXPECT_EQ(plain->text.find("physical plan:"), std::string::npos)
+      << plain->text;
 
   ASSERT_TRUE(session
                   ->Execute(net::Request::Statement(
@@ -489,11 +490,14 @@ TEST(IndexServer, ExplainExtractionPricesIndexNestedLoopAgainstScan) {
                                                                   "userRoles"))
                      .TakeExplain();
   ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
-  EXPECT_NE(indexed->find("physical plan: index-nested-loop on role(id)"),
-            std::string::npos)
-      << *indexed;
-  EXPECT_NE(indexed->find(" ms vs scan "), std::string::npos) << *indexed;
-  EXPECT_NE(indexed->find("(index "), std::string::npos) << *indexed;
+  EXPECT_NE(
+      indexed->text.find("physical plan: index-nested-loop on role(id)"),
+      std::string::npos)
+      << indexed->text;
+  EXPECT_NE(indexed->text.find(" ms vs scan "), std::string::npos)
+      << indexed->text;
+  EXPECT_NE(indexed->text.find("(index "), std::string::npos)
+      << indexed->text;
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ using catalog::Value;
 
 // The unified request API is verbose for one-liner assertions; these
 // helpers keep the tests readable while exercising Perform/Execute —
-// the legacy ExecuteSql/ExecuteDml entry points are deprecated shims.
+// the legacy ExecuteSql/ExecuteDml entry points no longer exist.
 Result<exec::ResultSet> Query(Connection& conn, std::string sql,
                               std::vector<Value> params = {}) {
   return conn.Perform(Request::Query(std::move(sql), std::move(params)))

@@ -391,15 +391,22 @@ TEST(SchedulerTest, ExplainExtractionThroughSubmit) {
   Outcome out = fut.get();
   ASSERT_TRUE(out.ok()) << out.status.ToString();
   ASSERT_EQ(out.kind, Outcome::Kind::kExplain);
-  EXPECT_NE(out.explain.find("EXPLAIN EXTRACTION for function 'total'"),
+  EXPECT_EQ(out.explain.kind, Explain::Kind::kExtraction);
+  EXPECT_NE(out.explain.text.find("EXPLAIN EXTRACTION for function 'total'"),
             std::string::npos);
-  EXPECT_NE(out.explain.find("=> extracted"), std::string::npos);
+  EXPECT_NE(out.explain.text.find("=> extracted"), std::string::npos);
+  // The selection layer rides along: every explain lists the priced
+  // alternatives and marks the winner.
+  EXPECT_NE(out.explain.text.find("alternatives:"), std::string::npos);
+  EXPECT_NE(out.explain.text.find("chosen strategy:"), std::string::npos);
+  EXPECT_NE(out.explain.json.find("\"alternatives\":["), std::string::npos);
 
   // Second submission hits the shared extraction cache.
   auto report = session->Execute(Request::ExplainExtraction(src, "total"))
                     .TakeExplain();
   ASSERT_TRUE(report.ok());
-  EXPECT_EQ(*report, out.explain);
+  EXPECT_EQ(report->text, out.explain.text);
+  EXPECT_EQ(report->json, out.explain.json);
   EXPECT_GE(server->stats().plan_cache.hits, 1);
 }
 

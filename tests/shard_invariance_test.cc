@@ -172,7 +172,7 @@ void ExpectInvariant(const fuzz::FuzzCase& c, const std::string& label) {
 }
 
 TEST(ShardInvarianceTest, FuzzerProgramsAcrossAllFamilies) {
-  constexpr int kCases = 48;
+  constexpr int kCases = 96;
   int dml_cases = 0;
   for (int i = 0; i < kCases; ++i) {
     uint64_t seed = SplitMix64(0xbee5 + static_cast<uint64_t>(i));
